@@ -1,0 +1,285 @@
+//! Ablation studies for the design choices called out in DESIGN.md §5:
+//!
+//! * `queue`    — binary-heap vs sorted-vec future-event list;
+//! * `media`    — per-frame G.711 encoding vs cached-payload fast path vs
+//!   signalling-only (counts/blocking identical, cost not);
+//! * `parallel` — sequential vs rayon Fig. 6 replications;
+//! * `codec`    — μ-law vs A-law companding throughput;
+//! * `parser`   — SIP parse/serialize round-trip throughput;
+//! * `holding`  — Erlang-B insensitivity: fixed vs exponential holding.
+
+use bench::SortedVecQueue;
+use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use des::{Scheduler, SimTime};
+use rayon::prelude::*;
+
+fn queue_events() -> Vec<(SimTime, u32)> {
+    let mut x: u64 = 0x12345678;
+    (0..10_000u32)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (SimTime::from_nanos(x % 1_000_000), i)
+        })
+        .collect()
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let events = queue_events();
+    let mut g = c.benchmark_group("ablation_queue");
+    g.bench_function("binary_heap_10k", |b| {
+        b.iter_batched(
+            || events.clone(),
+            |evs| {
+                let mut q = Scheduler::new();
+                for (t, e) in evs {
+                    q.schedule(t, e);
+                }
+                while let Some(x) = q.pop() {
+                    black_box(x);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("sorted_vec_10k", |b| {
+        b.iter_batched(
+            || events.clone(),
+            |evs| {
+                let mut q = SortedVecQueue::new();
+                for (t, e) in evs {
+                    q.schedule(t, e);
+                }
+                while let Some(x) = q.pop() {
+                    black_box(x);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn media_cfg(mode: MediaMode) -> EmpiricalConfig {
+    let mut cfg = EmpiricalConfig::table1(40.0, 17);
+    cfg.placement_window_s = 9.0;
+    cfg.holding = loadgen::HoldingDist::Fixed(6.0);
+    cfg.media = mode;
+    cfg
+}
+
+fn bench_media_fidelity(c: &mut Criterion) {
+    // First demonstrate the invariant the fast path must preserve.
+    let full = EmpiricalRunner::run(media_cfg(MediaMode::PerPacket { encode_every: 1 }));
+    let cached = EmpiricalRunner::run(media_cfg(MediaMode::PerPacket { encode_every: 50 }));
+    let off = EmpiricalRunner::run(media_cfg(MediaMode::Off));
+    assert_eq!(full.monitor.rtp_packets, cached.monitor.rtp_packets);
+    assert_eq!(full.blocked, cached.blocked);
+    assert_eq!(full.blocked, off.blocked);
+    println!(
+        "ablation_media: rtp={} identical across encode_every 1/50; blocking identical with media off",
+        full.monitor.rtp_packets
+    );
+
+    let mut g = c.benchmark_group("ablation_media");
+    g.sample_size(10);
+    g.bench_function("encode_every_frame", |b| {
+        b.iter(|| EmpiricalRunner::run(media_cfg(MediaMode::PerPacket { encode_every: 1 })))
+    });
+    g.bench_function("encode_every_50th", |b| {
+        b.iter(|| EmpiricalRunner::run(media_cfg(MediaMode::PerPacket { encode_every: 50 })))
+    });
+    g.bench_function("signalling_only", |b| {
+        b.iter(|| EmpiricalRunner::run(media_cfg(MediaMode::Off)))
+    });
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let loads = [140.0, 180.0, 220.0, 260.0];
+    let run_one = |a: f64, rep: u64| {
+        EmpiricalRunner::run(EmpiricalConfig::signalling_only(a, rep * 7919 + 3)).observed_pb
+    };
+    let mut g = c.benchmark_group("ablation_parallel");
+    g.sample_size(10);
+    g.bench_function("sequential_4x4_runs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &a in &loads {
+                for rep in 0..4u64 {
+                    acc += run_one(a, rep);
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("rayon_4x4_runs", |b| {
+        b.iter(|| {
+            loads
+                .par_iter()
+                .map(|&a| (0..4u64).into_par_iter().map(|rep| run_one(a, rep)).sum::<f64>())
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_vad(c: &mut Criterion) {
+    // The paper's "dialogue without idleness" vs a VAD'd conversation:
+    // packet volume (and hence PBX relay CPU) drops by the inactivity
+    // factor while admission behaviour is untouched.
+    let continuous = EmpiricalRunner::run(media_cfg(MediaMode::PerPacket { encode_every: 50 }));
+    let vad = {
+        let mut cfg = media_cfg(MediaMode::PerPacket { encode_every: 50 });
+        cfg.silence_suppression = true;
+        EmpiricalRunner::run(cfg)
+    };
+    println!(
+        "ablation_vad: continuous {} RTP pkts vs VAD {} ({}% saved); blocking {} vs {}",
+        continuous.monitor.rtp_packets,
+        vad.monitor.rtp_packets,
+        (100.0 * (1.0 - vad.monitor.rtp_packets as f64 / continuous.monitor.rtp_packets as f64))
+            .round(),
+        continuous.blocked,
+        vad.blocked,
+    );
+    let mut g = c.benchmark_group("ablation_vad");
+    g.sample_size(10);
+    g.bench_function("continuous_speech", |b| {
+        b.iter(|| EmpiricalRunner::run(media_cfg(MediaMode::PerPacket { encode_every: 50 })))
+    });
+    g.bench_function("silence_suppressed", |b| {
+        b.iter(|| {
+            let mut cfg = media_cfg(MediaMode::PerPacket { encode_every: 50 });
+            cfg.silence_suppression = true;
+            EmpiricalRunner::run(cfg)
+        })
+    });
+    g.finish();
+}
+
+fn bench_plc(c: &mut Criterion) {
+    // Concealment quality/cost: one second of speech with 5% frame loss.
+    use rtpcore::packetizer::{VoiceSource, SAMPLES_PER_FRAME};
+    use rtpcore::plc::Concealer;
+    let mut voice = VoiceSource::new(3);
+    let frames: Vec<Vec<i16>> = (0..50)
+        .map(|_| voice.next_samples(SAMPLES_PER_FRAME))
+        .collect();
+    let mut g = c.benchmark_group("ablation_plc");
+    g.bench_function("conceal_1s_with_5pct_loss", |b| {
+        b.iter(|| {
+            let mut plc = Concealer::new();
+            let mut acc = 0i64;
+            for (i, f) in frames.iter().enumerate() {
+                let out = if i % 20 == 19 {
+                    plc.lost_frame()
+                } else {
+                    plc.good_frame(f)
+                };
+                acc += i64::from(out[0]);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut voice = rtpcore::packetizer::VoiceSource::new(1);
+    let pcm = voice.next_samples(8000);
+    let ulaw: Vec<u8> = pcm.iter().map(|&s| rtpcore::ulaw_encode(s)).collect();
+    let mut g = c.benchmark_group("ablation_codec");
+    g.throughput(criterion::Throughput::Elements(pcm.len() as u64));
+    g.bench_function("ulaw_encode_1s", |b| {
+        b.iter(|| pcm.iter().map(|&s| rtpcore::ulaw_encode(black_box(s))).map(u64::from).sum::<u64>())
+    });
+    g.bench_function("alaw_encode_1s", |b| {
+        b.iter(|| pcm.iter().map(|&s| rtpcore::alaw_encode(black_box(s))).map(u64::from).sum::<u64>())
+    });
+    g.bench_function("ulaw_decode_1s", |b| {
+        b.iter(|| ulaw.iter().map(|&c| i64::from(rtpcore::ulaw_decode(black_box(c)))).sum::<i64>())
+    });
+    g.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    use sipcore::headers::HeaderName;
+    use sipcore::message::format_via;
+    use sipcore::{Method, Request, SipUri};
+    let sdp = sipcore::sdp::SessionDescription::new("1001", "10.0.0.2", 6000, sipcore::sdp::SdpCodec::Pcmu);
+    let invite = Request::new(Method::Invite, SipUri::new("1002", "pbx.unb.br"))
+        .header(HeaderName::Via, format_via("10.0.0.2", 5060, "z9hG4bKbench"))
+        .header(HeaderName::From, "<sip:1001@pbx.unb.br>;tag=b1")
+        .header(HeaderName::To, "<sip:1002@pbx.unb.br>")
+        .header(HeaderName::CallId, "bench-call-1")
+        .header(HeaderName::CSeq, "1 INVITE")
+        .header(HeaderName::MaxForwards, "70")
+        .with_body("application/sdp", sdp.to_body());
+    let wire = invite.to_wire();
+    let mut g = c.benchmark_group("ablation_parser");
+    g.throughput(criterion::Throughput::Bytes(wire.len() as u64));
+    g.bench_function("serialize_invite", |b| b.iter(|| black_box(&invite).to_wire()));
+    g.bench_function("parse_invite", |b| {
+        b.iter(|| sipcore::parse_message(black_box(&wire)).unwrap())
+    });
+    g.bench_function("round_trip", |b| {
+        b.iter(|| sipcore::parse_message(&black_box(&invite).to_wire()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_holding_insensitivity(c: &mut Criterion) {
+    // Not a speed ablation — a model one: print the blocking under three
+    // holding laws with equal means; Erlang-B predicts they coincide.
+    let run = |holding: loadgen::HoldingDist| {
+        let mut blocked = 0u64;
+        let mut attempted = 0u64;
+        for seed in 0..6u64 {
+            let mut cfg = EmpiricalConfig::signalling_only(20.0, 100 + seed);
+            cfg.channels = 20;
+            cfg.holding = holding;
+            cfg.placement_window_s = 600.0;
+            let r = EmpiricalRunner::run(cfg);
+            blocked += r.blocked;
+            attempted += r.attempted;
+        }
+        blocked as f64 / attempted as f64 * 100.0
+    };
+    let fixed = run(loadgen::HoldingDist::Fixed(120.0));
+    let expo = run(loadgen::HoldingDist::Exponential(120.0));
+    let logn = run(loadgen::HoldingDist::Lognormal { mean: 120.0, sd: 80.0 });
+    let analytic =
+        teletraffic::blocking_probability(teletraffic::Erlangs(20.0), 20) * 100.0;
+    println!(
+        "ablation_holding (A=20E, N=20): fixed {fixed:.2}%  exponential {expo:.2}%  \
+         lognormal {logn:.2}%  Erlang-B {analytic:.2}%"
+    );
+    // Keep criterion happy with a token measurement of the underlying run.
+    let mut g = c.benchmark_group("ablation_holding");
+    g.sample_size(10);
+    g.bench_function("one_run_exponential", |b| {
+        b.iter(|| {
+            let mut cfg = EmpiricalConfig::signalling_only(20.0, 5);
+            cfg.channels = 20;
+            cfg.holding = loadgen::HoldingDist::Exponential(120.0);
+            EmpiricalRunner::run(cfg)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue,
+    bench_media_fidelity,
+    bench_vad,
+    bench_plc,
+    bench_parallel,
+    bench_codec,
+    bench_parser,
+    bench_holding_insensitivity
+);
+criterion_main!(benches);

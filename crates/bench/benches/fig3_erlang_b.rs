@@ -1,0 +1,43 @@
+//! FIG3 — regenerate the paper's Figure 3 (Erlang-B `Pb%` vs channel count
+//! for workloads 20…240 E) and benchmark the analytical kernel.
+//!
+//! ```sh
+//! cargo bench -p bench --bench fig3_erlang_b
+//! ```
+
+use capacity::{figures, report};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use teletraffic::{blocking_probability, erlang_b, Erlangs};
+
+fn regenerate_figure() {
+    let curves = figures::fig3(260);
+    println!("\n================ FIG3 regeneration ================");
+    print!("{}", report::render_fig3(&curves, 20));
+    // The qualitative reads the paper takes off the figure:
+    let pb_160e_165n = blocking_probability(Erlangs(160.0), 165);
+    println!(
+        "check: at A=160 E, N=165 -> Pb = {:.1}% (paper: >160 calls under 5% blocking)",
+        pb_160e_165n * 100.0
+    );
+    println!("===================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("blocking_probability_A150_N165", |b| {
+        b.iter(|| blocking_probability(black_box(Erlangs(150.0)), black_box(165)))
+    });
+    g.bench_function("blocking_curve_A240_N260", |b| {
+        b.iter(|| erlang_b::blocking_curve(black_box(Erlangs(240.0)), black_box(260)))
+    });
+    g.bench_function("full_figure_12_curves", |b| b.iter(|| figures::fig3(black_box(260))));
+    g.bench_function("channels_for_A150_pb2pct", |b| {
+        b.iter(|| erlang_b::channels_for(black_box(Erlangs(150.0)), black_box(0.02)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! FIG6 — regenerate the paper's Figure 6: empirical blocking vs the
+//! Erlang-B curves for N = 160/165/170 across 120…260 E, and benchmark
+//! one sweep point.
+//!
+//! Replications per point default to 5; override with `FIG6_REPS`.
+
+use capacity::experiment::{EmpiricalConfig, EmpiricalRunner};
+use capacity::{figures, report};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn regenerate_figure() {
+    let reps: u64 = std::env::var("FIG6_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    println!("\n================ FIG6 regeneration ({reps} reps/point) ================");
+    let t0 = std::time::Instant::now();
+    let points = figures::fig6(&figures::fig6_default_loads(), reps, 2015);
+    print!("{}", report::render_fig6(&points));
+    // The figure's conclusion: the empirical curve tracks N≈165.
+    let mut inside = 0usize;
+    for p in &points {
+        if p.empirical_pb_pct >= p.analytic_170 - 1.5 && p.empirical_pb_pct <= p.analytic_160 + 1.5
+        {
+            inside += 1;
+        }
+    }
+    println!(
+        "{inside}/{} sweep points lie within the N=160..170 analytic rails (±1.5pp)",
+        points.len()
+    );
+    println!("(regenerated in {:.1} s)", t0.elapsed().as_secs_f64());
+    println!("======================================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("one_signalling_run_A200", |b| {
+        b.iter(|| EmpiricalRunner::run(EmpiricalConfig::signalling_only(200.0, 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! FIG7 — regenerate the paper's Figure 7 (blocking vs calling-population
+//! share for 2.0/2.5/3.0-minute calls, population 8000, N = 165) and
+//! benchmark the dimensioning kernels behind it.
+
+use capacity::{figures, report};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use teletraffic::engset::engset_blocking_for_load;
+use teletraffic::{blocking_probability, Erlangs};
+
+fn regenerate_figure() {
+    println!("\n================ FIG7 regeneration ================");
+    let curves = figures::fig7(8000, 165);
+    print!("{}", report::render_fig7(&curves, 5));
+    // The narrative anchors the paper reads off the plot.
+    let anchor = |d: f64| {
+        blocking_probability(Erlangs::from_population(8000, 0.6, d), 165) * 100.0
+    };
+    println!(
+        "anchors @60%: 2.0min -> {:.1}% (<5), 2.5min -> {:.1}% (~21), 3.0min -> {:.1}% (>34)",
+        anchor(2.0),
+        anchor(2.5),
+        anchor(3.0)
+    );
+    println!("===================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    let mut g = c.benchmark_group("fig7");
+    g.bench_function("full_figure_3_curves_x100pts", |b| {
+        b.iter(|| figures::fig7(black_box(8000), black_box(165)))
+    });
+    g.bench_function("engset_finite_population_point", |b| {
+        b.iter(|| {
+            engset_blocking_for_load(black_box(8000), black_box(165), black_box(Erlangs(160.0)))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

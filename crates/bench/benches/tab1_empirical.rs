@@ -1,0 +1,61 @@
+//! TAB1 — regenerate the paper's Table I (empirical method) through the
+//! full simulated testbed, and benchmark one empirical cell.
+//!
+//! The regeneration runs at full scale (180 s placement, 120 s calls,
+//! per-packet G.711 media) unless `TAB1_SCALE` is set, e.g.
+//! `TAB1_SCALE=0.1 cargo bench -p bench --bench tab1_empirical`.
+
+use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode};
+use capacity::{report, table1};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn regenerate_table() {
+    let scale: f64 = std::env::var("TAB1_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    println!("\n================ TAB1 regeneration (scale {scale}) ================");
+    let t0 = std::time::Instant::now();
+    let rows = if (scale - 1.0).abs() < 1e-9 {
+        table1::table1(2015)
+    } else {
+        table1::table1_scaled(2015, scale)
+    };
+    print!("{}", report::render_table1(&rows));
+    println!("(regenerated in {:.1} s)", t0.elapsed().as_secs_f64());
+    println!("==================================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+
+    let mut g = c.benchmark_group("tab1");
+    g.sample_size(10);
+
+    // One scaled empirical cell with full media, the unit of Table-I work.
+    g.bench_function("cell_A40_scaled_media", |b| {
+        b.iter(|| {
+            let mut cfg = EmpiricalConfig::table1(40.0, 7);
+            cfg.placement_window_s = 9.0;
+            cfg.holding = loadgen::HoldingDist::Fixed(6.0);
+            cfg.media = MediaMode::PerPacket { encode_every: 50 };
+            EmpiricalRunner::run(cfg)
+        })
+    });
+
+    // The same cell signalling-only: how much of the cost is media.
+    g.bench_function("cell_A40_scaled_signalling_only", |b| {
+        b.iter(|| {
+            let mut cfg = EmpiricalConfig::table1(40.0, 7);
+            cfg.placement_window_s = 9.0;
+            cfg.holding = loadgen::HoldingDist::Fixed(6.0);
+            cfg.media = MediaMode::Off;
+            EmpiricalRunner::run(cfg)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Shared helpers for the benchmark harness.
+
+use des::SimTime;
+
+/// A naive sorted-`Vec` future-event list, used as the baseline in the
+/// `ablation_queue` study against the production binary-heap
+/// [`des::Scheduler`].
+pub struct SortedVecQueue<E> {
+    // Kept sorted descending by time so `pop` is `Vec::pop` (O(1)) and
+    // insertion is the O(n) cost being measured.
+    items: Vec<(SimTime, u64, E)>,
+    seq: u64,
+}
+
+impl<E> Default for SortedVecQueue<E> {
+    fn default() -> Self {
+        SortedVecQueue {
+            items: Vec::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<E> SortedVecQueue<E> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an event at its time-sorted position.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        // Descending by (time, seq): binary search for the insertion point.
+        let pos = self
+            .items
+            .partition_point(|(t, s, _)| (*t, *s) > (at, seq));
+        self.items.insert(pos, (at, seq, event));
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.items.pop().map(|(t, _, e)| (t, e))
+    }
+
+    /// Pending count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_vec_queue_orders_like_scheduler() {
+        let mut naive = SortedVecQueue::new();
+        let mut real = des::Scheduler::new();
+        let mut x: u64 = 0xDEADBEEF;
+        for i in 0..2000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = SimTime::from_nanos(x % 10_000);
+            naive.schedule(t, i);
+            real.schedule(t, i);
+        }
+        assert_eq!(naive.len(), 2000);
+        assert!(!naive.is_empty());
+        loop {
+            match (naive.pop(), real.pop()) {
+                (None, None) => break,
+                (Some((tn, en)), Some((tr, er))) => {
+                    assert_eq!(tn, tr);
+                    assert_eq!(en, er, "FIFO tie-break must match");
+                }
+                other => panic!("length mismatch: {other:?}"),
+            }
+        }
+    }
+}

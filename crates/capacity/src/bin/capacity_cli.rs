@@ -1,0 +1,110 @@
+//! `capacity-cli` — regenerate the paper's tables and figures from the
+//! command line.
+//!
+//! ```text
+//! capacity-cli fig3                 # Erlang-B curves (Fig. 3)
+//! capacity-cli table1 [--scale X]   # empirical Table I (slow at scale 1)
+//! capacity-cli fig6 [--reps R]      # empirical vs analytic sweep (Fig. 6)
+//! capacity-cli fig7                 # population dimensioning (Fig. 7)
+//! capacity-cli run --erlangs A      # one empirical run, full details
+//! ```
+//!
+//! Append `--json` to any subcommand for machine-readable output.
+
+use capacity::experiment::{EmpiricalConfig, EmpiricalRunner};
+use capacity::{farm, figures, policy, report, table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let flag = |name: &str, default: f64| -> f64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let seed = flag("--seed", 2015.0) as u64;
+
+    match args.first().map(String::as_str) {
+        Some("fig3") => {
+            let curves = figures::fig3(260);
+            if json {
+                println!("{}", report::to_json(&curves));
+            } else {
+                print!("{}", report::render_fig3(&curves, 10));
+            }
+        }
+        Some("table1") => {
+            let scale = flag("--scale", 1.0);
+            let rows = if (scale - 1.0).abs() < 1e-9 {
+                table1::table1(seed)
+            } else {
+                table1::table1_scaled(seed, scale)
+            };
+            if json {
+                println!("{}", report::to_json(&rows));
+            } else {
+                print!("{}", report::render_table1(&rows));
+            }
+        }
+        Some("fig6") => {
+            let reps = flag("--reps", 5.0) as u64;
+            let points = figures::fig6(&figures::fig6_default_loads(), reps, seed);
+            if json {
+                println!("{}", report::to_json(&points));
+            } else {
+                print!("{}", report::render_fig6(&points));
+            }
+        }
+        Some("fig7") => {
+            let pop = flag("--population", 8000.0) as u64;
+            let channels = flag("--channels", 165.0) as u32;
+            let curves = figures::fig7(pop, channels);
+            if json {
+                println!("{}", report::to_json(&curves));
+            } else {
+                print!("{}", report::render_fig7(&curves, 5));
+            }
+        }
+        Some("policy") => {
+            let erlangs = flag("--erlangs", 220.0);
+            let users = flag("--users", 60.0) as u32;
+            let limits = [None, Some(4), Some(3), Some(2), Some(1)];
+            let rows = policy::policy_study(erlangs, users, &limits, seed);
+            if json {
+                println!("{}", report::to_json(&rows));
+            } else {
+                print!("{}", policy::render_policy(&rows));
+            }
+        }
+        Some("farm") => {
+            let erlangs = flag("--erlangs", 150.0);
+            let total = flag("--channels", 164.0) as u32;
+            let reps = flag("--reps", 5.0) as u64;
+            let rows = farm::farm_study(erlangs, total, &[1, 2, 4], reps, seed);
+            if json {
+                println!("{}", report::to_json(&rows));
+            } else {
+                print!("{}", farm::render_farm(erlangs, &rows));
+            }
+        }
+        Some("run") => {
+            let erlangs = flag("--erlangs", 40.0);
+            let result = EmpiricalRunner::run(EmpiricalConfig::table1(erlangs, seed));
+            println!("{}", report::to_json(&result));
+        }
+        _ => {
+            eprintln!(
+                "usage: capacity-cli <fig3|table1|fig6|fig7|policy|farm|run> [--json] [--seed S]"
+            );
+            eprintln!("  table1 [--scale X]        scale<1 runs a shortened experiment");
+            eprintln!("  fig6   [--reps R]         replications per sweep point");
+            eprintln!("  fig7   [--population P] [--channels N]");
+            eprintln!("  policy [--erlangs A] [--users U]   per-user call-limit study");
+            eprintln!("  farm   [--erlangs A] [--channels N] [--reps R]  pooled vs split servers");
+            eprintln!("  run    [--erlangs A]      one empirical run, JSON details");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The §IV server-farm study — the paper's other scaling alternative,
+//! implemented and measured.
+//!
+//! Splitting a load across k servers of N/k channels each is *worse* than
+//! one pooled server of N channels (trunking efficiency: Erlang-B is
+//! super-additive in pool size). This module measures that penalty
+//! empirically with round-robin dispatch and compares it against the
+//! analytical prediction, so a deployer can weigh "buy a bigger box"
+//! against "add more boxes + policy".
+
+use crate::experiment::{EmpiricalConfig, EmpiricalRunner};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use teletraffic::{blocking_probability, Erlangs};
+
+/// One farm configuration's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FarmRow {
+    /// Number of servers.
+    pub servers: u32,
+    /// Channels per server.
+    pub channels_each: u32,
+    /// Total channels across the farm.
+    pub total_channels: u32,
+    /// Observed steady-state blocking, %.
+    pub empirical_pb_pct: f64,
+    /// Analytical prediction for round-robin split:
+    /// `B(A/k, N/k)` per server, %.
+    pub analytic_split_pct: f64,
+    /// Analytical blocking had the channels been pooled: `B(A, N_total)`, %.
+    pub analytic_pooled_pct: f64,
+    /// Peak channels on the busiest server.
+    pub busiest_peak: u32,
+}
+
+/// Compare farm layouts carrying the same offered load with the same
+/// total channel count: 1×N, 2×N/2, … — the trunking-efficiency study.
+/// Blocking is averaged over `reps` independent replications per layout.
+#[must_use]
+pub fn farm_study(
+    erlangs: f64,
+    total_channels: u32,
+    layouts: &[u32],
+    reps: u64,
+    seed: u64,
+) -> Vec<FarmRow> {
+    layouts
+        .par_iter()
+        .map(|&servers| {
+            let channels_each = total_channels / servers;
+            let runs: Vec<crate::experiment::RunResult> = (0..reps.max(1))
+                .into_par_iter()
+                .map(|rep| {
+                    let mut cfg = EmpiricalConfig::signalling_only(
+                        erlangs,
+                        seed ^ rep.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    cfg.servers = servers;
+                    cfg.channels = channels_each;
+                    cfg.placement_window_s = 600.0;
+                    EmpiricalRunner::run(cfg)
+                })
+                .collect();
+            let mean_pb =
+                runs.iter().map(|r| r.steady_pb).sum::<f64>() / runs.len() as f64;
+            let busiest_peak = runs.iter().map(|r| r.peak_channels).max().unwrap_or(0);
+            // Random dispatch splits the Poisson stream into k thinned
+            // Poisson streams of rate λ/k, each offered to N/k channels.
+            let analytic_split =
+                blocking_probability(Erlangs(erlangs / f64::from(servers)), channels_each);
+            let analytic_pooled =
+                blocking_probability(Erlangs(erlangs), channels_each * servers);
+            FarmRow {
+                servers,
+                channels_each,
+                total_channels: channels_each * servers,
+                empirical_pb_pct: mean_pb * 100.0,
+                analytic_split_pct: analytic_split * 100.0,
+                analytic_pooled_pct: analytic_pooled * 100.0,
+                busiest_peak,
+            }
+        })
+        .collect()
+}
+
+/// Render the study.
+#[must_use]
+pub fn render_farm(erlangs: f64, rows: &[FarmRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Server-farm study at {erlangs:.0} E offered, equal total channels"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>8} {:>11} {:>12} {:>12} {:>8}",
+        "servers", "ch/server", "total", "empirical", "B(A/k,N/k)", "B(A,Ntot)", "peak"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>8} {:>10.2}% {:>11.2}% {:>11.2}% {:>8}",
+            r.servers,
+            r.channels_each,
+            r.total_channels,
+            r.empirical_pb_pct,
+            r.analytic_split_pct,
+            r.analytic_pooled_pct,
+            r.busiest_peak
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small-system version of the study (fast in debug builds).
+    fn small_farm(servers: u32, seed: u64) -> crate::experiment::RunResult {
+        let mut cfg = EmpiricalConfig::signalling_only(20.0, seed);
+        cfg.servers = servers;
+        cfg.channels = 24 / servers;
+        cfg.holding = loadgen::HoldingDist::Exponential(30.0);
+        cfg.placement_window_s = 400.0;
+        EmpiricalRunner::run(cfg)
+    }
+
+    #[test]
+    fn split_pools_block_more_than_pooled() {
+        // 20 E onto 24 channels: pooled blocks ~7%, split 2×12 blocks
+        // ~21% per Erlang-B. The empirical farm must show the penalty.
+        let pooled: f64 = (0..3).map(|s| small_farm(1, s).steady_pb).sum::<f64>() / 3.0;
+        let split: f64 = (0..3).map(|s| small_farm(2, s).steady_pb).sum::<f64>() / 3.0;
+        let analytic_pooled = blocking_probability(Erlangs(20.0), 24);
+        let analytic_split = blocking_probability(Erlangs(10.0), 12);
+        // Analytic gap is ~4 pp (11.9% vs 7.8%); require at least half of
+        // it to show through the Monte-Carlo noise.
+        assert!(
+            split > pooled + 0.02,
+            "trunking efficiency: split {split:.3} vs pooled {pooled:.3}"
+        );
+        assert!((pooled - analytic_pooled).abs() < 0.05, "pooled {pooled:.3} vs {analytic_pooled:.3}");
+        assert!((split - analytic_split).abs() < 0.06, "split {split:.3} vs {analytic_split:.3}");
+    }
+
+    #[test]
+    fn farm_distributes_calls_evenly() {
+        let r = small_farm(2, 9);
+        assert_eq!(r.per_server_peaks.len(), 2);
+        // Round-robin: both servers carry comparable peaks.
+        let (a, b) = (r.per_server_peaks[0], r.per_server_peaks[1]);
+        assert!(a > 0 && b > 0);
+        assert!(a.abs_diff(b) <= 4, "peaks {a} vs {b}");
+        // Calls complete through both servers.
+        assert!(r.completed > 100);
+        assert_eq!(
+            r.attempted,
+            r.completed + r.blocked + r.failed + r.abandoned
+        );
+    }
+
+    #[test]
+    fn farm_media_also_works() {
+        // Full media through a 2-server farm: packets relay correctly and
+        // MOS is scored per call regardless of which server bridged it.
+        let mut cfg = crate::experiment::EmpiricalConfig::smoke(77);
+        cfg.servers = 2;
+        cfg.erlangs = 4.0;
+        cfg.channels = 6;
+        let r = EmpiricalRunner::run(cfg);
+        assert!(r.completed > 0);
+        assert!(r.monitor.rtp_packets > 0);
+        assert!(r.monitor.mos_mean > 4.0, "mos={}", r.monitor.mos_mean);
+    }
+
+    #[test]
+    fn render_shows_layouts() {
+        let rows = vec![FarmRow {
+            servers: 2,
+            channels_each: 82,
+            total_channels: 164,
+            empirical_pb_pct: 9.0,
+            analytic_split_pct: 9.4,
+            analytic_pooled_pct: 4.4,
+            busiest_peak: 82,
+        }];
+        let text = render_farm(150.0, &rows);
+        assert!(text.contains("150 E"));
+        assert!(text.contains("82"));
+    }
+}

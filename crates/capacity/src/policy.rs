@@ -1,0 +1,171 @@
+//! The §IV call-policy study — an implemented "future work" item.
+//!
+//! The paper closes by proposing "an effective call policy that would
+//! impose limits to the number of calls a user may place" as the way to
+//! serve a large population from one server. This module quantifies that
+//! proposal: sweep a per-user concurrent-call ceiling under overload and
+//! measure how channel blocking, policy refusals and carried traffic
+//! trade off.
+
+use crate::experiment::{EmpiricalConfig, EmpiricalRunner};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Result of one policy setting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyRow {
+    /// Per-user ceiling (`None` = unlimited).
+    pub limit: Option<u32>,
+    /// Calls refused by the policy, % of attempts.
+    pub policy_refused_pct: f64,
+    /// Calls blocked for lack of channels, % of attempts.
+    pub channel_blocked_pct: f64,
+    /// Calls completed, % of attempts.
+    pub completed_pct: f64,
+    /// Carried traffic in Erlangs.
+    pub carried_erlangs: f64,
+    /// Peak channels used.
+    pub peak_channels: u32,
+}
+
+/// Sweep per-user ceilings at offered load `erlangs` with `user_pool`
+/// distinct callers (so the mean per-user demand is `erlangs/user_pool`
+/// concurrent calls).
+#[must_use]
+pub fn policy_study(
+    erlangs: f64,
+    user_pool: u32,
+    limits: &[Option<u32>],
+    seed: u64,
+) -> Vec<PolicyRow> {
+    limits
+        .par_iter()
+        .map(|&limit| {
+            let mut cfg = EmpiricalConfig::signalling_only(erlangs, seed);
+            cfg.user_pool = user_pool;
+            cfg.max_calls_per_user = limit;
+            cfg.placement_window_s = 600.0;
+            let r = EmpiricalRunner::run(cfg);
+            let pct = |x: u64| x as f64 / r.attempted.max(1) as f64 * 100.0;
+            PolicyRow {
+                limit,
+                policy_refused_pct: pct(r.failed), // 403s surface as Failed at the UAC
+                channel_blocked_pct: pct(r.blocked),
+                completed_pct: pct(r.completed),
+                carried_erlangs: r.carried_erlangs,
+                peak_channels: r.peak_channels,
+            }
+        })
+        .collect()
+}
+
+/// Render the study as a text table.
+#[must_use]
+pub fn render_policy(rows: &[PolicyRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Call-policy study: per-user ceilings under overload (paper §IV proposal)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14} {:>16} {:>12} {:>10} {:>8}",
+        "limit", "policy-refused", "channel-blocked", "completed", "carried", "peak-N"
+    );
+    for r in rows {
+        let limit = r
+            .limit
+            .map_or("none".to_owned(), |l| l.to_string());
+        let _ = writeln!(
+            out,
+            "{:>10} {:>13.1}% {:>15.1}% {:>11.1}% {:>9.1}E {:>8}",
+            limit,
+            r.policy_refused_pct,
+            r.channel_blocked_pct,
+            r.completed_pct,
+            r.carried_erlangs,
+            r.peak_channels
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_policy_replaces_channel_blocking() {
+        // 30 users offered 40 E onto a 20-channel pool (2x overload, heavy
+        // per-user demand of ~1.3 concurrent calls each). Kept small so the
+        // debug-mode test stays fast.
+        let rows = policy_study_small();
+        let unlimited = &rows[0];
+        let limit1 = &rows[1];
+        // Unlimited: blocking comes from the channel pool.
+        assert!(unlimited.channel_blocked_pct > 10.0, "{unlimited:?}");
+        assert!(unlimited.policy_refused_pct < 1.0);
+        // Limit 1: the policy pre-empts most channel blocking.
+        assert!(limit1.policy_refused_pct > 10.0, "{limit1:?}");
+        assert!(
+            limit1.channel_blocked_pct < unlimited.channel_blocked_pct,
+            "policy relieves the pool: {limit1:?} vs {unlimited:?}"
+        );
+        // The pool is never overfilled either way.
+        assert!(unlimited.peak_channels <= 20);
+        assert!(limit1.peak_channels <= 20);
+    }
+
+    fn policy_study_small() -> Vec<PolicyRow> {
+        let limits = [None, Some(1)];
+        limits
+            .iter()
+            .map(|&limit| {
+                let mut cfg = crate::experiment::EmpiricalConfig::signalling_only(40.0, 3);
+                cfg.channels = 20;
+                cfg.user_pool = 30;
+                cfg.max_calls_per_user = limit;
+                cfg.holding = loadgen::HoldingDist::Exponential(30.0);
+                cfg.placement_window_s = 300.0;
+                let r = crate::experiment::EmpiricalRunner::run(cfg);
+                let pct = |x: u64| x as f64 / r.attempted.max(1) as f64 * 100.0;
+                PolicyRow {
+                    limit,
+                    policy_refused_pct: pct(r.failed),
+                    channel_blocked_pct: pct(r.blocked),
+                    completed_pct: pct(r.completed),
+                    carried_erlangs: r.carried_erlangs,
+                    peak_channels: r.peak_channels,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = vec![
+            PolicyRow {
+                limit: None,
+                policy_refused_pct: 0.0,
+                channel_blocked_pct: 19.0,
+                completed_pct: 81.0,
+                carried_erlangs: 160.0,
+                peak_channels: 165,
+            },
+            PolicyRow {
+                limit: Some(2),
+                policy_refused_pct: 12.0,
+                channel_blocked_pct: 5.0,
+                completed_pct: 83.0,
+                carried_erlangs: 150.0,
+                peak_channels: 165,
+            },
+        ];
+        let text = render_policy(&rows);
+        assert!(text.contains("none"));
+        assert!(text.contains("2"));
+        assert!(text.contains("19.0%"));
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,678 @@
+//! The event-driven world: generator hosts, switch, PBX farm and monitor
+//! glued to the DES engine.
+//!
+//! The paper's testbed has exactly one Asterisk server; the world also
+//! supports a farm of `servers` PBX nodes with calls split round-robin —
+//! the §IV "increasing the number of servers" alternative, measurable
+//! against the pooled single server (see `capacity::farm`).
+
+use crate::experiment::{EmpiricalConfig, MediaMode};
+use des::{EventHandler, Scheduler, SimDuration, SimTime, StreamRng};
+use loadgen::{ArrivalProcess, Uac, UacEvent, Uas, UasEvent};
+use netsim::topology::{nodes, StarTopology};
+use netsim::{LinkParams, NodeId, SendOutcome};
+use pbx_sim::{Directory, Pbx, PbxAction, PbxConfig};
+use rtpcore::packet::RtpHeader;
+use rtpcore::packetizer::{Law, Packetizer, VoiceSource, SAMPLES_PER_FRAME};
+use rtpcore::vad::{FrameSlot, TalkspurtSource};
+use sipcore::SipMessage;
+use std::collections::HashMap;
+use vmon::{FlowId, Monitor};
+
+/// Media frame period.
+const FRAME_PERIOD: SimDuration = SimDuration::from_millis(20);
+
+/// Node number of PBX `k` in the farm.
+#[must_use]
+pub fn pbx_node(k: u32) -> NodeId {
+    NodeId(3 + k as u16)
+}
+
+/// What travels inside a network frame.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A SIP message (wire length precomputed).
+    Sip(SipMessage),
+    /// An RTP datagram addressed to a UDP port.
+    Rtp {
+        /// Destination media port.
+        dst_port: u16,
+        /// Encoded RTP bytes (header + payload).
+        bytes: Vec<u8>,
+        /// When the originating endpoint emitted it (for one-way delay).
+        sent_at: SimTime,
+    },
+}
+
+/// A frame in flight between nodes.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Origin node.
+    pub src: NodeId,
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Simulated on-wire size (payload + UDP/IP/Ethernet overhead).
+    pub wire_len: usize,
+    /// Contents.
+    pub payload: Payload,
+}
+
+/// Key of one unidirectional media session.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MediaKey {
+    /// Owning call id (UAC-side or UAS/b2b-side, per `caller_side`).
+    pub call: String,
+    /// True for the caller-side stream.
+    pub caller_side: bool,
+}
+
+/// World events.
+#[derive(Debug, Clone)]
+pub enum Ev {
+    /// Place the next call.
+    PlaceCall,
+    /// Hand a locally originated frame to the network (used to pace the
+    /// registration storm so it cannot overflow the access links).
+    SendFrame(Frame),
+    /// A frame arrives at a node (per hop).
+    HopArrive {
+        /// Node the frame just reached.
+        at: NodeId,
+        /// The frame.
+        frame: Frame,
+    },
+    /// Generate the next media frame of a session.
+    MediaTick(MediaKey),
+    /// The caller's holding time elapsed: hang up.
+    Hangup {
+        /// UAC-side call id.
+        call_id: String,
+    },
+    /// The UAS's pickup delay elapsed: answer.
+    UasAnswer {
+        /// UAS-side call id.
+        call_id: String,
+    },
+}
+
+enum AudioSource {
+    /// The paper's setting: continuous speech, 50 pps.
+    Continuous(VoiceSource),
+    /// Silence-suppressed talkspurt model (the VAD ablation).
+    Talkspurt(TalkspurtSource),
+}
+
+struct MediaSession {
+    packetizer: Packetizer,
+    source: AudioSource,
+    local_node: NodeId,
+    remote_node: NodeId,
+    remote_port: u16,
+    cached_payload: Vec<u8>,
+    frames_sent: u64,
+    active: bool,
+}
+
+/// The complete experiment world.
+pub struct World {
+    /// Configuration.
+    pub config: EmpiricalConfig,
+    /// The network.
+    pub topo: StarTopology,
+    /// The systems under test (one per configured server).
+    pub pbxes: Vec<Pbx>,
+    /// Call generator engines, one per PBX (all on the client host).
+    pub uacs: Vec<Uac>,
+    /// Call generator server (UAS scenario).
+    pub uas: Uas,
+    /// Passive monitor.
+    pub monitor: Monitor,
+    /// Optional wire capture (enabled by `capture_traffic`); every
+    /// *delivered* frame is recorded, exactly what a span port at the
+    /// destination host would see.
+    pub capture: Option<vmon::pcap::PcapWriter>,
+    arrivals: ArrivalProcess,
+    rng_arrivals: StreamRng,
+    rng_holding: StreamRng,
+    rng_network: StreamRng,
+    rng_media: StreamRng,
+    rng_dispatch: StreamRng,
+    placement_start: SimTime,
+    placement_end: SimTime,
+    media: HashMap<MediaKey, MediaSession>,
+    calls_placed: u64,
+    /// Scratch slot threading the original emission time of a relayed RTP
+    /// packet from `deliver` into `process_pbx_actions`.
+    relay_sent_at: Option<SimTime>,
+}
+
+impl World {
+    /// Build a world from an experiment configuration.
+    #[must_use]
+    pub fn new(config: EmpiricalConfig) -> Self {
+        let servers = config.servers.max(1);
+        let streams = des::RngStream::new(config.seed);
+        let mut link = LinkParams::fast_ethernet();
+        link.loss_probability = config.link_loss_probability;
+        let mut hosts = vec![nodes::SIPP_CLIENT, nodes::SIPP_SERVER];
+        for k in 0..servers {
+            hosts.push(pbx_node(k));
+        }
+        let topo = StarTopology::new(nodes::SWITCH, &hosts, link);
+
+        let mut pbxes = Vec::with_capacity(servers as usize);
+        let mut uacs = Vec::with_capacity(servers as usize);
+        for k in 0..servers {
+            let hostname = if servers == 1 {
+                "pbx.unb.br".to_owned()
+            } else {
+                format!("pbx{k}.unb.br")
+            };
+            let mut pbx_cfg = PbxConfig::evaluation_default(pbx_node(k));
+            pbx_cfg.channels = config.channels;
+            pbx_cfg.max_calls_per_user = config.max_calls_per_user;
+            pbx_cfg.hostname.clone_from(&hostname);
+            let directory = Directory::with_subscribers(1000, 1000);
+            pbxes.push(Pbx::new(pbx_cfg, directory));
+            uacs.push(Uac::with_tag(nodes::SIPP_CLIENT, pbx_node(k), &hostname, k));
+        }
+
+        let uas = Uas::new(nodes::SIPP_SERVER, config.pickup_delay);
+        let rate = config.erlangs / config.holding.mean();
+        World {
+            topo,
+            pbxes,
+            uacs,
+            uas,
+            monitor: Monitor::new(),
+            capture: config
+                .capture_traffic
+                .then(vmon::pcap::PcapWriter::new),
+            arrivals: ArrivalProcess::poisson(rate),
+            rng_arrivals: streams.stream("arrivals"),
+            rng_holding: streams.stream("holding"),
+            rng_network: streams.stream("network"),
+            rng_media: streams.stream("media"),
+            rng_dispatch: streams.stream("dispatch"),
+            placement_start: SimTime::from_secs(1),
+            placement_end: SimTime::from_secs(1)
+                + SimDuration::from_secs_f64(config.placement_window_s),
+            media: HashMap::new(),
+            calls_placed: 0,
+            relay_sent_at: None,
+            config,
+        }
+    }
+
+    /// Calls placed so far.
+    #[must_use]
+    pub fn calls_placed(&self) -> u64 {
+        self.calls_placed
+    }
+
+    /// End of the placement window.
+    #[must_use]
+    pub fn placement_end(&self) -> SimTime {
+        self.placement_end
+    }
+
+    /// Number of PBX servers.
+    #[must_use]
+    pub fn servers(&self) -> u32 {
+        self.pbxes.len() as u32
+    }
+
+    /// Seed the initial events: registrations at t≈0, first arrival after
+    /// the placement start.
+    pub fn prime(&mut self, sched: &mut Scheduler<Ev>) {
+        // Register caller and callee pools at every PBX through real
+        // REGISTER messages.
+        let mut reg_frames = Vec::new();
+        for k in 0..self.pbxes.len() {
+            let pbx = pbx_node(k as u32);
+            let host = self.uacs[k].pbx_host.clone();
+            for i in 0..self.config.user_pool {
+                let caller_uid = format!("{}", 1000 + i);
+                for ev in self.uacs[k].register(&caller_uid) {
+                    if let UacEvent::SendSip { to, msg } = ev {
+                        reg_frames.push(Frame {
+                            src: nodes::SIPP_CLIENT,
+                            dst: to,
+                            wire_len: msg.to_wire().len() + 46,
+                            payload: Payload::Sip(msg),
+                        });
+                    }
+                }
+                // Callee registrations originate from the server node;
+                // reuse the UAC message builder via a scratch instance.
+                let callee_uid = format!("{}", 1500 + i);
+                let mut scratch =
+                    Uac::with_tag(nodes::SIPP_SERVER, pbx, &host, 9000 + k as u32);
+                for ev in scratch.register(&callee_uid) {
+                    if let UacEvent::SendSip { to, msg } = ev {
+                        reg_frames.push(Frame {
+                            src: nodes::SIPP_SERVER,
+                            dst: to,
+                            wire_len: msg.to_wire().len() + 46,
+                            payload: Payload::Sip(msg),
+                        });
+                    }
+                }
+            }
+        }
+        // Pace the registration storm: real endpoints register over
+        // seconds, not in one wire-melting burst; pacing also keeps the
+        // access-link queues (5 ms budget) from tail-dropping REGISTERs
+        // for the later servers of a farm.
+        let spacing_ns =
+            (900_000_000u64 / (reg_frames.len() as u64).max(1)).min(1_000_000);
+        for (i, frame) in reg_frames.into_iter().enumerate() {
+            sched.schedule(
+                SimTime::from_nanos(spacing_ns * i as u64),
+                Ev::SendFrame(frame),
+            );
+        }
+        // First arrival.
+        let first = self
+            .arrivals
+            .next_after(self.placement_start, &mut self.rng_arrivals);
+        sched.schedule(first, Ev::PlaceCall);
+    }
+
+    // -- plumbing -----------------------------------------------------------
+
+    fn send_frame(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, frame: Frame) {
+        let hop = self.topo.next_hop(frame.src, frame.dst);
+        match self
+            .topo
+            .network
+            .enqueue(now, frame.src, hop, frame.wire_len, &mut self.rng_network)
+        {
+            SendOutcome::Delivered { at } => sched.schedule(at, Ev::HopArrive { at: hop, frame }),
+            // Dropped anywhere: the packet simply never arrives; receivers
+            // observe the gap.
+            SendOutcome::DroppedQueueFull
+            | SendOutcome::DroppedError
+            | SendOutcome::NoRoute => {}
+        }
+    }
+
+    fn forward_frame(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, via: NodeId, frame: Frame) {
+        let hop = self.topo.next_hop(via, frame.dst);
+        if let SendOutcome::Delivered { at } = self
+            .topo
+            .network
+            .enqueue(now, via, hop, frame.wire_len, &mut self.rng_network) { sched.schedule(at, Ev::HopArrive { at: hop, frame }) }
+    }
+
+    fn sip_frame(src: NodeId, to: NodeId, msg: SipMessage) -> Frame {
+        Frame {
+            src,
+            dst: to,
+            wire_len: msg.to_wire().len() + 46,
+            payload: Payload::Sip(msg),
+        }
+    }
+
+    /// Which UAC engine owns a Call-ID on the client host.
+    fn uac_index_for(&self, call_id: &str) -> usize {
+        let tag = if let Some(rest) = call_id.strip_prefix("uac-") {
+            rest.split('-').next().and_then(|t| t.parse::<u32>().ok())
+        } else {
+            call_id.rsplit('-').next().and_then(|t| t.parse::<u32>().ok())
+        };
+        match tag {
+            Some(t) if (t as usize) < self.uacs.len() => t as usize,
+            _ => 0,
+        }
+    }
+
+    fn process_uac_events(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, events: Vec<UacEvent>) {
+        for ev in events {
+            match ev {
+                UacEvent::SendSip { to, msg } => {
+                    let frame = Self::sip_frame(nodes::SIPP_CLIENT, to, msg);
+                    self.send_frame(now, sched, frame);
+                }
+                UacEvent::Answered {
+                    call_id,
+                    local_rtp_port,
+                    remote_node,
+                    remote_rtp_port,
+                    hangup_after,
+                } => {
+                    sched.schedule(now + hangup_after, Ev::Hangup { call_id: call_id.clone() });
+                    // The caller hears the flow delivered to its own port.
+                    self.monitor.register_flow(
+                        FlowId::from_node_port(nodes::SIPP_CLIENT.0, local_rtp_port),
+                        &call_id,
+                    );
+                    if self.config.media != MediaMode::Off {
+                        self.start_media(
+                            now,
+                            sched,
+                            MediaKey { call: call_id, caller_side: true },
+                            nodes::SIPP_CLIENT,
+                            remote_node,
+                            remote_rtp_port,
+                        );
+                    }
+                }
+                UacEvent::Ended { call_id, .. } => {
+                    self.stop_media(&MediaKey { call: call_id, caller_side: true });
+                }
+            }
+        }
+    }
+
+    fn process_uas_events(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, events: Vec<UasEvent>) {
+        for ev in events {
+            match ev {
+                UasEvent::SendSip { to, msg } => {
+                    let frame = Self::sip_frame(nodes::SIPP_SERVER, to, msg);
+                    self.send_frame(now, sched, frame);
+                }
+                UasEvent::AnswerDue { call_id, at } => {
+                    sched.schedule(at, Ev::UasAnswer { call_id });
+                }
+                UasEvent::MediaReady {
+                    call_id,
+                    local_rtp_port,
+                    remote_node,
+                    remote_rtp_port,
+                } => {
+                    // Account this leg's received flow to the bridged call.
+                    let owner = self
+                        .pbxes
+                        .iter()
+                        .find_map(|p| p.peer_call_id(&call_id))
+                        .unwrap_or(call_id.as_str())
+                        .to_owned();
+                    self.monitor.register_flow(
+                        FlowId::from_node_port(nodes::SIPP_SERVER.0, local_rtp_port),
+                        &owner,
+                    );
+                    if self.config.media != MediaMode::Off {
+                        self.start_media(
+                            now,
+                            sched,
+                            MediaKey { call: call_id, caller_side: false },
+                            nodes::SIPP_SERVER,
+                            remote_node,
+                            remote_rtp_port,
+                        );
+                    }
+                }
+                UasEvent::Ended { call_id } => {
+                    self.stop_media(&MediaKey { call: call_id, caller_side: false });
+                }
+            }
+        }
+    }
+
+    fn process_pbx_actions(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, src: NodeId, actions: Vec<PbxAction>) {
+        for act in actions {
+            match act {
+                PbxAction::SendSip { to, msg } => {
+                    let frame = Self::sip_frame(src, to, msg);
+                    self.send_frame(now, sched, frame);
+                }
+                PbxAction::SendRtp { to, to_port, bytes } => {
+                    // Relay keeps the original emission time so endpoints
+                    // see true mouth-to-ear delay.
+                    let sent_at = self.relay_sent_at.take().unwrap_or(now);
+                    let wire_len = bytes.len() + 46;
+                    self.send_frame(
+                        now,
+                        sched,
+                        Frame {
+                            src,
+                            dst: to,
+                            wire_len,
+                            payload: Payload::Rtp { dst_port: to_port, bytes, sent_at },
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn start_media(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        key: MediaKey,
+        local_node: NodeId,
+        remote_node: NodeId,
+        remote_port: u16,
+    ) {
+        let ssrc = self.rng_media.next_raw() as u32;
+        let first_seq = (self.rng_media.next_raw() & 0xFFFF) as u16;
+        let first_ts = self.rng_media.next_raw() as u32;
+        let source_seed = self.rng_media.next_raw();
+        let mut source = if self.config.silence_suppression {
+            AudioSource::Talkspurt(TalkspurtSource::conversational(source_seed))
+        } else {
+            AudioSource::Continuous(VoiceSource::new(source_seed))
+        };
+        let mut packetizer = Packetizer::new(ssrc, Law::Mu, first_seq, first_ts);
+        // Pre-encode one real frame to seed the cached payload. (With VAD
+        // the session may start silent; seed from a scratch voice then.)
+        let samples = match &mut source {
+            AudioSource::Continuous(v) => v.next_samples(SAMPLES_PER_FRAME),
+            AudioSource::Talkspurt(t) => match t.next_slot() {
+                FrameSlot::Talk { samples, .. } => samples,
+                FrameSlot::Silence => VoiceSource::new(source_seed).next_samples(SAMPLES_PER_FRAME),
+            },
+        };
+        let first_packet = packetizer.packetize(&samples);
+        let cached = first_packet.payload.clone();
+        // Send the first packet right away.
+        let bytes = first_packet.encode();
+        let wire_len = bytes.len() + 46;
+        self.send_frame(
+            now,
+            sched,
+            Frame {
+                src: local_node,
+                dst: remote_node,
+                wire_len,
+                payload: Payload::Rtp { dst_port: remote_port, bytes, sent_at: now },
+            },
+        );
+        self.media.insert(
+            key.clone(),
+            MediaSession {
+                packetizer,
+                source,
+                local_node,
+                remote_node,
+                remote_port,
+                cached_payload: cached,
+                frames_sent: 1,
+                active: true,
+            },
+        );
+        sched.schedule(now + FRAME_PERIOD, Ev::MediaTick(key));
+    }
+
+    fn stop_media(&mut self, key: &MediaKey) {
+        if let Some(s) = self.media.get_mut(key) {
+            s.active = false;
+        }
+    }
+
+    fn on_media_tick(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, key: MediaKey) {
+        let encode_every = match self.config.media {
+            MediaMode::Off => return,
+            MediaMode::PerPacket { encode_every } => u64::from(encode_every.max(1)),
+        };
+        let Some(session) = self.media.get_mut(&key) else {
+            return;
+        };
+        if !session.active {
+            self.media.remove(&key);
+            return;
+        }
+        // With VAD, a silent slot advances the media clock and sends
+        // nothing; the tick cadence continues.
+        let talking = match &mut session.source {
+            AudioSource::Continuous(_) => true,
+            AudioSource::Talkspurt(t) => match t.next_slot() {
+                FrameSlot::Talk { samples, .. } => {
+                    if session.frames_sent % encode_every == 0 {
+                        session.cached_payload = samples
+                            .iter()
+                            .map(|&s| rtpcore::ulaw_encode(s))
+                            .collect();
+                    }
+                    true
+                }
+                FrameSlot::Silence => false,
+            },
+        };
+        if !talking {
+            session.packetizer.skip_frame();
+            sched.schedule(now + FRAME_PERIOD, Ev::MediaTick(key));
+            return;
+        }
+        let packet = match &mut session.source {
+            AudioSource::Continuous(voice) if session.frames_sent % encode_every == 0 => {
+                let samples = voice.next_samples(SAMPLES_PER_FRAME);
+                let pkt = session.packetizer.packetize(&samples);
+                session.cached_payload.clone_from(&pkt.payload);
+                pkt
+            }
+            _ => session.packetizer.packetize_raw(session.cached_payload.clone()),
+        };
+        session.frames_sent += 1;
+        let (src, dst, port) = (session.local_node, session.remote_node, session.remote_port);
+        let bytes = packet.encode();
+        let wire_len = bytes.len() + 46;
+        self.send_frame(
+            now,
+            sched,
+            Frame {
+                src,
+                dst,
+                wire_len,
+                payload: Payload::Rtp { dst_port: port, bytes, sent_at: now },
+            },
+        );
+        sched.schedule(now + FRAME_PERIOD, Ev::MediaTick(key));
+    }
+
+    fn pbx_index_of(&self, node: NodeId) -> Option<usize> {
+        let idx = node.0.checked_sub(3)? as usize;
+        (idx < self.pbxes.len()).then_some(idx)
+    }
+
+    fn deliver(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, frame: Frame) {
+        if let Some(cap) = &mut self.capture {
+            let (dst_port, payload) = match &frame.payload {
+                Payload::Sip(msg) => (5060u16, msg.to_wire()),
+                Payload::Rtp { dst_port, bytes, .. } => (*dst_port, bytes.clone()),
+            };
+            cap.capture(vmon::pcap::CapturedPacket {
+                timestamp_us: now.as_nanos() / 1_000,
+                src_node: frame.src.0,
+                dst_node: frame.dst.0,
+                src_port: dst_port, // symmetric port model
+                dst_port,
+                payload,
+            });
+        }
+        match frame.payload {
+            Payload::Sip(msg) => {
+                self.monitor.tap_sip(&msg);
+                if let Some(k) = self.pbx_index_of(frame.dst) {
+                    let actions = self.pbxes[k].handle_sip(now, frame.src, msg);
+                    self.process_pbx_actions(now, sched, frame.dst, actions);
+                } else if frame.dst == nodes::SIPP_CLIENT {
+                    let idx = msg
+                        .call_id()
+                        .map(|cid| self.uac_index_for(cid))
+                        .unwrap_or(0);
+                    let events = self.uacs[idx].on_sip(now, msg);
+                    self.process_uac_events(now, sched, events);
+                } else if frame.dst == nodes::SIPP_SERVER {
+                    let events = self.uas.on_sip(now, frame.src, msg);
+                    self.process_uas_events(now, sched, events);
+                }
+            }
+            Payload::Rtp { dst_port, bytes, sent_at } => {
+                if let Some(k) = self.pbx_index_of(frame.dst) {
+                    self.relay_sent_at = Some(sent_at);
+                    let actions = self.pbxes[k].handle_rtp(now, dst_port, bytes);
+                    self.process_pbx_actions(now, sched, frame.dst, actions);
+                    self.relay_sent_at = None;
+                } else {
+                    // Delivered to an endpoint: the monitor scores it.
+                    if let Ok(header) = RtpHeader::decode(&bytes) {
+                        let flow = FlowId::from_node_port(frame.dst.0, dst_port);
+                        self.monitor.tap_rtp(
+                            flow,
+                            now.as_secs_f64(),
+                            now.since(sent_at).as_secs_f64(),
+                            &header,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn place_call(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if now <= self.placement_end {
+            let i = self.calls_placed % u64::from(self.config.user_pool);
+            let caller = format!("{}", 1000 + i);
+            let callee = format!("{}", 1500 + i);
+            let hold = self.config.holding.sample(&mut self.rng_holding);
+            // Uniform random dispatch across the farm — the discipline a
+            // DNS SRV pool gives you. (Random, not round-robin: Bernoulli
+            // splitting keeps each substream Poisson, so the per-server
+            // Erlang-B comparison in `farm` is exact; round-robin would
+            // smooth the substreams and flatter the split layouts.)
+            let k = if self.uacs.len() == 1 {
+                0
+            } else {
+                use des::rng::Distributions;
+                self.rng_dispatch.below(self.uacs.len() as u64) as usize
+            };
+            let (_, events) = self.uacs[k].start_call(now, &caller, &callee, hold);
+            self.calls_placed += 1;
+            self.process_uac_events(now, sched, events);
+            let next = self.arrivals.next_after(now, &mut self.rng_arrivals);
+            if next <= self.placement_end {
+                sched.schedule(next, Ev::PlaceCall);
+            }
+        }
+    }
+}
+
+impl EventHandler<Ev> for World {
+    fn handle(&mut self, at: SimTime, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::PlaceCall => self.place_call(at, sched),
+            Ev::SendFrame(frame) => self.send_frame(at, sched, frame),
+            Ev::HopArrive { at: node, frame } => {
+                if node == frame.dst {
+                    self.deliver(at, sched, frame);
+                } else {
+                    self.forward_frame(at, sched, node, frame);
+                }
+            }
+            Ev::MediaTick(key) => self.on_media_tick(at, sched, key),
+            Ev::Hangup { call_id } => {
+                self.stop_media(&MediaKey { call: call_id.clone(), caller_side: true });
+                let idx = self.uac_index_for(&call_id);
+                let events = self.uacs[idx].hangup(at, &call_id);
+                self.process_uac_events(at, sched, events);
+            }
+            Ev::UasAnswer { call_id } => {
+                let events = self.uas.answer(at, &call_id);
+                self.process_uas_events(at, sched, events);
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The future-event list and simulation driver.
+//!
+//! Events of user type `E` are kept in a binary max-heap wrapped so that the
+//! *earliest* time pops first; simultaneous events pop in scheduling (FIFO)
+//! order thanks to a monotonically increasing sequence number. This stable
+//! tie-break is what makes runs reproducible: a SIP 200-OK scheduled before
+//! an RTP packet at the same instant is always delivered first.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A pending event: fire time, insertion sequence, payload.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest (time, seq).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future-event list.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// An empty scheduler with pre-reserved capacity for `cap` events.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Scheduler {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current simulation time (the fire time of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` — the event fires
+    /// immediately after the current one, preserving causality rather than
+    /// panicking deep inside a long run.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its fire time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue went back in time");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Fire time of the next pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (throughput accounting).
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drop all pending events without changing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// A world that consumes events and schedules follow-ups.
+pub trait EventHandler<E> {
+    /// Handle `event` firing at time `at`; schedule any follow-up events on
+    /// `sched`.
+    fn handle(&mut self, at: SimTime, event: E, sched: &mut Scheduler<E>);
+}
+
+/// Outcome of driving a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event was processed.
+    Progressed,
+    /// The event queue is empty.
+    Exhausted,
+    /// The time horizon was reached (the next event lies beyond it and
+    /// remains queued).
+    HorizonReached,
+}
+
+/// Couples a [`Scheduler`] with an [`EventHandler`] world and drives the
+/// event loop.
+pub struct Simulation<W, E> {
+    /// The world state (public: experiments read results out of it).
+    pub world: W,
+    /// The future-event list.
+    pub sched: Scheduler<E>,
+    events_processed: u64,
+}
+
+impl<W: EventHandler<E>, E> Simulation<W, E> {
+    /// Build a simulation around an initial world.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Process a single event, honouring an optional time horizon.
+    pub fn step(&mut self, horizon: SimTime) -> StepOutcome {
+        match self.sched.peek_time() {
+            None => StepOutcome::Exhausted,
+            Some(t) if t > horizon => StepOutcome::HorizonReached,
+            Some(_) => {
+                let (at, ev) = self.sched.pop().expect("peeked event vanished");
+                self.world.handle(at, ev, &mut self.sched);
+                self.events_processed += 1;
+                StepOutcome::Progressed
+            }
+        }
+    }
+
+    /// Run until the queue empties or the horizon passes; returns the number
+    /// of events processed by this call.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let start = self.events_processed;
+        while self.step(horizon) == StepOutcome::Progressed {}
+        self.events_processed - start
+    }
+
+    /// Run to queue exhaustion.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Total events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(3), "c");
+        s.schedule(SimTime::from_secs(1), "a");
+        s.schedule(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            s.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(5), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(10), "later");
+        s.pop();
+        s.schedule(SimTime::from_secs(1), "past");
+        let (t, e) = s.pop().unwrap();
+        assert_eq!(e, "past");
+        assert_eq!(t, SimTime::from_secs(10), "clamped to now");
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(2), "first");
+        s.pop();
+        s.schedule_in(SimDuration::from_secs(3), "second");
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let mut s = Scheduler::<u8>::with_capacity(16);
+        assert!(s.is_empty());
+        s.schedule(SimTime::from_secs(1), 1);
+        s.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.scheduled_total(), 2);
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(1)));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.scheduled_total(), 2, "clear keeps the total");
+    }
+
+    /// A world that multiplies: every event spawns `n-1` follow-ups.
+    struct Spawner {
+        fired: Vec<(SimTime, u32)>,
+    }
+    impl EventHandler<u32> for Spawner {
+        fn handle(&mut self, at: SimTime, n: u32, sched: &mut Scheduler<u32>) {
+            self.fired.push((at, n));
+            if n > 0 {
+                sched.schedule(at + SimDuration::from_secs(1), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_drives_cascades() {
+        let mut sim = Simulation::new(Spawner { fired: vec![] });
+        sim.sched.schedule(SimTime::from_secs(1), 3u32);
+        let n = sim.run_to_completion();
+        assert_eq!(n, 4);
+        assert_eq!(sim.events_processed(), 4);
+        assert_eq!(
+            sim.world.fired,
+            vec![
+                (SimTime::from_secs(1), 3),
+                (SimTime::from_secs(2), 2),
+                (SimTime::from_secs(3), 1),
+                (SimTime::from_secs(4), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn horizon_stops_but_keeps_events() {
+        let mut sim = Simulation::new(Spawner { fired: vec![] });
+        sim.sched.schedule(SimTime::from_secs(1), 10u32);
+        let n = sim.run_until(SimTime::from_secs(3));
+        assert_eq!(n, 3, "events at t=1,2,3");
+        assert_eq!(sim.step(SimTime::from_secs(3)), StepOutcome::HorizonReached);
+        assert_eq!(sim.sched.len(), 1, "t=4 event still queued");
+        // Extending the horizon resumes.
+        let n2 = sim.run_to_completion();
+        assert_eq!(n2, 8);
+        assert_eq!(sim.step(SimTime::MAX), StepOutcome::Exhausted);
+    }
+
+    #[test]
+    fn large_heap_remains_ordered() {
+        // Pseudo-random insertion order, verify global ordering on drain.
+        let mut s = Scheduler::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.schedule(SimTime::from_nanos(x % 1_000_000), ());
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, ())) = s.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Deterministic discrete-event simulation (DES) engine.
+//!
+//! This is the substrate on which the empirical side of the paper runs: the
+//! simulated network, PBX and load generators are all event handlers driven
+//! by a single future-event list. Design goals:
+//!
+//! * **Determinism** — integer nanosecond timestamps, a stable FIFO
+//!   tie-break for simultaneous events, and splittable counter-based RNG
+//!   streams mean a run is a pure function of its seed. Parallel parameter
+//!   sweeps (rayon, in the `capacity` crate) therefore reproduce bit-identical
+//!   journals regardless of thread scheduling.
+//! * **Throughput** — a `BinaryHeap` future-event list, no per-event boxing
+//!   for the common case, and O(1) statistics accumulators; an A = 240
+//!   Erlang Table-I cell pushes ~9 million RTP packet events through the
+//!   heap in well under a second in release builds.
+//!
+//! # Example
+//!
+//! ```
+//! use des::{Scheduler, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut sched = Scheduler::new();
+//! sched.schedule(SimTime::from_secs_f64(1.0), Ev::Ping);
+//! sched.schedule(SimTime::from_secs_f64(0.5), Ev::Pong);
+//! let (t, ev) = sched.pop().unwrap();
+//! assert_eq!(ev, Ev::Pong);
+//! assert_eq!(t, SimTime::from_secs_f64(0.5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod timeseries;
+
+pub use engine::{EventHandler, Scheduler, Simulation, StepOutcome};
+pub use rng::{Distributions, RngStream, StreamRng};
+pub use stats::{BatchMeans, Counter, Histogram, TimeWeighted, Welford};
+pub use time::{SimDuration, SimTime};
+pub use timeseries::TimeSeries;

@@ -1,0 +1,199 @@
+//! Bounded time-series recording for simulation signals.
+//!
+//! Long experiments produce far more samples (per-second CPU, channel
+//! occupancy, queue depths) than any report needs. [`TimeSeries`] records
+//! with a fixed memory bound: when full it halves its resolution by
+//! keeping every other sample, so a run of any length costs O(capacity)
+//! memory while preserving the signal's shape.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A bounded (time, value) series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    capacity: usize,
+    /// Current decimation: keep one sample in `stride`.
+    stride: u64,
+    /// Samples seen since the last kept one.
+    skip: u64,
+    samples: Vec<(SimTime, f64)>,
+    total_recorded: u64,
+}
+
+impl TimeSeries {
+    /// A series that never stores more than `capacity` points.
+    ///
+    /// # Panics
+    /// If `capacity < 2`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "capacity must be at least 2");
+        TimeSeries {
+            capacity,
+            stride: 1,
+            skip: 0,
+            samples: Vec::new(),
+            total_recorded: 0,
+        }
+    }
+
+    /// Record one sample (must be time-ordered).
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        self.total_recorded += 1;
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        self.skip = self.stride - 1;
+        self.samples.push((at, value));
+        if self.samples.len() >= self.capacity {
+            // Halve resolution: drop every other stored point.
+            let mut keep = Vec::with_capacity(self.capacity / 2 + 1);
+            for (i, s) in self.samples.iter().enumerate() {
+                if i % 2 == 0 {
+                    keep.push(*s);
+                }
+            }
+            self.samples = keep;
+            self.stride *= 2;
+        }
+    }
+
+    /// Stored points (decimated), in time order.
+    #[must_use]
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Total samples ever recorded (before decimation).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Minimum stored value (NaN when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NAN, f64::min)
+    }
+
+    /// Maximum stored value (NaN when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NAN, f64::max)
+    }
+
+    /// Mean of stored values (NaN when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Resample to at most `buckets` points by bucket-averaging — the
+    /// form a plot or report consumes.
+    #[must_use]
+    pub fn resample(&self, buckets: usize) -> Vec<(SimTime, f64)> {
+        if self.samples.is_empty() || buckets == 0 {
+            return Vec::new();
+        }
+        if self.samples.len() <= buckets {
+            return self.samples.clone();
+        }
+        let per = self.samples.len().div_ceil(buckets);
+        self.samples
+            .chunks(per)
+            .map(|chunk| {
+                let mid = chunk[chunk.len() / 2].0;
+                let mean = chunk.iter().map(|&(_, v)| v).sum::<f64>() / chunk.len() as f64;
+                (mid, mean)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_everything_under_capacity() {
+        let mut ts = TimeSeries::new(100);
+        for i in 0..50u64 {
+            ts.record(SimTime::from_secs(i), i as f64);
+        }
+        assert_eq!(ts.points().len(), 50);
+        assert_eq!(ts.total_recorded(), 50);
+        assert_eq!(ts.min(), 0.0);
+        assert_eq!(ts.max(), 49.0);
+        assert!((ts.mean() - 24.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_memory_under_flood() {
+        let mut ts = TimeSeries::new(64);
+        for i in 0..1_000_000u64 {
+            ts.record(SimTime::from_millis(i), (i % 100) as f64);
+        }
+        assert!(ts.points().len() < 64, "stayed bounded: {}", ts.points().len());
+        assert_eq!(ts.total_recorded(), 1_000_000);
+        // Time ordering preserved.
+        assert!(ts.points().windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn decimation_preserves_shape() {
+        // A slow ramp: after decimation the stored series still spans the
+        // full range monotonically.
+        let mut ts = TimeSeries::new(32);
+        let n = 10_000u64;
+        for i in 0..n {
+            ts.record(SimTime::from_millis(i), i as f64);
+        }
+        let pts = ts.points();
+        assert!(pts.windows(2).all(|w| w[1].1 > w[0].1), "still a ramp");
+        assert!(pts[0].1 < 1000.0, "keeps early samples");
+        assert!(pts.last().unwrap().1 > (n as f64) * 0.8, "keeps late samples");
+    }
+
+    #[test]
+    fn resample_buckets() {
+        let mut ts = TimeSeries::new(1024);
+        for i in 0..600u64 {
+            ts.record(SimTime::from_secs(i), if i < 300 { 0.0 } else { 10.0 });
+        }
+        let r = ts.resample(10);
+        assert!(r.len() <= 10);
+        assert!(r.first().unwrap().1 < 1.0, "early buckets low");
+        assert!(r.last().unwrap().1 > 9.0, "late buckets high");
+        // Fewer samples than buckets: identity.
+        let mut small = TimeSeries::new(16);
+        small.record(SimTime::ZERO, 1.0);
+        assert_eq!(small.resample(10).len(), 1);
+        assert!(small.resample(0).is_empty());
+    }
+
+    #[test]
+    fn empty_series_stats_are_nan() {
+        let ts = TimeSeries::new(8);
+        assert!(ts.min().is_nan());
+        assert!(ts.max().is_nan());
+        assert!(ts.mean().is_nan());
+        assert!(ts.resample(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_capacity_rejected() {
+        let _ = TimeSeries::new(1);
+    }
+}

@@ -1,0 +1,30 @@
+//! SIPp-style SIP load generation.
+//!
+//! The paper drives its testbed with SIPp v3.3: one machine runs the UAC
+//! scenario (place calls at rate λ, hold for `h` seconds, hang up) and one
+//! the UAS scenario (ring, answer, wait for the BYE). This crate implements
+//! both scenario engines plus the stochastic machinery around them:
+//!
+//! * [`arrivals`] — Poisson / deterministic / MMPP call arrival processes;
+//! * [`holding`] — fixed / exponential / lognormal holding-time laws;
+//! * [`uac`] — the caller state machine (INVITE → ACK → … → BYE);
+//! * [`uas`] — the callee state machine (180 → 200 → wait BYE);
+//! * [`journal`] — per-run accounting of attempts, outcomes and SIP
+//!   message counts (the raw material of the paper's Table I).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod holding;
+pub mod journal;
+pub mod scenario;
+pub mod uac;
+pub mod uas;
+
+pub use arrivals::ArrivalProcess;
+pub use holding::HoldingDist;
+pub use journal::{CallOutcome, Journal, MsgDirection};
+pub use scenario::{CallContext, Scenario, ScenarioOutput, ScenarioRunner, Step};
+pub use uac::{Uac, UacEvent};
+pub use uas::{Uas, UasEvent};

@@ -1,0 +1,594 @@
+//! A SIPp-style scenario engine.
+//!
+//! SIPp's defining feature is the *scenario*: an XML script of messages to
+//! send, messages to expect (some optional), and pauses, executed per
+//! call. This module provides the same model as typed steps, with the two
+//! built-in scenarios the paper's testbed runs (`uac` and `uas`) plus
+//! room for custom flows (early-cancel, re-register, …).
+//!
+//! A [`ScenarioRunner`] owns one call's progress through the script: feed
+//! it inbound messages and pause completions, collect outbound messages
+//! and the terminal verdict.
+
+use des::{SimDuration, SimTime};
+use sipcore::headers::{with_tag, HeaderName};
+use sipcore::message::{format_via, Request, Response, SipMessage};
+use sipcore::sdp::{SdpCodec, SessionDescription};
+use sipcore::{Method, SipUri, StatusCode};
+
+/// One step of a scenario script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Send an INVITE with an SDP offer.
+    SendInvite,
+    /// Send the ACK for the last final response.
+    SendAck,
+    /// Send a BYE.
+    SendBye,
+    /// Send a CANCEL for the pending INVITE.
+    SendCancel,
+    /// Send a response to the last received request.
+    SendResponse {
+        /// Status to answer with.
+        status: StatusCode,
+        /// Attach an SDP answer.
+        with_sdp: bool,
+    },
+    /// Wait for a response of the given class (1 = 1xx, 2 = 2xx…).
+    Expect {
+        /// Status class expected (hundreds digit).
+        class: u16,
+        /// Optional steps are skipped when a later message arrives first
+        /// (SIPp's `optional="true"`).
+        optional: bool,
+    },
+    /// Wait for a request of the given method.
+    ExpectRequest(Method),
+    /// Pause the scenario (the conversation itself, a pickup delay…).
+    Pause(SimDuration),
+}
+
+/// A named script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (diagnostics).
+    pub name: &'static str,
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+}
+
+impl Scenario {
+    /// SIPp's standard `uac` flow, matching the paper's Fig. 2 ladder:
+    /// INVITE, collect 100/180 (optional), 200, ACK, talk for `hold`,
+    /// BYE, collect its 200.
+    #[must_use]
+    pub fn uac(hold: SimDuration) -> Self {
+        Scenario {
+            name: "uac",
+            steps: vec![
+                Step::SendInvite,
+                Step::Expect { class: 1, optional: true },
+                Step::Expect { class: 1, optional: true },
+                Step::Expect { class: 2, optional: false },
+                Step::SendAck,
+                Step::Pause(hold),
+                Step::SendBye,
+                Step::Expect { class: 2, optional: false },
+            ],
+        }
+    }
+
+    /// SIPp's standard `uas` flow: expect INVITE, ring, answer, expect
+    /// ACK, wait for the BYE, confirm it.
+    #[must_use]
+    pub fn uas() -> Self {
+        Scenario {
+            name: "uas",
+            steps: vec![
+                Step::ExpectRequest(Method::Invite),
+                Step::SendResponse { status: StatusCode::RINGING, with_sdp: false },
+                Step::SendResponse { status: StatusCode::OK, with_sdp: true },
+                Step::ExpectRequest(Method::Ack),
+                Step::ExpectRequest(Method::Bye),
+                Step::SendResponse { status: StatusCode::OK, with_sdp: false },
+            ],
+        }
+    }
+
+    /// An impatient caller: INVITE, then CANCEL after `patience` without
+    /// an answer (expects the 200-to-CANCEL and the 487).
+    #[must_use]
+    pub fn uac_early_cancel(patience: SimDuration) -> Self {
+        Scenario {
+            name: "uac-early-cancel",
+            steps: vec![
+                Step::SendInvite,
+                Step::Expect { class: 1, optional: true },
+                Step::Pause(patience),
+                Step::SendCancel,
+                Step::Expect { class: 2, optional: true },  // 200 CANCEL
+                Step::Expect { class: 4, optional: false }, // 487
+                Step::SendAck,
+            ],
+        }
+    }
+}
+
+/// What the runner asks the world to do / reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioOutput {
+    /// Transmit this message.
+    Send(SipMessage),
+    /// Arm a pause timer; call [`ScenarioRunner::pause_done`] when over.
+    StartPause(SimDuration),
+    /// The script ran to completion.
+    Completed,
+    /// The script cannot continue (unexpected message).
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Identity/addressing context for one call.
+#[derive(Debug, Clone)]
+pub struct CallContext {
+    /// Caller identity (user part).
+    pub local_user: String,
+    /// Callee extension.
+    pub remote_user: String,
+    /// SIP domain (the PBX).
+    pub domain: String,
+    /// Call-ID to use.
+    pub call_id: String,
+    /// Local media port for SDP bodies.
+    pub local_rtp_port: u16,
+}
+
+/// Executes one scenario instance for one call.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunner {
+    scenario: Scenario,
+    ctx: CallContext,
+    cursor: usize,
+    cseq: u32,
+    /// The INVITE we sent (for ACK/CANCEL construction).
+    sent_invite: Option<Request>,
+    /// Last final response received (for ACK construction).
+    last_final: Option<Response>,
+    /// Last request received (for response construction, UAS side).
+    last_request: Option<Request>,
+    local_tag: String,
+    finished: bool,
+}
+
+impl ScenarioRunner {
+    /// A runner at the start of `scenario` for call `ctx`.
+    #[must_use]
+    pub fn new(scenario: Scenario, ctx: CallContext) -> Self {
+        let local_tag = format!("tag-{}", ctx.call_id);
+        ScenarioRunner {
+            scenario,
+            ctx,
+            cursor: 0,
+            cseq: 0,
+            sent_invite: None,
+            last_final: None,
+            last_request: None,
+            local_tag,
+            finished: false,
+        }
+    }
+
+    /// True once the script completed or failed.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Scenario step index (diagnostics).
+    #[must_use]
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Begin execution: runs send-steps until the first wait point.
+    pub fn start(&mut self, now: SimTime) -> Vec<ScenarioOutput> {
+        self.advance(now)
+    }
+
+    /// A message for this call arrived.
+    pub fn on_message(&mut self, now: SimTime, msg: &SipMessage) -> Vec<ScenarioOutput> {
+        if self.finished {
+            return vec![];
+        }
+        // Find the wait step this message satisfies, skipping optional
+        // expectations (SIPp semantics).
+        let mut idx = self.cursor;
+        loop {
+            match self.scenario.steps.get(idx) {
+                Some(Step::Expect { class, optional }) => {
+                    if let SipMessage::Response(resp) = msg {
+                        if resp.status.0 / 100 == *class {
+                            self.cursor = idx + 1;
+                            if resp.status.is_final() {
+                                self.last_final = Some(resp.clone());
+                            }
+                            return self.advance(now);
+                        }
+                    }
+                    if *optional {
+                        idx += 1; // fall through to the next expectation
+                        continue;
+                    }
+                    return self.fail(format!(
+                        "expected {class}xx at step {idx}, got {msg:?}"
+                    ));
+                }
+                Some(Step::ExpectRequest(method)) => {
+                    if let SipMessage::Request(req) = msg {
+                        if req.method == *method {
+                            self.cursor = idx + 1;
+                            self.last_request = Some(req.clone());
+                            return self.advance(now);
+                        }
+                    }
+                    return self.fail(format!(
+                        "expected {method} at step {idx}, got {msg:?}"
+                    ));
+                }
+                Some(Step::Pause(_)) | Some(_) | None => {
+                    // A message while not waiting (e.g. a retransmission):
+                    // absorb quietly.
+                    return vec![];
+                }
+            }
+        }
+    }
+
+    /// A pause armed by [`ScenarioOutput::StartPause`] elapsed.
+    pub fn pause_done(&mut self, now: SimTime) -> Vec<ScenarioOutput> {
+        if self.finished {
+            return vec![];
+        }
+        if matches!(self.scenario.steps.get(self.cursor), Some(Step::Pause(_))) {
+            self.cursor += 1;
+            return self.advance(now);
+        }
+        vec![]
+    }
+
+    /// Execute consecutive send-steps until a wait point, the end, or a
+    /// pause.
+    fn advance(&mut self, _now: SimTime) -> Vec<ScenarioOutput> {
+        let mut out = Vec::new();
+        loop {
+            match self.scenario.steps.get(self.cursor).cloned() {
+                None => {
+                    self.finished = true;
+                    out.push(ScenarioOutput::Completed);
+                    return out;
+                }
+                Some(Step::SendInvite) => {
+                    let req = self.build_invite();
+                    self.sent_invite = Some(req.clone());
+                    out.push(ScenarioOutput::Send(req.into()));
+                    self.cursor += 1;
+                }
+                Some(Step::SendAck) => {
+                    let ack = self.build_in_dialog(Method::Ack, false);
+                    out.push(ScenarioOutput::Send(ack.into()));
+                    self.cursor += 1;
+                }
+                Some(Step::SendBye) => {
+                    let bye = self.build_in_dialog(Method::Bye, true);
+                    out.push(ScenarioOutput::Send(bye.into()));
+                    self.cursor += 1;
+                }
+                Some(Step::SendCancel) => {
+                    let cancel = self.build_in_dialog(Method::Cancel, false);
+                    out.push(ScenarioOutput::Send(cancel.into()));
+                    self.cursor += 1;
+                }
+                Some(Step::SendResponse { status, with_sdp }) => {
+                    match self.build_response(status, with_sdp) {
+                        Some(resp) => out.push(ScenarioOutput::Send(resp.into())),
+                        None => {
+                            out.extend(self.fail("SendResponse with no request pending".into()));
+                            return out;
+                        }
+                    }
+                    self.cursor += 1;
+                }
+                Some(Step::Pause(d)) => {
+                    out.push(ScenarioOutput::StartPause(d));
+                    return out;
+                }
+                Some(Step::Expect { .. }) | Some(Step::ExpectRequest(_)) => {
+                    return out; // wait for input
+                }
+            }
+        }
+    }
+
+    fn fail(&mut self, reason: String) -> Vec<ScenarioOutput> {
+        self.finished = true;
+        vec![ScenarioOutput::Failed { reason }]
+    }
+
+    fn next_cseq(&mut self) -> u32 {
+        self.cseq += 1;
+        self.cseq
+    }
+
+    fn build_invite(&mut self) -> Request {
+        let cseq = self.next_cseq();
+        let sdp = SessionDescription::new(
+            &self.ctx.local_user,
+            "scenario-host",
+            self.ctx.local_rtp_port,
+            SdpCodec::Pcmu,
+        );
+        Request::new(
+            Method::Invite,
+            SipUri::new(&self.ctx.remote_user, &self.ctx.domain),
+        )
+        .header(
+            HeaderName::Via,
+            format_via("scenario-host", 5060, &format!("z9hG4bKsc-{}-{cseq}", self.ctx.call_id)),
+        )
+        .header(
+            HeaderName::From,
+            format!("<sip:{}@{}>;tag={}", self.ctx.local_user, self.ctx.domain, self.local_tag),
+        )
+        .header(
+            HeaderName::To,
+            format!("<sip:{}@{}>", self.ctx.remote_user, self.ctx.domain),
+        )
+        .header(HeaderName::CallId, self.ctx.call_id.clone())
+        .header(HeaderName::CSeq, format!("{cseq} INVITE"))
+        .header(HeaderName::MaxForwards, "70")
+        .with_body("application/sdp", sdp.to_body())
+    }
+
+    fn build_in_dialog(&mut self, method: Method, bump_cseq: bool) -> Request {
+        let invite = self.sent_invite.clone().expect("in-dialog after INVITE");
+        let cseq = if bump_cseq { self.next_cseq() } else { self.cseq };
+        // To (with the peer's tag) comes from the last final response when
+        // present.
+        let to = self
+            .last_final
+            .as_ref()
+            .and_then(|r| r.headers.get(&HeaderName::To).map(str::to_owned))
+            .or_else(|| invite.headers.get(&HeaderName::To).map(str::to_owned))
+            .unwrap_or_else(|| "<sip:peer>".to_owned());
+        Request::new(method, invite.uri.clone())
+            .header(
+                HeaderName::Via,
+                format_via(
+                    "scenario-host",
+                    5060,
+                    &format!("z9hG4bKsc-{}-{}-{method}", self.ctx.call_id, cseq),
+                ),
+            )
+            .header(
+                HeaderName::From,
+                invite
+                    .headers
+                    .get(&HeaderName::From)
+                    .unwrap_or("<sip:me>")
+                    .to_owned(),
+            )
+            .header(HeaderName::To, to)
+            .header(HeaderName::CallId, self.ctx.call_id.clone())
+            .header(HeaderName::CSeq, format!("{cseq} {method}"))
+    }
+
+    fn build_response(&mut self, status: StatusCode, with_sdp: bool) -> Option<Response> {
+        let req = self.last_request.as_ref()?;
+        let mut resp = req.make_response(status);
+        let to = resp
+            .headers
+            .get(&HeaderName::To)
+            .unwrap_or("<sip:me>")
+            .to_owned();
+        if sipcore::headers::tag_of(&to).is_none() {
+            resp.headers.set(HeaderName::To, with_tag(&to, &self.local_tag));
+        }
+        if with_sdp {
+            let sdp = SessionDescription::new(
+                &self.ctx.local_user,
+                "scenario-host",
+                self.ctx.local_rtp_port,
+                SdpCodec::Pcmu,
+            );
+            resp = resp.with_body("application/sdp", sdp.to_body());
+        }
+        Some(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(call_id: &str) -> CallContext {
+        CallContext {
+            local_user: "1001".to_owned(),
+            remote_user: "1502".to_owned(),
+            domain: "pbx.unb.br".to_owned(),
+            call_id: call_id.to_owned(),
+            local_rtp_port: 6000,
+        }
+    }
+
+    fn sent(outs: &[ScenarioOutput]) -> Vec<&SipMessage> {
+        outs.iter()
+            .filter_map(|o| match o {
+                ScenarioOutput::Send(m) => Some(m),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Wire a uac runner to a uas runner directly and let them converse.
+    #[test]
+    fn uac_uas_scenarios_complete_the_fig2_ladder() {
+        let hold = SimDuration::from_secs(120);
+        let mut uac = ScenarioRunner::new(Scenario::uac(hold), ctx("duet"));
+        let mut uas = ScenarioRunner::new(Scenario::uas(), ctx("duet"));
+        let now = SimTime::ZERO;
+        let mut wire_count = 0u32;
+
+        let mut to_uas: Vec<SipMessage> = Vec::new();
+        let mut to_uac: Vec<SipMessage> = Vec::new();
+
+        let outs = uac.start(now);
+        to_uas.extend(sent(&outs).into_iter().cloned());
+        let _ = uas.start(now); // uas starts by waiting
+
+        let mut pause_pending = false;
+        let mut guard = 0;
+        while (!uac.finished() || !uas.finished()) && guard < 50 {
+            guard += 1;
+            if to_uas.is_empty() && to_uac.is_empty() {
+                // Nothing in flight: release the pause if one is armed
+                // (only the UAC pauses in this duet).
+                if pause_pending {
+                    pause_pending = false;
+                    let outs = uac.pause_done(now);
+                    to_uas.extend(sent(&outs).into_iter().cloned());
+                } else {
+                    break;
+                }
+            }
+            for msg in std::mem::take(&mut to_uas) {
+                wire_count += 1;
+                for out in uas.on_message(now, &msg) {
+                    match out {
+                        ScenarioOutput::Send(m) => to_uac.push(m),
+                        ScenarioOutput::Failed { reason } => panic!("uas failed: {reason}"),
+                        _ => {}
+                    }
+                }
+            }
+            for msg in std::mem::take(&mut to_uac) {
+                wire_count += 1;
+                let outs = uac.on_message(now, &msg);
+                for out in outs {
+                    match out {
+                        ScenarioOutput::Send(m) => to_uas.push(m),
+                        ScenarioOutput::StartPause(d) => {
+                            assert_eq!(d, hold);
+                            pause_pending = true;
+                        }
+                        ScenarioOutput::Failed { reason } => panic!("uac failed: {reason}"),
+                        ScenarioOutput::Completed => {}
+                    }
+                }
+            }
+        }
+        assert!(uac.finished(), "uac at step {}", uac.cursor());
+        assert!(uas.finished(), "uas at step {}", uas.cursor());
+        // Direct wiring (no B2BUA in between): INVITE, 180, 200, ACK,
+        // BYE, 200 = 6 messages.
+        assert_eq!(wire_count, 6);
+    }
+
+    #[test]
+    fn optional_provisionals_may_be_skipped() {
+        // A 200 arriving with no 100/180 first must still satisfy the uac
+        // scenario (both provisionals are optional).
+        let mut uac = ScenarioRunner::new(Scenario::uac(SimDuration::from_secs(1)), ctx("fast"));
+        let outs = uac.start(SimTime::ZERO);
+        let invite = sent(&outs)[0].as_request().unwrap().clone();
+        let outs = uac.on_message(SimTime::ZERO, &invite.make_response(StatusCode::OK).into());
+        let msgs = sent(&outs);
+        assert_eq!(msgs.len(), 1, "ACK comes straight out");
+        assert_eq!(msgs[0].as_request().unwrap().method, Method::Ack);
+        assert!(outs.iter().any(|o| matches!(o, ScenarioOutput::StartPause(_))));
+    }
+
+    #[test]
+    fn unexpected_final_fails_the_script() {
+        // A 486 where a 2xx is required fails the scenario (the journal
+        // layer records the blocked call).
+        let mut uac = ScenarioRunner::new(Scenario::uac(SimDuration::from_secs(1)), ctx("busy"));
+        let outs = uac.start(SimTime::ZERO);
+        let invite = sent(&outs)[0].as_request().unwrap().clone();
+        let outs = uac.on_message(
+            SimTime::ZERO,
+            &invite.make_response(StatusCode::BUSY_HERE).into(),
+        );
+        assert!(matches!(&outs[0], ScenarioOutput::Failed { reason } if reason.contains("expected 2xx")));
+        assert!(uac.finished());
+    }
+
+    #[test]
+    fn early_cancel_scenario_flow() {
+        let mut uac = ScenarioRunner::new(
+            Scenario::uac_early_cancel(SimDuration::from_secs(5)),
+            ctx("cancel"),
+        );
+        let outs = uac.start(SimTime::ZERO);
+        let invite = sent(&outs)[0].as_request().unwrap().clone();
+        // Ringing arrives, then the pause runs out.
+        let outs = uac.on_message(
+            SimTime::ZERO,
+            &invite.make_response(StatusCode::RINGING).into(),
+        );
+        assert!(outs.iter().any(|o| matches!(o, ScenarioOutput::StartPause(_))));
+        let outs = uac.pause_done(SimTime::from_secs(5));
+        let msgs = sent(&outs);
+        assert_eq!(msgs[0].as_request().unwrap().method, Method::Cancel);
+        // 200-to-CANCEL (optional 2xx), then the 487, then the ACK.
+        let cancel = msgs[0].as_request().unwrap().clone();
+        uac.on_message(SimTime::from_secs(5), &cancel.make_response(StatusCode::OK).into());
+        let outs = uac.on_message(
+            SimTime::from_secs(5),
+            &invite.make_response(StatusCode::REQUEST_TERMINATED).into(),
+        );
+        let msgs = sent(&outs);
+        assert_eq!(msgs[0].as_request().unwrap().method, Method::Ack);
+        assert!(uac.finished());
+        assert!(!outs.iter().any(|o| matches!(o, ScenarioOutput::Failed { .. })));
+    }
+
+    #[test]
+    fn uas_requires_the_right_method() {
+        let mut uas = ScenarioRunner::new(Scenario::uas(), ctx("strict"));
+        uas.start(SimTime::ZERO);
+        let bye = Request::new(Method::Bye, SipUri::new("x", "pbx.unb.br"))
+            .header(HeaderName::CallId, "strict".to_owned())
+            .header(HeaderName::CSeq, "1 BYE");
+        let outs = uas.on_message(SimTime::ZERO, &bye.into());
+        assert!(matches!(&outs[0], ScenarioOutput::Failed { .. }));
+    }
+
+    #[test]
+    fn retransmissions_while_not_waiting_are_absorbed() {
+        let mut uac = ScenarioRunner::new(Scenario::uac(SimDuration::from_secs(9)), ctx("retx"));
+        let outs = uac.start(SimTime::ZERO);
+        let invite = sent(&outs)[0].as_request().unwrap().clone();
+        let ok: SipMessage = invite.make_response(StatusCode::OK).into();
+        let _ = uac.on_message(SimTime::ZERO, &ok);
+        // Now paused (the conversation); a retransmitted 200 does nothing.
+        let outs = uac.on_message(SimTime::ZERO, &ok);
+        assert!(outs.is_empty());
+        assert!(!uac.finished());
+    }
+
+    #[test]
+    fn cseq_discipline_in_dialog() {
+        let mut uac = ScenarioRunner::new(Scenario::uac(SimDuration::from_secs(1)), ctx("cseq"));
+        let outs = uac.start(SimTime::ZERO);
+        let invite = sent(&outs)[0].as_request().unwrap().clone();
+        assert_eq!(invite.cseq_number(), Some(1));
+        let outs = uac.on_message(SimTime::ZERO, &invite.make_response(StatusCode::OK).into());
+        let ack = sent(&outs)[0].as_request().unwrap().clone();
+        assert_eq!(ack.cseq_number(), Some(1), "ACK shares the INVITE CSeq");
+        let outs = uac.pause_done(SimTime::from_secs(1));
+        let bye = sent(&outs)[0].as_request().unwrap().clone();
+        assert_eq!(bye.cseq_number(), Some(2), "BYE bumps the CSeq");
+    }
+}

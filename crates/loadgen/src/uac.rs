@@ -1,0 +1,569 @@
+//! The UAC (caller) scenario engine — SIPp's client side.
+//!
+//! Scenario, exactly as the paper's Fig. 2 ladder: send INVITE with an SDP
+//! offer, collect 100/180, ACK the 200, stream RTP for the holding time,
+//! send BYE, collect its 200. Blocked (486/503) and failed (other 4xx/5xx)
+//! attempts are ACKed and recorded.
+
+use crate::journal::{CallOutcome, Journal, MsgDirection};
+use des::{SimDuration, SimTime};
+use netsim::NodeId;
+use sipcore::headers::HeaderName;
+use sipcore::message::{format_via, Request, SipMessage};
+use sipcore::sdp::{SdpCodec, SessionDescription};
+use sipcore::{Method, SipUri, StatusCode};
+use std::collections::HashMap;
+
+/// Something the UAC asks the world to do or reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UacEvent {
+    /// Transmit a SIP message.
+    SendSip {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: SipMessage,
+    },
+    /// A call was answered: start media and schedule the hangup.
+    Answered {
+        /// The call's Call-ID.
+        call_id: String,
+        /// Local media port for this call.
+        local_rtp_port: u16,
+        /// Peer (PBX) node to stream to.
+        remote_node: NodeId,
+        /// Peer media port (from the answer SDP).
+        remote_rtp_port: u16,
+        /// How long to hold before sending BYE.
+        hangup_after: SimDuration,
+    },
+    /// A call reached a terminal outcome.
+    Ended {
+        /// The call's Call-ID.
+        call_id: String,
+        /// How it ended.
+        outcome: CallOutcome,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UacState {
+    Inviting,
+    Answered,
+    ByeSent,
+}
+
+#[derive(Debug, Clone)]
+struct UacCall {
+    state: UacState,
+    invite: Request,
+    local_rtp_port: u16,
+    hold: SimDuration,
+}
+
+/// The UAC engine: many concurrent calls from one generator host.
+pub struct Uac {
+    /// This generator's node.
+    pub node: NodeId,
+    /// The PBX node all signalling goes to.
+    pub pbx_node: NodeId,
+    /// PBX hostname for request URIs.
+    pub pbx_host: String,
+    /// Instance tag embedded in Call-IDs — lets several UAC engines share
+    /// one host (e.g. one engine per PBX in a server-farm experiment)
+    /// while keeping their dialogs distinguishable.
+    pub tag: u32,
+    /// Accounting ledger.
+    pub journal: Journal,
+    calls: HashMap<String, UacCall>,
+    /// Registrations awaiting completion (digest flow): call-id → (uid,
+    /// next CSeq to use on the authenticated retry).
+    pending_registrations: HashMap<String, (String, u32)>,
+    /// Registrations confirmed with a 200.
+    pub registrations_confirmed: u64,
+    next_serial: u64,
+    next_port: u16,
+}
+
+impl Uac {
+    /// A UAC on `node` talking to the PBX at `pbx_node`/`pbx_host`.
+    #[must_use]
+    pub fn new(node: NodeId, pbx_node: NodeId, pbx_host: &str) -> Self {
+        Uac::with_tag(node, pbx_node, pbx_host, u32::from(node.0))
+    }
+
+    /// Like [`Uac::new`] with an explicit Call-ID instance tag.
+    #[must_use]
+    pub fn with_tag(node: NodeId, pbx_node: NodeId, pbx_host: &str, tag: u32) -> Self {
+        Uac {
+            node,
+            pbx_node,
+            pbx_host: pbx_host.to_owned(),
+            tag,
+            journal: Journal::new(),
+            calls: HashMap::new(),
+            pending_registrations: HashMap::new(),
+            registrations_confirmed: 0,
+            next_serial: 0,
+            // Stagger port ranges per instance so several engines sharing
+            // one host never collide on local media ports.
+            next_port: 20_000 + ((tag as u16) % 16) * 2048,
+        }
+    }
+
+    /// Number of calls not yet terminally resolved.
+    #[must_use]
+    pub fn open_calls(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Build and send a REGISTER for `uid` (password per the directory's
+    /// `pw-<uid>` convention).
+    pub fn register(&mut self, uid: &str) -> Vec<UacEvent> {
+        let req = Request::new(Method::Register, SipUri::server(&self.pbx_host))
+            .header(HeaderName::Via, format_via("uac", 5060, &format!("z9hG4bKr{uid}")))
+            .header(HeaderName::From, format!("<sip:{uid}@{}>;tag=reg", self.pbx_host))
+            .header(HeaderName::To, format!("<sip:{uid}@{}>", self.pbx_host))
+            .header(HeaderName::CallId, format!("reg-{uid}-{}", self.tag))
+            .header(HeaderName::CSeq, "1 REGISTER")
+            .header(HeaderName::Authorization, format!("Simple {uid} pw-{uid}"))
+            .header(HeaderName::Expires, "3600");
+        vec![self.send(req.into())]
+    }
+
+    /// Start an RFC 2617 digest registration for `uid`: send the initial
+    /// REGISTER without credentials and answer the 401 challenge when it
+    /// arrives (handled in [`Uac::on_sip`]).
+    pub fn register_digest(&mut self, uid: &str) -> Vec<UacEvent> {
+        let call_id = format!("dreg-{uid}-{}", self.tag);
+        let req = self.build_register(uid, &call_id, 1, None);
+        self.pending_registrations
+            .insert(call_id, (uid.to_owned(), 2));
+        vec![self.send(req.into())]
+    }
+
+    fn build_register(
+        &self,
+        uid: &str,
+        call_id: &str,
+        cseq: u32,
+        authorization: Option<String>,
+    ) -> Request {
+        let mut req = Request::new(Method::Register, SipUri::server(&self.pbx_host))
+            .header(HeaderName::Via, format_via("uac", 5060, &format!("z9hG4bKdr{uid}{cseq}")))
+            .header(HeaderName::From, format!("<sip:{uid}@{}>;tag=reg", self.pbx_host))
+            .header(HeaderName::To, format!("<sip:{uid}@{}>", self.pbx_host))
+            .header(HeaderName::CallId, call_id.to_owned())
+            .header(HeaderName::CSeq, format!("{cseq} REGISTER"))
+            .header(HeaderName::Expires, "3600");
+        if let Some(auth) = authorization {
+            req.headers.push(HeaderName::Authorization, auth);
+        }
+        req
+    }
+
+    /// Handle a response to a pending digest registration. Returns `None`
+    /// when the response does not belong to one.
+    fn on_register_response(&mut self, resp: &sipcore::Response) -> Option<Vec<UacEvent>> {
+        let call_id = resp.call_id()?.to_owned();
+        let (uid, next_cseq) = self.pending_registrations.get(&call_id)?.clone();
+        if resp.status == StatusCode::UNAUTHORIZED {
+            let www = resp.headers.get(&HeaderName::WwwAuthenticate)?;
+            let challenge = sipcore::auth::DigestChallenge::parse(www)?;
+            let uri = format!("sip:{}", self.pbx_host);
+            let creds = sipcore::auth::DigestCredentials::answer(
+                &challenge,
+                &uid,
+                &format!("pw-{uid}"),
+                "REGISTER",
+                &uri,
+            );
+            self.pending_registrations
+                .insert(call_id.clone(), (uid.clone(), next_cseq + 1));
+            let req = self.build_register(&uid, &call_id, next_cseq, Some(creds.to_header_value()));
+            return Some(vec![self.send(req.into())]);
+        }
+        if resp.status.is_success() {
+            self.pending_registrations.remove(&call_id);
+            self.registrations_confirmed += 1;
+            return Some(vec![]);
+        }
+        if resp.status.is_error() {
+            self.pending_registrations.remove(&call_id);
+            return Some(vec![]);
+        }
+        Some(vec![])
+    }
+
+    /// Place a call from `caller_uid` to `callee_ext`, holding for `hold`
+    /// once answered. Returns the new Call-ID and the INVITE to transmit.
+    pub fn start_call(
+        &mut self,
+        _now: SimTime,
+        caller_uid: &str,
+        callee_ext: &str,
+        hold: SimDuration,
+    ) -> (String, Vec<UacEvent>) {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let call_id = format!("uac-{}-{serial}", self.tag);
+        let local_rtp_port = self.next_port;
+        self.next_port = self.next_port.wrapping_add(2).max(20_000);
+        let sdp = SessionDescription::new(caller_uid, "sipp-client", local_rtp_port, SdpCodec::Pcmu);
+        let invite = Request::new(Method::Invite, SipUri::new(callee_ext, &self.pbx_host))
+            .header(
+                HeaderName::Via,
+                format_via("sipp-client", 5060, &format!("z9hG4bKinv{serial}")),
+            )
+            .header(
+                HeaderName::From,
+                format!("<sip:{caller_uid}@{}>;tag=uac{serial}", self.pbx_host),
+            )
+            .header(HeaderName::To, format!("<sip:{callee_ext}@{}>", self.pbx_host))
+            .header(HeaderName::CallId, call_id.clone())
+            .header(HeaderName::CSeq, "1 INVITE")
+            .header(HeaderName::MaxForwards, "70")
+            .header(HeaderName::UserAgent, "loadgen-uac (SIPp-compatible)")
+            .with_body("application/sdp", sdp.to_body());
+        self.calls.insert(
+            call_id.clone(),
+            UacCall {
+                state: UacState::Inviting,
+                invite: invite.clone(),
+                local_rtp_port,
+                hold,
+            },
+        );
+        self.journal.call_attempted();
+        let ev = self.send(invite.into());
+        (call_id, vec![ev])
+    }
+
+    /// Hang up an answered call: send the BYE.
+    pub fn hangup(&mut self, _now: SimTime, call_id: &str) -> Vec<UacEvent> {
+        let Some(call) = self.calls.get_mut(call_id) else {
+            return vec![];
+        };
+        if call.state != UacState::Answered {
+            return vec![];
+        }
+        call.state = UacState::ByeSent;
+        let bye = Request::new(Method::Bye, call.invite.uri.clone())
+            .header(
+                HeaderName::Via,
+                format_via("sipp-client", 5060, &format!("z9hG4bKbye-{call_id}")),
+            )
+            .header(
+                HeaderName::From,
+                call.invite
+                    .headers
+                    .get(&HeaderName::From)
+                    .unwrap_or("<sip:uac>")
+                    .to_owned(),
+            )
+            .header(
+                HeaderName::To,
+                call.invite
+                    .headers
+                    .get(&HeaderName::To)
+                    .unwrap_or("<sip:uas>")
+                    .to_owned(),
+            )
+            .header(HeaderName::CallId, call_id.to_owned())
+            .header(HeaderName::CSeq, "2 BYE");
+        vec![self.send(bye.into())]
+    }
+
+    /// Handle an inbound SIP message.
+    pub fn on_sip(&mut self, _now: SimTime, msg: SipMessage) -> Vec<UacEvent> {
+        self.journal.count_sip(&msg, MsgDirection::Received);
+        let SipMessage::Response(resp) = msg else {
+            return vec![]; // the UAC never receives requests in this scenario
+        };
+        if resp.cseq_method() == Some(Method::Register) {
+            return self.on_register_response(&resp).unwrap_or_default();
+        }
+        let Some(call_id) = resp.call_id().map(str::to_owned) else {
+            return vec![];
+        };
+        let Some(call) = self.calls.get_mut(&call_id) else {
+            return vec![];
+        };
+        match resp.cseq_method() {
+            Some(Method::Invite) => {
+                if resp.status.is_provisional() {
+                    return vec![]; // 100/180: progress only
+                }
+                if resp.status.is_success() && call.state == UacState::Inviting {
+                    call.state = UacState::Answered;
+                    let remote_rtp_port = SessionDescription::parse(&resp.body)
+                        .map(|s| s.audio_port)
+                        .unwrap_or(0);
+                    let local_rtp_port = call.local_rtp_port;
+                    let hold = call.hold;
+                    let ack = self.build_ack(&call_id);
+                    return vec![
+                        self.send(ack.into()),
+                        UacEvent::Answered {
+                            call_id,
+                            local_rtp_port,
+                            remote_node: self.pbx_node,
+                            remote_rtp_port,
+                            hangup_after: hold,
+                        },
+                    ];
+                }
+                if resp.status.is_error() {
+                    // ACK the failure and close the attempt.
+                    let outcome = match resp.status {
+                        StatusCode::BUSY_HERE | StatusCode::SERVICE_UNAVAILABLE => {
+                            CallOutcome::Blocked
+                        }
+                        _ => CallOutcome::Failed,
+                    };
+                    let ack = self.build_ack(&call_id);
+                    self.calls.remove(&call_id);
+                    self.journal.call_finished(outcome);
+                    return vec![
+                        self.send(ack.into()),
+                        UacEvent::Ended { call_id, outcome },
+                    ];
+                }
+                vec![]
+            }
+            Some(Method::Bye) if resp.status.is_final() => {
+                self.calls.remove(&call_id);
+                self.journal.call_finished(CallOutcome::Completed);
+                vec![UacEvent::Ended {
+                    call_id,
+                    outcome: CallOutcome::Completed,
+                }]
+            }
+            _ => vec![],
+        }
+    }
+
+    /// Close the books: any call still open is abandoned.
+    pub fn finish(&mut self) -> Vec<UacEvent> {
+        let mut out = Vec::new();
+        for (call_id, _) in std::mem::take(&mut self.calls) {
+            self.journal.call_finished(CallOutcome::Abandoned);
+            out.push(UacEvent::Ended {
+                call_id,
+                outcome: CallOutcome::Abandoned,
+            });
+        }
+        out
+    }
+
+    fn build_ack(&self, call_id: &str) -> Request {
+        let call = &self.calls[call_id];
+        Request::new(Method::Ack, call.invite.uri.clone())
+            .header(
+                HeaderName::Via,
+                call.invite
+                    .headers
+                    .get(&HeaderName::Via)
+                    .unwrap_or("SIP/2.0/UDP uac")
+                    .to_owned(),
+            )
+            .header(HeaderName::CallId, call_id.to_owned())
+            .header(HeaderName::CSeq, "1 ACK")
+            .header(
+                HeaderName::From,
+                call.invite
+                    .headers
+                    .get(&HeaderName::From)
+                    .unwrap_or("<sip:uac>")
+                    .to_owned(),
+            )
+            .header(
+                HeaderName::To,
+                call.invite
+                    .headers
+                    .get(&HeaderName::To)
+                    .unwrap_or("<sip:uas>")
+                    .to_owned(),
+            )
+    }
+
+    fn send(&mut self, msg: SipMessage) -> UacEvent {
+        self.journal.count_sip(&msg, MsgDirection::Sent);
+        UacEvent::SendSip {
+            to: self.pbx_node,
+            msg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sipcore::Response;
+
+    const UAC_NODE: NodeId = NodeId(1);
+    const PBX_NODE: NodeId = NodeId(3);
+
+    fn uac() -> Uac {
+        Uac::new(UAC_NODE, PBX_NODE, "pbx.unb.br")
+    }
+
+    fn sip_of(ev: &UacEvent) -> &SipMessage {
+        match ev {
+            UacEvent::SendSip { msg, .. } => msg,
+            other => panic!("expected SendSip, got {other:?}"),
+        }
+    }
+
+    fn respond(invite: &Request, status: StatusCode, sdp_port: Option<u16>) -> Response {
+        let mut r = invite.make_response(status);
+        if let Some(port) = sdp_port {
+            r = r.with_body(
+                "application/sdp",
+                SessionDescription::new("pbx", "pbx.unb.br", port, SdpCodec::Pcmu).to_body(),
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn happy_path_invite_ack_bye() {
+        let mut u = uac();
+        let (cid, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(120));
+        assert_eq!(evs.len(), 1);
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        assert_eq!(invite.method, Method::Invite);
+        assert_eq!(invite.call_id(), Some(cid.as_str()));
+        assert!(SessionDescription::parse(&invite.body).is_some());
+        assert_eq!(u.open_calls(), 1);
+
+        // 100 and 180 produce nothing.
+        assert!(u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::TRYING, None).into()).is_empty());
+        assert!(u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::RINGING, None).into()).is_empty());
+
+        // 200 with SDP: ACK + Answered.
+        let evs = u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::OK, Some(10_000)).into());
+        assert_eq!(evs.len(), 2);
+        assert_eq!(sip_of(&evs[0]).as_request().unwrap().method, Method::Ack);
+        match &evs[1] {
+            UacEvent::Answered {
+                call_id,
+                remote_rtp_port,
+                remote_node,
+                hangup_after,
+                ..
+            } => {
+                assert_eq!(call_id, &cid);
+                assert_eq!(*remote_rtp_port, 10_000);
+                assert_eq!(*remote_node, PBX_NODE);
+                assert_eq!(*hangup_after, SimDuration::from_secs(120));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Hang up: BYE goes out.
+        let evs = u.hangup(SimTime::from_secs(120), &cid);
+        assert_eq!(evs.len(), 1);
+        let bye = sip_of(&evs[0]).as_request().unwrap().clone();
+        assert_eq!(bye.method, Method::Bye);
+        assert_eq!(bye.headers.get(&HeaderName::CSeq), Some("2 BYE"));
+
+        // 200 for the BYE closes the call.
+        let evs = u.on_sip(SimTime::from_secs(120), respond(&bye, StatusCode::OK, None).into());
+        assert_eq!(
+            evs,
+            vec![UacEvent::Ended {
+                call_id: cid,
+                outcome: CallOutcome::Completed
+            }]
+        );
+        assert_eq!(u.open_calls(), 0);
+        assert_eq!(u.journal.outcome_count(CallOutcome::Completed), 1);
+    }
+
+    #[test]
+    fn busy_is_blocked_and_acked() {
+        let mut u = uac();
+        let (cid, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(120));
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        let evs = u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::BUSY_HERE, None).into());
+        assert_eq!(evs.len(), 2);
+        assert_eq!(sip_of(&evs[0]).as_request().unwrap().method, Method::Ack);
+        assert_eq!(
+            evs[1],
+            UacEvent::Ended {
+                call_id: cid,
+                outcome: CallOutcome::Blocked
+            }
+        );
+        assert_eq!(u.journal.outcome_count(CallOutcome::Blocked), 1);
+        assert!((u.journal.blocking_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_unavailable_also_blocked_404_failed() {
+        let mut u = uac();
+        let (_, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(1));
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::SERVICE_UNAVAILABLE, None).into());
+        assert_eq!(u.journal.outcome_count(CallOutcome::Blocked), 1);
+
+        let (_, evs) = u.start_call(SimTime::ZERO, "1001", "9999", SimDuration::from_secs(1));
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::NOT_FOUND, None).into());
+        assert_eq!(u.journal.outcome_count(CallOutcome::Failed), 1);
+    }
+
+    #[test]
+    fn hangup_before_answer_is_noop() {
+        let mut u = uac();
+        let (cid, _) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(1));
+        assert!(u.hangup(SimTime::ZERO, &cid).is_empty());
+        assert!(u.hangup(SimTime::ZERO, "no-such-call").is_empty());
+    }
+
+    #[test]
+    fn duplicate_200_does_not_double_answer() {
+        let mut u = uac();
+        let (_, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(1));
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        let ok = respond(&invite, StatusCode::OK, Some(10_000));
+        let first = u.on_sip(SimTime::ZERO, ok.clone().into());
+        assert_eq!(first.len(), 2);
+        let second = u.on_sip(SimTime::ZERO, ok.into());
+        assert!(second.is_empty(), "retransmitted 200 absorbed");
+    }
+
+    #[test]
+    fn register_message_shape() {
+        let mut u = uac();
+        let evs = u.register("1001");
+        let req = sip_of(&evs[0]).as_request().unwrap();
+        assert_eq!(req.method, Method::Register);
+        assert_eq!(
+            req.headers.get(&HeaderName::Authorization),
+            Some("Simple 1001 pw-1001")
+        );
+    }
+
+    #[test]
+    fn finish_abandons_open_calls() {
+        let mut u = uac();
+        u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(1));
+        u.start_call(SimTime::ZERO, "1002", "2002", SimDuration::from_secs(1));
+        let evs = u.finish();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(u.journal.outcome_count(CallOutcome::Abandoned), 2);
+        assert_eq!(u.open_calls(), 0);
+    }
+
+    #[test]
+    fn journal_counts_both_directions() {
+        let mut u = uac();
+        let (_, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(1));
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::TRYING, None).into());
+        assert_eq!(u.journal.request_count(Method::Invite), 1);
+        assert_eq!(u.journal.response_count(StatusCode::TRYING), 1);
+    }
+}

@@ -1,0 +1,386 @@
+//! The UAS (callee) scenario engine — SIPp's server side.
+//!
+//! Scenario: on INVITE answer 180 Ringing immediately, then 200 OK with an
+//! SDP answer (after an optional pickup delay), absorb the ACK, stream
+//! media, and answer the BYE with 200.
+
+use crate::journal::{Journal, MsgDirection};
+use des::{SimDuration, SimTime};
+use netsim::NodeId;
+use sipcore::headers::{with_tag, HeaderName};
+use sipcore::message::{Request, SipMessage};
+use sipcore::sdp::{SdpCodec, SessionDescription};
+use sipcore::{Method, StatusCode};
+use std::collections::HashMap;
+
+/// Something the UAS asks the world to do or reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UasEvent {
+    /// Transmit a SIP message.
+    SendSip {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: SipMessage,
+    },
+    /// The 200 OK should be sent at `at` (pickup delay pending); the world
+    /// schedules a timer and then calls [`Uas::answer`].
+    AnswerDue {
+        /// The call to answer.
+        call_id: String,
+        /// When to answer.
+        at: SimTime,
+    },
+    /// ACK received — media may flow on these coordinates.
+    MediaReady {
+        /// The call's Call-ID (callee-leg).
+        call_id: String,
+        /// Local media port this UAS listens on.
+        local_rtp_port: u16,
+        /// Peer node (the PBX relay).
+        remote_node: NodeId,
+        /// Peer media port (from the INVITE's SDP offer).
+        remote_rtp_port: u16,
+    },
+    /// The far end hung up; media for this call should stop.
+    Ended {
+        /// The call's Call-ID.
+        call_id: String,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UasState {
+    Ringing,
+    AnswerSent,
+    Confirmed,
+}
+
+#[derive(Debug, Clone)]
+struct UasCall {
+    state: UasState,
+    invite: Request,
+    peer: NodeId,
+    local_rtp_port: u16,
+    remote_rtp_port: u16,
+    to_tag: String,
+}
+
+/// The UAS engine.
+pub struct Uas {
+    /// This receiver's node.
+    pub node: NodeId,
+    /// Time between 180 and 200 (0 = answer immediately, the SIPp default).
+    pub pickup_delay: SimDuration,
+    /// Accounting ledger.
+    pub journal: Journal,
+    calls: HashMap<String, UasCall>,
+    next_port: u16,
+    next_tag: u64,
+}
+
+impl Uas {
+    /// A UAS on `node` answering after `pickup_delay`.
+    #[must_use]
+    pub fn new(node: NodeId, pickup_delay: SimDuration) -> Self {
+        Uas {
+            node,
+            pickup_delay,
+            journal: Journal::new(),
+            calls: HashMap::new(),
+            next_port: 30_000,
+            next_tag: 0,
+        }
+    }
+
+    /// Calls currently ringing or in progress.
+    #[must_use]
+    pub fn open_calls(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Handle an inbound SIP message from `from`.
+    pub fn on_sip(&mut self, now: SimTime, from: NodeId, msg: SipMessage) -> Vec<UasEvent> {
+        self.journal.count_sip(&msg, MsgDirection::Received);
+        let SipMessage::Request(req) = msg else {
+            return vec![]; // (200-to-BYE when we hang up is not modelled here)
+        };
+        match req.method {
+            Method::Invite => self.on_invite(now, from, req),
+            Method::Ack => self.on_ack(&req),
+            Method::Bye => self.on_bye(&req),
+            Method::Cancel => self.on_cancel(&req),
+            _ => vec![],
+        }
+    }
+
+    fn on_invite(&mut self, now: SimTime, from: NodeId, req: Request) -> Vec<UasEvent> {
+        let Some(call_id) = req.call_id().map(str::to_owned) else {
+            return vec![];
+        };
+        if self.calls.contains_key(&call_id) {
+            return vec![]; // retransmission: absorb
+        }
+        let remote_rtp_port = SessionDescription::parse(&req.body)
+            .map(|s| s.audio_port)
+            .unwrap_or(0);
+        let local_rtp_port = self.next_port;
+        self.next_port = self.next_port.wrapping_add(2).max(30_000);
+        let tag = format!("uas{}", self.next_tag);
+        self.next_tag += 1;
+
+        let mut ringing = req.make_response(StatusCode::RINGING);
+        let to = ringing
+            .headers
+            .get(&HeaderName::To)
+            .unwrap_or("<sip:uas>")
+            .to_owned();
+        ringing.headers.set(HeaderName::To, with_tag(&to, &tag));
+
+        self.calls.insert(
+            call_id.clone(),
+            UasCall {
+                state: UasState::Ringing,
+                invite: req,
+                peer: from,
+                local_rtp_port,
+                remote_rtp_port,
+                to_tag: tag,
+            },
+        );
+
+        let mut events = vec![self.send(from, ringing.into())];
+        if self.pickup_delay == SimDuration::ZERO {
+            events.extend(self.answer(now, &call_id));
+        } else {
+            events.push(UasEvent::AnswerDue {
+                call_id,
+                at: now + self.pickup_delay,
+            });
+        }
+        events
+    }
+
+    /// Emit the 200 OK for a ringing call (immediately from
+    /// [`Uas::on_sip`] or later when the world's pickup timer fires).
+    pub fn answer(&mut self, _now: SimTime, call_id: &str) -> Vec<UasEvent> {
+        let Some(call) = self.calls.get_mut(call_id) else {
+            return vec![];
+        };
+        if call.state != UasState::Ringing {
+            return vec![];
+        }
+        call.state = UasState::AnswerSent;
+        let sdp = SessionDescription::new("sipp-server", "sipp-server", call.local_rtp_port, SdpCodec::Pcmu);
+        let mut ok = call.invite.make_response(StatusCode::OK);
+        let to = ok
+            .headers
+            .get(&HeaderName::To)
+            .unwrap_or("<sip:uas>")
+            .to_owned();
+        ok.headers
+            .set(HeaderName::To, with_tag(&to, &call.to_tag));
+        let ok = ok.with_body("application/sdp", sdp.to_body());
+        let peer = call.peer;
+        vec![self.send(peer, ok.into())]
+    }
+
+    fn on_ack(&mut self, req: &Request) -> Vec<UasEvent> {
+        let Some(call_id) = req.call_id().map(str::to_owned) else {
+            return vec![];
+        };
+        let Some(call) = self.calls.get_mut(&call_id) else {
+            return vec![];
+        };
+        if call.state != UasState::AnswerSent {
+            return vec![];
+        }
+        call.state = UasState::Confirmed;
+        vec![UasEvent::MediaReady {
+            call_id,
+            local_rtp_port: call.local_rtp_port,
+            remote_node: call.peer,
+            remote_rtp_port: call.remote_rtp_port,
+        }]
+    }
+
+    fn on_bye(&mut self, req: &Request) -> Vec<UasEvent> {
+        let Some(call_id) = req.call_id().map(str::to_owned) else {
+            return vec![];
+        };
+        let ok = req.make_response(StatusCode::OK);
+        match self.calls.remove(&call_id) {
+            Some(call) => {
+                vec![
+                    self.send(call.peer, ok.into()),
+                    UasEvent::Ended { call_id },
+                ]
+            }
+            None => vec![], // unknown call: nothing to answer to (no peer)
+        }
+    }
+
+    fn on_cancel(&mut self, req: &Request) -> Vec<UasEvent> {
+        let Some(call_id) = req.call_id().map(str::to_owned) else {
+            return vec![];
+        };
+        match self.calls.remove(&call_id) {
+            Some(call) => {
+                let ok = req.make_response(StatusCode::OK);
+                vec![
+                    self.send(call.peer, ok.into()),
+                    UasEvent::Ended { call_id },
+                ]
+            }
+            None => vec![],
+        }
+    }
+
+    fn send(&mut self, to: NodeId, msg: SipMessage) -> UasEvent {
+        self.journal.count_sip(&msg, MsgDirection::Sent);
+        UasEvent::SendSip { to, msg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sipcore::message::format_via;
+    use sipcore::SipUri;
+
+    const UAS_NODE: NodeId = NodeId(2);
+    const PBX_NODE: NodeId = NodeId(3);
+
+    fn invite(call_id: &str) -> Request {
+        let sdp = SessionDescription::new("asterisk", "pbx", 10_002, SdpCodec::Pcmu);
+        Request::new(Method::Invite, SipUri::new("2001", "pbx.unb.br"))
+            .header(HeaderName::Via, format_via("pbx", 5060, "z9hG4bKx"))
+            .header(HeaderName::From, "<sip:1001@pbx.unb.br>;tag=pbx")
+            .header(HeaderName::To, "<sip:2001@pbx.unb.br>")
+            .header(HeaderName::CallId, call_id.to_owned())
+            .header(HeaderName::CSeq, "1 INVITE")
+            .with_body("application/sdp", sdp.to_body())
+    }
+
+    fn sip_of(ev: &UasEvent) -> &SipMessage {
+        match ev {
+            UasEvent::SendSip { msg, .. } => msg,
+            other => panic!("expected SendSip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn immediate_answer_sends_180_then_200() {
+        let mut u = Uas::new(UAS_NODE, SimDuration::ZERO);
+        let evs = u.on_sip(SimTime::ZERO, PBX_NODE, invite("c1").into());
+        assert_eq!(evs.len(), 2);
+        let ringing = sip_of(&evs[0]).as_response().unwrap();
+        assert_eq!(ringing.status, StatusCode::RINGING);
+        assert!(
+            sipcore::headers::tag_of(ringing.headers.get(&HeaderName::To).unwrap()).is_some(),
+            "UAS adds a To tag"
+        );
+        let ok = sip_of(&evs[1]).as_response().unwrap();
+        assert_eq!(ok.status, StatusCode::OK);
+        let sdp = SessionDescription::parse(&ok.body).unwrap();
+        assert_eq!(sdp.audio_port, 30_000);
+        assert_eq!(u.open_calls(), 1);
+    }
+
+    #[test]
+    fn delayed_answer_emits_answer_due() {
+        let mut u = Uas::new(UAS_NODE, SimDuration::from_secs(2));
+        let evs = u.on_sip(SimTime::from_secs(10), PBX_NODE, invite("c2").into());
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            evs[1],
+            UasEvent::AnswerDue {
+                call_id: "c2".to_owned(),
+                at: SimTime::from_secs(12)
+            }
+        );
+        // World fires the timer.
+        let evs = u.answer(SimTime::from_secs(12), "c2");
+        assert_eq!(evs.len(), 1);
+        assert_eq!(sip_of(&evs[0]).as_response().unwrap().status, StatusCode::OK);
+        // Double answer is absorbed.
+        assert!(u.answer(SimTime::from_secs(12), "c2").is_empty());
+        assert!(u.answer(SimTime::from_secs(12), "nope").is_empty());
+    }
+
+    #[test]
+    fn ack_triggers_media_ready() {
+        let mut u = Uas::new(UAS_NODE, SimDuration::ZERO);
+        u.on_sip(SimTime::ZERO, PBX_NODE, invite("c3").into());
+        let ack = Request::new(Method::Ack, SipUri::new("2001", "pbx.unb.br"))
+            .header(HeaderName::CallId, "c3".to_owned())
+            .header(HeaderName::CSeq, "1 ACK");
+        let evs = u.on_sip(SimTime::ZERO, PBX_NODE, ack.clone().into());
+        assert_eq!(
+            evs,
+            vec![UasEvent::MediaReady {
+                call_id: "c3".to_owned(),
+                local_rtp_port: 30_000,
+                remote_node: PBX_NODE,
+                remote_rtp_port: 10_002,
+            }]
+        );
+        // Duplicate ACK absorbed.
+        assert!(u.on_sip(SimTime::ZERO, PBX_NODE, ack.into()).is_empty());
+    }
+
+    #[test]
+    fn bye_gets_200_and_ends_call() {
+        let mut u = Uas::new(UAS_NODE, SimDuration::ZERO);
+        u.on_sip(SimTime::ZERO, PBX_NODE, invite("c4").into());
+        let bye = Request::new(Method::Bye, SipUri::new("2001", "pbx.unb.br"))
+            .header(HeaderName::CallId, "c4".to_owned())
+            .header(HeaderName::CSeq, "2 BYE");
+        let evs = u.on_sip(SimTime::from_secs(100), PBX_NODE, bye.into());
+        assert_eq!(evs.len(), 2);
+        assert_eq!(sip_of(&evs[0]).as_response().unwrap().status, StatusCode::OK);
+        assert_eq!(evs[1], UasEvent::Ended { call_id: "c4".to_owned() });
+        assert_eq!(u.open_calls(), 0);
+        // BYE for unknown call produces nothing.
+        let bye2 = Request::new(Method::Bye, SipUri::new("2001", "pbx.unb.br"))
+            .header(HeaderName::CallId, "ghost".to_owned())
+            .header(HeaderName::CSeq, "2 BYE");
+        assert!(u.on_sip(SimTime::ZERO, PBX_NODE, bye2.into()).is_empty());
+    }
+
+    #[test]
+    fn cancel_ends_ringing_call() {
+        let mut u = Uas::new(UAS_NODE, SimDuration::from_secs(30));
+        u.on_sip(SimTime::ZERO, PBX_NODE, invite("c5").into());
+        let cancel = Request::new(Method::Cancel, SipUri::new("2001", "pbx.unb.br"))
+            .header(HeaderName::CallId, "c5".to_owned())
+            .header(HeaderName::CSeq, "1 CANCEL");
+        let evs = u.on_sip(SimTime::from_secs(1), PBX_NODE, cancel.into());
+        assert_eq!(evs.len(), 2);
+        assert_eq!(u.open_calls(), 0);
+    }
+
+    #[test]
+    fn retransmitted_invite_absorbed() {
+        let mut u = Uas::new(UAS_NODE, SimDuration::ZERO);
+        let first = u.on_sip(SimTime::ZERO, PBX_NODE, invite("c6").into());
+        assert_eq!(first.len(), 2);
+        let second = u.on_sip(SimTime::ZERO, PBX_NODE, invite("c6").into());
+        assert!(second.is_empty());
+        assert_eq!(u.open_calls(), 1);
+    }
+
+    #[test]
+    fn distinct_calls_get_distinct_ports() {
+        let mut u = Uas::new(UAS_NODE, SimDuration::ZERO);
+        let e1 = u.on_sip(SimTime::ZERO, PBX_NODE, invite("p1").into());
+        let e2 = u.on_sip(SimTime::ZERO, PBX_NODE, invite("p2").into());
+        let p1 = SessionDescription::parse(&sip_of(&e1[1]).as_response().unwrap().body)
+            .unwrap()
+            .audio_port;
+        let p2 = SessionDescription::parse(&sip_of(&e2[1]).as_response().unwrap().body)
+            .unwrap()
+            .audio_port;
+        assert_ne!(p1, p2);
+    }
+}

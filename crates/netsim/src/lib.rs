@@ -1,0 +1,440 @@
+//! Simulated switched LAN — the testbed network of the paper's Fig. 4.
+//!
+//! The physical testbed is two SIPp hosts and the Asterisk server hanging
+//! off a 10/100 Mb/s switch. This crate models that as a set of directed
+//! links, each with a bandwidth, a propagation delay and a finite FIFO
+//! output queue (tail-drop). Queueing delay emerges naturally when offered
+//! bit-rate approaches link capacity — this is what degrades jitter and,
+//! eventually, drops packets at the paper's highest workloads.
+//!
+//! The network is deliberately **not** coupled to the event queue: callers
+//! ask it *when* a packet would be delivered ([`Network::enqueue`]) and
+//! schedule their own delivery events, so the same model serves the DES
+//! world, unit tests, and the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod topology;
+
+use des::rng::Distributions;
+use des::{SimDuration, SimTime, StreamRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A node on the network (host or switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+/// Traffic class of a packet (affects nothing in the FIFO model but lets
+/// the monitor and stats tell flows apart cheaply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// SIP signalling datagram.
+    Sip,
+    /// RTP media datagram.
+    Rtp,
+    /// RTCP report datagram.
+    Rtcp,
+}
+
+/// A packet in flight: source, destination, class and opaque payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Originating node.
+    pub src: NodeId,
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Wire bytes (SIP text or RTP datagram).
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Total simulated wire length: payload + UDP/IP/Ethernet overhead
+    /// (8 + 20 + 18 = 46 bytes, to keep serialization times honest).
+    #[must_use]
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len() + 46
+    }
+}
+
+/// Parameters of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Propagation + per-hop processing delay.
+    pub propagation: SimDuration,
+    /// Maximum queueing backlog before tail-drop, expressed as time
+    /// (backlog bytes / bandwidth). 2–10 ms is typical for a small switch.
+    pub max_queue_delay: SimDuration,
+    /// Random independent loss probability (models the paper's "packet
+    /// errors" at extreme load; 0 for a clean wire).
+    pub loss_probability: f64,
+}
+
+impl LinkParams {
+    /// A healthy 100 Mb/s switched-Ethernet hop.
+    #[must_use]
+    pub fn fast_ethernet() -> Self {
+        LinkParams {
+            bandwidth_bps: 100e6,
+            propagation: SimDuration::from_micros(50),
+            max_queue_delay: SimDuration::from_millis(5),
+            loss_probability: 0.0,
+        }
+    }
+
+    /// A 10 Mb/s hop (the slow half of the paper's 10/100 switch).
+    #[must_use]
+    pub fn ethernet_10() -> Self {
+        LinkParams {
+            bandwidth_bps: 10e6,
+            propagation: SimDuration::from_micros(50),
+            max_queue_delay: SimDuration::from_millis(20),
+            loss_probability: 0.0,
+        }
+    }
+}
+
+/// Per-link counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets accepted and (eventually) delivered.
+    pub delivered: u64,
+    /// Packets tail-dropped at the queue.
+    pub dropped_queue: u64,
+    /// Packets lost to random errors.
+    pub dropped_error: u64,
+    /// Payload+overhead bytes carried.
+    pub bytes: u64,
+    /// Cumulative busy (transmitting) time.
+    pub busy: SimDuration,
+}
+
+#[derive(Debug, Clone)]
+struct Link {
+    params: LinkParams,
+    /// Time at which the transmitter finishes everything queued so far.
+    busy_until: SimTime,
+    stats: LinkStats,
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Accepted; will arrive at the far end at this time.
+    Delivered {
+        /// Arrival instant at the next hop.
+        at: SimTime,
+    },
+    /// Tail-dropped: the queue backlog exceeded the configured bound.
+    DroppedQueueFull,
+    /// Lost to a random link error.
+    DroppedError,
+    /// No such link.
+    NoRoute,
+}
+
+/// The directed-link network.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    links: HashMap<(NodeId, NodeId), Link>,
+}
+
+impl Network {
+    /// An empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Install a directed link.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
+        self.links.insert(
+            (from, to),
+            Link {
+                params,
+                busy_until: SimTime::ZERO,
+                stats: LinkStats::default(),
+            },
+        );
+    }
+
+    /// Install both directions with the same parameters.
+    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        self.add_link(a, b, params);
+        self.add_link(b, a, params);
+    }
+
+    /// True if a directed link exists.
+    #[must_use]
+    pub fn has_link(&self, from: NodeId, to: NodeId) -> bool {
+        self.links.contains_key(&(from, to))
+    }
+
+    /// Offer `wire_bytes` from `from` to `to` at time `now`.
+    ///
+    /// On acceptance, returns the arrival time at `to` (queueing +
+    /// serialization + propagation). The caller schedules the arrival.
+    pub fn enqueue(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        wire_bytes: usize,
+        rng: &mut StreamRng,
+    ) -> SendOutcome {
+        let Some(link) = self.links.get_mut(&(from, to)) else {
+            return SendOutcome::NoRoute;
+        };
+        if link.params.loss_probability > 0.0 && rng.coin(link.params.loss_probability) {
+            link.stats.dropped_error += 1;
+            return SendOutcome::DroppedError;
+        }
+        let start = link.busy_until.max(now);
+        let backlog = start.since(now);
+        if backlog > link.params.max_queue_delay {
+            link.stats.dropped_queue += 1;
+            return SendOutcome::DroppedQueueFull;
+        }
+        let tx = SimDuration::from_secs_f64(wire_bytes as f64 * 8.0 / link.params.bandwidth_bps);
+        let done = start + tx;
+        link.busy_until = done;
+        link.stats.delivered += 1;
+        link.stats.bytes += wire_bytes as u64;
+        link.stats.busy = link.stats.busy + tx;
+        SendOutcome::Delivered {
+            at: done + link.params.propagation,
+        }
+    }
+
+    /// Counters for a directed link.
+    #[must_use]
+    pub fn stats(&self, from: NodeId, to: NodeId) -> Option<LinkStats> {
+        self.links.get(&(from, to)).map(|l| l.stats)
+    }
+
+    /// Aggregate counters over every link.
+    #[must_use]
+    pub fn total_stats(&self) -> LinkStats {
+        let mut agg = LinkStats::default();
+        for l in self.links.values() {
+            agg.delivered += l.stats.delivered;
+            agg.dropped_queue += l.stats.dropped_queue;
+            agg.dropped_error += l.stats.dropped_error;
+            agg.bytes += l.stats.bytes;
+            agg.busy = agg.busy + l.stats.busy;
+        }
+        agg
+    }
+
+    /// Utilisation of a directed link over `[0, until]`.
+    #[must_use]
+    pub fn utilisation(&self, from: NodeId, to: NodeId, until: SimTime) -> f64 {
+        let span = until.as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.links
+            .get(&(from, to))
+            .map(|l| l.stats.busy.as_secs_f64() / span)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StreamRng {
+        StreamRng::seed_from_u64(1)
+    }
+
+    const A: NodeId = NodeId(1);
+    const B: NodeId = NodeId(2);
+
+    fn one_link(params: LinkParams) -> Network {
+        let mut n = Network::new();
+        n.add_link(A, B, params);
+        n
+    }
+
+    #[test]
+    fn delivery_time_is_tx_plus_propagation() {
+        let mut n = one_link(LinkParams {
+            bandwidth_bps: 1e6, // 1 Mb/s: 1000 bytes = 8 ms
+            propagation: SimDuration::from_millis(2),
+            max_queue_delay: SimDuration::from_secs(1),
+            loss_probability: 0.0,
+        });
+        let out = n.enqueue(SimTime::ZERO, A, B, 1000, &mut rng());
+        match out {
+            SendOutcome::Delivered { at } => {
+                assert_eq!(at, SimTime::from_millis(10), "8 ms tx + 2 ms prop");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut n = one_link(LinkParams {
+            bandwidth_bps: 1e6,
+            propagation: SimDuration::ZERO,
+            max_queue_delay: SimDuration::from_secs(1),
+            loss_probability: 0.0,
+        });
+        let mut r = rng();
+        let t1 = match n.enqueue(SimTime::ZERO, A, B, 1000, &mut r) {
+            SendOutcome::Delivered { at } => at,
+            o => panic!("{o:?}"),
+        };
+        let t2 = match n.enqueue(SimTime::ZERO, A, B, 1000, &mut r) {
+            SendOutcome::Delivered { at } => at,
+            o => panic!("{o:?}"),
+        };
+        assert_eq!(t1, SimTime::from_millis(8));
+        assert_eq!(t2, SimTime::from_millis(16), "second waits for the first");
+    }
+
+    #[test]
+    fn idle_link_does_not_accumulate_backlog() {
+        let mut n = one_link(LinkParams {
+            bandwidth_bps: 1e6,
+            propagation: SimDuration::ZERO,
+            max_queue_delay: SimDuration::from_millis(10),
+            loss_probability: 0.0,
+        });
+        let mut r = rng();
+        n.enqueue(SimTime::ZERO, A, B, 1000, &mut r);
+        // 1 s later the link is idle again; a new packet sees no queue.
+        let t = match n.enqueue(SimTime::from_secs(1), A, B, 1000, &mut r) {
+            SendOutcome::Delivered { at } => at,
+            o => panic!("{o:?}"),
+        };
+        assert_eq!(t, SimTime::from_secs(1) + SimDuration::from_millis(8));
+    }
+
+    #[test]
+    fn queue_overflow_tail_drops() {
+        let mut n = one_link(LinkParams {
+            bandwidth_bps: 1e6,
+            propagation: SimDuration::ZERO,
+            max_queue_delay: SimDuration::from_millis(20), // fits 2.5 packets
+            loss_probability: 0.0,
+        });
+        let mut r = rng();
+        let mut delivered = 0;
+        let mut dropped = 0;
+        for _ in 0..10 {
+            match n.enqueue(SimTime::ZERO, A, B, 1000, &mut r) {
+                SendOutcome::Delivered { .. } => delivered += 1,
+                SendOutcome::DroppedQueueFull => dropped += 1,
+                o => panic!("{o:?}"),
+            }
+        }
+        assert!((3..=4).contains(&delivered), "delivered={delivered}");
+        assert_eq!(delivered + dropped, 10);
+        let stats = n.stats(A, B).unwrap();
+        assert_eq!(stats.delivered, delivered);
+        assert_eq!(stats.dropped_queue, dropped);
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_p_fraction() {
+        let mut n = one_link(LinkParams {
+            bandwidth_bps: 1e9,
+            propagation: SimDuration::ZERO,
+            max_queue_delay: SimDuration::from_secs(10),
+            loss_probability: 0.1,
+        });
+        let mut r = rng();
+        let mut errors = 0u64;
+        let total = 20_000u64;
+        for i in 0..total {
+            if matches!(
+                n.enqueue(SimTime::from_millis(i), A, B, 100, &mut r),
+                SendOutcome::DroppedError
+            ) {
+                errors += 1;
+            }
+        }
+        let frac = errors as f64 / total as f64;
+        assert!((frac - 0.1).abs() < 0.01, "frac={frac}");
+        assert_eq!(n.stats(A, B).unwrap().dropped_error, errors);
+    }
+
+    #[test]
+    fn no_route_is_reported() {
+        let mut n = Network::new();
+        assert_eq!(
+            n.enqueue(SimTime::ZERO, A, B, 10, &mut rng()),
+            SendOutcome::NoRoute
+        );
+        assert!(!n.has_link(A, B));
+        assert!(n.stats(A, B).is_none());
+    }
+
+    #[test]
+    fn duplex_links_are_independent() {
+        let mut n = Network::new();
+        n.add_duplex_link(A, B, LinkParams::fast_ethernet());
+        assert!(n.has_link(A, B) && n.has_link(B, A));
+        let mut r = rng();
+        // Saturate A->B; B->A must be unaffected.
+        for _ in 0..100 {
+            n.enqueue(SimTime::ZERO, A, B, 10_000, &mut r);
+        }
+        let t = match n.enqueue(SimTime::ZERO, B, A, 100, &mut r) {
+            SendOutcome::Delivered { at } => at,
+            o => panic!("{o:?}"),
+        };
+        assert!(t < SimTime::from_millis(1), "reverse direction idle");
+    }
+
+    #[test]
+    fn utilisation_and_totals() {
+        let mut n = one_link(LinkParams {
+            bandwidth_bps: 1e6,
+            propagation: SimDuration::ZERO,
+            max_queue_delay: SimDuration::from_secs(10),
+            loss_probability: 0.0,
+        });
+        let mut r = rng();
+        // 10 packets × 8 ms = 80 ms busy in 1 s: 8% utilisation.
+        for i in 0..10u64 {
+            n.enqueue(SimTime::from_millis(i * 100), A, B, 1000, &mut r);
+        }
+        let u = n.utilisation(A, B, SimTime::from_secs(1));
+        assert!((u - 0.08).abs() < 1e-9, "u={u}");
+        assert_eq!(n.utilisation(A, B, SimTime::ZERO), 0.0);
+        let tot = n.total_stats();
+        assert_eq!(tot.delivered, 10);
+        assert_eq!(tot.bytes, 10_000);
+    }
+
+    #[test]
+    fn packet_wire_overhead() {
+        let p = Packet {
+            src: A,
+            dst: B,
+            class: TrafficClass::Rtp,
+            payload: vec![0u8; 172],
+        };
+        assert_eq!(p.wire_bytes(), 218, "172 RTP + 46 UDP/IP/Eth");
+    }
+
+    #[test]
+    fn g711_stream_fits_100mbps_comfortably() {
+        // Sanity: 480 unidirectional G.711 flows (240 calls relayed) is
+        // 480 × 50 pps × 218 B ≈ 42 Mb/s — under the 100 Mb/s line rate,
+        // matching the paper's observation that the wire is not the
+        // bottleneck.
+        let flows = 480.0;
+        let bps = flows * 50.0 * 218.0 * 8.0;
+        assert!(bps < 100e6 * 0.5, "bps={bps}");
+    }
+}

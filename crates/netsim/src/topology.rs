@@ -1,0 +1,153 @@
+//! Canned topologies — the paper's Fig. 4 star in particular.
+
+use crate::{LinkParams, Network, NodeId};
+use des::SimTime;
+
+/// The Fig. 4 testbed: SIP call-generator client, SIP call-generator
+/// server, and the Asterisk PBX, all attached to one switch.
+#[derive(Debug, Clone)]
+pub struct StarTopology {
+    /// The switch at the centre.
+    pub switch: NodeId,
+    /// All attached hosts.
+    pub hosts: Vec<NodeId>,
+    /// The network with all host↔switch links installed.
+    pub network: Network,
+}
+
+/// Well-known node numbers for the Fig. 4 testbed.
+pub mod nodes {
+    use crate::NodeId;
+    /// The switch.
+    pub const SWITCH: NodeId = NodeId(0);
+    /// SIPp call-generator client (UAC side).
+    pub const SIPP_CLIENT: NodeId = NodeId(1);
+    /// SIPp call-generator server (UAS side).
+    pub const SIPP_SERVER: NodeId = NodeId(2);
+    /// The Asterisk PBX.
+    pub const PBX: NodeId = NodeId(3);
+}
+
+impl StarTopology {
+    /// Build a star of `hosts` around `switch`, each attachment using the
+    /// same link parameters.
+    #[must_use]
+    pub fn new(switch: NodeId, hosts: &[NodeId], params: LinkParams) -> Self {
+        let mut network = Network::new();
+        for &h in hosts {
+            network.add_duplex_link(h, switch, params);
+        }
+        StarTopology {
+            switch,
+            hosts: hosts.to_vec(),
+            network,
+        }
+    }
+
+    /// The paper's testbed: three hosts on a 100 Mb/s switch.
+    #[must_use]
+    pub fn fig4_testbed() -> Self {
+        StarTopology::new(
+            nodes::SWITCH,
+            &[nodes::SIPP_CLIENT, nodes::SIPP_SERVER, nodes::PBX],
+            LinkParams::fast_ethernet(),
+        )
+    }
+
+    /// Next hop from `from` towards `dst`: the destination itself if a
+    /// direct link exists (host → switch), otherwise via the switch.
+    #[must_use]
+    pub fn next_hop(&self, from: NodeId, dst: NodeId) -> NodeId {
+        if self.network.has_link(from, dst) {
+            dst
+        } else {
+            self.switch
+        }
+    }
+
+    /// End-to-end path between two hosts.
+    #[must_use]
+    pub fn path(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
+        if from == to {
+            return vec![from];
+        }
+        if self.network.has_link(from, to) {
+            return vec![from, to];
+        }
+        vec![from, self.switch, to]
+    }
+
+    /// Aggregate utilisation of the busiest attachment (either direction)
+    /// at time `until` — a proxy for "is the wire the bottleneck?".
+    #[must_use]
+    pub fn peak_utilisation(&self, until: SimTime) -> f64 {
+        let mut peak: f64 = 0.0;
+        for &h in &self.hosts {
+            peak = peak.max(self.network.utilisation(h, self.switch, until));
+            peak = peak.max(self.network.utilisation(self.switch, h, until));
+        }
+        peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::{SimTime, StreamRng};
+
+    #[test]
+    fn fig4_testbed_wiring() {
+        let topo = StarTopology::fig4_testbed();
+        assert_eq!(topo.hosts.len(), 3);
+        for &h in &topo.hosts {
+            assert!(topo.network.has_link(h, nodes::SWITCH));
+            assert!(topo.network.has_link(nodes::SWITCH, h));
+        }
+        assert!(!topo.network.has_link(nodes::SIPP_CLIENT, nodes::PBX), "hosts only reach each other via the switch");
+    }
+
+    #[test]
+    fn next_hop_routes_via_switch() {
+        let topo = StarTopology::fig4_testbed();
+        assert_eq!(
+            topo.next_hop(nodes::SIPP_CLIENT, nodes::PBX),
+            nodes::SWITCH
+        );
+        assert_eq!(
+            topo.next_hop(nodes::SIPP_CLIENT, nodes::SWITCH),
+            nodes::SWITCH
+        );
+        assert_eq!(topo.next_hop(nodes::SWITCH, nodes::PBX), nodes::PBX);
+    }
+
+    #[test]
+    fn paths() {
+        let topo = StarTopology::fig4_testbed();
+        assert_eq!(
+            topo.path(nodes::SIPP_CLIENT, nodes::PBX),
+            vec![nodes::SIPP_CLIENT, nodes::SWITCH, nodes::PBX]
+        );
+        assert_eq!(
+            topo.path(nodes::PBX, nodes::SWITCH),
+            vec![nodes::PBX, nodes::SWITCH]
+        );
+        assert_eq!(topo.path(nodes::PBX, nodes::PBX), vec![nodes::PBX]);
+    }
+
+    #[test]
+    fn peak_utilisation_tracks_traffic() {
+        let mut topo = StarTopology::fig4_testbed();
+        let mut rng = StreamRng::seed_from_u64(3);
+        assert_eq!(topo.peak_utilisation(SimTime::from_secs(1)), 0.0);
+        for _ in 0..1000 {
+            topo.network.enqueue(
+                SimTime::ZERO,
+                nodes::SIPP_CLIENT,
+                nodes::SWITCH,
+                1500,
+                &mut rng,
+            );
+        }
+        assert!(topo.peak_utilisation(SimTime::from_secs(1)) > 0.0);
+    }
+}

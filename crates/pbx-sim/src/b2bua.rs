@@ -1,0 +1,1197 @@
+//! The back-to-back user agent (B2BUA) — how Asterisk actually carries a
+//! call.
+//!
+//! Asterisk terminates the caller's SIP dialog, originates a fresh dialog
+//! to the callee, bridges the two, and relays the media between per-call
+//! RTP ports (non-directmedia mode). Every SIP message and every RTP packet
+//! of the paper's Fig. 2 ladder transits the server, which is exactly why
+//! its CPU and channel pool bound the system's capacity.
+//!
+//! The implementation is a pure state machine: SIP messages and RTP
+//! datagrams go in, [`PbxAction`]s come out; the surrounding world (the
+//! `capacity` experiment, tests, benches) owns transport and time.
+
+use crate::cdr::{CallRecord, CdrLog, Disposition};
+use crate::channels::{ChannelId, ChannelPool};
+use crate::cpu::CpuModel;
+use crate::dialplan::{Dialplan, Route};
+use crate::directory::Directory;
+use crate::registrar::{Registrar, RegisterOutcome};
+use des::{SimDuration, SimTime};
+use netsim::NodeId;
+use sipcore::headers::{tag_of, with_tag, HeaderName};
+use sipcore::message::{format_via, Request, Response, SipMessage};
+use sipcore::sdp::SessionDescription;
+use sipcore::{Method, StatusCode};
+use std::collections::HashMap;
+
+/// PBX configuration.
+#[derive(Debug, Clone)]
+pub struct PbxConfig {
+    /// This PBX's node on the network.
+    pub node: NodeId,
+    /// Channel pool size — the capacity knob `N` (the paper infers ≈165
+    /// for its Xeon host).
+    pub channels: u32,
+    /// Hostname used in Via/Contact headers.
+    pub hostname: String,
+    /// Require REGISTER authentication before accepting calls.
+    pub require_registration: bool,
+    /// Registration lifetime granted.
+    pub registration_expiry: SimDuration,
+    /// Dialplan.
+    pub dialplan: Dialplan,
+    /// Optional per-user concurrent-call ceiling — the "effective call
+    /// policy" the paper's §IV proposes for protecting a large population
+    /// from a few heavy users. `None` = unlimited (the paper's testbed).
+    pub max_calls_per_user: Option<u32>,
+    /// Require RFC 2617 digest authentication on REGISTER. When false the
+    /// registrar also accepts the lightweight `Simple` scheme used by the
+    /// bulk experiments (either way the directory is consulted).
+    pub require_digest: bool,
+}
+
+impl PbxConfig {
+    /// The evaluation defaults: 165 channels, campus dialplan.
+    #[must_use]
+    pub fn evaluation_default(node: NodeId) -> Self {
+        PbxConfig {
+            node,
+            channels: 165,
+            hostname: "pbx.unb.br".to_owned(),
+            require_registration: true,
+            registration_expiry: SimDuration::from_secs(3600),
+            dialplan: Dialplan::campus_default(),
+            max_calls_per_user: None,
+            require_digest: false,
+        }
+    }
+}
+
+/// Something the PBX wants the transport to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PbxAction {
+    /// Send a SIP message to a node.
+    SendSip {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: SipMessage,
+    },
+    /// Relay an RTP datagram to a node's media port.
+    SendRtp {
+        /// Destination node.
+        to: NodeId,
+        /// Destination media port (from the leg's SDP).
+        to_port: u16,
+        /// Unmodified RTP wire bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// Aggregated PBX counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PbxStats {
+    /// SIP messages received.
+    pub sip_in: u64,
+    /// SIP messages sent.
+    pub sip_out: u64,
+    /// Error (4xx/5xx) responses sent.
+    pub sip_errors_sent: u64,
+    /// RTP packets relayed.
+    pub rtp_relayed: u64,
+    /// RTP packets dropped (no session for the port).
+    pub rtp_dropped: u64,
+    /// INVITEs refused for lack of a channel.
+    pub calls_blocked: u64,
+    /// INVITEs refused by the per-user call policy.
+    pub calls_policy_refused: u64,
+}
+
+/// Call bridge state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallState {
+    /// Outbound INVITE sent, waiting for the callee.
+    Inviting,
+    /// Callee ringing.
+    Ringing,
+    /// 200 OK relayed; waiting for/after ACK, media flowing.
+    Answered,
+    /// BYE relayed, waiting for the 200.
+    TearingDown,
+}
+
+/// One leg of a bridged call.
+#[derive(Debug, Clone)]
+struct Leg {
+    node: NodeId,
+    /// Media port the endpoint advertised in its SDP (0 = not yet known).
+    rtp_port: u16,
+    /// PBX media port facing this leg (endpoints send RTP here).
+    pbx_port: u16,
+}
+
+#[derive(Debug, Clone)]
+struct Call {
+    channel: ChannelId,
+    state: CallState,
+    caller: Leg,
+    callee: Leg,
+    /// The caller's original INVITE (responses to the caller derive from it).
+    caller_invite: Request,
+    /// Call-ID of the PBX-originated callee leg.
+    callee_call_id: String,
+    /// Which leg initiated teardown (true = caller sent the BYE).
+    bye_from_caller: bool,
+    record: CallRecord,
+    /// To-tag the PBX uses on caller-facing responses.
+    pbx_tag: String,
+}
+
+/// The PBX.
+pub struct Pbx {
+    /// Configuration (public for inspection).
+    pub config: PbxConfig,
+    /// The channel pool (public: experiments read peak/occupancy).
+    pub pool: ChannelPool,
+    /// CPU model (public: experiments read utilisation).
+    pub cpu: CpuModel,
+    /// CDR journal.
+    pub cdr: CdrLog,
+    /// User directory ("LDAP").
+    pub directory: Directory,
+    /// Registrar bindings.
+    pub registrar: Registrar,
+    stats: PbxStats,
+    active_per_user: HashMap<String, u32>,
+    calls: Vec<Option<Call>>,
+    by_caller_call_id: HashMap<String, usize>,
+    by_callee_call_id: HashMap<String, usize>,
+    by_pbx_port: HashMap<u16, (usize, bool)>, // port -> (call, faces_caller)
+    next_port: u16,
+    next_call_serial: u64,
+}
+
+const FIRST_MEDIA_PORT: u16 = 10_000;
+
+impl Pbx {
+    /// Build a PBX with the given configuration and subscriber directory.
+    #[must_use]
+    pub fn new(config: PbxConfig, directory: Directory) -> Self {
+        let registrar = Registrar::new(config.registration_expiry);
+        let pool = ChannelPool::new(config.channels);
+        Pbx {
+            config,
+            pool,
+            cpu: CpuModel::calibrated(),
+            cdr: CdrLog::new(),
+            directory,
+            registrar,
+            stats: PbxStats::default(),
+            active_per_user: HashMap::new(),
+            calls: Vec::new(),
+            by_caller_call_id: HashMap::new(),
+            by_callee_call_id: HashMap::new(),
+            by_pbx_port: HashMap::new(),
+            next_port: FIRST_MEDIA_PORT,
+            next_call_serial: 0,
+        }
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> PbxStats {
+        self.stats
+    }
+
+    /// Number of live bridged calls.
+    #[must_use]
+    pub fn active_calls(&self) -> usize {
+        self.calls.iter().flatten().count()
+    }
+
+    /// Map a PBX-originated (callee-leg) Call-ID back to the caller-leg
+    /// Call-ID of the same bridged call. Monitoring uses this to account
+    /// both media directions to one call.
+    #[must_use]
+    pub fn peer_call_id(&self, callee_call_id: &str) -> Option<&str> {
+        let idx = *self.by_callee_call_id.get(callee_call_id)?;
+        self.calls[idx].as_ref()?.caller_invite.call_id()
+    }
+
+    /// Close the books at the end of an experiment: flush CPU windows and
+    /// record still-open calls as in-progress.
+    pub fn finish(&mut self, now: SimTime) {
+        self.cpu.finish(now);
+        for slot in &mut self.calls {
+            if let Some(call) = slot.take() {
+                let mut record = call.record;
+                record.disposition = Disposition::InProgress;
+                self.cdr.push(record);
+            }
+        }
+        self.by_caller_call_id.clear();
+        self.by_callee_call_id.clear();
+        self.by_pbx_port.clear();
+        self.active_per_user.clear();
+    }
+
+    // -- SIP entry point ---------------------------------------------------
+
+    /// Handle one inbound SIP message.
+    pub fn handle_sip(&mut self, now: SimTime, from: NodeId, msg: SipMessage) -> Vec<PbxAction> {
+        self.stats.sip_in += 1;
+        self.cpu.on_sip_message(now);
+        
+        match msg {
+            SipMessage::Request(req) => match req.method {
+                Method::Register => self.on_register(now, from, &req),
+                Method::Invite => self.on_invite(now, from, req),
+                Method::Ack => self.on_ack(now, &req),
+                Method::Bye => self.on_bye(now, from, &req),
+                Method::Cancel => self.on_cancel(now, &req),
+                Method::Options => {
+                    vec![self.reply(from, req.make_response(StatusCode::OK))]
+                }
+            },
+            SipMessage::Response(resp) => self.on_response(now, resp),
+        }
+    }
+
+    /// Handle one inbound RTP datagram addressed to PBX port `dst_port`.
+    pub fn handle_rtp(&mut self, now: SimTime, dst_port: u16, bytes: Vec<u8>) -> Vec<PbxAction> {
+        self.cpu.on_rtp_packet(now);
+        let Some(&(idx, faces_caller)) = self.by_pbx_port.get(&dst_port) else {
+            self.stats.rtp_dropped += 1;
+            return vec![];
+        };
+        let Some(call) = self.calls[idx].as_ref() else {
+            self.stats.rtp_dropped += 1;
+            return vec![];
+        };
+        // Media arriving on the caller-facing port goes to the callee leg
+        // and vice versa.
+        let out_leg = if faces_caller { &call.callee } else { &call.caller };
+        if out_leg.rtp_port == 0 {
+            // Other side's SDP not seen yet (early media race): drop.
+            self.stats.rtp_dropped += 1;
+            return vec![];
+        }
+        self.stats.rtp_relayed += 1;
+        vec![PbxAction::SendRtp {
+            to: out_leg.node,
+            to_port: out_leg.rtp_port,
+            bytes,
+        }]
+    }
+
+    // -- request handlers ---------------------------------------------------
+
+    fn on_register(&mut self, now: SimTime, from: NodeId, req: &Request) -> Vec<PbxAction> {
+        let auth = req.headers.get(&HeaderName::Authorization);
+
+        // Digest credentials are accepted in either mode; when
+        // `require_digest` is on they are the only way in.
+        if let Some(creds) = auth.and_then(sipcore::auth::DigestCredentials::parse) {
+            let password = self
+                .directory
+                .find_by_uid(&creds.username)
+                .and_then(|e| e.attrs.get("userPassword").cloned());
+            let ok = password.as_deref().is_some_and(|pw| {
+                creds.realm == self.config.hostname
+                    && creds.verify(pw, "REGISTER", &self.digest_nonce())
+            });
+            if !ok {
+                return vec![self.error_reply(from, req, StatusCode::FORBIDDEN)];
+            }
+            // The password already checked out; bind through the
+            // registrar (which re-binds against the directory).
+            let pw = password.expect("checked above");
+            return match self
+                .registrar
+                .register(&mut self.directory, now, &creds.username, &pw, from)
+            {
+                RegisterOutcome::Ok => vec![self.reply(from, req.make_response(StatusCode::OK))],
+                RegisterOutcome::AuthFailed => {
+                    vec![self.error_reply(from, req, StatusCode::FORBIDDEN)]
+                }
+            };
+        }
+
+        if self.config.require_digest {
+            // Challenge: 401 with a fresh-enough nonce.
+            let challenge = sipcore::auth::DigestChallenge {
+                realm: self.config.hostname.clone(),
+                nonce: self.digest_nonce(),
+            };
+            let mut resp = req.make_response(StatusCode::UNAUTHORIZED);
+            resp.headers
+                .push(HeaderName::WwwAuthenticate, challenge.to_header_value());
+            return vec![self.reply(from, resp)];
+        }
+
+        let (uid, password) = match auth.map(parse_simple_auth) {
+            Some(Some(pair)) => pair,
+            _ => {
+                return vec![self.error_reply(from, req, StatusCode::UNAUTHORIZED)];
+            }
+        };
+        match self
+            .registrar
+            .register(&mut self.directory, now, &uid, &password, from)
+        {
+            RegisterOutcome::Ok => vec![self.reply(from, req.make_response(StatusCode::OK))],
+            RegisterOutcome::AuthFailed => {
+                vec![self.error_reply(from, req, StatusCode::FORBIDDEN)]
+            }
+        }
+    }
+
+    /// The registrar's current digest nonce. A real server rotates nonces
+    /// and tracks staleness; for the evaluation a per-instance constant
+    /// derived from the hostname is sufficient (and deterministic).
+    fn digest_nonce(&self) -> String {
+        format!("nonce-{}", sipcore::auth::md5_hex(self.config.hostname.as_bytes()))
+    }
+
+    fn on_invite(&mut self, now: SimTime, from: NodeId, req: Request) -> Vec<PbxAction> {
+        let Some(call_id) = req.call_id().map(str::to_owned) else {
+            return vec![self.error_reply(from, &req, StatusCode::BAD_REQUEST)];
+        };
+        // Retransmitted INVITE for a live call: absorb (the 100/180 path
+        // will have been retransmitted by the network layer if needed).
+        if self.by_caller_call_id.contains_key(&call_id) {
+            return vec![];
+        }
+        let caller_aor = req
+            .headers
+            .get(&HeaderName::From)
+            .and_then(extract_user)
+            .unwrap_or_default();
+        let extension = req.uri.user.clone();
+        let mut record = CallRecord {
+            call_id: call_id.clone(),
+            caller: caller_aor,
+            callee: extension.clone(),
+            start: now,
+            answered: None,
+            end: None,
+            disposition: Disposition::Failed,
+        };
+
+        // Route the dialled extension.
+        let callee_node = match self.config.dialplan.route(&extension) {
+            Some(Route::LocalSubscriber) => {
+                match self.registrar.lookup(now, &extension) {
+                    Some(binding) => binding.node,
+                    None if self.config.require_registration => {
+                        record.end = Some(now);
+                        self.cdr.push(record);
+                        return vec![self.error_reply(from, &req, StatusCode::NOT_FOUND)];
+                    }
+                    None => from, // registration-less mode: loop back to sender's peer is meaningless, refuse
+                }
+            }
+            Some(Route::Trunk(_)) | Some(Route::Deny) | None => {
+                record.end = Some(now);
+                self.cdr.push(record);
+                return vec![self.error_reply(from, &req, StatusCode::NOT_FOUND)];
+            }
+        };
+
+        // Call policy: per-user concurrent-call ceiling (paper §IV).
+        if let Some(limit) = self.config.max_calls_per_user {
+            let active = self
+                .active_per_user
+                .get(&record.caller)
+                .copied()
+                .unwrap_or(0);
+            if active >= limit {
+                self.stats.calls_policy_refused += 1;
+                record.disposition = Disposition::PolicyRefused;
+                record.end = Some(now);
+                self.cdr.push(record);
+                return vec![self.error_reply(from, &req, StatusCode::FORBIDDEN)];
+            }
+        }
+
+        // Admission control: the finite channel pool.
+        let Some(channel) = self.pool.allocate(now) else {
+            self.stats.calls_blocked += 1;
+            record.disposition = Disposition::Blocked;
+            record.end = Some(now);
+            self.cdr.push(record);
+            return vec![self.error_reply(from, &req, StatusCode::BUSY_HERE)];
+        };
+
+        // Caller's media coordinates from its SDP offer.
+        let caller_rtp_port = SessionDescription::parse(&req.body)
+            .map(|s| s.audio_port)
+            .unwrap_or(0);
+
+        let serial = self.next_call_serial;
+        self.next_call_serial += 1;
+        let pbx_port_for_caller = self.alloc_port();
+        let pbx_port_for_callee = self.alloc_port();
+        let callee_call_id = format!("b2b-{serial}@{}", self.config.hostname);
+
+        // Build the PBX-originated INVITE towards the callee, offering the
+        // PBX's own media port (the relay behaviour of Asterisk).
+        let offer_codec = SessionDescription::parse(&req.body)
+            .map(|s| s.codec)
+            .unwrap_or(sipcore::sdp::SdpCodec::Pcmu);
+        let sdp = SessionDescription::new(
+            "asterisk",
+            &self.config.hostname,
+            pbx_port_for_callee,
+            offer_codec,
+        );
+        let out_invite = Request::new(
+            Method::Invite,
+            sipcore::SipUri::new(&extension, &self.config.hostname),
+        )
+        .header(
+            HeaderName::Via,
+            format_via(&self.config.hostname, 5060, &format!("z9hG4bKpbx{serial}")),
+        )
+        .header(
+            HeaderName::From,
+            format!("<sip:{}@{}>;tag=pbxout{serial}", record.caller, self.config.hostname),
+        )
+        .header(HeaderName::To, format!("<sip:{extension}@{}>", self.config.hostname))
+        .header(HeaderName::CallId, callee_call_id.clone())
+        .header(HeaderName::CSeq, "1 INVITE")
+        .header(HeaderName::MaxForwards, "69")
+        .header(HeaderName::UserAgent, "pbx-sim (Asterisk-compatible B2BUA)")
+        .with_body("application/sdp", sdp.to_body());
+
+        *self
+            .active_per_user
+            .entry(record.caller.clone())
+            .or_insert(0) += 1;
+        let idx = self.calls.len();
+        let pbx_tag = format!("pbxuas{serial}");
+        self.calls.push(Some(Call {
+            channel,
+            state: CallState::Inviting,
+            caller: Leg {
+                node: from,
+                rtp_port: caller_rtp_port,
+                pbx_port: pbx_port_for_caller,
+            },
+            callee: Leg {
+                node: callee_node,
+                rtp_port: 0,
+                pbx_port: pbx_port_for_callee,
+            },
+            caller_invite: req.clone(),
+            callee_call_id: callee_call_id.clone(),
+            bye_from_caller: true,
+            record,
+            pbx_tag,
+        }));
+        self.by_caller_call_id.insert(call_id, idx);
+        self.by_callee_call_id.insert(callee_call_id, idx);
+        self.by_pbx_port.insert(pbx_port_for_caller, (idx, true));
+        self.by_pbx_port.insert(pbx_port_for_callee, (idx, false));
+
+        // 100 Trying to the caller + INVITE onward (the Fig. 2 ladder).
+        vec![
+            self.reply(from, req.make_response(StatusCode::TRYING)),
+            self.send(callee_node, out_invite.into()),
+        ]
+    }
+
+    fn on_ack(&mut self, _now: SimTime, req: &Request) -> Vec<PbxAction> {
+        let Some(idx) = req.call_id().and_then(|c| self.by_caller_call_id.get(c)).copied()
+        else {
+            return vec![]; // ACK for an errored/unknown call: absorb
+        };
+        let Some(call) = self.calls[idx].as_mut() else {
+            return vec![];
+        };
+        // Forward the ACK on the callee leg to complete its handshake.
+        let ack = Request::new(
+            Method::Ack,
+            sipcore::SipUri::new(&call.record.callee, &self.config.hostname),
+        )
+        .header(
+            HeaderName::Via,
+            format_via(&self.config.hostname, 5060, &format!("z9hG4bKpbxack{idx}")),
+        )
+        .header(HeaderName::CallId, call.callee_call_id.clone())
+        .header(HeaderName::CSeq, "1 ACK")
+        .header(
+            HeaderName::From,
+            format!("<sip:{}@{}>;tag=pbxout", call.record.caller, self.config.hostname),
+        )
+        .header(HeaderName::To, format!("<sip:{}@{}>", call.record.callee, self.config.hostname));
+        let to = call.callee.node;
+        vec![self.send(to, ack.into())]
+    }
+
+    fn on_bye(&mut self, _now: SimTime, from: NodeId, req: &Request) -> Vec<PbxAction> {
+        let Some(cid) = req.call_id() else {
+            return vec![self.error_reply(from, req, StatusCode::BAD_REQUEST)];
+        };
+        // A BYE can arrive on either leg.
+        let (idx, from_caller) = if let Some(&i) = self.by_caller_call_id.get(cid) {
+            (i, true)
+        } else if let Some(&i) = self.by_callee_call_id.get(cid) {
+            (i, false)
+        } else {
+            // Unknown call (already gone): answer 200 to stop retransmits.
+            return vec![self.reply(from, req.make_response(StatusCode::OK))];
+        };
+        let Some(call) = self.calls[idx].as_mut() else {
+            return vec![self.reply(from, req.make_response(StatusCode::OK))];
+        };
+        call.state = CallState::TearingDown;
+        call.bye_from_caller = from_caller;
+        // Forward the BYE to the other leg (Fig. 2: BYE is forwarded, the
+        // 200 comes back through us).
+        let (other_node, other_call_id) = if from_caller {
+            (call.callee.node, call.callee_call_id.clone())
+        } else {
+            (call.caller.node, call.caller_invite.call_id().unwrap_or("").to_owned())
+        };
+        let bye = Request::new(
+            Method::Bye,
+            sipcore::SipUri::new(
+                if from_caller { &call.record.callee } else { &call.record.caller },
+                &self.config.hostname,
+            ),
+        )
+        .header(
+            HeaderName::Via,
+            format_via(&self.config.hostname, 5060, &format!("z9hG4bKpbxbye{idx}")),
+        )
+        .header(HeaderName::CallId, other_call_id)
+        .header(HeaderName::CSeq, "2 BYE")
+        .header(
+            HeaderName::From,
+            format!("<sip:pbx@{}>;tag=pbxbye", self.config.hostname),
+        )
+        .header(HeaderName::To, "<sip:peer>".to_owned());
+        vec![self.send(other_node, bye.into())]
+    }
+
+    fn on_cancel(&mut self, now: SimTime, req: &Request) -> Vec<PbxAction> {
+        let Some(idx) = req.call_id().and_then(|c| self.by_caller_call_id.get(c)).copied()
+        else {
+            return vec![];
+        };
+        let Some(call) = self.calls[idx].as_ref() else {
+            return vec![];
+        };
+        if call.state == CallState::Answered {
+            return vec![]; // too late to cancel
+        }
+        let caller_node = call.caller.node;
+        let callee_node = call.callee.node;
+        let callee_call_id = call.callee_call_id.clone();
+        // 200 for the CANCEL, 487 for the INVITE, CANCEL onward.
+        let ok = req.make_response(StatusCode::OK);
+        let invite_487 = self.caller_response(idx, StatusCode::REQUEST_TERMINATED);
+        let cancel_out = Request::new(
+            Method::Cancel,
+            sipcore::SipUri::new("peer", &self.config.hostname),
+        )
+        .header(HeaderName::CallId, callee_call_id)
+        .header(HeaderName::CSeq, "1 CANCEL");
+        self.close_call(now, idx, Disposition::NoAnswer);
+        vec![
+            self.reply(caller_node, ok),
+            self.reply_error_counted(caller_node, invite_487),
+            self.send(callee_node, cancel_out.into()),
+        ]
+    }
+
+    // -- response handling ---------------------------------------------------
+
+    fn on_response(&mut self, now: SimTime, resp: Response) -> Vec<PbxAction> {
+        let Some(cid) = resp.call_id().map(str::to_owned) else {
+            return vec![];
+        };
+        // Responses to PBX-originated requests arrive on the callee leg...
+        if let Some(&idx) = self.by_callee_call_id.get(cid.as_str()) {
+            return self.on_callee_response(now, idx, resp);
+        }
+        // ...or are 200-to-BYE on the caller leg when the callee hung up.
+        if let Some(&idx) = self.by_caller_call_id.get(cid.as_str()) {
+            if resp.cseq_method() == Some(Method::Bye) && resp.status.is_final() {
+                return self.on_bye_confirmed(now, idx);
+            }
+        }
+        vec![]
+    }
+
+    fn on_callee_response(&mut self, now: SimTime, idx: usize, resp: Response) -> Vec<PbxAction> {
+        let Some(call) = self.calls[idx].as_mut() else {
+            return vec![];
+        };
+        match resp.cseq_method() {
+            Some(Method::Invite) => {
+                if resp.status == StatusCode::RINGING {
+                    call.state = CallState::Ringing;
+                    let caller_node = call.caller.node;
+                    let fwd = self.caller_response(idx, StatusCode::RINGING);
+                    vec![self.reply(caller_node, fwd)]
+                } else if resp.status.is_success() {
+                    // Callee answered: learn its media port, bridge, relay
+                    // a 200 with the PBX's caller-facing SDP.
+                    if let Some(sdp) = SessionDescription::parse(&resp.body) {
+                        call.callee.rtp_port = sdp.audio_port;
+                    }
+                    call.state = CallState::Answered;
+                    call.record.answered = Some(now);
+                    let caller_node = call.caller.node;
+                    let pbx_port = call.caller.pbx_port;
+                    let mut fwd = self.caller_response(idx, StatusCode::OK);
+                    let sdp = SessionDescription::new(
+                        "asterisk",
+                        &self.config.hostname,
+                        pbx_port,
+                        sipcore::sdp::SdpCodec::Pcmu,
+                    );
+                    fwd = fwd.with_body("application/sdp", sdp.to_body());
+                    vec![self.reply(caller_node, fwd)]
+                } else if resp.status.is_error() {
+                    // Callee refused: ACK the error (non-2xx), relay it,
+                    // tear down.
+                    let caller_node = call.caller.node;
+                    let callee_node = call.callee.node;
+                    let callee_call_id = call.callee_call_id.clone();
+                    let status = resp.status;
+                    let fwd = self.caller_response(idx, status);
+                    self.close_call(now, idx, Disposition::Failed);
+                    let ack = Request::new(
+                        Method::Ack,
+                        sipcore::SipUri::new("peer", &self.config.hostname),
+                    )
+                    .header(HeaderName::CallId, callee_call_id)
+                    .header(HeaderName::CSeq, "1 ACK");
+                    vec![
+                        self.send(callee_node, ack.into()),
+                        self.reply_error_counted(caller_node, fwd),
+                    ]
+                } else {
+                    vec![] // other provisionals absorbed
+                }
+            }
+            Some(Method::Bye) if resp.status.is_final() => self.on_bye_confirmed(now, idx),
+            _ => vec![],
+        }
+    }
+
+    /// The far leg confirmed our forwarded BYE: send the 200 back to the
+    /// leg that hung up and close the call.
+    fn on_bye_confirmed(&mut self, now: SimTime, idx: usize) -> Vec<PbxAction> {
+        let Some(call) = self.calls[idx].as_ref() else {
+            return vec![];
+        };
+        let (hangup_node, ok) = if call.bye_from_caller {
+            // Caller hung up; 200 goes back to the caller leg.
+            let mut ok = call.caller_invite.make_response(StatusCode::OK);
+            ok.headers.set(HeaderName::CSeq, "2 BYE");
+            let to = ok.headers.get(&HeaderName::To).unwrap_or("<sip:peer>").to_owned();
+            ok.headers.set(HeaderName::To, with_tag(&to, &call.pbx_tag));
+            (call.caller.node, ok)
+        } else {
+            let ok = Response::new(StatusCode::OK)
+                .header(HeaderName::CallId, call.callee_call_id.clone())
+                .header(HeaderName::CSeq, "2 BYE");
+            (call.callee.node, ok)
+        };
+        self.close_call(now, idx, Disposition::Answered);
+        vec![self.reply(hangup_node, ok)]
+    }
+
+    // -- helpers ---------------------------------------------------------
+
+    /// Build a caller-facing response derived from the stored INVITE.
+    fn caller_response(&mut self, idx: usize, status: StatusCode) -> Response {
+        let call = self.calls[idx].as_ref().expect("live call");
+        let mut resp = call.caller_invite.make_response(status);
+        let to = resp
+            .headers
+            .get(&HeaderName::To)
+            .unwrap_or("<sip:peer>")
+            .to_owned();
+        if tag_of(&to).is_none() {
+            resp.headers.set(HeaderName::To, with_tag(&to, &call.pbx_tag));
+        }
+        resp.headers.push(
+            HeaderName::Contact,
+            format!("<sip:{}:5060>", self.config.hostname),
+        );
+        resp
+    }
+
+    fn close_call(&mut self, now: SimTime, idx: usize, disposition: Disposition) {
+        if let Some(call) = self.calls[idx].take() {
+            self.pool.release(now, call.channel);
+            if let Some(n) = self.active_per_user.get_mut(&call.record.caller) {
+                *n = n.saturating_sub(1);
+            }
+            self.by_pbx_port.remove(&call.caller.pbx_port);
+            self.by_pbx_port.remove(&call.callee.pbx_port);
+            if let Some(cid) = call.caller_invite.call_id() {
+                self.by_caller_call_id.remove(cid);
+            }
+            self.by_callee_call_id.remove(&call.callee_call_id);
+            let mut record = call.record;
+            record.end = Some(now);
+            record.disposition = disposition;
+            self.cdr.push(record);
+        }
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = self.next_port.checked_add(2).expect("media ports exhausted");
+        p
+    }
+
+    fn send(&mut self, to: NodeId, msg: SipMessage) -> PbxAction {
+        self.stats.sip_out += 1;
+        PbxAction::SendSip { to, msg }
+    }
+
+    fn reply(&mut self, to: NodeId, resp: Response) -> PbxAction {
+        if resp.status.is_error() {
+            self.stats.sip_errors_sent += 1;
+        }
+        self.stats.sip_out += 1;
+        PbxAction::SendSip {
+            to,
+            msg: resp.into(),
+        }
+    }
+
+    fn reply_error_counted(&mut self, to: NodeId, resp: Response) -> PbxAction {
+        self.reply(to, resp)
+    }
+
+    fn error_reply(&mut self, to: NodeId, req: &Request, status: StatusCode) -> PbxAction {
+        self.reply(to, req.make_response(status))
+    }
+}
+
+/// Parse `Simple <uid> <password>` authorization values.
+fn parse_simple_auth(value: &str) -> Option<(String, String)> {
+    let mut parts = value.split_whitespace();
+    if parts.next()? != "Simple" {
+        return None;
+    }
+    let uid = parts.next()?.to_owned();
+    let password = parts.next()?.to_owned();
+    Some((uid, password))
+}
+
+/// Extract the user part from a From/To header value.
+fn extract_user(value: &str) -> Option<String> {
+    let start = value.find("sip:")? + 4;
+    let rest = &value[start..];
+    let end = rest.find('@')?;
+    Some(rest[..end].to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CALLER_NODE: NodeId = NodeId(1);
+    const CALLEE_NODE: NodeId = NodeId(2);
+    const PBX_NODE: NodeId = NodeId(3);
+
+    fn pbx_with_users() -> Pbx {
+        let dir = Directory::with_subscribers(1000, 100);
+        let mut pbx = Pbx::new(PbxConfig::evaluation_default(PBX_NODE), dir);
+        // Register caller 1001 at node 1 and callee 1002 at node 2.
+        for (uid, node) in [("1001", CALLER_NODE), ("1002", CALLEE_NODE)] {
+            let req = register_request(uid);
+            let acts = pbx.handle_sip(SimTime::ZERO, node, req.into());
+            assert!(matches!(
+                &acts[0],
+                PbxAction::SendSip { msg: SipMessage::Response(r), .. } if r.status == StatusCode::OK
+            ));
+        }
+        pbx
+    }
+
+    fn register_request(uid: &str) -> Request {
+        Request::new(Method::Register, sipcore::SipUri::server("pbx.unb.br"))
+            .header(HeaderName::Via, format_via("host", 5060, "z9hG4bKreg"))
+            .header(HeaderName::From, format!("<sip:{uid}@pbx.unb.br>;tag=r"))
+            .header(HeaderName::To, format!("<sip:{uid}@pbx.unb.br>"))
+            .header(HeaderName::CallId, format!("reg-{uid}"))
+            .header(HeaderName::CSeq, "1 REGISTER")
+            .header(HeaderName::Authorization, format!("Simple {uid} pw-{uid}"))
+    }
+
+    fn invite(call_id: &str, from_uid: &str, to_ext: &str, rtp_port: u16) -> Request {
+        let sdp = SessionDescription::new(from_uid, "10.0.0.1", rtp_port, sipcore::sdp::SdpCodec::Pcmu);
+        Request::new(
+            Method::Invite,
+            sipcore::SipUri::new(to_ext, "pbx.unb.br"),
+        )
+        .header(HeaderName::Via, format_via("10.0.0.1", 5060, &format!("z9hG4bK{call_id}")))
+        .header(HeaderName::From, format!("<sip:{from_uid}@pbx.unb.br>;tag=c{call_id}"))
+        .header(HeaderName::To, format!("<sip:{to_ext}@pbx.unb.br>"))
+        .header(HeaderName::CallId, call_id.to_owned())
+        .header(HeaderName::CSeq, "1 INVITE")
+        .with_body("application/sdp", sdp.to_body())
+    }
+
+    fn sip_of(a: &PbxAction) -> &SipMessage {
+        match a {
+            PbxAction::SendSip { msg, .. } => msg,
+            other => panic!("expected SIP action, got {other:?}"),
+        }
+    }
+
+    /// Drive a full call to the answered state; returns (pbx, callee 200's
+    /// SDP port facing caller, callee-facing pbx port).
+    fn establish_call(pbx: &mut Pbx, call_id: &str) -> (u16, u16) {
+        let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite(call_id, "1001", "1002", 6000).into());
+        assert_eq!(acts.len(), 2, "100 Trying + forwarded INVITE");
+        let trying = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(trying.status, StatusCode::TRYING);
+        let fwd_invite = sip_of(&acts[1]).as_request().unwrap().clone();
+        assert_eq!(fwd_invite.method, Method::Invite);
+        let out_sdp = SessionDescription::parse(&fwd_invite.body).unwrap();
+        assert!(out_sdp.audio_port >= FIRST_MEDIA_PORT, "PBX offers its own media port");
+
+        // Callee rings then answers with its SDP (port 7000).
+        let ringing = fwd_invite.make_response(StatusCode::RINGING);
+        let acts = pbx.handle_sip(SimTime::from_secs(2), CALLEE_NODE, ringing.into());
+        assert_eq!(acts.len(), 1);
+        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::RINGING);
+
+        let mut ok = fwd_invite.make_response(StatusCode::OK);
+        let answer = SessionDescription::new("1002", "10.0.0.2", 7000, sipcore::sdp::SdpCodec::Pcmu);
+        ok = ok.with_body("application/sdp", answer.to_body());
+        let acts = pbx.handle_sip(SimTime::from_secs(3), CALLEE_NODE, ok.into());
+        assert_eq!(acts.len(), 1);
+        let fwd_ok = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(fwd_ok.status, StatusCode::OK);
+        let caller_facing = SessionDescription::parse(&fwd_ok.body).unwrap();
+
+        // Caller ACKs; PBX forwards it to the callee.
+        let ack = Request::new(Method::Ack, sipcore::SipUri::new("1002", "pbx.unb.br"))
+            .header(HeaderName::CallId, call_id.to_owned())
+            .header(HeaderName::CSeq, "1 ACK");
+        let acts = pbx.handle_sip(SimTime::from_secs(3), CALLER_NODE, ack.into());
+        assert_eq!(acts.len(), 1);
+        assert_eq!(sip_of(&acts[0]).as_request().unwrap().method, Method::Ack);
+
+        (caller_facing.audio_port, out_sdp.audio_port)
+    }
+
+    #[test]
+    fn fig2_ladder_message_counts() {
+        let mut pbx = pbx_with_users();
+        let base_in = pbx.stats().sip_in;
+        let base_out = pbx.stats().sip_out;
+        establish_call(&mut pbx, "ladder");
+        // Teardown: caller BYE -> forwarded; callee 200 -> forwarded.
+        let bye = Request::new(Method::Bye, sipcore::SipUri::new("1002", "pbx.unb.br"))
+            .header(HeaderName::CallId, "ladder".to_owned())
+            .header(HeaderName::CSeq, "2 BYE");
+        let acts = pbx.handle_sip(SimTime::from_secs(120), CALLER_NODE, bye.into());
+        let fwd_bye = sip_of(&acts[0]).as_request().unwrap().clone();
+        assert_eq!(fwd_bye.method, Method::Bye);
+        let ok = fwd_bye.make_response(StatusCode::OK);
+        let acts = pbx.handle_sip(SimTime::from_secs(120), CALLEE_NODE, ok.into());
+        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::OK);
+
+        // Fig. 2: the PBX receives 6 messages (INVITE, 180, 200, ACK, BYE,
+        // 200-BYE — the 100 is generated, not received... from the PBX's
+        // perspective: in = INVITE, 180, 200, ACK, BYE, 200) and sends 7
+        // (100, INVITE, 180, 200, ACK, BYE, 200).
+        assert_eq!(pbx.stats().sip_in - base_in, 6);
+        assert_eq!(pbx.stats().sip_out - base_out, 7);
+        // 13 total messages crossed the wire: 6 + 7.
+        assert_eq!(pbx.stats().sip_in - base_in + pbx.stats().sip_out - base_out, 13);
+    }
+
+    #[test]
+    fn answered_call_produces_cdr_with_billsec() {
+        let mut pbx = pbx_with_users();
+        establish_call(&mut pbx, "cdr-test");
+        let bye = Request::new(Method::Bye, sipcore::SipUri::new("1002", "pbx.unb.br"))
+            .header(HeaderName::CallId, "cdr-test".to_owned())
+            .header(HeaderName::CSeq, "2 BYE");
+        let acts = pbx.handle_sip(SimTime::from_secs(123), CALLER_NODE, bye.into());
+        let fwd_bye = sip_of(&acts[0]).as_request().unwrap().clone();
+        pbx.handle_sip(
+            SimTime::from_secs(123),
+            CALLEE_NODE,
+            fwd_bye.make_response(StatusCode::OK).into(),
+        );
+        assert_eq!(pbx.cdr.total(), 1);
+        let rec = &pbx.cdr.records()[0];
+        assert_eq!(rec.disposition, Disposition::Answered);
+        assert!((rec.billsec() - 120.0).abs() < 1e-9, "answered t=3, ended t=123");
+        assert_eq!(rec.caller, "1001");
+        assert_eq!(rec.callee, "1002");
+        assert_eq!(pbx.active_calls(), 0);
+        assert_eq!(pbx.pool.in_use(), 0, "channel released");
+    }
+
+    #[test]
+    fn rtp_is_relayed_between_legs() {
+        let mut pbx = pbx_with_users();
+        let (caller_facing_port, callee_facing_port) = establish_call(&mut pbx, "media");
+        // Caller sends RTP to the PBX's caller-facing port; it must come
+        // out towards the callee's advertised port 7000.
+        let acts = pbx.handle_rtp(SimTime::from_secs(4), caller_facing_port, vec![1, 2, 3]);
+        assert_eq!(
+            acts,
+            vec![PbxAction::SendRtp {
+                to: CALLEE_NODE,
+                to_port: 7000,
+                bytes: vec![1, 2, 3]
+            }]
+        );
+        // Callee's media flows back to the caller's port 6000.
+        let acts = pbx.handle_rtp(SimTime::from_secs(4), callee_facing_port, vec![9]);
+        assert_eq!(
+            acts,
+            vec![PbxAction::SendRtp {
+                to: CALLER_NODE,
+                to_port: 6000,
+                bytes: vec![9]
+            }]
+        );
+        assert_eq!(pbx.stats().rtp_relayed, 2);
+        assert_eq!(pbx.stats().rtp_dropped, 0);
+    }
+
+    #[test]
+    fn rtp_to_unknown_port_is_dropped() {
+        let mut pbx = pbx_with_users();
+        let acts = pbx.handle_rtp(SimTime::ZERO, 40_000, vec![1]);
+        assert!(acts.is_empty());
+        assert_eq!(pbx.stats().rtp_dropped, 1);
+    }
+
+    #[test]
+    fn channel_exhaustion_blocks_with_486() {
+        let dir = Directory::with_subscribers(1000, 100);
+        let mut cfg = PbxConfig::evaluation_default(PBX_NODE);
+        cfg.channels = 1;
+        let mut pbx = Pbx::new(cfg, dir);
+        for (uid, node) in [("1001", CALLER_NODE), ("1002", CALLEE_NODE)] {
+            pbx.handle_sip(SimTime::ZERO, node, register_request(uid).into());
+        }
+        // First call occupies the only channel.
+        let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite("c1", "1001", "1002", 6000).into());
+        assert_eq!(acts.len(), 2);
+        // Second call is refused with 486.
+        let acts = pbx.handle_sip(SimTime::from_secs(2), CALLER_NODE, invite("c2", "1001", "1002", 6002).into());
+        assert_eq!(acts.len(), 1);
+        let resp = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(resp.status, StatusCode::BUSY_HERE);
+        assert_eq!(pbx.stats().calls_blocked, 1);
+        assert_eq!(pbx.stats().sip_errors_sent, 1);
+        assert_eq!(pbx.cdr.count(Disposition::Blocked), 1);
+        assert!((pbx.cdr.blocking_probability() - 1.0).abs() < 1e-12, "1 of 1 completed attempts blocked so far");
+    }
+
+    #[test]
+    fn unknown_extension_gets_404() {
+        let mut pbx = pbx_with_users();
+        let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite("x", "1001", "7777", 6000).into());
+        let resp = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND, "7777 never registered");
+        assert_eq!(pbx.cdr.count(Disposition::Failed), 1);
+        assert_eq!(pbx.pool.in_use(), 0, "no channel leaked");
+    }
+
+    #[test]
+    fn non_numeric_uri_is_rejected_by_dialplan() {
+        let mut pbx = pbx_with_users();
+        let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite("y", "1001", "alice", 6000).into());
+        let resp = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn register_with_bad_password_forbidden() {
+        let dir = Directory::with_subscribers(1000, 10);
+        let mut pbx = Pbx::new(PbxConfig::evaluation_default(PBX_NODE), dir);
+        let mut req = register_request("1001");
+        req.headers.set(HeaderName::Authorization, "Simple 1001 wrong");
+        let acts = pbx.handle_sip(SimTime::ZERO, CALLER_NODE, req.into());
+        let resp = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(resp.status, StatusCode::FORBIDDEN);
+        // Missing auth entirely -> 401.
+        let mut req = register_request("1001");
+        req.headers.remove_first(&HeaderName::Authorization);
+        let acts = pbx.handle_sip(SimTime::ZERO, CALLER_NODE, req.into());
+        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::UNAUTHORIZED);
+    }
+
+    #[test]
+    fn callee_busy_is_relayed_and_cleaned_up() {
+        let mut pbx = pbx_with_users();
+        let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite("busy", "1001", "1002", 6000).into());
+        let fwd_invite = sip_of(&acts[1]).as_request().unwrap().clone();
+        let busy = fwd_invite.make_response(StatusCode::BUSY_HERE);
+        let acts = pbx.handle_sip(SimTime::from_secs(2), CALLEE_NODE, busy.into());
+        // ACK towards callee + relayed 486 towards caller.
+        assert_eq!(acts.len(), 2);
+        assert_eq!(sip_of(&acts[0]).as_request().unwrap().method, Method::Ack);
+        assert_eq!(
+            sip_of(&acts[1]).as_response().unwrap().status,
+            StatusCode::BUSY_HERE
+        );
+        assert_eq!(pbx.pool.in_use(), 0);
+        assert_eq!(pbx.cdr.count(Disposition::Failed), 1);
+    }
+
+    #[test]
+    fn cancel_before_answer() {
+        let mut pbx = pbx_with_users();
+        pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite("cx", "1001", "1002", 6000).into());
+        let cancel = Request::new(Method::Cancel, sipcore::SipUri::new("1002", "pbx.unb.br"))
+            .header(HeaderName::CallId, "cx".to_owned())
+            .header(HeaderName::CSeq, "1 CANCEL");
+        let acts = pbx.handle_sip(SimTime::from_secs(2), CALLER_NODE, cancel.into());
+        assert_eq!(acts.len(), 3, "200-CANCEL, 487-INVITE, CANCEL onward");
+        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::OK);
+        assert_eq!(
+            sip_of(&acts[1]).as_response().unwrap().status,
+            StatusCode::REQUEST_TERMINATED
+        );
+        assert_eq!(pbx.cdr.count(Disposition::NoAnswer), 1);
+        assert_eq!(pbx.pool.in_use(), 0);
+    }
+
+    #[test]
+    fn callee_can_hang_up_too() {
+        let mut pbx = pbx_with_users();
+        establish_call(&mut pbx, "chu");
+        // The callee leg's call-id is the b2b one.
+        let callee_cid = "b2b-0@pbx.unb.br";
+        let bye = Request::new(Method::Bye, sipcore::SipUri::new("1001", "pbx.unb.br"))
+            .header(HeaderName::CallId, callee_cid.to_owned())
+            .header(HeaderName::CSeq, "2 BYE");
+        let acts = pbx.handle_sip(SimTime::from_secs(100), CALLEE_NODE, bye.into());
+        let fwd = sip_of(&acts[0]).as_request().unwrap().clone();
+        assert_eq!(fwd.method, Method::Bye);
+        // Caller confirms.
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(100),
+            CALLER_NODE,
+            fwd.make_response(StatusCode::OK).into(),
+        );
+        assert_eq!(acts.len(), 1, "200 back to the callee");
+        assert_eq!(pbx.cdr.count(Disposition::Answered), 1);
+        assert_eq!(pbx.pool.in_use(), 0);
+    }
+
+    #[test]
+    fn retransmitted_invite_absorbed() {
+        let mut pbx = pbx_with_users();
+        let inv = invite("retx", "1001", "1002", 6000);
+        let first = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, inv.clone().into());
+        assert_eq!(first.len(), 2);
+        let second = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, inv.into());
+        assert!(second.is_empty(), "no duplicate call created");
+        assert_eq!(pbx.pool.in_use(), 1);
+    }
+
+    #[test]
+    fn finish_records_in_progress_calls() {
+        let mut pbx = pbx_with_users();
+        establish_call(&mut pbx, "open-ended");
+        pbx.finish(SimTime::from_secs(200));
+        assert_eq!(pbx.cdr.count(Disposition::InProgress), 1);
+        assert_eq!(pbx.active_calls(), 0);
+    }
+
+    #[test]
+    fn peer_call_id_maps_legs() {
+        let mut pbx = pbx_with_users();
+        establish_call(&mut pbx, "legmap");
+        assert_eq!(pbx.peer_call_id("b2b-0@pbx.unb.br"), Some("legmap"));
+        assert_eq!(pbx.peer_call_id("nope"), None);
+    }
+
+    #[test]
+    fn options_keepalive_gets_200() {
+        let mut pbx = pbx_with_users();
+        let opt = Request::new(Method::Options, sipcore::SipUri::server("pbx.unb.br"))
+            .header(HeaderName::CallId, "opt1".to_owned())
+            .header(HeaderName::CSeq, "1 OPTIONS");
+        let acts = pbx.handle_sip(SimTime::ZERO, CALLER_NODE, opt.into());
+        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::OK);
+    }
+
+    #[test]
+    fn per_user_call_policy_refuses_over_the_ceiling() {
+        let dir = Directory::with_subscribers(1000, 100);
+        let mut cfg = PbxConfig::evaluation_default(PBX_NODE);
+        cfg.max_calls_per_user = Some(2);
+        let mut pbx = Pbx::new(cfg, dir);
+        for (uid, node) in [("1001", CALLER_NODE), ("1002", CALLEE_NODE)] {
+            pbx.handle_sip(SimTime::ZERO, node, register_request(uid).into());
+        }
+        // 1001's first two calls are admitted.
+        for cid in ["pol1", "pol2"] {
+            let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite(cid, "1001", "1002", 6000).into());
+            assert_eq!(acts.len(), 2, "{cid} admitted");
+        }
+        // The third is refused by policy, not for channels.
+        let acts = pbx.handle_sip(SimTime::from_secs(2), CALLER_NODE, invite("pol3", "1001", "1002", 6000).into());
+        assert_eq!(acts.len(), 1);
+        assert_eq!(
+            sip_of(&acts[0]).as_response().unwrap().status,
+            StatusCode::FORBIDDEN
+        );
+        assert_eq!(pbx.stats().calls_policy_refused, 1);
+        assert_eq!(pbx.stats().calls_blocked, 0);
+        assert_eq!(pbx.cdr.count(Disposition::PolicyRefused), 1);
+        // A different caller is unaffected.
+        pbx.handle_sip(SimTime::ZERO, CALLEE_NODE, register_request("1003").into());
+        let acts = pbx.handle_sip(SimTime::from_secs(3), CALLEE_NODE, invite("pol4", "1003", "1001", 7000).into());
+        assert_eq!(acts.len(), 2, "other users unaffected");
+    }
+
+    #[test]
+    fn policy_count_decrements_on_teardown() {
+        let dir = Directory::with_subscribers(1000, 100);
+        let mut cfg = PbxConfig::evaluation_default(PBX_NODE);
+        cfg.max_calls_per_user = Some(1);
+        let mut pbx = Pbx::new(cfg, dir);
+        for (uid, node) in [("1001", CALLER_NODE), ("1002", CALLEE_NODE)] {
+            pbx.handle_sip(SimTime::ZERO, node, register_request(uid).into());
+        }
+        establish_call(&mut pbx, "seq1");
+        // Second concurrent call refused...
+        let acts = pbx.handle_sip(SimTime::from_secs(5), CALLER_NODE, invite("seq2", "1001", "1002", 6100).into());
+        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::FORBIDDEN);
+        // ...but after hanging up, a new call is admitted.
+        let bye = Request::new(Method::Bye, sipcore::SipUri::new("1002", "pbx.unb.br"))
+            .header(HeaderName::CallId, "seq1".to_owned())
+            .header(HeaderName::CSeq, "2 BYE");
+        let acts = pbx.handle_sip(SimTime::from_secs(100), CALLER_NODE, bye.into());
+        let fwd = sip_of(&acts[0]).as_request().unwrap().clone();
+        pbx.handle_sip(SimTime::from_secs(100), CALLEE_NODE, fwd.make_response(StatusCode::OK).into());
+        let acts = pbx.handle_sip(SimTime::from_secs(101), CALLER_NODE, invite("seq3", "1001", "1002", 6200).into());
+        assert_eq!(acts.len(), 2, "ceiling freed after hangup");
+    }
+
+    #[test]
+    fn channel_peak_tracks_concurrency() {
+        let mut pbx = pbx_with_users();
+        establish_call(&mut pbx, "p1");
+        // A second simultaneous call (re-using same users is fine for the pool).
+        pbx.handle_sip(SimTime::from_secs(5), CALLER_NODE, invite("p2", "1001", "1002", 6100).into());
+        assert_eq!(pbx.pool.peak(), 2);
+        assert_eq!(pbx.active_calls(), 2);
+    }
+}

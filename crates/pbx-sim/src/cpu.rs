@@ -1,0 +1,247 @@
+//! CPU service-cost model for the PBX host.
+//!
+//! The paper reports CPU usage bands per workload (Table I) and observes
+//! that RTP relaying, not SIP, dominates. We model the PBX CPU as a single
+//! core accruing a fixed service cost per handled event:
+//!
+//! * `sip_cost` per SIP message processed (parse, route, serialize);
+//! * `rtp_cost` per RTP packet relayed (two socket ops + bookkeeping);
+//! * a constant `base_load` for housekeeping.
+//!
+//! Calibration (DESIGN.md §7): Table I's bands (≈17 % at 40 E rising to
+//! ≈57 % at 240 E) are *affine* in the workload — utilisation grows ~0.19 %
+//! per Erlang on top of a ~10 % floor (Asterisk housekeeping, the
+//! monitoring tools the paper leaves running on the host). Hence the
+//! defaults: 10 % base load, 19 µs per relayed RTP packet (each carried
+//! Erlang costs 100 relays/s), 55 µs per SIP message. Utilisation is
+//! tracked over sliding windows so the experiment reports a min–max band
+//! like the paper does.
+
+use des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuCosts {
+    /// Service time per SIP message.
+    pub sip_cost: SimDuration,
+    /// Service time per relayed RTP packet.
+    pub rtp_cost: SimDuration,
+    /// Constant background utilisation fraction (0..1).
+    pub base_load: f64,
+}
+
+impl Default for CpuCosts {
+    fn default() -> Self {
+        CpuCosts {
+            sip_cost: SimDuration::from_micros(55),
+            rtp_cost: SimDuration::from_micros(19),
+            base_load: 0.10,
+        }
+    }
+}
+
+/// The accruing CPU model.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    costs: CpuCosts,
+    busy_total: SimDuration,
+    window_len: SimDuration,
+    window_start: SimTime,
+    window_busy: SimDuration,
+    window_peaks: Vec<f64>, // completed-window utilisations
+}
+
+impl CpuModel {
+    /// A model with the given costs, reporting over `window_len` windows
+    /// (the paper effectively reads 5–10 s `top` samples; we default the
+    /// experiment to 5 s windows).
+    #[must_use]
+    pub fn new(costs: CpuCosts, window_len: SimDuration) -> Self {
+        CpuModel {
+            costs,
+            busy_total: SimDuration::ZERO,
+            window_len,
+            window_start: SimTime::ZERO,
+            window_busy: SimDuration::ZERO,
+            window_peaks: Vec::new(),
+        }
+    }
+
+    /// Default-calibrated model with 5 s windows.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        CpuModel::new(CpuCosts::default(), SimDuration::from_secs(5))
+    }
+
+    fn accrue(&mut self, now: SimTime, cost: SimDuration) {
+        self.roll_windows(now);
+        self.busy_total = self.busy_total + cost;
+        self.window_busy = self.window_busy + cost;
+    }
+
+    fn roll_windows(&mut self, now: SimTime) {
+        while now.since(self.window_start) >= self.window_len {
+            let u = self.window_busy.as_secs_f64() / self.window_len.as_secs_f64()
+                + self.costs.base_load;
+            self.window_peaks.push(u.min(1.0));
+            self.window_start += self.window_len;
+            self.window_busy = SimDuration::ZERO;
+        }
+    }
+
+    /// Account one SIP message at time `now`.
+    pub fn on_sip_message(&mut self, now: SimTime) {
+        self.accrue(now, self.costs.sip_cost);
+    }
+
+    /// Account one relayed RTP packet at time `now`.
+    pub fn on_rtp_packet(&mut self, now: SimTime) {
+        self.accrue(now, self.costs.rtp_cost);
+    }
+
+    /// Mean utilisation over `[0, until]`, including base load.
+    #[must_use]
+    pub fn mean_utilisation(&self, until: SimTime) -> f64 {
+        let span = until.as_secs_f64();
+        if span <= 0.0 {
+            return self.costs.base_load;
+        }
+        (self.busy_total.as_secs_f64() / span + self.costs.base_load).min(1.0)
+    }
+
+    /// Utilisation band over completed windows: (min, max). Returns the
+    /// base load twice when no window has completed.
+    #[must_use]
+    pub fn utilisation_band(&self) -> (f64, f64) {
+        if self.window_peaks.is_empty() {
+            return (self.costs.base_load, self.costs.base_load);
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &u in &self.window_peaks {
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        (lo, hi)
+    }
+
+    /// Flush any partially-completed window at the end of the experiment.
+    pub fn finish(&mut self, now: SimTime) {
+        self.roll_windows(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_utilisation_from_event_counts() {
+        let mut cpu = CpuModel::calibrated();
+        let now = SimTime::from_secs(10);
+        // 10k RTP packets at 19 µs = 0.19 s busy over 10 s = 1.9% + 10% base.
+        for _ in 0..10_000 {
+            cpu.on_rtp_packet(SimTime::from_secs(5));
+        }
+        let u = cpu.mean_utilisation(now);
+        assert!((u - 0.119).abs() < 1e-9, "u={u}");
+    }
+
+    #[test]
+    fn sip_and_rtp_costs_differ() {
+        let mut cpu = CpuModel::calibrated();
+        for _ in 0..1000 {
+            cpu.on_sip_message(SimTime::from_secs(1));
+        }
+        let sip_u = cpu.mean_utilisation(SimTime::from_secs(10));
+        let mut cpu2 = CpuModel::calibrated();
+        for _ in 0..1000 {
+            cpu2.on_rtp_packet(SimTime::from_secs(1));
+        }
+        let rtp_u = cpu2.mean_utilisation(SimTime::from_secs(10));
+        assert!(sip_u > rtp_u, "SIP messages cost more each");
+    }
+
+    #[test]
+    fn windows_capture_bands() {
+        let mut cpu = CpuModel::new(
+            CpuCosts {
+                sip_cost: SimDuration::from_micros(100),
+                rtp_cost: SimDuration::from_micros(100),
+                base_load: 0.0,
+            },
+            SimDuration::from_secs(1),
+        );
+        // Window 0: 1000 events = 0.1 s busy -> 10%.
+        for _ in 0..1000 {
+            cpu.on_rtp_packet(SimTime::from_millis(500));
+        }
+        // Window 1: 5000 events -> 50%.
+        for _ in 0..5000 {
+            cpu.on_rtp_packet(SimTime::from_millis(1500));
+        }
+        cpu.finish(SimTime::from_secs(2));
+        let (lo, hi) = cpu.utilisation_band();
+        assert!((lo - 0.1).abs() < 1e-9, "lo={lo}");
+        assert!((hi - 0.5).abs() < 1e-9, "hi={hi}");
+    }
+
+    #[test]
+    fn idle_model_reports_base_load() {
+        let cpu = CpuModel::calibrated();
+        assert_eq!(cpu.utilisation_band(), (0.10, 0.10));
+        assert!((cpu.mean_utilisation(SimTime::from_secs(100)) - 0.10).abs() < 1e-12);
+        assert_eq!(cpu.mean_utilisation(SimTime::ZERO), 0.10);
+    }
+
+    #[test]
+    fn utilisation_saturates_at_one() {
+        let mut cpu = CpuModel::new(
+            CpuCosts {
+                sip_cost: SimDuration::from_millis(10),
+                rtp_cost: SimDuration::from_millis(10),
+                base_load: 0.0,
+            },
+            SimDuration::from_secs(1),
+        );
+        for _ in 0..1000 {
+            cpu.on_sip_message(SimTime::from_millis(100));
+        }
+        cpu.finish(SimTime::from_secs(1));
+        assert!(cpu.mean_utilisation(SimTime::from_secs(1)) <= 1.0);
+        assert!(cpu.utilisation_band().1 <= 1.0);
+    }
+
+    #[test]
+    fn calibration_lands_in_paper_bands() {
+        // Steady state at A Erlangs: A concurrent calls, each generating
+        // 100 RTP relays/s (50 pps × 2 directions) and negligible SIP.
+        // Check the calibrated model lands inside (or near) Table I's CPU
+        // bands: 40 E -> 15–20%, 240 E -> 55–60%.
+        let cases: [(f64, f64, f64); 3] = [
+            (40.0, 0.14, 0.22),
+            (120.0, 0.28, 0.40),
+            (240.0, 0.50, 0.65),
+        ];
+        for (erlangs, lo, hi) in cases {
+            let mut cpu = CpuModel::calibrated();
+            let seconds = 10u64;
+            // Per second: erlangs × 100 packets, delivered during that second.
+            for s in 0..seconds {
+                for _ in 0..(erlangs as u64 * 100) {
+                    cpu.on_rtp_packet(SimTime::from_secs(s));
+                }
+                // 13 SIP messages per call × A/120 calls/s ≈ A/9 msgs/s.
+                for _ in 0..(erlangs as u64 / 9) {
+                    cpu.on_sip_message(SimTime::from_secs(s));
+                }
+            }
+            let u = cpu.mean_utilisation(SimTime::from_secs(seconds));
+            assert!(
+                u > lo && u < hi,
+                "A={erlangs}: utilisation {u} outside ({lo}, {hi})"
+            );
+        }
+    }
+}

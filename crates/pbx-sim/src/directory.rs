@@ -1,0 +1,180 @@
+//! An LDAP-like in-memory user directory.
+//!
+//! The UnB deployment authenticates SIP users and records calls against an
+//! LDAP server (paper §II-A). The evaluation only needs the directory's
+//! behaviour — bind (credential check) and attribute search — so this is a
+//! small hierarchical-DN store rather than a wire-protocol server.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One directory entry: a distinguished name plus attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// Distinguished name, e.g. `uid=1001,ou=people,dc=unb,dc=br`.
+    pub dn: String,
+    /// Attribute map (single-valued for simplicity).
+    pub attrs: HashMap<String, String>,
+}
+
+/// Result of a bind attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BindResult {
+    /// Credentials accepted.
+    Success,
+    /// Entry exists but the password is wrong.
+    InvalidCredentials,
+    /// No such DN.
+    NoSuchObject,
+}
+
+/// The in-memory directory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<String, DirEntry>,
+    /// Index: uid attribute -> DN, for fast subscriber lookup.
+    uid_index: HashMap<String, String>,
+    binds_attempted: u64,
+    binds_failed: u64,
+}
+
+impl Directory {
+    /// An empty directory.
+    #[must_use]
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// A directory pre-populated with `count` campus subscribers, uids
+    /// `base .. base+count`, each with password `pw-<uid>` and a phone
+    /// extension equal to its uid — the shape of the UnB deployment where
+    /// IDs map one-to-one to phone numbers.
+    #[must_use]
+    pub fn with_subscribers(base: u32, count: u32) -> Self {
+        let mut dir = Directory::new();
+        for uid in base..base + count {
+            let mut attrs = HashMap::new();
+            attrs.insert("uid".to_owned(), uid.to_string());
+            attrs.insert("userPassword".to_owned(), format!("pw-{uid}"));
+            attrs.insert("telephoneNumber".to_owned(), uid.to_string());
+            attrs.insert("objectClass".to_owned(), "sipUser".to_owned());
+            dir.add(DirEntry {
+                dn: format!("uid={uid},ou=people,dc=unb,dc=br"),
+                attrs,
+            });
+        }
+        dir
+    }
+
+    /// Insert or replace an entry.
+    pub fn add(&mut self, entry: DirEntry) {
+        if let Some(uid) = entry.attrs.get("uid") {
+            self.uid_index.insert(uid.clone(), entry.dn.clone());
+        }
+        self.entries.insert(entry.dn.clone(), entry);
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the directory holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Simple bind: check `password` against the entry's `userPassword`.
+    pub fn bind(&mut self, dn: &str, password: &str) -> BindResult {
+        self.binds_attempted += 1;
+        match self.entries.get(dn) {
+            None => {
+                self.binds_failed += 1;
+                BindResult::NoSuchObject
+            }
+            Some(e) => {
+                if e.attrs.get("userPassword").map(String::as_str) == Some(password) {
+                    BindResult::Success
+                } else {
+                    self.binds_failed += 1;
+                    BindResult::InvalidCredentials
+                }
+            }
+        }
+    }
+
+    /// Search by uid (the registrar's hot path).
+    #[must_use]
+    pub fn find_by_uid(&self, uid: &str) -> Option<&DirEntry> {
+        let dn = self.uid_index.get(uid)?;
+        self.entries.get(dn)
+    }
+
+    /// Search by arbitrary attribute equality (linear; admin paths only).
+    #[must_use]
+    pub fn search(&self, attr: &str, value: &str) -> Vec<&DirEntry> {
+        let mut hits: Vec<&DirEntry> = self
+            .entries
+            .values()
+            .filter(|e| e.attrs.get(attr).map(String::as_str) == Some(value))
+            .collect();
+        hits.sort_by(|a, b| a.dn.cmp(&b.dn));
+        hits
+    }
+
+    /// (attempted, failed) bind counters.
+    #[must_use]
+    pub fn bind_stats(&self) -> (u64, u64) {
+        (self.binds_attempted, self.binds_failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populated_directory_shape() {
+        let dir = Directory::with_subscribers(1000, 50);
+        assert_eq!(dir.len(), 50);
+        assert!(!dir.is_empty());
+        let e = dir.find_by_uid("1001").unwrap();
+        assert_eq!(e.attrs["telephoneNumber"], "1001");
+        assert!(e.dn.contains("uid=1001"));
+        assert!(dir.find_by_uid("999").is_none());
+        assert!(dir.find_by_uid("1050").is_none(), "range is exclusive");
+    }
+
+    #[test]
+    fn bind_outcomes() {
+        let mut dir = Directory::with_subscribers(1000, 5);
+        let dn = "uid=1002,ou=people,dc=unb,dc=br";
+        assert_eq!(dir.bind(dn, "pw-1002"), BindResult::Success);
+        assert_eq!(dir.bind(dn, "wrong"), BindResult::InvalidCredentials);
+        assert_eq!(dir.bind("uid=zzz,dc=x", "pw"), BindResult::NoSuchObject);
+        assert_eq!(dir.bind_stats(), (3, 2));
+    }
+
+    #[test]
+    fn search_by_attribute() {
+        let mut dir = Directory::with_subscribers(1000, 3);
+        let hits = dir.search("objectClass", "sipUser");
+        assert_eq!(hits.len(), 3);
+        assert!(hits.windows(2).all(|w| w[0].dn <= w[1].dn), "sorted");
+        assert!(dir.search("objectClass", "printer").is_empty());
+        // Replacing an entry updates rather than duplicates.
+        let e = dir.find_by_uid("1000").unwrap().clone();
+        dir.add(e);
+        assert_eq!(dir.len(), 3);
+    }
+
+    #[test]
+    fn empty_directory() {
+        let dir = Directory::new();
+        assert!(dir.is_empty());
+        assert!(dir.find_by_uid("1").is_none());
+        assert!(dir.search("uid", "1").is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! SIP registrar: binds address-of-records to reachable contacts, with
+//! directory-backed authentication.
+//!
+//! In the paper's deployment users authenticate against LDAP and are then
+//! reachable at their campus extension. Here a REGISTER carries the uid and
+//! password (in an `Authorization: Simple uid password` header — a stand-in
+//! for digest auth that exercises the same directory code path); on success
+//! the registrar records where that extension lives (node + RTP-signalling
+//! coordinates) with an expiry.
+
+use crate::directory::{BindResult, Directory};
+use des::{SimDuration, SimTime};
+use netsim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A registered binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// Node where the user agent runs.
+    pub node: NodeId,
+    /// Registration expiry instant.
+    pub expires_at: SimTime,
+}
+
+/// Outcome of a REGISTER attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegisterOutcome {
+    /// Accepted; binding stored.
+    Ok,
+    /// Unknown user or bad password.
+    AuthFailed,
+}
+
+/// The registrar.
+#[derive(Debug, Clone)]
+pub struct Registrar {
+    bindings: HashMap<String, Binding>,
+    default_expiry: SimDuration,
+    registrations: u64,
+    auth_failures: u64,
+}
+
+impl Registrar {
+    /// A registrar granting `default_expiry` per registration.
+    #[must_use]
+    pub fn new(default_expiry: SimDuration) -> Self {
+        Registrar {
+            bindings: HashMap::new(),
+            default_expiry,
+            registrations: 0,
+            auth_failures: 0,
+        }
+    }
+
+    /// Process a REGISTER for `uid` with `password`, binding it to `node`.
+    pub fn register(
+        &mut self,
+        dir: &mut Directory,
+        now: SimTime,
+        uid: &str,
+        password: &str,
+        node: NodeId,
+    ) -> RegisterOutcome {
+        let Some(entry) = dir.find_by_uid(uid) else {
+            self.auth_failures += 1;
+            return RegisterOutcome::AuthFailed;
+        };
+        let dn = entry.dn.clone();
+        match dir.bind(&dn, password) {
+            BindResult::Success => {
+                self.bindings.insert(
+                    uid.to_owned(),
+                    Binding {
+                        node,
+                        expires_at: now + self.default_expiry,
+                    },
+                );
+                self.registrations += 1;
+                RegisterOutcome::Ok
+            }
+            _ => {
+                self.auth_failures += 1;
+                RegisterOutcome::AuthFailed
+            }
+        }
+    }
+
+    /// Look up a *live* binding at time `now` (expired bindings are
+    /// invisible and pruned lazily).
+    pub fn lookup(&mut self, now: SimTime, uid: &str) -> Option<Binding> {
+        match self.bindings.get(uid) {
+            Some(b) if b.expires_at > now => Some(*b),
+            Some(_) => {
+                self.bindings.remove(uid);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Number of (possibly stale) stored bindings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True when no bindings are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// (successful registrations, auth failures).
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.registrations, self.auth_failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Registrar, Directory) {
+        (
+            Registrar::new(SimDuration::from_secs(3600)),
+            Directory::with_subscribers(1000, 10),
+        )
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let (mut reg, mut dir) = setup();
+        let out = reg.register(&mut dir, SimTime::ZERO, "1003", "pw-1003", NodeId(5));
+        assert_eq!(out, RegisterOutcome::Ok);
+        let b = reg.lookup(SimTime::from_secs(10), "1003").unwrap();
+        assert_eq!(b.node, NodeId(5));
+        assert_eq!(reg.stats(), (1, 0));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn wrong_password_rejected() {
+        let (mut reg, mut dir) = setup();
+        let out = reg.register(&mut dir, SimTime::ZERO, "1003", "nope", NodeId(5));
+        assert_eq!(out, RegisterOutcome::AuthFailed);
+        assert!(reg.lookup(SimTime::ZERO, "1003").is_none());
+        assert_eq!(reg.stats(), (0, 1));
+    }
+
+    #[test]
+    fn unknown_user_rejected() {
+        let (mut reg, mut dir) = setup();
+        let out = reg.register(&mut dir, SimTime::ZERO, "9999", "pw-9999", NodeId(5));
+        assert_eq!(out, RegisterOutcome::AuthFailed);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn bindings_expire() {
+        let (mut reg, mut dir) = setup();
+        reg.register(&mut dir, SimTime::ZERO, "1001", "pw-1001", NodeId(2));
+        assert!(reg.lookup(SimTime::from_secs(3599), "1001").is_some());
+        assert!(reg.lookup(SimTime::from_secs(3600), "1001").is_none());
+        assert_eq!(reg.len(), 0, "expired binding pruned");
+    }
+
+    #[test]
+    fn re_registration_refreshes() {
+        let (mut reg, mut dir) = setup();
+        reg.register(&mut dir, SimTime::ZERO, "1001", "pw-1001", NodeId(2));
+        reg.register(
+            &mut dir,
+            SimTime::from_secs(3000),
+            "1001",
+            "pw-1001",
+            NodeId(7),
+        );
+        let b = reg.lookup(SimTime::from_secs(4000), "1001").unwrap();
+        assert_eq!(b.node, NodeId(7), "newest binding wins");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.stats(), (2, 0));
+    }
+}

@@ -1,0 +1,396 @@
+//! RTP reception statistics: interarrival jitter (RFC 3550 §6.4.1) and
+//! sequence-number bookkeeping (§A.1 style).
+//!
+//! These are the quantities VoIPmonitor derives from captured RTP and feeds
+//! into its MOS estimate; the `vmon` crate does the same with this module.
+
+use serde::{Deserialize, Serialize};
+
+/// RFC 3550 interarrival jitter estimator.
+///
+/// For packets `i` and `j`, the difference in relative transit times is
+/// `D(i,j) = (Rj − Ri) − (Sj − Si)` (arrival clock minus media timestamp,
+/// both in timestamp units); jitter is the exponentially smoothed mean of
+/// `|D|`: `J += (|D| − J)/16`.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct JitterEstimator {
+    jitter_units: f64,
+    last_transit: Option<f64>,
+    clock_hz: f64,
+}
+
+impl JitterEstimator {
+    /// Estimator for a media clock of `clock_hz` Hz (8000 for G.711).
+    #[must_use]
+    pub fn new(clock_hz: f64) -> Self {
+        JitterEstimator {
+            jitter_units: 0.0,
+            last_transit: None,
+            clock_hz,
+        }
+    }
+
+    /// Record a packet arriving at wall time `arrival_s` (seconds) carrying
+    /// media timestamp `rtp_timestamp` (clock units).
+    pub fn record(&mut self, arrival_s: f64, rtp_timestamp: u32) {
+        let transit = arrival_s * self.clock_hz - f64::from(rtp_timestamp);
+        if let Some(prev) = self.last_transit {
+            let d = (transit - prev).abs();
+            self.jitter_units += (d - self.jitter_units) / 16.0;
+        }
+        self.last_transit = Some(transit);
+    }
+
+    /// Current jitter in media-clock units (what RTCP reports).
+    #[must_use]
+    pub fn jitter_units(&self) -> f64 {
+        self.jitter_units
+    }
+
+    /// Current jitter in milliseconds.
+    #[must_use]
+    pub fn jitter_ms(&self) -> f64 {
+        self.jitter_units / self.clock_hz * 1000.0
+    }
+}
+
+/// Sequence-number tracker: expected/received counts, losses, duplicates
+/// and reorders, with wrap-around handling.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SequenceTracker {
+    base_seq: Option<u16>,
+    highest_ext: u64,
+    received: u64,
+    duplicates: u64,
+    reordered: u64,
+    seen_window: Vec<u64>, // extended seqs seen recently, for dup detection
+    /// Number of distinct loss gaps observed (runs of missing packets).
+    gap_count: u64,
+    /// Total packets missing across those gaps at observation time.
+    gap_lost: u64,
+}
+
+const DUP_WINDOW: usize = 64;
+
+impl SequenceTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        SequenceTracker::default()
+    }
+
+    /// Record a received sequence number. Returns `true` if the packet is
+    /// new (not a duplicate).
+    pub fn record(&mut self, seq: u16) -> bool {
+        let ext = match self.base_seq {
+            None => {
+                self.base_seq = Some(seq);
+                self.highest_ext = u64::from(seq);
+                let e = self.highest_ext;
+                self.received = 1;
+                self.push_seen(e);
+                return true;
+            }
+            Some(_) => self.extend(seq),
+        };
+        if self.seen_window.contains(&ext) {
+            self.duplicates += 1;
+            return false;
+        }
+        self.push_seen(ext);
+        self.received += 1;
+        if ext > self.highest_ext {
+            if ext > self.highest_ext + 1 {
+                // A run of missing packets between highest and this one.
+                self.gap_count += 1;
+                self.gap_lost += ext - self.highest_ext - 1;
+            }
+            self.highest_ext = ext;
+        } else {
+            self.reordered += 1;
+        }
+        true
+    }
+
+    /// Extend a 16-bit sequence to 64 bits relative to the current highest,
+    /// choosing the closest interpretation across wraps.
+    fn extend(&self, seq: u16) -> u64 {
+        let cycle = self.highest_ext & !0xFFFF;
+        let candidates = [
+            cycle.wrapping_sub(0x1_0000) | u64::from(seq),
+            cycle | u64::from(seq),
+            (cycle + 0x1_0000) | u64::from(seq),
+        ];
+        *candidates
+            .iter()
+            .min_by_key(|&&c| c.abs_diff(self.highest_ext))
+            .expect("non-empty")
+    }
+
+    fn push_seen(&mut self, ext: u64) {
+        if self.seen_window.len() == DUP_WINDOW {
+            self.seen_window.remove(0);
+        }
+        self.seen_window.push(ext);
+    }
+
+    /// Unique packets received.
+    #[must_use]
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Packets the sender must have emitted (span of sequence numbers).
+    #[must_use]
+    pub fn expected(&self) -> u64 {
+        match self.base_seq {
+            None => 0,
+            Some(base) => self.highest_ext - u64::from(base) + 1,
+        }
+    }
+
+    /// Packets lost = expected − received (saturating: late arrivals can
+    /// transiently exceed).
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.expected().saturating_sub(self.received)
+    }
+
+    /// Loss fraction in `[0, 1]` (0 when nothing expected).
+    #[must_use]
+    pub fn loss_fraction(&self) -> f64 {
+        let e = self.expected();
+        if e == 0 {
+            0.0
+        } else {
+            self.lost() as f64 / e as f64
+        }
+    }
+
+    /// Duplicate packets seen.
+    #[must_use]
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Packets that arrived after a later sequence number.
+    #[must_use]
+    pub fn reordered(&self) -> u64 {
+        self.reordered
+    }
+
+    /// Mean length of observed loss runs (NaN when no loss was seen).
+    /// Late (reordered) arrivals that later fill a gap are not subtracted —
+    /// this is the burst structure as a playout buffer experiences it.
+    #[must_use]
+    pub fn mean_loss_burst(&self) -> f64 {
+        if self.gap_count == 0 {
+            f64::NAN
+        } else {
+            self.gap_lost as f64 / self.gap_count as f64
+        }
+    }
+
+    /// Burst ratio for the E-model: observed mean burst length over the
+    /// length expected under independent (Bernoulli) loss at the same
+    /// rate, `1/(1−p)`. 1.0 for random loss; larger when losses clump.
+    /// Returns 1.0 when no loss occurred.
+    #[must_use]
+    pub fn burst_ratio(&self) -> f64 {
+        if self.gap_count == 0 {
+            return 1.0;
+        }
+        let p = self.loss_fraction().min(0.99);
+        let expected = 1.0 / (1.0 - p);
+        (self.mean_loss_burst() / expected).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_jitter_for_perfect_clocking() {
+        let mut j = JitterEstimator::new(8000.0);
+        for i in 0..200u32 {
+            // Exactly 20 ms apart, timestamps advancing 160 units.
+            j.record(f64::from(i) * 0.020, i * 160);
+        }
+        assert!(j.jitter_ms() < 1e-9, "jitter={}", j.jitter_ms());
+    }
+
+    #[test]
+    fn constant_delay_offset_adds_no_jitter() {
+        // A fixed network delay shifts all transit times equally.
+        let mut j = JitterEstimator::new(8000.0);
+        for i in 0..200u32 {
+            j.record(0.150 + f64::from(i) * 0.020, i * 160);
+        }
+        assert!(j.jitter_ms() < 1e-9);
+    }
+
+    #[test]
+    fn alternating_delay_converges_to_expected_jitter() {
+        // Delays alternating ±2 ms give |D| = 4 ms each step; the RFC filter
+        // converges towards 4 ms (never exceeds it).
+        let mut j = JitterEstimator::new(8000.0);
+        for i in 0..2000u32 {
+            let wobble = if i % 2 == 0 { 0.002 } else { -0.002 };
+            j.record(f64::from(i) * 0.020 + wobble, i * 160);
+        }
+        assert!((j.jitter_ms() - 4.0).abs() < 0.2, "jitter={}", j.jitter_ms());
+    }
+
+    #[test]
+    fn jitter_units_and_ms_agree() {
+        let mut j = JitterEstimator::new(8000.0);
+        j.record(0.0, 0);
+        j.record(0.025, 160); // 5 ms late
+        assert!((j.jitter_ms() - j.jitter_units() / 8.0).abs() < 1e-12);
+        assert!(j.jitter_ms() > 0.0);
+    }
+
+    #[test]
+    fn tracker_counts_in_order_stream() {
+        let mut t = SequenceTracker::new();
+        for s in 100..200u16 {
+            assert!(t.record(s));
+        }
+        assert_eq!(t.received(), 100);
+        assert_eq!(t.expected(), 100);
+        assert_eq!(t.lost(), 0);
+        assert_eq!(t.loss_fraction(), 0.0);
+        assert_eq!(t.duplicates(), 0);
+        assert_eq!(t.reordered(), 0);
+    }
+
+    #[test]
+    fn tracker_detects_loss() {
+        let mut t = SequenceTracker::new();
+        for s in [1u16, 2, 3, 6, 7, 10] {
+            t.record(s);
+        }
+        assert_eq!(t.expected(), 10);
+        assert_eq!(t.received(), 6);
+        assert_eq!(t.lost(), 4);
+        assert!((t.loss_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_detects_duplicates_and_reorders() {
+        let mut t = SequenceTracker::new();
+        t.record(1);
+        t.record(2);
+        assert!(!t.record(2), "duplicate rejected");
+        t.record(4);
+        assert!(t.record(3), "late packet still new");
+        assert_eq!(t.duplicates(), 1);
+        assert_eq!(t.reordered(), 1);
+        assert_eq!(t.received(), 4);
+        assert_eq!(t.lost(), 0, "the late packet filled its gap");
+    }
+
+    #[test]
+    fn tracker_handles_wraparound() {
+        let mut t = SequenceTracker::new();
+        for s in [65533u16, 65534, 65535, 0, 1, 2] {
+            assert!(t.record(s));
+        }
+        assert_eq!(t.received(), 6);
+        assert_eq!(t.expected(), 6, "wrap not counted as 65k losses");
+        assert_eq!(t.lost(), 0);
+    }
+
+    #[test]
+    fn tracker_wraparound_with_reorder_across_boundary() {
+        let mut t = SequenceTracker::new();
+        t.record(65535);
+        t.record(1); // 0 missing so far
+        t.record(0); // arrives late, across the wrap
+        assert_eq!(t.received(), 3);
+        assert_eq!(t.expected(), 3);
+        assert_eq!(t.reordered(), 1);
+    }
+
+    #[test]
+    fn burst_structure_random_vs_clumped() {
+        // Isolated single losses: mean burst 1, ratio ≈ 1·(1−p) ≈ 1.
+        let mut random = SequenceTracker::new();
+        for s in 0..100u16 {
+            if s % 10 == 5 {
+                continue;
+            }
+            random.record(s);
+        }
+        assert!((random.mean_loss_burst() - 1.0).abs() < 1e-12);
+        assert!((random.burst_ratio() - 1.0).abs() < 0.05, "ratio={}", random.burst_ratio());
+
+        // Same loss rate, but in one clump of 10: burst ratio ≈ 9.
+        let mut bursty = SequenceTracker::new();
+        for s in 0..100u16 {
+            if (40..50).contains(&s) {
+                continue;
+            }
+            bursty.record(s);
+        }
+        assert!((bursty.mean_loss_burst() - 10.0).abs() < 1e-12);
+        assert!(bursty.burst_ratio() > 5.0, "ratio={}", bursty.burst_ratio());
+        assert!(
+            (bursty.loss_fraction() - random.loss_fraction()).abs() < 1e-12,
+            "same loss rate, different structure"
+        );
+    }
+
+    #[test]
+    fn burst_ratio_without_loss_is_one() {
+        let mut t = SequenceTracker::new();
+        for s in 0..50u16 {
+            t.record(s);
+        }
+        assert!(t.mean_loss_burst().is_nan());
+        assert_eq!(t.burst_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_tracker_is_sane() {
+        let t = SequenceTracker::new();
+        assert_eq!(t.expected(), 0);
+        assert_eq!(t.received(), 0);
+        assert_eq!(t.lost(), 0);
+        assert_eq!(t.loss_fraction(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// received + lost == expected whenever no duplicates are involved
+        /// and arrivals are a subset of a contiguous range.
+        #[test]
+        fn conservation_without_dups(present in proptest::collection::btree_set(0u16..500, 1..200)) {
+            let mut t = SequenceTracker::new();
+            for &s in &present {
+                t.record(s);
+            }
+            prop_assert_eq!(t.received() + t.lost(), t.expected());
+            prop_assert_eq!(t.duplicates(), 0);
+        }
+
+        /// Jitter is always non-negative and finite.
+        #[test]
+        fn jitter_non_negative(deltas in proptest::collection::vec(0.001f64..0.2, 1..100)) {
+            let mut j = JitterEstimator::new(8000.0);
+            let mut tnow = 0.0;
+            for (i, d) in deltas.iter().enumerate() {
+                tnow += d;
+                j.record(tnow, (i as u32) * 160);
+            }
+            prop_assert!(j.jitter_units() >= 0.0);
+            prop_assert!(j.jitter_units().is_finite());
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Adaptive playout (jitter) buffer.
+//!
+//! Receivers do not play packets as they arrive; they delay the first
+//! packet of a talkspurt by a target amount and then play at a fixed
+//! 20 ms cadence, absorbing network jitter. Packets that miss their
+//! deadline are concealed (see [`crate::plc`]); packets that arrive after
+//! their slot has played are late drops. The E-model's effective loss is
+//! network loss *plus* these late drops, and its delay includes the buffer
+//! depth — this module is where those two quantities actually arise.
+
+use crate::jitter::JitterEstimator;
+use crate::packet::RtpHeader;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Frame period in seconds (20 ms, fixed by the G.711 media plane).
+const FRAME_S: f64 = 0.020;
+
+/// What happened at one playout slot or insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlayoutEvent {
+    /// A frame played from the buffer (payload attached).
+    Played(Vec<u8>),
+    /// The slot's packet had not arrived: conceal.
+    Concealed,
+}
+
+/// Counters over the buffer's lifetime.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PlayoutStats {
+    /// Frames played from real packets.
+    pub played: u64,
+    /// Slots concealed (packet missing at its deadline).
+    pub concealed: u64,
+    /// Packets discarded because their slot had already played.
+    pub late_drops: u64,
+    /// Duplicate packets discarded.
+    pub duplicates: u64,
+}
+
+/// The adaptive playout buffer for one stream.
+#[derive(Debug, Clone)]
+pub struct PlayoutBuffer {
+    min_delay_s: f64,
+    max_delay_s: f64,
+    target_delay_s: f64,
+    jitter: JitterEstimator,
+    /// Pending frames keyed by frame index (extended from seq numbers).
+    pending: BTreeMap<i64, Vec<u8>>,
+    /// Sequence number of the first packet (frame index 0).
+    base_seq: Option<u16>,
+    /// Wall time frame 0 plays.
+    base_play_time: f64,
+    /// Next frame index due to play.
+    next_index: i64,
+    /// Highest frame index seen (for extension).
+    highest_index: i64,
+    stats: PlayoutStats,
+    /// Pending retarget to apply at the next talkspurt start.
+    retarget: Option<f64>,
+}
+
+impl PlayoutBuffer {
+    /// A buffer with the given initial/minimum and maximum target delays
+    /// (seconds). Typical VoIP defaults: 40 ms initial, 120 ms cap.
+    #[must_use]
+    pub fn new(min_delay_s: f64, max_delay_s: f64) -> Self {
+        assert!(min_delay_s >= 0.0 && max_delay_s >= min_delay_s);
+        PlayoutBuffer {
+            min_delay_s,
+            max_delay_s,
+            target_delay_s: min_delay_s,
+            jitter: JitterEstimator::new(8000.0),
+            pending: BTreeMap::new(),
+            base_seq: None,
+            base_play_time: 0.0,
+            next_index: 0,
+            highest_index: 0,
+            stats: PlayoutStats::default(),
+        retarget: None,
+        }
+    }
+
+    /// The standard 40 ms / 120 ms configuration.
+    #[must_use]
+    pub fn standard() -> Self {
+        PlayoutBuffer::new(0.040, 0.120)
+    }
+
+    /// Current target delay in seconds.
+    #[must_use]
+    pub fn target_delay_s(&self) -> f64 {
+        self.target_delay_s
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> PlayoutStats {
+        self.stats
+    }
+
+    /// Effective loss seen by the decoder: concealed slots over total slots.
+    #[must_use]
+    pub fn effective_loss(&self) -> f64 {
+        let total = self.stats.played + self.stats.concealed;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.concealed as f64 / total as f64
+        }
+    }
+
+    /// Offer an arriving packet to the buffer.
+    pub fn insert(&mut self, arrival_s: f64, header: &RtpHeader, payload: Vec<u8>) {
+        self.jitter.record(arrival_s, header.timestamp);
+        let index = match self.base_seq {
+            None => {
+                self.base_seq = Some(header.sequence);
+                self.base_play_time = arrival_s + self.target_delay_s;
+                0
+            }
+            Some(base) => {
+                // Signed 16-bit distance handles wrap in either direction.
+                let delta = header.sequence.wrapping_sub(base) as i16;
+                // Extend around the highest index seen so long streams
+                // (> 32k packets) keep extending upward.
+                let mut idx = i64::from(delta);
+                while idx < self.highest_index - 0x8000 {
+                    idx += 0x1_0000;
+                }
+                idx
+            }
+        };
+        self.highest_index = self.highest_index.max(index);
+
+        // A marker bit opens a talkspurt: apply any pending retarget by
+        // re-basing the playout clock for this and subsequent frames.
+        if header.marker && index > 0 {
+            if let Some(new_target) = self.retarget.take() {
+                self.target_delay_s = new_target;
+                self.base_play_time =
+                    arrival_s + new_target - index as f64 * FRAME_S;
+            }
+        }
+
+        if index < self.next_index {
+            self.stats.late_drops += 1;
+            return;
+        }
+        if self.pending.insert(index, payload).is_some() {
+            self.stats.duplicates += 1;
+        }
+    }
+
+    /// Drain every slot whose deadline has passed at wall time `now`.
+    ///
+    /// Slots are only concealed up to the highest sequence number seen —
+    /// a gap is only knowable once a later packet has arrived; trailing
+    /// silence is the end of the stream, not loss.
+    pub fn pull_due(&mut self, now: f64) -> Vec<PlayoutEvent> {
+        let mut out = Vec::new();
+        if self.base_seq.is_none() {
+            return out;
+        }
+        while self.next_index <= self.highest_index && self.play_time(self.next_index) <= now {
+            match self.pending.remove(&self.next_index) {
+                Some(payload) => {
+                    self.stats.played += 1;
+                    out.push(PlayoutEvent::Played(payload));
+                }
+                None => {
+                    self.stats.concealed += 1;
+                    out.push(PlayoutEvent::Concealed);
+                }
+            }
+            self.next_index += 1;
+        }
+        // Underrun adaptation: if this drain concealed anything, ask for a
+        // deeper buffer at the next talkspurt (bounded by the cap).
+        if out.contains(&PlayoutEvent::Concealed) {
+            let deeper = (self.target_delay_s + 0.010).min(self.max_delay_s);
+            // Also fold in the measured jitter: 2J + one frame is the
+            // classic rule.
+            let by_jitter = (2.0 * self.jitter.jitter_ms() / 1000.0 + FRAME_S)
+                .clamp(self.min_delay_s, self.max_delay_s);
+            self.retarget = Some(deeper.max(by_jitter));
+        }
+        out
+    }
+
+    fn play_time(&self, index: i64) -> f64 {
+        self.base_play_time + index as f64 * FRAME_S
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(seq: u16, marker: bool) -> RtpHeader {
+        RtpHeader {
+            marker,
+            payload_type: 0,
+            sequence: seq,
+            timestamp: u32::from(seq) * 160,
+            ssrc: 1,
+        }
+    }
+
+    fn feed_in_order(buf: &mut PlayoutBuffer, n: u16, delay: f64) -> Vec<PlayoutEvent> {
+        let mut events = Vec::new();
+        for i in 0..n {
+            let t = f64::from(i) * FRAME_S + delay;
+            buf.insert(t, &header(i, i == 0), vec![i as u8]);
+            events.extend(buf.pull_due(t));
+        }
+        // Drain the tail.
+        events.extend(buf.pull_due(f64::from(n) * FRAME_S + delay + 1.0));
+        events
+    }
+
+    #[test]
+    fn clean_stream_plays_everything() {
+        let mut buf = PlayoutBuffer::standard();
+        let events = feed_in_order(&mut buf, 100, 0.010);
+        let played = events
+            .iter()
+            .filter(|e| matches!(e, PlayoutEvent::Played(_)))
+            .count();
+        assert_eq!(played, 100);
+        assert_eq!(buf.stats().concealed, 0);
+        assert_eq!(buf.stats().late_drops, 0);
+        assert_eq!(buf.effective_loss(), 0.0);
+        // Payloads come out in order.
+        let first = events.iter().find_map(|e| match e {
+            PlayoutEvent::Played(p) => Some(p[0]),
+            PlayoutEvent::Concealed => None,
+        });
+        assert_eq!(first, Some(0));
+    }
+
+    #[test]
+    fn missing_packet_is_concealed() {
+        let mut buf = PlayoutBuffer::standard();
+        for i in 0..10u16 {
+            if i == 5 {
+                continue; // lost
+            }
+            let t = f64::from(i) * FRAME_S;
+            buf.insert(t, &header(i, i == 0), vec![i as u8]);
+        }
+        let events = buf.pull_due(10.0);
+        assert_eq!(events.len(), 10);
+        assert_eq!(events[5], PlayoutEvent::Concealed);
+        assert_eq!(buf.stats().concealed, 1);
+        assert!((buf.effective_loss() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_packet_is_dropped() {
+        let mut buf = PlayoutBuffer::new(0.040, 0.120);
+        buf.insert(0.000, &header(0, true), vec![0]);
+        buf.insert(0.045, &header(2, false), vec![2]); // 1 is missing
+        // Slots 0 (t=0.040), 1 (0.060), 2 (0.080) all play.
+        let events = buf.pull_due(0.085);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[1], PlayoutEvent::Concealed, "slot 1 had no packet");
+        assert_eq!(buf.stats().concealed, 1);
+        // Packet 1 finally arrives — its slot already played.
+        buf.insert(0.090, &header(1, false), vec![1]);
+        assert_eq!(buf.stats().late_drops, 1);
+    }
+
+    #[test]
+    fn duplicates_are_counted_once() {
+        let mut buf = PlayoutBuffer::standard();
+        buf.insert(0.0, &header(0, true), vec![7]);
+        buf.insert(0.001, &header(0, false), vec![7]);
+        assert_eq!(buf.stats().duplicates, 1);
+        let events = buf.pull_due(1.0);
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn reordered_packets_still_play_in_order() {
+        let mut buf = PlayoutBuffer::standard();
+        buf.insert(0.000, &header(0, true), vec![0]);
+        buf.insert(0.002, &header(2, false), vec![2]);
+        buf.insert(0.004, &header(1, false), vec![1]);
+        let events = buf.pull_due(1.0);
+        let order: Vec<u8> = events
+            .iter()
+            .filter_map(|e| match e {
+                PlayoutEvent::Played(p) => Some(p[0]),
+                PlayoutEvent::Concealed => None,
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(buf.stats().concealed, 0);
+    }
+
+    #[test]
+    fn underrun_deepens_buffer_at_next_talkspurt() {
+        let mut buf = PlayoutBuffer::new(0.020, 0.120);
+        let t0_target = buf.target_delay_s();
+        // A burst of jitter causes an underrun: packets 1..3 are severely
+        // delayed; packet 4's arrival reveals the gap.
+        buf.insert(0.000, &header(0, true), vec![0]);
+        buf.insert(0.095, &header(4, false), vec![4]);
+        let _ = buf.pull_due(0.100); // slots 0..4 due; only 0 and 4 present
+        assert!(buf.stats().concealed > 0);
+        // Next talkspurt (marker) applies the retarget.
+        buf.insert(0.200, &header(10, true), vec![10]);
+        assert!(
+            buf.target_delay_s() > t0_target,
+            "deepened: {} -> {}",
+            t0_target,
+            buf.target_delay_s()
+        );
+        assert!(buf.target_delay_s() <= 0.120, "bounded by the cap");
+    }
+
+    #[test]
+    fn sequence_wraparound_keeps_playing() {
+        let mut buf = PlayoutBuffer::standard();
+        let mut played = 0;
+        for k in 0..100u32 {
+            let seq = (65_530u32 + k) as u16; // wraps after 6 packets
+            let t = f64::from(k) * FRAME_S;
+            buf.insert(t, &header(seq, k == 0), vec![k as u8]);
+            played += buf
+                .pull_due(t)
+                .iter()
+                .filter(|e| matches!(e, PlayoutEvent::Played(_)))
+                .count();
+        }
+        played += buf
+            .pull_due(10.0)
+            .iter()
+            .filter(|e| matches!(e, PlayoutEvent::Played(_)))
+            .count();
+        assert_eq!(played, 100, "no packets lost to the wrap");
+        assert_eq!(buf.stats().late_drops, 0);
+    }
+
+    #[test]
+    fn pull_before_first_packet_is_empty() {
+        let mut buf = PlayoutBuffer::standard();
+        assert!(buf.pull_due(100.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_delays_rejected() {
+        let _ = PlayoutBuffer::new(0.1, 0.05);
+    }
+}

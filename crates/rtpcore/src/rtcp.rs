@@ -1,0 +1,322 @@
+//! RTCP sender/receiver reports (RFC 3550 §6.4) — the subset the monitor
+//! uses to cross-check its passive measurements.
+//!
+//! Encodes/decodes an SR or RR with zero or one report blocks. Compound
+//! packets, SDES, BYE and APP are out of scope for the evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// RTCP packet type: sender report.
+pub const PT_SR: u8 = 200;
+/// RTCP packet type: receiver report.
+pub const PT_RR: u8 = 201;
+
+/// A reception report block (one source being reported on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportBlock {
+    /// SSRC of the stream this block describes.
+    pub ssrc: u32,
+    /// Loss fraction since the previous report, as an 8-bit fixed-point
+    /// fraction (256ths).
+    pub fraction_lost: u8,
+    /// Cumulative packets lost (24-bit on the wire; saturated on encode).
+    pub cumulative_lost: u32,
+    /// Extended highest sequence number received.
+    pub highest_seq: u32,
+    /// Interarrival jitter in media-clock units.
+    pub jitter: u32,
+}
+
+/// A sender or receiver report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RtcpReport {
+    /// SSRC of the sender of this report.
+    pub sender_ssrc: u32,
+    /// Sender info (packet count, octet count) — present for SR, None for RR.
+    pub sender_info: Option<(u32, u32)>,
+    /// At most one report block in this subset.
+    pub block: Option<ReportBlock>,
+}
+
+/// Decode failure reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtcpError {
+    /// Buffer too short for the declared structure.
+    TooShort,
+    /// Version bits are not 2.
+    BadVersion,
+    /// Packet type is neither SR nor RR.
+    UnsupportedType,
+}
+
+impl core::fmt::Display for RtcpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RtcpError::TooShort => write!(f, "RTCP buffer too short"),
+            RtcpError::BadVersion => write!(f, "RTCP version is not 2"),
+            RtcpError::UnsupportedType => write!(f, "not an SR/RR packet"),
+        }
+    }
+}
+
+impl std::error::Error for RtcpError {}
+
+impl RtcpReport {
+    /// Encode to wire bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let rc: u8 = u8::from(self.block.is_some());
+        let pt = if self.sender_info.is_some() { PT_SR } else { PT_RR };
+        let mut body = Vec::with_capacity(64);
+        body.extend_from_slice(&self.sender_ssrc.to_be_bytes());
+        if let Some((pkts, octets)) = self.sender_info {
+            // NTP timestamp + RTP timestamp are zeroed: the simulation has
+            // no NTP clock and the monitor never reads them.
+            body.extend_from_slice(&[0u8; 12]);
+            body.extend_from_slice(&pkts.to_be_bytes());
+            body.extend_from_slice(&octets.to_be_bytes());
+        }
+        if let Some(b) = &self.block {
+            body.extend_from_slice(&b.ssrc.to_be_bytes());
+            let lost24 = b.cumulative_lost.min(0x00FF_FFFF);
+            body.push(b.fraction_lost);
+            body.extend_from_slice(&lost24.to_be_bytes()[1..]);
+            body.extend_from_slice(&b.highest_seq.to_be_bytes());
+            body.extend_from_slice(&b.jitter.to_be_bytes());
+            // LSR/DLSR zeroed (no round-trip estimation in the subset).
+            body.extend_from_slice(&[0u8; 8]);
+        }
+        let words = (body.len() + 4) / 4 - 1; // length in 32-bit words minus one
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.push(0x80 | rc); // V=2, P=0, RC
+        out.push(pt);
+        out.extend_from_slice(&(words as u16).to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<RtcpReport, RtcpError> {
+        if buf.len() < 8 {
+            return Err(RtcpError::TooShort);
+        }
+        if buf[0] >> 6 != 2 {
+            return Err(RtcpError::BadVersion);
+        }
+        let rc = buf[0] & 0x1F;
+        let pt = buf[1];
+        if pt != PT_SR && pt != PT_RR {
+            return Err(RtcpError::UnsupportedType);
+        }
+        let mut at = 4usize;
+        let take4 = |buf: &[u8], at: &mut usize| -> Result<u32, RtcpError> {
+            if *at + 4 > buf.len() {
+                return Err(RtcpError::TooShort);
+            }
+            let v = u32::from_be_bytes([buf[*at], buf[*at + 1], buf[*at + 2], buf[*at + 3]]);
+            *at += 4;
+            Ok(v)
+        };
+        let sender_ssrc = take4(buf, &mut at)?;
+        let sender_info = if pt == PT_SR {
+            // Skip NTP (8) + RTP timestamp (4).
+            if at + 12 > buf.len() {
+                return Err(RtcpError::TooShort);
+            }
+            at += 12;
+            let pkts = take4(buf, &mut at)?;
+            let octets = take4(buf, &mut at)?;
+            Some((pkts, octets))
+        } else {
+            None
+        };
+        let block = if rc >= 1 {
+            let ssrc = take4(buf, &mut at)?;
+            let word = take4(buf, &mut at)?;
+            let fraction_lost = (word >> 24) as u8;
+            let cumulative_lost = word & 0x00FF_FFFF;
+            let highest_seq = take4(buf, &mut at)?;
+            let jitter = take4(buf, &mut at)?;
+            let _lsr = take4(buf, &mut at)?;
+            let _dlsr = take4(buf, &mut at)?;
+            Some(ReportBlock {
+                ssrc,
+                fraction_lost,
+                cumulative_lost,
+                highest_seq,
+                jitter,
+            })
+        } else {
+            None
+        };
+        Ok(RtcpReport {
+            sender_ssrc,
+            sender_info,
+            block,
+        })
+    }
+}
+
+/// Convert a loss fraction in `[0,1]` to the RTCP 8-bit fixed-point form.
+#[must_use]
+pub fn loss_to_fraction_lost(loss: f64) -> u8 {
+    (loss.clamp(0.0, 1.0) * 256.0).min(255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> ReportBlock {
+        ReportBlock {
+            ssrc: 0x1111_2222,
+            fraction_lost: 13,
+            cumulative_lost: 1234,
+            highest_seq: 99_999,
+            jitter: 42,
+        }
+    }
+
+    #[test]
+    fn rr_round_trip() {
+        let rr = RtcpReport {
+            sender_ssrc: 0xAABB_CCDD,
+            sender_info: None,
+            block: Some(block()),
+        };
+        let wire = rr.encode();
+        assert_eq!(wire[1], PT_RR);
+        assert_eq!(RtcpReport::decode(&wire).unwrap(), rr);
+    }
+
+    #[test]
+    fn sr_round_trip() {
+        let sr = RtcpReport {
+            sender_ssrc: 7,
+            sender_info: Some((6000, 960_000)),
+            block: Some(block()),
+        };
+        let wire = sr.encode();
+        assert_eq!(wire[1], PT_SR);
+        assert_eq!(RtcpReport::decode(&wire).unwrap(), sr);
+    }
+
+    #[test]
+    fn empty_rr_round_trip() {
+        let rr = RtcpReport {
+            sender_ssrc: 1,
+            sender_info: None,
+            block: None,
+        };
+        let wire = rr.encode();
+        assert_eq!(wire.len(), 8);
+        assert_eq!(RtcpReport::decode(&wire).unwrap(), rr);
+    }
+
+    #[test]
+    fn length_field_is_word_count_minus_one() {
+        let rr = RtcpReport {
+            sender_ssrc: 1,
+            sender_info: None,
+            block: None,
+        };
+        let wire = rr.encode();
+        let words = u16::from_be_bytes([wire[2], wire[3]]);
+        assert_eq!(words, 1, "8 bytes = 2 words = length 1");
+        let sr = RtcpReport {
+            sender_ssrc: 1,
+            sender_info: Some((1, 1)),
+            block: Some(block()),
+        };
+        let wire = sr.encode();
+        let words = u16::from_be_bytes([wire[2], wire[3]]);
+        assert_eq!(usize::from(words + 1) * 4, wire.len());
+    }
+
+    #[test]
+    fn cumulative_lost_saturates_at_24_bits() {
+        let rr = RtcpReport {
+            sender_ssrc: 1,
+            sender_info: None,
+            block: Some(ReportBlock {
+                cumulative_lost: u32::MAX,
+                ..block()
+            }),
+        };
+        let back = RtcpReport::decode(&rr.encode()).unwrap();
+        assert_eq!(back.block.unwrap().cumulative_lost, 0x00FF_FFFF);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(RtcpReport::decode(&[]), Err(RtcpError::TooShort));
+        assert_eq!(RtcpReport::decode(&[0x80; 7]), Err(RtcpError::TooShort));
+        let mut w = RtcpReport {
+            sender_ssrc: 1,
+            sender_info: None,
+            block: None,
+        }
+        .encode();
+        w[0] = 0x40 | (w[0] & 0x3F);
+        assert_eq!(RtcpReport::decode(&w), Err(RtcpError::BadVersion));
+        let mut w2 = RtcpReport {
+            sender_ssrc: 1,
+            sender_info: None,
+            block: None,
+        }
+        .encode();
+        w2[1] = 202; // SDES
+        assert_eq!(RtcpReport::decode(&w2), Err(RtcpError::UnsupportedType));
+        // Truncated report block.
+        let rr = RtcpReport {
+            sender_ssrc: 1,
+            sender_info: None,
+            block: Some(block()),
+        };
+        let wire = rr.encode();
+        assert_eq!(
+            RtcpReport::decode(&wire[..wire.len() - 4]),
+            Err(RtcpError::TooShort)
+        );
+    }
+
+    #[test]
+    fn fraction_lost_fixed_point() {
+        assert_eq!(loss_to_fraction_lost(0.0), 0);
+        assert_eq!(loss_to_fraction_lost(0.5), 128);
+        assert_eq!(loss_to_fraction_lost(1.0), 255);
+        assert_eq!(loss_to_fraction_lost(-0.5), 0);
+        assert_eq!(loss_to_fraction_lost(7.0), 255);
+        // 1% loss ≈ 2/256.
+        assert_eq!(loss_to_fraction_lost(0.01), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn report_round_trip(
+            sender in any::<u32>(),
+            info in proptest::option::of((any::<u32>(), any::<u32>())),
+            blk in proptest::option::of((any::<u32>(), any::<u8>(), 0u32..0x00FF_FFFF, any::<u32>(), any::<u32>())),
+        ) {
+            let report = RtcpReport {
+                sender_ssrc: sender,
+                sender_info: info,
+                block: blk.map(|(ssrc, fl, cl, hs, j)| ReportBlock {
+                    ssrc, fraction_lost: fl, cumulative_lost: cl, highest_seq: hs, jitter: j,
+                }),
+            };
+            prop_assert_eq!(RtcpReport::decode(&report.encode()).unwrap(), report);
+        }
+
+        #[test]
+        fn decoder_total(buf in proptest::collection::vec(any::<u8>(), 0..96)) {
+            let _ = RtcpReport::decode(&buf);
+        }
+    }
+}

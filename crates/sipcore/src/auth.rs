@@ -1,0 +1,368 @@
+//! SIP digest authentication (RFC 2617 as profiled by RFC 3261 §22).
+//!
+//! The UnB deployment authenticates SIP users against LDAP; on the wire
+//! that is digest authentication: the registrar challenges with a nonce
+//! (`401` + `WWW-Authenticate`), the client answers with
+//! `MD5(MD5(user:realm:password) : nonce : MD5(method:uri))`. Both sides
+//! are implemented here, including the MD5 primitive itself (RFC 1321,
+//! implemented from scratch — cryptographically broken since 2004, but
+//! mandated by the SIP digest scheme and perfectly adequate for a
+//! simulation).
+
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// MD5 (RFC 1321)
+// ---------------------------------------------------------------------------
+
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391,
+];
+
+/// Compute the MD5 digest of a byte string.
+#[must_use]
+pub fn md5(input: &[u8]) -> [u8; 16] {
+    let mut msg = input.to_vec();
+    let bit_len = (input.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_le_bytes());
+
+    let mut a0: u32 = 0x6745_2301;
+    let mut b0: u32 = 0xefcd_ab89;
+    let mut c0: u32 = 0x98ba_dcfe;
+    let mut d0: u32 = 0x1032_5476;
+
+    for chunk in msg.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (i, w) in chunk.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+        }
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&a0.to_le_bytes());
+    out[4..8].copy_from_slice(&b0.to_le_bytes());
+    out[8..12].copy_from_slice(&c0.to_le_bytes());
+    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    out
+}
+
+/// MD5 as a lower-case hex string (the form digest auth exchanges).
+#[must_use]
+pub fn md5_hex(input: &[u8]) -> String {
+    let d = md5(input);
+    let mut s = String::with_capacity(32);
+    for b in d {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Digest challenge / response
+// ---------------------------------------------------------------------------
+
+/// A `WWW-Authenticate: Digest ...` challenge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestChallenge {
+    /// Protection realm.
+    pub realm: String,
+    /// Server nonce.
+    pub nonce: String,
+}
+
+impl DigestChallenge {
+    /// Serialize as a `WWW-Authenticate` header value.
+    #[must_use]
+    pub fn to_header_value(&self) -> String {
+        format!(
+            "Digest realm=\"{}\", nonce=\"{}\", algorithm=MD5",
+            self.realm, self.nonce
+        )
+    }
+
+    /// Parse a `WWW-Authenticate` header value.
+    #[must_use]
+    pub fn parse(value: &str) -> Option<DigestChallenge> {
+        let params = parse_digest_params(value)?;
+        Some(DigestChallenge {
+            realm: params.get("realm")?.clone(),
+            nonce: params.get("nonce")?.clone(),
+        })
+    }
+}
+
+/// An `Authorization: Digest ...` credential.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestCredentials {
+    /// Authenticating user.
+    pub username: String,
+    /// Realm echoed from the challenge.
+    pub realm: String,
+    /// Nonce echoed from the challenge.
+    pub nonce: String,
+    /// Request-URI the digest covers.
+    pub uri: String,
+    /// The 32-hex-digit response.
+    pub response: String,
+}
+
+impl DigestCredentials {
+    /// Compute credentials for a challenge per RFC 2617 (no qop):
+    /// `response = MD5(HA1:nonce:HA2)` with `HA1 = MD5(user:realm:pw)` and
+    /// `HA2 = MD5(method:uri)`.
+    #[must_use]
+    pub fn answer(
+        challenge: &DigestChallenge,
+        username: &str,
+        password: &str,
+        method: &str,
+        uri: &str,
+    ) -> DigestCredentials {
+        let ha1 = md5_hex(format!("{username}:{}:{password}", challenge.realm).as_bytes());
+        let ha2 = md5_hex(format!("{method}:{uri}").as_bytes());
+        let response = md5_hex(format!("{ha1}:{}:{ha2}", challenge.nonce).as_bytes());
+        DigestCredentials {
+            username: username.to_owned(),
+            realm: challenge.realm.clone(),
+            nonce: challenge.nonce.clone(),
+            uri: uri.to_owned(),
+            response,
+        }
+    }
+
+    /// Serialize as an `Authorization` header value.
+    #[must_use]
+    pub fn to_header_value(&self) -> String {
+        format!(
+            "Digest username=\"{}\", realm=\"{}\", nonce=\"{}\", uri=\"{}\", response=\"{}\", algorithm=MD5",
+            self.username, self.realm, self.nonce, self.uri, self.response
+        )
+    }
+
+    /// Parse an `Authorization` header value.
+    #[must_use]
+    pub fn parse(value: &str) -> Option<DigestCredentials> {
+        let params = parse_digest_params(value)?;
+        Some(DigestCredentials {
+            username: params.get("username")?.clone(),
+            realm: params.get("realm")?.clone(),
+            nonce: params.get("nonce")?.clone(),
+            uri: params.get("uri")?.clone(),
+            response: params.get("response")?.clone(),
+        })
+    }
+
+    /// Server-side check: does this credential prove knowledge of
+    /// `password` for the expected nonce and method?
+    #[must_use]
+    pub fn verify(&self, password: &str, method: &str, expected_nonce: &str) -> bool {
+        if self.nonce != expected_nonce {
+            return false;
+        }
+        let ha1 = md5_hex(format!("{}:{}:{password}", self.username, self.realm).as_bytes());
+        let ha2 = md5_hex(format!("{method}:{}", self.uri).as_bytes());
+        let expect = md5_hex(format!("{ha1}:{}:{ha2}", self.nonce).as_bytes());
+        // Constant-time-ish comparison (length is fixed at 32).
+        expect
+            .bytes()
+            .zip(self.response.bytes())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+            == 0
+            && self.response.len() == 32
+    }
+}
+
+/// Parse `Digest k1="v1", k2=v2, ...` into a map.
+fn parse_digest_params(value: &str) -> Option<HashMap<String, String>> {
+    let rest = value.trim().strip_prefix("Digest ")?;
+    let mut out = HashMap::new();
+    for part in rest.split(',') {
+        let (k, v) = part.split_once('=')?;
+        let v = v.trim().trim_matches('"');
+        out.insert(k.trim().to_owned(), v.to_owned());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md5_rfc1321_test_vectors() {
+        // The official test suite from RFC 1321 §A.5.
+        let cases = [
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(md5_hex(input.as_bytes()), want, "md5({input:?})");
+        }
+    }
+
+    #[test]
+    fn md5_padding_boundaries() {
+        // Lengths around the 56-byte padding boundary must not panic and
+        // must differ from each other.
+        let a = md5_hex(&[0u8; 55]);
+        let b = md5_hex(&[0u8; 56]);
+        let c = md5_hex(&[0u8; 57]);
+        let d = md5_hex(&[0u8; 64]);
+        let all = [&a, &b, &c, &d];
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn rfc2617_digest_example() {
+        // The worked example from RFC 2617 §3.5 (adapted: SIP uses the
+        // same computation; this checks HA1/HA2 chaining end to end).
+        let challenge = DigestChallenge {
+            realm: "testrealm@host.com".to_owned(),
+            nonce: "dcd98b7102dd2f0e8b11d0f600bfb0c093".to_owned(),
+        };
+        let creds = DigestCredentials::answer(
+            &challenge,
+            "Mufasa",
+            "Circle Of Life",
+            "GET",
+            "/dir/index.html",
+        );
+        assert_eq!(creds.response, "670fd8c2df070c60b045671b8b24ff02");
+        assert!(creds.verify("Circle Of Life", "GET", &challenge.nonce));
+        assert!(!creds.verify("wrong password", "GET", &challenge.nonce));
+        assert!(!creds.verify("Circle Of Life", "PUT", &challenge.nonce));
+        assert!(!creds.verify("Circle Of Life", "GET", "other-nonce"));
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let ch = DigestChallenge {
+            realm: "pbx.unb.br".to_owned(),
+            nonce: "abc123".to_owned(),
+        };
+        let parsed = DigestChallenge::parse(&ch.to_header_value()).unwrap();
+        assert_eq!(parsed, ch);
+
+        let creds = DigestCredentials::answer(&ch, "1001", "pw-1001", "REGISTER", "sip:pbx.unb.br");
+        let parsed = DigestCredentials::parse(&creds.to_header_value()).unwrap();
+        assert_eq!(parsed, creds);
+        assert!(parsed.verify("pw-1001", "REGISTER", "abc123"));
+    }
+
+    #[test]
+    fn parse_rejects_non_digest() {
+        assert!(DigestChallenge::parse("Basic realm=\"x\"").is_none());
+        assert!(DigestCredentials::parse("Simple 1001 pw").is_none());
+        assert!(DigestChallenge::parse("Digest realm=\"x\"").is_none(), "nonce required");
+    }
+
+    #[test]
+    fn tampered_response_rejected() {
+        let ch = DigestChallenge {
+            realm: "r".to_owned(),
+            nonce: "n".to_owned(),
+        };
+        let mut creds = DigestCredentials::answer(&ch, "u", "p", "REGISTER", "sip:r");
+        // Flip one hex digit.
+        let mut chars: Vec<char> = creds.response.chars().collect();
+        chars[0] = if chars[0] == '0' { '1' } else { '0' };
+        creds.response = chars.into_iter().collect();
+        assert!(!creds.verify("p", "REGISTER", "n"));
+        // Truncated response rejected too.
+        creds.response.truncate(31);
+        assert!(!creds.verify("p", "REGISTER", "n"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// MD5 is deterministic and spreads inputs (no trivial collisions
+        /// on small perturbations).
+        #[test]
+        fn md5_deterministic(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            prop_assert_eq!(md5(&data), md5(&data));
+        }
+
+        #[test]
+        fn md5_bit_flip_changes_digest(
+            mut data in proptest::collection::vec(any::<u8>(), 1..128),
+            idx in 0usize..128,
+        ) {
+            let original = md5(&data);
+            let i = idx % data.len();
+            data[i] ^= 1;
+            prop_assert_ne!(md5(&data), original);
+        }
+
+        /// Any password authenticates against itself and fails against a
+        /// different one.
+        #[test]
+        fn digest_soundness(user in "[a-z]{1,8}", pw in "[a-z0-9]{1,12}", other in "[A-Z]{1,12}") {
+            let ch = DigestChallenge { realm: "r".to_owned(), nonce: "n0".to_owned() };
+            let creds = DigestCredentials::answer(&ch, &user, &pw, "REGISTER", "sip:r");
+            prop_assert!(creds.verify(&pw, "REGISTER", "n0"));
+            prop_assert!(!creds.verify(&other, "REGISTER", "n0"));
+        }
+    }
+}

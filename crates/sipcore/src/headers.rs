@@ -1,0 +1,334 @@
+//! SIP headers: typed names plus an order-preserving multimap.
+//!
+//! SIP allows repeated headers (Via stacks, Route sets) and header order is
+//! semantically meaningful for them, so the map preserves insertion order
+//! and supports multiple values per name. Lookup is linear — SIP messages
+//! carry a dozen headers, where a hash map would cost more than it saves
+//! (see the workspace's performance notes on small-collection handling).
+
+use serde::{Deserialize, Serialize};
+
+/// A header field name: well-known names are interned as variants so that
+/// comparisons are integer-cheap on the hot path; anything else is carried
+/// verbatim in `Other`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeaderName {
+    /// `Via` — the response routing stack.
+    Via,
+    /// `From` — logical caller identity (with `tag`).
+    From,
+    /// `To` — logical callee identity (with `tag` once a dialog exists).
+    To,
+    /// `Call-ID` — dialog correlation identifier.
+    CallId,
+    /// `CSeq` — command sequence number + method.
+    CSeq,
+    /// `Contact` — where to reach the sender directly.
+    Contact,
+    /// `Max-Forwards` — hop limit.
+    MaxForwards,
+    /// `Content-Type` — body MIME type.
+    ContentType,
+    /// `Content-Length` — body length in bytes.
+    ContentLength,
+    /// `Expires` — registration lifetime.
+    Expires,
+    /// `User-Agent` — software identification.
+    UserAgent,
+    /// `Allow` — supported methods.
+    Allow,
+    /// `Authorization` — credentials.
+    Authorization,
+    /// `WWW-Authenticate` — challenge.
+    WwwAuthenticate,
+    /// Any other header, with its original name.
+    Other(String),
+}
+
+impl HeaderName {
+    /// Canonical wire name.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        match self {
+            HeaderName::Via => "Via",
+            HeaderName::From => "From",
+            HeaderName::To => "To",
+            HeaderName::CallId => "Call-ID",
+            HeaderName::CSeq => "CSeq",
+            HeaderName::Contact => "Contact",
+            HeaderName::MaxForwards => "Max-Forwards",
+            HeaderName::ContentType => "Content-Type",
+            HeaderName::ContentLength => "Content-Length",
+            HeaderName::Expires => "Expires",
+            HeaderName::UserAgent => "User-Agent",
+            HeaderName::Allow => "Allow",
+            HeaderName::Authorization => "Authorization",
+            HeaderName::WwwAuthenticate => "WWW-Authenticate",
+            HeaderName::Other(s) => s,
+        }
+    }
+
+    /// Parse a header name (case-insensitive per RFC 3261 §7.3.1).
+    #[must_use]
+    pub fn from_wire(s: &str) -> HeaderName {
+        match s.to_ascii_lowercase().as_str() {
+            "via" | "v" => HeaderName::Via,
+            "from" | "f" => HeaderName::From,
+            "to" | "t" => HeaderName::To,
+            "call-id" | "i" => HeaderName::CallId,
+            "cseq" => HeaderName::CSeq,
+            "contact" | "m" => HeaderName::Contact,
+            "max-forwards" => HeaderName::MaxForwards,
+            "content-type" | "c" => HeaderName::ContentType,
+            "content-length" | "l" => HeaderName::ContentLength,
+            "expires" => HeaderName::Expires,
+            "user-agent" => HeaderName::UserAgent,
+            "allow" => HeaderName::Allow,
+            "authorization" => HeaderName::Authorization,
+            "www-authenticate" => HeaderName::WwwAuthenticate,
+            _ => HeaderName::Other(s.to_owned()),
+        }
+    }
+}
+
+impl core::fmt::Display for HeaderName {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An insertion-ordered multimap of headers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderMap {
+    entries: Vec<(HeaderName, String)>,
+}
+
+impl HeaderMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        HeaderMap::default()
+    }
+
+    /// Append a header (keeps existing occurrences).
+    pub fn push(&mut self, name: HeaderName, value: impl Into<String>) {
+        self.entries.push((name, value.into()));
+    }
+
+    /// Replace all occurrences of `name` with a single value (appends if
+    /// absent).
+    pub fn set(&mut self, name: HeaderName, value: impl Into<String>) {
+        let value = value.into();
+        let mut kept = false;
+        self.entries.retain_mut(|(n, v)| {
+            if *n == name {
+                if kept {
+                    false
+                } else {
+                    kept = true;
+                    *v = value.clone();
+                    true
+                }
+            } else {
+                true
+            }
+        });
+        if !kept {
+            self.entries.push((name, value));
+        }
+    }
+
+    /// First value for `name`.
+    #[must_use]
+    pub fn get(&self, name: &HeaderName) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in order.
+    pub fn get_all<'a>(&'a self, name: &'a HeaderName) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Remove the **first** occurrence of `name`, returning its value.
+    /// (Used to pop the top Via when routing a response.)
+    pub fn remove_first(&mut self, name: &HeaderName) -> Option<String> {
+        let idx = self.entries.iter().position(|(n, _)| n == name)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Insert at the front (used to push a Via when forwarding a request).
+    pub fn push_front(&mut self, name: HeaderName, value: impl Into<String>) {
+        self.entries.insert(0, (name, value.into()));
+    }
+
+    /// Number of header fields (counting repeats).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate all (name, value) pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&HeaderName, &str)> {
+        self.entries.iter().map(|(n, v)| (n, v.as_str()))
+    }
+
+    /// True if any occurrence of `name` exists.
+    #[must_use]
+    pub fn contains(&self, name: &HeaderName) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+}
+
+/// Extract a `tag=` parameter from a From/To header value.
+///
+/// Only header-level parameters count: with a bracketed `<sip:...>` URI,
+/// parameters inside the brackets belong to the URI, not the header.
+#[must_use]
+pub fn tag_of(header_value: &str) -> Option<&str> {
+    let param_region = match header_value.rfind('>') {
+        Some(idx) => &header_value[idx + 1..],
+        None => header_value,
+    };
+    for part in param_region.split(';').skip(1) {
+        if let Some(v) = part.trim().strip_prefix("tag=") {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Append (or replace) a `tag=` parameter on a From/To header value.
+#[must_use]
+pub fn with_tag(header_value: &str, tag: &str) -> String {
+    match tag_of(header_value) {
+        Some(_) => {
+            // Replace existing tag.
+            let parts: Vec<&str> = header_value.split(';').collect();
+            let mut out = String::with_capacity(header_value.len());
+            out.push_str(parts[0]);
+            for part in &parts[1..] {
+                out.push(';');
+                if part.trim().starts_with("tag=") {
+                    out.push_str(&format!("tag={tag}"));
+                } else {
+                    out.push_str(part);
+                }
+            }
+            out
+        }
+        None => format!("{header_value};tag={tag}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_names_round_trip() {
+        for name in [
+            HeaderName::Via,
+            HeaderName::From,
+            HeaderName::To,
+            HeaderName::CallId,
+            HeaderName::CSeq,
+            HeaderName::Contact,
+            HeaderName::MaxForwards,
+            HeaderName::ContentType,
+            HeaderName::ContentLength,
+            HeaderName::Expires,
+            HeaderName::UserAgent,
+            HeaderName::Allow,
+            HeaderName::Authorization,
+            HeaderName::WwwAuthenticate,
+        ] {
+            assert_eq!(HeaderName::from_wire(name.as_str()), name);
+        }
+    }
+
+    #[test]
+    fn case_insensitive_and_compact_forms() {
+        assert_eq!(HeaderName::from_wire("CALL-ID"), HeaderName::CallId);
+        assert_eq!(HeaderName::from_wire("i"), HeaderName::CallId);
+        assert_eq!(HeaderName::from_wire("v"), HeaderName::Via);
+        assert_eq!(HeaderName::from_wire("f"), HeaderName::From);
+        assert_eq!(
+            HeaderName::from_wire("X-Custom"),
+            HeaderName::Other("X-Custom".to_owned())
+        );
+    }
+
+    #[test]
+    fn multimap_preserves_order_and_repeats() {
+        let mut h = HeaderMap::new();
+        h.push(HeaderName::Via, "SIP/2.0/UDP a;branch=z9hG4bK1");
+        h.push(HeaderName::From, "<sip:alice@x>");
+        h.push(HeaderName::Via, "SIP/2.0/UDP b;branch=z9hG4bK2");
+        assert_eq!(h.len(), 3);
+        let vias: Vec<_> = h.get_all(&HeaderName::Via).collect();
+        assert_eq!(vias.len(), 2);
+        assert!(vias[0].contains(";branch=z9hG4bK1"));
+        assert!(vias[1].contains(";branch=z9hG4bK2"));
+        assert_eq!(h.get(&HeaderName::Via).unwrap(), vias[0], "get = first");
+    }
+
+    #[test]
+    fn set_collapses_repeats() {
+        let mut h = HeaderMap::new();
+        h.push(HeaderName::Via, "one");
+        h.push(HeaderName::Via, "two");
+        h.set(HeaderName::Via, "only");
+        assert_eq!(h.get_all(&HeaderName::Via).count(), 1);
+        assert_eq!(h.get(&HeaderName::Via), Some("only"));
+        h.set(HeaderName::To, "fresh");
+        assert_eq!(h.get(&HeaderName::To), Some("fresh"));
+    }
+
+    #[test]
+    fn via_stack_discipline() {
+        let mut h = HeaderMap::new();
+        h.push(HeaderName::Via, "client");
+        h.push_front(HeaderName::Via, "proxy");
+        assert_eq!(h.get(&HeaderName::Via), Some("proxy"));
+        let popped = h.remove_first(&HeaderName::Via).unwrap();
+        assert_eq!(popped, "proxy");
+        assert_eq!(h.get(&HeaderName::Via), Some("client"));
+        assert!(h.remove_first(&HeaderName::Expires).is_none());
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let mut h = HeaderMap::new();
+        assert!(h.is_empty());
+        h.push(HeaderName::CallId, "abc@host");
+        assert!(h.contains(&HeaderName::CallId));
+        assert!(!h.contains(&HeaderName::CSeq));
+        let all: Vec<_> = h.iter().collect();
+        assert_eq!(all, vec![(&HeaderName::CallId, "abc@host")]);
+    }
+
+    #[test]
+    fn tag_extraction_and_injection() {
+        assert_eq!(tag_of("<sip:a@x>;tag=77"), Some("77"));
+        assert_eq!(tag_of("<sip:a@x>"), None);
+        assert_eq!(tag_of("<sip:a@x;tag=inner-uri-not-counted>"), None);
+        let v = with_tag("<sip:a@x>", "99");
+        assert_eq!(tag_of(&v), Some("99"));
+        // Replacing an existing tag.
+        let v2 = with_tag(&v, "55");
+        assert_eq!(tag_of(&v2), Some("55"));
+        assert!(!v2.contains("tag=99"));
+    }
+}

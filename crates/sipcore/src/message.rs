@@ -1,0 +1,388 @@
+//! SIP request/response model and wire serialization.
+
+use crate::headers::{HeaderMap, HeaderName};
+use crate::method::Method;
+use crate::status::StatusCode;
+use crate::uri::SipUri;
+use serde::{Deserialize, Serialize};
+
+/// The SIP protocol version token used on every start line.
+pub const SIP_VERSION: &str = "SIP/2.0";
+
+/// A SIP request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request-URI (the target of this hop).
+    pub uri: SipUri,
+    /// Header fields.
+    pub headers: HeaderMap,
+    /// Message body (SDP for INVITE/200, empty otherwise).
+    pub body: Vec<u8>,
+}
+
+/// A SIP response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Header fields.
+    pub headers: HeaderMap,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+/// Either kind of SIP message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SipMessage {
+    /// A request.
+    Request(Request),
+    /// A response.
+    Response(Response),
+}
+
+impl Request {
+    /// A new request with empty headers and body.
+    #[must_use]
+    pub fn new(method: Method, uri: SipUri) -> Self {
+        Request {
+            method,
+            uri,
+            headers: HeaderMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Builder: add a header.
+    #[must_use]
+    pub fn header(mut self, name: HeaderName, value: impl Into<String>) -> Self {
+        self.headers.push(name, value);
+        self
+    }
+
+    /// Builder: set the body and its Content-Type/Content-Length headers.
+    #[must_use]
+    pub fn with_body(mut self, content_type: &str, body: Vec<u8>) -> Self {
+        self.headers.set(HeaderName::ContentType, content_type);
+        self.headers
+            .set(HeaderName::ContentLength, body.len().to_string());
+        self.body = body;
+        self
+    }
+
+    /// CSeq number (from the `CSeq: n METHOD` header), if parseable.
+    #[must_use]
+    pub fn cseq_number(&self) -> Option<u32> {
+        let v = self.headers.get(&HeaderName::CSeq)?;
+        v.split_whitespace().next()?.parse().ok()
+    }
+
+    /// Call-ID header value.
+    #[must_use]
+    pub fn call_id(&self) -> Option<&str> {
+        self.headers.get(&HeaderName::CallId)
+    }
+
+    /// Top Via branch parameter — the transaction key.
+    #[must_use]
+    pub fn top_via_branch(&self) -> Option<&str> {
+        let via = self.headers.get(&HeaderName::Via)?;
+        branch_of(via)
+    }
+
+    /// Serialize to the RFC 3261 wire format.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256 + self.body.len());
+        out.extend_from_slice(self.method.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.uri.to_string().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(SIP_VERSION.as_bytes());
+        out.extend_from_slice(b"\r\n");
+        write_headers_and_body(&mut out, &self.headers, &self.body);
+        out
+    }
+
+    /// Build the canonical response to this request with the mandatory
+    /// copied headers (Via stack, From, To, Call-ID, CSeq) per RFC 3261
+    /// §8.2.6.
+    #[must_use]
+    pub fn make_response(&self, status: StatusCode) -> Response {
+        let mut r = Response::new(status);
+        for via in self.headers.get_all(&HeaderName::Via) {
+            r.headers.push(HeaderName::Via, via);
+        }
+        for name in [HeaderName::From, HeaderName::To, HeaderName::CallId, HeaderName::CSeq] {
+            if let Some(v) = self.headers.get(&name) {
+                r.headers.push(name, v);
+            }
+        }
+        r.headers.set(HeaderName::ContentLength, "0");
+        r
+    }
+}
+
+impl Response {
+    /// A new response with empty headers and body.
+    #[must_use]
+    pub fn new(status: StatusCode) -> Self {
+        Response {
+            status,
+            headers: HeaderMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Builder: add a header.
+    #[must_use]
+    pub fn header(mut self, name: HeaderName, value: impl Into<String>) -> Self {
+        self.headers.push(name, value);
+        self
+    }
+
+    /// Builder: set the body and its Content-Type/Content-Length headers.
+    #[must_use]
+    pub fn with_body(mut self, content_type: &str, body: Vec<u8>) -> Self {
+        self.headers.set(HeaderName::ContentType, content_type);
+        self.headers
+            .set(HeaderName::ContentLength, body.len().to_string());
+        self.body = body;
+        self
+    }
+
+    /// Call-ID header value.
+    #[must_use]
+    pub fn call_id(&self) -> Option<&str> {
+        self.headers.get(&HeaderName::CallId)
+    }
+
+    /// The method echoed in the CSeq header — identifies which request this
+    /// response answers.
+    #[must_use]
+    pub fn cseq_method(&self) -> Option<Method> {
+        let v = self.headers.get(&HeaderName::CSeq)?;
+        Method::from_token(v.split_whitespace().nth(1)?)
+    }
+
+    /// CSeq number.
+    #[must_use]
+    pub fn cseq_number(&self) -> Option<u32> {
+        let v = self.headers.get(&HeaderName::CSeq)?;
+        v.split_whitespace().next()?.parse().ok()
+    }
+
+    /// Top Via branch parameter — the transaction key.
+    #[must_use]
+    pub fn top_via_branch(&self) -> Option<&str> {
+        let via = self.headers.get(&HeaderName::Via)?;
+        branch_of(via)
+    }
+
+    /// Serialize to the RFC 3261 wire format.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256 + self.body.len());
+        out.extend_from_slice(SIP_VERSION.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.status.0.to_string().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.status.reason_phrase().as_bytes());
+        out.extend_from_slice(b"\r\n");
+        write_headers_and_body(&mut out, &self.headers, &self.body);
+        out
+    }
+}
+
+impl SipMessage {
+    /// Serialize either kind to wire bytes.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        match self {
+            SipMessage::Request(r) => r.to_wire(),
+            SipMessage::Response(r) => r.to_wire(),
+        }
+    }
+
+    /// Shared header access.
+    #[must_use]
+    pub fn headers(&self) -> &HeaderMap {
+        match self {
+            SipMessage::Request(r) => &r.headers,
+            SipMessage::Response(r) => &r.headers,
+        }
+    }
+
+    /// Mutable header access.
+    pub fn headers_mut(&mut self) -> &mut HeaderMap {
+        match self {
+            SipMessage::Request(r) => &mut r.headers,
+            SipMessage::Response(r) => &mut r.headers,
+        }
+    }
+
+    /// Call-ID of either kind.
+    #[must_use]
+    pub fn call_id(&self) -> Option<&str> {
+        self.headers().get(&HeaderName::CallId)
+    }
+
+    /// The request inside, if any.
+    #[must_use]
+    pub fn as_request(&self) -> Option<&Request> {
+        match self {
+            SipMessage::Request(r) => Some(r),
+            SipMessage::Response(_) => None,
+        }
+    }
+
+    /// The response inside, if any.
+    #[must_use]
+    pub fn as_response(&self) -> Option<&Response> {
+        match self {
+            SipMessage::Request(_) => None,
+            SipMessage::Response(r) => Some(r),
+        }
+    }
+}
+
+impl From<Request> for SipMessage {
+    fn from(r: Request) -> Self {
+        SipMessage::Request(r)
+    }
+}
+
+impl From<Response> for SipMessage {
+    fn from(r: Response) -> Self {
+        SipMessage::Response(r)
+    }
+}
+
+/// Extract the `branch=` parameter from a Via header value.
+#[must_use]
+pub fn branch_of(via_value: &str) -> Option<&str> {
+    for part in via_value.split(';').skip(1) {
+        if let Some(v) = part.trim().strip_prefix("branch=") {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Format a Via header value for this protocol hop.
+#[must_use]
+pub fn format_via(host: &str, port: u16, branch: &str) -> String {
+    format!("SIP/2.0/UDP {host}:{port};branch={branch}")
+}
+
+fn write_headers_and_body(out: &mut Vec<u8>, headers: &HeaderMap, body: &[u8]) {
+    for (name, value) in headers.iter() {
+        out.extend_from_slice(name.as_str().as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn invite() -> Request {
+        Request::new(Method::Invite, SipUri::parse("sip:bob@pbx").unwrap())
+            .header(HeaderName::Via, format_via("10.0.0.2", 5060, "z9hG4bKabc"))
+            .header(HeaderName::From, "<sip:alice@pbx>;tag=a1")
+            .header(HeaderName::To, "<sip:bob@pbx>")
+            .header(HeaderName::CallId, "cid-1@10.0.0.2")
+            .header(HeaderName::CSeq, "1 INVITE")
+            .header(HeaderName::MaxForwards, "70")
+    }
+
+    #[test]
+    fn request_wire_format() {
+        let w = invite().to_wire();
+        let text = String::from_utf8(w).unwrap();
+        assert!(text.starts_with("INVITE sip:bob@pbx SIP/2.0\r\n"));
+        assert!(text.contains("Call-ID: cid-1@10.0.0.2\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "empty body ends with blank line");
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let r = Response::new(StatusCode::RINGING).header(HeaderName::CSeq, "1 INVITE");
+        let text = String::from_utf8(r.to_wire()).unwrap();
+        assert!(text.starts_with("SIP/2.0 180 Ringing\r\n"));
+    }
+
+    #[test]
+    fn body_sets_length_and_type() {
+        let r = invite().with_body("application/sdp", b"v=0\r\n".to_vec());
+        assert_eq!(r.headers.get(&HeaderName::ContentLength), Some("5"));
+        assert_eq!(
+            r.headers.get(&HeaderName::ContentType),
+            Some("application/sdp")
+        );
+        let wire = r.to_wire();
+        assert!(wire.ends_with(b"\r\n\r\nv=0\r\n"));
+    }
+
+    #[test]
+    fn make_response_copies_mandatory_headers() {
+        let req = invite();
+        let resp = req.make_response(StatusCode::OK);
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.headers.get(&HeaderName::CallId), req.call_id());
+        assert_eq!(resp.headers.get(&HeaderName::CSeq), Some("1 INVITE"));
+        assert_eq!(resp.headers.get(&HeaderName::From), Some("<sip:alice@pbx>;tag=a1"));
+        assert_eq!(resp.top_via_branch(), Some("z9hG4bKabc"));
+        assert_eq!(resp.headers.get(&HeaderName::ContentLength), Some("0"));
+    }
+
+    #[test]
+    fn make_response_copies_whole_via_stack() {
+        let mut req = invite();
+        req.headers
+            .push_front(HeaderName::Via, format_via("proxy", 5060, "z9hG4bKproxy"));
+        let resp = req.make_response(StatusCode::TRYING);
+        let vias: Vec<_> = resp.headers.get_all(&HeaderName::Via).collect();
+        assert_eq!(vias.len(), 2);
+        assert!(vias[0].contains("proxy"));
+    }
+
+    #[test]
+    fn cseq_accessors() {
+        let req = invite();
+        assert_eq!(req.cseq_number(), Some(1));
+        let resp = req.make_response(StatusCode::OK);
+        assert_eq!(resp.cseq_method(), Some(Method::Invite));
+        assert_eq!(resp.cseq_number(), Some(1));
+        let empty = Response::new(StatusCode::OK);
+        assert_eq!(empty.cseq_method(), None);
+        assert_eq!(empty.cseq_number(), None);
+    }
+
+    #[test]
+    fn branch_extraction() {
+        assert_eq!(
+            branch_of("SIP/2.0/UDP h:5060;branch=z9hG4bK77;rport"),
+            Some("z9hG4bK77")
+        );
+        assert_eq!(branch_of("SIP/2.0/UDP h:5060"), None);
+    }
+
+    #[test]
+    fn sip_message_accessors() {
+        let m: SipMessage = invite().into();
+        assert!(m.as_request().is_some());
+        assert!(m.as_response().is_none());
+        assert_eq!(m.call_id(), Some("cid-1@10.0.0.2"));
+        let mut m2: SipMessage = Response::new(StatusCode::OK).into();
+        m2.headers_mut().push(HeaderName::CallId, "x@y");
+        assert_eq!(m2.call_id(), Some("x@y"));
+        assert!(m2.as_response().is_some());
+        assert_eq!(m.to_wire(), m.as_request().unwrap().to_wire());
+    }
+}

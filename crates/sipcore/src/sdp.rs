@@ -1,0 +1,171 @@
+//! Minimal SDP (Session Description Protocol) support.
+//!
+//! Just enough of RFC 4566 to negotiate the media session the paper uses:
+//! one audio stream, G.711 μ-law (payload type 0, `PCMU/8000`), with the
+//! RTP address and port of each endpoint. A-law (PT 8) is also representable
+//! for the codec ablation.
+
+use serde::{Deserialize, Serialize};
+
+/// The audio codec offered in an SDP body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SdpCodec {
+    /// G.711 μ-law, static payload type 0.
+    Pcmu,
+    /// G.711 A-law, static payload type 8.
+    Pcma,
+}
+
+impl SdpCodec {
+    /// Static RTP payload type number.
+    #[must_use]
+    pub fn payload_type(self) -> u8 {
+        match self {
+            SdpCodec::Pcmu => 0,
+            SdpCodec::Pcma => 8,
+        }
+    }
+
+    /// rtpmap encoding name.
+    #[must_use]
+    pub fn encoding_name(self) -> &'static str {
+        match self {
+            SdpCodec::Pcmu => "PCMU",
+            SdpCodec::Pcma => "PCMA",
+        }
+    }
+
+    /// From a payload type number.
+    #[must_use]
+    pub fn from_payload_type(pt: u8) -> Option<SdpCodec> {
+        match pt {
+            0 => Some(SdpCodec::Pcmu),
+            8 => Some(SdpCodec::Pcma),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed/built session description for one audio stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionDescription {
+    /// Origin username field (`o=`).
+    pub origin_user: String,
+    /// Connection address (`c=IN IP4 <addr>`).
+    pub connection: String,
+    /// Audio media port (`m=audio <port> ...`).
+    pub audio_port: u16,
+    /// Offered codec.
+    pub codec: SdpCodec,
+}
+
+impl SessionDescription {
+    /// Build an offer/answer for an endpoint.
+    #[must_use]
+    pub fn new(origin_user: &str, connection: &str, audio_port: u16, codec: SdpCodec) -> Self {
+        SessionDescription {
+            origin_user: origin_user.to_owned(),
+            connection: connection.to_owned(),
+            audio_port,
+            codec,
+        }
+    }
+
+    /// Serialize to SDP text (CRLF line endings).
+    #[must_use]
+    pub fn to_body(&self) -> Vec<u8> {
+        let pt = self.codec.payload_type();
+        format!(
+            "v=0\r\n\
+             o={user} 0 0 IN IP4 {conn}\r\n\
+             s=call\r\n\
+             c=IN IP4 {conn}\r\n\
+             t=0 0\r\n\
+             m=audio {port} RTP/AVP {pt}\r\n\
+             a=rtpmap:{pt} {enc}/8000\r\n\
+             a=ptime:20\r\n",
+            user = self.origin_user,
+            conn = self.connection,
+            port = self.audio_port,
+            pt = pt,
+            enc = self.codec.encoding_name(),
+        )
+        .into_bytes()
+    }
+
+    /// Parse an SDP body produced by [`Self::to_body`] (or similar simple
+    /// descriptions). Returns `None` if no usable audio stream is found.
+    #[must_use]
+    pub fn parse(body: &[u8]) -> Option<SessionDescription> {
+        let text = std::str::from_utf8(body).ok()?;
+        let mut origin_user = String::new();
+        let mut connection = String::new();
+        let mut audio_port = None;
+        let mut codec = None;
+        for line in text.lines() {
+            let line = line.trim_end();
+            if let Some(rest) = line.strip_prefix("o=") {
+                origin_user = rest.split_whitespace().next()?.to_owned();
+            } else if let Some(rest) = line.strip_prefix("c=") {
+                // c=IN IP4 addr
+                connection = rest.split_whitespace().nth(2)?.to_owned();
+            } else if let Some(rest) = line.strip_prefix("m=audio ") {
+                let mut parts = rest.split_whitespace();
+                audio_port = parts.next()?.parse::<u16>().ok();
+                let _proto = parts.next()?;
+                // First listed payload type wins.
+                let pt: u8 = parts.next()?.parse().ok()?;
+                codec = SdpCodec::from_payload_type(pt);
+            }
+        }
+        Some(SessionDescription {
+            origin_user,
+            connection,
+            audio_port: audio_port?,
+            codec: codec?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_parse_round_trip() {
+        let sdp = SessionDescription::new("sipp", "10.0.0.2", 6000, SdpCodec::Pcmu);
+        let body = sdp.to_body();
+        let text = String::from_utf8(body.clone()).unwrap();
+        assert!(text.contains("m=audio 6000 RTP/AVP 0\r\n"));
+        assert!(text.contains("a=rtpmap:0 PCMU/8000\r\n"));
+        let back = SessionDescription::parse(&body).unwrap();
+        assert_eq!(back, sdp);
+    }
+
+    #[test]
+    fn alaw_payload_type() {
+        let sdp = SessionDescription::new("x", "10.0.0.3", 7000, SdpCodec::Pcma);
+        let body = sdp.to_body();
+        let back = SessionDescription::parse(&body).unwrap();
+        assert_eq!(back.codec, SdpCodec::Pcma);
+        assert_eq!(back.codec.payload_type(), 8);
+    }
+
+    #[test]
+    fn parse_rejects_missing_media() {
+        assert!(SessionDescription::parse(b"v=0\r\ns=x\r\n").is_none());
+        assert!(SessionDescription::parse(b"m=audio notaport RTP/AVP 0\r\n").is_none());
+        // Unknown codec payload type.
+        assert!(SessionDescription::parse(b"c=IN IP4 1.2.3.4\r\nm=audio 5000 RTP/AVP 96\r\n").is_none());
+        assert!(SessionDescription::parse(&[0xFF, 0xFE]).is_none());
+    }
+
+    #[test]
+    fn codec_tables() {
+        assert_eq!(SdpCodec::from_payload_type(0), Some(SdpCodec::Pcmu));
+        assert_eq!(SdpCodec::from_payload_type(8), Some(SdpCodec::Pcma));
+        assert_eq!(SdpCodec::from_payload_type(18), None);
+        assert_eq!(SdpCodec::Pcmu.encoding_name(), "PCMU");
+        assert_eq!(SdpCodec::Pcma.encoding_name(), "PCMA");
+    }
+}

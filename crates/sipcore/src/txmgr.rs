@@ -1,0 +1,428 @@
+//! Transaction manager: the layer that owns every live transaction,
+//! matches wire messages to them (RFC 3261 §17.1.3/§17.2.3 branch
+//! matching), multiplexes their timers, and forwards what remains to the
+//! transaction user.
+//!
+//! The experiment world runs a deliberately thin fast path (its LAN is
+//! near-lossless); this manager is the full-fidelity composition used by
+//! the recovery tests and available to any consumer that needs RFC
+//! retransmission behaviour for many concurrent transactions.
+
+use crate::message::{Request, Response, SipMessage};
+use crate::method::Method;
+use crate::transaction::{
+    build_non2xx_ack, ClientTx, InviteClientTx, InviteServerTx, ServerTx, TimerConfig, TimerKind,
+    TxAction, TxOutcome,
+};
+use core::time::Duration;
+use std::collections::HashMap;
+
+/// Identifies a transaction inside the manager.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TxKey {
+    /// INVITE client transaction, by branch.
+    InviteClient(String),
+    /// Non-INVITE client transaction, by branch.
+    Client(String),
+    /// INVITE server transaction, by branch.
+    InviteServer(String),
+    /// Non-INVITE server transaction, by branch + method token.
+    Server(String),
+}
+
+/// What the manager asks its host to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MgrAction {
+    /// Put this message on the wire.
+    Transmit(SipMessage),
+    /// Deliver this response to the transaction user.
+    DeliverResponse(Response),
+    /// Deliver this request to the transaction user (a new server
+    /// transaction was created for it; respond via
+    /// [`TransactionManager::send_response`] with the returned key).
+    DeliverRequest {
+        /// Key to respond through.
+        key: TxKey,
+        /// The request.
+        request: Request,
+    },
+    /// Arm a timer: call [`TransactionManager::on_timer`] with `token`
+    /// after `after`.
+    Schedule {
+        /// Opaque timer token.
+        token: u64,
+        /// Delay from now.
+        after: Duration,
+    },
+    /// A transaction reached its terminal state and was dropped.
+    Ended {
+        /// Which transaction.
+        key: TxKey,
+        /// How it ended.
+        outcome: TxOutcome,
+    },
+}
+
+enum AnyTx {
+    InviteClient(InviteClientTx),
+    Client(ClientTx),
+    InviteServer(InviteServerTx),
+    Server(ServerTx),
+}
+
+/// The manager.
+pub struct TransactionManager {
+    cfg: TimerConfig,
+    transactions: HashMap<TxKey, AnyTx>,
+    timers: HashMap<u64, (TxKey, TimerKind)>,
+    next_token: u64,
+}
+
+impl TransactionManager {
+    /// A manager with the given timer configuration.
+    #[must_use]
+    pub fn new(cfg: TimerConfig) -> Self {
+        TransactionManager {
+            cfg,
+            transactions: HashMap::new(),
+            timers: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Live transaction count.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Start a client transaction for an outgoing request (except ACK,
+    /// which is transaction-less for 2xx and handled by the INVITE client
+    /// transaction for non-2xx).
+    pub fn send_request(&mut self, req: Request) -> Vec<MgrAction> {
+        let Some(branch) = req.top_via_branch().map(str::to_owned) else {
+            // No branch: fire and forget (the RFC requires one; we stay
+            // permissive for hand-built messages).
+            return vec![MgrAction::Transmit(req.into())];
+        };
+        if req.method == Method::Ack {
+            return vec![MgrAction::Transmit(req.into())];
+        }
+        let (key, tx, actions) = if req.method.is_invite() {
+            let (tx, actions) = InviteClientTx::new(req, self.cfg);
+            (
+                TxKey::InviteClient(branch),
+                AnyTx::InviteClient(tx),
+                actions,
+            )
+        } else {
+            let (tx, actions) = ClientTx::new(req, self.cfg);
+            (TxKey::Client(branch), AnyTx::Client(tx), actions)
+        };
+        self.transactions.insert(key.clone(), tx);
+        self.map_actions(&key, actions)
+    }
+
+    /// Send a response through a server transaction created by a prior
+    /// [`MgrAction::DeliverRequest`].
+    pub fn send_response(&mut self, key: &TxKey, resp: Response) -> Vec<MgrAction> {
+        let actions = match self.transactions.get_mut(key) {
+            Some(AnyTx::InviteServer(tx)) => tx.send_response(resp),
+            Some(AnyTx::Server(tx)) => tx.send_response(resp),
+            _ => return vec![],
+        };
+        self.map_actions(&key.clone(), actions)
+    }
+
+    /// A message arrived from the wire.
+    pub fn on_message(&mut self, msg: SipMessage) -> Vec<MgrAction> {
+        match msg {
+            SipMessage::Request(req) => self.on_request(req),
+            SipMessage::Response(resp) => self.on_response(resp),
+        }
+    }
+
+    fn on_request(&mut self, req: Request) -> Vec<MgrAction> {
+        let Some(branch) = req.top_via_branch().map(str::to_owned) else {
+            return vec![MgrAction::DeliverRequest {
+                key: TxKey::Server(String::new()),
+                request: req,
+            }];
+        };
+        match req.method {
+            Method::Invite => {
+                let key = TxKey::InviteServer(branch);
+                if let Some(AnyTx::InviteServer(tx)) = self.transactions.get_mut(&key) {
+                    let actions = tx.on_retransmit();
+                    return self.map_actions(&key, actions);
+                }
+                self.transactions
+                    .insert(key.clone(), AnyTx::InviteServer(InviteServerTx::new(self.cfg)));
+                vec![MgrAction::DeliverRequest { key, request: req }]
+            }
+            Method::Ack => {
+                // Matches the INVITE server transaction's branch (non-2xx
+                // case); otherwise it is a 2xx ACK for the TU.
+                let key = TxKey::InviteServer(branch);
+                if let Some(AnyTx::InviteServer(tx)) = self.transactions.get_mut(&key) {
+                    let actions = tx.on_ack();
+                    return self.map_actions(&key, actions);
+                }
+                vec![MgrAction::DeliverRequest {
+                    key: TxKey::Server(String::new()),
+                    request: req,
+                }]
+            }
+            _ => {
+                let key = TxKey::Server(format!("{branch}|{}", req.method));
+                if let Some(AnyTx::Server(tx)) = self.transactions.get_mut(&key) {
+                    let actions = tx.on_retransmit();
+                    return self.map_actions(&key, actions);
+                }
+                self.transactions
+                    .insert(key.clone(), AnyTx::Server(ServerTx::new(self.cfg)));
+                vec![MgrAction::DeliverRequest { key, request: req }]
+            }
+        }
+    }
+
+    fn on_response(&mut self, resp: Response) -> Vec<MgrAction> {
+        let Some(branch) = resp.top_via_branch().map(str::to_owned) else {
+            return vec![MgrAction::DeliverResponse(resp)];
+        };
+        let key = if resp.cseq_method() == Some(Method::Invite) {
+            TxKey::InviteClient(branch)
+        } else {
+            TxKey::Client(branch)
+        };
+        let actions = match self.transactions.get_mut(&key) {
+            Some(AnyTx::InviteClient(tx)) => tx.on_response(resp, build_non2xx_ack),
+            Some(AnyTx::Client(tx)) => tx.on_response(resp),
+            // No transaction (e.g. a retransmitted 2xx after termination):
+            // straight to the TU, which owns 2xx retransmission handling.
+            _ => return vec![MgrAction::DeliverResponse(resp)],
+        };
+        self.map_actions(&key, actions)
+    }
+
+    /// A previously scheduled timer token fired.
+    pub fn on_timer(&mut self, token: u64) -> Vec<MgrAction> {
+        let Some((key, kind)) = self.timers.remove(&token) else {
+            return vec![]; // timer for a finished transaction
+        };
+        let actions = match self.transactions.get_mut(&key) {
+            Some(AnyTx::InviteClient(tx)) => tx.on_timer(kind),
+            Some(AnyTx::Client(tx)) => tx.on_timer(kind),
+            Some(AnyTx::InviteServer(tx)) => tx.on_timer(kind),
+            Some(AnyTx::Server(tx)) => tx.on_timer(kind),
+            None => return vec![],
+        };
+        self.map_actions(&key, actions)
+    }
+
+    fn map_actions(&mut self, key: &TxKey, actions: Vec<TxAction>) -> Vec<MgrAction> {
+        let mut out = Vec::with_capacity(actions.len());
+        for act in actions {
+            match act {
+                TxAction::TransmitRequest(r) => out.push(MgrAction::Transmit(r.into())),
+                TxAction::TransmitResponse(r) => out.push(MgrAction::Transmit(r.into())),
+                TxAction::DeliverResponse(r) => out.push(MgrAction::DeliverResponse(r)),
+                TxAction::SetTimer(kind, after) => {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.timers.insert(token, (key.clone(), kind));
+                    out.push(MgrAction::Schedule { token, after });
+                }
+                TxAction::Terminated(outcome) => {
+                    self.transactions.remove(key);
+                    self.timers.retain(|_, (k, _)| k != key);
+                    out.push(MgrAction::Ended {
+                        key: key.clone(),
+                        outcome,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::HeaderName;
+    use crate::message::format_via;
+    use crate::uri::SipUri;
+    use crate::StatusCode;
+
+    fn invite(branch: &str) -> Request {
+        Request::new(Method::Invite, SipUri::parse("sip:bob@pbx").unwrap())
+            .header(HeaderName::Via, format_via("a", 5060, branch))
+            .header(HeaderName::From, "<sip:alice@pbx>;tag=f")
+            .header(HeaderName::To, "<sip:bob@pbx>")
+            .header(HeaderName::CallId, format!("cid-{branch}"))
+            .header(HeaderName::CSeq, "1 INVITE")
+    }
+
+    fn bye(branch: &str) -> Request {
+        Request::new(Method::Bye, SipUri::parse("sip:bob@pbx").unwrap())
+            .header(HeaderName::Via, format_via("a", 5060, branch))
+            .header(HeaderName::CallId, format!("cid-{branch}"))
+            .header(HeaderName::CSeq, "2 BYE")
+    }
+
+    fn transmits(acts: &[MgrAction]) -> usize {
+        acts.iter()
+            .filter(|a| matches!(a, MgrAction::Transmit(_)))
+            .count()
+    }
+
+    #[test]
+    fn client_lifecycle_through_manager() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        let req = invite("z9hG4bKm1");
+        let acts = mgr.send_request(req.clone());
+        assert_eq!(transmits(&acts), 1);
+        assert_eq!(mgr.active(), 1);
+        // 200 terminates the INVITE client transaction.
+        let acts = mgr.on_message(req.make_response(StatusCode::OK).into());
+        assert!(acts.iter().any(|a| matches!(a, MgrAction::DeliverResponse(r) if r.status == StatusCode::OK)));
+        assert!(acts.iter().any(|a| matches!(a, MgrAction::Ended { outcome: TxOutcome::Normal, .. })));
+        assert_eq!(mgr.active(), 0);
+    }
+
+    #[test]
+    fn concurrent_transactions_do_not_cross() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        let a = invite("z9hG4bKa");
+        let b = invite("z9hG4bKb");
+        mgr.send_request(a.clone());
+        mgr.send_request(b.clone());
+        assert_eq!(mgr.active(), 2);
+        // Answer only A; B stays live.
+        mgr.on_message(a.make_response(StatusCode::OK).into());
+        assert_eq!(mgr.active(), 1);
+        mgr.on_message(b.make_response(StatusCode::OK).into());
+        assert_eq!(mgr.active(), 0);
+    }
+
+    #[test]
+    fn timer_tokens_route_to_their_transaction() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        let acts = mgr.send_request(invite("z9hG4bKt"));
+        let tokens: Vec<u64> = acts
+            .iter()
+            .filter_map(|a| match a {
+                MgrAction::Schedule { token, .. } => Some(*token),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tokens.len(), 2, "timers A and B armed");
+        // Timer A: a retransmission comes out.
+        let acts = mgr.on_timer(tokens[0]);
+        assert_eq!(transmits(&acts), 1);
+        // Timer B: timeout ends the transaction.
+        let acts = mgr.on_timer(tokens[1]);
+        assert!(acts.iter().any(|a| matches!(a, MgrAction::Ended { outcome: TxOutcome::Timeout, .. })));
+        assert_eq!(mgr.active(), 0);
+        // Stale token after termination: silently ignored.
+        assert!(mgr.on_timer(tokens[0]).is_empty());
+    }
+
+    #[test]
+    fn server_side_delivers_then_responds() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        let req = invite("z9hG4bKs");
+        let acts = mgr.on_message(req.clone().into());
+        let key = match &acts[0] {
+            MgrAction::DeliverRequest { key, request } => {
+                assert_eq!(request.method, Method::Invite);
+                key.clone()
+            }
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(mgr.active(), 1);
+        // Retransmitted INVITE before any response: absorbed silently.
+        let acts = mgr.on_message(req.clone().into());
+        assert!(acts.is_empty());
+        // TU answers 200: transmitted, transaction ends (2xx rule).
+        let acts = mgr.send_response(&key, req.make_response(StatusCode::OK));
+        assert_eq!(transmits(&acts), 1);
+        assert!(acts.iter().any(|a| matches!(a, MgrAction::Ended { .. })));
+        assert_eq!(mgr.active(), 0);
+    }
+
+    #[test]
+    fn server_retransmit_replays_response() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        let req = bye("z9hG4bKrb");
+        let acts = mgr.on_message(req.clone().into());
+        let key = match &acts[0] {
+            MgrAction::DeliverRequest { key, .. } => key.clone(),
+            other => panic!("{other:?}"),
+        };
+        mgr.send_response(&key, req.make_response(StatusCode::OK));
+        // Retransmitted BYE: the stored 200 is replayed without a new
+        // delivery to the TU.
+        let acts = mgr.on_message(req.into());
+        assert_eq!(transmits(&acts), 1);
+        assert!(!acts.iter().any(|a| matches!(a, MgrAction::DeliverRequest { .. })));
+    }
+
+    #[test]
+    fn ack_to_2xx_bypasses_transactions() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        let ack = Request::new(Method::Ack, SipUri::parse("sip:bob@pbx").unwrap())
+            .header(HeaderName::Via, format_via("a", 5060, "z9hG4bKnew"))
+            .header(HeaderName::CallId, "cid-x")
+            .header(HeaderName::CSeq, "1 ACK");
+        let acts = mgr.on_message(ack.into());
+        assert!(matches!(&acts[0], MgrAction::DeliverRequest { request, .. } if request.method == Method::Ack));
+        assert_eq!(mgr.active(), 0, "no transaction for a 2xx ACK");
+        // Sending an ACK is transaction-less too.
+        let ack2 = Request::new(Method::Ack, SipUri::parse("sip:bob@pbx").unwrap())
+            .header(HeaderName::Via, format_via("a", 5060, "z9hG4bKout"));
+        let acts = mgr.send_request(ack2);
+        assert_eq!(transmits(&acts), 1);
+        assert_eq!(mgr.active(), 0);
+    }
+
+    #[test]
+    fn unmatched_response_goes_to_tu() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        let stray = invite("z9hG4bKgone").make_response(StatusCode::OK);
+        let acts = mgr.on_message(stray.into());
+        assert!(matches!(&acts[0], MgrAction::DeliverResponse(r) if r.status == StatusCode::OK));
+    }
+
+    #[test]
+    fn same_branch_different_method_servers_are_distinct() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        // An in-dialog BYE re-using a branch string must not collide with
+        // an OPTIONS using the same branch (distinct server transactions).
+        let b = bye("z9hG4bKshared");
+        let o = Request::new(Method::Options, SipUri::parse("sip:pbx").unwrap())
+            .header(HeaderName::Via, format_via("a", 5060, "z9hG4bKshared"))
+            .header(HeaderName::CSeq, "3 OPTIONS");
+        mgr.on_message(b.into());
+        mgr.on_message(o.into());
+        assert_eq!(mgr.active(), 2);
+    }
+
+    #[test]
+    fn non_invite_client_times_out_cleanly() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        let acts = mgr.send_request(bye("z9hG4bKto"));
+        let f_token = acts
+            .iter()
+            .filter_map(|a| match a {
+                MgrAction::Schedule { token, .. } => Some(*token),
+                _ => None,
+            })
+            .nth(1)
+            .expect("timer F");
+        let acts = mgr.on_timer(f_token);
+        assert!(acts.iter().any(|a| matches!(a, MgrAction::Ended { outcome: TxOutcome::Timeout, .. })));
+        assert_eq!(mgr.active(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The Erlang-C delay model.
+//!
+//! Where Erlang-B models a *loss* system (blocked calls vanish — the PBX
+//! case studied in the paper), Erlang-C models a *delay* system in which
+//! blocked arrivals queue. It is included because contact-centre
+//! dimensioning (the paper cites Angus's classic introduction to both
+//! models) routinely needs the pair, and because the comparison makes a
+//! useful ablation: the same offered load produces very different channel
+//! requirements under the two disciplines.
+
+use crate::erlang_b::blocking_probability;
+use crate::error::TrafficError;
+use crate::units::Erlangs;
+
+/// Probability that an arriving call must wait, `C(A, N)`.
+///
+/// Computed from Erlang-B via the standard identity
+/// `C = N·B / (N − A·(1 − B))`, valid for `A < N` (a stable queue).
+/// For `A ≥ N` the queue is unstable and every call waits: returns `1.0`.
+///
+/// ```
+/// use teletraffic::{erlang_c, Erlangs};
+/// let c = erlang_c::wait_probability(Erlangs(8.0), 10);
+/// assert!(c > 0.0 && c < 1.0);
+/// ```
+#[must_use]
+pub fn wait_probability(a: Erlangs, channels: u32) -> f64 {
+    let av = a.value();
+    if !(av.is_finite() && av >= 0.0) {
+        return f64::NAN;
+    }
+    if channels == 0 {
+        return 1.0;
+    }
+    if av == 0.0 {
+        return 0.0;
+    }
+    let n = f64::from(channels);
+    if av >= n {
+        return 1.0;
+    }
+    let b = blocking_probability(a, channels);
+    let denom = n - av * (1.0 - b);
+    (n * b / denom).clamp(0.0, 1.0)
+}
+
+/// Mean waiting time in the queue (seconds) for mean holding time
+/// `holding_s` seconds: `W = C(A,N) · h / (N − A)`.
+///
+/// Returns `f64::INFINITY` for an unstable queue (`A ≥ N`).
+#[must_use]
+pub fn mean_wait(a: Erlangs, channels: u32, holding_s: f64) -> f64 {
+    let av = a.value();
+    let n = f64::from(channels);
+    if av >= n {
+        return f64::INFINITY;
+    }
+    wait_probability(a, channels) * holding_s / (n - av)
+}
+
+/// Probability a call waits longer than `t` seconds:
+/// `P(W > t) = C(A,N) · exp(−(N − A)·t/h)`.
+#[must_use]
+pub fn wait_exceeds(a: Erlangs, channels: u32, holding_s: f64, t: f64) -> f64 {
+    let av = a.value();
+    let n = f64::from(channels);
+    if av >= n {
+        return 1.0;
+    }
+    wait_probability(a, channels) * (-(n - av) * t / holding_s).exp()
+}
+
+/// Smallest `N` with service level `P(W ≤ t) ≥ level` — the "80% answered
+/// within 20 s" style contact-centre target.
+pub fn channels_for_service_level(
+    a: Erlangs,
+    holding_s: f64,
+    t: f64,
+    level: f64,
+) -> Result<u32, TrafficError> {
+    if !a.is_valid() {
+        return Err(TrafficError::InvalidLoad);
+    }
+    if !(level > 0.0 && level < 1.0) {
+        return Err(TrafficError::InvalidProbability);
+    }
+    if !(holding_s > 0.0 && t >= 0.0) {
+        return Err(TrafficError::InvalidParameter("holding/t"));
+    }
+    let av = a.value();
+    let mut n = av.floor() as u32 + 1; // queue must be stable
+    loop {
+        if 1.0 - wait_exceeds(a, n, holding_s, t) >= level {
+            return Ok(n);
+        }
+        n = n
+            .checked_add(1)
+            .ok_or(TrafficError::Unreachable)?;
+        if f64::from(n) > av * 16.0 + 1e6 {
+            return Err(TrafficError::Unreachable);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // A classic check: A = 2 E, N = 3 -> C ≈ 0.4444.
+        let c = wait_probability(Erlangs(2.0), 3);
+        assert!((c - 4.0 / 9.0).abs() < 1e-9, "c={c}");
+    }
+
+    #[test]
+    fn unstable_queue_always_waits() {
+        assert_eq!(wait_probability(Erlangs(10.0), 10), 1.0);
+        assert_eq!(wait_probability(Erlangs(12.0), 10), 1.0);
+        assert!(mean_wait(Erlangs(12.0), 10, 120.0).is_infinite());
+        assert_eq!(wait_exceeds(Erlangs(12.0), 10, 120.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(wait_probability(Erlangs(0.0), 5), 0.0);
+        assert_eq!(wait_probability(Erlangs(1.0), 0), 1.0);
+        assert!(wait_probability(Erlangs(f64::NAN), 5).is_nan());
+    }
+
+    #[test]
+    fn erlang_c_geq_erlang_b() {
+        // Queueing can only make waiting/blocking more likely than loss.
+        for &a in &[1.0, 5.0, 20.0, 80.0] {
+            for n in (a as u32 + 1)..(a as u32 + 40) {
+                let b = blocking_probability(Erlangs(a), n);
+                let c = wait_probability(Erlangs(a), n);
+                assert!(c >= b - 1e-12, "A={a} N={n}: C={c} < B={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_wait_decreases_with_channels() {
+        let mut prev = f64::INFINITY;
+        for n in 9..30u32 {
+            let w = mean_wait(Erlangs(8.0), n, 180.0);
+            assert!(w <= prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn service_level_solver() {
+        // 150 E, 3-minute calls, 80% answered within 20 s.
+        let n = channels_for_service_level(Erlangs(150.0), 180.0, 20.0, 0.8).unwrap();
+        assert!(n > 150, "queue must be stable: {n}");
+        let achieved = 1.0 - wait_exceeds(Erlangs(150.0), n, 180.0, 20.0);
+        assert!(achieved >= 0.8);
+        // Minimality.
+        let below = 1.0 - wait_exceeds(Erlangs(150.0), n - 1, 180.0, 20.0);
+        assert!(below < 0.8);
+    }
+
+    #[test]
+    fn service_level_rejects_bad_inputs() {
+        assert!(channels_for_service_level(Erlangs(-1.0), 180.0, 20.0, 0.8).is_err());
+        assert!(channels_for_service_level(Erlangs(1.0), 180.0, 20.0, 1.0).is_err());
+        assert!(channels_for_service_level(Erlangs(1.0), 0.0, 20.0, 0.8).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn wait_probability_in_unit_interval(a in 0.0f64..500.0, n in 0u32..600) {
+            let c = wait_probability(Erlangs(a), n);
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn exceedance_decreases_in_t(a in 0.1f64..100.0, n in 1u32..200, t in 0.0f64..300.0) {
+            prop_assume!(a < f64::from(n));
+            let p1 = wait_exceeds(Erlangs(a), n, 120.0, t);
+            let p2 = wait_exceeds(Erlangs(a), n, 120.0, t + 1.0);
+            prop_assert!(p2 <= p1 + 1e-12);
+        }
+    }
+}

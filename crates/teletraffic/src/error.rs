@@ -1,0 +1,50 @@
+//! Error type for the analytical solvers.
+
+use core::fmt;
+
+/// Errors produced by the inverse solvers and model constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrafficError {
+    /// The offered load was negative, NaN or infinite.
+    InvalidLoad,
+    /// A probability argument fell outside `(0, 1)`.
+    InvalidProbability,
+    /// The requested target is unreachable (e.g. zero blocking with
+    /// positive load requires infinitely many channels).
+    Unreachable,
+    /// A population/parameter constraint was violated (e.g. Engset with
+    /// sources ≤ channels).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::InvalidLoad => write!(f, "offered load must be finite and non-negative"),
+            TrafficError::InvalidProbability => {
+                write!(f, "probability must lie strictly between 0 and 1")
+            }
+            TrafficError::Unreachable => write!(f, "target is unreachable for these parameters"),
+            TrafficError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TrafficError::InvalidLoad.to_string().contains("load"));
+        assert!(TrafficError::InvalidProbability
+            .to_string()
+            .contains("probability"));
+        assert!(TrafficError::Unreachable.to_string().contains("unreachable"));
+        assert!(TrafficError::InvalidParameter("sources")
+            .to_string()
+            .contains("sources"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Traffic intensity units and conversions.
+//!
+//! The Erlang is the unit of telephone traffic intensity over one hour
+//! (paper §III-A, Eq. 1):
+//!
+//! ```text
+//! Erlang = calls_per_hour * duration_minutes / 60
+//! ```
+//!
+//! One Erlang is one voice channel continuously occupied for one hour.
+
+use serde::{Deserialize, Serialize};
+
+/// Offered traffic intensity in Erlangs.
+///
+/// A thin, strongly-typed wrapper over `f64` so that loads, rates and
+/// durations cannot be accidentally interchanged in the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Erlangs(pub f64);
+
+/// Call arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct CallRate {
+    /// Calls per second.
+    per_second: f64,
+}
+
+/// Mean call holding time.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct HoldingTime {
+    seconds: f64,
+}
+
+impl Erlangs {
+    /// Offered load from a busy-hour call count and a mean call duration.
+    ///
+    /// This is Eq. 1 of the paper with the duration given in seconds:
+    /// `A = (calls/h) * (duration_s / 3600)`.
+    ///
+    /// ```
+    /// use teletraffic::Erlangs;
+    /// // 3000 calls/hour of 3 minutes each = 150 Erlangs.
+    /// assert_eq!(Erlangs::from_calls(3000.0, 180.0).value(), 150.0);
+    /// ```
+    #[must_use]
+    pub fn from_calls(calls_per_hour: f64, duration_seconds: f64) -> Self {
+        Erlangs(calls_per_hour * duration_seconds / 3600.0)
+    }
+
+    /// Offered load from an arrival rate and a mean holding time
+    /// (`A = λ · h`, Little's law for the offered stream).
+    #[must_use]
+    pub fn from_rate(rate: CallRate, holding: HoldingTime) -> Self {
+        Erlangs(rate.per_second * holding.seconds)
+    }
+
+    /// Offered load for a calling population: `A = pop · frac · d / 60` with
+    /// `d` in minutes — the x-axis construction of the paper's Fig. 7.
+    ///
+    /// `fraction` is the share of the population placing a call during the
+    /// busy hour (0.0..=1.0).
+    #[must_use]
+    pub fn from_population(population: u64, fraction: f64, duration_minutes: f64) -> Self {
+        Erlangs(population as f64 * fraction * duration_minutes / 60.0)
+    }
+
+    /// The raw intensity value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The arrival rate implied by this load for a given holding time.
+    #[must_use]
+    pub fn rate_for(self, holding: HoldingTime) -> CallRate {
+        CallRate::per_second(self.0 / holding.seconds)
+    }
+
+    /// True when the value is a usable traffic intensity (finite, ≥ 0).
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl CallRate {
+    /// A rate expressed in calls per second.
+    #[must_use]
+    pub fn per_second(cps: f64) -> Self {
+        CallRate { per_second: cps }
+    }
+
+    /// A rate expressed in calls per hour.
+    #[must_use]
+    pub fn per_hour(cph: f64) -> Self {
+        CallRate {
+            per_second: cph / 3600.0,
+        }
+    }
+
+    /// Calls per second.
+    #[must_use]
+    pub fn calls_per_second(self) -> f64 {
+        self.per_second
+    }
+
+    /// Calls per hour.
+    #[must_use]
+    pub fn calls_per_hour(self) -> f64 {
+        self.per_second * 3600.0
+    }
+
+    /// Mean inter-arrival gap in seconds (∞ for a zero rate).
+    #[must_use]
+    pub fn mean_interarrival(self) -> f64 {
+        1.0 / self.per_second
+    }
+}
+
+impl HoldingTime {
+    /// A holding time in seconds.
+    #[must_use]
+    pub fn from_seconds(seconds: f64) -> Self {
+        HoldingTime { seconds }
+    }
+
+    /// A holding time in minutes.
+    #[must_use]
+    pub fn from_minutes(minutes: f64) -> Self {
+        HoldingTime {
+            seconds: minutes * 60.0,
+        }
+    }
+
+    /// Seconds.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.seconds
+    }
+
+    /// Minutes.
+    #[must_use]
+    pub fn minutes(self) -> f64 {
+        self.seconds / 60.0
+    }
+}
+
+impl core::ops::Add for Erlangs {
+    type Output = Erlangs;
+    fn add(self, rhs: Erlangs) -> Erlangs {
+        Erlangs(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Mul<f64> for Erlangs {
+    type Output = Erlangs;
+    fn mul(self, rhs: f64) -> Erlangs {
+        Erlangs(self.0 * rhs)
+    }
+}
+
+impl core::fmt::Display for Erlangs {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3} E", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_of_the_paper() {
+        // Erlang = calls/h * duration(min) / 60.
+        let a = Erlangs::from_calls(60.0, 60.0); // 60 one-minute calls/hour
+        assert!((a.value() - 1.0).abs() < 1e-12);
+        let a = Erlangs::from_calls(3000.0, 180.0);
+        assert!((a.value() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_times_holding_is_load() {
+        let rate = CallRate::per_second(0.5);
+        let h = HoldingTime::from_seconds(120.0);
+        let a = Erlangs::from_rate(rate, h);
+        assert!((a.value() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_arrival_rates() {
+        // Table I: A Erlangs with h = 120 s over a 180 s window places 1.5·A
+        // calls: λ = A/h, calls = λ·180.
+        for a in [40.0, 80.0, 120.0, 160.0, 200.0, 240.0] {
+            let rate = Erlangs(a).rate_for(HoldingTime::from_seconds(120.0));
+            let calls = rate.calls_per_second() * 180.0;
+            assert!((calls - 1.5 * a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn population_load_fig7_anchors() {
+        // Fig. 7 anchors from the paper's narrative (population 8000, 60%):
+        //   2.0 min -> 160 E, 2.5 min -> 200 E, 3.0 min -> 240 E.
+        let e20 = Erlangs::from_population(8000, 0.60, 2.0);
+        let e25 = Erlangs::from_population(8000, 0.60, 2.5);
+        let e30 = Erlangs::from_population(8000, 0.60, 3.0);
+        assert!((e20.value() - 160.0).abs() < 1e-9);
+        assert!((e25.value() - 200.0).abs() < 1e-9);
+        assert!((e30.value() - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_round_trips() {
+        let r = CallRate::per_hour(3600.0);
+        assert!((r.calls_per_second() - 1.0).abs() < 1e-12);
+        assert!((r.calls_per_hour() - 3600.0).abs() < 1e-9);
+        assert!((r.mean_interarrival() - 1.0).abs() < 1e-12);
+        let h = HoldingTime::from_minutes(2.0);
+        assert!((h.seconds() - 120.0).abs() < 1e-12);
+        assert!((h.minutes() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = Erlangs(1.5) + Erlangs(2.5);
+        assert!((a.value() - 4.0).abs() < 1e-12);
+        let b = Erlangs(2.0) * 3.0;
+        assert!((b.value() - 6.0).abs() < 1e-12);
+        assert_eq!(format!("{}", Erlangs(1.0)), "1.000 E");
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Erlangs(0.0).is_valid());
+        assert!(Erlangs(1e9).is_valid());
+        assert!(!Erlangs(-1.0).is_valid());
+        assert!(!Erlangs(f64::NAN).is_valid());
+        assert!(!Erlangs(f64::INFINITY).is_valid());
+    }
+}

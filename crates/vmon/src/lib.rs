@@ -1,0 +1,514 @@
+//! Passive traffic analysis — the VoIPmonitor + Wireshark stand-in.
+//!
+//! The paper observes its testbed with VoIPmonitor (per-call MOS) and
+//! Wireshark (RTP packet counts). This crate taps every delivered packet of
+//! the simulation and derives the same quantities:
+//!
+//! * SIP message accounting by method and status code (Table I's
+//!   INVITE / 100 TRY / RING / OK / ACK / BYE / error rows);
+//! * per-flow RTP statistics — RFC 3550 sequence bookkeeping (loss,
+//!   duplicates, reorders) and interarrival jitter, plus one-way delay
+//!   sampling;
+//! * per-call MOS via the G.107 E-model ([`voiceq`]), mirroring
+//!   VoIPmonitor's method — and, like VoIPmonitor (a caveat the paper
+//!   makes explicit), scoring **only completed calls**: blocked calls
+//!   never carry media and therefore never enter the MOS average.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pcap;
+
+use des::Welford;
+use rtpcore::jitter::{JitterEstimator, SequenceTracker};
+use rtpcore::packet::RtpHeader;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use voiceq::{CodecProfile, EModelInputs};
+
+/// Identifies one unidirectional media flow as observed at its receiver.
+/// The experiment layer builds it from (destination node, destination
+/// port), which is unique per leg in this testbed.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FlowId(pub u64);
+
+impl FlowId {
+    /// Compose from a node number and a UDP port.
+    #[must_use]
+    pub fn from_node_port(node: u16, port: u16) -> Self {
+        FlowId((u64::from(node) << 16) | u64::from(port))
+    }
+}
+
+/// Reception statistics of one flow.
+#[derive(Debug, Clone)]
+pub struct StreamStats {
+    tracker: SequenceTracker,
+    jitter: JitterEstimator,
+    delay: Welford,
+    packets: u64,
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        StreamStats {
+            tracker: SequenceTracker::new(),
+            jitter: JitterEstimator::new(8000.0),
+            delay: Welford::new(),
+            packets: 0,
+        }
+    }
+}
+
+impl StreamStats {
+    /// Packets seen.
+    #[must_use]
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Loss fraction so far.
+    #[must_use]
+    pub fn loss(&self) -> f64 {
+        self.tracker.loss_fraction()
+    }
+
+    /// Interarrival jitter in milliseconds.
+    #[must_use]
+    pub fn jitter_ms(&self) -> f64 {
+        self.jitter.jitter_ms()
+    }
+
+    /// Mean one-way delay in milliseconds.
+    #[must_use]
+    pub fn mean_delay_ms(&self) -> f64 {
+        let m = self.delay.mean();
+        if m.is_nan() {
+            0.0
+        } else {
+            m * 1000.0
+        }
+    }
+
+    /// Observed loss burst ratio (1.0 = random loss; >1 = clumped).
+    #[must_use]
+    pub fn burst_ratio(&self) -> f64 {
+        self.tracker.burst_ratio()
+    }
+}
+
+/// Aggregate monitor report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorReport {
+    /// Total RTP packets observed (the paper's "Msg" row).
+    pub rtp_packets: u64,
+    /// Total SIP messages observed.
+    pub sip_total: u64,
+    /// SIP request counts by method token.
+    pub sip_requests: BTreeMap<String, u64>,
+    /// SIP response counts by status code.
+    pub sip_responses: BTreeMap<u16, u64>,
+    /// Mean MOS over completed calls (NaN when none scored).
+    pub mos_mean: f64,
+    /// Minimum per-call MOS.
+    pub mos_min: f64,
+    /// Number of calls scored.
+    pub calls_scored: u64,
+    /// Mean observed packet loss across flows.
+    pub mean_loss: f64,
+    /// Mean observed jitter (ms) across flows.
+    pub mean_jitter_ms: f64,
+}
+
+impl MonitorReport {
+    /// SIP request count for a method token.
+    #[must_use]
+    pub fn sip_request_count(&self, method: &str) -> u64 {
+        self.sip_requests.get(method).copied().unwrap_or(0)
+    }
+
+    /// SIP response count for a status code.
+    #[must_use]
+    pub fn sip_response_count(&self, code: u16) -> u64 {
+        self.sip_responses.get(&code).copied().unwrap_or(0)
+    }
+
+    /// Total error-class (≥400) responses.
+    #[must_use]
+    pub fn sip_error_count(&self) -> u64 {
+        self.sip_responses
+            .iter()
+            .filter(|(c, _)| **c >= 400)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+}
+
+/// The passive monitor.
+///
+/// Internal maps are ordered (`BTreeMap`) so floating-point aggregation
+/// order — and therefore every reported statistic — is bit-reproducible
+/// across runs.
+#[derive(Debug, Clone, Default)]
+pub struct Monitor {
+    streams: BTreeMap<FlowId, StreamStats>,
+    flow_call: BTreeMap<FlowId, String>,
+    sip_requests: BTreeMap<String, u64>,
+    sip_responses: BTreeMap<u16, u64>,
+    rtp_packets: u64,
+}
+
+impl Monitor {
+    /// A fresh monitor.
+    #[must_use]
+    pub fn new() -> Self {
+        Monitor::default()
+    }
+
+    /// Associate a flow with a call so per-call quality can be reported.
+    pub fn register_flow(&mut self, flow: FlowId, call_id: &str) {
+        self.flow_call.insert(flow, call_id.to_owned());
+    }
+
+    /// Observe one delivered SIP message.
+    pub fn tap_sip(&mut self, msg: &sipcore::SipMessage) {
+        match msg {
+            sipcore::SipMessage::Request(r) => {
+                *self
+                    .sip_requests
+                    .entry(r.method.as_str().to_owned())
+                    .or_insert(0) += 1;
+            }
+            sipcore::SipMessage::Response(r) => {
+                *self.sip_responses.entry(r.status.0).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Observe one delivered RTP packet on `flow`, arriving at wall time
+    /// `arrival_s` having spent `delay_s` in the network.
+    pub fn tap_rtp(&mut self, flow: FlowId, arrival_s: f64, delay_s: f64, header: &RtpHeader) {
+        self.rtp_packets += 1;
+        let s = self.streams.entry(flow).or_default();
+        s.packets += 1;
+        s.tracker.record(header.sequence);
+        s.jitter.record(arrival_s, header.timestamp);
+        s.delay.record(delay_s);
+    }
+
+    /// Statistics of one flow, if observed.
+    #[must_use]
+    pub fn stream(&self, flow: FlowId) -> Option<&StreamStats> {
+        self.streams.get(&flow)
+    }
+
+    /// Total observed RTP packets.
+    #[must_use]
+    pub fn rtp_packets(&self) -> u64 {
+        self.rtp_packets
+    }
+
+    /// SIP request count for a method token.
+    #[must_use]
+    pub fn sip_request_count(&self, method: &str) -> u64 {
+        self.sip_requests.get(method).copied().unwrap_or(0)
+    }
+
+    /// SIP response count for a status code.
+    #[must_use]
+    pub fn sip_response_count(&self, code: u16) -> u64 {
+        self.sip_responses.get(&code).copied().unwrap_or(0)
+    }
+
+    /// Total error-class responses observed.
+    #[must_use]
+    pub fn sip_error_count(&self) -> u64 {
+        self.sip_responses
+            .iter()
+            .filter(|(c, _)| **c >= 400)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// E-model MOS for one call, combining all of its registered flows.
+    /// `None` if the call has no media yet.
+    #[must_use]
+    pub fn call_mos(&self, call_id: &str) -> Option<f64> {
+        let flows: Vec<&StreamStats> = self
+            .flow_call
+            .iter()
+            .filter(|(_, cid)| cid.as_str() == call_id)
+            .filter_map(|(flow, _)| self.streams.get(flow))
+            .collect();
+        if flows.is_empty() {
+            return None;
+        }
+        let n = flows.len() as f64;
+        let loss = flows.iter().map(|f| f.loss()).sum::<f64>() / n;
+        let delay_ms = flows.iter().map(|f| f.mean_delay_ms()).sum::<f64>() / n;
+        let jitter_ms = flows.iter().map(|f| f.jitter_ms()).fold(0.0, f64::max);
+        // Worst observed burstiness across the call's directions: clumped
+        // loss defeats concealment, and the E-model penalises it.
+        let burst_ratio = flows.iter().map(|f| f.burst_ratio()).fold(1.0, f64::max);
+        Some(voiceq::estimate_mos(&EModelInputs {
+            network_delay_ms: delay_ms,
+            // An adaptive jitter buffer sized at twice the observed jitter,
+            // floored at two packet times — the common deployment rule.
+            jitter_buffer_ms: (2.0 * jitter_ms).max(40.0),
+            packet_loss: loss,
+            burst_ratio,
+            codec: CodecProfile::g711(),
+            advantage: 0.0,
+        }))
+    }
+
+    /// Per-call measurement export as CSV (VoIPmonitor's per-call table):
+    /// `call_id,loss,jitter_ms,delay_ms,burst_ratio,mos`, calls sorted by id.
+    #[must_use]
+    pub fn per_call_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("call_id,loss,jitter_ms,delay_ms,burst_ratio,mos\n");
+        let mut call_ids: Vec<&String> = self.flow_call.values().collect();
+        call_ids.sort();
+        call_ids.dedup();
+        for call_id in call_ids {
+            let flows: Vec<&StreamStats> = self
+                .flow_call
+                .iter()
+                .filter(|(_, cid)| cid == &call_id)
+                .filter_map(|(flow, _)| self.streams.get(flow))
+                .collect();
+            if flows.is_empty() {
+                continue;
+            }
+            let n = flows.len() as f64;
+            let loss = flows.iter().map(|f| f.loss()).sum::<f64>() / n;
+            let jitter = flows.iter().map(|f| f.jitter_ms()).fold(0.0, f64::max);
+            let delay = flows.iter().map(|f| f.mean_delay_ms()).sum::<f64>() / n;
+            let burst = flows.iter().map(|f| f.burst_ratio()).fold(1.0, f64::max);
+            let mos = self.call_mos(call_id).unwrap_or(f64::NAN);
+            let _ = writeln!(
+                out,
+                "{call_id},{loss:.6},{jitter:.3},{delay:.3},{burst:.3},{mos:.3}"
+            );
+        }
+        out
+    }
+
+    /// Build the aggregate report.
+    #[must_use]
+    pub fn report(&self) -> MonitorReport {
+        let mut mos = Welford::new();
+        let mut scored = std::collections::BTreeSet::new();
+        for call_id in self.flow_call.values() {
+            if scored.insert(call_id.clone()) {
+                if let Some(m) = self.call_mos(call_id) {
+                    mos.record(m);
+                }
+            }
+        }
+        let nflows = self.streams.len().max(1) as f64;
+        let mean_loss = self.streams.values().map(StreamStats::loss).sum::<f64>() / nflows;
+        let mean_jitter =
+            self.streams.values().map(StreamStats::jitter_ms).sum::<f64>() / nflows;
+        MonitorReport {
+            rtp_packets: self.rtp_packets,
+            sip_total: self.sip_requests.values().sum::<u64>()
+                + self.sip_responses.values().sum::<u64>(),
+            sip_requests: self.sip_requests.clone(),
+            sip_responses: self.sip_responses.clone(),
+            mos_mean: mos.mean(),
+            mos_min: mos.min(),
+            calls_scored: mos.count(),
+            mean_loss,
+            mean_jitter_ms: mean_jitter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sipcore::headers::HeaderName;
+    use sipcore::{Method, Request, Response, SipUri, StatusCode};
+
+    fn header(seq: u16, ts: u32) -> RtpHeader {
+        RtpHeader {
+            marker: seq == 0,
+            payload_type: 0,
+            sequence: seq,
+            timestamp: ts,
+            ssrc: 0x42,
+        }
+    }
+
+    fn feed_clean_stream(mon: &mut Monitor, flow: FlowId, packets: u16) {
+        for i in 0..packets {
+            let t = f64::from(i) * 0.020;
+            mon.tap_rtp(flow, t + 0.001, 0.001, &header(i, u32::from(i) * 160));
+        }
+    }
+
+    #[test]
+    fn clean_stream_scores_high_mos() {
+        let mut mon = Monitor::new();
+        let flow = FlowId::from_node_port(1, 20_000);
+        mon.register_flow(flow, "call-1");
+        feed_clean_stream(&mut mon, flow, 500);
+        let mos = mon.call_mos("call-1").unwrap();
+        assert!(mos > 4.3, "mos={mos}");
+        let s = mon.stream(flow).unwrap();
+        assert_eq!(s.packets(), 500);
+        assert_eq!(s.loss(), 0.0);
+        assert!(s.jitter_ms() < 0.1);
+        assert!((s.mean_delay_ms() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lossy_stream_scores_lower() {
+        let mut mon = Monitor::new();
+        let flow = FlowId::from_node_port(1, 20_000);
+        mon.register_flow(flow, "lossy");
+        for i in 0..500u16 {
+            if i % 10 == 0 {
+                continue; // 10% loss
+            }
+            let t = f64::from(i) * 0.020;
+            mon.tap_rtp(flow, t + 0.001, 0.001, &header(i, u32::from(i) * 160));
+        }
+        let mos = mon.call_mos("lossy").unwrap();
+        assert!(mos < 3.9, "mos={mos}");
+    }
+
+    #[test]
+    fn both_directions_combine() {
+        let mut mon = Monitor::new();
+        let f1 = FlowId::from_node_port(1, 20_000);
+        let f2 = FlowId::from_node_port(2, 30_000);
+        mon.register_flow(f1, "c");
+        mon.register_flow(f2, "c");
+        feed_clean_stream(&mut mon, f1, 100);
+        // Second direction suffers loss; combined MOS sits between.
+        for i in 0..100u16 {
+            if i % 5 == 0 {
+                continue;
+            }
+            mon.tap_rtp(f2, f64::from(i) * 0.02, 0.002, &header(i, u32::from(i) * 160));
+        }
+        let combined = mon.call_mos("c").unwrap();
+        let clean_only = {
+            let mut m2 = Monitor::new();
+            m2.register_flow(f1, "c");
+            feed_clean_stream(&mut m2, f1, 100);
+            m2.call_mos("c").unwrap()
+        };
+        assert!(combined < clean_only);
+        assert!(combined > 3.0);
+    }
+
+    #[test]
+    fn unknown_call_has_no_mos() {
+        let mon = Monitor::new();
+        assert!(mon.call_mos("nope").is_none());
+        let mut mon2 = Monitor::new();
+        mon2.register_flow(FlowId(1), "early");
+        assert!(mon2.call_mos("early").is_none(), "registered but no media");
+    }
+
+    #[test]
+    fn sip_accounting() {
+        let mut mon = Monitor::new();
+        let invite = Request::new(Method::Invite, SipUri::new("a", "h"))
+            .header(HeaderName::CallId, "x".to_owned());
+        mon.tap_sip(&invite.clone().into());
+        mon.tap_sip(&invite.into());
+        mon.tap_sip(&Response::new(StatusCode::TRYING).into());
+        mon.tap_sip(&Response::new(StatusCode::RINGING).into());
+        mon.tap_sip(&Response::new(StatusCode::OK).into());
+        mon.tap_sip(&Response::new(StatusCode::BUSY_HERE).into());
+        assert_eq!(mon.sip_request_count("INVITE"), 2);
+        assert_eq!(mon.sip_request_count("BYE"), 0);
+        assert_eq!(mon.sip_response_count(100), 1);
+        assert_eq!(mon.sip_response_count(180), 1);
+        assert_eq!(mon.sip_error_count(), 1);
+        let report = mon.report();
+        assert_eq!(report.sip_total, 6);
+    }
+
+    #[test]
+    fn report_aggregates_calls() {
+        let mut mon = Monitor::new();
+        for k in 0..3u16 {
+            let flow = FlowId::from_node_port(1, 20_000 + k);
+            mon.register_flow(flow, &format!("call-{k}"));
+            feed_clean_stream(&mut mon, flow, 200);
+        }
+        let report = mon.report();
+        assert_eq!(report.calls_scored, 3);
+        assert_eq!(report.rtp_packets, 600);
+        assert!(report.mos_mean > 4.3);
+        assert!(report.mos_min > 4.3);
+        assert!(report.mean_loss < 1e-12);
+        assert!(report.mean_jitter_ms < 0.1);
+    }
+
+    #[test]
+    fn bursty_loss_scores_worse_than_random_loss() {
+        // Same 10% loss; random spread vs one clump. The burst-aware MOS
+        // must punish the clump harder.
+        let feed = |mon: &mut Monitor, flow: FlowId, skip: &dyn Fn(u16) -> bool| {
+            for i in 0..500u16 {
+                if skip(i) {
+                    continue;
+                }
+                let t = f64::from(i) * 0.020;
+                mon.tap_rtp(flow, t + 0.001, 0.001, &header(i, u32::from(i) * 160));
+            }
+        };
+        let mut random = Monitor::new();
+        let f1 = FlowId::from_node_port(1, 100);
+        random.register_flow(f1, "r");
+        feed(&mut random, f1, &|i| i % 10 == 0);
+        let mut bursty = Monitor::new();
+        let f2 = FlowId::from_node_port(1, 100);
+        bursty.register_flow(f2, "b");
+        feed(&mut bursty, f2, &|i| (100..150).contains(&i));
+        let mr = random.call_mos("r").unwrap();
+        let mb = bursty.call_mos("b").unwrap();
+        assert!(
+            mb < mr - 0.1,
+            "bursty {mb} should score below random {mr}"
+        );
+    }
+
+    #[test]
+    fn per_call_csv_export() {
+        let mut mon = Monitor::new();
+        let flow = FlowId::from_node_port(1, 20_000);
+        mon.register_flow(flow, "csv-call");
+        feed_clean_stream(&mut mon, flow, 100);
+        let csv = mon.per_call_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("call_id,loss,jitter_ms,delay_ms,burst_ratio,mos")
+        );
+        let row = lines.next().expect("one call row");
+        assert!(row.starts_with("csv-call,0.000000,"), "{row}");
+        let mos: f64 = row.rsplit(',').next().unwrap().parse().unwrap();
+        assert!(mos > 4.3, "{row}");
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn flow_id_composition_is_injective() {
+        let a = FlowId::from_node_port(1, 500);
+        let b = FlowId::from_node_port(2, 500);
+        let c = FlowId::from_node_port(1, 501);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

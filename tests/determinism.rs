@@ -1,0 +1,77 @@
+//! Integration: a run is a pure function of its seed — the property that
+//! makes parallel sweeps and regression comparisons trustworthy.
+
+use asterisk_capacity::prelude::*;
+use capacity::experiment::MediaMode;
+use loadgen::HoldingDist;
+
+fn cfg(seed: u64, media: MediaMode) -> EmpiricalConfig {
+    EmpiricalConfig {
+        erlangs: 8.0,
+        servers: 1,
+        holding: HoldingDist::Exponential(15.0),
+        placement_window_s: 60.0,
+        channels: 10,
+        media,
+        pickup_delay: des::SimDuration::from_millis(500),
+        link_loss_probability: 0.002,
+        silence_suppression: false,
+        capture_traffic: false,
+        user_pool: 10,
+        max_calls_per_user: None,
+        seed,
+    }
+}
+
+#[test]
+fn identical_seeds_identical_everything() {
+    let media = MediaMode::PerPacket { encode_every: 20 };
+    let a = EmpiricalRunner::run(cfg(99, media));
+    let b = EmpiricalRunner::run(cfg(99, media));
+    assert_eq!(a.attempted, b.attempted);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.blocked, b.blocked);
+    assert_eq!(a.failed, b.failed);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.monitor.rtp_packets, b.monitor.rtp_packets);
+    assert_eq!(a.monitor.sip_total, b.monitor.sip_total);
+    assert_eq!(a.monitor.sip_requests, b.monitor.sip_requests);
+    assert_eq!(a.monitor.sip_responses, b.monitor.sip_responses);
+    assert_eq!(a.peak_channels, b.peak_channels);
+    // Float outputs are bit-identical too: same event order, same arithmetic.
+    assert_eq!(a.observed_pb.to_bits(), b.observed_pb.to_bits());
+    assert_eq!(a.monitor.mos_mean.to_bits(), b.monitor.mos_mean.to_bits());
+    assert_eq!(a.cpu_mean.to_bits(), b.cpu_mean.to_bits());
+}
+
+#[test]
+fn seed_changes_the_realisation_not_the_physics() {
+    let media = MediaMode::Off;
+    let a = EmpiricalRunner::run(cfg(1, media));
+    let b = EmpiricalRunner::run(cfg(2, media));
+    // Different draws...
+    assert_ne!(a.events_processed, b.events_processed);
+    // ...same physics: both runs respect conservation and bounds.
+    for r in [&a, &b] {
+        assert_eq!(
+            r.attempted,
+            r.completed + r.blocked + r.failed + r.abandoned
+        );
+        assert!(r.peak_channels <= 10);
+        assert!((0.0..=1.0).contains(&r.observed_pb));
+    }
+}
+
+#[test]
+fn parallel_fig6_is_reproducible() {
+    // The rayon-parallel sweep must give identical numbers on every
+    // invocation regardless of thread interleaving (per-run RNG streams).
+    let loads = [15.0, 25.0];
+    let x = capacity::figures::fig6(&loads, 2, 7);
+    let y = capacity::figures::fig6(&loads, 2, 7);
+    assert_eq!(x.len(), y.len());
+    for (p, q) in x.iter().zip(&y) {
+        assert_eq!(p.empirical_pb_pct.to_bits(), q.empirical_pb_pct.to_bits());
+        assert_eq!(p.erlangs, q.erlangs);
+    }
+}

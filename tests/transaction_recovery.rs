@@ -1,0 +1,267 @@
+//! Integration: the RFC 3261 transaction state machines recover from a
+//! lossy wire — INVITE retransmission on timer A, response retransmission
+//! on timer G, timeout on timer B — driven by the real DES clock.
+
+use des::rng::Distributions;
+use des::{EventHandler, Scheduler, SimDuration, SimTime, Simulation, StreamRng};
+use sipcore::headers::HeaderName;
+use sipcore::message::{format_via, Request, Response};
+use sipcore::transaction::{
+    build_non2xx_ack, InviteClientState, InviteClientTx, InviteServerState, InviteServerTx,
+    TimerConfig, TimerKind, TxAction, TxOutcome,
+};
+use sipcore::{Method, SipUri, StatusCode};
+
+fn invite() -> Request {
+    Request::new(Method::Invite, SipUri::parse("sip:bob@pbx").unwrap())
+        .header(HeaderName::Via, format_via("a", 5060, "z9hG4bKrecov"))
+        .header(HeaderName::From, "<sip:alice@pbx>;tag=f")
+        .header(HeaderName::To, "<sip:bob@pbx>")
+        .header(HeaderName::CallId, "recov-1")
+        .header(HeaderName::CSeq, "1 INVITE")
+}
+
+/// Events in the two-party transaction world.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Request arrives at the server after network delay.
+    ReqArrives(Request),
+    /// Response arrives at the client.
+    RespArrives(Response),
+    /// A client-side transaction timer fires.
+    ClientTimer(TimerKind),
+    /// A server-side transaction timer fires.
+    ServerTimer(TimerKind),
+}
+
+/// A lossy wire between an INVITE client transaction and an INVITE server
+/// transaction, with the server's TU answering 486 Busy (non-2xx, so both
+/// retransmission paths — timer A and timer G — are exercised).
+struct LossyWorld {
+    client: InviteClientTx,
+    server: Option<InviteServerTx>,
+    rng: StreamRng,
+    loss: f64,
+    delay: SimDuration,
+    client_deliveries: Vec<StatusCode>,
+    client_outcome: Option<TxOutcome>,
+    server_outcome: Option<TxOutcome>,
+    invite_transmissions: u32,
+    acks_seen: u32,
+}
+
+impl LossyWorld {
+    fn new(loss: f64, seed: u64) -> (Self, Vec<TxAction>) {
+        let (client, actions) = InviteClientTx::new(invite(), TimerConfig::default());
+        (
+            LossyWorld {
+                client,
+                server: None,
+                rng: StreamRng::seed_from_u64(seed),
+                loss,
+                delay: SimDuration::from_millis(5),
+                client_deliveries: Vec::new(),
+                client_outcome: None,
+                server_outcome: None,
+                invite_transmissions: 0,
+                acks_seen: 0,
+            },
+            actions,
+        )
+    }
+
+    fn run_client_actions(&mut self, now: SimTime, actions: Vec<TxAction>, sched: &mut Scheduler<Ev>) {
+        for act in actions {
+            match act {
+                TxAction::TransmitRequest(req) => {
+                    if req.method == Method::Invite {
+                        self.invite_transmissions += 1;
+                    }
+                    if !self.rng.coin(self.loss) {
+                        sched.schedule(now + self.delay, Ev::ReqArrives(req));
+                    }
+                }
+                TxAction::TransmitResponse(_) => unreachable!("client sends no responses"),
+                TxAction::DeliverResponse(r) => self.client_deliveries.push(r.status),
+                TxAction::SetTimer(kind, after) => {
+                    sched.schedule(now + SimDuration::from_nanos(after.as_nanos() as u64), Ev::ClientTimer(kind));
+                }
+                TxAction::Terminated(outcome) => self.client_outcome = Some(outcome),
+            }
+        }
+    }
+
+    fn run_server_actions(&mut self, now: SimTime, actions: Vec<TxAction>, sched: &mut Scheduler<Ev>) {
+        for act in actions {
+            match act {
+                TxAction::TransmitResponse(resp) => {
+                    if !self.rng.coin(self.loss) {
+                        sched.schedule(now + self.delay, Ev::RespArrives(resp));
+                    }
+                }
+                TxAction::TransmitRequest(_) | TxAction::DeliverResponse(_) => {}
+                TxAction::SetTimer(kind, after) => {
+                    sched.schedule(now + SimDuration::from_nanos(after.as_nanos() as u64), Ev::ServerTimer(kind));
+                }
+                TxAction::Terminated(outcome) => self.server_outcome = Some(outcome),
+            }
+        }
+    }
+}
+
+impl EventHandler<Ev> for LossyWorld {
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::ReqArrives(req) => match req.method {
+                Method::Invite => match &mut self.server {
+                    None => {
+                        // TU answers 486 straight away through a fresh
+                        // server transaction.
+                        let mut server = InviteServerTx::new(TimerConfig::default());
+                        let actions = server.send_response(req.make_response(StatusCode::BUSY_HERE));
+                        self.server = Some(server);
+                        self.run_server_actions(now, actions, sched);
+                    }
+                    Some(server) => {
+                        let actions = server.on_retransmit();
+                        self.run_server_actions(now, actions, sched);
+                    }
+                },
+                Method::Ack => {
+                    self.acks_seen += 1;
+                    if let Some(server) = &mut self.server {
+                        let actions = server.on_ack();
+                        self.run_server_actions(now, actions, sched);
+                    }
+                }
+                other => panic!("unexpected {other}"),
+            },
+            Ev::RespArrives(resp) => {
+                let actions = self.client.on_response(resp, build_non2xx_ack);
+                self.run_client_actions(now, actions, sched);
+            }
+            Ev::ClientTimer(kind) => {
+                let actions = self.client.on_timer(kind);
+                self.run_client_actions(now, actions, sched);
+            }
+            Ev::ServerTimer(kind) => {
+                if let Some(server) = &mut self.server {
+                    let actions = server.on_timer(kind);
+                    self.run_server_actions(now, actions, sched);
+                }
+            }
+        }
+    }
+}
+
+fn run(loss: f64, seed: u64) -> LossyWorld {
+    let (world, initial) = LossyWorld::new(loss, seed);
+    let mut sim = Simulation::new(world);
+    let acts = initial;
+    sim.world.run_client_actions(SimTime::ZERO, acts, &mut sim.sched);
+    sim.run_until(SimTime::from_secs(120));
+    sim.world
+}
+
+#[test]
+fn reliable_wire_single_exchange() {
+    let w = run(0.0, 1);
+    assert_eq!(w.client_deliveries, vec![StatusCode::BUSY_HERE]);
+    assert_eq!(w.client.state, InviteClientState::Terminated);
+    assert_eq!(w.client_outcome, Some(TxOutcome::Normal));
+    assert_eq!(w.server_outcome, Some(TxOutcome::Normal));
+    assert_eq!(w.invite_transmissions, 1, "no retransmits needed");
+    assert!(w.acks_seen >= 1);
+}
+
+#[test]
+fn lossy_wire_retransmits_until_delivery() {
+    // 40% loss per message: the exchange still completes, via timer-driven
+    // retransmission, and the TU sees the response exactly once.
+    let mut completed = 0;
+    for seed in 0..20u64 {
+        let w = run(0.40, seed);
+        if w.client_outcome == Some(TxOutcome::Normal) {
+            completed += 1;
+            assert_eq!(
+                w.client_deliveries,
+                vec![StatusCode::BUSY_HERE],
+                "retransmitted finals are absorbed, not re-delivered (seed {seed})"
+            );
+        }
+        // Whatever happened, the state machines ended in terminal states.
+        assert!(matches!(
+            w.client.state,
+            InviteClientState::Terminated | InviteClientState::Completed
+        ));
+    }
+    assert!(
+        completed >= 17,
+        "40% loss should almost always converge: {completed}/20"
+    );
+    // And at 40% loss, retransmissions demonstrably happened somewhere.
+    let total_tx: u32 = (0..20u64).map(|s| run(0.40, s).invite_transmissions).sum();
+    assert!(total_tx > 25, "retransmissions occurred: {total_tx} for 20 calls");
+}
+
+#[test]
+fn total_blackout_times_out_cleanly() {
+    let w = run(1.0, 3);
+    assert_eq!(w.client_outcome, Some(TxOutcome::Timeout), "timer B fired");
+    assert!(w.client_deliveries.is_empty());
+    assert!(w.server.is_none(), "nothing ever arrived");
+    // Timer A doubled from 500 ms until timer B (64·T1 = 32 s): the
+    // initial send plus retransmits at 0.5,1,2,...,16 s = 7 total.
+    assert_eq!(w.invite_transmissions, 7);
+}
+
+#[test]
+fn server_gives_up_without_ack() {
+    // The ACK never arrives: the server retransmits its 486 on timer G
+    // (doubling, capped at T2) and terminates on timer H at 64·T1 = 32 s.
+    let mut server = InviteServerTx::new(TimerConfig::default());
+    let mut sched = Scheduler::<TimerKind>::new();
+    let mut g_retransmits = 0u32;
+    let mut h_outcome = None;
+
+    let apply = |server: &mut InviteServerTx,
+                     sched: &mut Scheduler<TimerKind>,
+                     now: SimTime,
+                     actions: Vec<TxAction>,
+                     g: &mut u32,
+                     outcome: &mut Option<TxOutcome>| {
+        for act in actions {
+            match act {
+                TxAction::TransmitResponse(_) => *g += 1,
+                TxAction::SetTimer(kind, after) => sched.schedule(
+                    now + SimDuration::from_nanos(after.as_nanos() as u64),
+                    kind,
+                ),
+                TxAction::Terminated(o) => *outcome = Some(o),
+                _ => {}
+            }
+        }
+        let _ = server;
+    };
+
+    let first = server.send_response(invite().make_response(StatusCode::BUSY_HERE));
+    apply(&mut server, &mut sched, SimTime::ZERO, first, &mut g_retransmits, &mut h_outcome);
+    let initial_transmit = g_retransmits;
+    assert_eq!(initial_transmit, 1);
+
+    while h_outcome.is_none() {
+        let (now, kind) = sched.pop().expect("timers pending until H fires");
+        let actions = server.on_timer(kind);
+        apply(&mut server, &mut sched, now, actions, &mut g_retransmits, &mut h_outcome);
+    }
+
+    assert_eq!(h_outcome, Some(TxOutcome::Timeout), "timer H fired");
+    assert_eq!(server.state, InviteServerState::Terminated);
+    // G fires at 0.5, 1.5, 3.5, 7.5 s then every 4 s until H at 32 s:
+    // ten retransmissions beyond the initial transmit.
+    assert!(
+        g_retransmits - initial_transmit >= 8,
+        "timer G retransmitted: {}",
+        g_retransmits - initial_transmit
+    );
+}
