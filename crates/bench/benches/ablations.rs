@@ -119,7 +119,12 @@ fn bench_parallel(c: &mut Criterion) {
         b.iter(|| {
             loads
                 .par_iter()
-                .map(|&a| (0..4u64).into_par_iter().map(|rep| run_one(a, rep)).sum::<f64>())
+                .map(|&a| {
+                    (0..4u64)
+                        .into_par_iter()
+                        .map(|rep| run_one(a, rep))
+                        .sum::<f64>()
+                })
                 .sum::<f64>()
         })
     });
@@ -194,13 +199,27 @@ fn bench_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_codec");
     g.throughput(criterion::Throughput::Elements(pcm.len() as u64));
     g.bench_function("ulaw_encode_1s", |b| {
-        b.iter(|| pcm.iter().map(|&s| rtpcore::ulaw_encode(black_box(s))).map(u64::from).sum::<u64>())
+        b.iter(|| {
+            pcm.iter()
+                .map(|&s| rtpcore::ulaw_encode(black_box(s)))
+                .map(u64::from)
+                .sum::<u64>()
+        })
     });
     g.bench_function("alaw_encode_1s", |b| {
-        b.iter(|| pcm.iter().map(|&s| rtpcore::alaw_encode(black_box(s))).map(u64::from).sum::<u64>())
+        b.iter(|| {
+            pcm.iter()
+                .map(|&s| rtpcore::alaw_encode(black_box(s)))
+                .map(u64::from)
+                .sum::<u64>()
+        })
     });
     g.bench_function("ulaw_decode_1s", |b| {
-        b.iter(|| ulaw.iter().map(|&c| i64::from(rtpcore::ulaw_decode(black_box(c)))).sum::<i64>())
+        b.iter(|| {
+            ulaw.iter()
+                .map(|&c| i64::from(rtpcore::ulaw_decode(black_box(c))))
+                .sum::<i64>()
+        })
     });
     g.finish();
 }
@@ -209,9 +228,17 @@ fn bench_parser(c: &mut Criterion) {
     use sipcore::headers::HeaderName;
     use sipcore::message::format_via;
     use sipcore::{Method, Request, SipUri};
-    let sdp = sipcore::sdp::SessionDescription::new("1001", "10.0.0.2", 6000, sipcore::sdp::SdpCodec::Pcmu);
+    let sdp = sipcore::sdp::SessionDescription::new(
+        "1001",
+        "10.0.0.2",
+        6000,
+        sipcore::sdp::SdpCodec::Pcmu,
+    );
     let invite = Request::new(Method::Invite, SipUri::new("1002", "pbx.unb.br"))
-        .header(HeaderName::Via, format_via("10.0.0.2", 5060, "z9hG4bKbench"))
+        .header(
+            HeaderName::Via,
+            format_via("10.0.0.2", 5060, "z9hG4bKbench"),
+        )
         .header(HeaderName::From, "<sip:1001@pbx.unb.br>;tag=b1")
         .header(HeaderName::To, "<sip:1002@pbx.unb.br>")
         .header(HeaderName::CallId, "bench-call-1")
@@ -221,7 +248,9 @@ fn bench_parser(c: &mut Criterion) {
     let wire = invite.to_wire();
     let mut g = c.benchmark_group("ablation_parser");
     g.throughput(criterion::Throughput::Bytes(wire.len() as u64));
-    g.bench_function("serialize_invite", |b| b.iter(|| black_box(&invite).to_wire()));
+    g.bench_function("serialize_invite", |b| {
+        b.iter(|| black_box(&invite).to_wire())
+    });
     g.bench_function("parse_invite", |b| {
         b.iter(|| sipcore::parse_message(black_box(&wire)).unwrap())
     });
@@ -250,9 +279,11 @@ fn bench_holding_insensitivity(c: &mut Criterion) {
     };
     let fixed = run(loadgen::HoldingDist::Fixed(120.0));
     let expo = run(loadgen::HoldingDist::Exponential(120.0));
-    let logn = run(loadgen::HoldingDist::Lognormal { mean: 120.0, sd: 80.0 });
-    let analytic =
-        teletraffic::blocking_probability(teletraffic::Erlangs(20.0), 20) * 100.0;
+    let logn = run(loadgen::HoldingDist::Lognormal {
+        mean: 120.0,
+        sd: 80.0,
+    });
+    let analytic = teletraffic::blocking_probability(teletraffic::Erlangs(20.0), 20) * 100.0;
     println!(
         "ablation_holding (A=20E, N=20): fixed {fixed:.2}%  exponential {expo:.2}%  \
          lognormal {logn:.2}%  Erlang-B {analytic:.2}%"

@@ -32,7 +32,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("blocking_curve_A240_N260", |b| {
         b.iter(|| erlang_b::blocking_curve(black_box(Erlangs(240.0)), black_box(260)))
     });
-    g.bench_function("full_figure_12_curves", |b| b.iter(|| figures::fig3(black_box(260))));
+    g.bench_function("full_figure_12_curves", |b| {
+        b.iter(|| figures::fig3(black_box(260)))
+    });
     g.bench_function("channels_for_A150_pb2pct", |b| {
         b.iter(|| erlang_b::channels_for(black_box(Erlangs(150.0)), black_box(0.02)).unwrap())
     });

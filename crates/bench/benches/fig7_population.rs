@@ -12,9 +12,7 @@ fn regenerate_figure() {
     let curves = figures::fig7(8000, 165);
     print!("{}", report::render_fig7(&curves, 5));
     // The narrative anchors the paper reads off the plot.
-    let anchor = |d: f64| {
-        blocking_probability(Erlangs::from_population(8000, 0.6, d), 165) * 100.0
-    };
+    let anchor = |d: f64| blocking_probability(Erlangs::from_population(8000, 0.6, d), 165) * 100.0;
     println!(
         "anchors @60%: 2.0min -> {:.1}% (<5), 2.5min -> {:.1}% (~21), 3.0min -> {:.1}% (>34)",
         anchor(2.0),

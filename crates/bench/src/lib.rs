@@ -33,9 +33,7 @@ impl<E> SortedVecQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         // Descending by (time, seq): binary search for the insertion point.
-        let pos = self
-            .items
-            .partition_point(|(t, s, _)| (*t, *s) > (at, seq));
+        let pos = self.items.partition_point(|(t, s, _)| (*t, *s) > (at, seq));
         self.items.insert(pos, (at, seq, event));
     }
 

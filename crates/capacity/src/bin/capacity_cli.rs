@@ -12,7 +12,13 @@
 //! Append `--json` to any subcommand for machine-readable output.
 
 use capacity::experiment::{EmpiricalConfig, EmpiricalRunner};
+use capacity::world::pbx_node;
 use capacity::{farm, figures, policy, report, table1};
+use des::SimDuration;
+use faults::{FaultKind, FaultSchedule};
+use loadgen::RetryPolicy;
+use netsim::topology::nodes;
+use pbx_sim::OverloadControl;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,8 +97,91 @@ fn main() {
         }
         Some("run") => {
             let erlangs = flag("--erlangs", 40.0);
-            let result = EmpiricalRunner::run(EmpiricalConfig::table1(erlangs, seed));
-            println!("{}", report::to_json(&result));
+            let mut cfg = EmpiricalConfig::table1(erlangs, seed);
+            cfg.channels = flag("--channels", f64::from(cfg.channels)) as u32;
+            let holding = flag("--holding", 0.0);
+            if holding > 0.0 {
+                cfg.holding = loadgen::HoldingDist::Fixed(holding);
+            }
+            cfg.placement_window_s = flag("--window", cfg.placement_window_s);
+
+            // Overload control: --shed-high enables PBX shedding.
+            let shed_high = flag("--shed-high", 0.0);
+            if shed_high > 0.0 {
+                cfg.overload = Some(OverloadControl {
+                    high_watermark: shed_high,
+                    low_watermark: flag("--shed-low", (shed_high - 0.2).max(0.0)),
+                    retry_after: SimDuration::from_secs_f64(flag("--retry-after", 2.0)),
+                });
+            }
+            // UAC retry: --retry-max enables 503 retries with backoff.
+            let retry_max = flag("--retry-max", 0.0) as u32;
+            if retry_max > 0 {
+                cfg.retry = Some(RetryPolicy {
+                    max_retries: retry_max,
+                    base_backoff: SimDuration::from_secs_f64(flag("--retry-base", 2.0)),
+                    max_backoff: SimDuration::from_secs_f64(flag("--retry-cap", 32.0)),
+                });
+            }
+            // Scheduled faults (0 = not scheduled).
+            let mut sched = FaultSchedule::new();
+            let partition_at = flag("--partition-at", 0.0);
+            if partition_at > 0.0 {
+                sched = sched.at(
+                    partition_at,
+                    FaultKind::LinkPartition {
+                        a: pbx_node(0),
+                        b: nodes::SWITCH,
+                    },
+                );
+                let heal_at = flag("--heal-at", partition_at + 15.0);
+                sched = sched.at(
+                    heal_at,
+                    FaultKind::LinkHeal {
+                        a: pbx_node(0),
+                        b: nodes::SWITCH,
+                    },
+                );
+            }
+            let crash_at = flag("--crash-at", 0.0);
+            if crash_at > 0.0 {
+                sched = sched.at(
+                    crash_at,
+                    FaultKind::PbxCrash {
+                        pbx: 0,
+                        restart_after: SimDuration::from_secs_f64(flag("--restart-after", 5.0)),
+                    },
+                );
+            }
+            let flash_at = flag("--flash-at", 0.0);
+            if flash_at > 0.0 {
+                sched = sched.at(
+                    flash_at,
+                    FaultKind::FlashCrowd {
+                        rate_multiplier: flag("--flash-mult", 4.0),
+                        duration: SimDuration::from_secs_f64(flag("--flash-dur", 10.0)),
+                    },
+                );
+            }
+            let storm = flag("--storm", 0.0) as usize;
+            if storm > 0 {
+                let pbx_nodes: Vec<_> = (0..cfg.servers).map(pbx_node).collect();
+                sched = FaultSchedule::random_storm(
+                    seed,
+                    cfg.placement_window_s,
+                    storm,
+                    &pbx_nodes,
+                    nodes::SWITCH,
+                );
+            }
+            let robustness = !sched.is_empty() || cfg.overload.is_some() || cfg.retry.is_some();
+            cfg.faults = sched;
+            let result = EmpiricalRunner::run(cfg);
+            if json || !robustness {
+                println!("{}", report::to_json(&result));
+            } else {
+                print!("{}", report::render_robustness(&result));
+            }
         }
         _ => {
             eprintln!(
@@ -104,6 +193,17 @@ fn main() {
             eprintln!("  policy [--erlangs A] [--users U]   per-user call-limit study");
             eprintln!("  farm   [--erlangs A] [--channels N] [--reps R]  pooled vs split servers");
             eprintln!("  run    [--erlangs A]      one empirical run, JSON details");
+            eprintln!(
+                "         [--channels N --holding S --window S]  pool / call / window overrides"
+            );
+            eprintln!(
+                "         [--shed-high W --shed-low W --retry-after S]  PBX overload control"
+            );
+            eprintln!("         [--retry-max N --retry-base S --retry-cap S]  UAC 503 retry");
+            eprintln!("         [--partition-at S --heal-at S]  cut/heal the PBX uplink");
+            eprintln!("         [--crash-at S --restart-after S]  crash + supervised restart");
+            eprintln!("         [--flash-at S --flash-mult X --flash-dur S]  arrival burst");
+            eprintln!("         [--storm N]  seeded random fault storm (overrides the above)");
             std::process::exit(2);
         }
     }

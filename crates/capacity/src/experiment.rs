@@ -7,7 +7,9 @@
 
 use crate::world::{Ev, World};
 use des::{SimDuration, SimTime, Simulation};
-use loadgen::{CallOutcome, HoldingDist};
+use faults::{FaultKind, FaultSchedule};
+use loadgen::{CallOutcome, HoldingDist, RetryPolicy};
+use pbx_sim::OverloadControl;
 use serde::{Deserialize, Serialize};
 use teletraffic::Erlangs;
 use vmon::MonitorReport;
@@ -65,6 +67,14 @@ pub struct EmpiricalConfig {
     /// Per-user concurrent-call ceiling (`None` = unlimited, the paper's
     /// testbed; `Some(k)` = the §IV call-policy experiment).
     pub max_calls_per_user: Option<u32>,
+    /// Scheduled faults injected during the run (empty = the paper's
+    /// healthy testbed).
+    pub faults: FaultSchedule,
+    /// PBX overload control (`None` = saturate like the paper's server;
+    /// `Some` = shed with 503 + Retry-After between the watermarks).
+    pub overload: Option<OverloadControl>,
+    /// UAC 503-retry behaviour (`None` = a shed call counts as blocked).
+    pub retry: Option<RetryPolicy>,
     /// Master RNG seed: a run is a pure function of this value.
     pub seed: u64,
 }
@@ -90,6 +100,9 @@ impl EmpiricalConfig {
             capture_traffic: false,
             user_pool: 100,
             max_calls_per_user: None,
+            faults: FaultSchedule::new(),
+            overload: None,
+            retry: None,
             seed,
         }
     }
@@ -121,9 +134,31 @@ impl EmpiricalConfig {
             capture_traffic: false,
             user_pool: 20,
             max_calls_per_user: None,
+            faults: FaultSchedule::new(),
+            overload: None,
+            retry: None,
             seed,
         }
     }
+}
+
+/// Recovery accounting for one injected disruption.
+///
+/// The baseline is the mean answers/second over the ten seconds before
+/// the fault; recovery is the first post-fault second whose trailing
+/// 5-second mean answer rate is back within 5% of that baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultRecovery {
+    /// When the fault fired, in seconds.
+    pub fault_at_s: f64,
+    /// Human-readable fault description (the `FaultKind` debug form).
+    pub fault: String,
+    /// Pre-fault answer rate (answers/second).
+    pub baseline_rate: f64,
+    /// Seconds from the fault until the answer rate returned to within
+    /// 5% of baseline; `None` if it never did inside the horizon (or if
+    /// there was no pre-fault traffic to recover to).
+    pub time_to_recover_s: Option<f64>,
 }
 
 /// Results of one empirical run.
@@ -170,6 +205,85 @@ pub struct RunResult {
     pub sim_seconds: f64,
     /// DES events processed (throughput accounting).
     pub events_processed: u64,
+    /// Calls shed by PBX overload control (503 + Retry-After).
+    pub shed: u64,
+    /// UAC re-INVITEs sent after a shed (backoff retries).
+    pub retries: u64,
+    /// Calls that were shed at least once but completed after retrying.
+    pub shed_then_ok: u64,
+    /// Goodput: calls that carried a full conversation, whether admitted
+    /// first try (`completed`) or after backoff (`shed_then_ok`).
+    pub goodput: u64,
+    /// Per-server resettable channel high-water gauge at run end (the
+    /// crash-recovery refill level when the gauge was re-armed by a
+    /// restart; equals the all-time peak otherwise).
+    pub per_server_peak_in_use: Vec<u32>,
+    /// Recovery accounting for each injected disruption (heal events and
+    /// flash crowds are consequences, not disruptions, and are skipped).
+    pub recoveries: Vec<FaultRecovery>,
+}
+
+/// Trailing mean of the `window` seconds of `series` ending at `end_idx`
+/// (inclusive), clamped at the start of the series. The series only
+/// extends to the last recorded answer; seconds past its end are real
+/// silence and count as zero.
+fn trailing_mean(series: &[u64], end_idx: usize, window: usize) -> f64 {
+    let lo = (end_idx + 1).saturating_sub(window);
+    let sum: u64 = (lo..=end_idx)
+        .map(|i| series.get(i).copied().unwrap_or(0))
+        .sum();
+    sum as f64 / (end_idx + 1 - lo) as f64
+}
+
+/// Compute [`FaultRecovery`] entries from a per-second answer series.
+///
+/// Disruptions are partitions, degrades, crashes and throttles with
+/// factor > 1; heals, throttle restores and flash crowds are skipped
+/// (a flash crowd *raises* the answer rate, so "recovery to baseline"
+/// is not the interesting question there).
+#[must_use]
+pub fn compute_recoveries(faults: &FaultSchedule, answers_per_sec: &[u64]) -> Vec<FaultRecovery> {
+    let mut out = Vec::new();
+    for event in faults.events() {
+        let disruptive = match &event.kind {
+            FaultKind::LinkPartition { .. }
+            | FaultKind::LinkDegrade { .. }
+            | FaultKind::PbxCrash { .. } => true,
+            FaultKind::CpuThrottle { factor, .. } => *factor > 1.0,
+            FaultKind::LinkHeal { .. } | FaultKind::FlashCrowd { .. } => false,
+        };
+        if !disruptive {
+            continue;
+        }
+        let fault_at_s = event.at.as_secs_f64();
+        let fault_sec = fault_at_s as usize;
+        let fault = format!("{:?}", event.kind);
+        if fault_sec == 0 {
+            out.push(FaultRecovery {
+                fault_at_s,
+                fault,
+                baseline_rate: 0.0,
+                time_to_recover_s: None,
+            });
+            continue;
+        }
+        // Baseline: mean over the 10 seconds before the fault.
+        let baseline_rate = trailing_mean(answers_per_sec, fault_sec - 1, 10);
+        let time_to_recover_s = if baseline_rate <= 0.0 {
+            None
+        } else {
+            (fault_sec + 1..answers_per_sec.len())
+                .find(|&s| trailing_mean(answers_per_sec, s, 5) >= 0.95 * baseline_rate)
+                .map(|s| s as f64 - fault_at_s)
+        };
+        out.push(FaultRecovery {
+            fault_at_s,
+            fault,
+            baseline_rate,
+            time_to_recover_s,
+        });
+    }
+    out
 }
 
 /// Runs empirical experiments.
@@ -186,13 +300,19 @@ impl EmpiricalRunner {
             HoldingDist::Fixed(h) => h + 10.0,
             _ => config.holding.mean() * 8.0 + 30.0,
         };
-        let horizon =
-            SimTime::from_secs_f64(1.0 + config.placement_window_s + hold_slack + 5.0);
+        let mut horizon_s = 1.0 + config.placement_window_s + hold_slack + 5.0;
+        if let Some(last) = config.faults.last_effect_time() {
+            // Leave room after the last fault effect for re-registration,
+            // retried calls and the recovery window to be observable.
+            horizon_s = horizon_s.max(last.as_secs_f64() + hold_slack + 15.0);
+        }
+        let horizon = SimTime::from_secs_f64(horizon_s);
 
         let mut sim = Simulation::new(World::new(config));
         sim.world.prime(&mut sim.sched);
         sim.run_until(horizon);
         let end = sim.now();
+        let events_processed = sim.events_processed();
 
         let world = &mut sim.world;
         for pbx in &mut world.pbxes {
@@ -209,7 +329,11 @@ impl EmpiricalRunner {
         let completed = journal.outcome_count(CallOutcome::Completed);
         let failed = journal.outcome_count(CallOutcome::Failed);
         let abandoned = journal.outcome_count(CallOutcome::Abandoned);
+        let shed_then_ok = journal.outcome_count(CallOutcome::ShedThenOk);
+        let retries = journal.retries;
         let observed_pb = journal.blocking_probability();
+        let shed = world.pbxes.iter().map(|p| p.stats().calls_shed).sum();
+        let recoveries = compute_recoveries(&world.config.faults, world.answers_per_second());
 
         // Steady-state estimate from the CDRs: discard attempts placed
         // before the pools could have filled (placement start + one mean
@@ -257,13 +381,22 @@ impl EmpiricalRunner {
                 .map(|p| p.cpu.mean_utilisation(end))
                 .sum::<f64>()
                 / world.pbxes.len() as f64,
-            cpu_band: world.pbxes.iter().map(|p| p.cpu.utilisation_band()).fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), (l, h)| (lo.min(l), hi.max(h)),
-            ),
+            cpu_band: world
+                .pbxes
+                .iter()
+                .map(|p| p.cpu.utilisation_band())
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (l, h)| {
+                    (lo.min(l), hi.max(h))
+                }),
             monitor: world.monitor.report(),
             sim_seconds: end.as_secs_f64(),
-            events_processed: sim.events_processed(),
+            events_processed,
+            shed,
+            retries,
+            shed_then_ok,
+            goodput: completed + shed_then_ok,
+            per_server_peak_in_use: world.pbxes.iter().map(|p| p.pool.peak_in_use()).collect(),
+            recoveries,
         }
     }
 }
@@ -298,6 +431,78 @@ mod tests {
         assert!(r.monitor.rtp_packets > 0, "media flowed");
         assert!(r.monitor.mos_mean > 4.0, "clean LAN scores high MOS");
         assert!(r.cpu_mean > 0.0 && r.cpu_mean < 1.0);
+    }
+
+    #[test]
+    fn healthy_run_has_no_robustness_activity() {
+        let r = EmpiricalRunner::run(EmpiricalConfig::smoke(42));
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.shed_then_ok, 0);
+        assert_eq!(r.goodput, r.completed);
+        assert!(r.recoveries.is_empty());
+        assert_eq!(r.per_server_peak_in_use.len(), 1);
+        assert!(r.per_server_peak_in_use[0] > 0);
+    }
+
+    #[test]
+    fn compute_recoveries_finds_dip_and_heal() {
+        // Synthetic series: steady 10 answers/s, a partition zeroes
+        // seconds 40..50, then the rate returns.
+        let mut answers = vec![10u64; 80];
+        for slot in answers.iter_mut().take(50).skip(40) {
+            *slot = 0;
+        }
+        let faults = FaultSchedule::new()
+            .at(
+                40.0,
+                FaultKind::LinkPartition {
+                    a: netsim::NodeId(3),
+                    b: netsim::NodeId(0),
+                },
+            )
+            .at(
+                50.0,
+                FaultKind::LinkHeal {
+                    a: netsim::NodeId(3),
+                    b: netsim::NodeId(0),
+                },
+            );
+        let recs = compute_recoveries(&faults, &answers);
+        assert_eq!(recs.len(), 1, "heal is not a disruption: {recs:?}");
+        assert!((recs[0].baseline_rate - 10.0).abs() < 1e-9);
+        let ttr = recs[0].time_to_recover_s.expect("recovers");
+        // Outage lasts 10 s; the 5 s trailing mean needs a few more
+        // healthy seconds before it clears 95% of baseline.
+        assert!((10.0..20.0).contains(&ttr), "ttr = {ttr}");
+    }
+
+    #[test]
+    fn compute_recoveries_handles_no_recovery_and_no_baseline() {
+        // Permanent outage: never recovers.
+        let mut answers = vec![8u64; 60];
+        for slot in answers.iter_mut().skip(30) {
+            *slot = 0;
+        }
+        let partition = FaultSchedule::new().at(
+            30.0,
+            FaultKind::LinkPartition {
+                a: netsim::NodeId(3),
+                b: netsim::NodeId(0),
+            },
+        );
+        let recs = compute_recoveries(&partition, &answers);
+        assert_eq!(recs[0].time_to_recover_s, None);
+        // Fault before any traffic: no baseline to recover to.
+        let early = FaultSchedule::new().at(
+            0.5,
+            FaultKind::PbxCrash {
+                pbx: 0,
+                restart_after: SimDuration::from_secs(1),
+            },
+        );
+        let recs = compute_recoveries(&early, &answers);
+        assert_eq!(recs[0].time_to_recover_s, None);
     }
 
     #[test]

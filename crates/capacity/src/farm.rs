@@ -61,15 +61,13 @@ pub fn farm_study(
                     EmpiricalRunner::run(cfg)
                 })
                 .collect();
-            let mean_pb =
-                runs.iter().map(|r| r.steady_pb).sum::<f64>() / runs.len() as f64;
+            let mean_pb = runs.iter().map(|r| r.steady_pb).sum::<f64>() / runs.len() as f64;
             let busiest_peak = runs.iter().map(|r| r.peak_channels).max().unwrap_or(0);
             // Random dispatch splits the Poisson stream into k thinned
             // Poisson streams of rate λ/k, each offered to N/k channels.
             let analytic_split =
                 blocking_probability(Erlangs(erlangs / f64::from(servers)), channels_each);
-            let analytic_pooled =
-                blocking_probability(Erlangs(erlangs), channels_each * servers);
+            let analytic_pooled = blocking_probability(Erlangs(erlangs), channels_each * servers);
             FarmRow {
                 servers,
                 channels_each,
@@ -141,8 +139,14 @@ mod tests {
             split > pooled + 0.02,
             "trunking efficiency: split {split:.3} vs pooled {pooled:.3}"
         );
-        assert!((pooled - analytic_pooled).abs() < 0.05, "pooled {pooled:.3} vs {analytic_pooled:.3}");
-        assert!((split - analytic_split).abs() < 0.06, "split {split:.3} vs {analytic_split:.3}");
+        assert!(
+            (pooled - analytic_pooled).abs() < 0.05,
+            "pooled {pooled:.3} vs {analytic_pooled:.3}"
+        );
+        assert!(
+            (split - analytic_split).abs() < 0.06,
+            "split {split:.3} vs {analytic_split:.3}"
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Series builders for the paper's Figures 3, 6 and 7.
+//! Series builders for the paper's Figures 3, 6 and 7, plus the
+//! fault-recovery timeline used by the robustness experiments.
 
-use crate::experiment::{EmpiricalConfig, EmpiricalRunner};
+use crate::experiment::{run_world, EmpiricalConfig, EmpiricalRunner};
+use des::SimTime;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use teletraffic::{blocking_probability, Erlangs};
@@ -81,8 +83,8 @@ pub fn fig6(loads: &[f64], replications: u64, base_seed: u64) -> Vec<Fig6Point> 
                 .collect();
             let mean = pbs.iter().sum::<f64>() / pbs.len() as f64;
             let ci = if pbs.len() > 1 {
-                let var = pbs.iter().map(|p| (p - mean).powi(2)).sum::<f64>()
-                    / (pbs.len() - 1) as f64;
+                let var =
+                    pbs.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (pbs.len() - 1) as f64;
                 1.96 * (var / pbs.len() as f64).sqrt()
             } else {
                 f64::NAN
@@ -137,6 +139,21 @@ pub fn fig7(population: u64, channels: u32) -> Vec<Fig7Curve> {
         .collect()
 }
 
+/// Answer-rate timeline for a (usually fault-laden) run: one
+/// `(second, answers)` sample per simulated second up to `horizon_s`.
+/// This is the series [`crate::experiment::compute_recoveries`] scans;
+/// exposed so recovery plots can show the dip-and-heal shape directly.
+#[must_use]
+pub fn recovery_timeline(config: EmpiricalConfig, horizon_s: f64) -> Vec<(u64, u64)> {
+    let sim = run_world(config, SimTime::from_secs_f64(horizon_s));
+    sim.world
+        .answers_per_second()
+        .iter()
+        .enumerate()
+        .map(|(s, &n)| (s as u64, n))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,11 +184,23 @@ mod tests {
         assert_eq!(curves.len(), 3);
         let at = |c: &Fig7Curve, pct: usize| c.points[pct - 1].1;
         // "With 60% of the population placing calls, 2.0 min: <5% blocked."
-        assert!(at(&curves[0], 60) < 5.0, "2.0min@60% = {}", at(&curves[0], 60));
+        assert!(
+            at(&curves[0], 60) < 5.0,
+            "2.0min@60% = {}",
+            at(&curves[0], 60)
+        );
         // "2.5 min: nearly 21%."
-        assert!((at(&curves[1], 60) - 21.0).abs() < 3.0, "2.5min@60% = {}", at(&curves[1], 60));
+        assert!(
+            (at(&curves[1], 60) - 21.0).abs() < 3.0,
+            "2.5min@60% = {}",
+            at(&curves[1], 60)
+        );
         // "3.0 min: surpasses 34%."
-        assert!(at(&curves[2], 60) > 30.0, "3.0min@60% = {}", at(&curves[2], 60));
+        assert!(
+            at(&curves[2], 60) > 30.0,
+            "3.0min@60% = {}",
+            at(&curves[2], 60)
+        );
         // Longer calls always block more.
         for pct in [20usize, 40, 60, 80, 100] {
             assert!(at(&curves[0], pct) <= at(&curves[1], pct) + 1e-9);
@@ -200,6 +229,16 @@ mod tests {
             assert!(p.analytic_160 >= p.analytic_165);
             assert!(p.analytic_165 >= p.analytic_170);
         }
+    }
+
+    #[test]
+    fn recovery_timeline_is_per_second_and_nonempty() {
+        let mut cfg = EmpiricalConfig::smoke(9);
+        cfg.media = crate::experiment::MediaMode::Off;
+        let tl = recovery_timeline(cfg, 30.0);
+        assert!(tl.len() >= 15, "timeline covers the window: {}", tl.len());
+        assert!(tl.iter().any(|&(_, n)| n > 0), "some answers observed");
+        assert!(tl.iter().enumerate().all(|(i, &(s, _))| s == i as u64));
     }
 
     #[test]

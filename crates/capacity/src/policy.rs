@@ -74,9 +74,7 @@ pub fn render_policy(rows: &[PolicyRow]) -> String {
         "limit", "policy-refused", "channel-blocked", "completed", "carried", "peak-N"
     );
     for r in rows {
-        let limit = r
-            .limit
-            .map_or("none".to_owned(), |l| l.to_string());
+        let limit = r.limit.map_or("none".to_owned(), |l| l.to_string());
         let _ = writeln!(
             out,
             "{:>10} {:>13.1}% {:>15.1}% {:>11.1}% {:>9.1}E {:>8}",

@@ -1,5 +1,6 @@
 //! Text and JSON renderers for the experiment outputs.
 
+use crate::experiment::RunResult;
 use crate::figures::{Fig3Curve, Fig6Point, Fig7Curve};
 use crate::table1::Table1Row;
 use std::fmt::Write as _;
@@ -119,6 +120,52 @@ pub fn render_fig7(curves: &[Fig7Curve], sample_every: usize) -> String {
     out
 }
 
+/// Render the robustness summary of a run: overload-control and retry
+/// accounting plus per-fault recovery times. Meaningful when the run had
+/// a fault schedule, shedding or retries configured; harmless otherwise.
+#[must_use]
+pub fn render_robustness(r: &RunResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Robustness summary ({} E offered)", r.erlangs);
+    let _ = writeln!(out, "{:<28}{:>10}", "Calls attempted", r.attempted);
+    let _ = writeln!(out, "{:<28}{:>10}", "Completed first try", r.completed);
+    let _ = writeln!(out, "{:<28}{:>10}", "Shed (503)", r.shed);
+    let _ = writeln!(out, "{:<28}{:>10}", "Retries sent", r.retries);
+    let _ = writeln!(out, "{:<28}{:>10}", "Shed then completed", r.shed_then_ok);
+    let _ = writeln!(out, "{:<28}{:>10}", "Blocked (486)", r.blocked);
+    let _ = writeln!(out, "{:<28}{:>10}", "Failed", r.failed);
+    let _ = writeln!(out, "{:<28}{:>10}", "Goodput (calls)", r.goodput);
+    let goodput_ratio = if r.attempted == 0 {
+        0.0
+    } else {
+        100.0 * r.goodput as f64 / r.attempted as f64
+    };
+    let _ = writeln!(out, "{:<28}{:>9.1}%", "Goodput ratio", goodput_ratio);
+    let _ = write!(out, "{:<28}", "Peak-in-use gauge/server");
+    for p in &r.per_server_peak_in_use {
+        let _ = write!(out, "{p:>6}");
+    }
+    let _ = writeln!(out);
+    if !r.recoveries.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>8}  fault",
+            "fault@s", "baseline/s", "ttr(s)"
+        );
+        for rec in &r.recoveries {
+            let ttr = rec
+                .time_to_recover_s
+                .map_or_else(|| "never".to_string(), |t| format!("{t:.0}"));
+            let _ = writeln!(
+                out,
+                "{:>8.0} {:>10.2} {:>8}  {}",
+                rec.fault_at_s, rec.baseline_rate, ttr, rec.fault
+            );
+        }
+    }
+    out
+}
+
 /// Serialize any experiment artifact to pretty JSON.
 pub fn to_json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
@@ -189,6 +236,27 @@ mod tests {
         assert!(text.contains("Figure 7"));
         assert!(text.contains("2.0min"));
         assert!(text.contains("3.0min"));
+    }
+
+    #[test]
+    fn robustness_rendering_lists_faults() {
+        use crate::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode};
+        use des::SimDuration;
+        use faults::{FaultKind, FaultSchedule};
+        let mut cfg = EmpiricalConfig::smoke(11);
+        cfg.media = MediaMode::Off;
+        cfg.faults = FaultSchedule::new().at(
+            8.0,
+            FaultKind::PbxCrash {
+                pbx: 0,
+                restart_after: SimDuration::from_secs(2),
+            },
+        );
+        let r = EmpiricalRunner::run(cfg);
+        let text = render_robustness(&r);
+        for needle in ["Shed (503)", "Retries sent", "Goodput", "PbxCrash"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::experiment::{EmpiricalConfig, MediaMode};
 use des::{EventHandler, Scheduler, SimDuration, SimTime, StreamRng};
+use faults::FaultKind;
 use loadgen::{ArrivalProcess, Uac, UacEvent, Uas, UasEvent};
 use netsim::topology::{nodes, StarTopology};
 use netsim::{LinkParams, NodeId, SendOutcome};
@@ -93,6 +94,23 @@ pub enum Ev {
         /// UAS-side call id.
         call_id: String,
     },
+    /// Fire fault `idx` of the configured [`faults::FaultSchedule`].
+    Fault(usize),
+    /// A crashed PBX's supervisor restart completes; endpoints re-REGISTER.
+    PbxRestart {
+        /// Server index within the farm.
+        pbx: u32,
+    },
+    /// A shed call's backoff elapsed: re-INVITE it.
+    UacRetry {
+        /// The shed attempt's Call-ID.
+        call_id: String,
+    },
+    /// A flash crowd ends: divide the arrival rate back down.
+    FlashCrowdEnd {
+        /// The multiplier the matching [`FaultKind::FlashCrowd`] applied.
+        rate_multiplier: f64,
+    },
 }
 
 enum AudioSource {
@@ -137,10 +155,20 @@ pub struct World {
     rng_network: StreamRng,
     rng_media: StreamRng,
     rng_dispatch: StreamRng,
+    rng_retry: StreamRng,
     placement_start: SimTime,
     placement_end: SimTime,
     media: HashMap<MediaKey, MediaSession>,
     calls_placed: u64,
+    /// Healthy parameters every star link started with — what
+    /// [`FaultKind::LinkHeal`] restores.
+    baseline_link: LinkParams,
+    /// Crashed-and-not-yet-restarted PBXes; frames to a down server are
+    /// dropped at delivery (the host is dark).
+    pbx_down: Vec<bool>,
+    /// Answered-call count per simulated second — the recovery signal
+    /// time-to-recover analysis reads.
+    answers_per_sec: Vec<u64>,
     /// Scratch slot threading the original emission time of a relayed RTP
     /// packet from `deliver` into `process_pbx_actions`.
     relay_sent_at: Option<SimTime>,
@@ -171,10 +199,13 @@ impl World {
             let mut pbx_cfg = PbxConfig::evaluation_default(pbx_node(k));
             pbx_cfg.channels = config.channels;
             pbx_cfg.max_calls_per_user = config.max_calls_per_user;
+            pbx_cfg.overload = config.overload;
             pbx_cfg.hostname.clone_from(&hostname);
             let directory = Directory::with_subscribers(1000, 1000);
             pbxes.push(Pbx::new(pbx_cfg, directory));
-            uacs.push(Uac::with_tag(nodes::SIPP_CLIENT, pbx_node(k), &hostname, k));
+            let mut uac = Uac::with_tag(nodes::SIPP_CLIENT, pbx_node(k), &hostname, k);
+            uac.retry_policy = config.retry;
+            uacs.push(uac);
         }
 
         let uas = Uas::new(nodes::SIPP_SERVER, config.pickup_delay);
@@ -185,21 +216,23 @@ impl World {
             uacs,
             uas,
             monitor: Monitor::new(),
-            capture: config
-                .capture_traffic
-                .then(vmon::pcap::PcapWriter::new),
+            capture: config.capture_traffic.then(vmon::pcap::PcapWriter::new),
             arrivals: ArrivalProcess::poisson(rate),
             rng_arrivals: streams.stream("arrivals"),
             rng_holding: streams.stream("holding"),
             rng_network: streams.stream("network"),
             rng_media: streams.stream("media"),
             rng_dispatch: streams.stream("dispatch"),
+            rng_retry: streams.stream("retry"),
             placement_start: SimTime::from_secs(1),
             placement_end: SimTime::from_secs(1)
                 + SimDuration::from_secs_f64(config.placement_window_s),
             media: HashMap::new(),
             calls_placed: 0,
             relay_sent_at: None,
+            baseline_link: link,
+            pbx_down: vec![false; servers as usize],
+            answers_per_sec: Vec::new(),
             config,
         }
     }
@@ -246,8 +279,7 @@ impl World {
                 // Callee registrations originate from the server node;
                 // reuse the UAC message builder via a scratch instance.
                 let callee_uid = format!("{}", 1500 + i);
-                let mut scratch =
-                    Uac::with_tag(nodes::SIPP_SERVER, pbx, &host, 9000 + k as u32);
+                let mut scratch = Uac::with_tag(nodes::SIPP_SERVER, pbx, &host, 9000 + k as u32);
                 for ev in scratch.register(&callee_uid) {
                     if let UacEvent::SendSip { to, msg } = ev {
                         reg_frames.push(Frame {
@@ -264,8 +296,7 @@ impl World {
         // seconds, not in one wire-melting burst; pacing also keeps the
         // access-link queues (5 ms budget) from tail-dropping REGISTERs
         // for the later servers of a farm.
-        let spacing_ns =
-            (900_000_000u64 / (reg_frames.len() as u64).max(1)).min(1_000_000);
+        let spacing_ns = (900_000_000u64 / (reg_frames.len() as u64).max(1)).min(1_000_000);
         for (i, frame) in reg_frames.into_iter().enumerate() {
             sched.schedule(
                 SimTime::from_nanos(spacing_ns * i as u64),
@@ -277,6 +308,128 @@ impl World {
             .arrivals
             .next_after(self.placement_start, &mut self.rng_arrivals);
         sched.schedule(first, Ev::PlaceCall);
+        // Scheduled faults.
+        for (idx, event) in self.config.faults.events().iter().enumerate() {
+            sched.schedule(event.at, Ev::Fault(idx));
+        }
+    }
+
+    // -- fault injection ----------------------------------------------------
+
+    /// Answered calls per simulated second (index = second). Seconds after
+    /// the last answer are absent, not zero.
+    #[must_use]
+    pub fn answers_per_second(&self) -> &[u64] {
+        &self.answers_per_sec
+    }
+
+    /// Is PBX `k` currently crashed (dark)?
+    #[must_use]
+    pub fn pbx_is_down(&self, k: usize) -> bool {
+        self.pbx_down.get(k).copied().unwrap_or(false)
+    }
+
+    fn scale_arrival_rate(&mut self, factor: f64) {
+        match &mut self.arrivals {
+            ArrivalProcess::Poisson { rate } | ArrivalProcess::Deterministic { rate } => {
+                *rate *= factor;
+            }
+            ArrivalProcess::Mmpp {
+                rate_low,
+                rate_high,
+                ..
+            } => {
+                *rate_low *= factor;
+                *rate_high *= factor;
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, idx: usize) {
+        let Some(event) = self.config.faults.events().get(idx) else {
+            return;
+        };
+        match event.kind.clone() {
+            FaultKind::LinkDegrade { a, b, params } => {
+                self.topo.network.set_duplex_link_params(a, b, params);
+            }
+            FaultKind::LinkPartition { a, b } => {
+                let mut cut = self.baseline_link;
+                cut.loss_probability = 1.0;
+                self.topo.network.set_duplex_link_params(a, b, cut);
+            }
+            FaultKind::LinkHeal { a, b } => {
+                let healed = self.baseline_link;
+                self.topo.network.set_duplex_link_params(a, b, healed);
+            }
+            FaultKind::PbxCrash { pbx, restart_after } => {
+                let k = pbx as usize;
+                if k < self.pbxes.len() && !self.pbx_down[k] {
+                    self.pbxes[k].crash(now);
+                    self.pbx_down[k] = true;
+                    sched.schedule(now + restart_after, Ev::PbxRestart { pbx });
+                }
+            }
+            FaultKind::CpuThrottle { pbx, factor } => {
+                if let Some(p) = self.pbxes.get_mut(pbx as usize) {
+                    p.cpu.set_throttle(factor);
+                }
+            }
+            FaultKind::FlashCrowd {
+                rate_multiplier,
+                duration,
+            } => {
+                self.scale_arrival_rate(rate_multiplier);
+                sched.schedule(now + duration, Ev::FlashCrowdEnd { rate_multiplier });
+            }
+        }
+    }
+
+    /// The supervisor brought PBX `pbx` back: mark it reachable and replay
+    /// the registration storm (bindings died with the process), paced like
+    /// [`World::prime`]'s but compressed — endpoints notice the outage
+    /// quickly and re-REGISTER within about a second.
+    fn restart_pbx(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, pbx: u32) {
+        let k = pbx as usize;
+        if k >= self.pbxes.len() {
+            return;
+        }
+        self.pbx_down[k] = false;
+        let node = pbx_node(pbx);
+        let host = self.uacs[k].pbx_host.clone();
+        let mut reg_frames = Vec::new();
+        for i in 0..self.config.user_pool {
+            let caller_uid = format!("{}", 1000 + i);
+            for ev in self.uacs[k].register(&caller_uid) {
+                if let UacEvent::SendSip { to, msg } = ev {
+                    reg_frames.push(Frame {
+                        src: nodes::SIPP_CLIENT,
+                        dst: to,
+                        wire_len: msg.to_wire().len() + 46,
+                        payload: Payload::Sip(msg),
+                    });
+                }
+            }
+            let callee_uid = format!("{}", 1500 + i);
+            let mut scratch = Uac::with_tag(nodes::SIPP_SERVER, node, &host, 9000 + pbx);
+            for ev in scratch.register(&callee_uid) {
+                if let UacEvent::SendSip { to, msg } = ev {
+                    reg_frames.push(Frame {
+                        src: nodes::SIPP_SERVER,
+                        dst: to,
+                        wire_len: msg.to_wire().len() + 46,
+                        payload: Payload::Sip(msg),
+                    });
+                }
+            }
+        }
+        let spacing_ns = (900_000_000u64 / (reg_frames.len() as u64).max(1)).min(1_000_000);
+        for (i, frame) in reg_frames.into_iter().enumerate() {
+            sched.schedule(
+                now + SimDuration::from_nanos(spacing_ns * i as u64),
+                Ev::SendFrame(frame),
+            );
+        }
     }
 
     // -- plumbing -----------------------------------------------------------
@@ -291,18 +444,25 @@ impl World {
             SendOutcome::Delivered { at } => sched.schedule(at, Ev::HopArrive { at: hop, frame }),
             // Dropped anywhere: the packet simply never arrives; receivers
             // observe the gap.
-            SendOutcome::DroppedQueueFull
-            | SendOutcome::DroppedError
-            | SendOutcome::NoRoute => {}
+            SendOutcome::DroppedQueueFull | SendOutcome::DroppedError | SendOutcome::NoRoute => {}
         }
     }
 
-    fn forward_frame(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, via: NodeId, frame: Frame) {
+    fn forward_frame(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        via: NodeId,
+        frame: Frame,
+    ) {
         let hop = self.topo.next_hop(via, frame.dst);
-        if let SendOutcome::Delivered { at } = self
-            .topo
-            .network
-            .enqueue(now, via, hop, frame.wire_len, &mut self.rng_network) { sched.schedule(at, Ev::HopArrive { at: hop, frame }) }
+        if let SendOutcome::Delivered { at } =
+            self.topo
+                .network
+                .enqueue(now, via, hop, frame.wire_len, &mut self.rng_network)
+        {
+            sched.schedule(at, Ev::HopArrive { at: hop, frame })
+        }
     }
 
     fn sip_frame(src: NodeId, to: NodeId, msg: SipMessage) -> Frame {
@@ -319,7 +479,10 @@ impl World {
         let tag = if let Some(rest) = call_id.strip_prefix("uac-") {
             rest.split('-').next().and_then(|t| t.parse::<u32>().ok())
         } else {
-            call_id.rsplit('-').next().and_then(|t| t.parse::<u32>().ok())
+            call_id
+                .rsplit('-')
+                .next()
+                .and_then(|t| t.parse::<u32>().ok())
         };
         match tag {
             Some(t) if (t as usize) < self.uacs.len() => t as usize,
@@ -327,7 +490,12 @@ impl World {
         }
     }
 
-    fn process_uac_events(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, events: Vec<UacEvent>) {
+    fn process_uac_events(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        events: Vec<UacEvent>,
+    ) {
         for ev in events {
             match ev {
                 UacEvent::SendSip { to, msg } => {
@@ -341,7 +509,17 @@ impl World {
                     remote_rtp_port,
                     hangup_after,
                 } => {
-                    sched.schedule(now + hangup_after, Ev::Hangup { call_id: call_id.clone() });
+                    let second = now.as_secs_f64() as usize;
+                    if self.answers_per_sec.len() <= second {
+                        self.answers_per_sec.resize(second + 1, 0);
+                    }
+                    self.answers_per_sec[second] += 1;
+                    sched.schedule(
+                        now + hangup_after,
+                        Ev::Hangup {
+                            call_id: call_id.clone(),
+                        },
+                    );
                     // The caller hears the flow delivered to its own port.
                     self.monitor.register_flow(
                         FlowId::from_node_port(nodes::SIPP_CLIENT.0, local_rtp_port),
@@ -351,7 +529,10 @@ impl World {
                         self.start_media(
                             now,
                             sched,
-                            MediaKey { call: call_id, caller_side: true },
+                            MediaKey {
+                                call: call_id,
+                                caller_side: true,
+                            },
                             nodes::SIPP_CLIENT,
                             remote_node,
                             remote_rtp_port,
@@ -359,13 +540,31 @@ impl World {
                     }
                 }
                 UacEvent::Ended { call_id, .. } => {
-                    self.stop_media(&MediaKey { call: call_id, caller_side: true });
+                    self.stop_media(&MediaKey {
+                        call: call_id,
+                        caller_side: true,
+                    });
+                }
+                UacEvent::RetryAfter { call_id, delay } => {
+                    // Honour the backoff plus up to 10% jitter so a shed
+                    // burst does not re-arrive as a synchronised thundering
+                    // herd.
+                    use des::rng::Distributions;
+                    let jitter = SimDuration::from_secs_f64(
+                        delay.as_secs_f64() * 0.1 * self.rng_retry.unit_f64(),
+                    );
+                    sched.schedule(now + delay + jitter, Ev::UacRetry { call_id });
                 }
             }
         }
     }
 
-    fn process_uas_events(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, events: Vec<UasEvent>) {
+    fn process_uas_events(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        events: Vec<UasEvent>,
+    ) {
         for ev in events {
             match ev {
                 UasEvent::SendSip { to, msg } => {
@@ -396,7 +595,10 @@ impl World {
                         self.start_media(
                             now,
                             sched,
-                            MediaKey { call: call_id, caller_side: false },
+                            MediaKey {
+                                call: call_id,
+                                caller_side: false,
+                            },
                             nodes::SIPP_SERVER,
                             remote_node,
                             remote_rtp_port,
@@ -404,13 +606,22 @@ impl World {
                     }
                 }
                 UasEvent::Ended { call_id } => {
-                    self.stop_media(&MediaKey { call: call_id, caller_side: false });
+                    self.stop_media(&MediaKey {
+                        call: call_id,
+                        caller_side: false,
+                    });
                 }
             }
         }
     }
 
-    fn process_pbx_actions(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, src: NodeId, actions: Vec<PbxAction>) {
+    fn process_pbx_actions(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        src: NodeId,
+        actions: Vec<PbxAction>,
+    ) {
         for act in actions {
             match act {
                 PbxAction::SendSip { to, msg } => {
@@ -429,7 +640,11 @@ impl World {
                             src,
                             dst: to,
                             wire_len,
-                            payload: Payload::Rtp { dst_port: to_port, bytes, sent_at },
+                            payload: Payload::Rtp {
+                                dst_port: to_port,
+                                bytes,
+                                sent_at,
+                            },
                         },
                     );
                 }
@@ -477,7 +692,11 @@ impl World {
                 src: local_node,
                 dst: remote_node,
                 wire_len,
-                payload: Payload::Rtp { dst_port: remote_port, bytes, sent_at: now },
+                payload: Payload::Rtp {
+                    dst_port: remote_port,
+                    bytes,
+                    sent_at: now,
+                },
             },
         );
         self.media.insert(
@@ -521,10 +740,8 @@ impl World {
             AudioSource::Talkspurt(t) => match t.next_slot() {
                 FrameSlot::Talk { samples, .. } => {
                     if session.frames_sent % encode_every == 0 {
-                        session.cached_payload = samples
-                            .iter()
-                            .map(|&s| rtpcore::ulaw_encode(s))
-                            .collect();
+                        session.cached_payload =
+                            samples.iter().map(|&s| rtpcore::ulaw_encode(s)).collect();
                     }
                     true
                 }
@@ -543,7 +760,9 @@ impl World {
                 session.cached_payload.clone_from(&pkt.payload);
                 pkt
             }
-            _ => session.packetizer.packetize_raw(session.cached_payload.clone()),
+            _ => session
+                .packetizer
+                .packetize_raw(session.cached_payload.clone()),
         };
         session.frames_sent += 1;
         let (src, dst, port) = (session.local_node, session.remote_node, session.remote_port);
@@ -556,7 +775,11 @@ impl World {
                 src,
                 dst,
                 wire_len,
-                payload: Payload::Rtp { dst_port: port, bytes, sent_at: now },
+                payload: Payload::Rtp {
+                    dst_port: port,
+                    bytes,
+                    sent_at: now,
+                },
             },
         );
         sched.schedule(now + FRAME_PERIOD, Ev::MediaTick(key));
@@ -568,10 +791,18 @@ impl World {
     }
 
     fn deliver(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, frame: Frame) {
+        // A crashed PBX is dark: frames reach its NIC and die there.
+        if let Some(k) = self.pbx_index_of(frame.dst) {
+            if self.pbx_down[k] {
+                return;
+            }
+        }
         if let Some(cap) = &mut self.capture {
             let (dst_port, payload) = match &frame.payload {
                 Payload::Sip(msg) => (5060u16, msg.to_wire()),
-                Payload::Rtp { dst_port, bytes, .. } => (*dst_port, bytes.clone()),
+                Payload::Rtp {
+                    dst_port, bytes, ..
+                } => (*dst_port, bytes.clone()),
             };
             cap.capture(vmon::pcap::CapturedPacket {
                 timestamp_us: now.as_nanos() / 1_000,
@@ -600,7 +831,11 @@ impl World {
                     self.process_uas_events(now, sched, events);
                 }
             }
-            Payload::Rtp { dst_port, bytes, sent_at } => {
+            Payload::Rtp {
+                dst_port,
+                bytes,
+                sent_at,
+            } => {
                 if let Some(k) = self.pbx_index_of(frame.dst) {
                     self.relay_sent_at = Some(sent_at);
                     let actions = self.pbxes[k].handle_rtp(now, dst_port, bytes);
@@ -664,7 +899,10 @@ impl EventHandler<Ev> for World {
             }
             Ev::MediaTick(key) => self.on_media_tick(at, sched, key),
             Ev::Hangup { call_id } => {
-                self.stop_media(&MediaKey { call: call_id.clone(), caller_side: true });
+                self.stop_media(&MediaKey {
+                    call: call_id.clone(),
+                    caller_side: true,
+                });
                 let idx = self.uac_index_for(&call_id);
                 let events = self.uacs[idx].hangup(at, &call_id);
                 self.process_uac_events(at, sched, events);
@@ -672,6 +910,16 @@ impl EventHandler<Ev> for World {
             Ev::UasAnswer { call_id } => {
                 let events = self.uas.answer(at, &call_id);
                 self.process_uas_events(at, sched, events);
+            }
+            Ev::Fault(idx) => self.apply_fault(at, sched, idx),
+            Ev::PbxRestart { pbx } => self.restart_pbx(at, sched, pbx),
+            Ev::UacRetry { call_id } => {
+                let idx = self.uac_index_for(&call_id);
+                let events = self.uacs[idx].retry_call(at, &call_id);
+                self.process_uac_events(at, sched, events);
+            }
+            Ev::FlashCrowdEnd { rate_multiplier } => {
+                self.scale_arrival_rate(1.0 / rate_multiplier);
             }
         }
     }

@@ -355,8 +355,7 @@ mod tests {
         let mut r = StreamRng::seed_from_u64(19);
         for &lambda in &[0.5, 4.0, 30.0, 200.0] {
             let n = 50_000;
-            let mean =
-                (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            let mean = (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - lambda).abs() / lambda < 0.05,
                 "lambda={lambda} mean={mean}"

@@ -371,12 +371,7 @@ impl BatchMeans {
             return f64::NAN;
         }
         let mean = self.mean();
-        let var = self
-            .means
-            .iter()
-            .map(|m| (m - mean).powi(2))
-            .sum::<f64>()
-            / (k - 1) as f64;
+        let var = self.means.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / (k - 1) as f64;
         t_95(k - 1) * (var / k as f64).sqrt()
     }
 }
@@ -385,9 +380,9 @@ impl BatchMeans {
 /// (table for small df, normal limit beyond).
 fn t_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::NAN
@@ -477,7 +472,7 @@ mod tests {
         tw.set(SimTime::from_secs(0), 0.0);
         tw.set(SimTime::from_secs(10), 4.0); // 0 for 10s
         tw.set(SimTime::from_secs(20), 2.0); // 4 for 10s
-        // Mean over [0,30]: (0·10 + 4·10 + 2·10)/30 = 2.0
+                                             // Mean over [0,30]: (0·10 + 4·10 + 2·10)/30 = 2.0
         let m = tw.mean_until(SimTime::from_secs(30));
         assert!((m - 2.0).abs() < 1e-12);
         assert_eq!(tw.current(), 2.0);

@@ -217,7 +217,10 @@ mod tests {
         // Subtraction saturates rather than wrapping.
         let d = SimDuration::from_secs(1) - SimDuration::from_secs(5);
         assert_eq!(d, SimDuration::ZERO);
-        assert_eq!(SimDuration::from_millis(20).times(50), SimDuration::from_secs(1));
+        assert_eq!(
+            SimDuration::from_millis(20).times(50),
+            SimDuration::from_secs(1)
+        );
     }
 
     #[test]

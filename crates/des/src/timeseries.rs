@@ -144,7 +144,11 @@ mod tests {
         for i in 0..1_000_000u64 {
             ts.record(SimTime::from_millis(i), (i % 100) as f64);
         }
-        assert!(ts.points().len() < 64, "stayed bounded: {}", ts.points().len());
+        assert!(
+            ts.points().len() < 64,
+            "stayed bounded: {}",
+            ts.points().len()
+        );
         assert_eq!(ts.total_recorded(), 1_000_000);
         // Time ordering preserved.
         assert!(ts.points().windows(2).all(|w| w[0].0 <= w[1].0));
@@ -162,7 +166,10 @@ mod tests {
         let pts = ts.points();
         assert!(pts.windows(2).all(|w| w[1].1 > w[0].1), "still a ramp");
         assert!(pts[0].1 < 1000.0, "keeps early samples");
-        assert!(pts.last().unwrap().1 > (n as f64) * 0.8, "keeps late samples");
+        assert!(
+            pts.last().unwrap().1 > (n as f64) * 0.8,
+            "keeps late samples"
+        );
     }
 
     #[test]

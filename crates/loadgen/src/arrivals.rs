@@ -71,9 +71,7 @@ impl ArrivalProcess {
             ArrivalProcess::Poisson { rate } => {
                 now + SimDuration::from_secs_f64(rng.exp_mean(1.0 / *rate))
             }
-            ArrivalProcess::Deterministic { rate } => {
-                now + SimDuration::from_secs_f64(1.0 / *rate)
-            }
+            ArrivalProcess::Deterministic { rate } => now + SimDuration::from_secs_f64(1.0 / *rate),
             ArrivalProcess::Mmpp {
                 rate_low,
                 rate_high,

@@ -15,6 +15,9 @@ pub enum CallOutcome {
     Completed,
     /// Refused with 486/503 — the "blocked call" of the capacity study.
     Blocked,
+    /// Shed with 503 + Retry-After at least once, then completed on a
+    /// retry — overload control deferring work rather than losing it.
+    ShedThenOk,
     /// Failed with another error class (404, 500…).
     Failed,
     /// No final response before the experiment ended.
@@ -33,8 +36,10 @@ pub enum MsgDirection {
 /// The accounting ledger.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Journal {
-    /// Calls attempted (INVITEs placed).
+    /// Calls attempted (INVITEs placed; a retried call counts once).
     pub attempted: u64,
+    /// Retry INVITEs sent after a 503 + Retry-After.
+    pub retries: u64,
     /// Outcome tallies.
     outcomes: BTreeMap<String, u64>,
     /// SIP request counts by method name (sent + received).
@@ -61,10 +66,7 @@ impl Journal {
 
     /// Record a call outcome.
     pub fn call_finished(&mut self, outcome: CallOutcome) {
-        *self
-            .outcomes
-            .entry(format!("{outcome:?}"))
-            .or_insert(0) += 1;
+        *self.outcomes.entry(format!("{outcome:?}")).or_insert(0) += 1;
     }
 
     /// Count of calls with the given outcome.
@@ -131,6 +133,7 @@ impl Journal {
     /// Merge another journal (e.g. UAC + UAS sides).
     pub fn merge(&mut self, other: &Journal) {
         self.attempted += other.attempted;
+        self.retries += other.retries;
         for (k, v) in &other.outcomes {
             *self.outcomes.entry(k.clone()).or_insert(0) += v;
         }
@@ -185,10 +188,22 @@ mod tests {
         j.count_sip(&invite.clone().into(), MsgDirection::Sent);
         j.count_sip(&invite.into(), MsgDirection::Received);
         j.count_sip(&bye.into(), MsgDirection::Sent);
-        j.count_sip(&Response::new(StatusCode::TRYING).into(), MsgDirection::Received);
-        j.count_sip(&Response::new(StatusCode::OK).into(), MsgDirection::Received);
-        j.count_sip(&Response::new(StatusCode::BUSY_HERE).into(), MsgDirection::Received);
-        j.count_sip(&Response::new(StatusCode::SERVICE_UNAVAILABLE).into(), MsgDirection::Received);
+        j.count_sip(
+            &Response::new(StatusCode::TRYING).into(),
+            MsgDirection::Received,
+        );
+        j.count_sip(
+            &Response::new(StatusCode::OK).into(),
+            MsgDirection::Received,
+        );
+        j.count_sip(
+            &Response::new(StatusCode::BUSY_HERE).into(),
+            MsgDirection::Received,
+        );
+        j.count_sip(
+            &Response::new(StatusCode::SERVICE_UNAVAILABLE).into(),
+            MsgDirection::Received,
+        );
         assert_eq!(j.request_count(Method::Invite), 2);
         assert_eq!(j.request_count(Method::Bye), 1);
         assert_eq!(j.request_count(Method::Ack), 0);

@@ -67,13 +67,25 @@ impl Scenario {
             name: "uac",
             steps: vec![
                 Step::SendInvite,
-                Step::Expect { class: 1, optional: true },
-                Step::Expect { class: 1, optional: true },
-                Step::Expect { class: 2, optional: false },
+                Step::Expect {
+                    class: 1,
+                    optional: true,
+                },
+                Step::Expect {
+                    class: 1,
+                    optional: true,
+                },
+                Step::Expect {
+                    class: 2,
+                    optional: false,
+                },
                 Step::SendAck,
                 Step::Pause(hold),
                 Step::SendBye,
-                Step::Expect { class: 2, optional: false },
+                Step::Expect {
+                    class: 2,
+                    optional: false,
+                },
             ],
         }
     }
@@ -86,11 +98,20 @@ impl Scenario {
             name: "uas",
             steps: vec![
                 Step::ExpectRequest(Method::Invite),
-                Step::SendResponse { status: StatusCode::RINGING, with_sdp: false },
-                Step::SendResponse { status: StatusCode::OK, with_sdp: true },
+                Step::SendResponse {
+                    status: StatusCode::RINGING,
+                    with_sdp: false,
+                },
+                Step::SendResponse {
+                    status: StatusCode::OK,
+                    with_sdp: true,
+                },
                 Step::ExpectRequest(Method::Ack),
                 Step::ExpectRequest(Method::Bye),
-                Step::SendResponse { status: StatusCode::OK, with_sdp: false },
+                Step::SendResponse {
+                    status: StatusCode::OK,
+                    with_sdp: false,
+                },
             ],
         }
     }
@@ -103,11 +124,20 @@ impl Scenario {
             name: "uac-early-cancel",
             steps: vec![
                 Step::SendInvite,
-                Step::Expect { class: 1, optional: true },
+                Step::Expect {
+                    class: 1,
+                    optional: true,
+                },
                 Step::Pause(patience),
                 Step::SendCancel,
-                Step::Expect { class: 2, optional: true },  // 200 CANCEL
-                Step::Expect { class: 4, optional: false }, // 487
+                Step::Expect {
+                    class: 2,
+                    optional: true,
+                }, // 200 CANCEL
+                Step::Expect {
+                    class: 4,
+                    optional: false,
+                }, // 487
                 Step::SendAck,
             ],
         }
@@ -221,9 +251,7 @@ impl ScenarioRunner {
                         idx += 1; // fall through to the next expectation
                         continue;
                     }
-                    return self.fail(format!(
-                        "expected {class}xx at step {idx}, got {msg:?}"
-                    ));
+                    return self.fail(format!("expected {class}xx at step {idx}, got {msg:?}"));
                 }
                 Some(Step::ExpectRequest(method)) => {
                     if let SipMessage::Request(req) = msg {
@@ -233,9 +261,7 @@ impl ScenarioRunner {
                             return self.advance(now);
                         }
                     }
-                    return self.fail(format!(
-                        "expected {method} at step {idx}, got {msg:?}"
-                    ));
+                    return self.fail(format!("expected {method} at step {idx}, got {msg:?}"));
                 }
                 Some(Step::Pause(_)) | Some(_) | None => {
                     // A message while not waiting (e.g. a retransmission):
@@ -335,11 +361,18 @@ impl ScenarioRunner {
         )
         .header(
             HeaderName::Via,
-            format_via("scenario-host", 5060, &format!("z9hG4bKsc-{}-{cseq}", self.ctx.call_id)),
+            format_via(
+                "scenario-host",
+                5060,
+                &format!("z9hG4bKsc-{}-{cseq}", self.ctx.call_id),
+            ),
         )
         .header(
             HeaderName::From,
-            format!("<sip:{}@{}>;tag={}", self.ctx.local_user, self.ctx.domain, self.local_tag),
+            format!(
+                "<sip:{}@{}>;tag={}",
+                self.ctx.local_user, self.ctx.domain, self.local_tag
+            ),
         )
         .header(
             HeaderName::To,
@@ -353,7 +386,11 @@ impl ScenarioRunner {
 
     fn build_in_dialog(&mut self, method: Method, bump_cseq: bool) -> Request {
         let invite = self.sent_invite.clone().expect("in-dialog after INVITE");
-        let cseq = if bump_cseq { self.next_cseq() } else { self.cseq };
+        let cseq = if bump_cseq {
+            self.next_cseq()
+        } else {
+            self.cseq
+        };
         // To (with the peer's tag) comes from the last final response when
         // present.
         let to = self
@@ -393,7 +430,8 @@ impl ScenarioRunner {
             .unwrap_or("<sip:me>")
             .to_owned();
         if sipcore::headers::tag_of(&to).is_none() {
-            resp.headers.set(HeaderName::To, with_tag(&to, &self.local_tag));
+            resp.headers
+                .set(HeaderName::To, with_tag(&to, &self.local_tag));
         }
         if with_sdp {
             let sdp = SessionDescription::new(
@@ -506,7 +544,9 @@ mod tests {
         let msgs = sent(&outs);
         assert_eq!(msgs.len(), 1, "ACK comes straight out");
         assert_eq!(msgs[0].as_request().unwrap().method, Method::Ack);
-        assert!(outs.iter().any(|o| matches!(o, ScenarioOutput::StartPause(_))));
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, ScenarioOutput::StartPause(_))));
     }
 
     #[test]
@@ -520,7 +560,9 @@ mod tests {
             SimTime::ZERO,
             &invite.make_response(StatusCode::BUSY_HERE).into(),
         );
-        assert!(matches!(&outs[0], ScenarioOutput::Failed { reason } if reason.contains("expected 2xx")));
+        assert!(
+            matches!(&outs[0], ScenarioOutput::Failed { reason } if reason.contains("expected 2xx"))
+        );
         assert!(uac.finished());
     }
 
@@ -537,13 +579,18 @@ mod tests {
             SimTime::ZERO,
             &invite.make_response(StatusCode::RINGING).into(),
         );
-        assert!(outs.iter().any(|o| matches!(o, ScenarioOutput::StartPause(_))));
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, ScenarioOutput::StartPause(_))));
         let outs = uac.pause_done(SimTime::from_secs(5));
         let msgs = sent(&outs);
         assert_eq!(msgs[0].as_request().unwrap().method, Method::Cancel);
         // 200-to-CANCEL (optional 2xx), then the 487, then the ACK.
         let cancel = msgs[0].as_request().unwrap().clone();
-        uac.on_message(SimTime::from_secs(5), &cancel.make_response(StatusCode::OK).into());
+        uac.on_message(
+            SimTime::from_secs(5),
+            &cancel.make_response(StatusCode::OK).into(),
+        );
         let outs = uac.on_message(
             SimTime::from_secs(5),
             &invite.make_response(StatusCode::REQUEST_TERMINATED).into(),
@@ -551,7 +598,9 @@ mod tests {
         let msgs = sent(&outs);
         assert_eq!(msgs[0].as_request().unwrap().method, Method::Ack);
         assert!(uac.finished());
-        assert!(!outs.iter().any(|o| matches!(o, ScenarioOutput::Failed { .. })));
+        assert!(!outs
+            .iter()
+            .any(|o| matches!(o, ScenarioOutput::Failed { .. })));
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! offer, collect 100/180, ACK the 200, stream RTP for the holding time,
 //! send BYE, collect its 200. Blocked (486/503) and failed (other 4xx/5xx)
 //! attempts are ACKed and recorded.
+//!
+//! With a [`RetryPolicy`] installed, a 503 is not terminal: the UAC honours
+//! the server's `Retry-After`, waits at least a capped exponential backoff,
+//! and re-INVITEs the same logical call. A call that completes after one or
+//! more sheds is journalled [`CallOutcome::ShedThenOk`] so goodput under
+//! overload control can be compared honestly against uncontrolled runs.
 
 use crate::journal::{CallOutcome, Journal, MsgDirection};
 use des::{SimDuration, SimTime};
@@ -13,6 +19,54 @@ use sipcore::message::{format_via, Request, SipMessage};
 use sipcore::sdp::{SdpCodec, SessionDescription};
 use sipcore::{Method, SipUri, StatusCode};
 use std::collections::HashMap;
+
+/// How a UAC reacts to `503 Service Unavailable` + `Retry-After`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Give up (outcome `Blocked`) after this many retries of one call.
+    pub max_retries: u32,
+    /// Floor of the exponential backoff (doubles per retry).
+    pub base_backoff: SimDuration,
+    /// Backoff ceiling.
+    pub max_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: SimDuration::from_secs(2),
+            max_backoff: SimDuration::from_secs(32),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `retry_no` (0-based), honouring the
+    /// server's `Retry-After` as a lower bound: the UAC waits the *longer*
+    /// of the server's ask and its own backoff, capped at `max_backoff`.
+    #[must_use]
+    pub fn delay(&self, retry_no: u32, retry_after: Option<SimDuration>) -> SimDuration {
+        let shift = retry_no.min(16);
+        let backoff = self.base_backoff.times(1u64 << shift);
+        let floor = retry_after.unwrap_or(SimDuration::ZERO);
+        let chosen = if backoff > floor { backoff } else { floor };
+        if chosen > self.max_backoff {
+            self.max_backoff
+        } else {
+            chosen
+        }
+    }
+}
+
+/// A call waiting out its backoff before re-INVITE.
+#[derive(Debug, Clone)]
+struct PendingRetry {
+    caller: String,
+    callee: String,
+    hold: SimDuration,
+    shed_retries: u32,
+}
 
 /// Something the UAC asks the world to do or reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +98,14 @@ pub enum UacEvent {
         /// How it ended.
         outcome: CallOutcome,
     },
+    /// A call was shed with 503; re-INVITE it via [`Uac::retry_call`] after
+    /// `delay` (the world owns time, so it owns the timer too).
+    RetryAfter {
+        /// The shed call's Call-ID — pass it back to [`Uac::retry_call`].
+        call_id: String,
+        /// Minimum wait before the retry (Retry-After ∨ backoff, capped).
+        delay: SimDuration,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +121,10 @@ struct UacCall {
     invite: Request,
     local_rtp_port: u16,
     hold: SimDuration,
+    caller: String,
+    callee: String,
+    /// How many times this logical call has been shed and retried.
+    shed_retries: u32,
 }
 
 /// The UAC engine: many concurrent calls from one generator host.
@@ -75,7 +141,12 @@ pub struct Uac {
     pub tag: u32,
     /// Accounting ledger.
     pub journal: Journal,
+    /// Retry behaviour on 503 (`None` = a shed call is simply blocked,
+    /// SIPp's default).
+    pub retry_policy: Option<RetryPolicy>,
     calls: HashMap<String, UacCall>,
+    /// Shed calls waiting out their backoff, keyed by the shed Call-ID.
+    pending_retries: HashMap<String, PendingRetry>,
     /// Registrations awaiting completion (digest flow): call-id → (uid,
     /// next CSeq to use on the authenticated retry).
     pending_registrations: HashMap<String, (String, u32)>,
@@ -101,7 +172,9 @@ impl Uac {
             pbx_host: pbx_host.to_owned(),
             tag,
             journal: Journal::new(),
+            retry_policy: None,
             calls: HashMap::new(),
+            pending_retries: HashMap::new(),
             pending_registrations: HashMap::new(),
             registrations_confirmed: 0,
             next_serial: 0,
@@ -121,8 +194,14 @@ impl Uac {
     /// `pw-<uid>` convention).
     pub fn register(&mut self, uid: &str) -> Vec<UacEvent> {
         let req = Request::new(Method::Register, SipUri::server(&self.pbx_host))
-            .header(HeaderName::Via, format_via("uac", 5060, &format!("z9hG4bKr{uid}")))
-            .header(HeaderName::From, format!("<sip:{uid}@{}>;tag=reg", self.pbx_host))
+            .header(
+                HeaderName::Via,
+                format_via("uac", 5060, &format!("z9hG4bKr{uid}")),
+            )
+            .header(
+                HeaderName::From,
+                format!("<sip:{uid}@{}>;tag=reg", self.pbx_host),
+            )
             .header(HeaderName::To, format!("<sip:{uid}@{}>", self.pbx_host))
             .header(HeaderName::CallId, format!("reg-{uid}-{}", self.tag))
             .header(HeaderName::CSeq, "1 REGISTER")
@@ -150,8 +229,14 @@ impl Uac {
         authorization: Option<String>,
     ) -> Request {
         let mut req = Request::new(Method::Register, SipUri::server(&self.pbx_host))
-            .header(HeaderName::Via, format_via("uac", 5060, &format!("z9hG4bKdr{uid}{cseq}")))
-            .header(HeaderName::From, format!("<sip:{uid}@{}>;tag=reg", self.pbx_host))
+            .header(
+                HeaderName::Via,
+                format_via("uac", 5060, &format!("z9hG4bKdr{uid}{cseq}")),
+            )
+            .header(
+                HeaderName::From,
+                format!("<sip:{uid}@{}>;tag=reg", self.pbx_host),
+            )
             .header(HeaderName::To, format!("<sip:{uid}@{}>", self.pbx_host))
             .header(HeaderName::CallId, call_id.to_owned())
             .header(HeaderName::CSeq, format!("{cseq} REGISTER"))
@@ -199,17 +284,48 @@ impl Uac {
     /// once answered. Returns the new Call-ID and the INVITE to transmit.
     pub fn start_call(
         &mut self,
+        now: SimTime,
+        caller_uid: &str,
+        callee_ext: &str,
+        hold: SimDuration,
+    ) -> (String, Vec<UacEvent>) {
+        self.journal.call_attempted();
+        self.place_invite(now, caller_uid, callee_ext, hold, 0)
+    }
+
+    /// Re-INVITE a call previously shed with 503, after its backoff has
+    /// elapsed (driven by a [`UacEvent::RetryAfter`]). `call_id` is the
+    /// *shed* attempt's Call-ID; the retry gets a fresh one.
+    pub fn retry_call(&mut self, now: SimTime, call_id: &str) -> Vec<UacEvent> {
+        let Some(pending) = self.pending_retries.remove(call_id) else {
+            return vec![];
+        };
+        self.journal.retries += 1;
+        let (_, evs) = self.place_invite(
+            now,
+            &pending.caller,
+            &pending.callee,
+            pending.hold,
+            pending.shed_retries,
+        );
+        evs
+    }
+
+    fn place_invite(
+        &mut self,
         _now: SimTime,
         caller_uid: &str,
         callee_ext: &str,
         hold: SimDuration,
+        shed_retries: u32,
     ) -> (String, Vec<UacEvent>) {
         let serial = self.next_serial;
         self.next_serial += 1;
         let call_id = format!("uac-{}-{serial}", self.tag);
         let local_rtp_port = self.next_port;
         self.next_port = self.next_port.wrapping_add(2).max(20_000);
-        let sdp = SessionDescription::new(caller_uid, "sipp-client", local_rtp_port, SdpCodec::Pcmu);
+        let sdp =
+            SessionDescription::new(caller_uid, "sipp-client", local_rtp_port, SdpCodec::Pcmu);
         let invite = Request::new(Method::Invite, SipUri::new(callee_ext, &self.pbx_host))
             .header(
                 HeaderName::Via,
@@ -219,7 +335,10 @@ impl Uac {
                 HeaderName::From,
                 format!("<sip:{caller_uid}@{}>;tag=uac{serial}", self.pbx_host),
             )
-            .header(HeaderName::To, format!("<sip:{callee_ext}@{}>", self.pbx_host))
+            .header(
+                HeaderName::To,
+                format!("<sip:{callee_ext}@{}>", self.pbx_host),
+            )
             .header(HeaderName::CallId, call_id.clone())
             .header(HeaderName::CSeq, "1 INVITE")
             .header(HeaderName::MaxForwards, "70")
@@ -232,9 +351,11 @@ impl Uac {
                 invite: invite.clone(),
                 local_rtp_port,
                 hold,
+                caller: caller_uid.to_owned(),
+                callee: callee_ext.to_owned(),
+                shed_retries,
             },
         );
-        self.journal.call_attempted();
         let ev = self.send(invite.into());
         (call_id, vec![ev])
     }
@@ -314,6 +435,35 @@ impl Uac {
                     ];
                 }
                 if resp.status.is_error() {
+                    // A 503 shed may be retried rather than closed.
+                    if resp.status == StatusCode::SERVICE_UNAVAILABLE {
+                        if let Some(policy) = self.retry_policy {
+                            let retry_no = call.shed_retries;
+                            if retry_no < policy.max_retries {
+                                let retry_after = resp
+                                    .headers
+                                    .get(&HeaderName::RetryAfter)
+                                    .and_then(|v| v.trim().parse::<u64>().ok())
+                                    .map(SimDuration::from_secs);
+                                let delay = policy.delay(retry_no, retry_after);
+                                let ack = self.build_ack(&call_id);
+                                let call = self.calls.remove(&call_id).expect("looked up above");
+                                self.pending_retries.insert(
+                                    call_id.clone(),
+                                    PendingRetry {
+                                        caller: call.caller,
+                                        callee: call.callee,
+                                        hold: call.hold,
+                                        shed_retries: retry_no + 1,
+                                    },
+                                );
+                                return vec![
+                                    self.send(ack.into()),
+                                    UacEvent::RetryAfter { call_id, delay },
+                                ];
+                            }
+                        }
+                    }
                     // ACK the failure and close the attempt.
                     let outcome = match resp.status {
                         StatusCode::BUSY_HERE | StatusCode::SERVICE_UNAVAILABLE => {
@@ -324,29 +474,43 @@ impl Uac {
                     let ack = self.build_ack(&call_id);
                     self.calls.remove(&call_id);
                     self.journal.call_finished(outcome);
-                    return vec![
-                        self.send(ack.into()),
-                        UacEvent::Ended { call_id, outcome },
-                    ];
+                    return vec![self.send(ack.into()), UacEvent::Ended { call_id, outcome }];
                 }
                 vec![]
             }
             Some(Method::Bye) if resp.status.is_final() => {
+                let shed_retries = call.shed_retries;
                 self.calls.remove(&call_id);
-                self.journal.call_finished(CallOutcome::Completed);
-                vec![UacEvent::Ended {
-                    call_id,
-                    outcome: CallOutcome::Completed,
-                }]
+                let outcome = if shed_retries > 0 {
+                    CallOutcome::ShedThenOk
+                } else {
+                    CallOutcome::Completed
+                };
+                self.journal.call_finished(outcome);
+                vec![UacEvent::Ended { call_id, outcome }]
             }
             _ => vec![],
         }
     }
 
-    /// Close the books: any call still open is abandoned.
+    /// Shed calls currently waiting out a backoff.
+    #[must_use]
+    pub fn pending_retry_count(&self) -> usize {
+        self.pending_retries.len()
+    }
+
+    /// Close the books: any call still open — including shed calls whose
+    /// backoff never elapsed — is abandoned.
     pub fn finish(&mut self) -> Vec<UacEvent> {
         let mut out = Vec::new();
         for (call_id, _) in std::mem::take(&mut self.calls) {
+            self.journal.call_finished(CallOutcome::Abandoned);
+            out.push(UacEvent::Ended {
+                call_id,
+                outcome: CallOutcome::Abandoned,
+            });
+        }
+        for (call_id, _) in std::mem::take(&mut self.pending_retries) {
             self.journal.call_finished(CallOutcome::Abandoned);
             out.push(UacEvent::Ended {
                 call_id,
@@ -438,11 +602,24 @@ mod tests {
         assert_eq!(u.open_calls(), 1);
 
         // 100 and 180 produce nothing.
-        assert!(u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::TRYING, None).into()).is_empty());
-        assert!(u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::RINGING, None).into()).is_empty());
+        assert!(u
+            .on_sip(
+                SimTime::ZERO,
+                respond(&invite, StatusCode::TRYING, None).into()
+            )
+            .is_empty());
+        assert!(u
+            .on_sip(
+                SimTime::ZERO,
+                respond(&invite, StatusCode::RINGING, None).into()
+            )
+            .is_empty());
 
         // 200 with SDP: ACK + Answered.
-        let evs = u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::OK, Some(10_000)).into());
+        let evs = u.on_sip(
+            SimTime::ZERO,
+            respond(&invite, StatusCode::OK, Some(10_000)).into(),
+        );
         assert_eq!(evs.len(), 2);
         assert_eq!(sip_of(&evs[0]).as_request().unwrap().method, Method::Ack);
         match &evs[1] {
@@ -469,7 +646,10 @@ mod tests {
         assert_eq!(bye.headers.get(&HeaderName::CSeq), Some("2 BYE"));
 
         // 200 for the BYE closes the call.
-        let evs = u.on_sip(SimTime::from_secs(120), respond(&bye, StatusCode::OK, None).into());
+        let evs = u.on_sip(
+            SimTime::from_secs(120),
+            respond(&bye, StatusCode::OK, None).into(),
+        );
         assert_eq!(
             evs,
             vec![UacEvent::Ended {
@@ -486,7 +666,10 @@ mod tests {
         let mut u = uac();
         let (cid, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(120));
         let invite = sip_of(&evs[0]).as_request().unwrap().clone();
-        let evs = u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::BUSY_HERE, None).into());
+        let evs = u.on_sip(
+            SimTime::ZERO,
+            respond(&invite, StatusCode::BUSY_HERE, None).into(),
+        );
         assert_eq!(evs.len(), 2);
         assert_eq!(sip_of(&evs[0]).as_request().unwrap().method, Method::Ack);
         assert_eq!(
@@ -505,12 +688,18 @@ mod tests {
         let mut u = uac();
         let (_, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(1));
         let invite = sip_of(&evs[0]).as_request().unwrap().clone();
-        u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::SERVICE_UNAVAILABLE, None).into());
+        u.on_sip(
+            SimTime::ZERO,
+            respond(&invite, StatusCode::SERVICE_UNAVAILABLE, None).into(),
+        );
         assert_eq!(u.journal.outcome_count(CallOutcome::Blocked), 1);
 
         let (_, evs) = u.start_call(SimTime::ZERO, "1001", "9999", SimDuration::from_secs(1));
         let invite = sip_of(&evs[0]).as_request().unwrap().clone();
-        u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::NOT_FOUND, None).into());
+        u.on_sip(
+            SimTime::ZERO,
+            respond(&invite, StatusCode::NOT_FOUND, None).into(),
+        );
         assert_eq!(u.journal.outcome_count(CallOutcome::Failed), 1);
     }
 
@@ -558,11 +747,166 @@ mod tests {
     }
 
     #[test]
+    fn retry_policy_delay_honours_retry_after_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff: SimDuration::from_secs(2),
+            max_backoff: SimDuration::from_secs(10),
+        };
+        // Backoff doubles: 2, 4, 8, then the cap.
+        assert_eq!(p.delay(0, None), SimDuration::from_secs(2));
+        assert_eq!(p.delay(1, None), SimDuration::from_secs(4));
+        assert_eq!(p.delay(2, None), SimDuration::from_secs(8));
+        assert_eq!(p.delay(3, None), SimDuration::from_secs(10), "capped");
+        // Retry-After is a floor: the UAC never retries earlier than asked.
+        assert_eq!(
+            p.delay(0, Some(SimDuration::from_secs(5))),
+            SimDuration::from_secs(5)
+        );
+        // ...but backoff dominates once it is larger.
+        assert_eq!(
+            p.delay(2, Some(SimDuration::from_secs(5))),
+            SimDuration::from_secs(8)
+        );
+    }
+
+    #[test]
+    fn shed_503_is_retried_and_completes_as_shed_then_ok() {
+        let mut u = uac();
+        u.retry_policy = Some(RetryPolicy::default());
+        let (cid, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(60));
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+
+        // PBX sheds with 503 + Retry-After: 3.
+        let mut shed = respond(&invite, StatusCode::SERVICE_UNAVAILABLE, None);
+        shed.headers.push(HeaderName::RetryAfter, "3");
+        let evs = u.on_sip(SimTime::ZERO, shed.into());
+        assert_eq!(evs.len(), 2);
+        assert_eq!(sip_of(&evs[0]).as_request().unwrap().method, Method::Ack);
+        match &evs[1] {
+            UacEvent::RetryAfter { call_id, delay } => {
+                assert_eq!(call_id, &cid);
+                // max(Retry-After 3, base backoff 2) = 3.
+                assert_eq!(*delay, SimDuration::from_secs(3));
+            }
+            other => panic!("expected RetryAfter, got {other:?}"),
+        }
+        assert_eq!(u.open_calls(), 0);
+        assert_eq!(u.pending_retry_count(), 1);
+        assert_eq!(
+            u.journal.outcome_count(CallOutcome::Blocked),
+            0,
+            "not terminal yet"
+        );
+
+        // Backoff elapses; retry goes out as a fresh INVITE.
+        let evs = u.retry_call(SimTime::from_secs(3), &cid);
+        assert_eq!(evs.len(), 1);
+        let retry_invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        assert_eq!(retry_invite.method, Method::Invite);
+        assert_ne!(retry_invite.call_id(), Some(cid.as_str()), "fresh Call-ID");
+        assert_eq!(u.journal.retries, 1);
+        assert_eq!(u.journal.attempted, 1, "retry is the same logical call");
+
+        // This time the call goes through and completes.
+        let ok = respond(&retry_invite, StatusCode::OK, Some(10_000));
+        let evs = u.on_sip(SimTime::from_secs(4), ok.into());
+        assert!(matches!(evs[1], UacEvent::Answered { .. }));
+        let retry_cid = retry_invite.call_id().unwrap().to_owned();
+        let evs = u.hangup(SimTime::from_secs(64), &retry_cid);
+        let bye = sip_of(&evs[0]).as_request().unwrap().clone();
+        let evs = u.on_sip(
+            SimTime::from_secs(64),
+            respond(&bye, StatusCode::OK, None).into(),
+        );
+        assert_eq!(
+            evs,
+            vec![UacEvent::Ended {
+                call_id: retry_cid,
+                outcome: CallOutcome::ShedThenOk
+            }]
+        );
+        assert_eq!(u.journal.outcome_count(CallOutcome::ShedThenOk), 1);
+        assert_eq!(u.journal.outcome_count(CallOutcome::Completed), 0);
+    }
+
+    #[test]
+    fn retries_exhausted_become_blocked() {
+        let mut u = uac();
+        u.retry_policy = Some(RetryPolicy {
+            max_retries: 1,
+            base_backoff: SimDuration::from_secs(1),
+            max_backoff: SimDuration::from_secs(8),
+        });
+        let (cid, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(60));
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        let evs = u.on_sip(
+            SimTime::ZERO,
+            respond(&invite, StatusCode::SERVICE_UNAVAILABLE, None).into(),
+        );
+        assert!(matches!(evs[1], UacEvent::RetryAfter { .. }));
+        let evs = u.retry_call(SimTime::from_secs(1), &cid);
+        let retry_invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        // Shed again: the retry budget (1) is spent, so this is terminal.
+        let evs = u.on_sip(
+            SimTime::from_secs(1),
+            respond(&retry_invite, StatusCode::SERVICE_UNAVAILABLE, None).into(),
+        );
+        assert_eq!(
+            evs[1],
+            UacEvent::Ended {
+                call_id: retry_invite.call_id().unwrap().to_owned(),
+                outcome: CallOutcome::Blocked
+            }
+        );
+        assert_eq!(u.journal.outcome_count(CallOutcome::Blocked), 1);
+        assert_eq!(u.pending_retry_count(), 0);
+    }
+
+    #[test]
+    fn without_policy_503_stays_blocked() {
+        let mut u = uac();
+        let (_, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(1));
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        let mut shed = respond(&invite, StatusCode::SERVICE_UNAVAILABLE, None);
+        shed.headers.push(HeaderName::RetryAfter, "2");
+        let evs = u.on_sip(SimTime::ZERO, shed.into());
+        assert!(matches!(
+            evs[1],
+            UacEvent::Ended {
+                outcome: CallOutcome::Blocked,
+                ..
+            }
+        ));
+        assert_eq!(u.journal.retries, 0);
+    }
+
+    #[test]
+    fn finish_abandons_pending_retries_too() {
+        let mut u = uac();
+        u.retry_policy = Some(RetryPolicy::default());
+        let (_, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(1));
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        u.on_sip(
+            SimTime::ZERO,
+            respond(&invite, StatusCode::SERVICE_UNAVAILABLE, None).into(),
+        );
+        assert_eq!(u.pending_retry_count(), 1);
+        let evs = u.finish();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(u.journal.outcome_count(CallOutcome::Abandoned), 1);
+        assert_eq!(u.pending_retry_count(), 0);
+    }
+
+    #[test]
     fn journal_counts_both_directions() {
         let mut u = uac();
         let (_, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(1));
         let invite = sip_of(&evs[0]).as_request().unwrap().clone();
-        u.on_sip(SimTime::ZERO, respond(&invite, StatusCode::TRYING, None).into());
+        u.on_sip(
+            SimTime::ZERO,
+            respond(&invite, StatusCode::TRYING, None).into(),
+        );
         assert_eq!(u.journal.request_count(Method::Invite), 1);
         assert_eq!(u.journal.response_count(StatusCode::TRYING), 1);
     }

@@ -171,15 +171,19 @@ impl Uas {
             return vec![];
         }
         call.state = UasState::AnswerSent;
-        let sdp = SessionDescription::new("sipp-server", "sipp-server", call.local_rtp_port, SdpCodec::Pcmu);
+        let sdp = SessionDescription::new(
+            "sipp-server",
+            "sipp-server",
+            call.local_rtp_port,
+            SdpCodec::Pcmu,
+        );
         let mut ok = call.invite.make_response(StatusCode::OK);
         let to = ok
             .headers
             .get(&HeaderName::To)
             .unwrap_or("<sip:uas>")
             .to_owned();
-        ok.headers
-            .set(HeaderName::To, with_tag(&to, &call.to_tag));
+        ok.headers.set(HeaderName::To, with_tag(&to, &call.to_tag));
         let ok = ok.with_body("application/sdp", sdp.to_body());
         let peer = call.peer;
         vec![self.send(peer, ok.into())]
@@ -211,10 +215,7 @@ impl Uas {
         let ok = req.make_response(StatusCode::OK);
         match self.calls.remove(&call_id) {
             Some(call) => {
-                vec![
-                    self.send(call.peer, ok.into()),
-                    UasEvent::Ended { call_id },
-                ]
+                vec![self.send(call.peer, ok.into()), UasEvent::Ended { call_id }]
             }
             None => vec![], // unknown call: nothing to answer to (no peer)
         }
@@ -227,10 +228,7 @@ impl Uas {
         match self.calls.remove(&call_id) {
             Some(call) => {
                 let ok = req.make_response(StatusCode::OK);
-                vec![
-                    self.send(call.peer, ok.into()),
-                    UasEvent::Ended { call_id },
-                ]
+                vec![self.send(call.peer, ok.into()), UasEvent::Ended { call_id }]
             }
             None => vec![],
         }
@@ -302,7 +300,10 @@ mod tests {
         // World fires the timer.
         let evs = u.answer(SimTime::from_secs(12), "c2");
         assert_eq!(evs.len(), 1);
-        assert_eq!(sip_of(&evs[0]).as_response().unwrap().status, StatusCode::OK);
+        assert_eq!(
+            sip_of(&evs[0]).as_response().unwrap().status,
+            StatusCode::OK
+        );
         // Double answer is absorbed.
         assert!(u.answer(SimTime::from_secs(12), "c2").is_empty());
         assert!(u.answer(SimTime::from_secs(12), "nope").is_empty());
@@ -338,8 +339,16 @@ mod tests {
             .header(HeaderName::CSeq, "2 BYE");
         let evs = u.on_sip(SimTime::from_secs(100), PBX_NODE, bye.into());
         assert_eq!(evs.len(), 2);
-        assert_eq!(sip_of(&evs[0]).as_response().unwrap().status, StatusCode::OK);
-        assert_eq!(evs[1], UasEvent::Ended { call_id: "c4".to_owned() });
+        assert_eq!(
+            sip_of(&evs[0]).as_response().unwrap().status,
+            StatusCode::OK
+        );
+        assert_eq!(
+            evs[1],
+            UasEvent::Ended {
+                call_id: "c4".to_owned()
+            }
+        );
         assert_eq!(u.open_calls(), 0);
         // BYE for unknown call produces nothing.
         let bye2 = Request::new(Method::Bye, SipUri::new("2001", "pbx.unb.br"))

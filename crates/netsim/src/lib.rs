@@ -175,6 +175,46 @@ impl Network {
         self.links.contains_key(&(from, to))
     }
 
+    /// Current parameters of a directed link, if present.
+    #[must_use]
+    pub fn link_params(&self, from: NodeId, to: NodeId) -> Option<LinkParams> {
+        self.links.get(&(from, to)).map(|l| l.params)
+    }
+
+    /// Replace the parameters of an existing directed link at runtime —
+    /// the hook the fault injector uses to degrade, partition and heal
+    /// wires mid-run. Stats and the transmitter backlog carry over; only
+    /// future packets see the new parameters. Returns the previous
+    /// parameters, or `None` (and installs nothing) if the link does not
+    /// exist.
+    pub fn set_link_params(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        params: LinkParams,
+    ) -> Option<LinkParams> {
+        self.links
+            .get_mut(&(from, to))
+            .map(|l| std::mem::replace(&mut l.params, params))
+    }
+
+    /// [`Network::set_link_params`] applied to both directions. Returns
+    /// the previous `(a->b, b->a)` parameters if both links exist; if
+    /// either is missing nothing is changed.
+    pub fn set_duplex_link_params(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        params: LinkParams,
+    ) -> Option<(LinkParams, LinkParams)> {
+        if !(self.has_link(a, b) && self.has_link(b, a)) {
+            return None;
+        }
+        let fwd = self.set_link_params(a, b, params)?;
+        let rev = self.set_link_params(b, a, params)?;
+        Some((fwd, rev))
+    }
+
     /// Offer `wire_bytes` from `from` to `to` at time `now`.
     ///
     /// On acceptance, returns the arrival time at `to` (queueing +

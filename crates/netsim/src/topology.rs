@@ -103,16 +103,16 @@ mod tests {
             assert!(topo.network.has_link(h, nodes::SWITCH));
             assert!(topo.network.has_link(nodes::SWITCH, h));
         }
-        assert!(!topo.network.has_link(nodes::SIPP_CLIENT, nodes::PBX), "hosts only reach each other via the switch");
+        assert!(
+            !topo.network.has_link(nodes::SIPP_CLIENT, nodes::PBX),
+            "hosts only reach each other via the switch"
+        );
     }
 
     #[test]
     fn next_hop_routes_via_switch() {
         let topo = StarTopology::fig4_testbed();
-        assert_eq!(
-            topo.next_hop(nodes::SIPP_CLIENT, nodes::PBX),
-            nodes::SWITCH
-        );
+        assert_eq!(topo.next_hop(nodes::SIPP_CLIENT, nodes::PBX), nodes::SWITCH);
         assert_eq!(
             topo.next_hop(nodes::SIPP_CLIENT, nodes::SWITCH),
             nodes::SWITCH

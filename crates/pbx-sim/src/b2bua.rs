@@ -16,7 +16,7 @@ use crate::channels::{ChannelId, ChannelPool};
 use crate::cpu::CpuModel;
 use crate::dialplan::{Dialplan, Route};
 use crate::directory::Directory;
-use crate::registrar::{Registrar, RegisterOutcome};
+use crate::registrar::{RegisterOutcome, Registrar};
 use des::{SimDuration, SimTime};
 use netsim::NodeId;
 use sipcore::headers::{tag_of, with_tag, HeaderName};
@@ -24,6 +24,38 @@ use sipcore::message::{format_via, Request, Response, SipMessage};
 use sipcore::sdp::SessionDescription;
 use sipcore::{Method, StatusCode};
 use std::collections::HashMap;
+
+/// Overload-control watermarks (SIP server shedding à la RFC 7339).
+///
+/// The PBX watches two load signals: channel-pool occupancy
+/// (`in_use / capacity`) and the CPU model's last completed window
+/// utilisation. When either crosses `high_watermark` the PBX starts
+/// shedding *new* INVITEs with `503 Service Unavailable` + `Retry-After`;
+/// it keeps shedding until both signals fall back below `low_watermark`
+/// (hysteresis, so the control does not chatter at the threshold).
+/// In-progress calls are never touched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadControl {
+    /// Engage shedding at or above this load fraction (0..1].
+    pub high_watermark: f64,
+    /// Disengage once load falls below this fraction (< high).
+    pub low_watermark: f64,
+    /// Value advertised in the 503's `Retry-After` header.
+    pub retry_after: SimDuration,
+}
+
+impl OverloadControl {
+    /// Conservative defaults: shed at 90% load, resume below 70%, ask
+    /// callers to hold off for 2 s.
+    #[must_use]
+    pub fn default_watermarks() -> Self {
+        OverloadControl {
+            high_watermark: 0.90,
+            low_watermark: 0.70,
+            retry_after: SimDuration::from_secs(2),
+        }
+    }
+}
 
 /// PBX configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +81,9 @@ pub struct PbxConfig {
     /// registrar also accepts the lightweight `Simple` scheme used by the
     /// bulk experiments (either way the directory is consulted).
     pub require_digest: bool,
+    /// Optional overload control (`None` = the paper's testbed, which
+    /// never sheds and simply saturates).
+    pub overload: Option<OverloadControl>,
 }
 
 impl PbxConfig {
@@ -64,6 +99,7 @@ impl PbxConfig {
             dialplan: Dialplan::campus_default(),
             max_calls_per_user: None,
             require_digest: false,
+            overload: None,
         }
     }
 }
@@ -106,6 +142,10 @@ pub struct PbxStats {
     pub calls_blocked: u64,
     /// INVITEs refused by the per-user call policy.
     pub calls_policy_refused: u64,
+    /// INVITEs shed by overload control (503 + Retry-After).
+    pub calls_shed: u64,
+    /// Crash faults this PBX has absorbed.
+    pub crashes: u64,
 }
 
 /// Call bridge state.
@@ -170,6 +210,8 @@ pub struct Pbx {
     by_pbx_port: HashMap<u16, (usize, bool)>, // port -> (call, faces_caller)
     next_port: u16,
     next_call_serial: u64,
+    /// Overload-control hysteresis state: currently shedding?
+    shedding: bool,
 }
 
 const FIRST_MEDIA_PORT: u16 = 10_000;
@@ -195,6 +237,7 @@ impl Pbx {
             by_pbx_port: HashMap::new(),
             next_port: FIRST_MEDIA_PORT,
             next_call_serial: 0,
+            shedding: false,
         }
     }
 
@@ -217,6 +260,49 @@ impl Pbx {
     pub fn peer_call_id(&self, callee_call_id: &str) -> Option<&str> {
         let idx = *self.by_callee_call_id.get(callee_call_id)?;
         self.calls[idx].as_ref()?.caller_invite.call_id()
+    }
+
+    /// The load fraction overload control watches: the worse of channel
+    /// occupancy and the last completed CPU window.
+    #[must_use]
+    pub fn load_signal(&self) -> f64 {
+        let occupancy = if self.config.channels == 0 {
+            0.0
+        } else {
+            f64::from(self.pool.in_use()) / f64::from(self.config.channels)
+        };
+        occupancy.max(self.cpu.last_window_utilisation().unwrap_or(0.0))
+    }
+
+    /// True while overload control is actively shedding new INVITEs.
+    #[must_use]
+    pub fn is_shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// Crash fault: the Asterisk process dies and is restarted by its
+    /// supervisor. All live calls drop (CDR `Failed` — the far ends hear
+    /// silence then give up), the channel pool flushes, and the in-memory
+    /// registrar location table is lost, so every endpoint must
+    /// re-REGISTER before it is reachable again. Returns the number of
+    /// calls that were dropped.
+    pub fn crash(&mut self, now: SimTime) -> u32 {
+        let mut dropped = 0u32;
+        for idx in 0..self.calls.len() {
+            if self.calls[idx].is_some() {
+                self.close_call(now, idx, Disposition::Failed);
+                dropped += 1;
+            }
+        }
+        self.pool.flush(now);
+        self.registrar.clear();
+        self.by_caller_call_id.clear();
+        self.by_callee_call_id.clear();
+        self.by_pbx_port.clear();
+        self.active_per_user.clear();
+        self.shedding = false;
+        self.stats.crashes += 1;
+        dropped
     }
 
     /// Close the books at the end of an experiment: flush CPU windows and
@@ -242,7 +328,7 @@ impl Pbx {
     pub fn handle_sip(&mut self, now: SimTime, from: NodeId, msg: SipMessage) -> Vec<PbxAction> {
         self.stats.sip_in += 1;
         self.cpu.on_sip_message(now);
-        
+
         match msg {
             SipMessage::Request(req) => match req.method {
                 Method::Register => self.on_register(now, from, &req),
@@ -271,7 +357,11 @@ impl Pbx {
         };
         // Media arriving on the caller-facing port goes to the callee leg
         // and vice versa.
-        let out_leg = if faces_caller { &call.callee } else { &call.caller };
+        let out_leg = if faces_caller {
+            &call.callee
+        } else {
+            &call.caller
+        };
         if out_leg.rtp_port == 0 {
             // Other side's SDP not seen yet (early media race): drop.
             self.stats.rtp_dropped += 1;
@@ -307,10 +397,13 @@ impl Pbx {
             // The password already checked out; bind through the
             // registrar (which re-binds against the directory).
             let pw = password.expect("checked above");
-            return match self
-                .registrar
-                .register(&mut self.directory, now, &creds.username, &pw, from)
-            {
+            return match self.registrar.register(
+                &mut self.directory,
+                now,
+                &creds.username,
+                &pw,
+                from,
+            ) {
                 RegisterOutcome::Ok => vec![self.reply(from, req.make_response(StatusCode::OK))],
                 RegisterOutcome::AuthFailed => {
                     vec![self.error_reply(from, req, StatusCode::FORBIDDEN)]
@@ -351,7 +444,10 @@ impl Pbx {
     /// and tracks staleness; for the evaluation a per-instance constant
     /// derived from the hostname is sufficient (and deterministic).
     fn digest_nonce(&self) -> String {
-        format!("nonce-{}", sipcore::auth::md5_hex(self.config.hostname.as_bytes()))
+        format!(
+            "nonce-{}",
+            sipcore::auth::md5_hex(self.config.hostname.as_bytes())
+        )
     }
 
     fn on_invite(&mut self, now: SimTime, from: NodeId, req: Request) -> Vec<PbxAction> {
@@ -362,6 +458,41 @@ impl Pbx {
         // will have been retransmitted by the network layer if needed).
         if self.by_caller_call_id.contains_key(&call_id) {
             return vec![];
+        }
+        // Overload control: shed *new* work before spending any routing or
+        // channel effort on it (that is the point of shedding).
+        if let Some(ctl) = self.config.overload {
+            let load = self.load_signal();
+            if self.shedding {
+                if load <= ctl.low_watermark {
+                    self.shedding = false;
+                }
+            } else if load >= ctl.high_watermark {
+                self.shedding = true;
+            }
+            if self.shedding {
+                self.stats.calls_shed += 1;
+                let caller_aor = req
+                    .headers
+                    .get(&HeaderName::From)
+                    .and_then(extract_user)
+                    .unwrap_or_default();
+                self.cdr.push(CallRecord {
+                    call_id,
+                    caller: caller_aor,
+                    callee: req.uri.user.clone(),
+                    start: now,
+                    answered: None,
+                    end: Some(now),
+                    disposition: Disposition::Shed,
+                });
+                let mut resp = req.make_response(StatusCode::SERVICE_UNAVAILABLE);
+                resp.headers.push(
+                    HeaderName::RetryAfter,
+                    format!("{}", ctl.retry_after.as_secs_f64().ceil() as u64),
+                );
+                return vec![self.reply(from, resp)];
+            }
         }
         let caller_aor = req
             .headers
@@ -456,9 +587,15 @@ impl Pbx {
         )
         .header(
             HeaderName::From,
-            format!("<sip:{}@{}>;tag=pbxout{serial}", record.caller, self.config.hostname),
+            format!(
+                "<sip:{}@{}>;tag=pbxout{serial}",
+                record.caller, self.config.hostname
+            ),
         )
-        .header(HeaderName::To, format!("<sip:{extension}@{}>", self.config.hostname))
+        .header(
+            HeaderName::To,
+            format!("<sip:{extension}@{}>", self.config.hostname),
+        )
         .header(HeaderName::CallId, callee_call_id.clone())
         .header(HeaderName::CSeq, "1 INVITE")
         .header(HeaderName::MaxForwards, "69")
@@ -503,7 +640,10 @@ impl Pbx {
     }
 
     fn on_ack(&mut self, _now: SimTime, req: &Request) -> Vec<PbxAction> {
-        let Some(idx) = req.call_id().and_then(|c| self.by_caller_call_id.get(c)).copied()
+        let Some(idx) = req
+            .call_id()
+            .and_then(|c| self.by_caller_call_id.get(c))
+            .copied()
         else {
             return vec![]; // ACK for an errored/unknown call: absorb
         };
@@ -523,9 +663,15 @@ impl Pbx {
         .header(HeaderName::CSeq, "1 ACK")
         .header(
             HeaderName::From,
-            format!("<sip:{}@{}>;tag=pbxout", call.record.caller, self.config.hostname),
+            format!(
+                "<sip:{}@{}>;tag=pbxout",
+                call.record.caller, self.config.hostname
+            ),
         )
-        .header(HeaderName::To, format!("<sip:{}@{}>", call.record.callee, self.config.hostname));
+        .header(
+            HeaderName::To,
+            format!("<sip:{}@{}>", call.record.callee, self.config.hostname),
+        );
         let to = call.callee.node;
         vec![self.send(to, ack.into())]
     }
@@ -553,12 +699,19 @@ impl Pbx {
         let (other_node, other_call_id) = if from_caller {
             (call.callee.node, call.callee_call_id.clone())
         } else {
-            (call.caller.node, call.caller_invite.call_id().unwrap_or("").to_owned())
+            (
+                call.caller.node,
+                call.caller_invite.call_id().unwrap_or("").to_owned(),
+            )
         };
         let bye = Request::new(
             Method::Bye,
             sipcore::SipUri::new(
-                if from_caller { &call.record.callee } else { &call.record.caller },
+                if from_caller {
+                    &call.record.callee
+                } else {
+                    &call.record.caller
+                },
                 &self.config.hostname,
             ),
         )
@@ -577,7 +730,10 @@ impl Pbx {
     }
 
     fn on_cancel(&mut self, now: SimTime, req: &Request) -> Vec<PbxAction> {
-        let Some(idx) = req.call_id().and_then(|c| self.by_caller_call_id.get(c)).copied()
+        let Some(idx) = req
+            .call_id()
+            .and_then(|c| self.by_caller_call_id.get(c))
+            .copied()
         else {
             return vec![];
         };
@@ -694,7 +850,11 @@ impl Pbx {
             // Caller hung up; 200 goes back to the caller leg.
             let mut ok = call.caller_invite.make_response(StatusCode::OK);
             ok.headers.set(HeaderName::CSeq, "2 BYE");
-            let to = ok.headers.get(&HeaderName::To).unwrap_or("<sip:peer>").to_owned();
+            let to = ok
+                .headers
+                .get(&HeaderName::To)
+                .unwrap_or("<sip:peer>")
+                .to_owned();
             ok.headers.set(HeaderName::To, with_tag(&to, &call.pbx_tag));
             (call.caller.node, ok)
         } else {
@@ -719,7 +879,8 @@ impl Pbx {
             .unwrap_or("<sip:peer>")
             .to_owned();
         if tag_of(&to).is_none() {
-            resp.headers.set(HeaderName::To, with_tag(&to, &call.pbx_tag));
+            resp.headers
+                .set(HeaderName::To, with_tag(&to, &call.pbx_tag));
         }
         resp.headers.push(
             HeaderName::Contact,
@@ -749,7 +910,10 @@ impl Pbx {
 
     fn alloc_port(&mut self) -> u16 {
         let p = self.next_port;
-        self.next_port = self.next_port.checked_add(2).expect("media ports exhausted");
+        self.next_port = self
+            .next_port
+            .checked_add(2)
+            .expect("media ports exhausted");
         p
     }
 
@@ -831,17 +995,21 @@ mod tests {
     }
 
     fn invite(call_id: &str, from_uid: &str, to_ext: &str, rtp_port: u16) -> Request {
-        let sdp = SessionDescription::new(from_uid, "10.0.0.1", rtp_port, sipcore::sdp::SdpCodec::Pcmu);
-        Request::new(
-            Method::Invite,
-            sipcore::SipUri::new(to_ext, "pbx.unb.br"),
-        )
-        .header(HeaderName::Via, format_via("10.0.0.1", 5060, &format!("z9hG4bK{call_id}")))
-        .header(HeaderName::From, format!("<sip:{from_uid}@pbx.unb.br>;tag=c{call_id}"))
-        .header(HeaderName::To, format!("<sip:{to_ext}@pbx.unb.br>"))
-        .header(HeaderName::CallId, call_id.to_owned())
-        .header(HeaderName::CSeq, "1 INVITE")
-        .with_body("application/sdp", sdp.to_body())
+        let sdp =
+            SessionDescription::new(from_uid, "10.0.0.1", rtp_port, sipcore::sdp::SdpCodec::Pcmu);
+        Request::new(Method::Invite, sipcore::SipUri::new(to_ext, "pbx.unb.br"))
+            .header(
+                HeaderName::Via,
+                format_via("10.0.0.1", 5060, &format!("z9hG4bK{call_id}")),
+            )
+            .header(
+                HeaderName::From,
+                format!("<sip:{from_uid}@pbx.unb.br>;tag=c{call_id}"),
+            )
+            .header(HeaderName::To, format!("<sip:{to_ext}@pbx.unb.br>"))
+            .header(HeaderName::CallId, call_id.to_owned())
+            .header(HeaderName::CSeq, "1 INVITE")
+            .with_body("application/sdp", sdp.to_body())
     }
 
     fn sip_of(a: &PbxAction) -> &SipMessage {
@@ -854,23 +1022,34 @@ mod tests {
     /// Drive a full call to the answered state; returns (pbx, callee 200's
     /// SDP port facing caller, callee-facing pbx port).
     fn establish_call(pbx: &mut Pbx, call_id: &str) -> (u16, u16) {
-        let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite(call_id, "1001", "1002", 6000).into());
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(1),
+            CALLER_NODE,
+            invite(call_id, "1001", "1002", 6000).into(),
+        );
         assert_eq!(acts.len(), 2, "100 Trying + forwarded INVITE");
         let trying = sip_of(&acts[0]).as_response().unwrap();
         assert_eq!(trying.status, StatusCode::TRYING);
         let fwd_invite = sip_of(&acts[1]).as_request().unwrap().clone();
         assert_eq!(fwd_invite.method, Method::Invite);
         let out_sdp = SessionDescription::parse(&fwd_invite.body).unwrap();
-        assert!(out_sdp.audio_port >= FIRST_MEDIA_PORT, "PBX offers its own media port");
+        assert!(
+            out_sdp.audio_port >= FIRST_MEDIA_PORT,
+            "PBX offers its own media port"
+        );
 
         // Callee rings then answers with its SDP (port 7000).
         let ringing = fwd_invite.make_response(StatusCode::RINGING);
         let acts = pbx.handle_sip(SimTime::from_secs(2), CALLEE_NODE, ringing.into());
         assert_eq!(acts.len(), 1);
-        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::RINGING);
+        assert_eq!(
+            sip_of(&acts[0]).as_response().unwrap().status,
+            StatusCode::RINGING
+        );
 
         let mut ok = fwd_invite.make_response(StatusCode::OK);
-        let answer = SessionDescription::new("1002", "10.0.0.2", 7000, sipcore::sdp::SdpCodec::Pcmu);
+        let answer =
+            SessionDescription::new("1002", "10.0.0.2", 7000, sipcore::sdp::SdpCodec::Pcmu);
         ok = ok.with_body("application/sdp", answer.to_body());
         let acts = pbx.handle_sip(SimTime::from_secs(3), CALLEE_NODE, ok.into());
         assert_eq!(acts.len(), 1);
@@ -904,7 +1083,10 @@ mod tests {
         assert_eq!(fwd_bye.method, Method::Bye);
         let ok = fwd_bye.make_response(StatusCode::OK);
         let acts = pbx.handle_sip(SimTime::from_secs(120), CALLEE_NODE, ok.into());
-        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::OK);
+        assert_eq!(
+            sip_of(&acts[0]).as_response().unwrap().status,
+            StatusCode::OK
+        );
 
         // Fig. 2: the PBX receives 6 messages (INVITE, 180, 200, ACK, BYE,
         // 200-BYE — the 100 is generated, not received... from the PBX's
@@ -913,7 +1095,10 @@ mod tests {
         assert_eq!(pbx.stats().sip_in - base_in, 6);
         assert_eq!(pbx.stats().sip_out - base_out, 7);
         // 13 total messages crossed the wire: 6 + 7.
-        assert_eq!(pbx.stats().sip_in - base_in + pbx.stats().sip_out - base_out, 13);
+        assert_eq!(
+            pbx.stats().sip_in - base_in + pbx.stats().sip_out - base_out,
+            13
+        );
     }
 
     #[test]
@@ -933,7 +1118,10 @@ mod tests {
         assert_eq!(pbx.cdr.total(), 1);
         let rec = &pbx.cdr.records()[0];
         assert_eq!(rec.disposition, Disposition::Answered);
-        assert!((rec.billsec() - 120.0).abs() < 1e-9, "answered t=3, ended t=123");
+        assert!(
+            (rec.billsec() - 120.0).abs() < 1e-9,
+            "answered t=3, ended t=123"
+        );
         assert_eq!(rec.caller, "1001");
         assert_eq!(rec.callee, "1002");
         assert_eq!(pbx.active_calls(), 0);
@@ -987,23 +1175,38 @@ mod tests {
             pbx.handle_sip(SimTime::ZERO, node, register_request(uid).into());
         }
         // First call occupies the only channel.
-        let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite("c1", "1001", "1002", 6000).into());
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(1),
+            CALLER_NODE,
+            invite("c1", "1001", "1002", 6000).into(),
+        );
         assert_eq!(acts.len(), 2);
         // Second call is refused with 486.
-        let acts = pbx.handle_sip(SimTime::from_secs(2), CALLER_NODE, invite("c2", "1001", "1002", 6002).into());
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(2),
+            CALLER_NODE,
+            invite("c2", "1001", "1002", 6002).into(),
+        );
         assert_eq!(acts.len(), 1);
         let resp = sip_of(&acts[0]).as_response().unwrap();
         assert_eq!(resp.status, StatusCode::BUSY_HERE);
         assert_eq!(pbx.stats().calls_blocked, 1);
         assert_eq!(pbx.stats().sip_errors_sent, 1);
         assert_eq!(pbx.cdr.count(Disposition::Blocked), 1);
-        assert!((pbx.cdr.blocking_probability() - 1.0).abs() < 1e-12, "1 of 1 completed attempts blocked so far");
+        assert!(
+            (pbx.cdr.blocking_probability() - 1.0).abs() < 1e-12,
+            "1 of 1 completed attempts blocked so far"
+        );
     }
 
     #[test]
     fn unknown_extension_gets_404() {
         let mut pbx = pbx_with_users();
-        let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite("x", "1001", "7777", 6000).into());
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(1),
+            CALLER_NODE,
+            invite("x", "1001", "7777", 6000).into(),
+        );
         let resp = sip_of(&acts[0]).as_response().unwrap();
         assert_eq!(resp.status, StatusCode::NOT_FOUND, "7777 never registered");
         assert_eq!(pbx.cdr.count(Disposition::Failed), 1);
@@ -1013,7 +1216,11 @@ mod tests {
     #[test]
     fn non_numeric_uri_is_rejected_by_dialplan() {
         let mut pbx = pbx_with_users();
-        let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite("y", "1001", "alice", 6000).into());
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(1),
+            CALLER_NODE,
+            invite("y", "1001", "alice", 6000).into(),
+        );
         let resp = sip_of(&acts[0]).as_response().unwrap();
         assert_eq!(resp.status, StatusCode::NOT_FOUND);
     }
@@ -1023,7 +1230,8 @@ mod tests {
         let dir = Directory::with_subscribers(1000, 10);
         let mut pbx = Pbx::new(PbxConfig::evaluation_default(PBX_NODE), dir);
         let mut req = register_request("1001");
-        req.headers.set(HeaderName::Authorization, "Simple 1001 wrong");
+        req.headers
+            .set(HeaderName::Authorization, "Simple 1001 wrong");
         let acts = pbx.handle_sip(SimTime::ZERO, CALLER_NODE, req.into());
         let resp = sip_of(&acts[0]).as_response().unwrap();
         assert_eq!(resp.status, StatusCode::FORBIDDEN);
@@ -1031,13 +1239,20 @@ mod tests {
         let mut req = register_request("1001");
         req.headers.remove_first(&HeaderName::Authorization);
         let acts = pbx.handle_sip(SimTime::ZERO, CALLER_NODE, req.into());
-        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::UNAUTHORIZED);
+        assert_eq!(
+            sip_of(&acts[0]).as_response().unwrap().status,
+            StatusCode::UNAUTHORIZED
+        );
     }
 
     #[test]
     fn callee_busy_is_relayed_and_cleaned_up() {
         let mut pbx = pbx_with_users();
-        let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite("busy", "1001", "1002", 6000).into());
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(1),
+            CALLER_NODE,
+            invite("busy", "1001", "1002", 6000).into(),
+        );
         let fwd_invite = sip_of(&acts[1]).as_request().unwrap().clone();
         let busy = fwd_invite.make_response(StatusCode::BUSY_HERE);
         let acts = pbx.handle_sip(SimTime::from_secs(2), CALLEE_NODE, busy.into());
@@ -1055,13 +1270,20 @@ mod tests {
     #[test]
     fn cancel_before_answer() {
         let mut pbx = pbx_with_users();
-        pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite("cx", "1001", "1002", 6000).into());
+        pbx.handle_sip(
+            SimTime::from_secs(1),
+            CALLER_NODE,
+            invite("cx", "1001", "1002", 6000).into(),
+        );
         let cancel = Request::new(Method::Cancel, sipcore::SipUri::new("1002", "pbx.unb.br"))
             .header(HeaderName::CallId, "cx".to_owned())
             .header(HeaderName::CSeq, "1 CANCEL");
         let acts = pbx.handle_sip(SimTime::from_secs(2), CALLER_NODE, cancel.into());
         assert_eq!(acts.len(), 3, "200-CANCEL, 487-INVITE, CANCEL onward");
-        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::OK);
+        assert_eq!(
+            sip_of(&acts[0]).as_response().unwrap().status,
+            StatusCode::OK
+        );
         assert_eq!(
             sip_of(&acts[1]).as_response().unwrap().status,
             StatusCode::REQUEST_TERMINATED
@@ -1128,7 +1350,10 @@ mod tests {
             .header(HeaderName::CallId, "opt1".to_owned())
             .header(HeaderName::CSeq, "1 OPTIONS");
         let acts = pbx.handle_sip(SimTime::ZERO, CALLER_NODE, opt.into());
-        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::OK);
+        assert_eq!(
+            sip_of(&acts[0]).as_response().unwrap().status,
+            StatusCode::OK
+        );
     }
 
     #[test]
@@ -1142,11 +1367,19 @@ mod tests {
         }
         // 1001's first two calls are admitted.
         for cid in ["pol1", "pol2"] {
-            let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, invite(cid, "1001", "1002", 6000).into());
+            let acts = pbx.handle_sip(
+                SimTime::from_secs(1),
+                CALLER_NODE,
+                invite(cid, "1001", "1002", 6000).into(),
+            );
             assert_eq!(acts.len(), 2, "{cid} admitted");
         }
         // The third is refused by policy, not for channels.
-        let acts = pbx.handle_sip(SimTime::from_secs(2), CALLER_NODE, invite("pol3", "1001", "1002", 6000).into());
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(2),
+            CALLER_NODE,
+            invite("pol3", "1001", "1002", 6000).into(),
+        );
         assert_eq!(acts.len(), 1);
         assert_eq!(
             sip_of(&acts[0]).as_response().unwrap().status,
@@ -1157,7 +1390,11 @@ mod tests {
         assert_eq!(pbx.cdr.count(Disposition::PolicyRefused), 1);
         // A different caller is unaffected.
         pbx.handle_sip(SimTime::ZERO, CALLEE_NODE, register_request("1003").into());
-        let acts = pbx.handle_sip(SimTime::from_secs(3), CALLEE_NODE, invite("pol4", "1003", "1001", 7000).into());
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(3),
+            CALLEE_NODE,
+            invite("pol4", "1003", "1001", 7000).into(),
+        );
         assert_eq!(acts.len(), 2, "other users unaffected");
     }
 
@@ -1172,17 +1409,212 @@ mod tests {
         }
         establish_call(&mut pbx, "seq1");
         // Second concurrent call refused...
-        let acts = pbx.handle_sip(SimTime::from_secs(5), CALLER_NODE, invite("seq2", "1001", "1002", 6100).into());
-        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, StatusCode::FORBIDDEN);
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(5),
+            CALLER_NODE,
+            invite("seq2", "1001", "1002", 6100).into(),
+        );
+        assert_eq!(
+            sip_of(&acts[0]).as_response().unwrap().status,
+            StatusCode::FORBIDDEN
+        );
         // ...but after hanging up, a new call is admitted.
         let bye = Request::new(Method::Bye, sipcore::SipUri::new("1002", "pbx.unb.br"))
             .header(HeaderName::CallId, "seq1".to_owned())
             .header(HeaderName::CSeq, "2 BYE");
         let acts = pbx.handle_sip(SimTime::from_secs(100), CALLER_NODE, bye.into());
         let fwd = sip_of(&acts[0]).as_request().unwrap().clone();
-        pbx.handle_sip(SimTime::from_secs(100), CALLEE_NODE, fwd.make_response(StatusCode::OK).into());
-        let acts = pbx.handle_sip(SimTime::from_secs(101), CALLER_NODE, invite("seq3", "1001", "1002", 6200).into());
+        pbx.handle_sip(
+            SimTime::from_secs(100),
+            CALLEE_NODE,
+            fwd.make_response(StatusCode::OK).into(),
+        );
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(101),
+            CALLER_NODE,
+            invite("seq3", "1001", "1002", 6200).into(),
+        );
         assert_eq!(acts.len(), 2, "ceiling freed after hangup");
+    }
+
+    #[test]
+    fn overload_sheds_with_503_and_retry_after() {
+        let dir = Directory::with_subscribers(1000, 100);
+        let mut cfg = PbxConfig::evaluation_default(PBX_NODE);
+        cfg.channels = 4;
+        cfg.overload = Some(OverloadControl {
+            high_watermark: 0.75,
+            low_watermark: 0.30,
+            retry_after: SimDuration::from_secs(3),
+        });
+        let mut pbx = Pbx::new(cfg, dir);
+        for (uid, node) in [("1001", CALLER_NODE), ("1002", CALLEE_NODE)] {
+            pbx.handle_sip(SimTime::ZERO, node, register_request(uid).into());
+        }
+        // Three calls -> occupancy 0.75 = high watermark.
+        for cid in ["s1", "s2", "s3"] {
+            let acts = pbx.handle_sip(
+                SimTime::from_secs(1),
+                CALLER_NODE,
+                invite(cid, "1001", "1002", 6000).into(),
+            );
+            assert_eq!(acts.len(), 2, "{cid} admitted");
+        }
+        // The next INVITE sees load >= high and is shed.
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(2),
+            CALLER_NODE,
+            invite("s4", "1001", "1002", 6000).into(),
+        );
+        assert_eq!(acts.len(), 1);
+        let resp = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(resp.headers.get(&HeaderName::RetryAfter), Some("3"));
+        assert!(pbx.is_shedding());
+        assert_eq!(pbx.stats().calls_shed, 1);
+        assert_eq!(pbx.cdr.count(Disposition::Shed), 1);
+        assert_eq!(pbx.stats().calls_blocked, 0, "shed, not capacity-blocked");
+        // A free channel remains: shedding protects headroom.
+        assert_eq!(pbx.pool.in_use(), 3);
+    }
+
+    #[test]
+    fn shedding_hysteresis_disengages_below_low_watermark() {
+        let dir = Directory::with_subscribers(1000, 100);
+        let mut cfg = PbxConfig::evaluation_default(PBX_NODE);
+        cfg.channels = 4;
+        cfg.overload = Some(OverloadControl {
+            high_watermark: 0.75,
+            low_watermark: 0.30,
+            retry_after: SimDuration::from_secs(2),
+        });
+        let mut pbx = Pbx::new(cfg, dir);
+        for (uid, node) in [("1001", CALLER_NODE), ("1002", CALLEE_NODE)] {
+            pbx.handle_sip(SimTime::ZERO, node, register_request(uid).into());
+        }
+        for cid in ["h1", "h2", "h3"] {
+            pbx.handle_sip(
+                SimTime::from_secs(1),
+                CALLER_NODE,
+                invite(cid, "1001", "1002", 6000).into(),
+            );
+        }
+        pbx.handle_sip(
+            SimTime::from_secs(2),
+            CALLER_NODE,
+            invite("h4", "1001", "1002", 6000).into(),
+        );
+        assert!(pbx.is_shedding());
+        // Tear two calls down -> occupancy 0.25 < low watermark... but the
+        // controller only re-evaluates on the next INVITE.
+        for cid in ["h1", "h2"] {
+            let bye = Request::new(Method::Bye, sipcore::SipUri::new("1002", "pbx.unb.br"))
+                .header(HeaderName::CallId, cid.to_owned())
+                .header(HeaderName::CSeq, "2 BYE");
+            let acts = pbx.handle_sip(SimTime::from_secs(10), CALLER_NODE, bye.into());
+            let fwd = sip_of(&acts[0]).as_request().unwrap().clone();
+            pbx.handle_sip(
+                SimTime::from_secs(10),
+                CALLEE_NODE,
+                fwd.make_response(StatusCode::OK).into(),
+            );
+        }
+        assert_eq!(pbx.pool.in_use(), 1);
+        // 1/4 = 0.25 <= 0.30: shedding disengages and the call is admitted.
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(11),
+            CALLER_NODE,
+            invite("h5", "1001", "1002", 6000).into(),
+        );
+        assert_eq!(acts.len(), 2, "admitted again");
+        assert!(!pbx.is_shedding());
+    }
+
+    #[test]
+    fn hysteresis_keeps_shedding_between_watermarks() {
+        let dir = Directory::with_subscribers(1000, 100);
+        let mut cfg = PbxConfig::evaluation_default(PBX_NODE);
+        cfg.channels = 4;
+        cfg.overload = Some(OverloadControl {
+            high_watermark: 0.75,
+            low_watermark: 0.30,
+            retry_after: SimDuration::from_secs(2),
+        });
+        let mut pbx = Pbx::new(cfg, dir);
+        for (uid, node) in [("1001", CALLER_NODE), ("1002", CALLEE_NODE)] {
+            pbx.handle_sip(SimTime::ZERO, node, register_request(uid).into());
+        }
+        for cid in ["m1", "m2", "m3"] {
+            pbx.handle_sip(
+                SimTime::from_secs(1),
+                CALLER_NODE,
+                invite(cid, "1001", "1002", 6000).into(),
+            );
+        }
+        pbx.handle_sip(
+            SimTime::from_secs(2),
+            CALLER_NODE,
+            invite("m4", "1001", "1002", 6000).into(),
+        );
+        assert!(pbx.is_shedding());
+        // Drop one call: occupancy 0.5 is between the watermarks, so the
+        // controller keeps shedding (hysteresis).
+        let bye = Request::new(Method::Bye, sipcore::SipUri::new("1002", "pbx.unb.br"))
+            .header(HeaderName::CallId, "m1".to_owned())
+            .header(HeaderName::CSeq, "2 BYE");
+        let acts = pbx.handle_sip(SimTime::from_secs(10), CALLER_NODE, bye.into());
+        let fwd = sip_of(&acts[0]).as_request().unwrap().clone();
+        pbx.handle_sip(
+            SimTime::from_secs(10),
+            CALLEE_NODE,
+            fwd.make_response(StatusCode::OK).into(),
+        );
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(11),
+            CALLER_NODE,
+            invite("m5", "1001", "1002", 6000).into(),
+        );
+        assert_eq!(
+            sip_of(&acts[0]).as_response().unwrap().status,
+            StatusCode::SERVICE_UNAVAILABLE
+        );
+        assert!(pbx.is_shedding());
+    }
+
+    #[test]
+    fn crash_drops_calls_and_loses_registrations() {
+        let mut pbx = pbx_with_users();
+        establish_call(&mut pbx, "crash1");
+        establish_call(&mut pbx, "crash2");
+        assert_eq!(pbx.pool.in_use(), 2);
+        assert_eq!(pbx.registrar.len(), 2);
+
+        let dropped = pbx.crash(SimTime::from_secs(50));
+        assert_eq!(dropped, 2);
+        assert_eq!(pbx.active_calls(), 0);
+        assert_eq!(pbx.pool.in_use(), 0);
+        assert!(pbx.registrar.is_empty(), "location table lost");
+        assert_eq!(pbx.cdr.count(Disposition::Failed), 2);
+        assert_eq!(pbx.stats().crashes, 1);
+
+        // Until re-registration, calls to the lost extension 404.
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(51),
+            CALLER_NODE,
+            invite("post", "1001", "1002", 6000).into(),
+        );
+        assert_eq!(
+            sip_of(&acts[0]).as_response().unwrap().status,
+            StatusCode::NOT_FOUND
+        );
+
+        // After the endpoints re-REGISTER the system serves calls again.
+        for (uid, node) in [("1001", CALLER_NODE), ("1002", CALLEE_NODE)] {
+            pbx.handle_sip(SimTime::from_secs(52), node, register_request(uid).into());
+        }
+        establish_call(&mut pbx, "recovered");
+        assert_eq!(pbx.cdr.count(Disposition::Answered), 0); // still open
+        assert_eq!(pbx.active_calls(), 1);
     }
 
     #[test]
@@ -1190,7 +1622,11 @@ mod tests {
         let mut pbx = pbx_with_users();
         establish_call(&mut pbx, "p1");
         // A second simultaneous call (re-using same users is fine for the pool).
-        pbx.handle_sip(SimTime::from_secs(5), CALLER_NODE, invite("p2", "1001", "1002", 6100).into());
+        pbx.handle_sip(
+            SimTime::from_secs(5),
+            CALLER_NODE,
+            invite("p2", "1001", "1002", 6100).into(),
+        );
         assert_eq!(pbx.pool.peak(), 2);
         assert_eq!(pbx.active_calls(), 2);
     }

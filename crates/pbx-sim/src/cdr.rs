@@ -11,6 +11,11 @@ pub enum Disposition {
     Answered,
     /// Refused at admission: no free channel (the "blocked call").
     Blocked,
+    /// Refused by overload control: the PBX was above its shedding
+    /// watermark and answered 503 + Retry-After. Kept distinct from
+    /// [`Disposition::Blocked`] so Erlang-B comparisons (which model
+    /// capacity, not control policy) stay honest.
+    Shed,
     /// Refused by the per-user call policy (caller over its ceiling).
     PolicyRefused,
     /// Callee unknown / not registered.

@@ -20,6 +20,7 @@ pub struct ChannelPool {
     free: Vec<u32>,
     in_use: u32,
     peak: u32,
+    peak_gauge: u32,
     allocated_total: u64,
     refused_total: u64,
     occupancy: TimeWeighted,
@@ -37,6 +38,7 @@ impl ChannelPool {
             free: (0..capacity).rev().collect(),
             in_use: 0,
             peak: 0,
+            peak_gauge: 0,
             allocated_total: 0,
             refused_total: 0,
             occupancy,
@@ -61,6 +63,34 @@ impl ChannelPool {
         self.peak
     }
 
+    /// Resettable high-water-mark gauge: the highest concurrent
+    /// allocation since the last [`ChannelPool::reset_peak_in_use`].
+    /// Unlike [`ChannelPool::peak`] (all-time, for Table I), this gauge
+    /// can be re-armed mid-run — e.g. right after a crash fault — to read
+    /// how far the pool refills during recovery.
+    #[must_use]
+    pub fn peak_in_use(&self) -> u32 {
+        self.peak_gauge
+    }
+
+    /// Re-arm the [`ChannelPool::peak_in_use`] gauge at the current level.
+    pub fn reset_peak_in_use(&mut self) {
+        self.peak_gauge = self.in_use;
+    }
+
+    /// Forcibly return every allocated channel to the free list — a PBX
+    /// crash wiping its channel table. Returns how many were flushed.
+    /// Outstanding [`ChannelId`]s become invalid; the caller must drop
+    /// its call state alongside (releasing one later would double-free).
+    pub fn flush(&mut self, now: SimTime) -> u32 {
+        let flushed = self.in_use;
+        self.free = (0..self.capacity).rev().collect();
+        self.in_use = 0;
+        self.peak_gauge = 0;
+        self.occupancy.set(now, 0.0);
+        flushed
+    }
+
     /// Total successful allocations.
     #[must_use]
     pub fn allocated_total(&self) -> u64 {
@@ -79,6 +109,7 @@ impl ChannelPool {
             Some(id) => {
                 self.in_use += 1;
                 self.peak = self.peak.max(self.in_use);
+                self.peak_gauge = self.peak_gauge.max(self.in_use);
                 self.allocated_total += 1;
                 self.occupancy.set(now, f64::from(self.in_use));
                 Some(ChannelId(id))
@@ -193,6 +224,43 @@ mod tests {
     }
 
     #[test]
+    fn peak_gauge_resets_independently_of_all_time_peak() {
+        let mut pool = ChannelPool::new(5);
+        let t = SimTime::ZERO;
+        let a = pool.allocate(t).unwrap();
+        let b = pool.allocate(t).unwrap();
+        let c = pool.allocate(t).unwrap();
+        assert_eq!(pool.peak_in_use(), 3);
+        pool.release(t, b);
+        pool.release(t, c);
+        pool.reset_peak_in_use();
+        assert_eq!(pool.peak_in_use(), 1, "gauge re-arms at current level");
+        assert_eq!(pool.peak(), 3, "all-time peak untouched");
+        let _d = pool.allocate(t).unwrap();
+        assert_eq!(pool.peak_in_use(), 2);
+        pool.release(t, a);
+    }
+
+    #[test]
+    fn flush_empties_pool_and_rearms_gauge() {
+        let mut pool = ChannelPool::new(4);
+        let t = SimTime::ZERO;
+        for _ in 0..4 {
+            pool.allocate(t).unwrap();
+        }
+        assert!(pool.allocate(t).is_none());
+        assert_eq!(pool.flush(SimTime::from_secs(1)), 4);
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.peak_in_use(), 0, "gauge cleared for recovery read");
+        assert_eq!(pool.peak(), 4, "all-time peak survives the crash");
+        // Every channel is allocatable again.
+        for _ in 0..4 {
+            assert!(pool.allocate(SimTime::from_secs(2)).is_some());
+        }
+        assert_eq!(pool.peak_in_use(), 4);
+    }
+
+    #[test]
     fn conservation_under_churn() {
         // allocated - released == in_use at every step.
         let mut pool = ChannelPool::new(8);
@@ -206,10 +274,7 @@ mod tests {
             } else if let Some(c) = pool.allocate(t) {
                 held.push(c);
             }
-            assert_eq!(
-                u64::from(pool.in_use()),
-                pool.allocated_total() - released
-            );
+            assert_eq!(u64::from(pool.in_use()), pool.allocated_total() - released);
             assert!(pool.in_use() <= pool.capacity());
         }
     }

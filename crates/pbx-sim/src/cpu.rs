@@ -45,6 +45,10 @@ impl Default for CpuCosts {
 #[derive(Debug, Clone)]
 pub struct CpuModel {
     costs: CpuCosts,
+    /// Service-cost multiplier (1.0 = nominal). A throttle fault — thermal
+    /// capping, a noisy co-tenant — raises it; every subsequent event then
+    /// costs `throttle ×` its calibrated time.
+    throttle: f64,
     busy_total: SimDuration,
     window_len: SimDuration,
     window_start: SimTime,
@@ -60,6 +64,7 @@ impl CpuModel {
     pub fn new(costs: CpuCosts, window_len: SimDuration) -> Self {
         CpuModel {
             costs,
+            throttle: 1.0,
             busy_total: SimDuration::ZERO,
             window_len,
             window_start: SimTime::ZERO,
@@ -76,8 +81,30 @@ impl CpuModel {
 
     fn accrue(&mut self, now: SimTime, cost: SimDuration) {
         self.roll_windows(now);
+        let cost = SimDuration::from_secs_f64(cost.as_secs_f64() * self.throttle);
         self.busy_total = self.busy_total + cost;
         self.window_busy = self.window_busy + cost;
+    }
+
+    /// Scale every subsequent event cost by `factor` (a CPU-throttle
+    /// fault; 1.0 restores nominal speed).
+    pub fn set_throttle(&mut self, factor: f64) {
+        assert!(factor > 0.0, "throttle factor must be positive");
+        self.throttle = factor;
+    }
+
+    /// Current throttle factor.
+    #[must_use]
+    pub fn throttle(&self) -> f64 {
+        self.throttle
+    }
+
+    /// Utilisation of the most recently *completed* window — the live
+    /// reading overload control keys on (`None` before the first window
+    /// closes).
+    #[must_use]
+    pub fn last_window_utilisation(&self) -> Option<f64> {
+        self.window_peaks.last().copied()
     }
 
     fn roll_windows(&mut self, now: SimTime) {
@@ -214,16 +241,49 @@ mod tests {
     }
 
     #[test]
+    fn throttle_scales_event_costs() {
+        let mut nominal = CpuModel::calibrated();
+        let mut throttled = CpuModel::calibrated();
+        throttled.set_throttle(3.0);
+        assert!((throttled.throttle() - 3.0).abs() < 1e-12);
+        for _ in 0..10_000 {
+            nominal.on_rtp_packet(SimTime::from_secs(2));
+            throttled.on_rtp_packet(SimTime::from_secs(2));
+        }
+        let until = SimTime::from_secs(10);
+        let base = CpuCosts::default().base_load;
+        let u_n = nominal.mean_utilisation(until) - base;
+        let u_t = throttled.mean_utilisation(until) - base;
+        assert!((u_t - 3.0 * u_n).abs() < 1e-9, "u_t={u_t} u_n={u_n}");
+    }
+
+    #[test]
+    fn last_window_utilisation_tracks_most_recent_window() {
+        let mut cpu = CpuModel::new(
+            CpuCosts {
+                sip_cost: SimDuration::from_micros(100),
+                rtp_cost: SimDuration::from_micros(100),
+                base_load: 0.0,
+            },
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(cpu.last_window_utilisation(), None, "no window closed yet");
+        for _ in 0..2000 {
+            cpu.on_rtp_packet(SimTime::from_millis(500));
+        }
+        cpu.finish(SimTime::from_secs(1));
+        let u = cpu.last_window_utilisation().unwrap();
+        assert!((u - 0.2).abs() < 1e-9, "u={u}");
+    }
+
+    #[test]
     fn calibration_lands_in_paper_bands() {
         // Steady state at A Erlangs: A concurrent calls, each generating
         // 100 RTP relays/s (50 pps × 2 directions) and negligible SIP.
         // Check the calibrated model lands inside (or near) Table I's CPU
         // bands: 40 E -> 15–20%, 240 E -> 55–60%.
-        let cases: [(f64, f64, f64); 3] = [
-            (40.0, 0.14, 0.22),
-            (120.0, 0.28, 0.40),
-            (240.0, 0.50, 0.65),
-        ];
+        let cases: [(f64, f64, f64); 3] =
+            [(40.0, 0.14, 0.22), (120.0, 0.28, 0.40), (240.0, 0.50, 0.65)];
         for (erlangs, lo, hi) in cases {
             let mut cpu = CpuModel::calibrated();
             let seconds = 10u64;

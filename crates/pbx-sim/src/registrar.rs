@@ -116,6 +116,16 @@ impl Registrar {
     pub fn stats(&self) -> (u64, u64) {
         (self.registrations, self.auth_failures)
     }
+
+    /// Drop every binding — a crash losing the in-memory location table.
+    /// Counters survive (they model persistent logs); endpoints must
+    /// re-REGISTER before they are reachable again. Returns how many
+    /// bindings were lost.
+    pub fn clear(&mut self) -> usize {
+        let lost = self.bindings.len();
+        self.bindings.clear();
+        lost
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +174,26 @@ mod tests {
         assert!(reg.lookup(SimTime::from_secs(3599), "1001").is_some());
         assert!(reg.lookup(SimTime::from_secs(3600), "1001").is_none());
         assert_eq!(reg.len(), 0, "expired binding pruned");
+    }
+
+    #[test]
+    fn clear_loses_bindings_but_keeps_counters() {
+        let (mut reg, mut dir) = setup();
+        reg.register(&mut dir, SimTime::ZERO, "1001", "pw-1001", NodeId(2));
+        reg.register(&mut dir, SimTime::ZERO, "1002", "pw-1002", NodeId(3));
+        assert_eq!(reg.clear(), 2);
+        assert!(reg.is_empty());
+        assert!(reg.lookup(SimTime::from_secs(1), "1001").is_none());
+        assert_eq!(reg.stats(), (2, 0), "history survives the crash");
+        // Re-registration works afterwards.
+        reg.register(
+            &mut dir,
+            SimTime::from_secs(2),
+            "1001",
+            "pw-1001",
+            NodeId(2),
+        );
+        assert!(reg.lookup(SimTime::from_secs(3), "1001").is_some());
     }
 
     #[test]

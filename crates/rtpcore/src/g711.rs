@@ -53,7 +53,11 @@ pub fn ulaw_decode(code: u8) -> i16 {
     let u = !code;
     let mut t = ((i32::from(u) & 0x0F) << 3) + ULAW_BIAS;
     t <<= (i32::from(u) & 0x70) >> 4;
-    let v = if u & 0x80 != 0 { ULAW_BIAS - t } else { t - ULAW_BIAS };
+    let v = if u & 0x80 != 0 {
+        ULAW_BIAS - t
+    } else {
+        t - ULAW_BIAS
+    };
     v as i16
 }
 
@@ -147,7 +151,11 @@ mod tests {
     #[test]
     fn alaw_reference_points() {
         assert_eq!(alaw_encode(0), 0xD5);
-        assert_eq!(alaw_decode(0xD5), 8, "A-law has no true zero; +8 is positive zero level");
+        assert_eq!(
+            alaw_decode(0xD5),
+            8,
+            "A-law has no true zero; +8 is positive zero level"
+        );
         assert_eq!(alaw_decode(0x55), -8);
         // Top segment codes: 0x7F xor the sign mask.
         let top_pos = alaw_encode(i16::MAX);

@@ -239,7 +239,11 @@ mod tests {
             let wobble = if i % 2 == 0 { 0.002 } else { -0.002 };
             j.record(f64::from(i) * 0.020 + wobble, i * 160);
         }
-        assert!((j.jitter_ms() - 4.0).abs() < 0.2, "jitter={}", j.jitter_ms());
+        assert!(
+            (j.jitter_ms() - 4.0).abs() < 0.2,
+            "jitter={}",
+            j.jitter_ms()
+        );
     }
 
     #[test]
@@ -324,7 +328,11 @@ mod tests {
             random.record(s);
         }
         assert!((random.mean_loss_burst() - 1.0).abs() < 1e-12);
-        assert!((random.burst_ratio() - 1.0).abs() < 0.05, "ratio={}", random.burst_ratio());
+        assert!(
+            (random.burst_ratio() - 1.0).abs() < 0.05,
+            "ratio={}",
+            random.burst_ratio()
+        );
 
         // Same loss rate, but in one clump of 10: burst ratio ≈ 9.
         let mut bursty = SequenceTracker::new();

@@ -109,7 +109,11 @@ impl Packetizer {
     /// # Panics
     /// If `samples.len() != SAMPLES_PER_FRAME`.
     pub fn packetize(&mut self, samples: &[i16]) -> RtpPacket {
-        assert_eq!(samples.len(), SAMPLES_PER_FRAME, "one 20 ms frame at a time");
+        assert_eq!(
+            samples.len(),
+            SAMPLES_PER_FRAME,
+            "one 20 ms frame at a time"
+        );
         let payload: Vec<u8> = match self.law {
             Law::Mu => samples.iter().map(|&s| ulaw_encode(s)).collect(),
             Law::A => samples.iter().map(|&s| alaw_encode(s)).collect(),
@@ -157,7 +161,11 @@ impl Packetizer {
     /// # Panics
     /// If `payload.len() != SAMPLES_PER_FRAME`.
     pub fn packetize_raw(&mut self, payload: Vec<u8>) -> RtpPacket {
-        assert_eq!(payload.len(), SAMPLES_PER_FRAME, "one 20 ms frame at a time");
+        assert_eq!(
+            payload.len(),
+            SAMPLES_PER_FRAME,
+            "one 20 ms frame at a time"
+        );
         let pkt = RtpPacket {
             header: RtpHeader {
                 marker: self.first,
@@ -260,8 +268,14 @@ mod tests {
         p.skip_frame();
         p.skip_frame();
         let p2 = p.packetize(&src.next_samples(160));
-        assert_eq!(p2.header.sequence, 101, "sequence contiguous across silence");
-        assert_eq!(p2.header.timestamp, 480, "timestamp covers the silent frames");
+        assert_eq!(
+            p2.header.sequence, 101,
+            "sequence contiguous across silence"
+        );
+        assert_eq!(
+            p2.header.timestamp, 480,
+            "timestamp covers the silent frames"
+        );
         assert!(p2.header.marker, "new talkspurt flagged");
         assert!(p1.header.marker, "stream start flagged");
         let p3 = p.packetize(&src.next_samples(160));

@@ -77,7 +77,7 @@ impl PlayoutBuffer {
             next_index: 0,
             highest_index: 0,
             stats: PlayoutStats::default(),
-        retarget: None,
+            retarget: None,
         }
     }
 
@@ -138,8 +138,7 @@ impl PlayoutBuffer {
         if header.marker && index > 0 {
             if let Some(new_target) = self.retarget.take() {
                 self.target_delay_s = new_target;
-                self.base_play_time =
-                    arrival_s + new_target - index as f64 * FRAME_S;
+                self.base_play_time = arrival_s + new_target - index as f64 * FRAME_S;
             }
         }
 
@@ -261,7 +260,7 @@ mod tests {
         let mut buf = PlayoutBuffer::new(0.040, 0.120);
         buf.insert(0.000, &header(0, true), vec![0]);
         buf.insert(0.045, &header(2, false), vec![2]); // 1 is missing
-        // Slots 0 (t=0.040), 1 (0.060), 2 (0.080) all play.
+                                                       // Slots 0 (t=0.040), 1 (0.060), 2 (0.080) all play.
         let events = buf.pull_due(0.085);
         assert_eq!(events.len(), 3);
         assert_eq!(events[1], PlayoutEvent::Concealed, "slot 1 had no packet");

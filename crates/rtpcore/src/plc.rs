@@ -186,7 +186,11 @@ pub fn energy(samples: &[i16]) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    samples.iter().map(|&s| f64::from(s) * f64::from(s)).sum::<f64>() / samples.len() as f64
+    samples
+        .iter()
+        .map(|&s| f64::from(s) * f64::from(s))
+        .sum::<f64>()
+        / samples.len() as f64
 }
 
 #[cfg(test)]

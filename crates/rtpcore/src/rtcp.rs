@@ -66,7 +66,11 @@ impl RtcpReport {
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let rc: u8 = u8::from(self.block.is_some());
-        let pt = if self.sender_info.is_some() { PT_SR } else { PT_RR };
+        let pt = if self.sender_info.is_some() {
+            PT_SR
+        } else {
+            PT_RR
+        };
         let mut body = Vec::with_capacity(64);
         body.extend_from_slice(&self.sender_ssrc.to_be_bytes());
         if let Some((pkts, octets)) = self.sender_info {

@@ -145,7 +145,11 @@ mod tests {
             }
         }
         assert!(spurt_starts > 10, "the source alternates: {spurt_starts}");
-        assert_eq!(marker_frames, spurt_starts + 1, "start-of-stream marker plus one per spurt");
+        assert_eq!(
+            marker_frames,
+            spurt_starts + 1,
+            "start-of-stream marker plus one per spurt"
+        );
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub enum HeaderName {
     Authorization,
     /// `WWW-Authenticate` — challenge.
     WwwAuthenticate,
+    /// `Retry-After` — seconds to wait before retrying (RFC 3261 §20.33),
+    /// carried on 503 responses by overload-shedding servers.
+    RetryAfter,
     /// Any other header, with its original name.
     Other(String),
 }
@@ -64,6 +67,7 @@ impl HeaderName {
             HeaderName::Allow => "Allow",
             HeaderName::Authorization => "Authorization",
             HeaderName::WwwAuthenticate => "WWW-Authenticate",
+            HeaderName::RetryAfter => "Retry-After",
             HeaderName::Other(s) => s,
         }
     }
@@ -86,6 +90,7 @@ impl HeaderName {
             "allow" => HeaderName::Allow,
             "authorization" => HeaderName::Authorization,
             "www-authenticate" => HeaderName::WwwAuthenticate,
+            "retry-after" => HeaderName::RetryAfter,
             _ => HeaderName::Other(s.to_owned()),
         }
     }

@@ -114,7 +114,12 @@ impl Request {
         for via in self.headers.get_all(&HeaderName::Via) {
             r.headers.push(HeaderName::Via, via);
         }
-        for name in [HeaderName::From, HeaderName::To, HeaderName::CallId, HeaderName::CSeq] {
+        for name in [
+            HeaderName::From,
+            HeaderName::To,
+            HeaderName::CallId,
+            HeaderName::CSeq,
+        ] {
             if let Some(v) = self.headers.get(&name) {
                 r.headers.push(name, v);
             }
@@ -307,7 +312,10 @@ mod tests {
         let text = String::from_utf8(w).unwrap();
         assert!(text.starts_with("INVITE sip:bob@pbx SIP/2.0\r\n"));
         assert!(text.contains("Call-ID: cid-1@10.0.0.2\r\n"));
-        assert!(text.ends_with("\r\n\r\n"), "empty body ends with blank line");
+        assert!(
+            text.ends_with("\r\n\r\n"),
+            "empty body ends with blank line"
+        );
     }
 
     #[test]
@@ -336,7 +344,10 @@ mod tests {
         assert_eq!(resp.status, StatusCode::OK);
         assert_eq!(resp.headers.get(&HeaderName::CallId), req.call_id());
         assert_eq!(resp.headers.get(&HeaderName::CSeq), Some("1 INVITE"));
-        assert_eq!(resp.headers.get(&HeaderName::From), Some("<sip:alice@pbx>;tag=a1"));
+        assert_eq!(
+            resp.headers.get(&HeaderName::From),
+            Some("<sip:alice@pbx>;tag=a1")
+        );
         assert_eq!(resp.top_via_branch(), Some("z9hG4bKabc"));
         assert_eq!(resp.headers.get(&HeaderName::ContentLength), Some("0"));
     }

@@ -92,7 +92,11 @@ mod tests {
     #[test]
     fn unknown_and_case_sensitivity() {
         assert_eq!(Method::from_token("SUBSCRIBE"), None);
-        assert_eq!(Method::from_token("invite"), None, "methods are case-sensitive");
+        assert_eq!(
+            Method::from_token("invite"),
+            None,
+            "methods are case-sensitive"
+        );
         assert_eq!(Method::from_token(""), None);
     }
 

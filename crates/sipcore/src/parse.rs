@@ -106,7 +106,10 @@ pub fn parse_message(buf: &[u8]) -> Result<SipMessage, ParseError> {
     if let Some(rest) = start.strip_prefix(SIP_VERSION) {
         // Response: "SIP/2.0 200 OK"
         let rest = rest.trim_start();
-        let code_txt = rest.split_whitespace().next().ok_or(ParseError::MalformedStartLine)?;
+        let code_txt = rest
+            .split_whitespace()
+            .next()
+            .ok_or(ParseError::MalformedStartLine)?;
         let code: u16 = code_txt.parse().map_err(|_| ParseError::BadStatusCode)?;
         if !(100..700).contains(&code) {
             return Err(ParseError::BadStatusCode);
@@ -168,7 +171,10 @@ mod tests {
             .header(HeaderName::To, "<sip:bob@pbx>")
             .header(HeaderName::CallId, "cid@host")
             .header(HeaderName::CSeq, "1 INVITE")
-            .with_body("application/sdp", b"v=0\r\no=- 0 0 IN IP4 10.0.0.2\r\n".to_vec())
+            .with_body(
+                "application/sdp",
+                b"v=0\r\no=- 0 0 IN IP4 10.0.0.2\r\n".to_vec(),
+            )
             .to_wire()
     }
 
@@ -201,7 +207,8 @@ mod tests {
 
     #[test]
     fn accepts_lf_only_and_sloppy_whitespace() {
-        let text = "INVITE sip:bob@pbx SIP/2.0\nVia : SIP/2.0/UDP h;branch=z9hG4bKx\nCall-ID:  abc \n\n";
+        let text =
+            "INVITE sip:bob@pbx SIP/2.0\nVia : SIP/2.0/UDP h;branch=z9hG4bKx\nCall-ID:  abc \n\n";
         let msg = parse_message(text.as_bytes()).unwrap();
         let req = msg.as_request().unwrap();
         assert_eq!(req.call_id(), Some("abc"));

@@ -156,7 +156,9 @@ mod tests {
         assert!(SessionDescription::parse(b"v=0\r\ns=x\r\n").is_none());
         assert!(SessionDescription::parse(b"m=audio notaport RTP/AVP 0\r\n").is_none());
         // Unknown codec payload type.
-        assert!(SessionDescription::parse(b"c=IN IP4 1.2.3.4\r\nm=audio 5000 RTP/AVP 96\r\n").is_none());
+        assert!(
+            SessionDescription::parse(b"c=IN IP4 1.2.3.4\r\nm=audio 5000 RTP/AVP 96\r\n").is_none()
+        );
         assert!(SessionDescription::parse(&[0xFF, 0xFE]).is_none());
     }
 

@@ -135,7 +135,11 @@ impl InviteClientTx {
     }
 
     /// A response matching this transaction arrived.
-    pub fn on_response(&mut self, resp: Response, ack_builder: impl Fn(&Request, &Response) -> Request) -> Vec<TxAction> {
+    pub fn on_response(
+        &mut self,
+        resp: Response,
+        ack_builder: impl Fn(&Request, &Response) -> Request,
+    ) -> Vec<TxAction> {
         match self.state {
             InviteClientState::Calling | InviteClientState::Proceeding => {
                 if resp.status.is_provisional() {
@@ -518,9 +522,9 @@ pub fn build_non2xx_ack(invite: &Request, resp: &Response) -> Request {
 mod tests {
     use super::*;
     use crate::headers::HeaderName;
-    use crate::status::StatusCode;
     use crate::message::format_via;
     use crate::method::Method;
+    use crate::status::StatusCode;
     use crate::uri::SipUri;
 
     fn cfg() -> TimerConfig {
@@ -556,13 +560,21 @@ mod tests {
     fn invite_client_happy_path_2xx() {
         let (mut tx, acts) = InviteClientTx::new(invite(), cfg());
         assert_eq!(transmitted_requests(&acts), 1);
-        assert_eq!(find_timer(&acts, TimerKind::A), Some(Duration::from_millis(500)));
-        assert_eq!(find_timer(&acts, TimerKind::B), Some(Duration::from_secs(32)));
+        assert_eq!(
+            find_timer(&acts, TimerKind::A),
+            Some(Duration::from_millis(500))
+        );
+        assert_eq!(
+            find_timer(&acts, TimerKind::B),
+            Some(Duration::from_secs(32))
+        );
 
         let ringing = invite().make_response(StatusCode::RINGING);
         let acts = tx.on_response(ringing, build_non2xx_ack);
         assert_eq!(tx.state, InviteClientState::Proceeding);
-        assert!(matches!(acts[0], TxAction::DeliverResponse(ref r) if r.status == StatusCode::RINGING));
+        assert!(
+            matches!(acts[0], TxAction::DeliverResponse(ref r) if r.status == StatusCode::RINGING)
+        );
 
         let ok = invite().make_response(StatusCode::OK);
         let acts = tx.on_response(ok, build_non2xx_ack);
@@ -601,10 +613,13 @@ mod tests {
         assert_eq!(tx.state, InviteClientState::Completed);
         // Delivered once, ACKed, timer D armed.
         assert!(matches!(acts[0], TxAction::DeliverResponse(_)));
-        let ack = acts.iter().find_map(|a| match a {
-            TxAction::TransmitRequest(r) => Some(r.clone()),
-            _ => None,
-        }).expect("ACK transmitted");
+        let ack = acts
+            .iter()
+            .find_map(|a| match a {
+                TxAction::TransmitRequest(r) => Some(r.clone()),
+                _ => None,
+            })
+            .expect("ACK transmitted");
         assert_eq!(ack.method, Method::Ack);
         assert_eq!(ack.headers.get(&HeaderName::CSeq), Some("1 ACK"));
         assert!(find_timer(&acts, TimerKind::D).is_some());
@@ -670,7 +685,9 @@ mod tests {
         let mut tx = InviteServerTx::new(cfg());
         let acts = tx.send_response(invite().make_response(StatusCode::TRYING));
         assert_eq!(acts.len(), 1);
-        assert!(matches!(acts[0], TxAction::TransmitResponse(ref r) if r.status == StatusCode::TRYING));
+        assert!(
+            matches!(acts[0], TxAction::TransmitResponse(ref r) if r.status == StatusCode::TRYING)
+        );
         let acts = tx.send_response(invite().make_response(StatusCode::OK));
         assert_eq!(tx.state, InviteServerState::Terminated);
         assert!(acts.contains(&TxAction::Terminated(TxOutcome::Normal)));
@@ -685,7 +702,9 @@ mod tests {
         assert!(find_timer(&acts, TimerKind::H).is_some());
         // Timer G retransmits the stored response with backoff.
         let g = tx.on_timer(TimerKind::G);
-        assert!(matches!(g[0], TxAction::TransmitResponse(ref r) if r.status == StatusCode::BUSY_HERE));
+        assert!(
+            matches!(g[0], TxAction::TransmitResponse(ref r) if r.status == StatusCode::BUSY_HERE)
+        );
         assert_eq!(find_timer(&g, TimerKind::G), Some(Duration::from_secs(1)));
         // ACK confirms.
         let acts = tx.on_ack();
@@ -712,7 +731,9 @@ mod tests {
         assert!(tx.on_retransmit().is_empty(), "nothing sent yet");
         tx.send_response(invite().make_response(StatusCode::TRYING));
         let acts = tx.on_retransmit();
-        assert!(matches!(acts[0], TxAction::TransmitResponse(ref r) if r.status == StatusCode::TRYING));
+        assert!(
+            matches!(acts[0], TxAction::TransmitResponse(ref r) if r.status == StatusCode::TRYING)
+        );
     }
 
     // --- non-INVITE server ---
@@ -729,7 +750,9 @@ mod tests {
         let acts = tx.on_retransmit();
         assert!(matches!(acts[0], TxAction::TransmitResponse(ref r) if r.status == StatusCode::OK));
         // Late TU response is absorbed.
-        assert!(tx.send_response(bye.make_response(StatusCode::OK)).is_empty());
+        assert!(tx
+            .send_response(bye.make_response(StatusCode::OK))
+            .is_empty());
         let acts = tx.on_timer(TimerKind::J);
         assert!(acts.contains(&TxAction::Terminated(TxOutcome::Normal)));
     }
@@ -741,7 +764,9 @@ mod tests {
         tx.send_response(opt.make_response(StatusCode::TRYING));
         assert_eq!(tx.state, ServerState::Proceeding);
         let acts = tx.on_retransmit();
-        assert!(matches!(acts[0], TxAction::TransmitResponse(ref r) if r.status == StatusCode::TRYING));
+        assert!(
+            matches!(acts[0], TxAction::TransmitResponse(ref r) if r.status == StatusCode::TRYING)
+        );
         tx.send_response(opt.make_response(StatusCode::OK));
         assert_eq!(tx.state, ServerState::Completed);
     }
@@ -762,6 +787,9 @@ mod tests {
             Some("remote"),
             "To tag comes from the response"
         );
-        assert_eq!(ack.headers.get(&HeaderName::Via), inv.headers.get(&HeaderName::Via));
+        assert_eq!(
+            ack.headers.get(&HeaderName::Via),
+            inv.headers.get(&HeaderName::Via)
+        );
     }
 }

@@ -156,8 +156,10 @@ impl TransactionManager {
                     let actions = tx.on_retransmit();
                     return self.map_actions(&key, actions);
                 }
-                self.transactions
-                    .insert(key.clone(), AnyTx::InviteServer(InviteServerTx::new(self.cfg)));
+                self.transactions.insert(
+                    key.clone(),
+                    AnyTx::InviteServer(InviteServerTx::new(self.cfg)),
+                );
                 vec![MgrAction::DeliverRequest { key, request: req }]
             }
             Method::Ack => {
@@ -286,8 +288,16 @@ mod tests {
         assert_eq!(mgr.active(), 1);
         // 200 terminates the INVITE client transaction.
         let acts = mgr.on_message(req.make_response(StatusCode::OK).into());
-        assert!(acts.iter().any(|a| matches!(a, MgrAction::DeliverResponse(r) if r.status == StatusCode::OK)));
-        assert!(acts.iter().any(|a| matches!(a, MgrAction::Ended { outcome: TxOutcome::Normal, .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MgrAction::DeliverResponse(r) if r.status == StatusCode::OK)));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MgrAction::Ended {
+                outcome: TxOutcome::Normal,
+                ..
+            }
+        )));
         assert_eq!(mgr.active(), 0);
     }
 
@@ -323,7 +333,13 @@ mod tests {
         assert_eq!(transmits(&acts), 1);
         // Timer B: timeout ends the transaction.
         let acts = mgr.on_timer(tokens[1]);
-        assert!(acts.iter().any(|a| matches!(a, MgrAction::Ended { outcome: TxOutcome::Timeout, .. })));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MgrAction::Ended {
+                outcome: TxOutcome::Timeout,
+                ..
+            }
+        )));
         assert_eq!(mgr.active(), 0);
         // Stale token after termination: silently ignored.
         assert!(mgr.on_timer(tokens[0]).is_empty());
@@ -366,7 +382,9 @@ mod tests {
         // delivery to the TU.
         let acts = mgr.on_message(req.into());
         assert_eq!(transmits(&acts), 1);
-        assert!(!acts.iter().any(|a| matches!(a, MgrAction::DeliverRequest { .. })));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, MgrAction::DeliverRequest { .. })));
     }
 
     #[test]
@@ -377,7 +395,9 @@ mod tests {
             .header(HeaderName::CallId, "cid-x")
             .header(HeaderName::CSeq, "1 ACK");
         let acts = mgr.on_message(ack.into());
-        assert!(matches!(&acts[0], MgrAction::DeliverRequest { request, .. } if request.method == Method::Ack));
+        assert!(
+            matches!(&acts[0], MgrAction::DeliverRequest { request, .. } if request.method == Method::Ack)
+        );
         assert_eq!(mgr.active(), 0, "no transaction for a 2xx ACK");
         // Sending an ACK is transaction-less too.
         let ack2 = Request::new(Method::Ack, SipUri::parse("sip:bob@pbx").unwrap())
@@ -410,6 +430,87 @@ mod tests {
     }
 
     #[test]
+    fn invite_retransmission_storm_terminates_cleanly() {
+        // A UAC that never sees our 486 (lossy path back) hammers the
+        // server transaction with retransmitted INVITEs. The transaction
+        // must absorb the storm by replaying the response, keep its timer
+        // tokens strictly monotonic, and still walk the RFC 3261 §17.2.1
+        // Completed → Confirmed → Terminated path without leaving
+        // anything behind in the manager's maps.
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        let req = invite("z9hG4bKstorm");
+        let mut tokens: Vec<u64> = Vec::new();
+        let collect = |acts: &[MgrAction], tokens: &mut Vec<u64>| {
+            for a in acts {
+                if let MgrAction::Schedule { token, .. } = a {
+                    tokens.push(*token);
+                }
+            }
+        };
+
+        let acts = mgr.on_message(req.clone().into());
+        collect(&acts, &mut tokens);
+        let key = match &acts[0] {
+            MgrAction::DeliverRequest { key, .. } => key.clone(),
+            other => panic!("{other:?}"),
+        };
+        let acts = mgr.send_response(&key, req.make_response(StatusCode::BUSY_HERE));
+        collect(&acts, &mut tokens);
+        assert_eq!(transmits(&acts), 1, "486 goes out");
+
+        // The flood: every retransmit replays the 486, never re-delivers
+        // to the TU, and never spawns a second transaction.
+        for _ in 0..50 {
+            let acts = mgr.on_message(req.clone().into());
+            collect(&acts, &mut tokens);
+            assert_eq!(transmits(&acts), 1, "response replayed");
+            assert!(
+                !acts
+                    .iter()
+                    .any(|a| matches!(a, MgrAction::DeliverRequest { .. })),
+                "storm must not reach the TU"
+            );
+            assert_eq!(mgr.active(), 1, "no duplicate transactions");
+        }
+        assert!(
+            tokens.windows(2).all(|w| w[1] > w[0]),
+            "timer tokens strictly monotonic: {tokens:?}"
+        );
+
+        // The ACK finally lands: Completed → Confirmed.
+        let ack = Request::new(Method::Ack, SipUri::parse("sip:bob@pbx").unwrap())
+            .header(HeaderName::Via, format_via("a", 5060, "z9hG4bKstorm"))
+            .header(HeaderName::CallId, "cid-z9hG4bKstorm")
+            .header(HeaderName::CSeq, "1 ACK");
+        let acts = mgr.on_message(ack.into());
+        collect(&acts, &mut tokens);
+        assert_eq!(mgr.active(), 1, "confirmed, waiting out timer I");
+
+        // Fire everything scheduled; exactly one termination comes out
+        // (timer I), stale retransmit timers are inert.
+        let ended = tokens
+            .clone()
+            .into_iter()
+            .flat_map(|t| mgr.on_timer(t))
+            .filter(|a| {
+                matches!(
+                    a,
+                    MgrAction::Ended {
+                        outcome: TxOutcome::Normal,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(ended, 1, "terminates exactly once, in the normal state");
+        assert_eq!(mgr.active(), 0, "no leaked transaction entries");
+        // Every token is now stale: the timer map is clean too.
+        for t in tokens {
+            assert!(mgr.on_timer(t).is_empty(), "stale token {t} must be dead");
+        }
+    }
+
+    #[test]
     fn non_invite_client_times_out_cleanly() {
         let mut mgr = TransactionManager::new(TimerConfig::default());
         let acts = mgr.send_request(bye("z9hG4bKto"));
@@ -422,7 +523,13 @@ mod tests {
             .nth(1)
             .expect("timer F");
         let acts = mgr.on_timer(f_token);
-        assert!(acts.iter().any(|a| matches!(a, MgrAction::Ended { outcome: TxOutcome::Timeout, .. })));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MgrAction::Ended {
+                outcome: TxOutcome::Timeout,
+                ..
+            }
+        )));
         assert_eq!(mgr.active(), 0);
     }
 }

@@ -203,7 +203,9 @@ mod tests {
 
     #[test]
     fn builders_and_aor() {
-        let u = SipUri::new("2002", "pbx").with_port(5062).with_param("ob", None);
+        let u = SipUri::new("2002", "pbx")
+            .with_port(5062)
+            .with_param("ob", None);
         assert_eq!(u.to_string(), "sip:2002@pbx:5062;ob");
         assert_eq!(u.address_of_record(), "2002@pbx");
         assert_eq!(SipUri::server("pbx").address_of_record(), "pbx");

@@ -113,7 +113,10 @@ mod tests {
         );
         // Much smaller populations diverge visibly (less blocking).
         let en_small = engset_blocking_for_load(200, 165, a).unwrap();
-        assert!(en_small < eb, "finite source must block less: {en_small} < {eb}");
+        assert!(
+            en_small < eb,
+            "finite source must block less: {en_small} < {eb}"
+        );
     }
 
     #[test]
@@ -129,7 +132,10 @@ mod tests {
         for &s in &[500u64, 2000, 8000, 32000, 128_000] {
             let en = engset_blocking_for_load(s, 120, a).unwrap();
             let gap = (en - eb).abs();
-            assert!(gap <= prev_gap + 1e-12, "S={s}: gap {gap} grew from {prev_gap}");
+            assert!(
+                gap <= prev_gap + 1e-12,
+                "S={s}: gap {gap} grew from {prev_gap}"
+            );
             prev_gap = gap;
         }
         assert!(prev_gap < 5e-4, "should converge: residual {prev_gap}");

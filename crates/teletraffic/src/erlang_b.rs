@@ -200,10 +200,7 @@ mod tests {
             for n in 0..=60u32 {
                 let fast = blocking_probability(Erlangs(a), n);
                 let slow = naive_erlang_b(a, n);
-                assert!(
-                    (fast - slow).abs() < 1e-10,
-                    "A={a} N={n}: {fast} vs {slow}"
-                );
+                assert!((fast - slow).abs() < 1e-10, "A={a} N={n}: {fast} vs {slow}");
             }
         }
     }

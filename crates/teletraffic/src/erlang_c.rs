@@ -93,9 +93,7 @@ pub fn channels_for_service_level(
         if 1.0 - wait_exceeds(a, n, holding_s, t) >= level {
             return Ok(n);
         }
-        n = n
-            .checked_add(1)
-            .ok_or(TrafficError::Unreachable)?;
+        n = n.checked_add(1).ok_or(TrafficError::Unreachable)?;
         if f64::from(n) > av * 16.0 + 1e6 {
             return Err(TrafficError::Unreachable);
         }

@@ -42,7 +42,9 @@ mod tests {
         assert!(TrafficError::InvalidProbability
             .to_string()
             .contains("probability"));
-        assert!(TrafficError::Unreachable.to_string().contains("unreachable"));
+        assert!(TrafficError::Unreachable
+            .to_string()
+            .contains("unreachable"));
         assert!(TrafficError::InvalidParameter("sources")
             .to_string()
             .contains("sources"));

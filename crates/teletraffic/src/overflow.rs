@@ -131,7 +131,10 @@ mod tests {
         let m = overflow_moments(Erlangs(0.0), 10).unwrap();
         assert_eq!(m.mean, 0.0);
         assert_eq!(m.peakedness(), 1.0);
-        assert_eq!(secondary_channels_for(&[(Erlangs(0.0), 10)], 0.01).unwrap(), 0);
+        assert_eq!(
+            secondary_channels_for(&[(Erlangs(0.0), 10)], 0.01).unwrap(),
+            0
+        );
     }
 
     #[test]
@@ -147,11 +150,7 @@ mod tests {
         // The defining property: overflow traffic has z > 1.
         for &(a, n) in &[(50.0, 45u32), (150.0, 140), (240.0, 165)] {
             let m = overflow_moments(Erlangs(a), n).unwrap();
-            assert!(
-                m.peakedness() > 1.0,
-                "A={a} N={n}: z={}",
-                m.peakedness()
-            );
+            assert!(m.peakedness() > 1.0, "A={a} N={n}: z={}", m.peakedness());
         }
     }
 
@@ -185,8 +184,7 @@ mod tests {
         let n = 110u32;
         let m = overflow_moments(a, n).unwrap();
         let (a_star, n_star) = equivalent_random(m);
-        let mean_star =
-            a_star * blocking_probability(Erlangs(a_star), n_star.round() as u32);
+        let mean_star = a_star * blocking_probability(Erlangs(a_star), n_star.round() as u32);
         assert!(
             (mean_star - m.mean).abs() / m.mean < 0.15,
             "overflow mean {} vs equivalent {}",

@@ -29,9 +29,7 @@ use voiceq::{CodecProfile, EModelInputs};
 /// Identifies one unidirectional media flow as observed at its receiver.
 /// The experiment layer builds it from (destination node, destination
 /// port), which is unique per leg in this testbed.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId(pub u64);
 
 impl FlowId {
@@ -311,8 +309,12 @@ impl Monitor {
         }
         let nflows = self.streams.len().max(1) as f64;
         let mean_loss = self.streams.values().map(StreamStats::loss).sum::<f64>() / nflows;
-        let mean_jitter =
-            self.streams.values().map(StreamStats::jitter_ms).sum::<f64>() / nflows;
+        let mean_jitter = self
+            .streams
+            .values()
+            .map(StreamStats::jitter_ms)
+            .sum::<f64>()
+            / nflows;
         MonitorReport {
             rtp_packets: self.rtp_packets,
             sip_total: self.sip_requests.values().sum::<u64>()
@@ -395,7 +397,12 @@ mod tests {
             if i % 5 == 0 {
                 continue;
             }
-            mon.tap_rtp(f2, f64::from(i) * 0.02, 0.002, &header(i, u32::from(i) * 160));
+            mon.tap_rtp(
+                f2,
+                f64::from(i) * 0.02,
+                0.002,
+                &header(i, u32::from(i) * 160),
+            );
         }
         let combined = mon.call_mos("c").unwrap();
         let clean_only = {
@@ -477,10 +484,7 @@ mod tests {
         feed(&mut bursty, f2, &|i| (100..150).contains(&i));
         let mr = random.call_mos("r").unwrap();
         let mb = bursty.call_mos("b").unwrap();
-        assert!(
-            mb < mr - 0.1,
-            "bursty {mb} should score below random {mr}"
-        );
+        assert!(mb < mr - 0.1, "bursty {mb} should score below random {mr}");
     }
 
     #[test]

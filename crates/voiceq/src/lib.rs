@@ -325,10 +325,12 @@ mod tests {
         inputs.network_delay_ms = 400.0;
         let slow = estimate_mos(&inputs);
         assert!(slow < 4.0, "satellite-ish delay is audible: {slow}");
-        assert!(slow > estimate_mos(&EModelInputs {
-            network_delay_ms: 800.0,
-            ..inputs
-        }));
+        assert!(
+            slow > estimate_mos(&EModelInputs {
+                network_delay_ms: 800.0,
+                ..inputs
+            })
+        );
     }
 
     #[test]

@@ -38,6 +38,9 @@ fn main() {
         capture_traffic: false,
         user_pool: 200,
         max_calls_per_user: None,
+        faults: faults::FaultSchedule::new(),
+        overload: None,
+        retry: None,
         seed: 60 * 60,
     };
     let r = EmpiricalRunner::run(cfg);
@@ -46,16 +49,29 @@ fn main() {
     println!("  completed        : {}", r.completed);
     println!("  blocked          : {}", r.blocked);
     println!("  observed blocking: {:.2}%", r.observed_pb * 100.0);
-    println!("  Erlang-B predicts: {:.2}%  (paper quotes 1.8%)", r.analytic_pb * 100.0);
+    println!(
+        "  Erlang-B predicts: {:.2}%  (paper quotes 1.8%)",
+        r.analytic_pb * 100.0
+    );
     println!("  peak channels    : {} of 165", r.peak_channels);
-    println!("  carried traffic  : {:.1} E offered {:.1} E", r.carried_erlangs, r.erlangs);
+    println!(
+        "  carried traffic  : {:.1} E offered {:.1} E",
+        r.carried_erlangs, r.erlangs
+    );
     println!("  SIP messages     : {}", r.monitor.sip_total);
-    println!("  sim horizon      : {:.0} s, {} events", r.sim_seconds, r.events_processed);
+    println!(
+        "  sim horizon      : {:.0} s, {} events",
+        r.sim_seconds, r.events_processed
+    );
 
     let agreement = (r.observed_pb - r.analytic_pb).abs();
     println!(
         "\nempirical vs analytic gap: {:.2} pp — the Erlang-B model {}",
         agreement * 100.0,
-        if agreement < 0.01 { "characterises this PBX well" } else { "needs a second look" }
+        if agreement < 0.01 {
+            "characterises this PBX well"
+        } else {
+            "needs a second look"
+        }
     );
 }

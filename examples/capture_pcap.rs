@@ -24,7 +24,10 @@ fn main() {
     let sim = run_world(cfg, SimTime::from_secs(30));
     let world = sim.world;
     let capture = world.capture.expect("capture was enabled");
-    println!("captured {} frames over 30 simulated seconds", capture.len());
+    println!(
+        "captured {} frames over 30 simulated seconds",
+        capture.len()
+    );
 
     let path = std::env::temp_dir().join("asterisk-capacity-demo.pcap");
     capture.write_to(&path).expect("writable temp dir");

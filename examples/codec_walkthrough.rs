@@ -30,7 +30,10 @@ fn main() {
         .sum();
     println!("G.711 mu-law on 1 s of speech-band signal:");
     println!("  rate: 8000 samples/s x 8 bits = 64 kbit/s");
-    println!("  SQNR: {:.1} dB (toll quality is ~35-38 dB)", 10.0 * (sig / err).log10());
+    println!(
+        "  SQNR: {:.1} dB (toll quality is ~35-38 dB)",
+        10.0 * (sig / err).log10()
+    );
 
     // --- 2. Packetization ---------------------------------------------------
     let mut packetizer = Packetizer::new(0xC0FFEE, Law::Mu, 100, 0);
@@ -42,7 +45,11 @@ fn main() {
         wire.push(packetizer.packetize(&frame).encode());
     }
     println!("\nRTP packetization (20 ms ptime):");
-    println!("  {} packets, {} bytes each (12 RTP + 160 payload)", wire.len(), wire[0].len());
+    println!(
+        "  {} packets, {} bytes each (12 RTP + 160 payload)",
+        wire.len(),
+        wire[0].len()
+    );
     println!("  => 50 packets/s/direction; ~100/s per call as the paper counts");
 
     // --- 3. A jittery, lossy network ----------------------------------------
@@ -65,7 +72,10 @@ fn main() {
     println!("\nafter the network (30 ms delay, ±4 ms wobble, 2% loss):");
     println!("  received : {received}/{n_packets}");
     println!("  loss     : {:.2}%", tracker.loss_fraction() * 100.0);
-    println!("  jitter   : {:.2} ms (RFC 3550 estimator)", jitter.jitter_ms());
+    println!(
+        "  jitter   : {:.2} ms (RFC 3550 estimator)",
+        jitter.jitter_ms()
+    );
 
     // --- 4. What a listener would score --------------------------------------
     let inputs = EModelInputs {
@@ -83,6 +93,12 @@ fn main() {
     println!("  category : {:?}", voiceq::categorize(r));
 
     // Same impairments, no packet-loss concealment:
-    let no_plc = EModelInputs { codec: CodecProfile::g711_no_plc(), ..inputs };
-    println!("  (without PLC the same stream scores {:.2})", voiceq::estimate_mos(&no_plc));
+    let no_plc = EModelInputs {
+        codec: CodecProfile::g711_no_plc(),
+        ..inputs
+    };
+    println!(
+        "  (without PLC the same stream scores {:.2})",
+        voiceq::estimate_mos(&no_plc)
+    );
 }

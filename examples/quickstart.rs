@@ -42,6 +42,9 @@ fn main() {
         capture_traffic: false,
         user_pool: 50,
         max_calls_per_user: None,
+        faults: faults::FaultSchedule::new(),
+        overload: None,
+        retry: None,
         seed: 2015,
     };
     let result = EmpiricalRunner::run(cfg);

@@ -95,6 +95,9 @@ fn main() {
                         UacEvent::Ended { outcome, .. } => {
                             println!("      [call ended: {outcome:?}]");
                         }
+                        UacEvent::RetryAfter { delay, .. } => {
+                            println!("      [shed with 503: retry after {delay:?}]");
+                        }
                     }
                 }
             }
@@ -117,8 +120,13 @@ fn main() {
         }
     }
 
-    println!("\ntotal SIP messages on the wire: {ladder} (paper: 9 to set up + 4 to tear down = 13)");
-    println!("CDR: {:?}", pbx.cdr.records().first().map(|r| r.disposition));
+    println!(
+        "\ntotal SIP messages on the wire: {ladder} (paper: 9 to set up + 4 to tear down = 13)"
+    );
+    println!(
+        "CDR: {:?}",
+        pbx.cdr.records().first().map(|r| r.disposition)
+    );
 }
 
 fn enqueue_uac(wire: &mut VecDeque<(NodeId, NodeId, SipMessage)>, events: Vec<UacEvent>) {

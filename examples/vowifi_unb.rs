@@ -21,7 +21,10 @@ fn main() {
     // Fig. 7: a population of 8000, a fraction of whom call during the
     // busy hour, for three mean call durations.
     println!("Fig. 7 reproduction — blocking vs calling share, population 8000");
-    println!("{:>8} {:>12} {:>12} {:>12}", "share", "2.0 min", "2.5 min", "3.0 min");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "share", "2.0 min", "2.5 min", "3.0 min"
+    );
     for pct in (10..=100).step_by(10) {
         let frac = f64::from(pct) / 100.0;
         let mut row = format!("{pct:>7}%");
@@ -35,10 +38,18 @@ fn main() {
 
     // The paper's anchors, spelled out.
     println!("\nPaper anchors at 60% calling share:");
-    for (dur, note) in [(2.0, "<5% expected"), (2.5, "~21% expected"), (3.0, ">34% expected")] {
+    for (dur, note) in [
+        (2.0, "<5% expected"),
+        (2.5, "~21% expected"),
+        (3.0, ">34% expected"),
+    ] {
         let a = Erlangs::from_population(8000, 0.60, dur);
         let pb = erlang_b::blocking_probability(a, CHANNELS);
-        println!("  {dur:.1} min calls -> A = {:>5.0} E, Pb = {:>5.1}%  ({note})", a.value(), pb * 100.0);
+        println!(
+            "  {dur:.1} min calls -> A = {:>5.0} E, Pb = {:>5.1}%  ({note})",
+            a.value(),
+            pb * 100.0
+        );
     }
 
     // Cross-check with the finite-population Engset model: at 8000 sources
@@ -47,7 +58,12 @@ fn main() {
     let a = Erlangs::from_population(8000, 0.60, 2.0);
     let eb = erlang_b::blocking_probability(a, CHANNELS);
     let en = engset_blocking_for_load(8000, CHANNELS, a).expect("valid");
-    println!("  A = {:.0} E: Erlang-B {:.3}%  Engset(8000) {:.3}%", a.value(), eb * 100.0, en * 100.0);
+    println!(
+        "  A = {:.0} E: Erlang-B {:.3}%  Engset(8000) {:.3}%",
+        a.value(),
+        eb * 100.0,
+        en * 100.0
+    );
 
     // What if blocked callers redial? Extended Erlang-B quantifies the
     // overload feedback the paper's "call policy" discussion worries about.

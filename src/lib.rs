@@ -43,6 +43,7 @@
 
 pub use capacity;
 pub use des;
+pub use faults;
 pub use loadgen;
 pub use netsim;
 pub use pbx_sim;
@@ -60,6 +61,7 @@ pub mod prelude {
         figures, table1,
     };
     pub use des;
+    pub use faults::{self, FaultKind, FaultSchedule};
     pub use pbx_sim::{self, PbxConfig};
     pub use teletraffic::{self, erlang_b, CallRate, Erlangs, HoldingTime};
     pub use voiceq::{self, EModelInputs};

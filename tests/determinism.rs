@@ -19,6 +19,9 @@ fn cfg(seed: u64, media: MediaMode) -> EmpiricalConfig {
         capture_traffic: false,
         user_pool: 10,
         max_calls_per_user: None,
+        faults: faults::FaultSchedule::new(),
+        overload: None,
+        retry: None,
         seed,
     }
 }

@@ -107,7 +107,10 @@ fn wrong_password_fails_digest() {
     .header(HeaderName::CSeq, "1 REGISTER");
     let acts = pbx.handle_sip(SimTime::ZERO, CLIENT, reg.clone().into());
     let challenge_resp = match &acts[0] {
-        PbxAction::SendSip { msg: SipMessage::Response(r), .. } => r.clone(),
+        PbxAction::SendSip {
+            msg: SipMessage::Response(r),
+            ..
+        } => r.clone(),
         other => panic!("{other:?}"),
     };
     assert_eq!(challenge_resp.status, StatusCode::UNAUTHORIZED);
@@ -128,7 +131,10 @@ fn wrong_password_fails_digest() {
         .header(HeaderName::Authorization, creds.to_header_value());
     let acts = pbx.handle_sip(SimTime::ZERO, CLIENT, retry.into());
     match &acts[0] {
-        PbxAction::SendSip { msg: SipMessage::Response(r), .. } => {
+        PbxAction::SendSip {
+            msg: SipMessage::Response(r),
+            ..
+        } => {
             assert_eq!(r.status, StatusCode::FORBIDDEN);
         }
         other => panic!("{other:?}"),
@@ -167,7 +173,10 @@ fn digest_replay_against_other_realm_fails() {
     .header(HeaderName::Authorization, creds.to_header_value());
     let acts = other_pbx.handle_sip(SimTime::ZERO, CLIENT, reg.into());
     match &acts[0] {
-        PbxAction::SendSip { msg: SipMessage::Response(r), .. } => {
+        PbxAction::SendSip {
+            msg: SipMessage::Response(r),
+            ..
+        } => {
             assert_eq!(r.status, StatusCode::FORBIDDEN);
         }
         other => panic!("{other:?}"),

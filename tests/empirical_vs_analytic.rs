@@ -20,6 +20,9 @@ fn sweep_config(erlangs: f64, holding: HoldingDist, channels: u32, seed: u64) ->
         capture_traffic: false,
         user_pool: 50,
         max_calls_per_user: None,
+        faults: faults::FaultSchedule::new(),
+        overload: None,
+        retry: None,
         seed,
     }
 }
@@ -73,15 +76,25 @@ fn holding_time_insensitivity() {
     };
     let fixed = run_with(HoldingDist::Fixed(30.0));
     let expo = run_with(HoldingDist::Exponential(30.0));
-    let lognormal = run_with(HoldingDist::Lognormal { mean: 30.0, sd: 20.0 });
+    let lognormal = run_with(HoldingDist::Lognormal {
+        mean: 30.0,
+        sd: 20.0,
+    });
     let analytic = blocking_probability(Erlangs(a), channels);
-    for (name, pb) in [("fixed", fixed), ("exponential", expo), ("lognormal", lognormal)] {
+    for (name, pb) in [
+        ("fixed", fixed),
+        ("exponential", expo),
+        ("lognormal", lognormal),
+    ] {
         assert!(
             (pb - analytic).abs() < 0.05,
             "{name}: {pb:.4} vs analytic {analytic:.4}"
         );
     }
-    assert!((fixed - expo).abs() < 0.05, "fixed {fixed:.4} vs expo {expo:.4}");
+    assert!(
+        (fixed - expo).abs() < 0.05,
+        "fixed {fixed:.4} vs expo {expo:.4}"
+    );
 }
 
 /// Carried traffic ≈ offered × (1 − Pb), and channel occupancy never
@@ -109,7 +122,12 @@ fn dimensioning_by_solver_meets_target() {
     let mut blocked = 0u64;
     let mut attempted = 0u64;
     for seed in 0..4u64 {
-        let r = EmpiricalRunner::run(sweep_config(a, HoldingDist::Exponential(30.0), n, 40 + seed));
+        let r = EmpiricalRunner::run(sweep_config(
+            a,
+            HoldingDist::Exponential(30.0),
+            n,
+            40 + seed,
+        ));
         blocked += r.blocked;
         attempted += r.attempted;
     }

@@ -33,6 +33,9 @@ fn zero_channel_pbx_blocks_every_call() {
         capture_traffic: false,
         user_pool: 10,
         max_calls_per_user: None,
+        faults: faults::FaultSchedule::new(),
+        overload: None,
+        retry: None,
         seed: 5,
     };
     let r = EmpiricalRunner::run(cfg);
@@ -59,6 +62,9 @@ fn heavy_wire_loss_degrades_mos_but_not_blocking() {
         capture_traffic: false,
         user_pool: 10,
         max_calls_per_user: None,
+        faults: faults::FaultSchedule::new(),
+        overload: None,
+        retry: None,
         seed: 21,
     };
     let clean = EmpiricalRunner::run(base.clone());
@@ -66,14 +72,22 @@ fn heavy_wire_loss_degrades_mos_but_not_blocking() {
         link_loss_probability: 0.02, // 2% per hop, two hops per direction
         ..base
     });
-    assert!(clean.monitor.mos_mean > 4.3, "clean MOS {}", clean.monitor.mos_mean);
+    assert!(
+        clean.monitor.mos_mean > 4.3,
+        "clean MOS {}",
+        clean.monitor.mos_mean
+    );
     assert!(
         lossy.monitor.mos_mean < clean.monitor.mos_mean - 0.2,
         "lossy {} vs clean {}",
         lossy.monitor.mos_mean,
         clean.monitor.mos_mean
     );
-    assert!(lossy.monitor.mean_loss > 0.02, "loss visible: {}", lossy.monitor.mean_loss);
+    assert!(
+        lossy.monitor.mean_loss > 0.02,
+        "loss visible: {}",
+        lossy.monitor.mean_loss
+    );
     // Admission control is a signalling property; a lossy media plane
     // doesn't inflate blocking (some SIP may be lost, producing abandoned
     // attempts rather than blocks).
@@ -120,7 +134,11 @@ fn bad_credentials_never_register() {
             .header(HeaderName::CSeq, "1 REGISTER")
             .header(HeaderName::Authorization, format!("Simple {uid} {pw}"));
         let acts = pbx.handle_sip(SimTime::ZERO, NodeId(1), reg.into());
-        assert_eq!(sip_of(&acts[0]).as_response().unwrap().status, want, "{uid}/{pw}");
+        assert_eq!(
+            sip_of(&acts[0]).as_response().unwrap().status,
+            want,
+            "{uid}/{pw}"
+        );
     }
     let (ok, failed) = pbx.registrar.stats();
     assert_eq!((ok, failed), (1, 2));

@@ -20,6 +20,9 @@ fn media_cfg(seed: u64) -> EmpiricalConfig {
         capture_traffic: false,
         user_pool: 10,
         max_calls_per_user: None,
+        faults: faults::FaultSchedule::new(),
+        overload: None,
+        retry: None,
         seed,
     }
 }

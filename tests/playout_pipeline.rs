@@ -34,25 +34,25 @@ fn pipeline(
         if rng.coin(loss) {
             continue; // lost in the network
         }
-        let arrival =
-            i as f64 * 0.020 + 0.010 + rng.uniform_f64(-jitter_ms, jitter_ms) / 1000.0;
+        let arrival = i as f64 * 0.020 + 0.010 + rng.uniform_f64(-jitter_ms, jitter_ms) / 1000.0;
         packets.push((arrival.max(0.0), pkt));
     }
     // Arrival order may be perturbed by jitter.
     packets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
 
     let mut reconstructed = Vec::with_capacity(original.len());
-    let pull_events = |buffer: &mut PlayoutBuffer, t: f64, plc: &mut Concealer, out: &mut Vec<i16>| {
-        for ev in buffer.pull_due(t) {
-            match ev {
-                PlayoutEvent::Played(payload) => {
-                    let pcm: Vec<i16> = payload.iter().map(|&c| ulaw_decode(c)).collect();
-                    out.extend(plc.good_frame(&pcm));
+    let pull_events =
+        |buffer: &mut PlayoutBuffer, t: f64, plc: &mut Concealer, out: &mut Vec<i16>| {
+            for ev in buffer.pull_due(t) {
+                match ev {
+                    PlayoutEvent::Played(payload) => {
+                        let pcm: Vec<i16> = payload.iter().map(|&c| ulaw_decode(c)).collect();
+                        out.extend(plc.good_frame(&pcm));
+                    }
+                    PlayoutEvent::Concealed => out.extend(plc.lost_frame()),
                 }
-                PlayoutEvent::Concealed => out.extend(plc.lost_frame()),
             }
-        }
-    };
+        };
     for (arrival, pkt) in packets {
         pull_events(&mut buffer, arrival, &mut plc, &mut reconstructed);
         buffer.insert(arrival, &pkt.header, pkt.payload);
@@ -152,7 +152,12 @@ fn severely_delayed_packet_is_concealed_then_dropped() {
         buffer.insert(nominal, &pkt.header, pkt.payload);
     }
     let _ = buffer.pull_due(0.8);
-    assert_eq!(buffer.stats().concealed, 1, "slot 5 concealed: {:?}", buffer.stats());
+    assert_eq!(
+        buffer.stats().concealed,
+        1,
+        "slot 5 concealed: {:?}",
+        buffer.stats()
+    );
     // The straggler shows up long after its slot played.
     let (t, pkt) = straggler.unwrap();
     buffer.insert(t, &pkt.header, pkt.payload);

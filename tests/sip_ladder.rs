@@ -4,9 +4,9 @@
 use asterisk_capacity::prelude::*;
 use capacity::experiment::MediaMode;
 use loadgen::HoldingDist;
-use sipcore::{parse_message, Method, Request, SipMessage, SipUri, StatusCode};
 use sipcore::headers::HeaderName;
 use sipcore::message::format_via;
+use sipcore::{parse_message, Method, Request, SipMessage, SipUri, StatusCode};
 
 /// One call, media off: exactly 13 SIP messages cross the wire
 /// (9 to establish + 4 to tear down), as the paper counts.
@@ -25,12 +25,18 @@ fn one_call_is_thirteen_messages() {
         capture_traffic: false,
         user_pool: 4,
         max_calls_per_user: None,
+        faults: faults::FaultSchedule::new(),
+        overload: None,
+        retry: None,
         seed: 11,
     };
     // Try seeds until a window contains exactly one call (Poisson luck).
     let mut chosen = None;
     for seed in 0..40u64 {
-        let r = EmpiricalRunner::run(EmpiricalConfig { seed, ..cfg.clone() });
+        let r = EmpiricalRunner::run(EmpiricalConfig {
+            seed,
+            ..cfg.clone()
+        });
         if r.attempted == 1 && r.completed == 1 {
             chosen = Some(r);
             break;
@@ -39,7 +45,11 @@ fn one_call_is_thirteen_messages() {
     let r = chosen.expect("some seed yields exactly one completed call");
     let reg_msgs = 2 * 2 * 4; // REGISTER + 200 for each of 2×4 users
     assert_eq!(r.monitor.sip_total - reg_msgs, 13, "the Fig. 2 ladder");
-    assert_eq!(r.monitor.sip_request_count("INVITE"), 2, "caller->PBX, PBX->callee");
+    assert_eq!(
+        r.monitor.sip_request_count("INVITE"),
+        2,
+        "caller->PBX, PBX->callee"
+    );
     assert_eq!(r.monitor.sip_response_count(100), 1);
     assert_eq!(r.monitor.sip_response_count(180), 2);
     // 200s: INVITE (2 legs) + BYE (2 legs) + registrations.
@@ -53,7 +63,12 @@ fn one_call_is_thirteen_messages() {
 /// the parser and serializer agree end to end.
 #[test]
 fn emitted_messages_round_trip_the_wire_format() {
-    let sdp = sipcore::sdp::SessionDescription::new("1001", "10.0.0.2", 6000, sipcore::sdp::SdpCodec::Pcmu);
+    let sdp = sipcore::sdp::SessionDescription::new(
+        "1001",
+        "10.0.0.2",
+        6000,
+        sipcore::sdp::SdpCodec::Pcmu,
+    );
     let invite = Request::new(Method::Invite, SipUri::new("1002", "pbx.unb.br"))
         .header(HeaderName::Via, format_via("10.0.0.2", 5060, "z9hG4bKit"))
         .header(HeaderName::From, "<sip:1001@pbx.unb.br>;tag=f1")
@@ -104,7 +119,8 @@ fn b2bua_uses_distinct_call_ids_per_leg() {
         .header(HeaderName::Authorization, "Simple 1002 pw-1002");
     pbx.handle_sip(des::SimTime::ZERO, NodeId(2), reg.into());
 
-    let sdp = sipcore::sdp::SessionDescription::new("1001", "c", 6000, sipcore::sdp::SdpCodec::Pcmu);
+    let sdp =
+        sipcore::sdp::SessionDescription::new("1001", "c", 6000, sipcore::sdp::SdpCodec::Pcmu);
     let invite = Request::new(Method::Invite, SipUri::new("1002", "pbx.unb.br"))
         .header(HeaderName::Via, format_via("c", 5060, "z9hG4bKleg"))
         .header(HeaderName::From, "<sip:1001@pbx.unb.br>;tag=x")
@@ -116,7 +132,10 @@ fn b2bua_uses_distinct_call_ids_per_leg() {
     let forwarded = actions
         .iter()
         .find_map(|a| match a {
-            PbxAction::SendSip { msg: SipMessage::Request(r), .. } if r.method == Method::Invite => Some(r.clone()),
+            PbxAction::SendSip {
+                msg: SipMessage::Request(r),
+                ..
+            } if r.method == Method::Invite => Some(r.clone()),
             _ => None,
         })
         .expect("INVITE forwarded");

@@ -70,7 +70,12 @@ impl LossyWorld {
         )
     }
 
-    fn run_client_actions(&mut self, now: SimTime, actions: Vec<TxAction>, sched: &mut Scheduler<Ev>) {
+    fn run_client_actions(
+        &mut self,
+        now: SimTime,
+        actions: Vec<TxAction>,
+        sched: &mut Scheduler<Ev>,
+    ) {
         for act in actions {
             match act {
                 TxAction::TransmitRequest(req) => {
@@ -84,14 +89,22 @@ impl LossyWorld {
                 TxAction::TransmitResponse(_) => unreachable!("client sends no responses"),
                 TxAction::DeliverResponse(r) => self.client_deliveries.push(r.status),
                 TxAction::SetTimer(kind, after) => {
-                    sched.schedule(now + SimDuration::from_nanos(after.as_nanos() as u64), Ev::ClientTimer(kind));
+                    sched.schedule(
+                        now + SimDuration::from_nanos(after.as_nanos() as u64),
+                        Ev::ClientTimer(kind),
+                    );
                 }
                 TxAction::Terminated(outcome) => self.client_outcome = Some(outcome),
             }
         }
     }
 
-    fn run_server_actions(&mut self, now: SimTime, actions: Vec<TxAction>, sched: &mut Scheduler<Ev>) {
+    fn run_server_actions(
+        &mut self,
+        now: SimTime,
+        actions: Vec<TxAction>,
+        sched: &mut Scheduler<Ev>,
+    ) {
         for act in actions {
             match act {
                 TxAction::TransmitResponse(resp) => {
@@ -101,7 +114,10 @@ impl LossyWorld {
                 }
                 TxAction::TransmitRequest(_) | TxAction::DeliverResponse(_) => {}
                 TxAction::SetTimer(kind, after) => {
-                    sched.schedule(now + SimDuration::from_nanos(after.as_nanos() as u64), Ev::ServerTimer(kind));
+                    sched.schedule(
+                        now + SimDuration::from_nanos(after.as_nanos() as u64),
+                        Ev::ServerTimer(kind),
+                    );
                 }
                 TxAction::Terminated(outcome) => self.server_outcome = Some(outcome),
             }
@@ -118,7 +134,8 @@ impl EventHandler<Ev> for LossyWorld {
                         // TU answers 486 straight away through a fresh
                         // server transaction.
                         let mut server = InviteServerTx::new(TimerConfig::default());
-                        let actions = server.send_response(req.make_response(StatusCode::BUSY_HERE));
+                        let actions =
+                            server.send_response(req.make_response(StatusCode::BUSY_HERE));
                         self.server = Some(server);
                         self.run_server_actions(now, actions, sched);
                     }
@@ -158,7 +175,8 @@ fn run(loss: f64, seed: u64) -> LossyWorld {
     let (world, initial) = LossyWorld::new(loss, seed);
     let mut sim = Simulation::new(world);
     let acts = initial;
-    sim.world.run_client_actions(SimTime::ZERO, acts, &mut sim.sched);
+    sim.world
+        .run_client_actions(SimTime::ZERO, acts, &mut sim.sched);
     sim.run_until(SimTime::from_secs(120));
     sim.world
 }
@@ -201,7 +219,10 @@ fn lossy_wire_retransmits_until_delivery() {
     );
     // And at 40% loss, retransmissions demonstrably happened somewhere.
     let total_tx: u32 = (0..20u64).map(|s| run(0.40, s).invite_transmissions).sum();
-    assert!(total_tx > 25, "retransmissions occurred: {total_tx} for 20 calls");
+    assert!(
+        total_tx > 25,
+        "retransmissions occurred: {total_tx} for 20 calls"
+    );
 }
 
 #[test]
@@ -225,18 +246,17 @@ fn server_gives_up_without_ack() {
     let mut h_outcome = None;
 
     let apply = |server: &mut InviteServerTx,
-                     sched: &mut Scheduler<TimerKind>,
-                     now: SimTime,
-                     actions: Vec<TxAction>,
-                     g: &mut u32,
-                     outcome: &mut Option<TxOutcome>| {
+                 sched: &mut Scheduler<TimerKind>,
+                 now: SimTime,
+                 actions: Vec<TxAction>,
+                 g: &mut u32,
+                 outcome: &mut Option<TxOutcome>| {
         for act in actions {
             match act {
                 TxAction::TransmitResponse(_) => *g += 1,
-                TxAction::SetTimer(kind, after) => sched.schedule(
-                    now + SimDuration::from_nanos(after.as_nanos() as u64),
-                    kind,
-                ),
+                TxAction::SetTimer(kind, after) => {
+                    sched.schedule(now + SimDuration::from_nanos(after.as_nanos() as u64), kind)
+                }
                 TxAction::Terminated(o) => *outcome = Some(o),
                 _ => {}
             }
@@ -245,14 +265,28 @@ fn server_gives_up_without_ack() {
     };
 
     let first = server.send_response(invite().make_response(StatusCode::BUSY_HERE));
-    apply(&mut server, &mut sched, SimTime::ZERO, first, &mut g_retransmits, &mut h_outcome);
+    apply(
+        &mut server,
+        &mut sched,
+        SimTime::ZERO,
+        first,
+        &mut g_retransmits,
+        &mut h_outcome,
+    );
     let initial_transmit = g_retransmits;
     assert_eq!(initial_transmit, 1);
 
     while h_outcome.is_none() {
         let (now, kind) = sched.pop().expect("timers pending until H fires");
         let actions = server.on_timer(kind);
-        apply(&mut server, &mut sched, now, actions, &mut g_retransmits, &mut h_outcome);
+        apply(
+            &mut server,
+            &mut sched,
+            now,
+            actions,
+            &mut g_retransmits,
+            &mut h_outcome,
+        );
     }
 
     assert_eq!(h_outcome, Some(TxOutcome::Timeout), "timer H fired");

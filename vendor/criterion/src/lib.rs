@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion 0.5` (see `vendor/README.md`).
+//!
+//! Keeps the workspace's `benches/` targets compiling and runnable without
+//! crates.io. Instead of statistical sampling, each benchmark routine is
+//! executed a handful of times and its mean wall-clock time printed — a
+//! smoke run, not a measurement. The flag/ignore behaviour of the real
+//! harness is not modelled.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; ignored by this shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh batch every iteration.
+    PerIteration,
+}
+
+/// Throughput annotation; recorded but only echoed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; runs the routine and accumulates time.
+pub struct Bencher {
+    iterations: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(iterations: u32) -> Self {
+        Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Time `routine`, called `iterations` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    fn report(&self, name: &str) {
+        let per_iter = self.elapsed.as_secs_f64() / f64::from(self.iterations.max(1));
+        println!(
+            "bench {name:<40} {:>12.3} ms/iter (smoke run)",
+            per_iter * 1e3
+        );
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    iterations: u32,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Smaller sample count hint — the shim keeps its own tiny count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation; echoed only.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: R) -> &mut Self {
+        let mut b = Bencher::new(self.iterations);
+        f(&mut b);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// End the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Shim iteration count: enough to amortise the timer, small enough
+    /// that heavyweight simulation benches stay a smoke run.
+    const ITERATIONS: u32 = 3;
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: R) -> &mut Self {
+        let mut b = Bencher::new(Self::ITERATIONS);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iterations: Self::ITERATIONS,
+            _criterion: self,
+        }
+    }
+
+    /// Parse command-line configuration — accepted and ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_shim_runs_routines() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, Criterion::ITERATIONS);
+
+        let mut batched = 0u32;
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10)
+            .throughput(Throughput::Elements(1))
+            .bench_function("batched", |b| {
+                b.iter_batched(|| 2u32, |x| batched += x, BatchSize::SmallInput)
+            });
+        g.finish();
+        assert_eq!(batched, 2 * Criterion::ITERATIONS);
+    }
+}

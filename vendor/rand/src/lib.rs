@@ -1,0 +1,114 @@
+//! Offline stand-in for the `rand 0.8` facade.
+//!
+//! The workspace builds in sandboxes with no crates.io access, so the
+//! handful of external APIs it consumes are vendored here (see
+//! `vendor/README.md`). This crate provides exactly the subset of `rand`
+//! the workspace touches: the [`RngCore`] trait and its fallible-fill
+//! [`Error`] type. All randomness in the repo flows through
+//! `des::rng::StreamRng`, which implements this trait itself — nothing
+//! here generates numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A random number generator core, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill; infallible generators forward to [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Error type for fallible RNG operations (always opaque here).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// An error with a static description.
+    #[must_use]
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(u64);
+
+    impl RngCore for Counting {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn blanket_impls_forward() {
+        let mut rng = Counting(0);
+        assert_eq!((&mut rng).next_u64(), 1);
+        let mut boxed: Box<dyn RngCore> = Box::new(rng);
+        assert_eq!(boxed.next_u32(), 2);
+        let mut buf = [0u8; 4];
+        boxed.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [3, 4, 5, 6]);
+    }
+}

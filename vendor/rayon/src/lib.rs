@@ -1,0 +1,58 @@
+//! Offline stand-in for `rayon 1` (see `vendor/README.md`).
+//!
+//! `par_iter()`/`into_par_iter()` here return the corresponding *standard*
+//! iterators, so downstream `.map(...).sum()`/`.collect()` chains compile
+//! unchanged and run sequentially. The workspace's parallel sweeps carry
+//! per-run RNG streams and are order-independent, so results are
+//! bit-identical to the parallel execution — only wall-clock differs.
+
+#![forbid(unsafe_code)]
+
+/// The traits rayon users import as `use rayon::prelude::*;`.
+pub mod prelude {
+    /// `into_par_iter()` — sequential here.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Consume `self`, yielding an iterator over its items.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` — sequential here.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed iterator type.
+        type Iter: Iterator;
+
+        /// Iterate over `&self`'s items.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let xs = vec![1u64, 2, 3, 4];
+        let s: u64 = xs.par_iter().map(|&x| x * x).sum();
+        assert_eq!(s, 30);
+        let doubled: Vec<u64> = xs.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let r: u64 = (0u64..5).into_par_iter().sum();
+        assert_eq!(r, 10);
+    }
+}

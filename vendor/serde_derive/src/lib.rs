@@ -1,0 +1,449 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde subset (`vendor/serde`).
+//!
+//! Implemented without `syn`/`quote` (the sandbox has no crates.io): a
+//! small hand parser walks the item's token stream, extracts the shape
+//! (named/tuple/unit struct, or enum of unit/newtype/tuple/struct
+//! variants), and the generated impls are assembled as source text. The
+//! encoding mirrors serde's defaults:
+//!
+//! * named struct  -> object of fields;
+//! * newtype struct -> the inner value, transparently;
+//! * tuple struct  -> array;
+//! * unit variant  -> the variant name as a string;
+//! * data variant  -> one-entry object `{ "Variant": <payload> }`.
+//!
+//! Generic items and `#[serde(...)]` attributes are not supported — the
+//! workspace uses neither — and hitting one produces a compile error
+//! rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: T, .. }` — field names.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, ..);` — field count.
+    TupleStruct(usize),
+    /// `enum E { .. }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => generate(&name, &shape, which).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected item name".into()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the vendored derive"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Ok((name, Shape::UnitStruct)),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            _ => Err(format!(
+                "serde_derive: unsupported struct body for `{name}`"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            _ => Err(format!("serde_derive: expected enum body for `{name}`")),
+        },
+        other => Err(format!("serde_derive: cannot derive for `{other}` items")),
+    }
+}
+
+/// Field names of `{ a: T, b: U }`, skipping attributes and visibility;
+/// commas inside `<...>` do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("serde_derive: expected `:` after field name".into()),
+        }
+        i = skip_type(&tokens, i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advance past a type, stopping at a top-level `,` (or end of stream).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0usize;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Count the types in `(T, U, ...)`, skipping per-field attrs/visibility.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(&tokens, i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// --- code generation -------------------------------------------------------
+
+fn generate(name: &str, shape: &Shape, which: Which) -> String {
+    match which {
+        Which::Serialize => gen_serialize(name, shape),
+        Which::Deserialize => gen_deserialize(name, shape),
+    }
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "serde::Value::Null".to_owned(),
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(String::from({vn:?}))"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::Value::Map(vec![(String::from({vn:?}), serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Map(vec![(String::from({vn:?}), serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from({f:?}), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::Value::Map(vec![(String::from({vn:?}), serde::Value::Map(vec![{}]))])",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::get_field(entries, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = v.as_map().ok_or_else(|| serde::Error::custom(\"expected map for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{ return Err(serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let items = payload.as_array().ok_or_else(|| serde::Error::custom(\"expected array payload\"))?;\n\
+                                     if items.len() != {n} {{ return Err(serde::Error::custom(\"wrong variant arity\")); }}\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(serde::get_field(entries, {f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let entries = payload.as_map().ok_or_else(|| serde::Error::custom(\"expected map payload\"))?;\n\
+                                     Ok({name}::{vn} {{ {} }})\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => Err(serde::Error::custom(\"expected variant of {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
