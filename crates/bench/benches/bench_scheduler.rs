@@ -1,0 +1,72 @@
+//! SCHED — future-event-list microbenchmarks: binary heap vs timing
+//! wheel behind the same `Scheduler` API.
+//!
+//! The synthetic workload is the classic hold model: a fixed population
+//! of pending events where every pop schedules a successor a short,
+//! jittered delay ahead — the access pattern a packet-level simulation
+//! produces. The empirical workload drives a signalling-only smoke run
+//! through both backends.
+
+use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode, SimOptions};
+use capacity::world::MediaPath;
+use criterion::{criterion_group, criterion_main, Criterion};
+use des::{Scheduler, SchedulerKind, SimDuration, SimTime};
+
+/// Pop/push churn over a steady population of `initial` pending events.
+fn hold_model(kind: SchedulerKind, initial: u64, ops: u64) -> u64 {
+    let mut sched = Scheduler::with_kind(kind);
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rand = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for i in 0..initial {
+        sched.schedule(SimTime::from_nanos(rand() % 1_000_000_000), i);
+    }
+    let mut popped = 0u64;
+    for _ in 0..ops {
+        let Some((at, _)) = sched.pop() else { break };
+        popped += 1;
+        // Successor within two 20 ms frames — media-like locality.
+        sched.schedule(at + SimDuration::from_nanos(rand() % 40_000_000), popped);
+    }
+    popped
+}
+
+fn smoke_run(kind: SchedulerKind) -> u64 {
+    let mut cfg = EmpiricalConfig::smoke(17);
+    cfg.media = MediaMode::Off;
+    let r = EmpiricalRunner::run_with(
+        cfg,
+        SimOptions {
+            scheduler: kind,
+            media_path: MediaPath::Coalesced,
+        },
+    );
+    r.events_processed
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+
+    for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+        let tag = match kind {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Wheel => "wheel",
+        };
+        g.bench_function(format!("hold_16k_ops_256k_{tag}").as_str(), |b| {
+            b.iter(|| hold_model(kind, 16_384, 262_144))
+        });
+        g.bench_function(format!("smoke_signalling_{tag}").as_str(), |b| {
+            b.iter(|| smoke_run(kind))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Emit `BENCH_sched.json` — a machine-readable wall-clock comparison of
+//! the event-loop configurations on a full-media Table-I run.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_sched_json              # smoke
+//! BENCH_SCALE=full cargo run --release -p bench --bin bench_sched_json
+//! ```
+//!
+//! `full` is the paper's 150 E / 165-channel / 180 s-window workload with
+//! per-packet G.711 media; `smoke` (the default, used by `./ci`) shrinks
+//! the window and holding time so the four pairings finish in seconds.
+//! The output records wall clock, events processed and events/sec per
+//! configuration plus the speedup of the wheel + coalesced default over
+//! the heap + per-tick reference. Runs with the same media path must
+//! produce identical result digests; the emitter exits non-zero if the
+//! engine options leak into the physics.
+
+use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode, SimOptions};
+use capacity::world::MediaPath;
+use des::SchedulerKind;
+use loadgen::HoldingDist;
+use std::fmt::Write as _;
+
+struct ConfigResult {
+    name: &'static str,
+    scheduler: &'static str,
+    media_path: &'static str,
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    digest: u64,
+}
+
+fn main() {
+    let scale = std::env::var("BENCH_SCALE").unwrap_or_else(|_| "smoke".to_owned());
+    let (cfg, scenario) = match scale.as_str() {
+        "full" => (
+            EmpiricalConfig::table1(150.0, 2015),
+            "tab1_150E_165ch_180s_full_media",
+        ),
+        _ => {
+            let mut c = EmpiricalConfig::table1(150.0, 2015);
+            c.placement_window_s = 5.0;
+            c.holding = HoldingDist::Fixed(4.0);
+            c.media = MediaMode::PerPacket { encode_every: 50 };
+            (c, "tab1_150E_165ch_smoke")
+        }
+    };
+
+    let pairings: [(&str, SchedulerKind, MediaPath); 4] = [
+        ("reference", SchedulerKind::Heap, MediaPath::PerTick),
+        ("wheel_only", SchedulerKind::Wheel, MediaPath::PerTick),
+        ("coalesced_only", SchedulerKind::Heap, MediaPath::Coalesced),
+        ("optimized", SchedulerKind::Wheel, MediaPath::Coalesced),
+    ];
+
+    let mut results = Vec::new();
+    for (name, scheduler, media_path) in pairings {
+        let r = EmpiricalRunner::run_with(
+            cfg.clone(),
+            SimOptions {
+                scheduler,
+                media_path,
+            },
+        );
+        eprintln!(
+            "{name:<16} {:>8.3} s  {:>12.0} ev/s  ({} events)",
+            r.wall_clock_s, r.events_per_sec, r.events_processed
+        );
+        results.push(ConfigResult {
+            name,
+            scheduler: match scheduler {
+                SchedulerKind::Heap => "heap",
+                SchedulerKind::Wheel => "wheel",
+            },
+            media_path: match media_path {
+                MediaPath::PerTick => "per_tick",
+                MediaPath::Coalesced => "coalesced",
+            },
+            wall_s: r.wall_clock_s,
+            events: r.events_processed,
+            events_per_sec: r.events_per_sec,
+            digest: r.digest(),
+        });
+    }
+
+    // Same media path ⇒ same physics, whatever the scheduler backend.
+    for (a, b) in [(0, 1), (2, 3)] {
+        if results[a].digest != results[b].digest {
+            eprintln!(
+                "FATAL: {} and {} disagree on the run digest — the \
+                 scheduler backend leaked into the physics",
+                results[a].name, results[b].name
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let reference_wall = results[0].wall_s;
+    let optimized_wall = results[3].wall_s.max(1e-9);
+    let speedup = reference_wall / optimized_wall;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scenario\": \"{scenario}\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"scheduler\": \"{}\", \"media_path\": \"{}\", \
+             \"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \
+             \"digest\": \"{:#018x}\"}}{comma}",
+            r.name, r.scheduler, r.media_path, r.wall_s, r.events, r.events_per_sec, r.digest
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_optimized_vs_reference\": {speedup:.3}");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_sched.json".to_owned());
+    std::fs::write(&out, &json).expect("write BENCH_sched.json");
+    println!("wrote {out} (speedup {speedup:.2}x)");
+}

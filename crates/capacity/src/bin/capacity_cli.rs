@@ -181,6 +181,7 @@ fn main() {
                 println!("{}", report::to_json(&result));
             } else {
                 print!("{}", report::render_robustness(&result));
+                print!("{}", report::render_throughput(&result));
             }
         }
         _ => {

@@ -5,8 +5,8 @@
 //! both exchange RTP for `h` seconds through the PBX, and blocking rate +
 //! voice quality are evaluated and registered.
 
-use crate::world::{Ev, World};
-use des::{SimDuration, SimTime, Simulation};
+use crate::world::{Ev, MediaPath, World};
+use des::{Scheduler, SchedulerKind, SimDuration, SimTime, Simulation};
 use faults::{FaultKind, FaultSchedule};
 use loadgen::{CallOutcome, HoldingDist, RetryPolicy};
 use pbx_sim::OverloadControl;
@@ -28,6 +28,41 @@ pub enum MediaMode {
         /// the cached companded payload.
         encode_every: u32,
     },
+}
+
+/// Engine options orthogonal to the experiment physics: which
+/// future-event-list backend and which media-path implementation drive
+/// the run. Every combination produces identical simulation outputs for
+/// its media path (enforced by `tests/determinism.rs`); the default is
+/// the fast pair, the alternatives are the reference implementations kept
+/// for A/B validation and benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Future-event-list backend.
+    pub scheduler: SchedulerKind,
+    /// Media cadence implementation.
+    pub media_path: MediaPath,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            scheduler: SchedulerKind::Wheel,
+            media_path: MediaPath::Coalesced,
+        }
+    }
+}
+
+impl SimOptions {
+    /// The original implementation pair: global binary heap + one event
+    /// per media frame per session.
+    #[must_use]
+    pub fn reference() -> Self {
+        SimOptions {
+            scheduler: SchedulerKind::Heap,
+            media_path: MediaPath::PerTick,
+        }
+    }
 }
 
 /// Configuration for one empirical run.
@@ -115,6 +150,24 @@ impl EmpiricalConfig {
             link_loss_probability: 0.0,
             ..EmpiricalConfig::table1(erlangs, seed)
         }
+    }
+
+    /// Rough estimate of concurrently pending scheduler events, used to
+    /// pre-size the future-event list. Each concurrent call keeps a
+    /// handful of events in flight (its media cadence, packets crossing
+    /// the star, its hangup timer); concurrency is bounded by offered
+    /// load and the channel pool.
+    #[must_use]
+    pub fn expected_pending_events(&self) -> usize {
+        let concurrent = (self.erlangs.ceil() as usize)
+            .min(self.channels as usize)
+            .max(1)
+            * self.servers.max(1) as usize;
+        let per_call = match self.media {
+            MediaMode::Off => 4,
+            MediaMode::PerPacket { .. } => 8,
+        };
+        concurrent * per_call + 1024
     }
 
     /// A small smoke-test configuration that runs in milliseconds even in
@@ -205,6 +258,11 @@ pub struct RunResult {
     pub sim_seconds: f64,
     /// DES events processed (throughput accounting).
     pub events_processed: u64,
+    /// Wall-clock seconds the event loop took. Host-dependent, not part
+    /// of the physics — excluded from [`RunResult::digest`].
+    pub wall_clock_s: f64,
+    /// Events processed per wall-clock second (excluded from the digest).
+    pub events_per_sec: f64,
     /// Calls shed by PBX overload control (503 + Retry-After).
     pub shed: u64,
     /// UAC re-INVITEs sent after a shed (backoff retries).
@@ -221,6 +279,60 @@ pub struct RunResult {
     /// Recovery accounting for each injected disruption (heal events and
     /// flash crowds are consequences, not disruptions, and are skipped).
     pub recoveries: Vec<FaultRecovery>,
+}
+
+impl RunResult {
+    /// Order-sensitive FNV-1a digest over the physics outputs: call
+    /// counts, blocking, occupancy, CPU and voice-quality figures (float
+    /// bit patterns, so "close" is not "equal"). Wall-clock fields are
+    /// excluded — two runs agree on `digest()` exactly when the
+    /// simulation produced the same results, regardless of how fast the
+    /// host executed them.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            v.to_le_bytes()
+                .iter()
+                .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in [
+            self.attempted,
+            self.completed,
+            self.blocked,
+            self.failed,
+            self.abandoned,
+            self.steady_attempts,
+            u64::from(self.peak_channels),
+            self.events_processed,
+            self.shed,
+            self.retries,
+            self.shed_then_ok,
+            self.goodput,
+            self.monitor.rtp_packets,
+            self.monitor.sip_total,
+            self.monitor.calls_scored,
+        ] {
+            h = mix(h, v);
+        }
+        for p in &self.per_server_peaks {
+            h = mix(h, u64::from(*p));
+        }
+        for f in [
+            self.observed_pb,
+            self.steady_pb,
+            self.carried_erlangs,
+            self.cpu_mean,
+            self.sim_seconds,
+            self.monitor.mos_mean,
+            self.monitor.mos_min,
+            self.monitor.mean_jitter_ms,
+            self.monitor.mean_loss,
+        ] {
+            h = mix(h, f.to_bits());
+        }
+        h
+    }
 }
 
 /// Trailing mean of the `window` seconds of `series` ending at `end_idx`
@@ -290,9 +402,18 @@ pub fn compute_recoveries(faults: &FaultSchedule, answers_per_sec: &[u64]) -> Ve
 pub struct EmpiricalRunner;
 
 impl EmpiricalRunner {
-    /// Execute one run to completion and collect the results.
+    /// Execute one run to completion and collect the results (default
+    /// engine options: timing-wheel scheduler, coalesced media path).
     #[must_use]
     pub fn run(config: EmpiricalConfig) -> RunResult {
+        Self::run_with(config, SimOptions::default())
+    }
+
+    /// Execute one run with explicit engine options. Physics outputs are
+    /// independent of `opts.scheduler`; `opts.media_path` selects between
+    /// the coalesced and per-tick media implementations.
+    #[must_use]
+    pub fn run_with(config: EmpiricalConfig, opts: SimOptions) -> RunResult {
         let erlangs = config.erlangs;
         let channels = config.channels;
         // Horizon: placement + longest plausible holding + teardown slack.
@@ -308,9 +429,9 @@ impl EmpiricalRunner {
         }
         let horizon = SimTime::from_secs_f64(horizon_s);
 
-        let mut sim = Simulation::new(World::new(config));
-        sim.world.prime(&mut sim.sched);
-        sim.run_until(horizon);
+        let started = std::time::Instant::now();
+        let mut sim = run_world_with(config, horizon, opts);
+        let wall_clock_s = started.elapsed().as_secs_f64();
         let end = sim.now();
         let events_processed = sim.events_processed();
 
@@ -391,6 +512,12 @@ impl EmpiricalRunner {
             monitor: world.monitor.report(),
             sim_seconds: end.as_secs_f64(),
             events_processed,
+            wall_clock_s,
+            events_per_sec: if wall_clock_s > 0.0 {
+                events_processed as f64 / wall_clock_s
+            } else {
+                0.0
+            },
             shed,
             retries,
             shed_then_ok,
@@ -406,7 +533,21 @@ impl EmpiricalRunner {
 /// access).
 #[must_use]
 pub fn run_world(config: EmpiricalConfig, horizon: SimTime) -> Simulation<World, Ev> {
-    let mut sim = Simulation::new(World::new(config));
+    run_world_with(config, horizon, SimOptions::default())
+}
+
+/// [`run_world`] with explicit engine options: the scheduler is pre-sized
+/// from [`EmpiricalConfig::expected_pending_events`], primed and driven to
+/// `horizon`.
+#[must_use]
+pub fn run_world_with(
+    config: EmpiricalConfig,
+    horizon: SimTime,
+    opts: SimOptions,
+) -> Simulation<World, Ev> {
+    let sched = Scheduler::with_kind_and_capacity(opts.scheduler, config.expected_pending_events());
+    let world = World::with_media_path(config, opts.media_path);
+    let mut sim = Simulation::with_scheduler(world, sched);
     sim.world.prime(&mut sim.sched);
     sim.run_until(horizon);
     sim
@@ -515,6 +656,61 @@ mod tests {
         assert_eq!(a.monitor.rtp_packets, b.monitor.rtp_packets);
         assert_eq!(a.events_processed, b.events_processed);
         assert_eq!(a.monitor.sip_total, b.monitor.sip_total);
+        assert_eq!(a.digest(), b.digest(), "physics digest is reproducible");
+    }
+
+    #[test]
+    fn digest_ignores_wall_clock_but_not_physics() {
+        let a = EmpiricalRunner::run(EmpiricalConfig::smoke(7));
+        let mut b = a.clone();
+        b.wall_clock_s *= 10.0;
+        b.events_per_sec /= 10.0;
+        assert_eq!(a.digest(), b.digest(), "wall clock is not physics");
+        b.completed += 1;
+        assert_ne!(a.digest(), b.digest(), "counts are physics");
+    }
+
+    #[test]
+    fn engine_options_do_not_change_the_physics() {
+        // All four scheduler/media-path pairings run the same experiment;
+        // scheduler choice must be invisible in the outputs, and the two
+        // media paths must agree on everything except event bookkeeping.
+        let cfg = || EmpiricalConfig::smoke(21);
+        let fast = EmpiricalRunner::run_with(cfg(), SimOptions::default());
+        let reference = EmpiricalRunner::run_with(cfg(), SimOptions::reference());
+        for (a, b) in [
+            (
+                &fast,
+                &EmpiricalRunner::run_with(
+                    cfg(),
+                    SimOptions {
+                        scheduler: SchedulerKind::Heap,
+                        media_path: MediaPath::Coalesced,
+                    },
+                ),
+            ),
+            (
+                &reference,
+                &EmpiricalRunner::run_with(
+                    cfg(),
+                    SimOptions {
+                        scheduler: SchedulerKind::Wheel,
+                        media_path: MediaPath::PerTick,
+                    },
+                ),
+            ),
+        ] {
+            assert_eq!(a.digest(), b.digest(), "scheduler backend leaked");
+        }
+        // Across media paths the signalling plane is identical and the
+        // media plane statistically equivalent (phase quantisation shifts
+        // emission by ≤312 µs; per-packet spacing is unchanged).
+        assert_eq!(fast.attempted, reference.attempted);
+        assert_eq!(fast.completed, reference.completed);
+        assert_eq!(fast.blocked, reference.blocked);
+        assert!((fast.monitor.mos_mean - reference.monitor.mos_mean).abs() < 0.05);
+        let ratio = fast.monitor.rtp_packets as f64 / reference.monitor.rtp_packets as f64;
+        assert!((ratio - 1.0).abs() < 0.02, "rtp volume ratio {ratio}");
     }
 
     #[test]

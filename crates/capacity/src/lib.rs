@@ -23,5 +23,6 @@ pub mod report;
 pub mod table1;
 pub mod world;
 
-pub use experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode, RunResult};
+pub use experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode, RunResult, SimOptions};
 pub use table1::{table1, Table1Row};
+pub use world::MediaPath;

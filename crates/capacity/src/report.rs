@@ -166,6 +166,30 @@ pub fn render_robustness(r: &RunResult) -> String {
     out
 }
 
+/// Render the engine-throughput summary of a run: how much simulated
+/// work the event loop did per wall-clock second.
+#[must_use]
+pub fn render_throughput(r: &RunResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Engine throughput ({} E offered)", r.erlangs);
+    let _ = writeln!(out, "{:<28}{:>14}", "Events processed", r.events_processed);
+    let _ = writeln!(out, "{:<28}{:>13.1}s", "Simulated time", r.sim_seconds);
+    let _ = writeln!(out, "{:<28}{:>13.2}s", "Wall clock", r.wall_clock_s);
+    let _ = writeln!(
+        out,
+        "{:<28}{:>14}",
+        "Events/sec",
+        format!("{:.0}", r.events_per_sec)
+    );
+    let speedup = if r.wall_clock_s > 0.0 {
+        r.sim_seconds / r.wall_clock_s
+    } else {
+        0.0
+    };
+    let _ = writeln!(out, "{:<28}{:>13.0}x", "Real-time speedup", speedup);
+    out
+}
+
 /// Serialize any experiment artifact to pretty JSON.
 pub fn to_json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
@@ -257,6 +281,23 @@ mod tests {
         for needle in ["Shed (503)", "Retries sent", "Goodput", "PbxCrash"] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn throughput_rendering() {
+        use crate::experiment::{EmpiricalConfig, EmpiricalRunner};
+        let r = EmpiricalRunner::run(EmpiricalConfig::smoke(12));
+        let text = render_throughput(&r);
+        for needle in [
+            "Events processed",
+            "Wall clock",
+            "Events/sec",
+            "Real-time speedup",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(r.wall_clock_s > 0.0);
+        assert!(r.events_per_sec > 0.0);
     }
 
     #[test]

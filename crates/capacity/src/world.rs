@@ -13,15 +13,40 @@ use loadgen::{ArrivalProcess, Uac, UacEvent, Uas, UasEvent};
 use netsim::topology::{nodes, StarTopology};
 use netsim::{LinkParams, NodeId, SendOutcome};
 use pbx_sim::{Directory, Pbx, PbxAction, PbxConfig};
-use rtpcore::packet::RtpHeader;
+use rtpcore::packet::RtpDatagram;
 use rtpcore::packetizer::{Law, Packetizer, VoiceSource, SAMPLES_PER_FRAME};
 use rtpcore::vad::{FrameSlot, TalkspurtSource};
 use sipcore::SipMessage;
 use std::collections::HashMap;
+use std::sync::Arc;
 use vmon::{FlowId, Monitor};
 
 /// Media frame period.
 const FRAME_PERIOD: SimDuration = SimDuration::from_millis(20);
+
+/// Frame period in nanoseconds.
+const FRAME_NS: u64 = 20_000_000;
+
+/// Phase sub-slots per frame period for the coalesced media path. Each
+/// session keeps its own 20 ms cadence; its *phase within the period* is
+/// quantised to one of these slots so one recurring `MediaFrame` event per
+/// non-empty slot drives every session sharing that phase.
+const SUB_SLOTS: usize = 64;
+
+/// Width of one phase sub-slot (312.5 µs).
+const SUB_NS: u64 = FRAME_NS / SUB_SLOTS as u64;
+
+/// How per-session media cadence is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MediaPath {
+    /// One `MediaTick` event per session per 20 ms frame — the reference
+    /// implementation: O(calls × frames) event-queue pushes.
+    PerTick,
+    /// One `MediaFrame` event per occupied phase slot per 20 ms frame,
+    /// iterating a slab-indexed session list — O(frames) pushes.
+    #[default]
+    Coalesced,
+}
 
 /// Node number of PBX `k` in the farm.
 #[must_use]
@@ -38,8 +63,9 @@ pub enum Payload {
     Rtp {
         /// Destination media port.
         dst_port: u16,
-        /// Encoded RTP bytes (header + payload).
-        bytes: Vec<u8>,
+        /// The datagram; its payload is shared, so relaying it through the
+        /// PBX clones a refcount, never the media bytes.
+        datagram: RtpDatagram,
         /// When the originating endpoint emitted it (for one-way delay).
         sent_at: SimTime,
     },
@@ -82,8 +108,14 @@ pub enum Ev {
         /// The frame.
         frame: Frame,
     },
-    /// Generate the next media frame of a session.
+    /// Generate the next media frame of a session (the per-tick path).
     MediaTick(MediaKey),
+    /// Emit the due frame for every session in one phase sub-slot (the
+    /// coalesced path): recurs every 20 ms while the slot is occupied.
+    MediaFrame {
+        /// Phase sub-slot index (`0..SUB_SLOTS`).
+        slot: usize,
+    },
     /// The caller's holding time elapsed: hang up.
     Hangup {
         /// UAC-side call id.
@@ -121,14 +153,17 @@ enum AudioSource {
 }
 
 struct MediaSession {
+    key: MediaKey,
     packetizer: Packetizer,
     source: AudioSource,
     local_node: NodeId,
     remote_node: NodeId,
     remote_port: u16,
-    cached_payload: Vec<u8>,
+    cached_payload: Arc<[u8]>,
     frames_sent: u64,
     active: bool,
+    /// Next grid-aligned emission time (coalesced path only).
+    next_due: SimTime,
 }
 
 /// The complete experiment world.
@@ -158,7 +193,18 @@ pub struct World {
     rng_retry: StreamRng,
     placement_start: SimTime,
     placement_end: SimTime,
-    media: HashMap<MediaKey, MediaSession>,
+    media_path: MediaPath,
+    /// Slab of media sessions; `None` slots are free for reuse.
+    sessions: Vec<Option<MediaSession>>,
+    free_sessions: Vec<usize>,
+    /// Key → slab index (point lookups only — never iterated, so the
+    /// HashMap cannot perturb determinism).
+    media_index: HashMap<MediaKey, usize>,
+    /// Per-phase-slot session lists for the coalesced path; emission order
+    /// within a slot is insertion order.
+    phase_buckets: Vec<Vec<usize>>,
+    /// Whether a recurring `MediaFrame` event is pending for each slot.
+    slot_armed: Vec<bool>,
     calls_placed: u64,
     /// Healthy parameters every star link started with — what
     /// [`FaultKind::LinkHeal`] restores.
@@ -169,15 +215,20 @@ pub struct World {
     /// Answered-call count per simulated second — the recovery signal
     /// time-to-recover analysis reads.
     answers_per_sec: Vec<u64>,
-    /// Scratch slot threading the original emission time of a relayed RTP
-    /// packet from `deliver` into `process_pbx_actions`.
-    relay_sent_at: Option<SimTime>,
 }
 
 impl World {
-    /// Build a world from an experiment configuration.
+    /// Build a world from an experiment configuration, using the default
+    /// (coalesced) media path.
     #[must_use]
     pub fn new(config: EmpiricalConfig) -> Self {
+        Self::with_media_path(config, MediaPath::default())
+    }
+
+    /// Build a world with an explicit media-path implementation (the
+    /// per-tick reference path exists for benchmarks and A/B validation).
+    #[must_use]
+    pub fn with_media_path(config: EmpiricalConfig, media_path: MediaPath) -> Self {
         let servers = config.servers.max(1);
         let streams = des::RngStream::new(config.seed);
         let mut link = LinkParams::fast_ethernet();
@@ -227,9 +278,13 @@ impl World {
             placement_start: SimTime::from_secs(1),
             placement_end: SimTime::from_secs(1)
                 + SimDuration::from_secs_f64(config.placement_window_s),
-            media: HashMap::new(),
+            media_path,
+            sessions: Vec::new(),
+            free_sessions: Vec::new(),
+            media_index: HashMap::new(),
+            phase_buckets: vec![Vec::new(); SUB_SLOTS],
+            slot_armed: vec![false; SUB_SLOTS],
             calls_placed: 0,
-            relay_sent_at: None,
             baseline_link: link,
             pbx_down: vec![false; servers as usize],
             answers_per_sec: Vec::new(),
@@ -628,11 +683,15 @@ impl World {
                     let frame = Self::sip_frame(src, to, msg);
                     self.send_frame(now, sched, frame);
                 }
-                PbxAction::SendRtp { to, to_port, bytes } => {
-                    // Relay keeps the original emission time so endpoints
-                    // see true mouth-to-ear delay.
-                    let sent_at = self.relay_sent_at.take().unwrap_or(now);
-                    let wire_len = bytes.len() + 46;
+                // The world relays RTP via the allocation-free
+                // `Pbx::relay_rtp` fast path in `deliver`; this arm only
+                // exists for completeness of the action protocol.
+                PbxAction::SendRtp {
+                    to,
+                    to_port,
+                    datagram,
+                } => {
+                    let wire_len = datagram.wire_len() + 46;
                     self.send_frame(
                         now,
                         sched,
@@ -642,8 +701,8 @@ impl World {
                             wire_len,
                             payload: Payload::Rtp {
                                 dst_port: to_port,
-                                bytes,
-                                sent_at,
+                                datagram,
+                                sent_at: now,
                             },
                         },
                     );
@@ -680,11 +739,10 @@ impl World {
                 FrameSlot::Silence => VoiceSource::new(source_seed).next_samples(SAMPLES_PER_FRAME),
             },
         };
-        let first_packet = packetizer.packetize(&samples);
-        let cached = first_packet.payload.clone();
+        let cached = packetizer.encode_shared(&samples);
+        let first_packet = packetizer.packetize_shared(cached.clone());
         // Send the first packet right away.
-        let bytes = first_packet.encode();
-        let wire_len = bytes.len() + 46;
+        let wire_len = first_packet.wire_len() + 46;
         self.send_frame(
             now,
             sched,
@@ -694,52 +752,91 @@ impl World {
                 wire_len,
                 payload: Payload::Rtp {
                     dst_port: remote_port,
-                    bytes,
+                    datagram: first_packet,
                     sent_at: now,
                 },
             },
         );
-        self.media.insert(
-            key.clone(),
-            MediaSession {
-                packetizer,
-                source,
-                local_node,
-                remote_node,
-                remote_port,
-                cached_payload: cached,
-                frames_sent: 1,
-                active: true,
-            },
-        );
-        sched.schedule(now + FRAME_PERIOD, Ev::MediaTick(key));
+        // Follow-up frames fire on the session's own 20 ms cadence; the
+        // coalesced path quantises the cadence phase to a sub-slot grid so
+        // one recurring event drives every session sharing the phase.
+        let slot = ((now.as_nanos() % FRAME_NS) / SUB_NS) as usize;
+        let grid = SimTime::from_nanos(now.as_nanos() / FRAME_NS * FRAME_NS + slot as u64 * SUB_NS);
+        let session = MediaSession {
+            key: key.clone(),
+            packetizer,
+            source,
+            local_node,
+            remote_node,
+            remote_port,
+            cached_payload: cached,
+            frames_sent: 1,
+            active: true,
+            next_due: grid + FRAME_PERIOD,
+        };
+        let idx = match self.free_sessions.pop() {
+            Some(free) => {
+                self.sessions[free] = Some(session);
+                free
+            }
+            None => {
+                self.sessions.push(Some(session));
+                self.sessions.len() - 1
+            }
+        };
+        if let Some(old) = self.media_index.insert(key.clone(), idx) {
+            // A reused Call-ID (shed-then-retried call): the stale session
+            // stops; its bucket/tick entry sweeps it out lazily.
+            if let Some(s) = self.sessions[old].as_mut() {
+                s.active = false;
+            }
+        }
+        match self.media_path {
+            MediaPath::PerTick => sched.schedule(now + FRAME_PERIOD, Ev::MediaTick(key)),
+            MediaPath::Coalesced => {
+                self.phase_buckets[slot].push(idx);
+                if !self.slot_armed[slot] {
+                    self.slot_armed[slot] = true;
+                    // The slot's grid time next period — exactly when this
+                    // session's second packet is due. If the slot is already
+                    // armed, its pending event fires at that same grid time
+                    // (one grid point per slot per period), so the new
+                    // session is picked up without an extra event.
+                    sched.schedule(grid + FRAME_PERIOD, Ev::MediaFrame { slot });
+                }
+            }
+        }
     }
 
     fn stop_media(&mut self, key: &MediaKey) {
-        if let Some(s) = self.media.get_mut(key) {
-            s.active = false;
+        if let Some(&idx) = self.media_index.get(key) {
+            if let Some(s) = self.sessions[idx].as_mut() {
+                s.active = false;
+            }
         }
     }
 
-    fn on_media_tick(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, key: MediaKey) {
-        let encode_every = match self.config.media {
-            MediaMode::Off => return,
-            MediaMode::PerPacket { encode_every } => u64::from(encode_every.max(1)),
-        };
-        let Some(session) = self.media.get_mut(&key) else {
-            return;
-        };
-        if !session.active {
-            self.media.remove(&key);
-            return;
+    /// Drop slab entry `idx`, clearing its key mapping unless the key has
+    /// already been re-bound to a newer session.
+    fn free_session(&mut self, idx: usize) {
+        if let Some(s) = self.sessions[idx].take() {
+            if self.media_index.get(&s.key) == Some(&idx) {
+                self.media_index.remove(&s.key);
+            }
+            self.free_sessions.push(idx);
         }
+    }
+
+    /// Advance one session by one frame: returns the datagram to emit, or
+    /// `None` for a silence-suppressed slot.
+    fn next_media_datagram(session: &mut MediaSession, encode_every: u64) -> Option<RtpDatagram> {
         // With VAD, a silent slot advances the media clock and sends
-        // nothing; the tick cadence continues.
+        // nothing; the frame cadence continues.
         let talking = match &mut session.source {
             AudioSource::Continuous(_) => true,
             AudioSource::Talkspurt(t) => match t.next_slot() {
                 FrameSlot::Talk { samples, .. } => {
-                    if session.frames_sent % encode_every == 0 {
+                    if session.frames_sent.is_multiple_of(encode_every) {
                         session.cached_payload =
                             samples.iter().map(|&s| rtpcore::ulaw_encode(s)).collect();
                     }
@@ -750,24 +847,94 @@ impl World {
         };
         if !talking {
             session.packetizer.skip_frame();
-            sched.schedule(now + FRAME_PERIOD, Ev::MediaTick(key));
-            return;
+            return None;
         }
-        let packet = match &mut session.source {
-            AudioSource::Continuous(voice) if session.frames_sent % encode_every == 0 => {
+        let datagram = match &mut session.source {
+            AudioSource::Continuous(voice) if session.frames_sent.is_multiple_of(encode_every) => {
                 let samples = voice.next_samples(SAMPLES_PER_FRAME);
-                let pkt = session.packetizer.packetize(&samples);
-                session.cached_payload.clone_from(&pkt.payload);
-                pkt
+                session.cached_payload = session.packetizer.encode_shared(&samples);
+                session
+                    .packetizer
+                    .packetize_shared(session.cached_payload.clone())
             }
+            // The steady-state fast path: clone an Arc, not 160 bytes.
             _ => session
                 .packetizer
-                .packetize_raw(session.cached_payload.clone()),
+                .packetize_shared(session.cached_payload.clone()),
         };
         session.frames_sent += 1;
-        let (src, dst, port) = (session.local_node, session.remote_node, session.remote_port);
-        let bytes = packet.encode();
-        let wire_len = bytes.len() + 46;
+        Some(datagram)
+    }
+
+    /// Cut-through emission for the coalesced path: chase the packet
+    /// across all four link legs at emission time, resolve the PBX relay
+    /// inline and tap the monitor with the computed arrival instant — no
+    /// per-packet events at all. Every link still serializes the frame
+    /// (busy-until, queueing, loss draws), so delays, drops and link
+    /// stats match the hop-by-hop reference to within emission-order
+    /// serialization ties; the per-tick path keeps the event-per-hop
+    /// model as the faithful reference.
+    fn emit_media_express(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        pbx: NodeId,
+        pbx_port: u16,
+        datagram: &RtpDatagram,
+    ) {
+        let Some(k) = self.pbx_index_of(pbx) else {
+            return;
+        };
+        if self.pbx_down[k] {
+            return;
+        }
+        let wire_len = datagram.wire_len() + 46;
+        let sw = self.topo.next_hop(src, pbx);
+        let net = &mut self.topo.network;
+        let SendOutcome::Delivered { at: t1 } =
+            net.enqueue(now, src, sw, wire_len, &mut self.rng_network)
+        else {
+            return;
+        };
+        let SendOutcome::Delivered { at: t2 } =
+            net.enqueue(t1, sw, pbx, wire_len, &mut self.rng_network)
+        else {
+            return;
+        };
+        let Some((to, to_port)) = self.pbxes[k].relay_rtp(now, pbx_port) else {
+            return;
+        };
+        let sw_back = self.topo.next_hop(pbx, to);
+        let net = &mut self.topo.network;
+        let SendOutcome::Delivered { at: t3 } =
+            net.enqueue(t2, pbx, sw_back, wire_len, &mut self.rng_network)
+        else {
+            return;
+        };
+        let SendOutcome::Delivered { at: t4 } =
+            net.enqueue(t3, sw_back, to, wire_len, &mut self.rng_network)
+        else {
+            return;
+        };
+        let flow = FlowId::from_node_port(to.0, to_port);
+        self.monitor.tap_rtp(
+            flow,
+            t4.as_secs_f64(),
+            t4.since(now).as_secs_f64(),
+            &datagram.header,
+        );
+    }
+
+    fn emit_media(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        src: NodeId,
+        dst: NodeId,
+        port: u16,
+        datagram: RtpDatagram,
+    ) {
+        let wire_len = datagram.wire_len() + 46;
         self.send_frame(
             now,
             sched,
@@ -777,12 +944,98 @@ impl World {
                 wire_len,
                 payload: Payload::Rtp {
                     dst_port: port,
-                    bytes,
+                    datagram,
                     sent_at: now,
                 },
             },
         );
+    }
+
+    fn media_encode_every(&self) -> Option<u64> {
+        match self.config.media {
+            MediaMode::Off => None,
+            MediaMode::PerPacket { encode_every } => Some(u64::from(encode_every.max(1))),
+        }
+    }
+
+    fn on_media_tick(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, key: MediaKey) {
+        let Some(encode_every) = self.media_encode_every() else {
+            return;
+        };
+        let Some(&idx) = self.media_index.get(&key) else {
+            return;
+        };
+        let Some(session) = self.sessions[idx].as_mut() else {
+            return;
+        };
+        if !session.active {
+            self.free_session(idx);
+            return;
+        }
+        let emit = Self::next_media_datagram(session, encode_every).map(|d| {
+            (
+                session.local_node,
+                session.remote_node,
+                session.remote_port,
+                d,
+            )
+        });
+        if let Some((src, dst, port, datagram)) = emit {
+            self.emit_media(now, sched, src, dst, port, datagram);
+        }
         sched.schedule(now + FRAME_PERIOD, Ev::MediaTick(key));
+    }
+
+    fn on_media_frame(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, slot: usize) {
+        let Some(encode_every) = self.media_encode_every() else {
+            self.slot_armed[slot] = false;
+            return;
+        };
+        // Take the bucket to sidestep aliasing with `self` methods; ended
+        // sessions are compacted out, survivors keep insertion order.
+        let mut bucket = std::mem::take(&mut self.phase_buckets[slot]);
+        let mut keep = 0;
+        for i in 0..bucket.len() {
+            let idx = bucket[i];
+            let Some(session) = self.sessions[idx].as_mut() else {
+                continue;
+            };
+            if !session.active {
+                self.free_session(idx);
+                continue;
+            }
+            if session.next_due <= now {
+                session.next_due += FRAME_PERIOD;
+                let emit = Self::next_media_datagram(session, encode_every).map(|d| {
+                    (
+                        session.local_node,
+                        session.remote_node,
+                        session.remote_port,
+                        d,
+                    )
+                });
+                if let Some((src, dst, port, datagram)) = emit {
+                    if self.capture.is_none() {
+                        // A span port needs real per-hop frames; without
+                        // one, cut straight through the network model.
+                        self.emit_media_express(now, src, dst, port, &datagram);
+                    } else {
+                        self.emit_media(now, sched, src, dst, port, datagram);
+                    }
+                }
+            }
+            // Sessions with next_due > now joined after this event was
+            // scheduled; they start on the next period.
+            bucket[keep] = idx;
+            keep += 1;
+        }
+        bucket.truncate(keep);
+        self.phase_buckets[slot] = bucket;
+        if self.phase_buckets[slot].is_empty() {
+            self.slot_armed[slot] = false;
+        } else {
+            sched.schedule(now + FRAME_PERIOD, Ev::MediaFrame { slot });
+        }
     }
 
     fn pbx_index_of(&self, node: NodeId) -> Option<usize> {
@@ -798,11 +1051,13 @@ impl World {
             }
         }
         if let Some(cap) = &mut self.capture {
+            // The only place RTP wire bytes are materialised: a span port
+            // needs real octets; the relay path never does.
             let (dst_port, payload) = match &frame.payload {
                 Payload::Sip(msg) => (5060u16, msg.to_wire()),
                 Payload::Rtp {
-                    dst_port, bytes, ..
-                } => (*dst_port, bytes.clone()),
+                    dst_port, datagram, ..
+                } => (*dst_port, datagram.encode()),
             };
             cap.capture(vmon::pcap::CapturedPacket {
                 timestamp_us: now.as_nanos() / 1_000,
@@ -833,25 +1088,41 @@ impl World {
             }
             Payload::Rtp {
                 dst_port,
-                bytes,
+                datagram,
                 sent_at,
             } => {
                 if let Some(k) = self.pbx_index_of(frame.dst) {
-                    self.relay_sent_at = Some(sent_at);
-                    let actions = self.pbxes[k].handle_rtp(now, dst_port, bytes);
-                    self.process_pbx_actions(now, sched, frame.dst, actions);
-                    self.relay_sent_at = None;
-                } else {
-                    // Delivered to an endpoint: the monitor scores it.
-                    if let Ok(header) = RtpHeader::decode(&bytes) {
-                        let flow = FlowId::from_node_port(frame.dst.0, dst_port);
-                        self.monitor.tap_rtp(
-                            flow,
-                            now.as_secs_f64(),
-                            now.since(sent_at).as_secs_f64(),
-                            &header,
+                    // Route-only relay: the datagram is forwarded as-is
+                    // (payload refcount bump), keeping the original
+                    // emission time so endpoints see true mouth-to-ear
+                    // delay. No action Vec, no byte copy, no re-parse.
+                    if let Some((to, to_port)) = self.pbxes[k].relay_rtp(now, dst_port) {
+                        let wire_len = datagram.wire_len() + 46;
+                        self.send_frame(
+                            now,
+                            sched,
+                            Frame {
+                                src: frame.dst,
+                                dst: to,
+                                wire_len,
+                                payload: Payload::Rtp {
+                                    dst_port: to_port,
+                                    datagram,
+                                    sent_at,
+                                },
+                            },
                         );
                     }
+                } else {
+                    // Delivered to an endpoint: the monitor scores it off
+                    // the decoded header riding with the datagram.
+                    let flow = FlowId::from_node_port(frame.dst.0, dst_port);
+                    self.monitor.tap_rtp(
+                        flow,
+                        now.as_secs_f64(),
+                        now.since(sent_at).as_secs_f64(),
+                        &datagram.header,
+                    );
                 }
             }
         }
@@ -898,6 +1169,7 @@ impl EventHandler<Ev> for World {
                 }
             }
             Ev::MediaTick(key) => self.on_media_tick(at, sched, key),
+            Ev::MediaFrame { slot } => self.on_media_frame(at, sched, slot),
             Ev::Hangup { call_id } => {
                 self.stop_media(&MediaKey {
                     call: call_id.clone(),

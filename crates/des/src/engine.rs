@@ -1,14 +1,39 @@
 //! The future-event list and simulation driver.
 //!
-//! Events of user type `E` are kept in a binary max-heap wrapped so that the
-//! *earliest* time pops first; simultaneous events pop in scheduling (FIFO)
-//! order thanks to a monotonically increasing sequence number. This stable
-//! tie-break is what makes runs reproducible: a SIP 200-OK scheduled before
-//! an RTP packet at the same instant is always delivered first.
+//! Events of user type `E` are kept in one of two interchangeable
+//! future-event-list backends:
+//!
+//! * **Heap** — a binary max-heap wrapped so that the *earliest* time pops
+//!   first. This is the reference implementation: small, obviously correct,
+//!   and the baseline every optimisation is validated against.
+//! * **Wheel** — a hierarchical timing wheel: a ring of near-term buckets
+//!   (each [`WHEEL_SLOT_NS`] wide, [`WHEEL_SLOTS`] of them, ≈2 s of
+//!   horizon) plus an overflow heap for far-future events. Scheduling into
+//!   the near term touches a bucket-local heap of a handful of events
+//!   instead of a global heap of thousands, which is what makes the
+//!   media-saturated capacity runs cheap. Overflow events are promoted
+//!   into their bucket when the cursor reaches their slot.
+//!
+//! Either way, simultaneous events pop in scheduling (FIFO) order thanks to
+//! a monotonically increasing sequence number shared by both backends. This
+//! stable `(time, seq)` tie-break is what makes runs reproducible: a SIP
+//! 200-OK scheduled before an RTP packet at the same instant is always
+//! delivered first, and the two backends produce bit-identical pop orders
+//! (enforced by `tests/determinism.rs`).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Width of one near-term wheel bucket in nanoseconds (≈0.52 ms — finer
+/// than the 20 ms media frame period, coarser than LAN hop latencies, so
+/// in-flight packets land a few buckets ahead of the cursor).
+pub const WHEEL_SLOT_NS: u64 = 1 << 19;
+
+/// Number of near-term buckets; the wheel horizon is
+/// `WHEEL_SLOT_NS × WHEEL_SLOTS` ≈ 2.1 s. Hangups (120 s holding times),
+/// registration expiries and scheduled faults overflow to the far heap.
+pub const WHEEL_SLOTS: usize = 4096;
 
 /// A pending event: fire time, insertion sequence, payload.
 struct Scheduled<E> {
@@ -38,9 +63,168 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Which future-event-list backend a [`Scheduler`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Global binary heap — the reference implementation.
+    #[default]
+    Heap,
+    /// Hierarchical timing wheel with overflow heap — the fast path.
+    Wheel,
+}
+
+/// Hierarchical timing wheel: near-term bucket ring + far-future overflow.
+///
+/// Invariants (checked by the cross-backend determinism tests):
+/// * every bucket holds only events whose absolute slot lies in
+///   `[cursor, cursor + WHEEL_SLOTS)`;
+/// * overflow events always have `slot > cursor` (promotion happens the
+///   moment the cursor arrives at a slot, before anything pops from it);
+/// * `(time, seq)` orders pops exactly like the global heap.
+struct TimingWheel<E> {
+    buckets: Vec<BinaryHeap<Scheduled<E>>>,
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// Absolute slot index the wheel has drained up to.
+    cursor: u64,
+    /// Events currently resident in buckets.
+    wheel_len: usize,
+    /// Total pending events (buckets + overflow).
+    len: usize,
+}
+
+fn slot_of(at: SimTime) -> u64 {
+    at.as_nanos() / WHEEL_SLOT_NS
+}
+
+impl<E> TimingWheel<E> {
+    fn new() -> Self {
+        TimingWheel {
+            // Seed every bucket with a minimal capacity so the steady
+            // state never pays a first-push allocation as the cursor
+            // sweeps into previously untouched slots (~3 MB once, versus
+            // thousands of one-off allocations spread over early
+            // revolutions).
+            buckets: (0..WHEEL_SLOTS)
+                .map(|_| BinaryHeap::with_capacity(4))
+                .collect(),
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            wheel_len: 0,
+            len: 0,
+        }
+    }
+
+    fn bucket_index(&self, abs_slot: u64) -> usize {
+        (abs_slot % WHEEL_SLOTS as u64) as usize
+    }
+
+    fn push(&mut self, s: Scheduled<E>) {
+        // Events behind the cursor (the clock trails the cursor after a
+        // horizon stop) are clamped into the cursor bucket; (time, seq)
+        // ordering inside the bucket keeps the pop order exact.
+        let slot = slot_of(s.at).max(self.cursor);
+        self.len += 1;
+        if slot < self.cursor + WHEEL_SLOTS as u64 {
+            let idx = self.bucket_index(slot);
+            self.buckets[idx].push(s);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(s);
+        }
+    }
+
+    /// Move overflow events whose slot the cursor has reached into their
+    /// bucket so they merge into the (time, seq) order.
+    fn promote_due(&mut self) {
+        while let Some(top) = self.overflow.peek() {
+            if slot_of(top.at) > self.cursor {
+                break;
+            }
+            let s = self.overflow.pop().expect("peeked overflow entry");
+            let idx = self.bucket_index(slot_of(s.at));
+            self.buckets[idx].push(s);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Absolute slot of the next non-empty bucket at or after the cursor.
+    fn next_bucket_slot(&self) -> Option<u64> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        (0..WHEEL_SLOTS as u64)
+            .map(|off| self.cursor + off)
+            .find(|&slot| !self.buckets[self.bucket_index(slot)].is_empty())
+    }
+
+    /// Advance the cursor to the slot holding the next event (promoting
+    /// overflow on arrival). Returns false when nothing is pending.
+    fn seek_next(&mut self) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        loop {
+            self.promote_due();
+            if !self.buckets[self.bucket_index(self.cursor)].is_empty() {
+                return true;
+            }
+            let wheel_next = self.next_bucket_slot();
+            let over_next = self.overflow.peek().map(|s| slot_of(s.at));
+            self.cursor = match (wheel_next, over_next) {
+                (Some(w), Some(o)) => w.min(o),
+                (Some(w), None) => w,
+                (None, Some(o)) => o,
+                (None, None) => return false,
+            };
+        }
+    }
+
+    /// Fire key of the next event without mutating the wheel.
+    fn next_key(&self) -> Option<(SimTime, u64)> {
+        let over = self.overflow.peek().map(|s| (s.at, s.seq));
+        let wheel = self
+            .next_bucket_slot()
+            .and_then(|slot| self.buckets[self.bucket_index(slot)].peek())
+            .map(|s| (s.at, s.seq));
+        match (wheel, over) {
+            (Some(w), Some(o)) => Some(w.min(o)),
+            (w, o) => w.or(o),
+        }
+    }
+
+    /// Pop the next event if it fires at or before `horizon`.
+    fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<Scheduled<E>> {
+        if !self.seek_next() {
+            return None;
+        }
+        let idx = self.bucket_index(self.cursor);
+        if self.buckets[idx].peek().map(|s| s.at) > Some(horizon) {
+            return None;
+        }
+        let s = self.buckets[idx].pop().expect("seek found an event");
+        self.wheel_len -= 1;
+        self.len -= 1;
+        Some(s)
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.wheel_len = 0;
+        self.len = 0;
+    }
+}
+
+enum Backend<E> {
+    Heap(BinaryHeap<Scheduled<E>>),
+    Wheel(Box<TimingWheel<E>>),
+}
+
 /// The future-event list.
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    backend: Backend<E>,
     next_seq: u64,
     now: SimTime,
     scheduled_total: u64,
@@ -53,25 +237,52 @@ impl<E> Default for Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    /// An empty scheduler at time zero.
+    /// An empty heap-backed scheduler at time zero (the reference backend).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_kind(SchedulerKind::Heap)
+    }
+
+    /// An empty scheduler on the chosen backend.
+    #[must_use]
+    pub fn with_kind(kind: SchedulerKind) -> Self {
+        Self::with_kind_and_capacity(kind, 0)
+    }
+
+    /// An empty heap-backed scheduler with pre-reserved capacity for `cap`
+    /// events.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_kind_and_capacity(SchedulerKind::Heap, cap)
+    }
+
+    /// An empty scheduler on the chosen backend, pre-sized for roughly
+    /// `cap` concurrently pending events (the heap reserves exactly; the
+    /// wheel sizes its overflow, since bucket occupancy is self-limiting).
+    #[must_use]
+    pub fn with_kind_and_capacity(kind: SchedulerKind, cap: usize) -> Self {
+        let backend = match kind {
+            SchedulerKind::Heap => Backend::Heap(BinaryHeap::with_capacity(cap)),
+            SchedulerKind::Wheel => {
+                let mut wheel = TimingWheel::new();
+                wheel.overflow.reserve(cap / 4);
+                Backend::Wheel(Box::new(wheel))
+            }
+        };
         Scheduler {
-            heap: BinaryHeap::new(),
+            backend,
             next_seq: 0,
             now: SimTime::ZERO,
             scheduled_total: 0,
         }
     }
 
-    /// An empty scheduler with pre-reserved capacity for `cap` events.
+    /// Which backend this scheduler runs on.
     #[must_use]
-    pub fn with_capacity(cap: usize) -> Self {
-        Scheduler {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-            now: SimTime::ZERO,
-            scheduled_total: 0,
+    pub fn kind(&self) -> SchedulerKind {
+        match self.backend {
+            Backend::Heap(_) => SchedulerKind::Heap,
+            Backend::Wheel(_) => SchedulerKind::Wheel,
         }
     }
 
@@ -91,7 +302,11 @@ impl<E> Scheduler<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        let s = Scheduled { at, seq, event };
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(s),
+            Backend::Wheel(wheel) => wheel.push(s),
+        }
     }
 
     /// Schedule `event` after a delay from now.
@@ -101,7 +316,24 @@ impl<E> Scheduler<E> {
 
     /// Pop the next event, advancing the clock to its fire time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
+        self.pop_at_or_before(SimTime::MAX)
+    }
+
+    /// Pop the next event only if it fires at or before `horizon`,
+    /// advancing the clock to its fire time. A single call replaces the
+    /// peek-then-pop sequence the event loop used to make; on the wheel
+    /// backend the peek would cost a bucket scan, so the fused form is
+    /// what [`Simulation::step`] and `run_until` drive.
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        let s = match &mut self.backend {
+            Backend::Heap(heap) => {
+                if heap.peek().map(|s| s.at) > Some(horizon) {
+                    return None;
+                }
+                heap.pop()?
+            }
+            Backend::Wheel(wheel) => wheel.pop_at_or_before(horizon)?,
+        };
         debug_assert!(s.at >= self.now, "event queue went back in time");
         self.now = s.at;
         Some((s.at, s.event))
@@ -110,19 +342,25 @@ impl<E> Scheduler<E> {
     /// Fire time of the next pending event, if any.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        match &self.backend {
+            Backend::Heap(heap) => heap.peek().map(|s| s.at),
+            Backend::Wheel(wheel) => wheel.next_key().map(|(at, _)| at),
+        }
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(heap) => heap.len(),
+            Backend::Wheel(wheel) => wheel.len,
+        }
     }
 
     /// True when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (throughput accounting).
@@ -133,7 +371,10 @@ impl<E> Scheduler<E> {
 
     /// Drop all pending events without changing the clock.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.clear(),
+            Backend::Wheel(wheel) => wheel.clear(),
+        }
     }
 }
 
@@ -167,26 +408,31 @@ pub struct Simulation<W, E> {
 }
 
 impl<W: EventHandler<E>, E> Simulation<W, E> {
-    /// Build a simulation around an initial world.
+    /// Build a simulation around an initial world (heap scheduler).
     pub fn new(world: W) -> Self {
+        Self::with_scheduler(world, Scheduler::new())
+    }
+
+    /// Build a simulation around an initial world and a pre-built (and
+    /// possibly pre-sized / wheel-backed) scheduler.
+    pub fn with_scheduler(world: W, sched: Scheduler<E>) -> Self {
         Simulation {
             world,
-            sched: Scheduler::new(),
+            sched,
             events_processed: 0,
         }
     }
 
     /// Process a single event, honouring an optional time horizon.
     pub fn step(&mut self, horizon: SimTime) -> StepOutcome {
-        match self.sched.peek_time() {
-            None => StepOutcome::Exhausted,
-            Some(t) if t > horizon => StepOutcome::HorizonReached,
-            Some(_) => {
-                let (at, ev) = self.sched.pop().expect("peeked event vanished");
+        match self.sched.pop_at_or_before(horizon) {
+            Some((at, ev)) => {
                 self.world.handle(at, ev, &mut self.sched);
                 self.events_processed += 1;
                 StepOutcome::Progressed
             }
+            None if self.sched.is_empty() => StepOutcome::Exhausted,
+            None => StepOutcome::HorizonReached,
         }
     }
 
@@ -194,7 +440,10 @@ impl<W: EventHandler<E>, E> Simulation<W, E> {
     /// of events processed by this call.
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let start = self.events_processed;
-        while self.step(horizon) == StepOutcome::Progressed {}
+        while let Some((at, ev)) = self.sched.pop_at_or_before(horizon) {
+            self.world.handle(at, ev, &mut self.sched);
+            self.events_processed += 1;
+        }
         self.events_processed - start
     }
 
@@ -221,69 +470,174 @@ mod tests {
     use super::*;
     use crate::time::SimDuration;
 
+    const BOTH: [SchedulerKind; 2] = [SchedulerKind::Heap, SchedulerKind::Wheel];
+
     #[test]
     fn pops_in_time_order() {
-        let mut s = Scheduler::new();
-        s.schedule(SimTime::from_secs(3), "c");
-        s.schedule(SimTime::from_secs(1), "a");
-        s.schedule(SimTime::from_secs(2), "b");
-        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        for kind in BOTH {
+            let mut s = Scheduler::with_kind(kind);
+            s.schedule(SimTime::from_secs(3), "c");
+            s.schedule(SimTime::from_secs(1), "a");
+            s.schedule(SimTime::from_secs(2), "b");
+            let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["a", "b", "c"], "{kind:?}");
+        }
     }
 
     #[test]
     fn simultaneous_events_are_fifo() {
-        let mut s = Scheduler::new();
-        let t = SimTime::from_secs(1);
-        for i in 0..100 {
-            s.schedule(t, i);
+        for kind in BOTH {
+            let mut s = Scheduler::with_kind(kind);
+            let t = SimTime::from_secs(1);
+            for i in 0..100 {
+                s.schedule(t, i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{kind:?}");
         }
-        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut s = Scheduler::new();
-        s.schedule(SimTime::from_secs(5), ());
-        assert_eq!(s.now(), SimTime::ZERO);
-        s.pop();
-        assert_eq!(s.now(), SimTime::from_secs(5));
+        for kind in BOTH {
+            let mut s = Scheduler::with_kind(kind);
+            s.schedule(SimTime::from_secs(5), ());
+            assert_eq!(s.now(), SimTime::ZERO);
+            s.pop();
+            assert_eq!(s.now(), SimTime::from_secs(5), "{kind:?}");
+        }
     }
 
     #[test]
     fn past_scheduling_clamps_to_now() {
-        let mut s = Scheduler::new();
-        s.schedule(SimTime::from_secs(10), "later");
-        s.pop();
-        s.schedule(SimTime::from_secs(1), "past");
-        let (t, e) = s.pop().unwrap();
-        assert_eq!(e, "past");
-        assert_eq!(t, SimTime::from_secs(10), "clamped to now");
+        for kind in BOTH {
+            let mut s = Scheduler::with_kind(kind);
+            s.schedule(SimTime::from_secs(10), "later");
+            s.pop();
+            s.schedule(SimTime::from_secs(1), "past");
+            let (t, e) = s.pop().unwrap();
+            assert_eq!(e, "past");
+            assert_eq!(t, SimTime::from_secs(10), "clamped to now ({kind:?})");
+        }
     }
 
     #[test]
     fn schedule_in_is_relative() {
-        let mut s = Scheduler::new();
-        s.schedule(SimTime::from_secs(2), "first");
-        s.pop();
-        s.schedule_in(SimDuration::from_secs(3), "second");
-        let (t, _) = s.pop().unwrap();
-        assert_eq!(t, SimTime::from_secs(5));
+        for kind in BOTH {
+            let mut s = Scheduler::with_kind(kind);
+            s.schedule(SimTime::from_secs(2), "first");
+            s.pop();
+            s.schedule_in(SimDuration::from_secs(3), "second");
+            let (t, _) = s.pop().unwrap();
+            assert_eq!(t, SimTime::from_secs(5), "{kind:?}");
+        }
     }
 
     #[test]
     fn bookkeeping() {
-        let mut s = Scheduler::<u8>::with_capacity(16);
-        assert!(s.is_empty());
-        s.schedule(SimTime::from_secs(1), 1);
-        s.schedule(SimTime::from_secs(2), 2);
-        assert_eq!(s.len(), 2);
-        assert_eq!(s.scheduled_total(), 2);
-        assert_eq!(s.peek_time(), Some(SimTime::from_secs(1)));
-        s.clear();
-        assert!(s.is_empty());
-        assert_eq!(s.scheduled_total(), 2, "clear keeps the total");
+        for kind in BOTH {
+            let mut s = Scheduler::<u8>::with_kind_and_capacity(kind, 16);
+            assert!(s.is_empty());
+            assert_eq!(s.kind(), kind);
+            s.schedule(SimTime::from_secs(1), 1);
+            s.schedule(SimTime::from_secs(2), 2);
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.scheduled_total(), 2);
+            assert_eq!(s.peek_time(), Some(SimTime::from_secs(1)));
+            s.clear();
+            assert!(s.is_empty());
+            assert_eq!(s.scheduled_total(), 2, "clear keeps the total");
+        }
+    }
+
+    #[test]
+    fn pop_at_or_before_honours_horizon() {
+        for kind in BOTH {
+            let mut s = Scheduler::with_kind(kind);
+            s.schedule(SimTime::from_secs(1), "a");
+            s.schedule(SimTime::from_secs(3), "b");
+            assert_eq!(
+                s.pop_at_or_before(SimTime::from_secs(2)).map(|(_, e)| e),
+                Some("a")
+            );
+            assert_eq!(s.pop_at_or_before(SimTime::from_secs(2)), None);
+            assert_eq!(s.len(), 1, "event beyond horizon stays queued");
+            // The clock did not move past the horizon refusal.
+            assert_eq!(s.now(), SimTime::from_secs(1));
+            assert_eq!(
+                s.pop_at_or_before(SimTime::MAX).map(|(_, e)| e),
+                Some("b"),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wheel_overflow_events_merge_in_order() {
+        // Far-future events (beyond the ~2 s wheel horizon) must interleave
+        // exactly with near-term events scheduled later for the same times.
+        let horizon_ns = WHEEL_SLOT_NS * WHEEL_SLOTS as u64;
+        let mut w = Scheduler::with_kind(SchedulerKind::Wheel);
+        let mut h = Scheduler::new();
+        for s in [&mut w, &mut h] {
+            // Beyond the horizon at insert time: lands in overflow.
+            s.schedule(SimTime::from_nanos(horizon_ns + 5), "far-first");
+            s.schedule(SimTime::from_nanos(horizon_ns + 5), "far-second");
+            s.schedule(SimTime::from_nanos(10), "near");
+        }
+        loop {
+            let a = w.pop();
+            let b = h.pop();
+            assert_eq!(
+                a.as_ref().map(|(t, e)| (*t, *e)),
+                b.as_ref().map(|(t, e)| (*t, *e))
+            );
+            if a.is_none() {
+                break;
+            }
+            // After draining "near", schedule a same-time rival that goes
+            // straight into a bucket while its twin sits in overflow.
+            if a.map(|(_, e)| e) == Some("near") {
+                w.schedule(SimTime::from_nanos(horizon_ns + 5), "bucket-late");
+                h.schedule(SimTime::from_nanos(horizon_ns + 5), "bucket-late");
+            }
+        }
+    }
+
+    #[test]
+    fn backends_pop_identically_under_random_load() {
+        // Mixed near/far/simultaneous churn: both backends must agree on
+        // every (time, seq) pop, including re-scheduling during the drain.
+        let mut w = Scheduler::with_kind(SchedulerKind::Wheel);
+        let mut h = Scheduler::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..5000u32 {
+            // Spread between sub-slot times and multi-second far times.
+            let t = next() % 5_000_000_000;
+            w.schedule(SimTime::from_nanos(t), i);
+            h.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut popped = 0u32;
+        loop {
+            let a = w.pop();
+            let b = h.pop();
+            assert_eq!(a, b, "diverged after {popped} pops");
+            let Some((t, _)) = a else { break };
+            popped += 1;
+            // Occasionally re-inject near the current time.
+            if popped.is_multiple_of(7) {
+                let dt = next() % 50_000_000;
+                w.schedule(t + SimDuration::from_nanos(dt), 1_000_000 + popped);
+                h.schedule(t + SimDuration::from_nanos(dt), 1_000_000 + popped);
+            }
+        }
+        assert!(popped > 5000);
     }
 
     /// A world that multiplies: every event spawns `n-1` follow-ups.
@@ -319,33 +673,38 @@ mod tests {
 
     #[test]
     fn horizon_stops_but_keeps_events() {
-        let mut sim = Simulation::new(Spawner { fired: vec![] });
-        sim.sched.schedule(SimTime::from_secs(1), 10u32);
-        let n = sim.run_until(SimTime::from_secs(3));
-        assert_eq!(n, 3, "events at t=1,2,3");
-        assert_eq!(sim.step(SimTime::from_secs(3)), StepOutcome::HorizonReached);
-        assert_eq!(sim.sched.len(), 1, "t=4 event still queued");
-        // Extending the horizon resumes.
-        let n2 = sim.run_to_completion();
-        assert_eq!(n2, 8);
-        assert_eq!(sim.step(SimTime::MAX), StepOutcome::Exhausted);
+        for kind in BOTH {
+            let mut sim =
+                Simulation::with_scheduler(Spawner { fired: vec![] }, Scheduler::with_kind(kind));
+            sim.sched.schedule(SimTime::from_secs(1), 10u32);
+            let n = sim.run_until(SimTime::from_secs(3));
+            assert_eq!(n, 3, "events at t=1,2,3 ({kind:?})");
+            assert_eq!(sim.step(SimTime::from_secs(3)), StepOutcome::HorizonReached);
+            assert_eq!(sim.sched.len(), 1, "t=4 event still queued");
+            // Extending the horizon resumes.
+            let n2 = sim.run_to_completion();
+            assert_eq!(n2, 8);
+            assert_eq!(sim.step(SimTime::MAX), StepOutcome::Exhausted);
+        }
     }
 
     #[test]
-    fn large_heap_remains_ordered() {
+    fn large_queue_remains_ordered() {
         // Pseudo-random insertion order, verify global ordering on drain.
-        let mut s = Scheduler::new();
-        let mut x: u64 = 0x9E3779B97F4A7C15;
-        for _ in 0..10_000 {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            s.schedule(SimTime::from_nanos(x % 1_000_000), ());
-        }
-        let mut last = SimTime::ZERO;
-        while let Some((t, ())) = s.pop() {
-            assert!(t >= last);
-            last = t;
+        for kind in BOTH {
+            let mut s = Scheduler::with_kind(kind);
+            let mut x: u64 = 0x9E3779B97F4A7C15;
+            for _ in 0..10_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                s.schedule(SimTime::from_nanos(x % 1_000_000), ());
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, ())) = s.pop() {
+                assert!(t >= last, "{kind:?}");
+                last = t;
+            }
         }
     }
 }

@@ -9,10 +9,13 @@
 //!   streams mean a run is a pure function of its seed. Parallel parameter
 //!   sweeps (rayon, in the `capacity` crate) therefore reproduce bit-identical
 //!   journals regardless of thread scheduling.
-//! * **Throughput** — a `BinaryHeap` future-event list, no per-event boxing
-//!   for the common case, and O(1) statistics accumulators; an A = 240
-//!   Erlang Table-I cell pushes ~9 million RTP packet events through the
-//!   heap in well under a second in release builds.
+//! * **Throughput** — a future-event list with two interchangeable
+//!   backends (a reference `BinaryHeap` and a hierarchical timing wheel
+//!   with far-future overflow, selected via [`SchedulerKind`]), no
+//!   per-event boxing for the common case, and O(1) statistics
+//!   accumulators; an A = 240 Erlang Table-I cell pushes ~9 million RTP
+//!   packet events through the queue in well under a second in release
+//!   builds.
 //!
 //! # Example
 //!
@@ -34,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fastmap;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod timeseries;
 
-pub use engine::{EventHandler, Scheduler, Simulation, StepOutcome};
+pub use engine::{EventHandler, Scheduler, SchedulerKind, Simulation, StepOutcome};
+pub use fastmap::FastMap;
 pub use rng::{Distributions, RngStream, StreamRng};
 pub use stats::{BatchMeans, Counter, Histogram, TimeWeighted, Welford};
 pub use time::{SimDuration, SimTime};

@@ -18,9 +18,9 @@
 pub mod topology;
 
 use des::rng::Distributions;
+use des::FastMap;
 use des::{SimDuration, SimTime, StreamRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A node on the network (host or switch).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -141,7 +141,7 @@ pub enum SendOutcome {
 /// The directed-link network.
 #[derive(Debug, Clone, Default)]
 pub struct Network {
-    links: HashMap<(NodeId, NodeId), Link>,
+    links: FastMap<(NodeId, NodeId), Link>,
 }
 
 impl Network {

@@ -17,6 +17,7 @@ use crate::cpu::CpuModel;
 use crate::dialplan::{Dialplan, Route};
 use crate::directory::Directory;
 use crate::registrar::{RegisterOutcome, Registrar};
+use des::FastMap;
 use des::{SimDuration, SimTime};
 use netsim::NodeId;
 use sipcore::headers::{tag_of, with_tag, HeaderName};
@@ -120,8 +121,8 @@ pub enum PbxAction {
         to: NodeId,
         /// Destination media port (from the leg's SDP).
         to_port: u16,
-        /// Unmodified RTP wire bytes.
-        bytes: Vec<u8>,
+        /// The unmodified datagram (payload shared, never copied).
+        datagram: rtpcore::RtpDatagram,
     },
 }
 
@@ -207,7 +208,7 @@ pub struct Pbx {
     calls: Vec<Option<Call>>,
     by_caller_call_id: HashMap<String, usize>,
     by_callee_call_id: HashMap<String, usize>,
-    by_pbx_port: HashMap<u16, (usize, bool)>, // port -> (call, faces_caller)
+    by_pbx_port: FastMap<u16, (usize, bool)>, // port -> (call, faces_caller)
     next_port: u16,
     next_call_serial: u64,
     /// Overload-control hysteresis state: currently shedding?
@@ -234,7 +235,7 @@ impl Pbx {
             calls: Vec::new(),
             by_caller_call_id: HashMap::new(),
             by_callee_call_id: HashMap::new(),
-            by_pbx_port: HashMap::new(),
+            by_pbx_port: FastMap::default(),
             next_port: FIRST_MEDIA_PORT,
             next_call_serial: 0,
             shedding: false,
@@ -345,15 +346,35 @@ impl Pbx {
     }
 
     /// Handle one inbound RTP datagram addressed to PBX port `dst_port`.
-    pub fn handle_rtp(&mut self, now: SimTime, dst_port: u16, bytes: Vec<u8>) -> Vec<PbxAction> {
+    pub fn handle_rtp(
+        &mut self,
+        now: SimTime,
+        dst_port: u16,
+        datagram: rtpcore::RtpDatagram,
+    ) -> Vec<PbxAction> {
+        match self.relay_rtp(now, dst_port) {
+            Some((to, to_port)) => vec![PbxAction::SendRtp {
+                to,
+                to_port,
+                datagram,
+            }],
+            None => vec![],
+        }
+    }
+
+    /// Route one inbound RTP datagram without touching its bytes: returns
+    /// the destination `(node, port)` for the opposite leg, or `None` when
+    /// the packet is dropped. This is the allocation-free relay fast path —
+    /// the caller keeps holding the datagram and forwards it itself.
+    pub fn relay_rtp(&mut self, now: SimTime, dst_port: u16) -> Option<(NodeId, u16)> {
         self.cpu.on_rtp_packet(now);
         let Some(&(idx, faces_caller)) = self.by_pbx_port.get(&dst_port) else {
             self.stats.rtp_dropped += 1;
-            return vec![];
+            return None;
         };
         let Some(call) = self.calls[idx].as_ref() else {
             self.stats.rtp_dropped += 1;
-            return vec![];
+            return None;
         };
         // Media arriving on the caller-facing port goes to the callee leg
         // and vice versa.
@@ -365,14 +386,10 @@ impl Pbx {
         if out_leg.rtp_port == 0 {
             // Other side's SDP not seen yet (early media race): drop.
             self.stats.rtp_dropped += 1;
-            return vec![];
+            return None;
         }
         self.stats.rtp_relayed += 1;
-        vec![PbxAction::SendRtp {
-            to: out_leg.node,
-            to_port: out_leg.rtp_port,
-            bytes,
-        }]
+        Some((out_leg.node, out_leg.rtp_port))
     }
 
     // -- request handlers ---------------------------------------------------
@@ -1128,41 +1145,71 @@ mod tests {
         assert_eq!(pbx.pool.in_use(), 0, "channel released");
     }
 
+    fn test_datagram(seq: u16) -> rtpcore::RtpDatagram {
+        rtpcore::RtpDatagram {
+            header: rtpcore::RtpHeader {
+                marker: false,
+                payload_type: 0,
+                sequence: seq,
+                timestamp: 0,
+                ssrc: 1,
+            },
+            payload: vec![0u8; 160].into(),
+        }
+    }
+
     #[test]
     fn rtp_is_relayed_between_legs() {
         let mut pbx = pbx_with_users();
         let (caller_facing_port, callee_facing_port) = establish_call(&mut pbx, "media");
         // Caller sends RTP to the PBX's caller-facing port; it must come
         // out towards the callee's advertised port 7000.
-        let acts = pbx.handle_rtp(SimTime::from_secs(4), caller_facing_port, vec![1, 2, 3]);
+        let d1 = test_datagram(1);
+        let acts = pbx.handle_rtp(SimTime::from_secs(4), caller_facing_port, d1.clone());
         assert_eq!(
             acts,
             vec![PbxAction::SendRtp {
                 to: CALLEE_NODE,
                 to_port: 7000,
-                bytes: vec![1, 2, 3]
+                datagram: d1.clone(),
             }]
         );
+        // The relayed payload is the caller's buffer, not a copy.
+        match &acts[0] {
+            PbxAction::SendRtp { datagram, .. } => {
+                assert!(std::sync::Arc::ptr_eq(&datagram.payload, &d1.payload));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
         // Callee's media flows back to the caller's port 6000.
-        let acts = pbx.handle_rtp(SimTime::from_secs(4), callee_facing_port, vec![9]);
+        let d2 = test_datagram(2);
+        let acts = pbx.handle_rtp(SimTime::from_secs(4), callee_facing_port, d2.clone());
         assert_eq!(
             acts,
             vec![PbxAction::SendRtp {
                 to: CALLER_NODE,
                 to_port: 6000,
-                bytes: vec![9]
+                datagram: d2,
             }]
         );
         assert_eq!(pbx.stats().rtp_relayed, 2);
         assert_eq!(pbx.stats().rtp_dropped, 0);
+        // The route-only fast path agrees with handle_rtp.
+        assert_eq!(
+            pbx.relay_rtp(SimTime::from_secs(5), caller_facing_port),
+            Some((CALLEE_NODE, 7000))
+        );
+        assert_eq!(pbx.stats().rtp_relayed, 3);
     }
 
     #[test]
     fn rtp_to_unknown_port_is_dropped() {
         let mut pbx = pbx_with_users();
-        let acts = pbx.handle_rtp(SimTime::ZERO, 40_000, vec![1]);
+        let acts = pbx.handle_rtp(SimTime::ZERO, 40_000, test_datagram(1));
         assert!(acts.is_empty());
         assert_eq!(pbx.stats().rtp_dropped, 1);
+        assert_eq!(pbx.relay_rtp(SimTime::ZERO, 40_000), None);
+        assert_eq!(pbx.stats().rtp_dropped, 2);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod vad;
 
 pub use g711::{alaw_decode, alaw_encode, ulaw_decode, ulaw_encode};
 pub use jitter::{JitterEstimator, SequenceTracker};
-pub use packet::{RtpHeader, RtpPacket, RTP_HEADER_LEN};
+pub use packet::{RtpDatagram, RtpHeader, RtpPacket, RTP_HEADER_LEN};
 pub use packetizer::{Packetizer, VoiceSource, SAMPLES_PER_FRAME, SAMPLE_RATE_HZ};
 pub use playout::{PlayoutBuffer, PlayoutEvent};
 pub use plc::Concealer;

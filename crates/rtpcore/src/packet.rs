@@ -16,6 +16,7 @@
 //! media plane and are rejected on decode if flagged.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Length of the fixed RTP header in bytes.
 pub const RTP_HEADER_LEN: usize = 12;
@@ -45,6 +46,49 @@ pub struct RtpPacket {
     pub header: RtpHeader,
     /// Codec payload (160 bytes for 20 ms of G.711).
     pub payload: Vec<u8>,
+}
+
+/// An RTP packet whose payload is shared rather than owned.
+///
+/// This is the zero-copy representation the simulator moves through the
+/// network and the PBX relay: cloning a datagram bumps the [`Arc`]
+/// refcount instead of copying the 160 payload bytes, and the decoded
+/// header rides alongside so hops never re-parse wire bytes. Use
+/// [`RtpDatagram::encode`] only at true materialisation points (pcap
+/// capture).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtpDatagram {
+    /// Fixed header (kept decoded; copy-cheap).
+    pub header: RtpHeader,
+    /// Shared codec payload (160 bytes for 20 ms of G.711).
+    pub payload: Arc<[u8]>,
+}
+
+impl RtpDatagram {
+    /// Total wire size in bytes.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        RTP_HEADER_LEN + self.payload.len()
+    }
+
+    /// Materialise header + payload into one owned buffer (pcap only —
+    /// this is the copy the relay path avoids).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.header.encode());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+impl From<RtpPacket> for RtpDatagram {
+    fn from(p: RtpPacket) -> Self {
+        RtpDatagram {
+            header: p.header,
+            payload: p.payload.into(),
+        }
+    }
 }
 
 /// Why an RTP buffer failed to decode.

@@ -5,7 +5,8 @@
 //! companded bytes) per packet and 50 packets per second per direction.
 
 use crate::g711::{alaw_encode, ulaw_encode};
-use crate::packet::{RtpHeader, RtpPacket};
+use crate::packet::{RtpDatagram, RtpHeader, RtpPacket};
+use std::sync::Arc;
 
 /// Audio sampling rate (Hz).
 pub const SAMPLE_RATE_HZ: u32 = 8000;
@@ -132,6 +133,59 @@ impl Packetizer {
         self.next_sequence = self.next_sequence.wrapping_add(1);
         self.next_timestamp = self.next_timestamp.wrapping_add(SAMPLES_PER_FRAME as u32);
         pkt
+    }
+
+    /// Emit just the next header, advancing sequence/timestamp/marker
+    /// exactly like [`Self::packetize`]. The zero-copy media path pairs
+    /// this with a shared payload it already holds.
+    pub fn next_header(&mut self) -> RtpHeader {
+        let header = RtpHeader {
+            marker: self.first,
+            payload_type: self.law.payload_type(),
+            sequence: self.next_sequence,
+            timestamp: self.next_timestamp,
+            ssrc: self.ssrc,
+        };
+        self.first = false;
+        self.next_sequence = self.next_sequence.wrapping_add(1);
+        self.next_timestamp = self.next_timestamp.wrapping_add(SAMPLES_PER_FRAME as u32);
+        header
+    }
+
+    /// Encode one 20 ms frame into a *shared* payload buffer, ready to be
+    /// reused across frames (and across relay hops) without copying.
+    ///
+    /// # Panics
+    /// If `samples.len() != SAMPLES_PER_FRAME`.
+    #[must_use]
+    pub fn encode_shared(&self, samples: &[i16]) -> Arc<[u8]> {
+        assert_eq!(
+            samples.len(),
+            SAMPLES_PER_FRAME,
+            "one 20 ms frame at a time"
+        );
+        match self.law {
+            Law::Mu => samples.iter().map(|&s| ulaw_encode(s)).collect(),
+            Law::A => samples.iter().map(|&s| alaw_encode(s)).collect(),
+        }
+    }
+
+    /// Emit the next packet around an already-companded shared payload:
+    /// the refcount bumps, the bytes do not move. Sequence/timestamp
+    /// advance exactly like [`Self::packetize`].
+    ///
+    /// # Panics
+    /// If `payload.len() != SAMPLES_PER_FRAME`.
+    pub fn packetize_shared(&mut self, payload: Arc<[u8]>) -> RtpDatagram {
+        assert_eq!(
+            payload.len(),
+            SAMPLES_PER_FRAME,
+            "one 20 ms frame at a time"
+        );
+        RtpDatagram {
+            header: self.next_header(),
+            payload,
+        }
     }
 
     /// Number of packets required for `duration_s` seconds of audio.
@@ -302,6 +356,55 @@ mod tests {
     fn packetize_raw_rejects_wrong_size() {
         let mut p = Packetizer::new(1, Law::Mu, 0, 0);
         let _ = p.packetize_raw(vec![0u8; 10]);
+    }
+
+    #[test]
+    fn shared_path_matches_owned_path() {
+        // encode_shared + packetize_shared must produce bit-identical wire
+        // output to packetize, frame for frame, including marker handling
+        // around skip_frame.
+        let mut src = VoiceSource::new(11);
+        let mut owned = Packetizer::new(77, Law::Mu, 42, 9000);
+        let mut shared = Packetizer::new(77, Law::Mu, 42, 9000);
+        for i in 0..5 {
+            if i == 3 {
+                owned.skip_frame();
+                shared.skip_frame();
+            }
+            let samples = src.next_samples(160);
+            let a = owned.packetize(&samples);
+            let b = shared.packetize_shared(shared.encode_shared(&samples));
+            assert_eq!(a.header, b.header, "frame {i}");
+            assert_eq!(&a.payload[..], &b.payload[..], "frame {i}");
+            assert_eq!(a.wire_len(), b.wire_len());
+            assert_eq!(a.encode(), b.encode());
+        }
+    }
+
+    #[test]
+    fn cloning_a_datagram_shares_the_payload() {
+        let mut src = VoiceSource::new(12);
+        let mut p = Packetizer::new(1, Law::Mu, 0, 0);
+        let d = p.packetize_shared(p.encode_shared(&src.next_samples(160)));
+        let d2 = d.clone();
+        assert!(std::sync::Arc::ptr_eq(&d.payload, &d2.payload));
+    }
+
+    #[test]
+    fn next_header_advances_like_packetize() {
+        let mut src = VoiceSource::new(13);
+        let samples = src.next_samples(160);
+        let mut a = Packetizer::new(3, Law::A, 500, 1000);
+        let mut b = Packetizer::new(3, Law::A, 500, 1000);
+        assert_eq!(a.packetize(&samples).header, b.next_header());
+        assert_eq!(a.packetize(&samples).header, b.next_header());
+    }
+
+    #[test]
+    #[should_panic(expected = "20 ms frame")]
+    fn packetize_shared_rejects_wrong_size() {
+        let mut p = Packetizer::new(1, Law::Mu, 0, 0);
+        let _ = p.packetize_shared(vec![0u8; 10].into());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 pub mod pcap;
 
+use des::FastMap;
 use des::Welford;
 use rtpcore::jitter::{JitterEstimator, SequenceTracker};
 use rtpcore::packet::RtpHeader;
@@ -146,12 +147,14 @@ impl MonitorReport {
 
 /// The passive monitor.
 ///
-/// Internal maps are ordered (`BTreeMap`) so floating-point aggregation
-/// order — and therefore every reported statistic — is bit-reproducible
-/// across runs.
+/// The per-packet flow table is a deterministic [`FastMap`] (it is probed
+/// on every delivered RTP packet); every aggregation over it sorts the
+/// flow ids first so floating-point summation order — and therefore every
+/// reported statistic — stays bit-reproducible across runs and processes.
+/// The low-rate SIP/call maps are ordered (`BTreeMap`).
 #[derive(Debug, Clone, Default)]
 pub struct Monitor {
-    streams: BTreeMap<FlowId, StreamStats>,
+    streams: FastMap<FlowId, StreamStats>,
     flow_call: BTreeMap<FlowId, String>,
     sip_requests: BTreeMap<String, u64>,
     sip_responses: BTreeMap<u16, u64>,
@@ -307,14 +310,13 @@ impl Monitor {
                 }
             }
         }
-        let nflows = self.streams.len().max(1) as f64;
-        let mean_loss = self.streams.values().map(StreamStats::loss).sum::<f64>() / nflows;
-        let mean_jitter = self
-            .streams
-            .values()
-            .map(StreamStats::jitter_ms)
-            .sum::<f64>()
-            / nflows;
+        // Hash-map iteration order is arbitrary: sort before folding
+        // floats so the sums are bit-reproducible.
+        let mut flows: Vec<(&FlowId, &StreamStats)> = self.streams.iter().collect();
+        flows.sort_unstable_by_key(|(id, _)| **id);
+        let nflows = flows.len().max(1) as f64;
+        let mean_loss = flows.iter().map(|(_, s)| s.loss()).sum::<f64>() / nflows;
+        let mean_jitter = flows.iter().map(|(_, s)| s.jitter_ms()).sum::<f64>() / nflows;
         MonitorReport {
             rtp_packets: self.rtp_packets,
             sip_total: self.sip_requests.values().sum::<u64>()

@@ -57,8 +57,9 @@ pub use voiceq;
 pub mod prelude {
     pub use capacity::{
         self,
-        experiment::{EmpiricalConfig, EmpiricalRunner},
+        experiment::{EmpiricalConfig, EmpiricalRunner, SimOptions},
         figures, table1,
+        world::MediaPath,
     };
     pub use des;
     pub use faults::{self, FaultKind, FaultSchedule};

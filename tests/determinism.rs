@@ -3,6 +3,7 @@
 
 use asterisk_capacity::prelude::*;
 use capacity::experiment::MediaMode;
+use des::{Scheduler, SchedulerKind, SimTime};
 use loadgen::HoldingDist;
 
 fn cfg(seed: u64, media: MediaMode) -> EmpiricalConfig {
@@ -63,6 +64,69 @@ fn seed_changes_the_realisation_not_the_physics() {
         assert!(r.peak_channels <= 10);
         assert!((0.0..=1.0).contains(&r.observed_pb));
     }
+}
+
+#[test]
+fn heap_and_wheel_backends_produce_identical_results() {
+    // The future-event-list backend is an implementation detail: for the
+    // same seed, heap and timing-wheel runs must agree on every output —
+    // counts, blocking, MOS — bit for bit, on both media paths.
+    let media = MediaMode::PerPacket { encode_every: 20 };
+    for media_path in [MediaPath::Coalesced, MediaPath::PerTick] {
+        let run = |scheduler| {
+            EmpiricalRunner::run_with(
+                cfg(42, media),
+                SimOptions {
+                    scheduler,
+                    media_path,
+                },
+            )
+        };
+        let heap = run(SchedulerKind::Heap);
+        let wheel = run(SchedulerKind::Wheel);
+        assert_eq!(heap.digest(), wheel.digest(), "{media_path:?}");
+        assert_eq!(heap.attempted, wheel.attempted);
+        assert_eq!(heap.completed, wheel.completed);
+        assert_eq!(heap.blocked, wheel.blocked);
+        assert_eq!(heap.events_processed, wheel.events_processed);
+        assert_eq!(heap.monitor.rtp_packets, wheel.monitor.rtp_packets);
+        assert_eq!(heap.observed_pb.to_bits(), wheel.observed_pb.to_bits());
+        assert_eq!(
+            heap.monitor.mos_mean.to_bits(),
+            wheel.monitor.mos_mean.to_bits()
+        );
+    }
+}
+
+#[test]
+fn fifo_tie_break_identical_under_10k_simultaneous_events() {
+    // 10k events scheduled at the same instant (plus stragglers on both
+    // sides) must pop in exact insertion order from both backends.
+    let mut heap = Scheduler::with_kind(SchedulerKind::Heap);
+    let mut wheel = Scheduler::with_kind(SchedulerKind::Wheel);
+    let t = SimTime::from_secs(1);
+    for s in [&mut heap, &mut wheel] {
+        s.schedule(SimTime::from_millis(999), u32::MAX);
+        for i in 0..10_000u32 {
+            s.schedule(t, i);
+        }
+        s.schedule(SimTime::from_millis(1001), u32::MAX - 1);
+    }
+    let mut popped = 0u32;
+    loop {
+        let a = heap.pop();
+        let b = wheel.pop();
+        assert_eq!(a, b, "backends diverged after {popped} pops");
+        match a {
+            Some((at, ev)) if at == t => {
+                assert_eq!(ev, popped, "FIFO order violated");
+                popped += 1;
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+    assert_eq!(popped, 10_000);
 }
 
 #[test]
