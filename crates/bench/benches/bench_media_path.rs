@@ -46,6 +46,7 @@ fn print_comparison() {
         let r = run(SimOptions {
             scheduler,
             media_path,
+            ..SimOptions::default()
         });
         if reference_wall == 0.0 {
             reference_wall = r.wall_clock_s;

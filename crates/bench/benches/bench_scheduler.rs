@@ -43,6 +43,7 @@ fn smoke_run(kind: SchedulerKind) -> u64 {
         SimOptions {
             scheduler: kind,
             media_path: MediaPath::Coalesced,
+            ..SimOptions::default()
         },
     );
     r.events_processed

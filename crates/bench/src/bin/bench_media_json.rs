@@ -1,0 +1,215 @@
+//! Emit `BENCH_media.json` — a machine-readable A/B of the media compute
+//! kernels (scalar reference vs batched LUT/phasor) on an every-frame
+//! G.711 workload, plus an events/sec regression gate against the
+//! committed scheduler baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_media_json              # smoke
+//! BENCH_SCALE=full cargo run --release -p bench --bin bench_media_json
+//! ```
+//!
+//! `full` is the paper's 150 E / 165-channel / 180 s-window workload with
+//! `encode_every: 1` — every 20 ms frame of every stream is synthesised
+//! and companded, so the media kernels dominate the wall clock; `smoke`
+//! (the default, used by `./ci`) shrinks the window and holding time so
+//! both kernels finish in seconds. Both kernels must produce identical
+//! result digests (payload bytes never enter the physics); the emitter
+//! exits non-zero if they disagree.
+//!
+//! The gate scenario re-runs the scheduler bench's `encode_every: 50`
+//! workload at the same scale and compares events/sec against the
+//! `optimized` entry of `BENCH_SCHED_BASELINE` (default
+//! `BENCH_sched.json`), failing on a >10% regression. Point the env var
+//! at a same-machine, same-scale baseline — `./ci` uses the smoke file it
+//! just generated.
+
+use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode, SimOptions};
+use capacity::world::MediaKernel;
+use loadgen::HoldingDist;
+use std::fmt::Write as _;
+
+struct KernelResult {
+    name: &'static str,
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    digest: u64,
+    phases: des::PhaseBreakdown,
+}
+
+fn media_cfg(scale: &str) -> (EmpiricalConfig, &'static str) {
+    match scale {
+        "full" => {
+            let mut c = EmpiricalConfig::table1(150.0, 2015);
+            c.media = MediaMode::PerPacket { encode_every: 1 };
+            (c, "tab1_150E_165ch_180s_encode_every_frame")
+        }
+        _ => {
+            let mut c = EmpiricalConfig::table1(150.0, 2015);
+            c.placement_window_s = 5.0;
+            c.holding = HoldingDist::Fixed(4.0);
+            c.media = MediaMode::PerPacket { encode_every: 1 };
+            (c, "tab1_150E_165ch_smoke_encode_every_frame")
+        }
+    }
+}
+
+fn gate_cfg(scale: &str) -> EmpiricalConfig {
+    // Mirror bench_sched_json's scenario exactly so events/sec is
+    // comparable against its baseline file at the same scale.
+    match scale {
+        "full" => EmpiricalConfig::table1(150.0, 2015),
+        _ => {
+            let mut c = EmpiricalConfig::table1(150.0, 2015);
+            c.placement_window_s = 5.0;
+            c.holding = HoldingDist::Fixed(4.0);
+            c.media = MediaMode::PerPacket { encode_every: 50 };
+            c
+        }
+    }
+}
+
+/// Pull `"events_per_sec": <num>` out of the baseline's `"optimized"`
+/// config line. Hand-rolled string scan — the bench crate deliberately
+/// has no JSON parser dependency, and the emitters write one config per
+/// line.
+fn baseline_events_per_sec(json: &str) -> Option<f64> {
+    let line = json
+        .lines()
+        .find(|l| l.contains("\"name\": \"optimized\""))?;
+    let tail = line.split("\"events_per_sec\":").nth(1)?;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn phases_json(p: &des::PhaseBreakdown) -> String {
+    format!(
+        "{{\"scheduler_s\": {:.6}, \"signalling_s\": {:.6}, \"media_encode_s\": {:.6}, \
+         \"relay_s\": {:.6}, \"scoring_s\": {:.6}}}",
+        p.scheduler_s, p.signalling_s, p.media_encode_s, p.relay_s, p.scoring_s
+    )
+}
+
+fn main() {
+    let scale = std::env::var("BENCH_SCALE").unwrap_or_else(|_| "smoke".to_owned());
+    let (cfg, scenario) = media_cfg(&scale);
+
+    let kernels: [(&str, MediaKernel); 2] = [
+        ("reference", MediaKernel::Reference),
+        ("batched", MediaKernel::Batched),
+    ];
+    let mut results = Vec::new();
+    for (name, media_kernel) in kernels {
+        let r = EmpiricalRunner::run_with(
+            cfg.clone(),
+            SimOptions {
+                media_kernel,
+                ..SimOptions::default()
+            },
+        );
+        eprintln!(
+            "{name:<12} {:>8.3} s  {:>12.0} ev/s  ({} events)",
+            r.wall_clock_s, r.events_per_sec, r.events_processed
+        );
+        results.push(KernelResult {
+            name,
+            wall_s: r.wall_clock_s,
+            events: r.events_processed,
+            events_per_sec: r.events_per_sec,
+            digest: r.digest(),
+            phases: r.phases,
+        });
+    }
+
+    // The kernel only changes payload bytes, which never reach the scored
+    // physics: both runs must agree exactly.
+    if results[0].digest != results[1].digest {
+        eprintln!(
+            "FATAL: reference and batched kernels disagree on the run \
+             digest — the media kernel leaked into the physics"
+        );
+        std::process::exit(1);
+    }
+
+    let speedup = results[0].wall_s / results[1].wall_s.max(1e-9);
+    eprintln!("kernel speedup (reference / batched): {speedup:.2}x");
+
+    // Regression gate: the default engine on the scheduler bench's
+    // workload must stay within 10% of the committed baseline's
+    // events/sec. Best-of-3 damps warmup and allocator noise — the smoke
+    // workload finishes in tens of milliseconds, where single-run jitter
+    // alone can exceed the 10% budget.
+    let baseline_path =
+        std::env::var("BENCH_SCHED_BASELINE").unwrap_or_else(|_| "BENCH_sched.json".to_owned());
+    let gate = gate_cfg(&scale);
+    let gate_eps = (0..3)
+        .map(|_| EmpiricalRunner::run_with(gate.clone(), SimOptions::default()).events_per_sec)
+        .fold(0.0_f64, f64::max);
+    let mut gate_status = "no_baseline".to_owned();
+    let mut baseline_eps = 0.0;
+    match std::fs::read_to_string(&baseline_path)
+        .ok()
+        .as_deref()
+        .and_then(baseline_events_per_sec)
+    {
+        // An instrumented build pays two clock reads per event; comparing
+        // it against an uninstrumented baseline would always trip the gate.
+        Some(_) if cfg!(feature = "phase-timing") => {
+            gate_status = "skipped_phase_timing".to_owned();
+            eprintln!("throughput gate skipped: phase-timing instrumentation is enabled");
+        }
+        Some(base) => {
+            baseline_eps = base;
+            let ratio = gate_eps / base.max(1e-9);
+            eprintln!(
+                "throughput gate: {gate_eps:.0} ev/s vs baseline {base:.0} ev/s \
+                 ({ratio:.2}x, {baseline_path})"
+            );
+            if ratio < 0.9 {
+                eprintln!("FATAL: events/sec regressed more than 10% vs {baseline_path}");
+                std::process::exit(1);
+            }
+            gate_status = format!("ok_{ratio:.3}x");
+        }
+        None => {
+            eprintln!("throughput gate skipped: no parsable baseline at {baseline_path}");
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scenario\": \"{scenario}\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"kernels\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let phases = if r.phases.enabled {
+            format!(", \"phases\": {}", phases_json(&r.phases))
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"events\": {}, \
+             \"events_per_sec\": {:.1}, \"digest\": \"{:#018x}\"{phases}}}{comma}",
+            r.name, r.wall_s, r.events, r.events_per_sec, r.digest
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_batched_vs_reference\": {speedup:.3},");
+    let _ = writeln!(json, "  \"gate_scenario_events_per_sec\": {gate_eps:.1},");
+    let _ = writeln!(
+        json,
+        "  \"gate_baseline_events_per_sec\": {baseline_eps:.1},"
+    );
+    let _ = writeln!(json, "  \"gate_status\": \"{gate_status}\"");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_media.json".to_owned());
+    std::fs::write(&out, &json).expect("write BENCH_media.json");
+    println!("wrote {out} (kernel speedup {speedup:.2}x)");
+}

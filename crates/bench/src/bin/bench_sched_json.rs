@@ -61,6 +61,7 @@ fn main() {
             SimOptions {
                 scheduler,
                 media_path,
+                ..SimOptions::default()
             },
         );
         eprintln!(

@@ -76,8 +76,9 @@ fn main() {
         Some("policy") => {
             let erlangs = flag("--erlangs", 220.0);
             let users = flag("--users", 60.0) as u32;
+            let reps = flag("--reps", 3.0) as u64;
             let limits = [None, Some(4), Some(3), Some(2), Some(1)];
-            let rows = policy::policy_study(erlangs, users, &limits, seed);
+            let rows = policy::policy_study(erlangs, users, &limits, reps, seed);
             if json {
                 println!("{}", report::to_json(&rows));
             } else {

@@ -5,7 +5,7 @@
 //! both exchange RTP for `h` seconds through the PBX, and blocking rate +
 //! voice quality are evaluated and registered.
 
-use crate::world::{Ev, MediaPath, World};
+use crate::world::{Ev, MediaKernel, MediaPath, World};
 use des::{Scheduler, SchedulerKind, SimDuration, SimTime, Simulation};
 use faults::{FaultKind, FaultSchedule};
 use loadgen::{CallOutcome, HoldingDist, RetryPolicy};
@@ -31,17 +31,21 @@ pub enum MediaMode {
 }
 
 /// Engine options orthogonal to the experiment physics: which
-/// future-event-list backend and which media-path implementation drive
-/// the run. Every combination produces identical simulation outputs for
-/// its media path (enforced by `tests/determinism.rs`); the default is
-/// the fast pair, the alternatives are the reference implementations kept
-/// for A/B validation and benchmarking.
+/// future-event-list backend, media-path implementation and media compute
+/// kernel drive the run. Every combination produces identical simulation
+/// outputs for its media path (enforced by `tests/determinism.rs`; the
+/// kernel is digest-invisible because payload bytes never reach the
+/// scored physics); the default is the fast triple, the alternatives are
+/// the reference implementations kept for A/B validation and
+/// benchmarking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOptions {
     /// Future-event-list backend.
     pub scheduler: SchedulerKind,
     /// Media cadence implementation.
     pub media_path: MediaPath,
+    /// Media synthesis/companding kernel.
+    pub media_kernel: MediaKernel,
 }
 
 impl Default for SimOptions {
@@ -49,18 +53,20 @@ impl Default for SimOptions {
         SimOptions {
             scheduler: SchedulerKind::Wheel,
             media_path: MediaPath::Coalesced,
+            media_kernel: MediaKernel::Batched,
         }
     }
 }
 
 impl SimOptions {
-    /// The original implementation pair: global binary heap + one event
-    /// per media frame per session.
+    /// The original implementation triple: global binary heap, one event
+    /// per media frame per session, scalar per-sample media kernel.
     #[must_use]
     pub fn reference() -> Self {
         SimOptions {
             scheduler: SchedulerKind::Heap,
             media_path: MediaPath::PerTick,
+            media_kernel: MediaKernel::Reference,
         }
     }
 }
@@ -263,6 +269,11 @@ pub struct RunResult {
     pub wall_clock_s: f64,
     /// Events processed per wall-clock second (excluded from the digest).
     pub events_per_sec: f64,
+    /// Wall-clock attribution per subsystem phase (all-zero with
+    /// `enabled: false` unless the binary was built with the
+    /// `phase-timing` feature). Host-dependent — excluded from the
+    /// digest like the other wall-clock fields.
+    pub phases: des::PhaseBreakdown,
     /// Calls shed by PBX overload control (503 + Retry-After).
     pub shed: u64,
     /// UAC re-INVITEs sent after a shed (backoff retries).
@@ -518,6 +529,7 @@ impl EmpiricalRunner {
             } else {
                 0.0
             },
+            phases: world.phase_breakdown(wall_clock_s),
             shed,
             retries,
             shed_then_ok,
@@ -546,7 +558,7 @@ pub fn run_world_with(
     opts: SimOptions,
 ) -> Simulation<World, Ev> {
     let sched = Scheduler::with_kind_and_capacity(opts.scheduler, config.expected_pending_events());
-    let world = World::with_media_path(config, opts.media_path);
+    let world = World::with_engine(config, opts.media_path, opts.media_kernel);
     let mut sim = Simulation::with_scheduler(world, sched);
     sim.world.prime(&mut sim.sched);
     sim.run_until(horizon);
@@ -686,6 +698,7 @@ mod tests {
                     SimOptions {
                         scheduler: SchedulerKind::Heap,
                         media_path: MediaPath::Coalesced,
+                        media_kernel: MediaKernel::Batched,
                     },
                 ),
             ),
@@ -696,11 +709,24 @@ mod tests {
                     SimOptions {
                         scheduler: SchedulerKind::Wheel,
                         media_path: MediaPath::PerTick,
+                        media_kernel: MediaKernel::Reference,
+                    },
+                ),
+            ),
+            // The media kernel only changes payload *bytes*, which never
+            // enter the scored physics: swapping it must be digest-exact.
+            (
+                &fast,
+                &EmpiricalRunner::run_with(
+                    cfg(),
+                    SimOptions {
+                        media_kernel: MediaKernel::Reference,
+                        ..SimOptions::default()
                     },
                 ),
             ),
         ] {
-            assert_eq!(a.digest(), b.digest(), "scheduler backend leaked");
+            assert_eq!(a.digest(), b.digest(), "engine option leaked");
         }
         // Across media paths the signalling plane is identical and the
         // media plane statistically equivalent (phase quantisation shifts

@@ -51,10 +51,8 @@ pub fn farm_study(
             let runs: Vec<crate::experiment::RunResult> = (0..reps.max(1))
                 .into_par_iter()
                 .map(|rep| {
-                    let mut cfg = EmpiricalConfig::signalling_only(
-                        erlangs,
-                        seed ^ rep.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    );
+                    let mut cfg =
+                        EmpiricalConfig::signalling_only(erlangs, des::stream_seed(seed, rep));
                     cfg.servers = servers;
                     cfg.channels = channels_each;
                     cfg.placement_window_s = 600.0;

@@ -5,7 +5,7 @@ use crate::experiment::{run_world, EmpiricalConfig, EmpiricalRunner};
 use des::SimTime;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use teletraffic::{blocking_probability, Erlangs};
+use teletraffic::{blocking_probability, BlockingCurve, Erlangs};
 
 /// One analytical curve of Fig. 3: `Pb%` as a function of `N` for a fixed
 /// workload.
@@ -73,10 +73,8 @@ pub fn fig6(loads: &[f64], replications: u64, base_seed: u64) -> Vec<Fig6Point> 
             let pbs: Vec<f64> = (0..replications)
                 .into_par_iter()
                 .map(|rep| {
-                    let mut cfg = EmpiricalConfig::signalling_only(
-                        a,
-                        base_seed ^ (rep.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                    );
+                    let mut cfg =
+                        EmpiricalConfig::signalling_only(a, des::stream_seed(base_seed, rep));
                     cfg.placement_window_s = 600.0;
                     EmpiricalRunner::run(cfg).steady_pb * 100.0
                 })
@@ -89,13 +87,15 @@ pub fn fig6(loads: &[f64], replications: u64, base_seed: u64) -> Vec<Fig6Point> 
             } else {
                 f64::NAN
             };
+            // One recurrence pass serves all three analytic rails.
+            let rails = BlockingCurve::new(Erlangs(a), 170);
             Fig6Point {
                 erlangs: a,
                 empirical_pb_pct: mean,
                 ci_half_width_pct: ci,
-                analytic_160: blocking_probability(Erlangs(a), 160) * 100.0,
-                analytic_165: blocking_probability(Erlangs(a), 165) * 100.0,
-                analytic_170: blocking_probability(Erlangs(a), 170) * 100.0,
+                analytic_160: rails.at(160) * 100.0,
+                analytic_165: rails.at(165) * 100.0,
+                analytic_170: rails.at(170) * 100.0,
             }
         })
         .collect()

@@ -30,30 +30,45 @@ pub struct PolicyRow {
 
 /// Sweep per-user ceilings at offered load `erlangs` with `user_pool`
 /// distinct callers (so the mean per-user demand is `erlangs/user_pool`
-/// concurrent calls).
+/// concurrent calls). Each ceiling is measured over `reps` independent
+/// replications (decorrelated via [`des::stream_seed`]) and the
+/// percentages averaged, so adjacent rows differ by policy effect rather
+/// than a single seed's arrival luck.
 #[must_use]
 pub fn policy_study(
     erlangs: f64,
     user_pool: u32,
     limits: &[Option<u32>],
+    reps: u64,
     seed: u64,
 ) -> Vec<PolicyRow> {
     limits
         .par_iter()
         .map(|&limit| {
-            let mut cfg = EmpiricalConfig::signalling_only(erlangs, seed);
-            cfg.user_pool = user_pool;
-            cfg.max_calls_per_user = limit;
-            cfg.placement_window_s = 600.0;
-            let r = EmpiricalRunner::run(cfg);
-            let pct = |x: u64| x as f64 / r.attempted.max(1) as f64 * 100.0;
+            let runs: Vec<crate::experiment::RunResult> = (0..reps.max(1))
+                .into_par_iter()
+                .map(|rep| {
+                    let mut cfg =
+                        EmpiricalConfig::signalling_only(erlangs, des::stream_seed(seed, rep));
+                    cfg.user_pool = user_pool;
+                    cfg.max_calls_per_user = limit;
+                    cfg.placement_window_s = 600.0;
+                    EmpiricalRunner::run(cfg)
+                })
+                .collect();
+            let n = runs.len() as f64;
+            let mean = |f: &dyn Fn(&crate::experiment::RunResult) -> f64| -> f64 {
+                runs.iter().map(f).sum::<f64>() / n
+            };
+            let pct = |x: u64, attempted: u64| x as f64 / attempted.max(1) as f64 * 100.0;
             PolicyRow {
                 limit,
-                policy_refused_pct: pct(r.failed), // 403s surface as Failed at the UAC
-                channel_blocked_pct: pct(r.blocked),
-                completed_pct: pct(r.completed),
-                carried_erlangs: r.carried_erlangs,
-                peak_channels: r.peak_channels,
+                // 403s surface as Failed at the UAC.
+                policy_refused_pct: mean(&|r| pct(r.failed, r.attempted)),
+                channel_blocked_pct: mean(&|r| pct(r.blocked, r.attempted)),
+                completed_pct: mean(&|r| pct(r.completed, r.attempted)),
+                carried_erlangs: mean(&|r| r.carried_erlangs),
+                peak_channels: runs.iter().map(|r| r.peak_channels).max().unwrap_or(0),
             }
         })
         .collect()

@@ -7,14 +7,14 @@
 //! against the pooled single server (see `capacity::farm`).
 
 use crate::experiment::{EmpiricalConfig, MediaMode};
-use des::{EventHandler, Scheduler, SimDuration, SimTime, StreamRng};
+use des::{EventHandler, Phase, PhaseTimer, Scheduler, SimDuration, SimTime, StreamRng};
 use faults::FaultKind;
 use loadgen::{ArrivalProcess, Uac, UacEvent, Uas, UasEvent};
 use netsim::topology::{nodes, StarTopology};
 use netsim::{LinkParams, NodeId, SendOutcome};
 use pbx_sim::{Directory, Pbx, PbxAction, PbxConfig};
 use rtpcore::packet::RtpDatagram;
-use rtpcore::packetizer::{Law, Packetizer, VoiceSource, SAMPLES_PER_FRAME};
+use rtpcore::packetizer::{FastVoiceSource, Law, Packetizer, VoiceSource, SAMPLES_PER_FRAME};
 use rtpcore::vad::{FrameSlot, TalkspurtSource};
 use sipcore::SipMessage;
 use std::collections::HashMap;
@@ -46,6 +46,26 @@ pub enum MediaPath {
     /// iterating a slab-indexed session list — O(frames) pushes.
     #[default]
     Coalesced,
+}
+
+/// Which media compute kernel synthesises and compands audio frames.
+///
+/// Orthogonal to [`MediaPath`] (which decides *when* frames are emitted,
+/// this decides *how* their bytes are produced) and invisible in the
+/// physics: payload bytes never reach the monitor or the scoring path —
+/// only headers, sizes and timing do — so both kernels produce identical
+/// [`crate::experiment::RunResult::digest`] values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MediaKernel {
+    /// The original per-sample pipeline: trigonometric [`VoiceSource`]
+    /// synthesis and scalar segment-search G.711 companding. Kept as the
+    /// A/B baseline for the media benchmarks.
+    Reference,
+    /// The vectorizable pipeline: phasor-rotation [`FastVoiceSource`]
+    /// synthesis into a reused scratch buffer and table-driven G.711
+    /// companding over whole frames.
+    #[default]
+    Batched,
 }
 
 /// Node number of PBX `k` in the farm.
@@ -146,8 +166,10 @@ pub enum Ev {
 }
 
 enum AudioSource {
-    /// The paper's setting: continuous speech, 50 pps.
+    /// The paper's setting: continuous speech, 50 pps (reference kernel).
     Continuous(VoiceSource),
+    /// Continuous speech via the phasor synthesiser (batched kernel).
+    ContinuousBatched(FastVoiceSource),
     /// Silence-suppressed talkspurt model (the VAD ablation).
     Talkspurt(TalkspurtSource),
 }
@@ -194,6 +216,13 @@ pub struct World {
     placement_start: SimTime,
     placement_end: SimTime,
     media_path: MediaPath,
+    media_kernel: MediaKernel,
+    /// Reused PCM frame buffer for the batched kernel: synthesis fills it
+    /// in place, companding reads it — no per-frame sample allocation.
+    media_scratch: [i16; SAMPLES_PER_FRAME],
+    /// Wall-clock phase attribution (compiled out without the
+    /// `phase-timing` feature; see [`des::PhaseTimer`]).
+    phase_timer: PhaseTimer,
     /// Slab of media sessions; `None` slots are free for reuse.
     sessions: Vec<Option<MediaSession>>,
     free_sessions: Vec<usize>,
@@ -219,16 +248,27 @@ pub struct World {
 
 impl World {
     /// Build a world from an experiment configuration, using the default
-    /// (coalesced) media path.
+    /// (coalesced) media path and (batched) media kernel.
     #[must_use]
     pub fn new(config: EmpiricalConfig) -> Self {
-        Self::with_media_path(config, MediaPath::default())
+        Self::with_engine(config, MediaPath::default(), MediaKernel::default())
     }
 
     /// Build a world with an explicit media-path implementation (the
-    /// per-tick reference path exists for benchmarks and A/B validation).
+    /// per-tick reference path exists for benchmarks and A/B validation),
+    /// using the default media kernel.
     #[must_use]
     pub fn with_media_path(config: EmpiricalConfig, media_path: MediaPath) -> Self {
+        Self::with_engine(config, media_path, MediaKernel::default())
+    }
+
+    /// Build a world with explicit media path and media kernel.
+    #[must_use]
+    pub fn with_engine(
+        config: EmpiricalConfig,
+        media_path: MediaPath,
+        media_kernel: MediaKernel,
+    ) -> Self {
         let servers = config.servers.max(1);
         let streams = des::RngStream::new(config.seed);
         let mut link = LinkParams::fast_ethernet();
@@ -279,6 +319,9 @@ impl World {
             placement_end: SimTime::from_secs(1)
                 + SimDuration::from_secs_f64(config.placement_window_s),
             media_path,
+            media_kernel,
+            media_scratch: [0i16; SAMPLES_PER_FRAME],
+            phase_timer: PhaseTimer::new(),
             sessions: Vec::new(),
             free_sessions: Vec::new(),
             media_index: HashMap::new(),
@@ -308,6 +351,14 @@ impl World {
     #[must_use]
     pub fn servers(&self) -> u32 {
         self.pbxes.len() as u32
+    }
+
+    /// Fold the accumulated phase timings into a breakdown of
+    /// `total_wall_s` (the run's wall clock); all-zero with `enabled:
+    /// false` when the `phase-timing` feature is compiled out.
+    #[must_use]
+    pub fn phase_breakdown(&self, total_wall_s: f64) -> des::PhaseBreakdown {
+        self.phase_timer.breakdown(total_wall_s)
     }
 
     /// Seed the initial events: registrations at t≈0, first arrival after
@@ -727,19 +778,38 @@ impl World {
         let mut source = if self.config.silence_suppression {
             AudioSource::Talkspurt(TalkspurtSource::conversational(source_seed))
         } else {
-            AudioSource::Continuous(VoiceSource::new(source_seed))
+            match self.media_kernel {
+                MediaKernel::Reference => AudioSource::Continuous(VoiceSource::new(source_seed)),
+                MediaKernel::Batched => {
+                    AudioSource::ContinuousBatched(FastVoiceSource::new(source_seed))
+                }
+            }
         };
         let mut packetizer = Packetizer::new(ssrc, Law::Mu, first_seq, first_ts);
         // Pre-encode one real frame to seed the cached payload. (With VAD
         // the session may start silent; seed from a scratch voice then.)
-        let samples = match &mut source {
-            AudioSource::Continuous(v) => v.next_samples(SAMPLES_PER_FRAME),
-            AudioSource::Talkspurt(t) => match t.next_slot() {
-                FrameSlot::Talk { samples, .. } => samples,
-                FrameSlot::Silence => VoiceSource::new(source_seed).next_samples(SAMPLES_PER_FRAME),
-            },
+        let cached = match &mut source {
+            AudioSource::Continuous(v) => {
+                let samples = v.next_samples(SAMPLES_PER_FRAME);
+                packetizer.encode_shared_reference(&samples)
+            }
+            AudioSource::ContinuousBatched(v) => {
+                v.fill(&mut self.media_scratch);
+                packetizer.encode_shared(&self.media_scratch)
+            }
+            AudioSource::Talkspurt(t) => {
+                let samples = match t.next_slot() {
+                    FrameSlot::Talk { samples, .. } => samples,
+                    FrameSlot::Silence => {
+                        VoiceSource::new(source_seed).next_samples(SAMPLES_PER_FRAME)
+                    }
+                };
+                match self.media_kernel {
+                    MediaKernel::Reference => packetizer.encode_shared_reference(&samples),
+                    MediaKernel::Batched => packetizer.encode_shared(&samples),
+                }
+            }
         };
-        let cached = packetizer.encode_shared(&samples);
         let first_packet = packetizer.packetize_shared(cached.clone());
         // Send the first packet right away.
         let wire_len = first_packet.wire_len() + 46;
@@ -828,17 +898,33 @@ impl World {
     }
 
     /// Advance one session by one frame: returns the datagram to emit, or
-    /// `None` for a silence-suppressed slot.
-    fn next_media_datagram(session: &mut MediaSession, encode_every: u64) -> Option<RtpDatagram> {
+    /// `None` for a silence-suppressed slot. `scratch` is the world's
+    /// reused PCM buffer (batched kernel only); `kernel` selects how
+    /// refresh frames are synthesised and companded.
+    fn next_media_datagram(
+        session: &mut MediaSession,
+        scratch: &mut [i16; SAMPLES_PER_FRAME],
+        kernel: MediaKernel,
+        encode_every: u64,
+    ) -> Option<RtpDatagram> {
         // With VAD, a silent slot advances the media clock and sends
         // nothing; the frame cadence continues.
         let talking = match &mut session.source {
-            AudioSource::Continuous(_) => true,
+            AudioSource::Continuous(_) | AudioSource::ContinuousBatched(_) => true,
             AudioSource::Talkspurt(t) => match t.next_slot() {
                 FrameSlot::Talk { samples, .. } => {
                     if session.frames_sent.is_multiple_of(encode_every) {
-                        session.cached_payload =
-                            samples.iter().map(|&s| rtpcore::ulaw_encode(s)).collect();
+                        session.cached_payload = match kernel {
+                            MediaKernel::Reference => samples
+                                .iter()
+                                .map(|&s| rtpcore::g711::reference::ulaw_encode(s))
+                                .collect(),
+                            MediaKernel::Batched => {
+                                let mut buf = vec![0u8; samples.len()];
+                                rtpcore::g711::ulaw_encode_into(&samples, &mut buf);
+                                buf.into()
+                            }
+                        };
                     }
                     true
                 }
@@ -849,19 +935,25 @@ impl World {
             session.packetizer.skip_frame();
             return None;
         }
-        let datagram = match &mut session.source {
-            AudioSource::Continuous(voice) if session.frames_sent.is_multiple_of(encode_every) => {
-                let samples = voice.next_samples(SAMPLES_PER_FRAME);
-                session.cached_payload = session.packetizer.encode_shared(&samples);
-                session
-                    .packetizer
-                    .packetize_shared(session.cached_payload.clone())
+        // Refresh the cached payload on encode frames; the voice source
+        // only advances when a frame is actually synthesised.
+        if session.frames_sent.is_multiple_of(encode_every) {
+            match &mut session.source {
+                AudioSource::Continuous(voice) => {
+                    let samples = voice.next_samples(SAMPLES_PER_FRAME);
+                    session.cached_payload = session.packetizer.encode_shared_reference(&samples);
+                }
+                AudioSource::ContinuousBatched(voice) => {
+                    voice.fill(scratch);
+                    session.cached_payload = session.packetizer.encode_shared(&scratch[..]);
+                }
+                AudioSource::Talkspurt(_) => {}
             }
-            // The steady-state fast path: clone an Arc, not 160 bytes.
-            _ => session
-                .packetizer
-                .packetize_shared(session.cached_payload.clone()),
-        };
+        }
+        // The steady-state fast path: clone an Arc, not 160 bytes.
+        let datagram = session
+            .packetizer
+            .packetize_shared(session.cached_payload.clone());
         session.frames_sent += 1;
         Some(datagram)
     }
@@ -881,6 +973,7 @@ impl World {
         pbx: NodeId,
         pbx_port: u16,
         datagram: &RtpDatagram,
+        timer: &mut PhaseTimer,
     ) {
         let Some(k) = self.pbx_index_of(pbx) else {
             return;
@@ -889,40 +982,46 @@ impl World {
             return;
         }
         let wire_len = datagram.wire_len() + 46;
-        let sw = self.topo.next_hop(src, pbx);
-        let net = &mut self.topo.network;
-        let SendOutcome::Delivered { at: t1 } =
-            net.enqueue(now, src, sw, wire_len, &mut self.rng_network)
-        else {
-            return;
-        };
-        let SendOutcome::Delivered { at: t2 } =
-            net.enqueue(t1, sw, pbx, wire_len, &mut self.rng_network)
-        else {
-            return;
-        };
-        let Some((to, to_port)) = self.pbxes[k].relay_rtp(now, pbx_port) else {
-            return;
-        };
-        let sw_back = self.topo.next_hop(pbx, to);
-        let net = &mut self.topo.network;
-        let SendOutcome::Delivered { at: t3 } =
-            net.enqueue(t2, pbx, sw_back, wire_len, &mut self.rng_network)
-        else {
-            return;
-        };
-        let SendOutcome::Delivered { at: t4 } =
-            net.enqueue(t3, sw_back, to, wire_len, &mut self.rng_network)
-        else {
+        let delivered = timer.measure(Phase::Relay, || {
+            let sw = self.topo.next_hop(src, pbx);
+            let net = &mut self.topo.network;
+            let SendOutcome::Delivered { at: t1 } =
+                net.enqueue(now, src, sw, wire_len, &mut self.rng_network)
+            else {
+                return None;
+            };
+            let SendOutcome::Delivered { at: t2 } =
+                net.enqueue(t1, sw, pbx, wire_len, &mut self.rng_network)
+            else {
+                return None;
+            };
+            let (to, to_port) = self.pbxes[k].relay_rtp(now, pbx_port)?;
+            let sw_back = self.topo.next_hop(pbx, to);
+            let net = &mut self.topo.network;
+            let SendOutcome::Delivered { at: t3 } =
+                net.enqueue(t2, pbx, sw_back, wire_len, &mut self.rng_network)
+            else {
+                return None;
+            };
+            let SendOutcome::Delivered { at: t4 } =
+                net.enqueue(t3, sw_back, to, wire_len, &mut self.rng_network)
+            else {
+                return None;
+            };
+            Some((to, to_port, t4))
+        });
+        let Some((to, to_port, t4)) = delivered else {
             return;
         };
         let flow = FlowId::from_node_port(to.0, to_port);
-        self.monitor.tap_rtp(
-            flow,
-            t4.as_secs_f64(),
-            t4.since(now).as_secs_f64(),
-            &datagram.header,
-        );
+        timer.measure(Phase::Scoring, || {
+            self.monitor.tap_rtp(
+                flow,
+                t4.as_secs_f64(),
+                t4.since(now).as_secs_f64(),
+                &datagram.header,
+            );
+        });
     }
 
     fn emit_media(
@@ -958,10 +1057,17 @@ impl World {
         }
     }
 
-    fn on_media_tick(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, key: MediaKey) {
+    fn on_media_tick(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        key: MediaKey,
+        timer: &mut PhaseTimer,
+    ) {
         let Some(encode_every) = self.media_encode_every() else {
             return;
         };
+        let kernel = self.media_kernel;
         let Some(&idx) = self.media_index.get(&key) else {
             return;
         };
@@ -972,25 +1078,38 @@ impl World {
             self.free_session(idx);
             return;
         }
-        let emit = Self::next_media_datagram(session, encode_every).map(|d| {
-            (
-                session.local_node,
-                session.remote_node,
-                session.remote_port,
-                d,
-            )
-        });
+        let emit = timer
+            .measure(Phase::MediaEncode, || {
+                Self::next_media_datagram(session, &mut self.media_scratch, kernel, encode_every)
+            })
+            .map(|d| {
+                (
+                    session.local_node,
+                    session.remote_node,
+                    session.remote_port,
+                    d,
+                )
+            });
         if let Some((src, dst, port, datagram)) = emit {
-            self.emit_media(now, sched, src, dst, port, datagram);
+            timer.measure(Phase::Relay, || {
+                self.emit_media(now, sched, src, dst, port, datagram);
+            });
         }
         sched.schedule(now + FRAME_PERIOD, Ev::MediaTick(key));
     }
 
-    fn on_media_frame(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, slot: usize) {
+    fn on_media_frame(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        slot: usize,
+        timer: &mut PhaseTimer,
+    ) {
         let Some(encode_every) = self.media_encode_every() else {
             self.slot_armed[slot] = false;
             return;
         };
+        let kernel = self.media_kernel;
         // Take the bucket to sidestep aliasing with `self` methods; ended
         // sessions are compacted out, survivors keep insertion order.
         let mut bucket = std::mem::take(&mut self.phase_buckets[slot]);
@@ -1006,21 +1125,32 @@ impl World {
             }
             if session.next_due <= now {
                 session.next_due += FRAME_PERIOD;
-                let emit = Self::next_media_datagram(session, encode_every).map(|d| {
-                    (
-                        session.local_node,
-                        session.remote_node,
-                        session.remote_port,
-                        d,
-                    )
-                });
+                let emit = timer
+                    .measure(Phase::MediaEncode, || {
+                        Self::next_media_datagram(
+                            session,
+                            &mut self.media_scratch,
+                            kernel,
+                            encode_every,
+                        )
+                    })
+                    .map(|d| {
+                        (
+                            session.local_node,
+                            session.remote_node,
+                            session.remote_port,
+                            d,
+                        )
+                    });
                 if let Some((src, dst, port, datagram)) = emit {
                     if self.capture.is_none() {
                         // A span port needs real per-hop frames; without
                         // one, cut straight through the network model.
-                        self.emit_media_express(now, src, dst, port, &datagram);
+                        self.emit_media_express(now, src, dst, port, &datagram, timer);
                     } else {
-                        self.emit_media(now, sched, src, dst, port, datagram);
+                        timer.measure(Phase::Relay, || {
+                            self.emit_media(now, sched, src, dst, port, datagram);
+                        });
                     }
                 }
             }
@@ -1043,7 +1173,13 @@ impl World {
         (idx < self.pbxes.len()).then_some(idx)
     }
 
-    fn deliver(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, frame: Frame) {
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        frame: Frame,
+        timer: &mut PhaseTimer,
+    ) {
         // A crashed PBX is dark: frames reach its NIC and die there.
         if let Some(k) = self.pbx_index_of(frame.dst) {
             if self.pbx_down[k] {
@@ -1069,7 +1205,7 @@ impl World {
             });
         }
         match frame.payload {
-            Payload::Sip(msg) => {
+            Payload::Sip(msg) => timer.measure(Phase::Signalling, || {
                 self.monitor.tap_sip(&msg);
                 if let Some(k) = self.pbx_index_of(frame.dst) {
                     let actions = self.pbxes[k].handle_sip(now, frame.src, msg);
@@ -1085,7 +1221,7 @@ impl World {
                     let events = self.uas.on_sip(now, frame.src, msg);
                     self.process_uas_events(now, sched, events);
                 }
-            }
+            }),
             Payload::Rtp {
                 dst_port,
                 datagram,
@@ -1096,33 +1232,37 @@ impl World {
                     // (payload refcount bump), keeping the original
                     // emission time so endpoints see true mouth-to-ear
                     // delay. No action Vec, no byte copy, no re-parse.
-                    if let Some((to, to_port)) = self.pbxes[k].relay_rtp(now, dst_port) {
-                        let wire_len = datagram.wire_len() + 46;
-                        self.send_frame(
-                            now,
-                            sched,
-                            Frame {
-                                src: frame.dst,
-                                dst: to,
-                                wire_len,
-                                payload: Payload::Rtp {
-                                    dst_port: to_port,
-                                    datagram,
-                                    sent_at,
+                    timer.measure(Phase::Relay, || {
+                        if let Some((to, to_port)) = self.pbxes[k].relay_rtp(now, dst_port) {
+                            let wire_len = datagram.wire_len() + 46;
+                            self.send_frame(
+                                now,
+                                sched,
+                                Frame {
+                                    src: frame.dst,
+                                    dst: to,
+                                    wire_len,
+                                    payload: Payload::Rtp {
+                                        dst_port: to_port,
+                                        datagram,
+                                        sent_at,
+                                    },
                                 },
-                            },
-                        );
-                    }
+                            );
+                        }
+                    });
                 } else {
                     // Delivered to an endpoint: the monitor scores it off
                     // the decoded header riding with the datagram.
                     let flow = FlowId::from_node_port(frame.dst.0, dst_port);
-                    self.monitor.tap_rtp(
-                        flow,
-                        now.as_secs_f64(),
-                        now.since(sent_at).as_secs_f64(),
-                        &datagram.header,
-                    );
+                    timer.measure(Phase::Scoring, || {
+                        self.monitor.tap_rtp(
+                            flow,
+                            now.as_secs_f64(),
+                            now.since(sent_at).as_secs_f64(),
+                            &datagram.header,
+                        );
+                    });
                 }
             }
         }
@@ -1158,19 +1298,33 @@ impl World {
 
 impl EventHandler<Ev> for World {
     fn handle(&mut self, at: SimTime, event: Ev, sched: &mut Scheduler<Ev>) {
+        // Lift the timer out of `self` so measured closures can borrow the
+        // world freely; its accumulations are written back at the end.
+        // With `phase-timing` off the timer is a ZST and this is free.
+        let mut timer = std::mem::take(&mut self.phase_timer);
         match event {
-            Ev::PlaceCall => self.place_call(at, sched),
-            Ev::SendFrame(frame) => self.send_frame(at, sched, frame),
+            Ev::PlaceCall => timer.measure(Phase::Signalling, || self.place_call(at, sched)),
+            Ev::SendFrame(frame) => {
+                let phase = match frame.payload {
+                    Payload::Sip(_) => Phase::Signalling,
+                    Payload::Rtp { .. } => Phase::Relay,
+                };
+                timer.measure(phase, || self.send_frame(at, sched, frame));
+            }
             Ev::HopArrive { at: node, frame } => {
                 if node == frame.dst {
-                    self.deliver(at, sched, frame);
+                    self.deliver(at, sched, frame, &mut timer);
                 } else {
-                    self.forward_frame(at, sched, node, frame);
+                    let phase = match frame.payload {
+                        Payload::Sip(_) => Phase::Signalling,
+                        Payload::Rtp { .. } => Phase::Relay,
+                    };
+                    timer.measure(phase, || self.forward_frame(at, sched, node, frame));
                 }
             }
-            Ev::MediaTick(key) => self.on_media_tick(at, sched, key),
-            Ev::MediaFrame { slot } => self.on_media_frame(at, sched, slot),
-            Ev::Hangup { call_id } => {
+            Ev::MediaTick(key) => self.on_media_tick(at, sched, key, &mut timer),
+            Ev::MediaFrame { slot } => self.on_media_frame(at, sched, slot, &mut timer),
+            Ev::Hangup { call_id } => timer.measure(Phase::Signalling, || {
                 self.stop_media(&MediaKey {
                     call: call_id.clone(),
                     caller_side: true,
@@ -1178,21 +1332,24 @@ impl EventHandler<Ev> for World {
                 let idx = self.uac_index_for(&call_id);
                 let events = self.uacs[idx].hangup(at, &call_id);
                 self.process_uac_events(at, sched, events);
-            }
-            Ev::UasAnswer { call_id } => {
+            }),
+            Ev::UasAnswer { call_id } => timer.measure(Phase::Signalling, || {
                 let events = self.uas.answer(at, &call_id);
                 self.process_uas_events(at, sched, events);
-            }
+            }),
             Ev::Fault(idx) => self.apply_fault(at, sched, idx),
-            Ev::PbxRestart { pbx } => self.restart_pbx(at, sched, pbx),
-            Ev::UacRetry { call_id } => {
+            Ev::PbxRestart { pbx } => {
+                timer.measure(Phase::Signalling, || self.restart_pbx(at, sched, pbx));
+            }
+            Ev::UacRetry { call_id } => timer.measure(Phase::Signalling, || {
                 let idx = self.uac_index_for(&call_id);
                 let events = self.uacs[idx].retry_call(at, &call_id);
                 self.process_uac_events(at, sched, events);
-            }
+            }),
             Ev::FlashCrowdEnd { rate_multiplier } => {
                 self.scale_arrival_rate(1.0 / rate_multiplier);
             }
         }
+        self.phase_timer = timer;
     }
 }

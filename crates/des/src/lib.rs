@@ -38,6 +38,7 @@
 
 pub mod engine;
 pub mod fastmap;
+pub mod phase_timer;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -45,7 +46,8 @@ pub mod timeseries;
 
 pub use engine::{EventHandler, Scheduler, SchedulerKind, Simulation, StepOutcome};
 pub use fastmap::FastMap;
-pub use rng::{Distributions, RngStream, StreamRng};
+pub use phase_timer::{Phase, PhaseBreakdown, PhaseTimer};
+pub use rng::{stream_seed, Distributions, RngStream, StreamRng};
 pub use stats::{BatchMeans, Counter, Histogram, TimeWeighted, Welford};
 pub use time::{SimDuration, SimTime};
 pub use timeseries::TimeSeries;

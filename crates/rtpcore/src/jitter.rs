@@ -63,7 +63,10 @@ pub struct SequenceTracker {
     received: u64,
     duplicates: u64,
     reordered: u64,
-    seen_window: Vec<u64>, // extended seqs seen recently, for dup detection
+    /// Extended seqs seen recently, for dup detection. Used as a circular
+    /// buffer once full: `seen_head` is the oldest entry, overwritten next.
+    seen_window: Vec<u64>,
+    seen_head: usize,
     /// Number of distinct loss gaps observed (runs of missing packets).
     gap_count: u64,
     /// Total packets missing across those gaps at observation time.
@@ -93,6 +96,15 @@ impl SequenceTracker {
             }
             Some(_) => self.extend(seq),
         };
+        // In-order fast path: the common case on a healthy stream. A
+        // packet beyond the highest extended seq cannot be in the dup
+        // window (every entry is ≤ highest), so skip the window scan.
+        if ext == self.highest_ext + 1 {
+            self.push_seen(ext);
+            self.received += 1;
+            self.highest_ext = ext;
+            return true;
+        }
         if self.seen_window.contains(&ext) {
             self.duplicates += 1;
             return false;
@@ -128,10 +140,14 @@ impl SequenceTracker {
     }
 
     fn push_seen(&mut self, ext: u64) {
-        if self.seen_window.len() == DUP_WINDOW {
-            self.seen_window.remove(0);
+        if self.seen_window.len() < DUP_WINDOW {
+            self.seen_window.push(ext);
+        } else {
+            // Overwrite the oldest entry in place — same FIFO window as a
+            // shift-down, without moving 63 entries per packet.
+            self.seen_window[self.seen_head] = ext;
+            self.seen_head = (self.seen_head + 1) % DUP_WINDOW;
         }
-        self.seen_window.push(ext);
     }
 
     /// Unique packets received.

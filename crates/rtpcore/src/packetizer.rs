@@ -4,7 +4,7 @@
 //! uses: 8 kHz sampling, 20 ms packet time, hence 160 samples (and 160
 //! companded bytes) per packet and 50 packets per second per direction.
 
-use crate::g711::{alaw_encode, ulaw_encode};
+use crate::g711::{alaw_encode, alaw_encode_into, ulaw_encode, ulaw_encode_into};
 use crate::packet::{RtpDatagram, RtpHeader, RtpPacket};
 use std::sync::Arc;
 
@@ -79,6 +79,80 @@ impl VoiceSource {
     }
 }
 
+/// Batched phasor-bank twin of [`VoiceSource`].
+///
+/// Synthesizes the same two-partial + envelope signal family, but instead
+/// of three `sin()` calls per sample it advances three complex rotors by
+/// a fixed per-sample rotation — four multiplies and two adds each — and
+/// renormalizes once per [`Self::fill`] call. That removes the
+/// transcendental work that dominates the full-media profile once
+/// companding is table-driven. Phase offsets are seeded exactly like
+/// [`VoiceSource::new`], so concurrent calls stay decorrelated and the
+/// waveform tracks the scalar source to within a couple of LSBs over a
+/// frame; the simulation never reads payload bytes, so the tiny rounding
+/// divergence cannot reach any physics output.
+#[derive(Debug, Clone)]
+pub struct FastVoiceSource {
+    /// `(cos, sin)` state of the 310 Hz, 1510 Hz and 2.3 Hz rotors.
+    tone_a: (f64, f64),
+    tone_b: (f64, f64),
+    env: (f64, f64),
+    /// Per-sample rotation of each rotor.
+    rot_a: (f64, f64),
+    rot_b: (f64, f64),
+    rot_env: (f64, f64),
+}
+
+#[inline]
+fn rotate(z: (f64, f64), r: (f64, f64)) -> (f64, f64) {
+    (z.0 * r.0 - z.1 * r.1, z.0 * r.1 + z.1 * r.0)
+}
+
+impl FastVoiceSource {
+    /// A source whose phases are derived from `seed`, matching
+    /// [`VoiceSource::new`].
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let golden = 0.618_033_988_749_895_f64;
+        let phase_a = (seed as f64 * golden).fract() * std::f64::consts::TAU;
+        let phase_b = (seed as f64 * golden * golden).fract() * std::f64::consts::TAU;
+        let step = |hz: f64| {
+            let w = std::f64::consts::TAU * hz / f64::from(SAMPLE_RATE_HZ);
+            (w.cos(), w.sin())
+        };
+        FastVoiceSource {
+            tone_a: (phase_a.cos(), phase_a.sin()),
+            tone_b: (phase_b.cos(), phase_b.sin()),
+            env: (1.0, 0.0),
+            rot_a: step(310.0),
+            rot_b: step(1510.0),
+            rot_env: step(2.3),
+        }
+    }
+
+    /// Fill `out` with the next `out.len()` PCM samples.
+    pub fn fill(&mut self, out: &mut [i16]) {
+        let (mut ta, mut tb, mut env) = (self.tone_a, self.tone_b, self.env);
+        for dst in out.iter_mut() {
+            let e = 0.55 + 0.45 * env.1;
+            let s = e * (0.6 * ta.1 + 0.4 * tb.1);
+            *dst = (s * 0.5 * f64::from(i16::MAX)) as i16;
+            ta = rotate(ta, self.rot_a);
+            tb = rotate(tb, self.rot_b);
+            env = rotate(env, self.rot_env);
+        }
+        // One renormalization per block keeps |z| = 1 against rounding
+        // drift without touching the per-sample loop.
+        let norm = |z: (f64, f64)| {
+            let m = (z.0 * z.0 + z.1 * z.1).sqrt();
+            (z.0 / m, z.1 / m)
+        };
+        self.tone_a = norm(ta);
+        self.tone_b = norm(tb);
+        self.env = norm(env);
+    }
+}
+
 /// Stateful RTP packetizer for one outgoing stream.
 #[derive(Debug, Clone)]
 pub struct Packetizer {
@@ -115,10 +189,11 @@ impl Packetizer {
             SAMPLES_PER_FRAME,
             "one 20 ms frame at a time"
         );
-        let payload: Vec<u8> = match self.law {
-            Law::Mu => samples.iter().map(|&s| ulaw_encode(s)).collect(),
-            Law::A => samples.iter().map(|&s| alaw_encode(s)).collect(),
-        };
+        let mut payload = vec![0u8; SAMPLES_PER_FRAME];
+        match self.law {
+            Law::Mu => ulaw_encode_into(samples, &mut payload),
+            Law::A => alaw_encode_into(samples, &mut payload),
+        }
         let pkt = RtpPacket {
             header: RtpHeader {
                 marker: self.first,
@@ -167,6 +242,33 @@ impl Packetizer {
         match self.law {
             Law::Mu => samples.iter().map(|&s| ulaw_encode(s)).collect(),
             Law::A => samples.iter().map(|&s| alaw_encode(s)).collect(),
+        }
+    }
+
+    /// Scalar-reference variant of [`Self::encode_shared`]: per-sample
+    /// segment-search companding from [`crate::g711::reference`] rather
+    /// than the lookup tables. This is the pre-vectorization media
+    /// kernel, kept callable so `bench_media_json` can run the old and
+    /// new compute planes against each other in one binary.
+    ///
+    /// # Panics
+    /// If `samples.len() != SAMPLES_PER_FRAME`.
+    #[must_use]
+    pub fn encode_shared_reference(&self, samples: &[i16]) -> Arc<[u8]> {
+        assert_eq!(
+            samples.len(),
+            SAMPLES_PER_FRAME,
+            "one 20 ms frame at a time"
+        );
+        match self.law {
+            Law::Mu => samples
+                .iter()
+                .map(|&s| crate::g711::reference::ulaw_encode(s))
+                .collect(),
+            Law::A => samples
+                .iter()
+                .map(|&s| crate::g711::reference::alaw_encode(s))
+                .collect(),
         }
     }
 
@@ -312,6 +414,61 @@ mod tests {
         let mut parts = b.next_samples(160);
         parts.extend(b.next_samples(160));
         assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn fast_voice_source_is_deterministic_and_bounded() {
+        let mut a = FastVoiceSource::new(42);
+        let mut b = FastVoiceSource::new(42);
+        let mut sa = vec![0i16; 1600];
+        let mut sb = vec![0i16; 1600];
+        for (ca, cb) in sa.chunks_mut(160).zip(sb.chunks_mut(160)) {
+            a.fill(ca);
+            b.fill(cb);
+        }
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|&s| s != 0), "not silence");
+        assert!(sa.iter().all(|&s| s > -30000 && s < 30000), "headroom kept");
+        let mut sc = vec![0i16; 1600];
+        let mut c = FastVoiceSource::new(43);
+        for chunk in sc.chunks_mut(160) {
+            c.fill(chunk);
+        }
+        assert_ne!(sa, sc, "different seeds decorrelate");
+    }
+
+    #[test]
+    fn fast_voice_source_tracks_the_scalar_source() {
+        // The rotor bank synthesizes the same signal as the sin()-based
+        // source; over a second of audio the rounding divergence stays
+        // within a couple of LSBs.
+        let mut scalar = VoiceSource::new(8);
+        let mut fast = FastVoiceSource::new(8);
+        let want = scalar.next_samples(8000);
+        let mut got = vec![0i16; 8000];
+        for chunk in got.chunks_mut(160) {
+            fast.fill(chunk);
+        }
+        let max_err = want
+            .iter()
+            .zip(&got)
+            .map(|(&w, &g)| (i32::from(w) - i32::from(g)).abs())
+            .max()
+            .unwrap();
+        assert!(max_err <= 2, "max divergence {max_err} LSB");
+    }
+
+    #[test]
+    fn encode_shared_reference_matches_lut_path() {
+        let mut src = VoiceSource::new(21);
+        let samples = src.next_samples(160);
+        for law in [Law::Mu, Law::A] {
+            let p = Packetizer::new(1, law, 0, 0);
+            assert_eq!(
+                &p.encode_shared(&samples)[..],
+                &p.encode_shared_reference(&samples)[..]
+            );
+        }
     }
 
     #[test]

@@ -124,10 +124,41 @@ pub fn channels_for(a: Erlangs, target_pb: f64) -> Result<u32, TrafficError> {
     u32::try_from(n).map_err(|_| TrafficError::Unreachable)
 }
 
+/// `B(A, N)` together with its derivative `∂B/∂A`, both propagated
+/// through one pass of the stable recurrence.
+///
+/// Writing `u = A·B(A, n−1)` and `d = ∂B/∂A`:
+///
+/// ```text
+/// u′  = B(A, n−1) + A·d_{n−1}
+/// B_n = u / (n + u)
+/// d_n = n·u′ / (n + u)²
+/// ```
+///
+/// This is what lets [`load_for`] take Newton steps at the same O(N) cost
+/// as a single blocking evaluation.
+fn blocking_and_derivative(a: f64, channels: u32) -> (f64, f64) {
+    let mut b = 1.0_f64; // B(A, 0)
+    let mut d = 0.0_f64; // ∂B/∂A at n = 0
+    for n in 1..=u64::from(channels) {
+        let nf = n as f64;
+        let u = a * b;
+        let du = b + a * d;
+        let denom = nf + u;
+        d = nf * du / (denom * denom);
+        b = u / denom;
+    }
+    (b, d)
+}
+
 /// Largest offered load `A` such that `B(A, channels) ≤ target_pb`.
 ///
-/// Solved by bisection on the (strictly increasing in `A`) blocking
-/// probability. The answer is exact to `tol` Erlangs.
+/// Solved by Newton iteration on the (strictly increasing in `A`)
+/// blocking probability, with the derivative propagated through the same
+/// recurrence that evaluates `B` — one O(N) pass per step instead of the
+/// O(N·log(range/tol)) a pure bisection costs. Steps are safeguarded by a
+/// shrinking bracket, with bisection as the fallback, so convergence is
+/// guaranteed. The answer is exact to `tol` Erlangs.
 pub fn load_for(channels: u32, target_pb: f64) -> Result<Erlangs, TrafficError> {
     load_for_tol(channels, target_pb, 1e-9)
 }
@@ -151,15 +182,80 @@ pub fn load_for_tol(channels: u32, target_pb: f64, tol: f64) -> Result<Erlangs, 
             return Err(TrafficError::Unreachable);
         }
     }
+    // Newton from the bracket midpoint; every iterate also tightens the
+    // bracket, and a step that escapes it (or a vanishing derivative)
+    // falls back to the midpoint — plain bisection in the worst case.
+    let mut a = 0.5 * (lo + hi);
     while hi - lo > tol {
-        let mid = 0.5 * (lo + hi);
-        if blocking_probability(Erlangs(mid), channels) > target_pb {
-            hi = mid;
+        let (b, d) = blocking_and_derivative(a, channels);
+        if b > target_pb {
+            hi = a;
         } else {
-            lo = mid;
+            lo = a;
         }
+        if hi - lo <= tol {
+            break;
+        }
+        let newton = a - (b - target_pb) / d;
+        a = if d > 0.0 && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
     }
     Ok(Erlangs(0.5 * (lo + hi)))
+}
+
+/// A memoized Erlang-B curve: every `B(A, n)` for `n ∈ 0..=max_channels`
+/// from one pass of the recurrence, for callers that sweep channel counts
+/// at a fixed load (figure rails, dimensioning tables). Point lookups are
+/// then O(1) instead of O(n) each.
+#[must_use = "building the curve costs an O(N) pass; use the lookups"]
+#[derive(Debug, Clone)]
+pub struct BlockingCurve {
+    a: Erlangs,
+    values: Vec<f64>,
+}
+
+impl BlockingCurve {
+    /// Evaluate the curve for offered load `a` up to `max_channels`.
+    pub fn new(a: Erlangs, max_channels: u32) -> Self {
+        BlockingCurve {
+            a,
+            values: blocking_curve(a, max_channels),
+        }
+    }
+
+    /// The offered load this curve was built for.
+    #[must_use]
+    pub fn offered(&self) -> Erlangs {
+        self.a
+    }
+
+    /// Largest channel count the curve covers.
+    #[must_use]
+    pub fn max_channels(&self) -> u32 {
+        (self.values.len() - 1) as u32
+    }
+
+    /// `B(A, channels)`; `NaN` beyond [`Self::max_channels`].
+    #[must_use]
+    pub fn at(&self, channels: u32) -> f64 {
+        self.values
+            .get(channels as usize)
+            .copied()
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Smallest `N ≤ max_channels` with `B(A, N) ≤ target_pb`, or `None`
+    /// if the curve never gets there (memoized [`channels_for`]).
+    #[must_use]
+    pub fn channels_for(&self, target_pb: f64) -> Option<u32> {
+        self.values
+            .iter()
+            .position(|&b| b <= target_pb)
+            .map(|n| n as u32)
+    }
 }
 
 /// Carried traffic `A · (1 − B(A, N))` in Erlangs — the load that actually
@@ -325,6 +421,47 @@ mod tests {
                 assert!((back - pb).abs() < 1e-6, "n={n} pb={pb} back={back}");
             }
         }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        for &a in &[0.5, 10.0, 150.0, 240.0] {
+            for &n in &[1u32, 10, 165] {
+                let (b, d) = blocking_and_derivative(a, n);
+                assert!((b - blocking_probability(Erlangs(a), n)).abs() < 1e-14);
+                let h = 1e-6 * a.max(1.0);
+                let fd = (blocking_probability(Erlangs(a + h), n)
+                    - blocking_probability(Erlangs(a - h), n))
+                    / (2.0 * h);
+                assert!(
+                    (d - fd).abs() < 1e-6 * d.abs().max(1e-9),
+                    "A={a} N={n}: analytic {d} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_curve_struct_memoizes_lookups() {
+        let curve = BlockingCurve::new(Erlangs(150.0), 170);
+        assert_eq!(curve.max_channels(), 170);
+        assert_eq!(curve.offered().value(), 150.0);
+        for n in [0u32, 1, 160, 165, 170] {
+            assert_eq!(
+                curve.at(n).to_bits(),
+                blocking_probability(Erlangs(150.0), n).to_bits(),
+                "n={n}"
+            );
+        }
+        assert!(curve.at(171).is_nan(), "beyond the curve");
+        // Memoized channels_for agrees with the incremental walk.
+        let n = curve.channels_for(0.02).unwrap();
+        assert_eq!(n, channels_for(Erlangs(150.0), 0.02).unwrap());
+        // An unreachable target inside the covered range.
+        assert_eq!(
+            BlockingCurve::new(Erlangs(500.0), 100).channels_for(0.01),
+            None
+        );
     }
 
     #[test]

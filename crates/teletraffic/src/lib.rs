@@ -36,7 +36,7 @@ pub mod overflow;
 pub mod units;
 
 pub use engset::engset_blocking;
-pub use erlang_b::{blocking_probability, channels_for, load_for};
+pub use erlang_b::{blocking_probability, channels_for, load_for, BlockingCurve};
 pub use erlang_c::wait_probability;
 pub use error::TrafficError;
 pub use units::{CallRate, Erlangs, HoldingTime};

@@ -151,11 +151,26 @@ impl MonitorReport {
 /// on every delivered RTP packet); every aggregation over it sorts the
 /// flow ids first so floating-point summation order — and therefore every
 /// reported statistic — stays bit-reproducible across runs and processes.
-/// The low-rate SIP/call maps are ordered (`BTreeMap`).
+/// The low-rate SIP maps are ordered (`BTreeMap`).
+///
+/// Call-ids are interned to `u32` handles when a flow is registered, so
+/// nothing on or after the packet path ever hashes or compares a `String`:
+/// flows map to handles in a [`FastMap`], and each call's flow list is
+/// grouped once at registration (kept sorted by [`FlowId`] so per-call
+/// float folds keep the order the old `BTreeMap<FlowId, String>` scan
+/// produced). Scoring a call is then O(its flows) instead of a rescan of
+/// every registered flow per call.
 #[derive(Debug, Clone, Default)]
 pub struct Monitor {
     streams: FastMap<FlowId, StreamStats>,
-    flow_call: BTreeMap<FlowId, String>,
+    /// Interned call-id names, indexed by handle.
+    call_names: Vec<String>,
+    /// Call-id → handle; only touched at registration and report time.
+    call_handles: BTreeMap<String, u32>,
+    /// Flow → interned call handle.
+    flow_call: FastMap<FlowId, u32>,
+    /// Per-call flow lists, sorted by flow id.
+    call_flows: Vec<Vec<FlowId>>,
     sip_requests: BTreeMap<String, u64>,
     sip_responses: BTreeMap<u16, u64>,
     rtp_packets: u64,
@@ -169,8 +184,28 @@ impl Monitor {
     }
 
     /// Associate a flow with a call so per-call quality can be reported.
+    /// Re-registering a flow moves it (and its accumulated stream stats)
+    /// to the new call — the behaviour a port reuse produces.
     pub fn register_flow(&mut self, flow: FlowId, call_id: &str) {
-        self.flow_call.insert(flow, call_id.to_owned());
+        let handle = match self.call_handles.get(call_id) {
+            Some(&h) => h,
+            None => {
+                let h = u32::try_from(self.call_names.len()).expect("fewer than 2^32 calls");
+                self.call_names.push(call_id.to_owned());
+                self.call_flows.push(Vec::new());
+                self.call_handles.insert(call_id.to_owned(), h);
+                h
+            }
+        };
+        if let Some(old) = self.flow_call.insert(flow, handle) {
+            if old != handle {
+                self.call_flows[old as usize].retain(|&f| f != flow);
+            }
+        }
+        let flows = &mut self.call_flows[handle as usize];
+        if let Err(pos) = flows.binary_search(&flow) {
+            flows.insert(pos, flow);
+        }
     }
 
     /// Observe one delivered SIP message.
@@ -233,16 +268,17 @@ impl Monitor {
             .sum()
     }
 
-    /// E-model MOS for one call, combining all of its registered flows.
-    /// `None` if the call has no media yet.
-    #[must_use]
-    pub fn call_mos(&self, call_id: &str) -> Option<f64> {
-        let flows: Vec<&StreamStats> = self
-            .flow_call
+    /// The streams of one interned call, in flow-id order, restricted to
+    /// flows that have actually carried media.
+    fn call_streams(&self, handle: u32) -> Vec<&StreamStats> {
+        self.call_flows[handle as usize]
             .iter()
-            .filter(|(_, cid)| cid.as_str() == call_id)
-            .filter_map(|(flow, _)| self.streams.get(flow))
-            .collect();
+            .filter_map(|flow| self.streams.get(flow))
+            .collect()
+    }
+
+    fn call_mos_by_handle(&self, handle: u32) -> Option<f64> {
+        let flows = self.call_streams(handle);
         if flows.is_empty() {
             return None;
         }
@@ -265,22 +301,23 @@ impl Monitor {
         }))
     }
 
+    /// E-model MOS for one call, combining all of its registered flows.
+    /// `None` if the call has no media yet.
+    #[must_use]
+    pub fn call_mos(&self, call_id: &str) -> Option<f64> {
+        let handle = *self.call_handles.get(call_id)?;
+        self.call_mos_by_handle(handle)
+    }
+
     /// Per-call measurement export as CSV (VoIPmonitor's per-call table):
     /// `call_id,loss,jitter_ms,delay_ms,burst_ratio,mos`, calls sorted by id.
     #[must_use]
     pub fn per_call_csv(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("call_id,loss,jitter_ms,delay_ms,burst_ratio,mos\n");
-        let mut call_ids: Vec<&String> = self.flow_call.values().collect();
-        call_ids.sort();
-        call_ids.dedup();
-        for call_id in call_ids {
-            let flows: Vec<&StreamStats> = self
-                .flow_call
-                .iter()
-                .filter(|(_, cid)| cid == &call_id)
-                .filter_map(|(flow, _)| self.streams.get(flow))
-                .collect();
+        // `call_handles` iterates in lexicographic call-id order.
+        for (call_id, &handle) in &self.call_handles {
+            let flows = self.call_streams(handle);
             if flows.is_empty() {
                 continue;
             }
@@ -289,7 +326,7 @@ impl Monitor {
             let jitter = flows.iter().map(|f| f.jitter_ms()).fold(0.0, f64::max);
             let delay = flows.iter().map(|f| f.mean_delay_ms()).sum::<f64>() / n;
             let burst = flows.iter().map(|f| f.burst_ratio()).fold(1.0, f64::max);
-            let mos = self.call_mos(call_id).unwrap_or(f64::NAN);
+            let mos = self.call_mos_by_handle(handle).unwrap_or(f64::NAN);
             let _ = writeln!(
                 out,
                 "{call_id},{loss:.6},{jitter:.3},{delay:.3},{burst:.3},{mos:.3}"
@@ -301,11 +338,18 @@ impl Monitor {
     /// Build the aggregate report.
     #[must_use]
     pub fn report(&self) -> MonitorReport {
+        // Calls enter the MOS aggregate ordered by their smallest flow id
+        // (first occurrence in flow-id order) — the same insertion order
+        // the original ordered flow→call map produced, so the Welford
+        // float folds are bit-identical.
         let mut mos = Welford::new();
-        let mut scored = std::collections::BTreeSet::new();
-        for call_id in self.flow_call.values() {
-            if scored.insert(call_id.clone()) {
-                if let Some(m) = self.call_mos(call_id) {
+        let mut flow_handles: Vec<(FlowId, u32)> =
+            self.flow_call.iter().map(|(&f, &h)| (f, h)).collect();
+        flow_handles.sort_unstable_by_key(|&(f, _)| f);
+        let mut scored = vec![false; self.call_names.len()];
+        for (_, handle) in flow_handles {
+            if !std::mem::replace(&mut scored[handle as usize], true) {
+                if let Some(m) = self.call_mos_by_handle(handle) {
                     mos.record(m);
                 }
             }

@@ -79,6 +79,7 @@ fn heap_and_wheel_backends_produce_identical_results() {
                 SimOptions {
                     scheduler,
                     media_path,
+                    ..SimOptions::default()
                 },
             )
         };
