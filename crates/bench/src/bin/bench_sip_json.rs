@@ -1,34 +1,33 @@
-//! Emit `BENCH_media.json` — a machine-readable A/B of the media compute
-//! kernels (scalar reference vs batched LUT/phasor) on an every-frame
-//! G.711 workload, plus an events/sec regression gate against the
-//! committed scheduler baseline.
+//! Emit `BENCH_sip.json` — a machine-readable A/B of the signalling
+//! paths (serialize-and-reparse reference vs interned structured
+//! cut-through) on a signalling-only workload, plus an events/sec
+//! regression gate against the committed scheduler baseline.
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_media_json              # smoke
-//! BENCH_SCALE=full cargo run --release -p bench --bin bench_media_json
+//! cargo run --release -p bench --bin bench_sip_json              # smoke
+//! BENCH_SCALE=full cargo run --release -p bench --bin bench_sip_json
 //! ```
 //!
 //! `full` is the paper's 150 E / 165-channel / 180 s-window workload with
-//! `encode_every: 1` — every 20 ms frame of every stream is synthesised
-//! and companded, so the media kernels dominate the wall clock; `smoke`
-//! (the default, used by `./ci`) shrinks the window and holding time so
-//! both kernels finish in seconds. Both kernels must produce identical
-//! result digests (payload bytes never enter the physics); the emitter
-//! exits non-zero if they disagree.
+//! media off — every event is SIP signalling, so the two paths' cost
+//! difference is maximally visible; `smoke` (the default, used by `./ci`)
+//! shrinks the window and holding time so both paths finish in seconds.
+//! Both paths must produce identical result digests (the interned path's
+//! analytic wire length equals the serialized length exactly); the
+//! emitter exits non-zero if they disagree.
 //!
-//! The gate scenario re-runs the scheduler bench's `encode_every: 50`
-//! workload at the same scale and compares events/sec against the
-//! `optimized` entry of `BENCH_SCHED_BASELINE` (default
-//! `BENCH_sched.json`), failing on a >10% regression. Point the env var
-//! at a same-machine, same-scale baseline — `./ci` uses the smoke file it
-//! just generated.
+//! The gate scenario re-runs the scheduler bench's workload at the same
+//! scale and compares events/sec against the `optimized` entry of
+//! `BENCH_SCHED_BASELINE` (default `BENCH_sched.json`), failing on a >10%
+//! regression. Point the env var at a same-machine, same-scale baseline —
+//! `./ci` uses the smoke file it just generated.
 
 use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode, SimOptions};
-use capacity::world::MediaKernel;
+use capacity::world::SignallingPath;
 use loadgen::HoldingDist;
 use std::fmt::Write as _;
 
-struct KernelResult {
+struct PathResult {
     name: &'static str,
     wall_s: f64,
     events: u64,
@@ -37,19 +36,19 @@ struct KernelResult {
     phases: des::PhaseBreakdown,
 }
 
-fn media_cfg(scale: &str) -> (EmpiricalConfig, &'static str) {
+fn sip_cfg(scale: &str) -> (EmpiricalConfig, &'static str) {
     match scale {
         "full" => {
             let mut c = EmpiricalConfig::table1(150.0, 2015);
-            c.media = MediaMode::PerPacket { encode_every: 1 };
-            (c, "tab1_150E_165ch_180s_encode_every_frame")
+            c.media = MediaMode::Off;
+            (c, "tab1_150E_165ch_180s_signalling_only")
         }
         _ => {
             let mut c = EmpiricalConfig::table1(150.0, 2015);
             c.placement_window_s = 5.0;
             c.holding = HoldingDist::Fixed(4.0);
-            c.media = MediaMode::PerPacket { encode_every: 1 };
-            (c, "tab1_150E_165ch_smoke_encode_every_frame")
+            c.media = MediaMode::Off;
+            (c, "tab1_150E_165ch_smoke_signalling_only")
         }
     }
 }
@@ -96,26 +95,39 @@ fn phases_json(p: &des::PhaseBreakdown) -> String {
 
 fn main() {
     let scale = std::env::var("BENCH_SCALE").unwrap_or_else(|_| "smoke".to_owned());
-    let (cfg, scenario) = media_cfg(&scale);
+    let (cfg, scenario) = sip_cfg(&scale);
 
-    let kernels: [(&str, MediaKernel); 2] = [
-        ("reference", MediaKernel::Reference),
-        ("batched", MediaKernel::Batched),
+    let paths: [(&str, SignallingPath); 2] = [
+        ("reference", SignallingPath::Reference),
+        ("interned", SignallingPath::Interned),
     ];
     let mut results = Vec::new();
-    for (name, media_kernel) in kernels {
-        let r = EmpiricalRunner::run_with(
-            cfg.clone(),
-            SimOptions {
-                media_kernel,
-                ..SimOptions::default()
-            },
-        );
+    for (name, signalling) in paths {
+        // Best-of-3: the signalling-only smoke run finishes in tens of
+        // milliseconds, where single-run jitter can dwarf the path delta.
+        let r = (0..3)
+            .map(|_| {
+                EmpiricalRunner::run_with(
+                    cfg.clone(),
+                    SimOptions {
+                        signalling,
+                        ..SimOptions::default()
+                    },
+                )
+            })
+            .reduce(|best, r| {
+                if r.wall_clock_s < best.wall_clock_s {
+                    r
+                } else {
+                    best
+                }
+            })
+            .expect("three runs");
         eprintln!(
             "{name:<12} {:>8.3} s  {:>12.0} ev/s  ({} events)",
             r.wall_clock_s, r.events_per_sec, r.events_processed
         );
-        results.push(KernelResult {
+        results.push(PathResult {
             name,
             wall_s: r.wall_clock_s,
             events: r.events_processed,
@@ -125,24 +137,23 @@ fn main() {
         });
     }
 
-    // The kernel only changes payload bytes, which never reach the scored
-    // physics: both runs must agree exactly.
+    // The signalling path only changes the in-memory transport of
+    // messages; wire lengths and delivery order are identical, so both
+    // runs must agree exactly.
     if results[0].digest != results[1].digest {
         eprintln!(
-            "FATAL: reference and batched kernels disagree on the run \
-             digest — the media kernel leaked into the physics"
+            "FATAL: reference and interned signalling paths disagree on \
+             the run digest — the signalling path leaked into the physics"
         );
         std::process::exit(1);
     }
 
-    let speedup = results[0].wall_s / results[1].wall_s.max(1e-9);
-    eprintln!("kernel speedup (reference / batched): {speedup:.2}x");
+    let speedup = results[1].events_per_sec / results[0].events_per_sec.max(1e-9);
+    eprintln!("signalling speedup (interned / reference, events/sec): {speedup:.2}x");
 
     // Regression gate: the default engine on the scheduler bench's
     // workload must stay within 10% of the committed baseline's
-    // events/sec. Best-of-3 damps warmup and allocator noise — the smoke
-    // workload finishes in tens of milliseconds, where single-run jitter
-    // alone can exceed the 10% budget.
+    // events/sec. Best-of-3 damps warmup and allocator noise.
     let baseline_path =
         std::env::var("BENCH_SCHED_BASELINE").unwrap_or_else(|_| "BENCH_sched.json".to_owned());
     let gate = gate_cfg(&scale);
@@ -184,7 +195,7 @@ fn main() {
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"scenario\": \"{scenario}\",");
     let _ = writeln!(json, "  \"scale\": \"{scale}\",");
-    let _ = writeln!(json, "  \"kernels\": [");
+    let _ = writeln!(json, "  \"paths\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         let phases = if r.phases.enabled {
@@ -200,7 +211,7 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"speedup_batched_vs_reference\": {speedup:.3},");
+    let _ = writeln!(json, "  \"speedup_interned_vs_reference\": {speedup:.3},");
     let _ = writeln!(json, "  \"gate_scenario_events_per_sec\": {gate_eps:.1},");
     let _ = writeln!(
         json,
@@ -209,7 +220,7 @@ fn main() {
     let _ = writeln!(json, "  \"gate_status\": \"{gate_status}\"");
     let _ = writeln!(json, "}}");
 
-    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_media.json".to_owned());
-    std::fs::write(&out, &json).expect("write BENCH_media.json");
-    println!("wrote {out} (kernel speedup {speedup:.2}x)");
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_sip.json".to_owned());
+    std::fs::write(&out, &json).expect("write BENCH_sip.json");
+    println!("wrote {out} (signalling speedup {speedup:.2}x)");
 }

@@ -5,7 +5,7 @@
 //! both exchange RTP for `h` seconds through the PBX, and blocking rate +
 //! voice quality are evaluated and registered.
 
-use crate::world::{Ev, MediaKernel, MediaPath, World};
+use crate::world::{Ev, MediaKernel, MediaPath, SignallingPath, World};
 use des::{Scheduler, SchedulerKind, SimDuration, SimTime, Simulation};
 use faults::{FaultKind, FaultSchedule};
 use loadgen::{CallOutcome, HoldingDist, RetryPolicy};
@@ -46,6 +46,8 @@ pub struct SimOptions {
     pub media_path: MediaPath,
     /// Media synthesis/companding kernel.
     pub media_kernel: MediaKernel,
+    /// Signalling transport representation (structured vs wire bytes).
+    pub signalling: SignallingPath,
 }
 
 impl Default for SimOptions {
@@ -54,19 +56,22 @@ impl Default for SimOptions {
             scheduler: SchedulerKind::Wheel,
             media_path: MediaPath::Coalesced,
             media_kernel: MediaKernel::Batched,
+            signalling: SignallingPath::Interned,
         }
     }
 }
 
 impl SimOptions {
-    /// The original implementation triple: global binary heap, one event
-    /// per media frame per session, scalar per-sample media kernel.
+    /// The original implementation quadruple: global binary heap, one
+    /// event per media frame per session, scalar per-sample media kernel,
+    /// serialize-and-reparse signalling.
     #[must_use]
     pub fn reference() -> Self {
         SimOptions {
             scheduler: SchedulerKind::Heap,
             media_path: MediaPath::PerTick,
             media_kernel: MediaKernel::Reference,
+            signalling: SignallingPath::Reference,
         }
     }
 }
@@ -558,7 +563,8 @@ pub fn run_world_with(
     opts: SimOptions,
 ) -> Simulation<World, Ev> {
     let sched = Scheduler::with_kind_and_capacity(opts.scheduler, config.expected_pending_events());
-    let world = World::with_engine(config, opts.media_path, opts.media_kernel);
+    let world = World::with_engine(config, opts.media_path, opts.media_kernel)
+        .with_signalling(opts.signalling);
     let mut sim = Simulation::with_scheduler(world, sched);
     sim.world.prime(&mut sim.sched);
     sim.run_until(horizon);
@@ -697,8 +703,7 @@ mod tests {
                     cfg(),
                     SimOptions {
                         scheduler: SchedulerKind::Heap,
-                        media_path: MediaPath::Coalesced,
-                        media_kernel: MediaKernel::Batched,
+                        ..SimOptions::default()
                     },
                 ),
             ),
@@ -708,8 +713,7 @@ mod tests {
                     cfg(),
                     SimOptions {
                         scheduler: SchedulerKind::Wheel,
-                        media_path: MediaPath::PerTick,
-                        media_kernel: MediaKernel::Reference,
+                        ..SimOptions::reference()
                     },
                 ),
             ),
@@ -721,6 +725,19 @@ mod tests {
                     cfg(),
                     SimOptions {
                         media_kernel: MediaKernel::Reference,
+                        ..SimOptions::default()
+                    },
+                ),
+            ),
+            // The signalling path only changes the in-memory transport of
+            // messages between nodes — the analytic wire length equals the
+            // serialized length exactly — so swapping it is digest-exact.
+            (
+                &fast,
+                &EmpiricalRunner::run_with(
+                    cfg(),
+                    SimOptions {
+                        signalling: SignallingPath::Reference,
                         ..SimOptions::default()
                     },
                 ),

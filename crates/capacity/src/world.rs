@@ -68,6 +68,28 @@ pub enum MediaKernel {
     Batched,
 }
 
+/// How SIP messages travel between the endpoints and the PBX farm.
+///
+/// Orthogonal to [`MediaPath`]/[`MediaKernel`] and, like them, invisible
+/// in the physics: both paths put identical wire lengths on the simulated
+/// links and hand identical structured messages to the protocol engines,
+/// so they produce identical [`crate::experiment::RunResult::digest`]
+/// values (enforced in-tree by `engine_options_do_not_change_the_physics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SignallingPath {
+    /// Wire-faithful: every send serializes the message to bytes
+    /// ([`Payload::SipWire`]) and every delivery re-parses them eagerly —
+    /// what a stack doing real UDP I/O pays per hop. Kept as the A/B
+    /// baseline for the signalling benchmarks.
+    Reference,
+    /// Structured cut-through: the typed message rides the frame as-is,
+    /// its on-wire size computed analytically (`SipMessage::wire_len`,
+    /// exactly the serialized length); steady-state call flow serializes
+    /// and parses nothing.
+    #[default]
+    Interned,
+}
+
 /// Node number of PBX `k` in the farm.
 #[must_use]
 pub fn pbx_node(k: u32) -> NodeId {
@@ -79,6 +101,9 @@ pub fn pbx_node(k: u32) -> NodeId {
 pub enum Payload {
     /// A SIP message (wire length precomputed).
     Sip(SipMessage),
+    /// A SIP message as raw wire bytes (the [`SignallingPath::Reference`]
+    /// form; shared so hops clone a refcount, not the bytes).
+    SipWire(Arc<[u8]>),
     /// An RTP datagram addressed to a UDP port.
     Rtp {
         /// Destination media port.
@@ -217,6 +242,7 @@ pub struct World {
     placement_end: SimTime,
     media_path: MediaPath,
     media_kernel: MediaKernel,
+    signalling: SignallingPath,
     /// Reused PCM frame buffer for the batched kernel: synthesis fills it
     /// in place, companding reads it — no per-frame sample allocation.
     media_scratch: [i16; SAMPLES_PER_FRAME],
@@ -320,6 +346,7 @@ impl World {
                 + SimDuration::from_secs_f64(config.placement_window_s),
             media_path,
             media_kernel,
+            signalling: SignallingPath::default(),
             media_scratch: [0i16; SAMPLES_PER_FRAME],
             phase_timer: PhaseTimer::new(),
             sessions: Vec::new(),
@@ -333,6 +360,14 @@ impl World {
             answers_per_sec: Vec::new(),
             config,
         }
+    }
+
+    /// Select the signalling-plane implementation (builder style; the
+    /// default is the interned cut-through path).
+    #[must_use]
+    pub fn with_signalling(mut self, signalling: SignallingPath) -> Self {
+        self.signalling = signalling;
+        self
     }
 
     /// Calls placed so far.
@@ -374,12 +409,7 @@ impl World {
                 let caller_uid = format!("{}", 1000 + i);
                 for ev in self.uacs[k].register(&caller_uid) {
                     if let UacEvent::SendSip { to, msg } = ev {
-                        reg_frames.push(Frame {
-                            src: nodes::SIPP_CLIENT,
-                            dst: to,
-                            wire_len: msg.to_wire().len() + 46,
-                            payload: Payload::Sip(msg),
-                        });
+                        reg_frames.push(self.sip_frame(nodes::SIPP_CLIENT, to, msg));
                     }
                 }
                 // Callee registrations originate from the server node;
@@ -388,12 +418,7 @@ impl World {
                 let mut scratch = Uac::with_tag(nodes::SIPP_SERVER, pbx, &host, 9000 + k as u32);
                 for ev in scratch.register(&callee_uid) {
                     if let UacEvent::SendSip { to, msg } = ev {
-                        reg_frames.push(Frame {
-                            src: nodes::SIPP_SERVER,
-                            dst: to,
-                            wire_len: msg.to_wire().len() + 46,
-                            payload: Payload::Sip(msg),
-                        });
+                        reg_frames.push(self.sip_frame(nodes::SIPP_SERVER, to, msg));
                     }
                 }
             }
@@ -508,24 +533,14 @@ impl World {
             let caller_uid = format!("{}", 1000 + i);
             for ev in self.uacs[k].register(&caller_uid) {
                 if let UacEvent::SendSip { to, msg } = ev {
-                    reg_frames.push(Frame {
-                        src: nodes::SIPP_CLIENT,
-                        dst: to,
-                        wire_len: msg.to_wire().len() + 46,
-                        payload: Payload::Sip(msg),
-                    });
+                    reg_frames.push(self.sip_frame(nodes::SIPP_CLIENT, to, msg));
                 }
             }
             let callee_uid = format!("{}", 1500 + i);
             let mut scratch = Uac::with_tag(nodes::SIPP_SERVER, node, &host, 9000 + pbx);
             for ev in scratch.register(&callee_uid) {
                 if let UacEvent::SendSip { to, msg } = ev {
-                    reg_frames.push(Frame {
-                        src: nodes::SIPP_SERVER,
-                        dst: to,
-                        wire_len: msg.to_wire().len() + 46,
-                        payload: Payload::Sip(msg),
-                    });
+                    reg_frames.push(self.sip_frame(nodes::SIPP_SERVER, to, msg));
                 }
             }
         }
@@ -571,12 +586,31 @@ impl World {
         }
     }
 
-    fn sip_frame(src: NodeId, to: NodeId, msg: SipMessage) -> Frame {
-        Frame {
-            src,
-            dst: to,
-            wire_len: msg.to_wire().len() + 46,
-            payload: Payload::Sip(msg),
+    /// Package a SIP message for the network according to the configured
+    /// signalling path. On the interned path the on-wire size comes from
+    /// the analytic `wire_len` — no serialization; on the reference path
+    /// the message is serialized here, once, and travels as shared bytes.
+    fn sip_frame(&self, src: NodeId, to: NodeId, msg: SipMessage) -> Frame {
+        match self.signalling {
+            SignallingPath::Interned => {
+                let wire_len = msg.wire_len() + 46;
+                debug_assert_eq!(wire_len, msg.to_wire().len() + 46, "analytic length exact");
+                Frame {
+                    src,
+                    dst: to,
+                    wire_len,
+                    payload: Payload::Sip(msg),
+                }
+            }
+            SignallingPath::Reference => {
+                let bytes: Arc<[u8]> = msg.to_wire().into();
+                Frame {
+                    src,
+                    dst: to,
+                    wire_len: bytes.len() + 46,
+                    payload: Payload::SipWire(bytes),
+                }
+            }
         }
     }
 
@@ -605,7 +639,7 @@ impl World {
         for ev in events {
             match ev {
                 UacEvent::SendSip { to, msg } => {
-                    let frame = Self::sip_frame(nodes::SIPP_CLIENT, to, msg);
+                    let frame = self.sip_frame(nodes::SIPP_CLIENT, to, msg);
                     self.send_frame(now, sched, frame);
                 }
                 UacEvent::Answered {
@@ -674,7 +708,7 @@ impl World {
         for ev in events {
             match ev {
                 UasEvent::SendSip { to, msg } => {
-                    let frame = Self::sip_frame(nodes::SIPP_SERVER, to, msg);
+                    let frame = self.sip_frame(nodes::SIPP_SERVER, to, msg);
                     self.send_frame(now, sched, frame);
                 }
                 UasEvent::AnswerDue { call_id, at } => {
@@ -731,7 +765,7 @@ impl World {
         for act in actions {
             match act {
                 PbxAction::SendSip { to, msg } => {
-                    let frame = Self::sip_frame(src, to, msg);
+                    let frame = self.sip_frame(src, to, msg);
                     self.send_frame(now, sched, frame);
                 }
                 // The world relays RTP via the allocation-free
@@ -1173,6 +1207,32 @@ impl World {
         (idx < self.pbxes.len()).then_some(idx)
     }
 
+    /// Route a delivered SIP message to the engine living at `dst`.
+    fn handle_sip_delivery(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        src: NodeId,
+        dst: NodeId,
+        msg: SipMessage,
+    ) {
+        self.monitor.tap_sip(&msg);
+        if let Some(k) = self.pbx_index_of(dst) {
+            let actions = self.pbxes[k].handle_sip(now, src, msg);
+            self.process_pbx_actions(now, sched, dst, actions);
+        } else if dst == nodes::SIPP_CLIENT {
+            let idx = msg
+                .call_id()
+                .map(|cid| self.uac_index_for(cid))
+                .unwrap_or(0);
+            let events = self.uacs[idx].on_sip(now, msg);
+            self.process_uac_events(now, sched, events);
+        } else if dst == nodes::SIPP_SERVER {
+            let events = self.uas.on_sip(now, src, msg);
+            self.process_uas_events(now, sched, events);
+        }
+    }
+
     fn deliver(
         &mut self,
         now: SimTime,
@@ -1191,6 +1251,7 @@ impl World {
             // needs real octets; the relay path never does.
             let (dst_port, payload) = match &frame.payload {
                 Payload::Sip(msg) => (5060u16, msg.to_wire()),
+                Payload::SipWire(bytes) => (5060u16, bytes.to_vec()),
                 Payload::Rtp {
                     dst_port, datagram, ..
                 } => (*dst_port, datagram.encode()),
@@ -1206,22 +1267,21 @@ impl World {
         }
         match frame.payload {
             Payload::Sip(msg) => timer.measure(Phase::Signalling, || {
-                self.monitor.tap_sip(&msg);
-                if let Some(k) = self.pbx_index_of(frame.dst) {
-                    let actions = self.pbxes[k].handle_sip(now, frame.src, msg);
-                    self.process_pbx_actions(now, sched, frame.dst, actions);
-                } else if frame.dst == nodes::SIPP_CLIENT {
-                    let idx = msg
-                        .call_id()
-                        .map(|cid| self.uac_index_for(cid))
-                        .unwrap_or(0);
-                    let events = self.uacs[idx].on_sip(now, msg);
-                    self.process_uac_events(now, sched, events);
-                } else if frame.dst == nodes::SIPP_SERVER {
-                    let events = self.uas.on_sip(now, frame.src, msg);
-                    self.process_uas_events(now, sched, events);
-                }
+                self.handle_sip_delivery(now, sched, frame.src, frame.dst, msg);
             }),
+            Payload::SipWire(bytes) => {
+                // The reference path's per-delivery cost, attributed to its
+                // own bucket so the signalling benchmark can separate wire
+                // decode from protocol work. (Not nested inside the
+                // Signalling measure: PhaseTimer does not nest.)
+                let msg = timer.measure(Phase::SipWire, || {
+                    sipcore::parse_message(&bytes)
+                        .expect("reference-path bytes come from to_wire and always re-parse")
+                });
+                timer.measure(Phase::Signalling, || {
+                    self.handle_sip_delivery(now, sched, frame.src, frame.dst, msg);
+                });
+            }
             Payload::Rtp {
                 dst_port,
                 datagram,
@@ -1306,7 +1366,7 @@ impl EventHandler<Ev> for World {
             Ev::PlaceCall => timer.measure(Phase::Signalling, || self.place_call(at, sched)),
             Ev::SendFrame(frame) => {
                 let phase = match frame.payload {
-                    Payload::Sip(_) => Phase::Signalling,
+                    Payload::Sip(_) | Payload::SipWire(_) => Phase::Signalling,
                     Payload::Rtp { .. } => Phase::Relay,
                 };
                 timer.measure(phase, || self.send_frame(at, sched, frame));
@@ -1316,7 +1376,7 @@ impl EventHandler<Ev> for World {
                     self.deliver(at, sched, frame, &mut timer);
                 } else {
                     let phase = match frame.payload {
-                        Payload::Sip(_) => Phase::Signalling,
+                        Payload::Sip(_) | Payload::SipWire(_) => Phase::Signalling,
                         Payload::Rtp { .. } => Phase::Relay,
                     };
                     timer.measure(phase, || self.forward_frame(at, sched, node, frame));

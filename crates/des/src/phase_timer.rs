@@ -32,9 +32,13 @@ pub enum Phase {
     Relay = 2,
     /// Monitor taps: per-packet RTP statistics and SIP accounting.
     Scoring = 3,
+    /// Decoding SIP wire bytes back into structured messages (the
+    /// reference signalling path's eager re-parse; zero on the interned
+    /// path, which is the point of measuring it separately).
+    SipWire = 4,
 }
 
-const PHASES: usize = 4;
+const PHASES: usize = 5;
 
 /// Seconds of wall clock attributed to each bucket of a run.
 ///
@@ -57,6 +61,10 @@ pub struct PhaseBreakdown {
     pub relay_s: f64,
     /// Time scoring packets in the monitor.
     pub scoring_s: f64,
+    /// Time re-parsing SIP wire bytes into messages (reference
+    /// signalling path only; the interned path never serializes on the
+    /// hot path, so this bucket stays zero there).
+    pub sip_wire_s: f64,
 }
 
 impl PhaseBreakdown {
@@ -64,7 +72,7 @@ impl PhaseBreakdown {
     /// remainder).
     #[must_use]
     pub fn handler_total_s(&self) -> f64 {
-        self.signalling_s + self.media_encode_s + self.relay_s + self.scoring_s
+        self.signalling_s + self.media_encode_s + self.relay_s + self.scoring_s + self.sip_wire_s
     }
 }
 
@@ -123,6 +131,7 @@ impl PhaseTimer {
                 media_encode_s: s(Phase::MediaEncode),
                 relay_s: s(Phase::Relay),
                 scoring_s: s(Phase::Scoring),
+                sip_wire_s: s(Phase::SipWire),
             };
             b.scheduler_s = (total_wall_s - b.handler_total_s()).max(0.0);
             b

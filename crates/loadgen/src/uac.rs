@@ -12,13 +12,12 @@
 //! overload control can be compared honestly against uncontrolled runs.
 
 use crate::journal::{CallOutcome, Journal, MsgDirection};
-use des::{SimDuration, SimTime};
+use des::{FastMap, SimDuration, SimTime};
 use netsim::NodeId;
 use sipcore::headers::HeaderName;
 use sipcore::message::{format_via, Request, SipMessage};
 use sipcore::sdp::{SdpCodec, SessionDescription};
 use sipcore::{Method, SipUri, StatusCode};
-use std::collections::HashMap;
 
 /// How a UAC reacts to `503 Service Unavailable` + `Retry-After`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,12 +143,12 @@ pub struct Uac {
     /// Retry behaviour on 503 (`None` = a shed call is simply blocked,
     /// SIPp's default).
     pub retry_policy: Option<RetryPolicy>,
-    calls: HashMap<String, UacCall>,
+    calls: FastMap<String, UacCall>,
     /// Shed calls waiting out their backoff, keyed by the shed Call-ID.
-    pending_retries: HashMap<String, PendingRetry>,
+    pending_retries: FastMap<String, PendingRetry>,
     /// Registrations awaiting completion (digest flow): call-id → (uid,
     /// next CSeq to use on the authenticated retry).
-    pending_registrations: HashMap<String, (String, u32)>,
+    pending_registrations: FastMap<String, (String, u32)>,
     /// Registrations confirmed with a 200.
     pub registrations_confirmed: u64,
     next_serial: u64,
@@ -173,9 +172,9 @@ impl Uac {
             tag,
             journal: Journal::new(),
             retry_policy: None,
-            calls: HashMap::new(),
-            pending_retries: HashMap::new(),
-            pending_registrations: HashMap::new(),
+            calls: FastMap::default(),
+            pending_retries: FastMap::default(),
+            pending_registrations: FastMap::default(),
             registrations_confirmed: 0,
             next_serial: 0,
             // Stagger port ranges per instance so several engines sharing

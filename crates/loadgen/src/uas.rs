@@ -5,13 +5,12 @@
 //! media, and answer the BYE with 200.
 
 use crate::journal::{Journal, MsgDirection};
-use des::{SimDuration, SimTime};
+use des::{FastMap, SimDuration, SimTime};
 use netsim::NodeId;
 use sipcore::headers::{with_tag, HeaderName};
 use sipcore::message::{Request, SipMessage};
 use sipcore::sdp::{SdpCodec, SessionDescription};
 use sipcore::{Method, StatusCode};
-use std::collections::HashMap;
 
 /// Something the UAS asks the world to do or reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,7 +73,7 @@ pub struct Uas {
     pub pickup_delay: SimDuration,
     /// Accounting ledger.
     pub journal: Journal,
-    calls: HashMap<String, UasCall>,
+    calls: FastMap<String, UasCall>,
     next_port: u16,
     next_tag: u64,
 }
@@ -87,7 +86,7 @@ impl Uas {
             node,
             pickup_delay,
             journal: Journal::new(),
-            calls: HashMap::new(),
+            calls: FastMap::default(),
             next_port: 30_000,
             next_tag: 0,
         }

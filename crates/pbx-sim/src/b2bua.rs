@@ -21,10 +21,9 @@ use des::FastMap;
 use des::{SimDuration, SimTime};
 use netsim::NodeId;
 use sipcore::headers::{tag_of, with_tag, HeaderName};
-use sipcore::message::{format_via, Request, Response, SipMessage};
+use sipcore::message::{write_via_args, Request, Response, SipMessage};
 use sipcore::sdp::SessionDescription;
 use sipcore::{Method, StatusCode};
-use std::collections::HashMap;
 
 /// Overload-control watermarks (SIP server shedding à la RFC 7339).
 ///
@@ -204,15 +203,19 @@ pub struct Pbx {
     /// Registrar bindings.
     pub registrar: Registrar,
     stats: PbxStats,
-    active_per_user: HashMap<String, u32>,
+    active_per_user: FastMap<String, u32>,
     calls: Vec<Option<Call>>,
-    by_caller_call_id: HashMap<String, usize>,
-    by_callee_call_id: HashMap<String, usize>,
+    by_caller_call_id: FastMap<String, usize>,
+    by_callee_call_id: FastMap<String, usize>,
     by_pbx_port: FastMap<u16, (usize, bool)>, // port -> (call, faces_caller)
     next_port: u16,
     next_call_serial: u64,
     /// Overload-control hysteresis state: currently shedding?
     shedding: bool,
+    /// Per-instance digest nonce, derived once from the hostname (a real
+    /// server rotates nonces; a deterministic constant suffices here and
+    /// keeps the MD5 off the REGISTER hot path).
+    nonce: String,
 }
 
 const FIRST_MEDIA_PORT: u16 = 10_000;
@@ -223,6 +226,10 @@ impl Pbx {
     pub fn new(config: PbxConfig, directory: Directory) -> Self {
         let registrar = Registrar::new(config.registration_expiry);
         let pool = ChannelPool::new(config.channels);
+        let nonce = format!(
+            "nonce-{}",
+            sipcore::auth::md5_hex(config.hostname.as_bytes())
+        );
         Pbx {
             config,
             pool,
@@ -231,14 +238,15 @@ impl Pbx {
             directory,
             registrar,
             stats: PbxStats::default(),
-            active_per_user: HashMap::new(),
+            active_per_user: FastMap::default(),
             calls: Vec::new(),
-            by_caller_call_id: HashMap::new(),
-            by_callee_call_id: HashMap::new(),
+            by_caller_call_id: FastMap::default(),
+            by_callee_call_id: FastMap::default(),
             by_pbx_port: FastMap::default(),
             next_port: FIRST_MEDIA_PORT,
             next_call_serial: 0,
             shedding: false,
+            nonce,
         }
     }
 
@@ -406,7 +414,7 @@ impl Pbx {
                 .and_then(|e| e.attrs.get("userPassword").cloned());
             let ok = password.as_deref().is_some_and(|pw| {
                 creds.realm == self.config.hostname
-                    && creds.verify(pw, "REGISTER", &self.digest_nonce())
+                    && creds.verify(pw, "REGISTER", self.digest_nonce())
             });
             if !ok {
                 return vec![self.error_reply(from, req, StatusCode::FORBIDDEN)];
@@ -432,7 +440,7 @@ impl Pbx {
             // Challenge: 401 with a fresh-enough nonce.
             let challenge = sipcore::auth::DigestChallenge {
                 realm: self.config.hostname.clone(),
-                nonce: self.digest_nonce(),
+                nonce: self.nonce.clone(),
             };
             let mut resp = req.make_response(StatusCode::UNAUTHORIZED);
             resp.headers
@@ -457,14 +465,9 @@ impl Pbx {
         }
     }
 
-    /// The registrar's current digest nonce. A real server rotates nonces
-    /// and tracks staleness; for the evaluation a per-instance constant
-    /// derived from the hostname is sufficient (and deterministic).
-    fn digest_nonce(&self) -> String {
-        format!(
-            "nonce-{}",
-            sipcore::auth::md5_hex(self.config.hostname.as_bytes())
-        )
+    /// The registrar's current digest nonce (cached at construction).
+    fn digest_nonce(&self) -> &str {
+        &self.nonce
     }
 
     fn on_invite(&mut self, now: SimTime, from: NodeId, req: Request) -> Vec<PbxAction> {
@@ -572,10 +575,13 @@ impl Pbx {
             return vec![self.error_reply(from, &req, StatusCode::BUSY_HERE)];
         };
 
-        // Caller's media coordinates from its SDP offer.
-        let caller_rtp_port = SessionDescription::parse(&req.body)
-            .map(|s| s.audio_port)
-            .unwrap_or(0);
+        // Caller's media coordinates and codec from its SDP offer (one
+        // parse serves both).
+        let caller_offer = SessionDescription::parse(&req.body);
+        let caller_rtp_port = caller_offer.as_ref().map(|s| s.audio_port).unwrap_or(0);
+        let offer_codec = caller_offer
+            .map(|s| s.codec)
+            .unwrap_or(sipcore::sdp::SdpCodec::Pcmu);
 
         let serial = self.next_call_serial;
         self.next_call_serial += 1;
@@ -585,23 +591,24 @@ impl Pbx {
 
         // Build the PBX-originated INVITE towards the callee, offering the
         // PBX's own media port (the relay behaviour of Asterisk).
-        let offer_codec = SessionDescription::parse(&req.body)
-            .map(|s| s.codec)
-            .unwrap_or(sipcore::sdp::SdpCodec::Pcmu);
         let sdp = SessionDescription::new(
             "asterisk",
             &self.config.hostname,
             pbx_port_for_callee,
             offer_codec,
         );
+        let mut via = String::with_capacity(64);
+        write_via_args(
+            &mut via,
+            &self.config.hostname,
+            5060,
+            format_args!("z9hG4bKpbx{serial}"),
+        );
         let out_invite = Request::new(
             Method::Invite,
             sipcore::SipUri::new(&extension, &self.config.hostname),
         )
-        .header(
-            HeaderName::Via,
-            format_via(&self.config.hostname, 5060, &format!("z9hG4bKpbx{serial}")),
-        )
+        .header(HeaderName::Via, via)
         .header(
             HeaderName::From,
             format!(
@@ -625,6 +632,9 @@ impl Pbx {
             .or_insert(0) += 1;
         let idx = self.calls.len();
         let pbx_tag = format!("pbxuas{serial}");
+        // Build the 100 Trying before the INVITE moves into the call slot
+        // (the stored original serves every later caller-facing response).
+        let trying = req.make_response(StatusCode::TRYING);
         self.calls.push(Some(Call {
             channel,
             state: CallState::Inviting,
@@ -638,7 +648,7 @@ impl Pbx {
                 rtp_port: 0,
                 pbx_port: pbx_port_for_callee,
             },
-            caller_invite: req.clone(),
+            caller_invite: req,
             callee_call_id: callee_call_id.clone(),
             bye_from_caller: true,
             record,
@@ -651,7 +661,7 @@ impl Pbx {
 
         // 100 Trying to the caller + INVITE onward (the Fig. 2 ladder).
         vec![
-            self.reply(from, req.make_response(StatusCode::TRYING)),
+            self.reply(from, trying),
             self.send(callee_node, out_invite.into()),
         ]
     }
@@ -668,14 +678,18 @@ impl Pbx {
             return vec![];
         };
         // Forward the ACK on the callee leg to complete its handshake.
+        let mut via = String::with_capacity(64);
+        write_via_args(
+            &mut via,
+            &self.config.hostname,
+            5060,
+            format_args!("z9hG4bKpbxack{idx}"),
+        );
         let ack = Request::new(
             Method::Ack,
             sipcore::SipUri::new(&call.record.callee, &self.config.hostname),
         )
-        .header(
-            HeaderName::Via,
-            format_via(&self.config.hostname, 5060, &format!("z9hG4bKpbxack{idx}")),
-        )
+        .header(HeaderName::Via, via)
         .header(HeaderName::CallId, call.callee_call_id.clone())
         .header(HeaderName::CSeq, "1 ACK")
         .header(
@@ -721,6 +735,13 @@ impl Pbx {
                 call.caller_invite.call_id().unwrap_or("").to_owned(),
             )
         };
+        let mut via = String::with_capacity(64);
+        write_via_args(
+            &mut via,
+            &self.config.hostname,
+            5060,
+            format_args!("z9hG4bKpbxbye{idx}"),
+        );
         let bye = Request::new(
             Method::Bye,
             sipcore::SipUri::new(
@@ -732,10 +753,7 @@ impl Pbx {
                 &self.config.hostname,
             ),
         )
-        .header(
-            HeaderName::Via,
-            format_via(&self.config.hostname, 5060, &format!("z9hG4bKpbxbye{idx}")),
-        )
+        .header(HeaderName::Via, via)
         .header(HeaderName::CallId, other_call_id)
         .header(HeaderName::CSeq, "2 BYE")
         .header(
@@ -783,15 +801,15 @@ impl Pbx {
     // -- response handling ---------------------------------------------------
 
     fn on_response(&mut self, now: SimTime, resp: Response) -> Vec<PbxAction> {
-        let Some(cid) = resp.call_id().map(str::to_owned) else {
+        let Some(cid) = resp.call_id() else {
             return vec![];
         };
         // Responses to PBX-originated requests arrive on the callee leg...
-        if let Some(&idx) = self.by_callee_call_id.get(cid.as_str()) {
+        if let Some(idx) = self.by_callee_call_id.get(cid).copied() {
             return self.on_callee_response(now, idx, resp);
         }
         // ...or are 200-to-BYE on the caller leg when the callee hung up.
-        if let Some(&idx) = self.by_caller_call_id.get(cid.as_str()) {
+        if let Some(idx) = self.by_caller_call_id.get(cid).copied() {
             if resp.cseq_method() == Some(Method::Bye) && resp.status.is_final() {
                 return self.on_bye_confirmed(now, idx);
             }
@@ -981,6 +999,7 @@ fn extract_user(value: &str) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sipcore::message::format_via;
 
     const CALLER_NODE: NodeId = NodeId(1);
     const CALLEE_NODE: NodeId = NodeId(2);

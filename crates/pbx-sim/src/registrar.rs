@@ -9,10 +9,9 @@
 //! coordinates) with an expiry.
 
 use crate::directory::{BindResult, Directory};
-use des::{SimDuration, SimTime};
+use des::{FastMap, SimDuration, SimTime};
 use netsim::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A registered binding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,7 +34,7 @@ pub enum RegisterOutcome {
 /// The registrar.
 #[derive(Debug, Clone)]
 pub struct Registrar {
-    bindings: HashMap<String, Binding>,
+    bindings: FastMap<String, Binding>,
     default_expiry: SimDuration,
     registrations: u64,
     auth_failures: u64,
@@ -46,7 +45,7 @@ impl Registrar {
     #[must_use]
     pub fn new(default_expiry: SimDuration) -> Self {
         Registrar {
-            bindings: HashMap::new(),
+            bindings: FastMap::default(),
             default_expiry,
             registrations: 0,
             auth_failures: 0,

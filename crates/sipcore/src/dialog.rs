@@ -4,6 +4,7 @@
 //! §12. The evaluation uses dialogs to correlate the BYE with the INVITE
 //! that created the session and to pair RTP streams with their signalling.
 
+use crate::atoms::{Atom, AtomTable};
 use crate::headers::{tag_of, HeaderName};
 use crate::message::{Request, Response};
 use serde::{Deserialize, Serialize};
@@ -56,6 +57,34 @@ impl DialogId {
             local_tag: tag_of(to).unwrap_or("").to_owned(),
             remote_tag: tag_of(from)?.to_owned(),
         })
+    }
+}
+
+/// An interned dialog identifier: the (Call-ID, local tag, remote tag)
+/// triple as three [`Atom`] handles. `Copy`, 12 bytes, integer hash —
+/// the map-key form of [`DialogId`] for dialog tables on the signalling
+/// hot path, where hashing three `String`s per lookup is measurable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DialogKey {
+    /// Interned Call-ID.
+    pub call_id: Atom,
+    /// Interned local tag.
+    pub local_tag: Atom,
+    /// Interned remote tag (the empty string while half-established).
+    pub remote_tag: Atom,
+}
+
+impl DialogId {
+    /// Intern this identifier's parts into `atoms`, yielding the compact
+    /// map-key form. Repeated calls for the same dialog allocate nothing
+    /// (the strings are already in the table).
+    #[must_use]
+    pub fn key(&self, atoms: &mut AtomTable) -> DialogKey {
+        DialogKey {
+            call_id: atoms.intern(&self.call_id),
+            local_tag: atoms.intern(&self.local_tag),
+            remote_tag: atoms.intern(&self.remote_tag),
+        }
     }
 }
 
@@ -198,6 +227,19 @@ mod tests {
         // Confirm after terminate must not resurrect.
         d.confirm();
         assert_eq!(d.state, DialogState::Terminated);
+    }
+
+    #[test]
+    fn interned_keys_compare_like_ids() {
+        let mut atoms = AtomTable::new();
+        let a = DialogId::new("c1", "alice", "bob").key(&mut atoms);
+        let b = DialogId::new("c1", "alice", "bob").key(&mut atoms);
+        let c = DialogId::new("c1", "bob", "alice").key(&mut atoms);
+        assert_eq!(a, b, "same triple, same key");
+        assert_ne!(a, c, "mirrored tags are a different dialog");
+        assert_eq!(atoms.resolve(a.call_id), "c1");
+        // Repeats allocate nothing new: 3 distinct strings total.
+        assert_eq!(atoms.len(), 3, "c1, alice, bob — nothing interned twice");
     }
 
     #[test]

@@ -72,6 +72,33 @@ impl HeaderName {
         }
     }
 
+    /// True when `token` names this header on the wire: canonical or
+    /// compact form, case-insensitive per RFC 3261 §7.3.1. Unlike
+    /// [`HeaderName::from_wire`] this never allocates, which is what the
+    /// lazy [`crate::wire::WireMessage`] view needs on the hot path.
+    #[must_use]
+    pub fn matches_wire(&self, token: &str) -> bool {
+        let eq = |s: &str| token.eq_ignore_ascii_case(s);
+        match self {
+            HeaderName::Via => eq("via") || eq("v"),
+            HeaderName::From => eq("from") || eq("f"),
+            HeaderName::To => eq("to") || eq("t"),
+            HeaderName::CallId => eq("call-id") || eq("i"),
+            HeaderName::CSeq => eq("cseq"),
+            HeaderName::Contact => eq("contact") || eq("m"),
+            HeaderName::MaxForwards => eq("max-forwards"),
+            HeaderName::ContentType => eq("content-type") || eq("c"),
+            HeaderName::ContentLength => eq("content-length") || eq("l"),
+            HeaderName::Expires => eq("expires"),
+            HeaderName::UserAgent => eq("user-agent"),
+            HeaderName::Allow => eq("allow"),
+            HeaderName::Authorization => eq("authorization"),
+            HeaderName::WwwAuthenticate => eq("www-authenticate"),
+            HeaderName::RetryAfter => eq("retry-after"),
+            HeaderName::Other(s) => eq(s),
+        }
+    }
+
     /// Parse a header name (case-insensitive per RFC 3261 §7.3.1).
     #[must_use]
     pub fn from_wire(s: &str) -> HeaderName {
@@ -273,6 +300,41 @@ mod tests {
             HeaderName::from_wire("X-Custom"),
             HeaderName::Other("X-Custom".to_owned())
         );
+    }
+
+    #[test]
+    fn matches_wire_agrees_with_from_wire() {
+        for token in [
+            "Via",
+            "v",
+            "FROM",
+            "f",
+            "To",
+            "t",
+            "call-id",
+            "I",
+            "CSeq",
+            "Contact",
+            "m",
+            "Max-Forwards",
+            "content-type",
+            "c",
+            "Content-Length",
+            "l",
+            "expires",
+            "User-Agent",
+            "ALLOW",
+            "Authorization",
+            "WWW-Authenticate",
+            "Retry-After",
+            "X-Custom",
+        ] {
+            let name = HeaderName::from_wire(token);
+            assert!(name.matches_wire(token), "{name:?} should match {token:?}");
+        }
+        assert!(!HeaderName::Via.matches_wire("from"));
+        assert!(!HeaderName::CallId.matches_wire("cseq"));
+        assert!(HeaderName::Other("X-Custom".into()).matches_wire("x-custom"));
     }
 
     #[test]

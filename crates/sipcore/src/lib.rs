@@ -15,7 +15,10 @@
 //!   ([`transaction`]);
 //! * dialog identification and tracking ([`dialog`]);
 //! * a minimal SDP body builder/parser ([`sdp`]) sufficient to negotiate a
-//!   G.711 μ-law audio stream.
+//!   G.711 μ-law audio stream;
+//! * zero-allocation hot-path support: a deterministic string interner
+//!   ([`atoms`]), a lazy borrowed view over raw wire bytes ([`wire`]) and a
+//!   free-list of reusable serialization buffers ([`pool`]).
 //!
 //! The implementation favours explicitness over completeness: every header
 //! needed by the evaluation is first-class, everything else rides in the
@@ -24,22 +27,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atoms;
 pub mod auth;
 pub mod dialog;
 pub mod headers;
 pub mod message;
 pub mod method;
 pub mod parse;
+pub mod pool;
 pub mod sdp;
 pub mod status;
 pub mod transaction;
 pub mod txmgr;
 pub mod uri;
+pub mod wire;
 
-pub use dialog::{Dialog, DialogId, DialogState};
+pub use atoms::{Atom, AtomTable};
+pub use dialog::{Dialog, DialogId, DialogKey, DialogState};
 pub use headers::{HeaderMap, HeaderName};
 pub use message::{Request, Response, SipMessage};
 pub use method::Method;
 pub use parse::{parse_message, ParseError};
+pub use pool::BufferPool;
 pub use status::StatusCode;
 pub use uri::SipUri;
+pub use wire::WireMessage;

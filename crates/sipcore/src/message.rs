@@ -91,18 +91,42 @@ impl Request {
         branch_of(via)
     }
 
-    /// Serialize to the RFC 3261 wire format.
+    /// Serialize to the RFC 3261 wire format. Allocates exactly once
+    /// (the returned buffer, sized by [`Request::wire_len`]).
     #[must_use]
     pub fn to_wire(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(256 + self.body.len());
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.to_wire_into(&mut out);
+        out
+    }
+
+    /// Serialize into a caller-supplied buffer (appending), allocating
+    /// nothing beyond what the buffer itself must grow — the pooled-
+    /// buffer serialization path.
+    pub fn to_wire_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_len());
         out.extend_from_slice(self.method.as_str().as_bytes());
         out.push(b' ');
-        out.extend_from_slice(self.uri.to_string().as_bytes());
+        let _ = core::fmt::Write::write_fmt(&mut ByteWriter(out), format_args!("{}", self.uri));
         out.push(b' ');
         out.extend_from_slice(SIP_VERSION.as_bytes());
         out.extend_from_slice(b"\r\n");
-        write_headers_and_body(&mut out, &self.headers, &self.body);
-        out
+        write_headers_and_body(out, &self.headers, &self.body);
+    }
+
+    /// Exact length of [`Request::to_wire`]'s output, computed without
+    /// serializing. The interned signalling path uses this for frame
+    /// sizing so the wire never has to be materialized; equality with
+    /// the serialized length is asserted in tests.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        self.method.as_str().len()
+            + 1
+            + self.uri.wire_len()
+            + 1
+            + SIP_VERSION.len()
+            + 2
+            + headers_and_body_wire_len(&self.headers, &self.body)
     }
 
     /// Build the canonical response to this request with the mandatory
@@ -185,18 +209,40 @@ impl Response {
         branch_of(via)
     }
 
-    /// Serialize to the RFC 3261 wire format.
+    /// Serialize to the RFC 3261 wire format. Allocates exactly once
+    /// (the returned buffer, sized by [`Response::wire_len`]).
     #[must_use]
     pub fn to_wire(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(256 + self.body.len());
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.to_wire_into(&mut out);
+        out
+    }
+
+    /// Serialize into a caller-supplied buffer (appending), allocating
+    /// nothing beyond what the buffer itself must grow.
+    pub fn to_wire_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_len());
         out.extend_from_slice(SIP_VERSION.as_bytes());
         out.push(b' ');
-        out.extend_from_slice(self.status.0.to_string().as_bytes());
+        let _ =
+            core::fmt::Write::write_fmt(&mut ByteWriter(out), format_args!("{}", self.status.0));
         out.push(b' ');
         out.extend_from_slice(self.status.reason_phrase().as_bytes());
         out.extend_from_slice(b"\r\n");
-        write_headers_and_body(&mut out, &self.headers, &self.body);
-        out
+        write_headers_and_body(out, &self.headers, &self.body);
+    }
+
+    /// Exact length of [`Response::to_wire`]'s output, computed without
+    /// serializing.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        SIP_VERSION.len()
+            + 1
+            + decimal_len(u32::from(self.status.0))
+            + 1
+            + self.status.reason_phrase().len()
+            + 2
+            + headers_and_body_wire_len(&self.headers, &self.body)
     }
 }
 
@@ -207,6 +253,23 @@ impl SipMessage {
         match self {
             SipMessage::Request(r) => r.to_wire(),
             SipMessage::Response(r) => r.to_wire(),
+        }
+    }
+
+    /// Serialize either kind into a caller-supplied buffer (appending).
+    pub fn to_wire_into(&self, out: &mut Vec<u8>) {
+        match self {
+            SipMessage::Request(r) => r.to_wire_into(out),
+            SipMessage::Response(r) => r.to_wire_into(out),
+        }
+    }
+
+    /// Exact serialized length of either kind, without serializing.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        match self {
+            SipMessage::Request(r) => r.wire_len(),
+            SipMessage::Response(r) => r.wire_len(),
         }
     }
 
@@ -275,10 +338,69 @@ pub fn branch_of(via_value: &str) -> Option<&str> {
     None
 }
 
-/// Format a Via header value for this protocol hop.
+/// Write a Via header value for this protocol hop into a caller-supplied
+/// buffer — the zero-allocation core every Via formatter shares. Reuse
+/// one cleared `String` across calls and retransmissions pay nothing.
+pub fn write_via(out: &mut impl core::fmt::Write, host: &str, port: u16, branch: &str) {
+    let _ = write!(out, "SIP/2.0/UDP {host}:{port};branch={branch}");
+}
+
+/// Like [`write_via`] but with the branch supplied as preformatted
+/// arguments, so callers composing a branch from parts (`z9hG4bKpbx{n}`)
+/// skip the intermediate `String` entirely.
+pub fn write_via_args(
+    out: &mut impl core::fmt::Write,
+    host: &str,
+    port: u16,
+    branch: core::fmt::Arguments<'_>,
+) {
+    let _ = write!(out, "SIP/2.0/UDP {host}:{port};branch={branch}");
+}
+
+/// Format a Via header value for this protocol hop. Convenience wrapper
+/// over [`write_via`] for cold paths; hot paths should write into a
+/// reused buffer instead.
 #[must_use]
 pub fn format_via(host: &str, port: u16, branch: &str) -> String {
-    format!("SIP/2.0/UDP {host}:{port};branch={branch}")
+    let mut s = String::with_capacity("SIP/2.0/UDP ".len() + host.len() + branch.len() + 16);
+    write_via(&mut s, host, port, branch);
+    s
+}
+
+/// Adapter so `fmt::Display` values (URIs, integers) can be written
+/// straight into a wire byte buffer without an intermediate `String`.
+struct ByteWriter<'a>(&'a mut Vec<u8>);
+
+impl core::fmt::Write for ByteWriter<'_> {
+    fn write_str(&mut self, s: &str) -> core::fmt::Result {
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Decimal digit count of `n` (for exact wire-length computation).
+pub(crate) fn decimal_len(n: u32) -> usize {
+    match n {
+        0..=9 => 1,
+        10..=99 => 2,
+        100..=999 => 3,
+        1_000..=9_999 => 4,
+        10_000..=99_999 => 5,
+        100_000..=999_999 => 6,
+        1_000_000..=9_999_999 => 7,
+        10_000_000..=99_999_999 => 8,
+        100_000_000..=999_999_999 => 9,
+        _ => 10,
+    }
+}
+
+/// Serialized length of the header block, blank line and body.
+fn headers_and_body_wire_len(headers: &HeaderMap, body: &[u8]) -> usize {
+    let head: usize = headers
+        .iter()
+        .map(|(name, value)| name.as_str().len() + 2 + value.len() + 2)
+        .sum();
+    head + 2 + body.len()
 }
 
 fn write_headers_and_body(out: &mut Vec<u8>, headers: &HeaderMap, body: &[u8]) {

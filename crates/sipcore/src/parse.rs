@@ -140,8 +140,9 @@ pub fn parse_message(buf: &[u8]) -> Result<SipMessage, ParseError> {
     }
 }
 
-/// Find the head/body split: returns (head_end, body_start).
-fn find_blank_line(buf: &[u8]) -> Option<(usize, usize)> {
+/// Find the head/body split: returns (head_end, body_start). Shared with
+/// the lazy [`crate::wire::WireMessage`] view so both framings agree.
+pub(crate) fn find_blank_line(buf: &[u8]) -> Option<(usize, usize)> {
     if buf.is_empty() {
         return None;
     }
@@ -333,6 +334,136 @@ mod proptests {
         #[test]
         fn parser_total_on_garbage(buf in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = parse_message(&buf);
+        }
+    }
+
+    /// Header names a generated set may draw from. Content-Type and
+    /// Content-Length are managed by `with_body`, so they stay out of the
+    /// pool; values are generated over a trim-stable charset so the
+    /// parser's whitespace normalization is the identity on them.
+    fn header_pool() -> Vec<HeaderName> {
+        vec![
+            HeaderName::Via,
+            HeaderName::From,
+            HeaderName::To,
+            HeaderName::Contact,
+            HeaderName::MaxForwards,
+            HeaderName::Expires,
+            HeaderName::UserAgent,
+            HeaderName::Allow,
+            HeaderName::Authorization,
+            HeaderName::WwwAuthenticate,
+            HeaderName::RetryAfter,
+            HeaderName::Other("X-Custom".to_owned()),
+            HeaderName::Other("X-Trace-Id".to_owned()),
+        ]
+    }
+
+    fn generated_headers(
+    ) -> proptest::collection::VecStrategy<(proptest::sample::Select<HeaderName>, &'static str)>
+    {
+        proptest::collection::vec(
+            (
+                proptest::sample::select(header_pool()),
+                "[a-zA-Z0-9<>@:;=./-]{1,24}",
+            ),
+            0..10,
+        )
+    }
+
+    proptest! {
+        /// parse ∘ to_wire = id over *generated* header sets (repeats,
+        /// arbitrary order, extension headers), and the analytic
+        /// `wire_len` matches the serialized length exactly.
+        #[test]
+        fn generated_request_round_trip(
+            method in method_strategy(),
+            user in "[a-z]{1,8}",
+            host in "[a-z]{1,8}",
+            headers in generated_headers(),
+            body in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut req = Request::new(method, SipUri::new(&user, &host))
+                .header(HeaderName::Via, format_via(&host, 5060, "z9hG4bKgen"))
+                .header(HeaderName::CallId, format!("{user}@{host}"))
+                .header(HeaderName::CSeq, format!("1 {method}"));
+            for (name, value) in &headers {
+                req.headers.push(name.clone(), value.clone());
+            }
+            let req = req.with_body("application/octet-stream", body);
+            let wire = req.to_wire();
+            prop_assert_eq!(wire.len(), req.wire_len(), "analytic wire_len is exact");
+            let back = parse_message(&wire).unwrap();
+            prop_assert_eq!(back.as_request().unwrap(), &req);
+        }
+
+        /// Same for responses.
+        #[test]
+        fn generated_response_round_trip(
+            code in 100u16..700,
+            headers in generated_headers(),
+            body in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut resp = Response::new(StatusCode(code))
+                .header(HeaderName::Via, format_via("h", 5060, "z9hG4bKgen"))
+                .header(HeaderName::CSeq, "1 INVITE");
+            for (name, value) in &headers {
+                resp.headers.push(name.clone(), value.clone());
+            }
+            let resp = resp.with_body("application/octet-stream", body);
+            let wire = resp.to_wire();
+            prop_assert_eq!(wire.len(), resp.wire_len(), "analytic wire_len is exact");
+            let back = parse_message(&wire).unwrap();
+            prop_assert_eq!(back.as_response().unwrap(), &resp);
+        }
+
+        /// The lazy wire view answers every field exactly as the eager
+        /// parser does on the same bytes.
+        #[test]
+        fn wire_view_agrees_with_eager_parser(
+            method in method_strategy(),
+            user in "[a-z]{1,8}",
+            host in "[a-z]{1,8}",
+            from_tag in "[a-z0-9]{1,6}",
+            headers in generated_headers(),
+            body in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut req = Request::new(method, SipUri::new(&user, &host))
+                .header(HeaderName::Via, format_via(&host, 5060, "z9hG4bKview"))
+                .header(HeaderName::From, format!("<sip:{user}@{host}>;tag={from_tag}"))
+                .header(HeaderName::To, format!("<sip:peer@{host}>"))
+                .header(HeaderName::CallId, format!("{user}@{host}"))
+                .header(HeaderName::CSeq, format!("7 {method}"));
+            for (name, value) in &headers {
+                req.headers.push(name.clone(), value.clone());
+            }
+            let req = req.with_body("application/octet-stream", body);
+            let wire = req.to_wire();
+
+            let msg = parse_message(&wire).unwrap();
+            let parsed = msg.as_request().unwrap();
+            let view = crate::wire::WireMessage::parse(&wire).unwrap();
+
+            prop_assert!(view.is_request());
+            prop_assert_eq!(view.method_token(), Some(parsed.method.as_str()));
+            prop_assert_eq!(view.uri_str().map(str::to_owned),
+                            Some(parsed.uri.to_string()));
+            prop_assert_eq!(view.call_id(), parsed.call_id());
+            prop_assert_eq!(view.top_via_branch(), parsed.top_via_branch());
+            prop_assert_eq!(view.cseq().map(|(n, _)| n), parsed.cseq_number());
+            prop_assert_eq!(
+                view.from_tag(),
+                parsed.headers.get(&HeaderName::From).and_then(crate::headers::tag_of)
+            );
+            prop_assert_eq!(
+                view.to_tag(),
+                parsed.headers.get(&HeaderName::To).and_then(crate::headers::tag_of)
+            );
+            prop_assert_eq!(view.body(), parsed.body.as_slice());
+            // Every pooled name: first-value agreement (including absent).
+            for name in header_pool() {
+                prop_assert_eq!(view.header(&name), parsed.headers.get(&name));
+            }
         }
     }
 }

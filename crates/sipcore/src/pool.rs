@@ -1,0 +1,133 @@
+//! Pooled serialization buffers: a free-list of `Vec<u8>` scratch
+//! buffers so retransmissions and freshly built requests reuse capacity
+//! instead of allocating a new buffer per message.
+//!
+//! The pool is deliberately dumb: LIFO reuse (the most recently released
+//! buffer is the warmest), a cap on how many free buffers are kept so a
+//! retransmission storm cannot turn into a memory leak, and counters so
+//! tests can prove reuse actually happens.
+
+use crate::message::SipMessage;
+
+/// Default number of free buffers kept for reuse.
+const DEFAULT_MAX_FREE: usize = 32;
+
+/// A free-list of byte buffers for wire serialization.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    max_free: usize,
+    acquired: u64,
+    reused: u64,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new(DEFAULT_MAX_FREE)
+    }
+}
+
+impl BufferPool {
+    /// A pool keeping at most `max_free` released buffers.
+    #[must_use]
+    pub fn new(max_free: usize) -> Self {
+        BufferPool {
+            free: Vec::new(),
+            max_free,
+            acquired: 0,
+            reused: 0,
+        }
+    }
+
+    /// An empty buffer, reusing released capacity when available.
+    pub fn acquire(&mut self) -> Vec<u8> {
+        self.acquired += 1;
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.reused += 1;
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Return a buffer to the pool for later reuse. Buffers beyond the
+    /// free-list cap are dropped.
+    pub fn release(&mut self, buf: Vec<u8>) {
+        if self.free.len() < self.max_free {
+            self.free.push(buf);
+        }
+    }
+
+    /// Serialize `msg` into a pooled buffer (exact-capacity on first
+    /// use, zero-allocation once the buffer has grown to the working
+    /// set's message size). Release the buffer back with
+    /// [`BufferPool::release`] after the bytes hit the wire.
+    pub fn wire_of(&mut self, msg: &SipMessage) -> Vec<u8> {
+        let mut buf = self.acquire();
+        msg.to_wire_into(&mut buf);
+        buf
+    }
+
+    /// (total acquires, acquires served from the free list).
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.acquired, self.reused)
+    }
+
+    /// Buffers currently available for reuse.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::HeaderName;
+    use crate::message::{format_via, Request};
+    use crate::method::Method;
+    use crate::uri::SipUri;
+
+    fn msg() -> SipMessage {
+        Request::new(Method::Invite, SipUri::new("bob", "pbx"))
+            .header(HeaderName::Via, format_via("h", 5060, "z9hG4bKp"))
+            .header(HeaderName::CallId, "cid-pool")
+            .header(HeaderName::CSeq, "1 INVITE")
+            .into()
+    }
+
+    #[test]
+    fn buffers_are_reused_with_their_capacity() {
+        let mut pool = BufferPool::default();
+        let wire = pool.wire_of(&msg());
+        let cap = wire.capacity();
+        assert_eq!(wire, msg().to_wire(), "pooled bytes match plain to_wire");
+        pool.release(wire);
+        let again = pool.wire_of(&msg());
+        assert!(
+            again.capacity() >= cap,
+            "second serialization reuses the released capacity"
+        );
+        assert_eq!(pool.stats(), (2, 1), "one acquire was served from free");
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut pool = BufferPool::new(2);
+        for _ in 0..5 {
+            pool.release(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.free_count(), 2, "cap enforced");
+    }
+
+    #[test]
+    fn acquire_clears_stale_contents() {
+        let mut pool = BufferPool::default();
+        pool.release(b"stale".to_vec());
+        let buf = pool.acquire();
+        assert!(buf.is_empty());
+    }
+}

@@ -7,27 +7,42 @@
 //! near-lossless); this manager is the full-fidelity composition used by
 //! the recovery tests and available to any consumer that needs RFC
 //! retransmission behaviour for many concurrent transactions.
+//!
+//! Steady-state operation allocates nothing per message: transaction keys
+//! are `Copy` handles into a manager-owned [`AtomTable`] (branch strings
+//! are interned once, on first sight), raw datagrams are matched against
+//! live transactions through the lazy [`WireMessage`] view so
+//! retransmissions are absorbed without a full parse, and outgoing
+//! serialization runs through a [`BufferPool`] free list.
 
+use crate::atoms::{Atom, AtomTable};
 use crate::message::{Request, Response, SipMessage};
 use crate::method::Method;
+use crate::parse::{parse_message, ParseError};
+use crate::pool::BufferPool;
 use crate::transaction::{
     build_non2xx_ack, ClientTx, InviteClientTx, InviteServerTx, ServerTx, TimerConfig, TimerKind,
     TxAction, TxOutcome,
 };
+use crate::wire::WireMessage;
 use core::time::Duration;
-use std::collections::HashMap;
+use des::FastMap;
 
 /// Identifies a transaction inside the manager.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Branch strings live in the manager's [`AtomTable`]; the key itself is
+/// `Copy` (8 bytes) so it can be stored in timer maps and echoed in
+/// [`MgrAction`]s without cloning a `String` per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TxKey {
     /// INVITE client transaction, by branch.
-    InviteClient(String),
+    InviteClient(Atom),
     /// Non-INVITE client transaction, by branch.
-    Client(String),
+    Client(Atom),
     /// INVITE server transaction, by branch.
-    InviteServer(String),
-    /// Non-INVITE server transaction, by branch + method token.
-    Server(String),
+    InviteServer(Atom),
+    /// Non-INVITE server transaction, by branch + method.
+    Server(Atom, Method),
 }
 
 /// What the manager asks its host to do.
@@ -73,20 +88,30 @@ enum AnyTx {
 /// The manager.
 pub struct TransactionManager {
     cfg: TimerConfig,
-    transactions: HashMap<TxKey, AnyTx>,
-    timers: HashMap<u64, (TxKey, TimerKind)>,
+    transactions: FastMap<TxKey, AnyTx>,
+    timers: FastMap<u64, (TxKey, TimerKind)>,
     next_token: u64,
+    branches: AtomTable,
+    /// Atom standing in for "no branch" on permissively accepted
+    /// hand-built messages.
+    unkeyed: Atom,
+    pool: BufferPool,
 }
 
 impl TransactionManager {
     /// A manager with the given timer configuration.
     #[must_use]
     pub fn new(cfg: TimerConfig) -> Self {
+        let mut branches = AtomTable::new();
+        let unkeyed = branches.intern("");
         TransactionManager {
             cfg,
-            transactions: HashMap::new(),
-            timers: HashMap::new(),
+            transactions: FastMap::default(),
+            timers: FastMap::default(),
             next_token: 0,
+            branches,
+            unkeyed,
+            pool: BufferPool::default(),
         }
     }
 
@@ -96,14 +121,41 @@ impl TransactionManager {
         self.transactions.len()
     }
 
+    /// Serialize a message into a pooled scratch buffer. Once the pool is
+    /// warm this performs no heap allocation; hand the buffer back with
+    /// [`TransactionManager::recycle`] after the transport has copied or
+    /// consumed it.
+    pub fn serialize(&mut self, msg: &SipMessage) -> Vec<u8> {
+        self.pool.wire_of(msg)
+    }
+
+    /// Return a buffer obtained from [`TransactionManager::serialize`] to
+    /// the free list.
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        self.pool.release(buf);
+    }
+
+    /// Pool counters: `(buffers handed out, of which reused)`.
+    #[must_use]
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.stats()
+    }
+
+    /// Number of distinct branch strings interned so far.
+    #[must_use]
+    pub fn interned_branches(&self) -> usize {
+        self.branches.len()
+    }
+
     /// Start a client transaction for an outgoing request (except ACK,
     /// which is transaction-less for 2xx and handled by the INVITE client
     /// transaction for non-2xx).
     pub fn send_request(&mut self, req: Request) -> Vec<MgrAction> {
-        let Some(branch) = req.top_via_branch().map(str::to_owned) else {
+        let branch = match req.top_via_branch() {
+            Some(b) => self.branches.intern(b),
             // No branch: fire and forget (the RFC requires one; we stay
             // permissive for hand-built messages).
-            return vec![MgrAction::Transmit(req.into())];
+            None => return vec![MgrAction::Transmit(req.into())],
         };
         if req.method == Method::Ack {
             return vec![MgrAction::Transmit(req.into())];
@@ -119,8 +171,8 @@ impl TransactionManager {
             let (tx, actions) = ClientTx::new(req, self.cfg);
             (TxKey::Client(branch), AnyTx::Client(tx), actions)
         };
-        self.transactions.insert(key.clone(), tx);
-        self.map_actions(&key, actions)
+        self.transactions.insert(key, tx);
+        self.map_actions(key, actions)
     }
 
     /// Send a response through a server transaction created by a prior
@@ -131,7 +183,55 @@ impl TransactionManager {
             Some(AnyTx::Server(tx)) => tx.send_response(resp),
             _ => return vec![],
         };
-        self.map_actions(&key.clone(), actions)
+        self.map_actions(*key, actions)
+    }
+
+    /// A raw datagram arrived. Retransmissions of requests whose branch is
+    /// already known are matched and absorbed through the borrowed
+    /// [`WireMessage`] view — replaying the stored response without ever
+    /// building a structured message. Everything else falls through to a
+    /// full parse and [`TransactionManager::on_message`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParseError`] from the full parser when the datagram is
+    /// not a retransmission and fails to parse.
+    pub fn on_wire(&mut self, bytes: &[u8]) -> Result<Vec<MgrAction>, ParseError> {
+        if let Some(absorbed) = self.try_absorb_retransmit(bytes) {
+            return Ok(absorbed);
+        }
+        Ok(self.on_message(parse_message(bytes)?))
+    }
+
+    /// Cheap-path matcher for [`TransactionManager::on_wire`]: `Some` iff
+    /// the datagram is a request retransmission for a live server
+    /// transaction. Uses only borrowed header slices and a non-interning
+    /// branch lookup, so unseen traffic costs no allocation here.
+    fn try_absorb_retransmit(&mut self, bytes: &[u8]) -> Option<Vec<MgrAction>> {
+        let view = WireMessage::parse(bytes)?;
+        if !view.is_request() {
+            return None;
+        }
+        let method = Method::from_token(view.method_token()?)?;
+        let branch = self.branches.lookup(view.top_via_branch()?)?;
+        let key = match method {
+            Method::Invite => TxKey::InviteServer(branch),
+            Method::Ack => {
+                let key = TxKey::InviteServer(branch);
+                if let Some(AnyTx::InviteServer(tx)) = self.transactions.get_mut(&key) {
+                    let actions = tx.on_ack();
+                    return Some(self.map_actions(key, actions));
+                }
+                return None; // 2xx ACK: full parse, deliver to the TU
+            }
+            m => TxKey::Server(branch, m),
+        };
+        let actions = match self.transactions.get_mut(&key)? {
+            AnyTx::InviteServer(tx) => tx.on_retransmit(),
+            AnyTx::Server(tx) => tx.on_retransmit(),
+            _ => return None,
+        };
+        Some(self.map_actions(key, actions))
     }
 
     /// A message arrived from the wire.
@@ -143,23 +243,22 @@ impl TransactionManager {
     }
 
     fn on_request(&mut self, req: Request) -> Vec<MgrAction> {
-        let Some(branch) = req.top_via_branch().map(str::to_owned) else {
-            return vec![MgrAction::DeliverRequest {
-                key: TxKey::Server(String::new()),
-                request: req,
-            }];
+        let branch = match req.top_via_branch() {
+            Some(b) => self.branches.intern(b),
+            None => {
+                let key = TxKey::Server(self.unkeyed, req.method);
+                return vec![MgrAction::DeliverRequest { key, request: req }];
+            }
         };
         match req.method {
             Method::Invite => {
                 let key = TxKey::InviteServer(branch);
                 if let Some(AnyTx::InviteServer(tx)) = self.transactions.get_mut(&key) {
                     let actions = tx.on_retransmit();
-                    return self.map_actions(&key, actions);
+                    return self.map_actions(key, actions);
                 }
-                self.transactions.insert(
-                    key.clone(),
-                    AnyTx::InviteServer(InviteServerTx::new(self.cfg)),
-                );
+                self.transactions
+                    .insert(key, AnyTx::InviteServer(InviteServerTx::new(self.cfg)));
                 vec![MgrAction::DeliverRequest { key, request: req }]
             }
             Method::Ack => {
@@ -168,29 +267,34 @@ impl TransactionManager {
                 let key = TxKey::InviteServer(branch);
                 if let Some(AnyTx::InviteServer(tx)) = self.transactions.get_mut(&key) {
                     let actions = tx.on_ack();
-                    return self.map_actions(&key, actions);
+                    return self.map_actions(key, actions);
                 }
                 vec![MgrAction::DeliverRequest {
-                    key: TxKey::Server(String::new()),
+                    key: TxKey::Server(self.unkeyed, Method::Ack),
                     request: req,
                 }]
             }
-            _ => {
-                let key = TxKey::Server(format!("{branch}|{}", req.method));
+            method => {
+                let key = TxKey::Server(branch, method);
                 if let Some(AnyTx::Server(tx)) = self.transactions.get_mut(&key) {
                     let actions = tx.on_retransmit();
-                    return self.map_actions(&key, actions);
+                    return self.map_actions(key, actions);
                 }
                 self.transactions
-                    .insert(key.clone(), AnyTx::Server(ServerTx::new(self.cfg)));
+                    .insert(key, AnyTx::Server(ServerTx::new(self.cfg)));
                 vec![MgrAction::DeliverRequest { key, request: req }]
             }
         }
     }
 
     fn on_response(&mut self, resp: Response) -> Vec<MgrAction> {
-        let Some(branch) = resp.top_via_branch().map(str::to_owned) else {
-            return vec![MgrAction::DeliverResponse(resp)];
+        let branch = match resp.top_via_branch() {
+            Some(b) => match self.branches.lookup(b) {
+                Some(a) => a,
+                // A branch we never sent: nothing of ours can match.
+                None => return vec![MgrAction::DeliverResponse(resp)],
+            },
+            None => return vec![MgrAction::DeliverResponse(resp)],
         };
         let key = if resp.cseq_method() == Some(Method::Invite) {
             TxKey::InviteClient(branch)
@@ -204,7 +308,7 @@ impl TransactionManager {
             // straight to the TU, which owns 2xx retransmission handling.
             _ => return vec![MgrAction::DeliverResponse(resp)],
         };
-        self.map_actions(&key, actions)
+        self.map_actions(key, actions)
     }
 
     /// A previously scheduled timer token fired.
@@ -219,10 +323,10 @@ impl TransactionManager {
             Some(AnyTx::Server(tx)) => tx.on_timer(kind),
             None => return vec![],
         };
-        self.map_actions(&key, actions)
+        self.map_actions(key, actions)
     }
 
-    fn map_actions(&mut self, key: &TxKey, actions: Vec<TxAction>) -> Vec<MgrAction> {
+    fn map_actions(&mut self, key: TxKey, actions: Vec<TxAction>) -> Vec<MgrAction> {
         let mut out = Vec::with_capacity(actions.len());
         for act in actions {
             match act {
@@ -232,16 +336,13 @@ impl TransactionManager {
                 TxAction::SetTimer(kind, after) => {
                     let token = self.next_token;
                     self.next_token += 1;
-                    self.timers.insert(token, (key.clone(), kind));
+                    self.timers.insert(token, (key, kind));
                     out.push(MgrAction::Schedule { token, after });
                 }
                 TxAction::Terminated(outcome) => {
-                    self.transactions.remove(key);
-                    self.timers.retain(|_, (k, _)| k != key);
-                    out.push(MgrAction::Ended {
-                        key: key.clone(),
-                        outcome,
-                    });
+                    self.transactions.remove(&key);
+                    self.timers.retain(|_, (k, _)| *k != key);
+                    out.push(MgrAction::Ended { key, outcome });
                 }
             }
         }
@@ -353,7 +454,7 @@ mod tests {
         let key = match &acts[0] {
             MgrAction::DeliverRequest { key, request } => {
                 assert_eq!(request.method, Method::Invite);
-                key.clone()
+                *key
             }
             other => panic!("{other:?}"),
         };
@@ -374,7 +475,7 @@ mod tests {
         let req = bye("z9hG4bKrb");
         let acts = mgr.on_message(req.clone().into());
         let key = match &acts[0] {
-            MgrAction::DeliverRequest { key, .. } => key.clone(),
+            MgrAction::DeliverRequest { key, .. } => *key,
             other => panic!("{other:?}"),
         };
         mgr.send_response(&key, req.make_response(StatusCode::OK));
@@ -427,6 +528,7 @@ mod tests {
         mgr.on_message(b.into());
         mgr.on_message(o.into());
         assert_eq!(mgr.active(), 2);
+        assert_eq!(mgr.interned_branches(), 2, "\"\" + one shared branch");
     }
 
     #[test]
@@ -451,7 +553,7 @@ mod tests {
         let acts = mgr.on_message(req.clone().into());
         collect(&acts, &mut tokens);
         let key = match &acts[0] {
-            MgrAction::DeliverRequest { key, .. } => key.clone(),
+            MgrAction::DeliverRequest { key, .. } => *key,
             other => panic!("{other:?}"),
         };
         let acts = mgr.send_response(&key, req.make_response(StatusCode::BUSY_HERE));
@@ -531,5 +633,59 @@ mod tests {
             }
         )));
         assert_eq!(mgr.active(), 0);
+    }
+
+    #[test]
+    fn wire_retransmission_absorbed_without_full_parse() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        let req = bye("z9hG4bKwire");
+        let wire = req.to_wire();
+
+        // First arrival: fresh, fully parsed and delivered.
+        let acts = mgr.on_wire(&wire).unwrap();
+        let key = match &acts[0] {
+            MgrAction::DeliverRequest { key, request } => {
+                assert_eq!(request.method, Method::Bye);
+                *key
+            }
+            other => panic!("{other:?}"),
+        };
+        mgr.send_response(&key, req.make_response(StatusCode::OK));
+        let interned_after_first = mgr.interned_branches();
+
+        // Retransmission from the same bytes: the 200 is replayed from
+        // the lazy view — nothing reaches the TU and the atom table does
+        // not grow (the cheap path never interns).
+        for _ in 0..10 {
+            let acts = mgr.on_wire(&wire).unwrap();
+            assert_eq!(transmits(&acts), 1, "stored 200 replayed");
+            assert!(!acts
+                .iter()
+                .any(|a| matches!(a, MgrAction::DeliverRequest { .. })));
+        }
+        assert_eq!(mgr.interned_branches(), interned_after_first);
+    }
+
+    #[test]
+    fn wire_garbage_is_a_parse_error() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        assert!(mgr.on_wire(b"NOT SIP AT ALL").is_err());
+    }
+
+    #[test]
+    fn pooled_serialization_reuses_buffers() {
+        let mut mgr = TransactionManager::new(TimerConfig::default());
+        let msg: SipMessage = invite("z9hG4bKpool").into();
+        let a = mgr.serialize(&msg);
+        assert_eq!(a, msg.to_wire(), "pooled bytes identical to the wire");
+        mgr.recycle(a);
+        let b = mgr.serialize(&msg);
+        assert_eq!(b, msg.to_wire());
+        assert_eq!(
+            mgr.pool_stats(),
+            (2, 1),
+            "second buffer came off the free list"
+        );
+        mgr.recycle(b);
     }
 }

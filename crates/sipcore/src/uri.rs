@@ -110,6 +110,27 @@ impl SipUri {
         })
     }
 
+    /// Exact length of this URI's `Display` rendering, computed without
+    /// formatting — one term of the analytic
+    /// [`crate::message::Request::wire_len`].
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        let mut n = 4 + self.host.len(); // "sip:" + host
+        if !self.user.is_empty() {
+            n += self.user.len() + 1; // user + '@'
+        }
+        if let Some(p) = self.port {
+            n += 1 + crate::message::decimal_len(u32::from(p)); // ':' + digits
+        }
+        for (name, value) in &self.params {
+            n += 1 + name.len(); // ';' + name
+            if let Some(v) = value {
+                n += 1 + v.len(); // '=' + value
+            }
+        }
+        n
+    }
+
     /// The address-of-record key used for registrar lookups: `user@host`
     /// without port or parameters.
     #[must_use]
@@ -236,6 +257,7 @@ mod proptests {
                 u.params.push((format!("p{i}"), if i % 2 == 0 { Some(format!("v{i}")) } else { None }));
             }
             let text = u.to_string();
+            prop_assert_eq!(text.len(), u.wire_len(), "analytic length is exact");
             let back = SipUri::parse(&text).unwrap();
             prop_assert_eq!(back, u);
         }

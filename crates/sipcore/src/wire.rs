@@ -1,0 +1,243 @@
+//! Lazy wire views: routing-relevant fields of a serialized SIP message
+//! as borrowed `&str` slices, with no heap allocation and no full decode.
+//!
+//! A B2BUA relaying an in-dialog message only needs a handful of fields —
+//! the start line, Call-ID, CSeq, the top Via branch, the From/To tags —
+//! to match it to a transaction or dialog. [`WireMessage`] answers those
+//! questions straight from the wire bytes; the eager
+//! [`crate::parse::parse_message`] decode (which allocates a `String`
+//! per header) is deferred until a consumer actually needs an owned
+//! [`SipMessage`]. Retransmission matching in
+//! [`crate::txmgr::TransactionManager::on_wire`] is the canonical user:
+//! a retransmitted INVITE is absorbed and answered without ever paying
+//! the full parse.
+//!
+//! The view applies the same wire leniencies as the eager parser (CRLF
+//! or LF line endings, whitespace around the header colon, compact
+//! header names), so on any buffer the parser accepts, every accessor
+//! here agrees with the parsed message field-for-field — a property test
+//! in `parse.rs` pins that agreement.
+
+use crate::headers::{tag_of, HeaderName};
+use crate::message::{branch_of, SipMessage, SIP_VERSION};
+use crate::parse::{find_blank_line, parse_message, ParseError};
+
+/// A borrowed, zero-allocation view over one serialized SIP message.
+#[derive(Debug, Clone, Copy)]
+pub struct WireMessage<'a> {
+    bytes: &'a [u8],
+    head: &'a str,
+    body: &'a [u8],
+}
+
+impl<'a> WireMessage<'a> {
+    /// Build a view over `buf`. Returns `None` when the head is not
+    /// UTF-8 or the buffer is empty — the cases where no field could be
+    /// answered. Malformed lines inside an otherwise-textual head do not
+    /// fail construction; the affected accessors just return `None`.
+    #[must_use]
+    pub fn parse(buf: &'a [u8]) -> Option<WireMessage<'a>> {
+        let (head_end, body_start) = find_blank_line(buf)?;
+        let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+        Some(WireMessage {
+            bytes: buf,
+            head,
+            body: &buf[body_start..],
+        })
+    }
+
+    /// The underlying wire bytes (whole datagram).
+    #[must_use]
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// The message body (bytes after the blank line).
+    #[must_use]
+    pub fn body(&self) -> &'a [u8] {
+        self.body
+    }
+
+    fn lines(&self) -> impl Iterator<Item = &'a str> {
+        self.head.split("\r\n").flat_map(|l| l.split('\n'))
+    }
+
+    /// The start line (first non-blank line), if any.
+    fn start_line(&self) -> Option<&'a str> {
+        self.lines().find(|l| !l.trim().is_empty())
+    }
+
+    /// Header lines: everything after the start line.
+    fn header_lines(&self) -> impl Iterator<Item = &'a str> {
+        let mut seen_start = false;
+        self.lines().filter(move |l| {
+            if seen_start {
+                !l.is_empty()
+            } else {
+                if !l.trim().is_empty() {
+                    seen_start = true;
+                }
+                false
+            }
+        })
+    }
+
+    /// True when the start line is a request line.
+    #[must_use]
+    pub fn is_request(&self) -> bool {
+        self.start_line()
+            .is_some_and(|l| !l.starts_with(SIP_VERSION))
+    }
+
+    /// Request method token (requests only).
+    #[must_use]
+    pub fn method_token(&self) -> Option<&'a str> {
+        let line = self.start_line()?;
+        if line.starts_with(SIP_VERSION) {
+            return None;
+        }
+        line.split_whitespace().next()
+    }
+
+    /// Request-URI text (requests only).
+    #[must_use]
+    pub fn uri_str(&self) -> Option<&'a str> {
+        let line = self.start_line()?;
+        if line.starts_with(SIP_VERSION) {
+            return None;
+        }
+        line.split_whitespace().nth(1)
+    }
+
+    /// Status code (responses only), range-checked like the eager parser.
+    #[must_use]
+    pub fn status_code(&self) -> Option<u16> {
+        let rest = self.start_line()?.strip_prefix(SIP_VERSION)?;
+        let code: u16 = rest.split_whitespace().next()?.parse().ok()?;
+        (100..700).contains(&code).then_some(code)
+    }
+
+    /// First value of `name`, trimmed — the same normalization the eager
+    /// parser applies. Matches canonical and compact names
+    /// case-insensitively without allocating.
+    #[must_use]
+    pub fn header(&self, name: &HeaderName) -> Option<&'a str> {
+        self.header_lines().find_map(|line| {
+            let (n, v) = line.split_once(':')?;
+            name.matches_wire(n.trim()).then(|| v.trim())
+        })
+    }
+
+    /// Call-ID value.
+    #[must_use]
+    pub fn call_id(&self) -> Option<&'a str> {
+        self.header(&HeaderName::CallId)
+    }
+
+    /// CSeq as (sequence number, method token).
+    #[must_use]
+    pub fn cseq(&self) -> Option<(u32, &'a str)> {
+        let v = self.header(&HeaderName::CSeq)?;
+        let mut parts = v.split_whitespace();
+        let n = parts.next()?.parse().ok()?;
+        Some((n, parts.next()?))
+    }
+
+    /// The `branch=` parameter of the top Via — the transaction key.
+    #[must_use]
+    pub fn top_via_branch(&self) -> Option<&'a str> {
+        branch_of(self.header(&HeaderName::Via)?)
+    }
+
+    /// The From header's `tag=` parameter.
+    #[must_use]
+    pub fn from_tag(&self) -> Option<&'a str> {
+        tag_of(self.header(&HeaderName::From)?)
+    }
+
+    /// The To header's `tag=` parameter (present once a dialog exists).
+    #[must_use]
+    pub fn to_tag(&self) -> Option<&'a str> {
+        tag_of(self.header(&HeaderName::To)?)
+    }
+
+    /// Upgrade to an owned, fully parsed message (the eager path).
+    pub fn to_message(&self) -> Result<SipMessage, ParseError> {
+        parse_message(self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{format_via, Request, Response};
+    use crate::method::Method;
+    use crate::status::StatusCode;
+    use crate::uri::SipUri;
+
+    fn invite_wire() -> Vec<u8> {
+        Request::new(Method::Invite, SipUri::parse("sip:bob@pbx:5060").unwrap())
+            .header(HeaderName::Via, format_via("10.0.0.2", 5060, "z9hG4bKw1"))
+            .header(HeaderName::From, "<sip:alice@pbx>;tag=fa")
+            .header(HeaderName::To, "<sip:bob@pbx>")
+            .header(HeaderName::CallId, "cid-wire@host")
+            .header(HeaderName::CSeq, "3 INVITE")
+            .with_body("application/sdp", b"v=0\r\n".to_vec())
+            .to_wire()
+    }
+
+    #[test]
+    fn request_fields_without_full_parse() {
+        let wire = invite_wire();
+        let v = WireMessage::parse(&wire).unwrap();
+        assert!(v.is_request());
+        assert_eq!(v.method_token(), Some("INVITE"));
+        assert_eq!(v.uri_str(), Some("sip:bob@pbx:5060"));
+        assert_eq!(v.status_code(), None);
+        assert_eq!(v.call_id(), Some("cid-wire@host"));
+        assert_eq!(v.cseq(), Some((3, "INVITE")));
+        assert_eq!(v.top_via_branch(), Some("z9hG4bKw1"));
+        assert_eq!(v.from_tag(), Some("fa"));
+        assert_eq!(v.to_tag(), None);
+        assert_eq!(v.body(), b"v=0\r\n");
+    }
+
+    #[test]
+    fn response_fields() {
+        let wire = Response::new(StatusCode::RINGING)
+            .header(HeaderName::Via, format_via("h", 5060, "z9hG4bKr"))
+            .header(HeaderName::To, "<sip:bob@pbx>;tag=tb")
+            .header(HeaderName::CSeq, "1 INVITE")
+            .to_wire();
+        let v = WireMessage::parse(&wire).unwrap();
+        assert!(!v.is_request());
+        assert_eq!(v.status_code(), Some(180));
+        assert_eq!(v.method_token(), None);
+        assert_eq!(v.uri_str(), None);
+        assert_eq!(v.cseq(), Some((1, "INVITE")));
+        assert_eq!(v.to_tag(), Some("tb"));
+    }
+
+    #[test]
+    fn tolerates_lf_and_compact_names_like_the_parser() {
+        let text = "BYE sip:bob@pbx SIP/2.0\ni: xyz\nv : SIP/2.0/UDP h;branch=z9hG4bKc\n\n";
+        let v = WireMessage::parse(text.as_bytes()).unwrap();
+        assert_eq!(v.call_id(), Some("xyz"));
+        assert_eq!(v.top_via_branch(), Some("z9hG4bKc"));
+        assert_eq!(v.method_token(), Some("BYE"));
+    }
+
+    #[test]
+    fn upgrade_agrees_with_eager_parse() {
+        let wire = invite_wire();
+        let v = WireMessage::parse(&wire).unwrap();
+        let msg = v.to_message().unwrap();
+        assert_eq!(msg, parse_message(&wire).unwrap());
+    }
+
+    #[test]
+    fn non_utf8_head_is_rejected() {
+        assert!(WireMessage::parse(&[0xff, 0xfe, b'\r', b'\n']).is_none());
+        assert!(WireMessage::parse(b"").is_none());
+    }
+}

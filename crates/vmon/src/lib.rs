@@ -212,10 +212,15 @@ impl Monitor {
     pub fn tap_sip(&mut self, msg: &sipcore::SipMessage) {
         match msg {
             sipcore::SipMessage::Request(r) => {
-                *self
-                    .sip_requests
-                    .entry(r.method.as_str().to_owned())
-                    .or_insert(0) += 1;
+                // get_mut first: the entry API would allocate a key String
+                // per observed message, and the method set is tiny.
+                let token = r.method.as_str();
+                match self.sip_requests.get_mut(token) {
+                    Some(n) => *n += 1,
+                    None => {
+                        self.sip_requests.insert(token.to_owned(), 1);
+                    }
+                }
             }
             sipcore::SipMessage::Response(r) => {
                 *self.sip_responses.entry(r.status.0).or_insert(0) += 1;
