@@ -1,0 +1,277 @@
+//! Emit `BENCH_overload.json` — the overload-control suite's A/B and
+//! throughput receipt, plus an events/sec regression gate against the
+//! committed scheduler baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_overload_json            # smoke
+//! BENCH_SCALE=full cargo run --release -p bench --bin bench_overload_json
+//! ```
+//!
+//! The scenario is a flash crowd against a small channel pool with UAC
+//! retry — the workload where admission control actually runs. Two
+//! hard checks:
+//!
+//! 1. **Digest equality**: the legacy inline hysteresis shed and the
+//!    pluggable `Hysteresis503` law must produce bit-identical run
+//!    digests — the refactor is not allowed to move the physics. The
+//!    emitter exits non-zero if they disagree.
+//! 2. **Throughput gate**: the default engine on the scheduler bench's
+//!    workload must stay within 10% of `BENCH_SCHED_BASELINE`'s
+//!    `optimized` events/sec (same contract as the sip/media emitters).
+//!
+//! Every other law in the suite is also run once and reported
+//! (events/sec + digest), so a regression in any admission path shows
+//! up in the artifact diff.
+
+use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode, SimOptions};
+use des::SimDuration;
+use faults::{FaultKind, FaultSchedule};
+use loadgen::{HoldingDist, RetryPolicy};
+use overload::ControlLaw;
+use pbx_sim::OverloadControl;
+use std::fmt::Write as _;
+
+struct LawResult {
+    name: String,
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    digest: u64,
+    shed: u64,
+    goodput: u64,
+}
+
+/// Flash-crowd shed scenario: small pool, 8× burst, capped-backoff
+/// retries. `full` holds the crowd against the paper-scale pool; smoke
+/// shrinks everything so `./ci` finishes in well under a second.
+fn shed_cfg(scale: &str) -> (EmpiricalConfig, &'static str) {
+    let mut c = EmpiricalConfig::smoke(2015);
+    c.media = MediaMode::Off;
+    c.retry = Some(RetryPolicy {
+        max_retries: 4,
+        base_backoff: SimDuration::from_secs(2),
+        max_backoff: SimDuration::from_secs(16),
+    });
+    match scale {
+        "full" => {
+            c.erlangs = 60.0;
+            c.channels = 90;
+            c.holding = HoldingDist::Fixed(30.0);
+            c.placement_window_s = 300.0;
+            c.user_pool = 100;
+            c.faults = FaultSchedule::new().at(
+                100.0,
+                FaultKind::FlashCrowd {
+                    rate_multiplier: 8.0,
+                    duration: SimDuration::from_secs(30),
+                },
+            );
+            (c, "flash_crowd_60E_90ch_300s")
+        }
+        _ => {
+            c.erlangs = 6.0;
+            c.channels = 12;
+            c.holding = HoldingDist::Fixed(10.0);
+            c.placement_window_s = 80.0;
+            c.user_pool = 30;
+            c.faults = FaultSchedule::new().at(
+                30.0,
+                FaultKind::FlashCrowd {
+                    rate_multiplier: 8.0,
+                    duration: SimDuration::from_secs(10),
+                },
+            );
+            (c, "flash_crowd_6E_12ch_smoke")
+        }
+    }
+}
+
+fn gate_cfg(scale: &str) -> EmpiricalConfig {
+    // Mirror bench_sched_json's scenario exactly so events/sec is
+    // comparable against its baseline file at the same scale.
+    match scale {
+        "full" => EmpiricalConfig::table1(150.0, 2015),
+        _ => {
+            let mut c = EmpiricalConfig::table1(150.0, 2015);
+            c.placement_window_s = 5.0;
+            c.holding = HoldingDist::Fixed(4.0);
+            c.media = MediaMode::PerPacket { encode_every: 50 };
+            c
+        }
+    }
+}
+
+/// Pull `"events_per_sec": <num>` out of the baseline's `"optimized"`
+/// config line (same hand-rolled scan as the other emitters — the bench
+/// crate deliberately has no JSON parser dependency).
+fn baseline_events_per_sec(json: &str) -> Option<f64> {
+    let line = json
+        .lines()
+        .find(|l| l.contains("\"name\": \"optimized\""))?;
+    let tail = line.split("\"events_per_sec\":").nth(1)?;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn run_law(
+    base: &EmpiricalConfig,
+    name: &str,
+    legacy: Option<OverloadControl>,
+    law: Option<ControlLaw>,
+) -> LawResult {
+    // Best-of-3: the smoke cells finish in milliseconds, where single-run
+    // jitter can dwarf any law's cost delta.
+    let r = (0..3)
+        .map(|_| {
+            let mut cfg = base.clone();
+            cfg.overload = legacy;
+            cfg.overload_law = law;
+            EmpiricalRunner::run_with(cfg, SimOptions::default())
+        })
+        .reduce(|best, r| {
+            if r.wall_clock_s < best.wall_clock_s {
+                r
+            } else {
+                best
+            }
+        })
+        .expect("three runs");
+    eprintln!(
+        "{name:<16} {:>8.3} s  {:>12.0} ev/s  shed {:>6}  goodput {:>6}",
+        r.wall_clock_s, r.events_per_sec, r.shed, r.goodput
+    );
+    LawResult {
+        name: name.to_owned(),
+        wall_s: r.wall_clock_s,
+        events: r.events_processed,
+        events_per_sec: r.events_per_sec,
+        digest: r.digest(),
+        shed: r.shed,
+        goodput: r.goodput,
+    }
+}
+
+fn main() {
+    let scale = std::env::var("BENCH_SCALE").unwrap_or_else(|_| "smoke".to_owned());
+    let (cfg, scenario) = shed_cfg(&scale);
+
+    let watermarks = (0.85, 0.5, SimDuration::from_secs(4));
+    let legacy = OverloadControl {
+        high_watermark: watermarks.0,
+        low_watermark: watermarks.1,
+        retry_after: watermarks.2,
+    };
+    let hysteresis_law = ControlLaw::Hysteresis {
+        high_watermark: watermarks.0,
+        low_watermark: watermarks.1,
+        retry_after: watermarks.2,
+    };
+    let capacity_cps = cfg.erlangs / cfg.holding.mean();
+
+    let mut results = vec![
+        run_law(&cfg, "legacy_inline", Some(legacy), None),
+        run_law(&cfg, "hysteresis503", None, Some(hysteresis_law)),
+    ];
+
+    // The refactor contract: the pluggable default must replay the
+    // legacy inline shed exactly — same events, same wire bytes, same
+    // digest.
+    if results[0].digest != results[1].digest {
+        eprintln!(
+            "FATAL: pluggable Hysteresis503 and the legacy inline shed disagree \
+             on the run digest — the extraction moved the physics"
+        );
+        std::process::exit(1);
+    }
+    if results[0].shed == 0 {
+        eprintln!("FATAL: the shed scenario never engaged overload control");
+        std::process::exit(1);
+    }
+
+    // The rest of the suite, reported for the artifact diff.
+    for law in [
+        ControlLaw::rate_based_for(capacity_cps),
+        ControlLaw::window_based_for(cfg.channels),
+        ControlLaw::signal_based_default(),
+        ControlLaw::mos_cac_default(),
+    ] {
+        results.push(run_law(&cfg, law.name(), None, Some(law)));
+    }
+
+    let overhead = results[1].events_per_sec / results[0].events_per_sec.max(1e-9);
+    eprintln!("pluggable vs inline hysteresis (events/sec): {overhead:.2}x");
+
+    // Regression gate, same contract as bench_sip_json / bench_media_json.
+    let baseline_path =
+        std::env::var("BENCH_SCHED_BASELINE").unwrap_or_else(|_| "BENCH_sched.json".to_owned());
+    let gate = gate_cfg(&scale);
+    let gate_eps = (0..3)
+        .map(|_| EmpiricalRunner::run_with(gate.clone(), SimOptions::default()).events_per_sec)
+        .fold(0.0_f64, f64::max);
+    let mut gate_status = "no_baseline".to_owned();
+    let mut baseline_eps = 0.0;
+    match std::fs::read_to_string(&baseline_path)
+        .ok()
+        .as_deref()
+        .and_then(baseline_events_per_sec)
+    {
+        // An instrumented build pays two clock reads per event; comparing
+        // it against an uninstrumented baseline would always trip the gate.
+        Some(_) if cfg!(feature = "phase-timing") => {
+            gate_status = "skipped_phase_timing".to_owned();
+            eprintln!("throughput gate skipped: phase-timing instrumentation is enabled");
+        }
+        Some(base) => {
+            baseline_eps = base;
+            let ratio = gate_eps / base.max(1e-9);
+            eprintln!(
+                "throughput gate: {gate_eps:.0} ev/s vs baseline {base:.0} ev/s \
+                 ({ratio:.2}x, {baseline_path})"
+            );
+            if ratio < 0.9 {
+                eprintln!("FATAL: events/sec regressed more than 10% vs {baseline_path}");
+                std::process::exit(1);
+            }
+            gate_status = format!("ok_{ratio:.3}x");
+        }
+        None => {
+            eprintln!("throughput gate skipped: no parsable baseline at {baseline_path}");
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scenario\": \"{scenario}\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"laws\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"events\": {}, \
+             \"events_per_sec\": {:.1}, \"shed\": {}, \"goodput\": {}, \
+             \"digest\": \"{:#018x}\"}}{comma}",
+            r.name, r.wall_s, r.events, r.events_per_sec, r.shed, r.goodput, r.digest
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"pluggable_vs_inline_events_per_sec\": {overhead:.3},"
+    );
+    let _ = writeln!(json, "  \"gate_scenario_events_per_sec\": {gate_eps:.1},");
+    let _ = writeln!(
+        json,
+        "  \"gate_baseline_events_per_sec\": {baseline_eps:.1},"
+    );
+    let _ = writeln!(json, "  \"gate_status\": \"{gate_status}\"");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_overload.json".to_owned());
+    std::fs::write(&out, &json).expect("write BENCH_overload.json");
+    println!("wrote {out} (pluggable vs inline {overhead:.2}x)");
+}

@@ -73,6 +73,28 @@ fn main() {
                 print!("{}", report::render_fig7(&curves, 5));
             }
         }
+        Some("campaign") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let mut cc = if smoke {
+                capacity::campaign::CampaignConfig::smoke(seed)
+            } else {
+                capacity::campaign::CampaignConfig::evaluation_default(seed)
+            };
+            let channels = flag("--channels", 0.0) as u32;
+            if channels > 0 {
+                cc.channels = channels;
+            }
+            let window = flag("--window", 0.0);
+            if window > 0.0 {
+                cc.placement_window_s = window;
+            }
+            let result = capacity::campaign::run_campaign(&cc);
+            if json {
+                println!("{}", report::to_json(&result));
+            } else {
+                print!("{}", capacity::campaign::render_campaign(&result));
+            }
+        }
         Some("policy") => {
             let erlangs = flag("--erlangs", 220.0);
             let users = flag("--users", 60.0) as u32;
@@ -187,13 +209,14 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: capacity-cli <fig3|table1|fig6|fig7|policy|farm|run> [--json] [--seed S]"
+                "usage: capacity-cli <fig3|table1|fig6|fig7|policy|farm|campaign|run> [--json] [--seed S]"
             );
             eprintln!("  table1 [--scale X]        scale<1 runs a shortened experiment");
             eprintln!("  fig6   [--reps R]         replications per sweep point");
             eprintln!("  fig7   [--population P] [--channels N]");
             eprintln!("  policy [--erlangs A] [--users U]   per-user call-limit study");
             eprintln!("  farm   [--erlangs A] [--channels N] [--reps R]  pooled vs split servers");
+            eprintln!("  campaign [--smoke] [--channels N --window S]  overload-control law sweep");
             eprintln!("  run    [--erlangs A]      one empirical run, JSON details");
             eprintln!(
                 "         [--channels N --holding S --window S]  pool / call / window overrides"

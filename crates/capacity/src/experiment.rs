@@ -9,6 +9,7 @@ use crate::world::{Ev, MediaKernel, MediaPath, SignallingPath, World};
 use des::{Scheduler, SchedulerKind, SimDuration, SimTime, Simulation};
 use faults::{FaultKind, FaultSchedule};
 use loadgen::{CallOutcome, HoldingDist, RetryPolicy};
+use overload::ControlLaw;
 use pbx_sim::OverloadControl;
 use serde::{Deserialize, Serialize};
 use teletraffic::Erlangs;
@@ -119,6 +120,12 @@ pub struct EmpiricalConfig {
     /// PBX overload control (`None` = saturate like the paper's server;
     /// `Some` = shed with 503 + Retry-After between the watermarks).
     pub overload: Option<OverloadControl>,
+    /// Pluggable overload-control law (the [`overload`] crate's suite).
+    /// When both this and `overload` are set, the legacy `overload`
+    /// hysteresis wins — it is the digest-pinned reference path.
+    /// Rate/window laws additionally arm a caller-side [`loadgen::Pacer`]
+    /// that obeys the PBX's `X-Overload-Control` feedback.
+    pub overload_law: Option<ControlLaw>,
     /// UAC 503-retry behaviour (`None` = a shed call counts as blocked).
     pub retry: Option<RetryPolicy>,
     /// Master RNG seed: a run is a pure function of this value.
@@ -148,6 +155,7 @@ impl EmpiricalConfig {
             max_calls_per_user: None,
             faults: FaultSchedule::new(),
             overload: None,
+            overload_law: None,
             retry: None,
             seed,
         }
@@ -200,6 +208,7 @@ impl EmpiricalConfig {
             max_calls_per_user: None,
             faults: FaultSchedule::new(),
             overload: None,
+            overload_law: None,
             retry: None,
             seed,
         }
@@ -223,6 +232,11 @@ pub struct FaultRecovery {
     /// 5% of baseline; `None` if it never did inside the horizon (or if
     /// there was no pre-fault traffic to recover to).
     pub time_to_recover_s: Option<f64>,
+    /// Observation horizon in seconds after the fault: how long the run
+    /// could have watched for a recovery. A `None` above is a *censored*
+    /// observation — "no recovery within `censor_horizon_s` seconds" —
+    /// not "never recovers"; reports render it `>Ns` accordingly.
+    pub censor_horizon_s: f64,
 }
 
 /// Results of one empirical run.
@@ -369,8 +383,17 @@ fn trailing_mean(series: &[u64], end_idx: usize, window: usize) -> f64 {
 /// factor > 1; heals, throttle restores and flash crowds are skipped
 /// (a flash crowd *raises* the answer rate, so "recovery to baseline"
 /// is not the interesting question there).
+///
+/// `horizon_s` is the end of the observed window (the run's simulated
+/// end): a fault that never recovers is censored at
+/// `horizon_s - fault_at_s`, and the entry records that horizon so the
+/// report can say `>Ns` rather than implying the system was down forever.
 #[must_use]
-pub fn compute_recoveries(faults: &FaultSchedule, answers_per_sec: &[u64]) -> Vec<FaultRecovery> {
+pub fn compute_recoveries(
+    faults: &FaultSchedule,
+    answers_per_sec: &[u64],
+    horizon_s: f64,
+) -> Vec<FaultRecovery> {
     let mut out = Vec::new();
     for event in faults.events() {
         let disruptive = match &event.kind {
@@ -386,12 +409,14 @@ pub fn compute_recoveries(faults: &FaultSchedule, answers_per_sec: &[u64]) -> Ve
         let fault_at_s = event.at.as_secs_f64();
         let fault_sec = fault_at_s as usize;
         let fault = format!("{:?}", event.kind);
+        let censor_horizon_s = (horizon_s - fault_at_s).max(0.0);
         if fault_sec == 0 {
             out.push(FaultRecovery {
                 fault_at_s,
                 fault,
                 baseline_rate: 0.0,
                 time_to_recover_s: None,
+                censor_horizon_s,
             });
             continue;
         }
@@ -409,6 +434,7 @@ pub fn compute_recoveries(faults: &FaultSchedule, answers_per_sec: &[u64]) -> Ve
             fault,
             baseline_rate,
             time_to_recover_s,
+            censor_horizon_s,
         });
     }
     out
@@ -470,7 +496,11 @@ impl EmpiricalRunner {
         let retries = journal.retries;
         let observed_pb = journal.blocking_probability();
         let shed = world.pbxes.iter().map(|p| p.stats().calls_shed).sum();
-        let recoveries = compute_recoveries(&world.config.faults, world.answers_per_second());
+        let recoveries = compute_recoveries(
+            &world.config.faults,
+            world.answers_per_second(),
+            end.as_secs_f64(),
+        );
 
         // Steady-state estimate from the CDRs: discard attempts placed
         // before the pools could have filled (placement start + one mean
@@ -627,7 +657,7 @@ mod tests {
                     b: netsim::NodeId(0),
                 },
             );
-        let recs = compute_recoveries(&faults, &answers);
+        let recs = compute_recoveries(&faults, &answers, 80.0);
         assert_eq!(recs.len(), 1, "heal is not a disruption: {recs:?}");
         assert!((recs[0].baseline_rate - 10.0).abs() < 1e-9);
         let ttr = recs[0].time_to_recover_s.expect("recovers");
@@ -650,8 +680,11 @@ mod tests {
                 b: netsim::NodeId(0),
             },
         );
-        let recs = compute_recoveries(&partition, &answers);
+        let recs = compute_recoveries(&partition, &answers, 60.0);
         assert_eq!(recs[0].time_to_recover_s, None);
+        // The censored observation records how long the run watched: a
+        // report renders ">30s", not a blank cell.
+        assert!((recs[0].censor_horizon_s - 30.0).abs() < 1e-9, "{recs:?}");
         // Fault before any traffic: no baseline to recover to.
         let early = FaultSchedule::new().at(
             0.5,
@@ -660,8 +693,9 @@ mod tests {
                 restart_after: SimDuration::from_secs(1),
             },
         );
-        let recs = compute_recoveries(&early, &answers);
+        let recs = compute_recoveries(&early, &answers, 60.0);
         assert_eq!(recs[0].time_to_recover_s, None);
+        assert!(recs[0].censor_horizon_s > 59.0, "{recs:?}");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!
 //! * [`experiment`] — one empirical run: configuration, the event-driven
 //!   world, and the results record;
+//! * [`campaign`] — the overload-control comparison: every admission law
+//!   swept 0.5×–4× past engineered capacity under a flash crowd;
 //! * [`mod@table1`] — the six-workload sweep reproducing the paper's Table I;
 //! * [`figures`] — series builders for Figures 3, 6 and 7;
 //! * [`report`] — text/JSON renderers for all of the above.
@@ -15,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiment;
 pub mod farm;
 pub mod figures;

@@ -153,9 +153,12 @@ pub fn render_robustness(r: &RunResult) -> String {
             "fault@s", "baseline/s", "ttr(s)"
         );
         for rec in &r.recoveries {
-            let ttr = rec
-                .time_to_recover_s
-                .map_or_else(|| "never".to_string(), |t| format!("{t:.0}"));
+            // An absent recovery is censored, not eternal: the run only
+            // watched `censor_horizon_s` seconds past the fault.
+            let ttr = rec.time_to_recover_s.map_or_else(
+                || format!(">{:.0}", rec.censor_horizon_s),
+                |t| format!("{t:.0}"),
+            );
             let _ = writeln!(
                 out,
                 "{:>8.0} {:>10.2} {:>8}  {}",
@@ -301,6 +304,27 @@ mod tests {
         for needle in ["Shed (503)", "Retries sent", "Goodput", "PbxCrash"] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn robustness_rendering_censors_unrecovered_faults_with_horizon() {
+        use crate::experiment::{EmpiricalConfig, EmpiricalRunner, FaultRecovery, MediaMode};
+        let mut cfg = EmpiricalConfig::smoke(13);
+        cfg.media = MediaMode::Off;
+        let mut r = EmpiricalRunner::run(cfg);
+        r.recoveries = vec![FaultRecovery {
+            fault_at_s: 20.0,
+            fault: "LinkPartition".to_owned(),
+            baseline_rate: 4.0,
+            time_to_recover_s: None,
+            censor_horizon_s: 37.0,
+        }];
+        let text = render_robustness(&r);
+        assert!(
+            text.contains(">37"),
+            "censored recovery must show the horizon, not a blank:\n{text}"
+        );
+        assert!(!text.contains("never"), "no open-ended 'never' claim");
     }
 
     #[test]

@@ -9,9 +9,10 @@
 use crate::experiment::{EmpiricalConfig, MediaMode};
 use des::{EventHandler, Phase, PhaseTimer, Scheduler, SimDuration, SimTime, StreamRng};
 use faults::FaultKind;
-use loadgen::{ArrivalProcess, Uac, UacEvent, Uas, UasEvent};
+use loadgen::{ArrivalProcess, Pacer, Uac, UacEvent, Uas, UasEvent};
 use netsim::topology::{nodes, StarTopology};
 use netsim::{LinkParams, NodeId, SendOutcome};
+use overload::ControlLaw;
 use pbx_sim::{Directory, Pbx, PbxAction, PbxConfig};
 use rtpcore::packet::RtpDatagram;
 use rtpcore::packetizer::{FastVoiceSource, Law, Packetizer, VoiceSource, SAMPLES_PER_FRAME};
@@ -188,6 +189,18 @@ pub enum Ev {
         /// The multiplier the matching [`FaultKind::FlashCrowd`] applied.
         rate_multiplier: f64,
     },
+    /// A UAC pacer's next-allowed instant arrived: release one deferred
+    /// INVITE (armed only when a rate-mode [`loadgen::Pacer`] defers).
+    PacerWake {
+        /// UAC index within the farm.
+        uac: usize,
+    },
+    /// Periodic link-quality sampling feeding MOS-aware admission: folds
+    /// the monitor's per-stream stats into (loss, jitter, delay) and hands
+    /// them to every PBX. Armed only when the configured overload law is
+    /// [`overload::ControlLaw::MosCac`], so every other configuration keeps
+    /// a byte-identical event stream (and digest).
+    QualityTick,
 }
 
 enum AudioSource {
@@ -317,11 +330,19 @@ impl World {
             pbx_cfg.channels = config.channels;
             pbx_cfg.max_calls_per_user = config.max_calls_per_user;
             pbx_cfg.overload = config.overload;
+            pbx_cfg.overload_law = config.overload_law;
             pbx_cfg.hostname.clone_from(&hostname);
             let directory = Directory::with_subscribers(1000, 1000);
             pbxes.push(Pbx::new(pbx_cfg, directory));
             let mut uac = Uac::with_tag(nodes::SIPP_CLIENT, pbx_node(k), &hostname, k);
             uac.retry_policy = config.retry;
+            // Feedback-driven laws pace the caller side: the pacer starts
+            // wide open and tightens as X-Overload-Control values arrive.
+            uac.pacer = match config.overload_law {
+                Some(ControlLaw::RateBased { max_rate_cps, .. }) => Some(Pacer::rate(max_rate_cps)),
+                Some(ControlLaw::WindowBased { max_window, .. }) => Some(Pacer::window(max_window)),
+                _ => None,
+            };
             uacs.push(uac);
         }
 
@@ -442,6 +463,12 @@ impl World {
         // Scheduled faults.
         for (idx, event) in self.config.faults.events().iter().enumerate() {
             sched.schedule(event.at, Ev::Fault(idx));
+        }
+        // MOS-aware admission needs a live link-quality estimate; sample
+        // the monitor once a second. Armed only for the MosCac law so all
+        // other configurations keep their event stream (and digest) intact.
+        if matches!(self.config.overload_law, Some(ControlLaw::MosCac { .. })) {
+            sched.schedule(self.placement_start, Ev::QualityTick);
         }
     }
 
@@ -634,6 +661,7 @@ impl World {
         &mut self,
         now: SimTime,
         sched: &mut Scheduler<Ev>,
+        uac: usize,
         events: Vec<UacEvent>,
     ) {
         for ev in events {
@@ -694,6 +722,9 @@ impl World {
                         delay.as_secs_f64() * 0.1 * self.rng_retry.unit_f64(),
                     );
                     sched.schedule(now + delay + jitter, Ev::UacRetry { call_id });
+                }
+                UacEvent::PacerWake { at } => {
+                    sched.schedule(at, Ev::PacerWake { uac });
                 }
             }
         }
@@ -1226,7 +1257,7 @@ impl World {
                 .map(|cid| self.uac_index_for(cid))
                 .unwrap_or(0);
             let events = self.uacs[idx].on_sip(now, msg);
-            self.process_uac_events(now, sched, events);
+            self.process_uac_events(now, sched, idx, events);
         } else if dst == nodes::SIPP_SERVER {
             let events = self.uas.on_sip(now, src, msg);
             self.process_uas_events(now, sched, events);
@@ -1347,7 +1378,7 @@ impl World {
             };
             let (_, events) = self.uacs[k].start_call(now, &caller, &callee, hold);
             self.calls_placed += 1;
-            self.process_uac_events(now, sched, events);
+            self.process_uac_events(now, sched, k, events);
             let next = self.arrivals.next_after(now, &mut self.rng_arrivals);
             if next <= self.placement_end {
                 sched.schedule(next, Ev::PlaceCall);
@@ -1391,7 +1422,7 @@ impl EventHandler<Ev> for World {
                 });
                 let idx = self.uac_index_for(&call_id);
                 let events = self.uacs[idx].hangup(at, &call_id);
-                self.process_uac_events(at, sched, events);
+                self.process_uac_events(at, sched, idx, events);
             }),
             Ev::UasAnswer { call_id } => timer.measure(Phase::Signalling, || {
                 let events = self.uas.answer(at, &call_id);
@@ -1404,11 +1435,29 @@ impl EventHandler<Ev> for World {
             Ev::UacRetry { call_id } => timer.measure(Phase::Signalling, || {
                 let idx = self.uac_index_for(&call_id);
                 let events = self.uacs[idx].retry_call(at, &call_id);
-                self.process_uac_events(at, sched, events);
+                self.process_uac_events(at, sched, idx, events);
             }),
             Ev::FlashCrowdEnd { rate_multiplier } => {
                 self.scale_arrival_rate(1.0 / rate_multiplier);
             }
+            Ev::PacerWake { uac } => timer.measure(Phase::Signalling, || {
+                let events = self.uacs[uac].pacer_wake(at);
+                self.process_uac_events(at, sched, uac, events);
+            }),
+            Ev::QualityTick => timer.measure(Phase::Scoring, || {
+                let (loss, jitter_ms, delay_ms) = self.monitor.link_quality();
+                for pbx in &mut self.pbxes {
+                    pbx.observe_link_quality(loss, jitter_ms, delay_ms);
+                }
+                // Keep sampling while calls can still arrive or drain;
+                // stop re-arming once the world has gone quiet so runs
+                // bounded by queue exhaustion still terminate naturally.
+                let busy =
+                    at <= self.placement_end || self.pbxes.iter().any(|p| p.active_calls() > 0);
+                if busy {
+                    sched.schedule(at + SimDuration::from_secs(1), Ev::QualityTick);
+                }
+            }),
         }
         self.phase_timer = timer;
     }

@@ -295,6 +295,56 @@ mod tests {
     }
 
     #[test]
+    fn overlapping_fault_windows_interleave_deterministically() {
+        // A flash crowd breaking out *inside* a link-degrade window —
+        // the compound scenario the overload campaign leans on. Pushed
+        // deliberately out of order: the heal first, the crowd last.
+        let degraded = LinkParams {
+            loss_probability: 0.05,
+            ..LinkParams::fast_ethernet()
+        };
+        let build = || {
+            FaultSchedule::new()
+                .at(
+                    50.0,
+                    FaultKind::LinkHeal {
+                        a: NodeId(3),
+                        b: NodeId(0),
+                    },
+                )
+                .at(
+                    20.0,
+                    FaultKind::LinkDegrade {
+                        a: NodeId(3),
+                        b: NodeId(0),
+                        params: degraded,
+                    },
+                )
+                .at(
+                    30.0,
+                    FaultKind::FlashCrowd {
+                        rate_multiplier: 6.0,
+                        duration: SimDuration::from_secs(15),
+                    },
+                )
+        };
+        let s = build();
+        // Time-sorted regardless of insertion order: degrade, then the
+        // crowd that lands mid-window, then the heal.
+        let times: Vec<f64> = s.events().iter().map(|e| e.at.as_secs_f64()).collect();
+        assert_eq!(times, vec![20.0, 30.0, 50.0]);
+        assert!(matches!(s.events()[0].kind, FaultKind::LinkDegrade { .. }));
+        assert!(matches!(s.events()[1].kind, FaultKind::FlashCrowd { .. }));
+        assert!(matches!(s.events()[2].kind, FaultKind::LinkHeal { .. }));
+        // The heal fires at 50 s but the crowd's deferred end (30+15=45)
+        // is still earlier: the last effect is the heal itself.
+        assert_eq!(s.last_effect_time(), Some(SimTime::from_secs(50)));
+        // Identical construction yields an identical schedule — the
+        // property the world's Fault(idx) indexing depends on.
+        assert_eq!(s, build());
+    }
+
+    #[test]
     fn random_storm_is_deterministic_and_seed_sensitive() {
         let nodes = [NodeId(3), NodeId(4)];
         let a = FaultSchedule::random_storm(42, 120.0, 8, &nodes, NodeId(0));

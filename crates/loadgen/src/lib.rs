@@ -26,5 +26,5 @@ pub use arrivals::ArrivalProcess;
 pub use holding::HoldingDist;
 pub use journal::{CallOutcome, Journal, MsgDirection};
 pub use scenario::{CallContext, Scenario, ScenarioOutput, ScenarioRunner, Step};
-pub use uac::{RetryPolicy, Uac, UacEvent};
+pub use uac::{parse_retry_after, Pacer, PacerMode, RetryPolicy, Uac, UacEvent};
 pub use uas::{Uas, UasEvent};

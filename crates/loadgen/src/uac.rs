@@ -14,10 +14,12 @@
 use crate::journal::{CallOutcome, Journal, MsgDirection};
 use des::{FastMap, SimDuration, SimTime};
 use netsim::NodeId;
+use overload::Feedback;
 use sipcore::headers::HeaderName;
 use sipcore::message::{format_via, Request, SipMessage};
 use sipcore::sdp::{SdpCodec, SessionDescription};
 use sipcore::{Method, SipUri, StatusCode};
+use std::collections::VecDeque;
 
 /// How a UAC reacts to `503 Service Unavailable` + `Retry-After`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,18 +46,41 @@ impl RetryPolicy {
     /// Delay before retry number `retry_no` (0-based), honouring the
     /// server's `Retry-After` as a lower bound: the UAC waits the *longer*
     /// of the server's ask and its own backoff, capped at `max_backoff`.
+    /// Never zero: a missing/malformed `Retry-After` combined with a
+    /// zero-base policy still waits a capped default rather than
+    /// retrying immediately (which would just hammer a shedding server).
     #[must_use]
     pub fn delay(&self, retry_no: u32, retry_after: Option<SimDuration>) -> SimDuration {
         let shift = retry_no.min(16);
         let backoff = self.base_backoff.times(1u64 << shift);
         let floor = retry_after.unwrap_or(SimDuration::ZERO);
         let chosen = if backoff > floor { backoff } else { floor };
-        if chosen > self.max_backoff {
+        let capped = if chosen > self.max_backoff {
             self.max_backoff
         } else {
             chosen
+        };
+        if capped == SimDuration::ZERO {
+            let fallback = SimDuration::from_secs(2);
+            if self.max_backoff < fallback && self.max_backoff > SimDuration::ZERO {
+                self.max_backoff
+            } else {
+                fallback
+            }
+        } else {
+            capped
         }
     }
+}
+
+/// Parse a `Retry-After` header value tolerantly (RFC 3261 §20.33 allows
+/// `18000;duration=3600` and `120 (I'm in a meeting)`): take the leading
+/// integer, ignore parameters and comments, reject anything else.
+#[must_use]
+pub fn parse_retry_after(value: &str) -> Option<SimDuration> {
+    let v = value.split(';').next().unwrap_or("");
+    let v = v.split('(').next().unwrap_or("").trim();
+    v.parse::<u64>().ok().map(SimDuration::from_secs)
 }
 
 /// A call waiting out its backoff before re-INVITE.
@@ -65,6 +90,109 @@ struct PendingRetry {
     callee: String,
     hold: SimDuration,
     shed_retries: u32,
+}
+
+/// A call intent deferred by the pacer (not yet INVITEd).
+#[derive(Debug, Clone)]
+struct QueuedCall {
+    caller: String,
+    callee: String,
+    hold: SimDuration,
+}
+
+/// Which upstream throttling law the pacer enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacerMode {
+    /// Space INVITEs at least `1/rate` apart (rate-based feedback).
+    Rate,
+    /// Cap the number of concurrently open calls (window-based feedback).
+    Window,
+}
+
+/// Upstream pacing state driven by downstream `X-Overload-Control`
+/// feedback: the UAC-side half of the rate/window control loops. New call
+/// intents that exceed the current allowance are queued FIFO and released
+/// either on a [`UacEvent::PacerWake`] (rate mode) or when an open call
+/// terminates (window mode). Retries of shed calls bypass the pacer —
+/// their backoff is already pacing them.
+#[derive(Debug, Clone)]
+pub struct Pacer {
+    mode: PacerMode,
+    /// Current advertised max call rate, calls/sec (rate mode).
+    rate_cps: f64,
+    /// Current advertised max open calls (window mode).
+    window: u32,
+    /// Calls opened through the pacer and not yet terminal (window mode).
+    in_flight: u32,
+    /// Earliest time the next INVITE may leave (rate mode).
+    next_allowed: SimTime,
+    /// A `PacerWake` is already outstanding.
+    wake_armed: bool,
+    queue: VecDeque<QueuedCall>,
+}
+
+impl Pacer {
+    /// Rate-mode pacer starting at `initial_cps` calls/sec.
+    #[must_use]
+    pub fn rate(initial_cps: f64) -> Pacer {
+        Pacer {
+            mode: PacerMode::Rate,
+            rate_cps: initial_cps.max(0.01),
+            window: u32::MAX,
+            in_flight: 0,
+            next_allowed: SimTime::ZERO,
+            wake_armed: false,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Window-mode pacer starting with `initial` allowed open calls.
+    #[must_use]
+    pub fn window(initial: u32) -> Pacer {
+        Pacer {
+            mode: PacerMode::Window,
+            rate_cps: f64::INFINITY,
+            window: initial.max(1),
+            in_flight: 0,
+            next_allowed: SimTime::ZERO,
+            wake_armed: false,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Adopt downstream feedback. A `rate=` update retunes a rate pacer, a
+    /// `win=` update a window pacer; mismatched feedback kinds are ignored
+    /// (the downstream law and the upstream pacer are configured in pairs).
+    pub fn apply(&mut self, feedback: Feedback) {
+        match (self.mode, feedback) {
+            (PacerMode::Rate, Feedback::Rate(r)) => self.rate_cps = r.max(0.01),
+            (PacerMode::Window, Feedback::Window(w)) => self.window = w.max(1),
+            _ => {}
+        }
+    }
+
+    /// Current INVITE spacing (rate mode).
+    fn spacing(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.rate_cps)
+    }
+
+    /// Call intents currently deferred.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Current advertised rate (calls/sec).
+    #[must_use]
+    pub fn rate_cps(&self) -> f64 {
+        self.rate_cps
+    }
+
+    /// Current advertised window (max open calls).
+    #[must_use]
+    pub fn window_size(&self) -> u32 {
+        self.window
+    }
 }
 
 /// Something the UAC asks the world to do or reports.
@@ -105,6 +233,12 @@ pub enum UacEvent {
         /// Minimum wait before the retry (Retry-After ∨ backoff, capped).
         delay: SimDuration,
     },
+    /// The rate pacer deferred a call; call [`Uac::pacer_wake`] at `at` to
+    /// release queued intents (the world owns time, so it owns the timer).
+    PacerWake {
+        /// When the next queued INVITE becomes eligible.
+        at: SimTime,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +277,9 @@ pub struct Uac {
     /// Retry behaviour on 503 (`None` = a shed call is simply blocked,
     /// SIPp's default).
     pub retry_policy: Option<RetryPolicy>,
+    /// Upstream pacing state for feedback-driven overload control
+    /// (`None` = send every intent immediately, the SIPp default).
+    pub pacer: Option<Pacer>,
     calls: FastMap<String, UacCall>,
     /// Shed calls waiting out their backoff, keyed by the shed Call-ID.
     pending_retries: FastMap<String, PendingRetry>,
@@ -172,6 +309,7 @@ impl Uac {
             tag,
             journal: Journal::new(),
             retry_policy: None,
+            pacer: None,
             calls: FastMap::default(),
             pending_retries: FastMap::default(),
             pending_registrations: FastMap::default(),
@@ -281,6 +419,9 @@ impl Uac {
 
     /// Place a call from `caller_uid` to `callee_ext`, holding for `hold`
     /// once answered. Returns the new Call-ID and the INVITE to transmit.
+    /// With a [`Pacer`] installed, intents over the current allowance are
+    /// deferred (the returned Call-ID is then empty — the INVITE goes out
+    /// later, on a wake or a window release).
     pub fn start_call(
         &mut self,
         now: SimTime,
@@ -289,7 +430,95 @@ impl Uac {
         hold: SimDuration,
     ) -> (String, Vec<UacEvent>) {
         self.journal.call_attempted();
+        if let Some(pacer) = self.pacer.as_mut() {
+            match pacer.mode {
+                PacerMode::Rate => {
+                    if now < pacer.next_allowed || !pacer.queue.is_empty() {
+                        pacer.queue.push_back(QueuedCall {
+                            caller: caller_uid.to_owned(),
+                            callee: callee_ext.to_owned(),
+                            hold,
+                        });
+                        let mut evs = Vec::new();
+                        if !pacer.wake_armed {
+                            pacer.wake_armed = true;
+                            let at = if pacer.next_allowed > now {
+                                pacer.next_allowed
+                            } else {
+                                now
+                            };
+                            evs.push(UacEvent::PacerWake { at });
+                        }
+                        return (String::new(), evs);
+                    }
+                    pacer.next_allowed = now + pacer.spacing();
+                }
+                PacerMode::Window => {
+                    if pacer.in_flight >= pacer.window || !pacer.queue.is_empty() {
+                        pacer.queue.push_back(QueuedCall {
+                            caller: caller_uid.to_owned(),
+                            callee: callee_ext.to_owned(),
+                            hold,
+                        });
+                        return (String::new(), Vec::new());
+                    }
+                    pacer.in_flight += 1;
+                }
+            }
+        }
         self.place_invite(now, caller_uid, callee_ext, hold, 0)
+    }
+
+    /// Release rate-paced intents that have become eligible (driven by a
+    /// [`UacEvent::PacerWake`]). Sends at most one INVITE per wake and
+    /// re-arms for the next queued intent.
+    pub fn pacer_wake(&mut self, now: SimTime) -> Vec<UacEvent> {
+        let Some(pacer) = self.pacer.as_mut() else {
+            return vec![];
+        };
+        pacer.wake_armed = false;
+        if pacer.mode != PacerMode::Rate {
+            return vec![];
+        }
+        let Some(next) = pacer.queue.pop_front() else {
+            return vec![];
+        };
+        pacer.next_allowed = now + pacer.spacing();
+        let rearm_at = pacer.next_allowed;
+        let more_queued = !pacer.queue.is_empty();
+        if more_queued {
+            pacer.wake_armed = true;
+        }
+        let (_, mut evs) = self.place_invite(now, &next.caller, &next.callee, next.hold, 0);
+        if more_queued {
+            evs.push(UacEvent::PacerWake { at: rearm_at });
+        }
+        evs
+    }
+
+    /// Window mode: one open call reached a terminal state — free its slot
+    /// and release queued intents that now fit.
+    fn pacer_note_terminal(&mut self, now: SimTime) -> Vec<UacEvent> {
+        let mut release = Vec::new();
+        match self.pacer.as_mut() {
+            Some(pacer) if pacer.mode == PacerMode::Window => {
+                pacer.in_flight = pacer.in_flight.saturating_sub(1);
+                while pacer.in_flight < pacer.window {
+                    let Some(q) = pacer.queue.pop_front() else {
+                        break;
+                    };
+                    pacer.in_flight += 1;
+                    release.push(q);
+                }
+            }
+            _ => return vec![],
+        }
+        let mut out = Vec::new();
+        for q in release {
+            let (_, evs) = self.place_invite(now, &q.caller, &q.callee, q.hold, 0);
+            out.extend(evs);
+        }
+        out
     }
 
     /// Re-INVITE a call previously shed with 503, after its backoff has
@@ -395,11 +624,21 @@ impl Uac {
     }
 
     /// Handle an inbound SIP message.
-    pub fn on_sip(&mut self, _now: SimTime, msg: SipMessage) -> Vec<UacEvent> {
+    pub fn on_sip(&mut self, now: SimTime, msg: SipMessage) -> Vec<UacEvent> {
         self.journal.count_sip(&msg, MsgDirection::Received);
         let SipMessage::Response(resp) = msg else {
             return vec![]; // the UAC never receives requests in this scenario
         };
+        // Downstream overload feedback rides 100 Trying and 503 responses;
+        // adopt it before anything else so even responses to unknown calls
+        // still retune the pacer.
+        if let Some(pacer) = self.pacer.as_mut() {
+            if let Some(v) = resp.headers.get(&HeaderName::OverloadControl) {
+                if let Some(fb) = Feedback::parse(v) {
+                    pacer.apply(fb);
+                }
+            }
+        }
         if resp.cseq_method() == Some(Method::Register) {
             return self.on_register_response(&resp).unwrap_or_default();
         }
@@ -442,8 +681,7 @@ impl Uac {
                                 let retry_after = resp
                                     .headers
                                     .get(&HeaderName::RetryAfter)
-                                    .and_then(|v| v.trim().parse::<u64>().ok())
-                                    .map(SimDuration::from_secs);
+                                    .and_then(parse_retry_after);
                                 let delay = policy.delay(retry_no, retry_after);
                                 let ack = self.build_ack(&call_id);
                                 let call = self.calls.remove(&call_id).expect("looked up above");
@@ -473,7 +711,9 @@ impl Uac {
                     let ack = self.build_ack(&call_id);
                     self.calls.remove(&call_id);
                     self.journal.call_finished(outcome);
-                    return vec![self.send(ack.into()), UacEvent::Ended { call_id, outcome }];
+                    let mut evs = vec![self.send(ack.into()), UacEvent::Ended { call_id, outcome }];
+                    evs.extend(self.pacer_note_terminal(now));
+                    return evs;
                 }
                 vec![]
             }
@@ -486,7 +726,9 @@ impl Uac {
                     CallOutcome::Completed
                 };
                 self.journal.call_finished(outcome);
-                vec![UacEvent::Ended { call_id, outcome }]
+                let mut evs = vec![UacEvent::Ended { call_id, outcome }];
+                evs.extend(self.pacer_note_terminal(now));
+                evs
             }
             _ => vec![],
         }
@@ -513,6 +755,20 @@ impl Uac {
             self.journal.call_finished(CallOutcome::Abandoned);
             out.push(UacEvent::Ended {
                 call_id,
+                outcome: CallOutcome::Abandoned,
+            });
+        }
+        // Pacer-deferred intents never even got an INVITE: abandoned too
+        // (they were counted as attempts when offered).
+        let deferred = self
+            .pacer
+            .as_mut()
+            .map(|p| std::mem::take(&mut p.queue))
+            .unwrap_or_default();
+        for (i, _) in deferred.into_iter().enumerate() {
+            self.journal.call_finished(CallOutcome::Abandoned);
+            out.push(UacEvent::Ended {
+                call_id: format!("uac-{}-queued{i}", self.tag),
                 outcome: CallOutcome::Abandoned,
             });
         }
@@ -895,6 +1151,201 @@ mod tests {
         assert_eq!(evs.len(), 1);
         assert_eq!(u.journal.outcome_count(CallOutcome::Abandoned), 1);
         assert_eq!(u.pending_retry_count(), 0);
+    }
+
+    /// Satellite: Retry-After tolerance. Params and comments are ignored,
+    /// garbage is rejected, and a rejected header never yields an
+    /// immediate retry — the capped default backoff applies instead.
+    #[test]
+    fn retry_after_parsing_is_tolerant_and_never_immediate() {
+        assert_eq!(parse_retry_after("3"), Some(SimDuration::from_secs(3)));
+        assert_eq!(
+            parse_retry_after("  18000 "),
+            Some(SimDuration::from_secs(18000))
+        );
+        assert_eq!(
+            parse_retry_after("18000;duration=3600"),
+            Some(SimDuration::from_secs(18000))
+        );
+        assert_eq!(
+            parse_retry_after("120 (I'm in a meeting)"),
+            Some(SimDuration::from_secs(120))
+        );
+        for bad in ["", "abc", "-5", "3.7", "soon;duration=1"] {
+            assert_eq!(parse_retry_after(bad), None, "{bad:?} must not parse");
+        }
+        // A zero-base policy with no usable Retry-After must still wait.
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::from_secs(32),
+        };
+        assert_eq!(
+            p.delay(0, None),
+            SimDuration::from_secs(2),
+            "capped default"
+        );
+        assert!(p.delay(0, parse_retry_after("junk")) > SimDuration::ZERO);
+        // An explicit Retry-After still floors it.
+        assert_eq!(
+            p.delay(0, parse_retry_after("5;duration=60")),
+            SimDuration::from_secs(5)
+        );
+        // A tiny max_backoff bounds even the fallback.
+        let tight = RetryPolicy {
+            max_retries: 3,
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::from_millis(500),
+        };
+        assert_eq!(tight.delay(0, None), SimDuration::from_millis(500));
+    }
+
+    /// End-to-end through the UAC: a malformed Retry-After on a 503 does
+    /// not produce an immediate (zero-delay) retry.
+    #[test]
+    fn malformed_retry_after_gets_backoff_not_immediate_retry() {
+        let mut u = uac();
+        u.retry_policy = Some(RetryPolicy {
+            max_retries: 3,
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::from_secs(8),
+        });
+        let (_, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(60));
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        let mut shed = respond(&invite, StatusCode::SERVICE_UNAVAILABLE, None);
+        shed.headers.push(HeaderName::RetryAfter, "later, maybe");
+        let evs = u.on_sip(SimTime::ZERO, shed.into());
+        match &evs[1] {
+            UacEvent::RetryAfter { delay, .. } => {
+                assert!(*delay > SimDuration::ZERO, "retry must not be immediate");
+            }
+            other => panic!("expected RetryAfter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rate_pacer_defers_and_releases_on_wake() {
+        let mut u = uac();
+        u.pacer = Some(Pacer::rate(2.0)); // one INVITE per 500 ms
+                                          // First intent goes out immediately.
+        let (cid, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(10));
+        assert!(!cid.is_empty());
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(evs[0], UacEvent::SendSip { .. }));
+        // Second intent inside the spacing window: deferred, wake armed.
+        let (cid2, evs) = u.start_call(
+            SimTime::from_millis(100),
+            "1002",
+            "2002",
+            SimDuration::from_secs(10),
+        );
+        assert!(cid2.is_empty(), "deferred intent has no Call-ID yet");
+        assert_eq!(evs.len(), 1);
+        let at = match &evs[0] {
+            UacEvent::PacerWake { at } => *at,
+            other => panic!("expected PacerWake, got {other:?}"),
+        };
+        assert_eq!(at, SimTime::from_millis(500));
+        assert_eq!(u.pacer.as_ref().unwrap().queued(), 1);
+        // Third intent: queued behind the second, no duplicate wake.
+        let (_, evs) = u.start_call(
+            SimTime::from_millis(200),
+            "1003",
+            "2003",
+            SimDuration::from_secs(10),
+        );
+        assert!(evs.is_empty(), "wake already armed");
+        assert_eq!(u.pacer.as_ref().unwrap().queued(), 2);
+        // Both counted as offered load at intent time.
+        assert_eq!(u.journal.attempted, 3);
+        // Wake at 500 ms: one INVITE out, re-armed for the third.
+        let evs = u.pacer_wake(SimTime::from_millis(500));
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(evs[0], UacEvent::SendSip { .. }));
+        match &evs[1] {
+            UacEvent::PacerWake { at } => assert_eq!(*at, SimTime::from_millis(1000)),
+            other => panic!("expected re-arm, got {other:?}"),
+        }
+        // Second wake drains the queue with no further re-arm.
+        let evs = u.pacer_wake(SimTime::from_millis(1000));
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(evs[0], UacEvent::SendSip { .. }));
+        assert_eq!(u.pacer.as_ref().unwrap().queued(), 0);
+        assert_eq!(u.open_calls(), 3);
+    }
+
+    #[test]
+    fn rate_pacer_adopts_downstream_feedback() {
+        let mut u = uac();
+        u.pacer = Some(Pacer::rate(10.0));
+        let (_, evs) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(10));
+        let invite = sip_of(&evs[0]).as_request().unwrap().clone();
+        // The PBX's 100 Trying advertises a lower rate.
+        let mut trying = respond(&invite, StatusCode::TRYING, None);
+        trying
+            .headers
+            .push(HeaderName::OverloadControl, "rate=1.000");
+        u.on_sip(SimTime::ZERO, trying.into());
+        assert!((u.pacer.as_ref().unwrap().rate_cps() - 1.0).abs() < 1e-9);
+        // Malformed feedback is ignored.
+        let mut bad = respond(&invite, StatusCode::TRYING, None);
+        bad.headers.push(HeaderName::OverloadControl, "rate=???");
+        u.on_sip(SimTime::ZERO, bad.into());
+        assert!((u.pacer.as_ref().unwrap().rate_cps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_pacer_caps_open_calls_and_releases_on_terminal() {
+        let mut u = uac();
+        u.pacer = Some(Pacer::window(2));
+        let (cid1, evs1) = u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(10));
+        let (_cid2, evs2) = u.start_call(SimTime::ZERO, "1002", "2002", SimDuration::from_secs(10));
+        assert_eq!(evs1.len() + evs2.len(), 2, "window of 2 admits both");
+        // Third intent: over the window, deferred silently.
+        let (cid3, evs3) = u.start_call(SimTime::ZERO, "1003", "2003", SimDuration::from_secs(10));
+        assert!(cid3.is_empty() && evs3.is_empty());
+        assert_eq!(u.pacer.as_ref().unwrap().queued(), 1);
+        // First call fails; its slot frees and the queued intent goes out.
+        let invite1 = sip_of(&evs1[0]).as_request().unwrap().clone();
+        let evs = u.on_sip(
+            SimTime::from_secs(1),
+            respond(&invite1, StatusCode::NOT_FOUND, None).into(),
+        );
+        // ACK + Ended for cid1, then the released INVITE for the intent.
+        assert_eq!(evs.len(), 3);
+        assert!(matches!(
+            &evs[1],
+            UacEvent::Ended { call_id, .. } if call_id == &cid1
+        ));
+        let released = sip_of(&evs[2]).as_request().unwrap();
+        assert_eq!(released.method, Method::Invite);
+        assert_eq!(u.pacer.as_ref().unwrap().queued(), 0);
+        // Window feedback shrinks the allowance for future admissions.
+        let mut resp = respond(&invite1, StatusCode::TRYING, None);
+        resp.headers.push(HeaderName::OverloadControl, "win=1");
+        u.on_sip(SimTime::from_secs(1), resp.into());
+        assert_eq!(u.pacer.as_ref().unwrap().window_size(), 1);
+        let (cid4, evs4) = u.start_call(
+            SimTime::from_secs(2),
+            "1004",
+            "2004",
+            SimDuration::from_secs(10),
+        );
+        assert!(cid4.is_empty() && evs4.is_empty(), "shrunk window defers");
+    }
+
+    #[test]
+    fn finish_abandons_pacer_deferred_intents() {
+        let mut u = uac();
+        u.pacer = Some(Pacer::window(1));
+        u.start_call(SimTime::ZERO, "1001", "2001", SimDuration::from_secs(10));
+        u.start_call(SimTime::ZERO, "1002", "2002", SimDuration::from_secs(10));
+        assert_eq!(u.pacer.as_ref().unwrap().queued(), 1);
+        let evs = u.finish();
+        // One open call + one deferred intent, both abandoned.
+        assert_eq!(evs.len(), 2);
+        assert_eq!(u.journal.outcome_count(CallOutcome::Abandoned), 2);
+        assert_eq!(u.pacer.as_ref().unwrap().queued(), 0);
     }
 
     #[test]

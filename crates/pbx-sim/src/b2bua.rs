@@ -20,6 +20,7 @@ use crate::registrar::{RegisterOutcome, Registrar};
 use des::FastMap;
 use des::{SimDuration, SimTime};
 use netsim::NodeId;
+use overload::{ControlLaw, Feedback, LoadSignals};
 use sipcore::headers::{tag_of, with_tag, HeaderName};
 use sipcore::message::{write_via_args, Request, Response, SipMessage};
 use sipcore::sdp::SessionDescription;
@@ -84,6 +85,11 @@ pub struct PbxConfig {
     /// Optional overload control (`None` = the paper's testbed, which
     /// never sheds and simply saturates).
     pub overload: Option<OverloadControl>,
+    /// Optional pluggable overload-control law from the `overload` crate.
+    /// When both this and the legacy [`PbxConfig::overload`] watermarks are
+    /// set, the legacy inline path wins (it is the reference
+    /// implementation the digest-compatibility tests compare against).
+    pub overload_law: Option<ControlLaw>,
 }
 
 impl PbxConfig {
@@ -100,6 +106,7 @@ impl PbxConfig {
             max_calls_per_user: None,
             require_digest: false,
             overload: None,
+            overload_law: None,
         }
     }
 }
@@ -212,6 +219,12 @@ pub struct Pbx {
     next_call_serial: u64,
     /// Overload-control hysteresis state: currently shedding?
     shedding: bool,
+    /// Pluggable overload-control law (built from `config.overload_law`).
+    law: Option<Box<dyn overload::OverloadControl>>,
+    /// Last observed access-link media quality (loss fraction, jitter ms,
+    /// one-way delay ms) — fed by the world's quality ticks, consumed by
+    /// MOS-predictive admission. Zero until the first observation.
+    link_quality: (f64, f64, f64),
     /// Per-instance digest nonce, derived once from the hostname (a real
     /// server rotates nonces; a deterministic constant suffices here and
     /// keeps the MD5 off the REGISTER hot path).
@@ -230,6 +243,7 @@ impl Pbx {
             "nonce-{}",
             sipcore::auth::md5_hex(config.hostname.as_bytes())
         );
+        let law = config.overload_law.map(ControlLaw::build);
         Pbx {
             config,
             pool,
@@ -246,6 +260,8 @@ impl Pbx {
             next_port: FIRST_MEDIA_PORT,
             next_call_serial: 0,
             shedding: false,
+            law,
+            link_quality: (0.0, 0.0, 0.0),
             nonce,
         }
     }
@@ -283,10 +299,36 @@ impl Pbx {
         occupancy.max(self.cpu.last_window_utilisation().unwrap_or(0.0))
     }
 
+    /// The full signal set a pluggable control law observes: the legacy
+    /// occupancy/CPU pair plus pool headroom and link media quality.
+    #[must_use]
+    pub fn load_signals(&self) -> LoadSignals {
+        let occupancy = if self.config.channels == 0 {
+            0.0
+        } else {
+            f64::from(self.pool.in_use()) / f64::from(self.config.channels)
+        };
+        let (link_loss, link_jitter_ms, link_delay_ms) = self.link_quality;
+        LoadSignals {
+            occupancy,
+            cpu: self.cpu.last_window_utilisation().unwrap_or(0.0),
+            free_channels: self.config.channels.saturating_sub(self.pool.in_use()),
+            link_loss,
+            link_jitter_ms,
+            link_delay_ms,
+        }
+    }
+
+    /// Feed the latest observed access-link media quality (from the
+    /// world's monitor) to MOS-predictive admission control.
+    pub fn observe_link_quality(&mut self, loss: f64, jitter_ms: f64, delay_ms: f64) {
+        self.link_quality = (loss, jitter_ms, delay_ms);
+    }
+
     /// True while overload control is actively shedding new INVITEs.
     #[must_use]
     pub fn is_shedding(&self) -> bool {
-        self.shedding
+        self.shedding || self.law.as_ref().is_some_and(|l| l.is_shedding())
     }
 
     /// Crash fault: the Asterisk process dies and is restarted by its
@@ -310,6 +352,9 @@ impl Pbx {
         self.by_pbx_port.clear();
         self.active_per_user.clear();
         self.shedding = false;
+        if let Some(law) = self.law.as_mut() {
+            law.on_crash();
+        }
         self.stats.crashes += 1;
         dropped
     }
@@ -480,7 +525,11 @@ impl Pbx {
             return vec![];
         }
         // Overload control: shed *new* work before spending any routing or
-        // channel effort on it (that is the point of shedding).
+        // channel effort on it (that is the point of shedding). The legacy
+        // inline watermarks are the reference path; a pluggable law from
+        // the `overload` crate may additionally advertise feedback, which
+        // rides on this call's 100 Trying when it is admitted.
+        let mut admit_feedback: Option<Feedback> = None;
         if let Some(ctl) = self.config.overload {
             let load = self.load_signal();
             if self.shedding {
@@ -511,6 +560,45 @@ impl Pbx {
                     HeaderName::RetryAfter,
                     format!("{}", ctl.retry_after.as_secs_f64().ceil() as u64),
                 );
+                return vec![self.reply(from, resp)];
+            }
+        } else if self.law.is_some() {
+            let signals = self.load_signals();
+            let decision = self
+                .law
+                .as_mut()
+                .expect("law presence checked above")
+                .on_invite(&signals);
+            if decision.admit {
+                admit_feedback = decision.feedback;
+            } else {
+                self.stats.calls_shed += 1;
+                let caller_aor = req
+                    .headers
+                    .get(&HeaderName::From)
+                    .and_then(extract_user)
+                    .unwrap_or_default();
+                self.cdr.push(CallRecord {
+                    call_id,
+                    caller: caller_aor,
+                    callee: req.uri.user.clone(),
+                    start: now,
+                    answered: None,
+                    end: Some(now),
+                    disposition: Disposition::Shed,
+                });
+                let mut resp = req.make_response(StatusCode::SERVICE_UNAVAILABLE);
+                let retry_after = decision
+                    .retry_after
+                    .unwrap_or_else(|| SimDuration::from_secs(2));
+                resp.headers.push(
+                    HeaderName::RetryAfter,
+                    format!("{}", retry_after.as_secs_f64().ceil() as u64),
+                );
+                if let Some(fb) = decision.feedback {
+                    resp.headers
+                        .push(HeaderName::OverloadControl, fb.to_header_value());
+                }
                 return vec![self.reply(from, resp)];
             }
         }
@@ -634,7 +722,12 @@ impl Pbx {
         let pbx_tag = format!("pbxuas{serial}");
         // Build the 100 Trying before the INVITE moves into the call slot
         // (the stored original serves every later caller-facing response).
-        let trying = req.make_response(StatusCode::TRYING);
+        let mut trying = req.make_response(StatusCode::TRYING);
+        if let Some(fb) = admit_feedback {
+            trying
+                .headers
+                .push(HeaderName::OverloadControl, fb.to_header_value());
+        }
         self.calls.push(Some(Call {
             channel,
             state: CallState::Inviting,
@@ -1542,6 +1635,196 @@ mod tests {
         assert_eq!(pbx.stats().calls_blocked, 0, "shed, not capacity-blocked");
         // A free channel remains: shedding protects headroom.
         assert_eq!(pbx.pool.in_use(), 3);
+    }
+
+    /// The pluggable `Hysteresis` law must produce byte-identical actions
+    /// to the legacy inline watermarks — message for message — across
+    /// admit, shed, and release. This is the unit-level half of the
+    /// digest-compatibility guarantee (the experiment layer pins the full
+    /// run digest).
+    #[test]
+    fn pluggable_hysteresis_law_replays_legacy_actions_exactly() {
+        let build = |pluggable: bool| {
+            let dir = Directory::with_subscribers(1000, 100);
+            let mut cfg = PbxConfig::evaluation_default(PBX_NODE);
+            cfg.channels = 4;
+            if pluggable {
+                cfg.overload_law = Some(ControlLaw::Hysteresis {
+                    high_watermark: 0.75,
+                    low_watermark: 0.30,
+                    retry_after: SimDuration::from_secs(3),
+                });
+            } else {
+                cfg.overload = Some(OverloadControl {
+                    high_watermark: 0.75,
+                    low_watermark: 0.30,
+                    retry_after: SimDuration::from_secs(3),
+                });
+            }
+            let mut pbx = Pbx::new(cfg, dir);
+            for (uid, node) in [("1001", CALLER_NODE), ("1002", CALLEE_NODE)] {
+                pbx.handle_sip(SimTime::ZERO, node, register_request(uid).into());
+            }
+            pbx
+        };
+        let mut legacy = build(false);
+        let mut law = build(true);
+        // Admit three calls (reaching the high watermark), shed the
+        // fourth, tear down to below the low watermark, admit again.
+        let mut step = |legacy: &mut Pbx, law: &mut Pbx, t: u64, node: NodeId, msg: SipMessage| {
+            let a = legacy.handle_sip(SimTime::from_secs(t), node, msg.clone());
+            let b = law.handle_sip(SimTime::from_secs(t), node, msg);
+            assert_eq!(a, b, "action divergence at t={t}");
+            a
+        };
+        for cid in ["p1", "p2", "p3"] {
+            step(
+                &mut legacy,
+                &mut law,
+                1,
+                CALLER_NODE,
+                invite(cid, "1001", "1002", 6000).into(),
+            );
+        }
+        let acts = step(
+            &mut legacy,
+            &mut law,
+            2,
+            CALLER_NODE,
+            invite("p4", "1001", "1002", 6000).into(),
+        );
+        let resp = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(resp.headers.get(&HeaderName::RetryAfter), Some("3"));
+        assert!(
+            !resp.headers.contains(&HeaderName::OverloadControl),
+            "hysteresis advertises no feedback — wire stays byte-identical"
+        );
+        assert!(legacy.is_shedding() && law.is_shedding());
+        for cid in ["p1", "p2"] {
+            let bye = Request::new(Method::Bye, sipcore::SipUri::new("1002", "pbx.unb.br"))
+                .header(HeaderName::CallId, cid.to_owned())
+                .header(HeaderName::CSeq, "2 BYE");
+            let acts = step(&mut legacy, &mut law, 10, CALLER_NODE, bye.into());
+            let fwd = sip_of(&acts[0]).as_request().unwrap().clone();
+            step(
+                &mut legacy,
+                &mut law,
+                10,
+                CALLEE_NODE,
+                fwd.make_response(StatusCode::OK).into(),
+            );
+        }
+        let acts = step(
+            &mut legacy,
+            &mut law,
+            11,
+            CALLER_NODE,
+            invite("p5", "1001", "1002", 6000).into(),
+        );
+        assert_eq!(acts.len(), 2, "released below low watermark on both");
+        assert!(!legacy.is_shedding() && !law.is_shedding());
+        assert_eq!(legacy.stats(), law.stats());
+        assert_eq!(
+            legacy.cdr.count(Disposition::Shed),
+            law.cdr.count(Disposition::Shed)
+        );
+    }
+
+    /// Feedback-driven laws advertise their state on the 100 Trying of
+    /// admitted calls and on 503 rejects.
+    #[test]
+    fn rate_law_feedback_rides_trying_and_503() {
+        let dir = Directory::with_subscribers(1000, 100);
+        let mut cfg = PbxConfig::evaluation_default(PBX_NODE);
+        cfg.channels = 2;
+        cfg.overload_law = Some(ControlLaw::RateBased {
+            target_load: 0.5,
+            max_rate_cps: 10.0,
+            min_rate_cps: 1.0,
+            retry_after: SimDuration::from_secs(4),
+        });
+        let mut pbx = Pbx::new(cfg, dir);
+        for (uid, node) in [("1001", CALLER_NODE), ("1002", CALLEE_NODE)] {
+            pbx.handle_sip(SimTime::ZERO, node, register_request(uid).into());
+        }
+        // First INVITE admitted: the Trying carries rate feedback.
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(1),
+            CALLER_NODE,
+            invite("f1", "1001", "1002", 6000).into(),
+        );
+        assert_eq!(acts.len(), 2);
+        let trying = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(trying.status, StatusCode::TRYING);
+        let fb = trying
+            .headers
+            .get(&HeaderName::OverloadControl)
+            .expect("rate law advertises on Trying");
+        assert!(fb.starts_with("rate="), "got {fb:?}");
+        // Fill the pool; the next INVITE is shed with 503 + feedback.
+        pbx.handle_sip(
+            SimTime::from_secs(1),
+            CALLER_NODE,
+            invite("f2", "1001", "1002", 6000).into(),
+        );
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(2),
+            CALLER_NODE,
+            invite("f3", "1001", "1002", 6000).into(),
+        );
+        assert_eq!(acts.len(), 1);
+        let resp = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(resp.headers.get(&HeaderName::RetryAfter), Some("4"));
+        assert!(resp
+            .headers
+            .get(&HeaderName::OverloadControl)
+            .is_some_and(|v| v.starts_with("rate=")));
+        assert_eq!(pbx.stats().calls_shed, 1);
+        assert_eq!(pbx.cdr.count(Disposition::Shed), 1);
+    }
+
+    /// MOS-predictive CAC rejects on observed link quality even with free
+    /// channels — the "3D" axis of 3D-CAC.
+    #[test]
+    fn mos_cac_rejects_on_poor_link_quality_with_channels_free() {
+        let dir = Directory::with_subscribers(1000, 100);
+        let mut cfg = PbxConfig::evaluation_default(PBX_NODE);
+        cfg.channels = 8;
+        cfg.overload_law = Some(ControlLaw::mos_cac_default());
+        let mut pbx = Pbx::new(cfg, dir);
+        for (uid, node) in [("1001", CALLER_NODE), ("1002", CALLEE_NODE)] {
+            pbx.handle_sip(SimTime::ZERO, node, register_request(uid).into());
+        }
+        // Clean link: admitted.
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(1),
+            CALLER_NODE,
+            invite("q1", "1001", "1002", 6000).into(),
+        );
+        assert_eq!(acts.len(), 2, "clean link admits");
+        // The world reports a degraded link; prediction falls below 3.5.
+        pbx.observe_link_quality(0.15, 60.0, 150.0);
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(2),
+            CALLER_NODE,
+            invite("q2", "1001", "1002", 6000).into(),
+        );
+        assert_eq!(acts.len(), 1);
+        let resp = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert!(pbx.is_shedding());
+        assert!(pbx.pool.in_use() < 8, "channels were free — quality shed");
+        // Link heals: admission resumes.
+        pbx.observe_link_quality(0.0, 2.0, 10.0);
+        let acts = pbx.handle_sip(
+            SimTime::from_secs(3),
+            CALLER_NODE,
+            invite("q3", "1001", "1002", 6000).into(),
+        );
+        assert_eq!(acts.len(), 2, "healed link admits again");
+        assert!(!pbx.is_shedding());
     }
 
     #[test]

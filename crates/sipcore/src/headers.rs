@@ -44,6 +44,10 @@ pub enum HeaderName {
     /// `Retry-After` — seconds to wait before retrying (RFC 3261 §20.33),
     /// carried on 503 responses by overload-shedding servers.
     RetryAfter,
+    /// `X-Overload-Control` — ad-hoc overload feedback from a downstream
+    /// server to its upstream (`rate=<cps>` or `win=<calls>`), attached to
+    /// 100 Trying and 503 responses by feedback-driven control laws.
+    OverloadControl,
     /// Any other header, with its original name.
     Other(String),
 }
@@ -68,6 +72,7 @@ impl HeaderName {
             HeaderName::Authorization => "Authorization",
             HeaderName::WwwAuthenticate => "WWW-Authenticate",
             HeaderName::RetryAfter => "Retry-After",
+            HeaderName::OverloadControl => "X-Overload-Control",
             HeaderName::Other(s) => s,
         }
     }
@@ -95,6 +100,7 @@ impl HeaderName {
             HeaderName::Authorization => eq("authorization"),
             HeaderName::WwwAuthenticate => eq("www-authenticate"),
             HeaderName::RetryAfter => eq("retry-after"),
+            HeaderName::OverloadControl => eq("x-overload-control"),
             HeaderName::Other(s) => eq(s),
         }
     }
@@ -118,6 +124,7 @@ impl HeaderName {
             "authorization" => HeaderName::Authorization,
             "www-authenticate" => HeaderName::WwwAuthenticate,
             "retry-after" => HeaderName::RetryAfter,
+            "x-overload-control" => HeaderName::OverloadControl,
             _ => HeaderName::Other(s.to_owned()),
         }
     }
@@ -285,6 +292,8 @@ mod tests {
             HeaderName::Allow,
             HeaderName::Authorization,
             HeaderName::WwwAuthenticate,
+            HeaderName::RetryAfter,
+            HeaderName::OverloadControl,
         ] {
             assert_eq!(HeaderName::from_wire(name.as_str()), name);
         }
@@ -327,6 +336,8 @@ mod tests {
             "Authorization",
             "WWW-Authenticate",
             "Retry-After",
+            "X-Overload-Control",
+            "x-overload-control",
             "X-Custom",
         ] {
             let name = HeaderName::from_wire(token);

@@ -245,6 +245,32 @@ impl Monitor {
         self.streams.get(&flow)
     }
 
+    /// Aggregate `(loss fraction, jitter ms, mean one-way delay ms)` over
+    /// every stream that has carried media — the live link-quality signal
+    /// the MOS-aware admission law samples. Streams are folded in flow-id
+    /// order so the floating-point sums are independent of hash-map
+    /// iteration order (determinism across runs and platforms).
+    #[must_use]
+    pub fn link_quality(&self) -> (f64, f64, f64) {
+        let mut flows: Vec<(&FlowId, &StreamStats)> = self
+            .streams
+            .iter()
+            .filter(|(_, s)| s.packets() > 0)
+            .collect();
+        if flows.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        flows.sort_by_key(|(id, _)| **id);
+        let n = flows.len() as f64;
+        let (mut loss, mut jitter, mut delay) = (0.0, 0.0, 0.0);
+        for (_, s) in flows {
+            loss += s.loss();
+            jitter += s.jitter_ms();
+            delay += s.mean_delay_ms();
+        }
+        (loss / n, jitter / n, delay / n)
+    }
+
     /// Total observed RTP packets.
     #[must_use]
     pub fn rtp_packets(&self) -> u64 {

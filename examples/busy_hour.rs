@@ -40,6 +40,7 @@ fn main() {
         max_calls_per_user: None,
         faults: faults::FaultSchedule::new(),
         overload: None,
+        overload_law: None,
         retry: None,
         seed: 60 * 60,
     };

@@ -98,6 +98,9 @@ fn main() {
                         UacEvent::RetryAfter { delay, .. } => {
                             println!("      [shed with 503: retry after {delay:?}]");
                         }
+                        UacEvent::PacerWake { at } => {
+                            println!("      [pacer deferred next INVITE until {at:?}]");
+                        }
                     }
                 }
             }

@@ -63,6 +63,7 @@ pub mod prelude {
     };
     pub use des;
     pub use faults::{self, FaultKind, FaultSchedule};
+    pub use overload::{self, ControlLaw};
     pub use pbx_sim::{self, PbxConfig};
     pub use teletraffic::{self, erlang_b, CallRate, Erlangs, HoldingTime};
     pub use voiceq::{self, EModelInputs};

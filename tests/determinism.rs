@@ -22,6 +22,7 @@ fn cfg(seed: u64, media: MediaMode) -> EmpiricalConfig {
         max_calls_per_user: None,
         faults: faults::FaultSchedule::new(),
         overload: None,
+        overload_law: None,
         retry: None,
         seed,
     }

@@ -22,6 +22,7 @@ fn sweep_config(erlangs: f64, holding: HoldingDist, channels: u32, seed: u64) ->
         max_calls_per_user: None,
         faults: faults::FaultSchedule::new(),
         overload: None,
+        overload_law: None,
         retry: None,
         seed,
     }

@@ -35,6 +35,7 @@ fn zero_channel_pbx_blocks_every_call() {
         max_calls_per_user: None,
         faults: faults::FaultSchedule::new(),
         overload: None,
+        overload_law: None,
         retry: None,
         seed: 5,
     };
@@ -64,6 +65,7 @@ fn heavy_wire_loss_degrades_mos_but_not_blocking() {
         max_calls_per_user: None,
         faults: faults::FaultSchedule::new(),
         overload: None,
+        overload_law: None,
         retry: None,
         seed: 21,
     };

@@ -102,6 +102,7 @@ fn relay_path_performs_zero_payload_copies() {
         max_calls_per_user: None,
         faults: faults::FaultSchedule::new(),
         overload: None,
+        overload_law: None,
         retry: None,
         seed: 7,
     };

@@ -27,6 +27,7 @@ fn one_call_is_thirteen_messages() {
         max_calls_per_user: None,
         faults: faults::FaultSchedule::new(),
         overload: None,
+        overload_law: None,
         retry: None,
         seed: 11,
     };
