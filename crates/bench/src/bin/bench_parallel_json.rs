@@ -1,0 +1,239 @@
+//! Emit `BENCH_parallel.json` — strong scaling of the within-run sharded
+//! engine over an 8-PBX full-media farm, plus the suite's standard >10%
+//! regression gate against the committed scheduler baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_parallel_json              # smoke
+//! BENCH_SCALE=full cargo run --release -p bench --bin bench_parallel_json
+//! ```
+//!
+//! The workload is the Table-I 150 E cell split across 8 single-server
+//! shards (one PBX, UAC/UAS pair and monitor each) with per-packet
+//! G.711 media. Rows: the sequential global-interleave reference plus
+//! the windowed parallel executor at 1/2/4/8 worker threads. All five
+//! rows run the identical partitioned model, so their run digests MUST
+//! be bit-identical — any divergence is a determinism bug and the
+//! emitter exits non-zero. Speedups are recorded but never gated: the
+//! measured curve is only meaningful on a multi-core host (the pool
+//! clamps workers to what the machine actually grants, reported per
+//! row).
+
+use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode, SimOptions};
+use capacity::shard::{run_partitioned, ExecMode};
+use loadgen::HoldingDist;
+use std::fmt::Write as _;
+
+struct ModeResult {
+    name: String,
+    threads: u32,
+    workers: u64,
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    sync_barrier_s: f64,
+    digest: u64,
+}
+
+fn farm_cfg(scale: &str) -> (EmpiricalConfig, &'static str) {
+    match scale {
+        "full" => {
+            let mut c = EmpiricalConfig::table1(150.0, 2015);
+            c.servers = 8;
+            (c, "tab1_150E_165ch_180s_full_media_8pbx")
+        }
+        _ => {
+            let mut c = EmpiricalConfig::table1(150.0, 2015);
+            c.servers = 8;
+            c.placement_window_s = 5.0;
+            c.holding = HoldingDist::Fixed(4.0);
+            c.media = MediaMode::PerPacket { encode_every: 50 };
+            (c, "tab1_150E_165ch_smoke_8pbx")
+        }
+    }
+}
+
+fn gate_cfg(scale: &str) -> EmpiricalConfig {
+    // Mirror bench_sched_json's scenario exactly so events/sec is
+    // comparable against its baseline file at the same scale.
+    match scale {
+        "full" => EmpiricalConfig::table1(150.0, 2015),
+        _ => {
+            let mut c = EmpiricalConfig::table1(150.0, 2015);
+            c.placement_window_s = 5.0;
+            c.holding = HoldingDist::Fixed(4.0);
+            c.media = MediaMode::PerPacket { encode_every: 50 };
+            c
+        }
+    }
+}
+
+/// Pull `"events_per_sec": <num>` out of the baseline's `"optimized"`
+/// config line (same hand-rolled scan as the other emitters — the bench
+/// crate has no JSON parser dependency).
+fn baseline_events_per_sec(json: &str) -> Option<f64> {
+    let line = json
+        .lines()
+        .find(|l| l.contains("\"name\": \"optimized\""))?;
+    let tail = line.split("\"events_per_sec\":").nth(1)?;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let scale = std::env::var("BENCH_SCALE").unwrap_or_else(|_| "smoke".to_owned());
+    let (cfg, scenario) = farm_cfg(&scale);
+
+    // Size the pool once for the widest row; the per-run permit reports
+    // how many workers the machine actually granted.
+    des::pool::configure(8);
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let modes: Vec<(String, ExecMode)> =
+        std::iter::once(("sequential".to_owned(), ExecMode::Sequential))
+            .chain(
+                [1u32, 2, 4, 8]
+                    .into_iter()
+                    .map(|t| (format!("sharded_{t}t"), ExecMode::Sharded { threads: t })),
+            )
+            .collect();
+
+    let mut results = Vec::new();
+    for (name, mode) in &modes {
+        // Best-of-3 on wall clock: the smoke farm finishes in well under
+        // a second per row, where scheduler jitter dwarfs the real cost.
+        let r = (0..3)
+            .map(|_| run_partitioned(cfg.clone(), SimOptions::default(), *mode))
+            .reduce(|best, r| {
+                if r.wall_clock_s < best.wall_clock_s {
+                    r
+                } else {
+                    best
+                }
+            })
+            .expect("three runs");
+        eprintln!(
+            "{name:<14} {:>8.3} s  {:>12.0} ev/s  ({} events, barrier {:.3} s)",
+            r.wall_clock_s, r.events_per_sec, r.events_processed, r.phases.sync_barrier_s
+        );
+        results.push(ModeResult {
+            name: name.clone(),
+            threads: match mode {
+                ExecMode::Sequential => 0,
+                ExecMode::Sharded { threads } => *threads,
+            },
+            workers: match mode {
+                ExecMode::Sequential => 1,
+                ExecMode::Sharded { threads } => u64::from((*threads).max(1)).min(8),
+            },
+            wall_s: r.wall_clock_s,
+            events: r.events_processed,
+            events_per_sec: r.events_per_sec,
+            sync_barrier_s: r.phases.sync_barrier_s,
+            digest: r.digest(),
+        });
+    }
+
+    // Every row executes the same partitioned model; the executor and
+    // thread count must be invisible to the physics.
+    let reference_digest = results[0].digest;
+    for r in &results[1..] {
+        if r.digest != reference_digest {
+            eprintln!(
+                "FATAL: {} digest {:#018x} != sequential digest {:#018x} — \
+                 the parallel executor leaked into the physics",
+                r.name, r.digest, reference_digest
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let one_t = results[1].wall_s.max(1e-9);
+    let speedup_4t = one_t / results[3].wall_s.max(1e-9);
+    let speedup_8t = one_t / results[4].wall_s.max(1e-9);
+    eprintln!(
+        "strong scaling vs 1 thread: 4t {speedup_4t:.2}x, 8t {speedup_8t:.2}x \
+         ({host_cores} host cores)"
+    );
+
+    // Regression gate: the classic single-wheel engine on the scheduler
+    // bench's workload must stay within 10% of the committed baseline.
+    let baseline_path =
+        std::env::var("BENCH_SCHED_BASELINE").unwrap_or_else(|_| "BENCH_sched.json".to_owned());
+    let gate = gate_cfg(&scale);
+    let gate_eps = (0..3)
+        .map(|_| EmpiricalRunner::run_with(gate.clone(), SimOptions::default()).events_per_sec)
+        .fold(0.0_f64, f64::max);
+    let mut gate_status = "no_baseline".to_owned();
+    let mut baseline_eps = 0.0;
+    match std::fs::read_to_string(&baseline_path)
+        .ok()
+        .as_deref()
+        .and_then(baseline_events_per_sec)
+    {
+        // An instrumented build pays two clock reads per event; comparing
+        // it against an uninstrumented baseline would always trip the gate.
+        Some(_) if cfg!(feature = "phase-timing") => {
+            gate_status = "skipped_phase_timing".to_owned();
+            eprintln!("throughput gate skipped: phase-timing instrumentation is enabled");
+        }
+        Some(base) => {
+            baseline_eps = base;
+            let ratio = gate_eps / base.max(1e-9);
+            eprintln!(
+                "throughput gate: {gate_eps:.0} ev/s vs baseline {base:.0} ev/s \
+                 ({ratio:.2}x, {baseline_path})"
+            );
+            if ratio < 0.9 {
+                eprintln!("FATAL: events/sec regressed more than 10% vs {baseline_path}");
+                std::process::exit(1);
+            }
+            gate_status = format!("ok_{ratio:.3}x");
+        }
+        None => {
+            eprintln!("throughput gate skipped: no parsable baseline at {baseline_path}");
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scenario\": \"{scenario}\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"modes\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"workers_requested\": {}, \
+             \"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \
+             \"sync_barrier_s\": {:.6}, \"digest\": \"{:#018x}\"}}{comma}",
+            r.name,
+            r.threads,
+            r.workers,
+            r.wall_s,
+            r.events,
+            r.events_per_sec,
+            r.sync_barrier_s,
+            r.digest
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"digests_identical\": true,");
+    let _ = writeln!(json, "  \"speedup_4t_vs_1t\": {speedup_4t:.3},");
+    let _ = writeln!(json, "  \"speedup_8t_vs_1t\": {speedup_8t:.3},");
+    let _ = writeln!(json, "  \"gate_scenario_events_per_sec\": {gate_eps:.1},");
+    let _ = writeln!(
+        json,
+        "  \"gate_baseline_events_per_sec\": {baseline_eps:.1},"
+    );
+    let _ = writeln!(json, "  \"gate_status\": \"{gate_status}\"");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel.json".to_owned());
+    std::fs::write(&out, &json).expect("write BENCH_parallel.json");
+    println!("wrote {out} (4t speedup {speedup_4t:.2}x, digests identical)");
+}

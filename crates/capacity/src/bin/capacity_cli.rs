@@ -127,6 +127,7 @@ fn main() {
                 cfg.holding = loadgen::HoldingDist::Fixed(holding);
             }
             cfg.placement_window_s = flag("--window", cfg.placement_window_s);
+            cfg.servers = flag("--servers", f64::from(cfg.servers)) as u32;
 
             // Overload control: --shed-high enables PBX shedding.
             let shed_high = flag("--shed-high", 0.0);
@@ -199,7 +200,27 @@ fn main() {
             }
             let robustness = !sched.is_empty() || cfg.overload.is_some() || cfg.retry.is_some();
             cfg.faults = sched;
-            let result = EmpiricalRunner::run(cfg);
+            // --threads N runs the partitioned sharded engine (N = 0
+            // means every available core); absent keeps the classic
+            // single-wheel path and its historical digests.
+            let threads = flag("--threads", -1.0);
+            let result = if threads >= 0.0 {
+                let want = threads as u32;
+                let want = if want == 0 {
+                    u32::try_from(des::pool::total()).unwrap_or(u32::MAX)
+                } else {
+                    want
+                };
+                des::pool::configure(want as usize);
+                cfg.threads = Some(want);
+                capacity::run_partitioned(
+                    cfg,
+                    capacity::SimOptions::default(),
+                    capacity::ExecMode::Sharded { threads: want },
+                )
+            } else {
+                EmpiricalRunner::run(cfg)
+            };
             if json || !robustness {
                 println!("{}", report::to_json(&result));
             } else {
@@ -229,6 +250,9 @@ fn main() {
             eprintln!("         [--crash-at S --restart-after S]  crash + supervised restart");
             eprintln!("         [--flash-at S --flash-mult X --flash-dur S]  arrival burst");
             eprintln!("         [--storm N]  seeded random fault storm (overrides the above)");
+            eprintln!(
+                "         [--servers K --threads N]  partitioned run on N workers (0 = all cores)"
+            );
             std::process::exit(2);
         }
     }

@@ -128,6 +128,11 @@ pub struct EmpiricalConfig {
     pub overload_law: Option<ControlLaw>,
     /// UAC 503-retry behaviour (`None` = a shed call counts as blocked).
     pub retry: Option<RetryPolicy>,
+    /// Worker threads for sharded execution (`None` = the process-wide
+    /// [`des::pool`] default, available parallelism). Only consulted by
+    /// the partitioned runner ([`crate::shard::run_partitioned`]); the
+    /// classic single-wheel path ignores it.
+    pub threads: Option<u32>,
     /// Master RNG seed: a run is a pure function of this value.
     pub seed: u64,
 }
@@ -157,6 +162,7 @@ impl EmpiricalConfig {
             overload: None,
             overload_law: None,
             retry: None,
+            threads: None,
             seed,
         }
     }
@@ -210,6 +216,7 @@ impl EmpiricalConfig {
             overload: None,
             overload_law: None,
             retry: None,
+            threads: None,
             seed,
         }
     }

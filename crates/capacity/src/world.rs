@@ -144,6 +144,13 @@ pub struct MediaKey {
 pub enum Ev {
     /// Place the next call.
     PlaceCall,
+    /// (Sharded runs) the partition driver's arrival clock ticked. Handled
+    /// by the shard wrapper in `crate::shard`, never by `World` itself.
+    ArrivalTick,
+    /// (Sharded runs) a dispatched call order reaches this partition's
+    /// PBX one control-plane hop after the driver drew it: place exactly
+    /// one call now, without consulting the local arrival process.
+    PlaceOrder,
     /// Hand a locally originated frame to the network (used to pace the
     /// registration storm so it cannot overflow the access links).
     SendFrame(Frame),
@@ -420,6 +427,17 @@ impl World {
     /// Seed the initial events: registrations at t≈0, first arrival after
     /// the placement start.
     pub fn prime(&mut self, sched: &mut Scheduler<Ev>) {
+        self.prime_inner(sched, true);
+    }
+
+    /// Seed a partitioned world: registrations, faults and quality ticks,
+    /// but **no** arrival chain — a sharded run's driver owns the arrival
+    /// process and feeds this world [`Ev::PlaceOrder`]s instead.
+    pub fn prime_partitioned(&mut self, sched: &mut Scheduler<Ev>) {
+        self.prime_inner(sched, false);
+    }
+
+    fn prime_inner(&mut self, sched: &mut Scheduler<Ev>, with_arrivals: bool) {
         // Register caller and callee pools at every PBX through real
         // REGISTER messages.
         let mut reg_frames = Vec::new();
@@ -456,10 +474,12 @@ impl World {
             );
         }
         // First arrival.
-        let first = self
-            .arrivals
-            .next_after(self.placement_start, &mut self.rng_arrivals);
-        sched.schedule(first, Ev::PlaceCall);
+        if with_arrivals {
+            let first = self
+                .arrivals
+                .next_after(self.placement_start, &mut self.rng_arrivals);
+            sched.schedule(first, Ev::PlaceCall);
+        }
         // Scheduled faults.
         for (idx, event) in self.config.faults.events().iter().enumerate() {
             sched.schedule(event.at, Ev::Fault(idx));
@@ -1385,6 +1405,27 @@ impl World {
             }
         }
     }
+
+    /// Place exactly one call right now (sharded runs: an
+    /// [`Ev::PlaceOrder`] dispatched by the partition driver). Unlike
+    /// [`World::place_call`] this neither consults the arrival process nor
+    /// gates on the placement window — the driver already admitted the
+    /// order; it simply lands one control-plane hop later.
+    fn place_one(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let i = self.calls_placed % u64::from(self.config.user_pool);
+        let caller = format!("{}", 1000 + i);
+        let callee = format!("{}", 1500 + i);
+        let hold = self.config.holding.sample(&mut self.rng_holding);
+        let k = if self.uacs.len() == 1 {
+            0
+        } else {
+            use des::rng::Distributions;
+            self.rng_dispatch.below(self.uacs.len() as u64) as usize
+        };
+        let (_, events) = self.uacs[k].start_call(now, &caller, &callee, hold);
+        self.calls_placed += 1;
+        self.process_uac_events(now, sched, k, events);
+    }
 }
 
 impl EventHandler<Ev> for World {
@@ -1395,6 +1436,10 @@ impl EventHandler<Ev> for World {
         let mut timer = std::mem::take(&mut self.phase_timer);
         match event {
             Ev::PlaceCall => timer.measure(Phase::Signalling, || self.place_call(at, sched)),
+            Ev::ArrivalTick => {
+                unreachable!("ArrivalTick is intercepted by the shard driver")
+            }
+            Ev::PlaceOrder => timer.measure(Phase::Signalling, || self.place_one(at, sched)),
             Ev::SendFrame(frame) => {
                 let phase = match frame.payload {
                     Payload::Sip(_) | Payload::SipWire(_) => Phase::Signalling,

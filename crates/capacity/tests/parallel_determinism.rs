@@ -1,0 +1,89 @@
+//! Digest-exactness of the within-run parallel engine: the windowed
+//! sharded executor must be bit-identical to the sequential
+//! global-interleave reference at every thread width — including under
+//! an active fault schedule that crashes a PBX mid-run.
+
+use capacity::experiment::{EmpiricalConfig, MediaMode, SimOptions};
+use capacity::shard::{run_partitioned, ExecMode};
+use des::SimDuration;
+use faults::{FaultKind, FaultSchedule};
+use loadgen::HoldingDist;
+
+const WIDTHS: [u32; 4] = [1, 2, 4, 8];
+
+fn digests_match(cfg: &EmpiricalConfig) {
+    // Over-provision the pool so requested widths actually differ; the
+    // digest must not care how many workers the machine grants anyway.
+    des::pool::configure(8);
+    let base = run_partitioned(cfg.clone(), SimOptions::default(), ExecMode::Sequential);
+    assert!(base.attempted > 0, "workload places calls");
+    for threads in WIDTHS {
+        let r = run_partitioned(
+            cfg.clone(),
+            SimOptions::default(),
+            ExecMode::Sharded { threads },
+        );
+        assert_eq!(
+            r.digest(),
+            base.digest(),
+            "sharded({threads} threads) diverged from sequential \
+             ({} vs {} events)",
+            r.events_processed,
+            base.events_processed
+        );
+        assert_eq!(r.events_processed, base.events_processed);
+    }
+}
+
+/// The paper's 150 E full-media cell (165 channels, per-packet G.711),
+/// shortened to a few simulated seconds so debug builds finish quickly,
+/// split across 4 PBX shards.
+#[test]
+fn full_media_150e_cell_is_digest_exact() {
+    let mut cfg = EmpiricalConfig::table1(150.0, 2015);
+    cfg.servers = 4;
+    cfg.placement_window_s = 4.0;
+    cfg.holding = HoldingDist::Fixed(4.0);
+    cfg.media = MediaMode::PerPacket { encode_every: 50 };
+    digests_match(&cfg);
+}
+
+/// Signalling-only farm at a different seed and shard count.
+#[test]
+fn signalling_only_farm_is_digest_exact() {
+    let mut cfg = EmpiricalConfig::signalling_only(24.0, 77);
+    cfg.servers = 3;
+    cfg.channels = 30;
+    cfg.placement_window_s = 8.0;
+    cfg.holding = HoldingDist::Fixed(5.0);
+    digests_match(&cfg);
+}
+
+/// A PBX crash on shard 1 mid-window plus a flash crowd: faults are
+/// remapped per shard and the driver intercepts the crowd, and the
+/// executors must still agree exactly.
+#[test]
+fn crash_and_flash_crowd_stay_digest_exact() {
+    let mut cfg = EmpiricalConfig::smoke(4242);
+    cfg.servers = 4;
+    cfg.erlangs = 10.0;
+    cfg.channels = 8;
+    cfg.user_pool = 40;
+    cfg.placement_window_s = 12.0;
+    cfg.faults = FaultSchedule::new()
+        .at(
+            4.0,
+            FaultKind::PbxCrash {
+                pbx: 1,
+                restart_after: SimDuration::from_secs(3),
+            },
+        )
+        .at(
+            6.0,
+            FaultKind::FlashCrowd {
+                rate_multiplier: 3.0,
+                duration: SimDuration::from_secs(4),
+            },
+        );
+    digests_match(&cfg);
+}

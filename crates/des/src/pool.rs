@@ -1,0 +1,142 @@
+//! Process-wide worker-thread budget.
+//!
+//! Parallelism in this workspace nests: the farm and Fig. 6 studies fan
+//! replications out across threads, and a sharded run ([`crate::shard`])
+//! fans a *single* replication out across per-PBX worker threads. Each
+//! layer sizing itself from `available_parallelism` alone would
+//! oversubscribe the machine quadratically (R replications × S shards
+//! threads for R×S ≫ cores). This module is the arbiter: one global
+//! budget, sized once, from which every sharded executor borrows workers
+//! and returns them when the run joins.
+//!
+//! The budget is advisory-but-honoured: [`acquire`] never blocks and
+//! never grants zero — a caller that finds the budget exhausted runs on
+//! its own thread (one worker), which is exactly the degradation you
+//! want when replication-level parallelism already covers the cores.
+//! Worker counts only affect wall-clock, never results: the sharded
+//! executors are digest-exact at any width, so clamping is invisible to
+//! science.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `usize::MAX` marks "not yet configured"; first use latches the
+/// default from `available_parallelism`.
+static BUDGET: AtomicUsize = AtomicUsize::new(usize::MAX);
+/// Workers currently borrowed (beyond the borrowing threads themselves).
+static IN_USE: AtomicUsize = AtomicUsize::new(0);
+
+fn default_budget() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Set the process-wide worker budget (the `--threads N` CLI knob).
+/// Overrides any earlier value; pass the number of cores you want the
+/// whole process — all nesting levels combined — to use.
+pub fn configure(threads: usize) {
+    BUDGET.store(threads.max(1), Ordering::SeqCst);
+}
+
+/// The configured budget, defaulting (and latching) to
+/// `available_parallelism` on first call.
+pub fn total() -> usize {
+    let b = BUDGET.load(Ordering::SeqCst);
+    if b != usize::MAX {
+        return b;
+    }
+    let d = default_budget();
+    // Racing first calls both compute the same default; either store wins.
+    let _ = BUDGET.compare_exchange(usize::MAX, d, Ordering::SeqCst, Ordering::SeqCst);
+    BUDGET.load(Ordering::SeqCst)
+}
+
+/// A borrowed slice of the worker budget. Dropping it returns the
+/// workers.
+#[derive(Debug)]
+pub struct Permit {
+    granted: usize,
+}
+
+impl Permit {
+    /// How many worker threads this permit covers (≥ 1: the caller's own
+    /// thread is always available even when the budget is exhausted).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.granted.max(1)
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        if self.granted > 0 {
+            IN_USE.fetch_sub(self.granted, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Borrow up to `want` workers from the budget without blocking.
+///
+/// Grants `min(want, free)` slots; if nothing is free the permit still
+/// reports one worker (the caller runs inline) but holds no slots, so
+/// nested acquisitions cannot multiply threads past the budget.
+pub fn acquire(want: usize) -> Permit {
+    let budget = total();
+    let mut free = budget.saturating_sub(IN_USE.load(Ordering::SeqCst));
+    loop {
+        let take = want.min(free);
+        if take == 0 {
+            return Permit { granted: 0 };
+        }
+        let prev = IN_USE.fetch_add(take, Ordering::SeqCst);
+        if prev + take <= budget {
+            return Permit { granted: take };
+        }
+        // Raced past the budget: give the over-grab back and retry with
+        // the shrunken view.
+        IN_USE.fetch_sub(take, Ordering::SeqCst);
+        free = budget.saturating_sub(prev);
+    }
+}
+
+/// Serializes tests that reconfigure the process-global budget so they
+/// cannot interleave with each other.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+use std::sync::Mutex;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The budget statics are process-global, so exercise the whole
+    // lifecycle in one test to avoid cross-test interference.
+    #[test]
+    fn budget_grants_and_returns() {
+        let _guard = test_guard();
+        configure(4);
+        assert_eq!(total(), 4);
+        let a = acquire(3);
+        assert_eq!(a.workers(), 3);
+        let b = acquire(3);
+        assert_eq!(b.workers(), 1, "only one slot left");
+        let c = acquire(8);
+        assert_eq!(c.workers(), 1, "exhausted budget still yields a worker");
+        drop(a);
+        let d = acquire(8);
+        assert_eq!(d.workers(), 3, "released workers are reusable");
+        drop((b, c, d));
+        let e = acquire(4);
+        assert_eq!(e.workers(), 4);
+        configure(1);
+        drop(e);
+        let f = acquire(2);
+        assert_eq!(f.workers(), 1, "reconfigure shrinks the budget");
+    }
+}

@@ -1,0 +1,578 @@
+//! Sharded discrete-event execution with a conservative sync horizon.
+//!
+//! A simulation whose state divides into independent partitions — the
+//! capacity farm's PBX servers with their pinned calls and media flows —
+//! can run one event wheel *per shard* instead of one global wheel.
+//! Shards only influence each other through explicit cross-shard
+//! messages, and every such message takes at least the **lookahead** `L`
+//! of simulated time to arrive (network propagation plus the minimum
+//! signalling hop delay). That bound is what makes conservative parallel
+//! simulation possible: within any window of width `H ≤ L`, no event a
+//! shard executes can schedule work for another shard *inside the same
+//! window*, so all shards can burn through a window concurrently and
+//! exchange their cross-sends at a barrier before the next window opens.
+//!
+//! Two executors drive the same [`ShardWorld`] model:
+//!
+//! * [`ShardedSim::run_sequential`] — a global-interleave reference: one
+//!   thread repeatedly pops the globally smallest `(time, seq)` key
+//!   across all shard queues. This is exactly the classic single-wheel
+//!   event loop, just with the queue split per shard.
+//! * [`ShardedSim::run_parallel`] — worker threads own disjoint shard
+//!   sets and race through lookahead-wide windows, exchanging cross-shard
+//!   messages through per-`(src, dst)` mailboxes at horizon barriers.
+//!
+//! Both produce **bit-identical results** at any thread count. The key
+//! argument: every event carries a `(time, seq)` key where `seq` is
+//! allocated from the *sending* shard's lane-striped counter
+//! ([`Scheduler::set_seq_stream`]) at send time. Each shard's handler
+//! sequence is therefore the key-sorted merge of (a) its own follow-ups
+//! and (b) cross-sends stamped by peers — and both executors deliver
+//! cross-sends before the destination's clock can reach their fire time
+//! (immediately in the sequential interleave; at the window barrier in
+//! the parallel one, where `fire ≥ send + L ≥` next window start). Same
+//! per-shard event sequences ⇒ same per-shard trajectories ⇒ same
+//! digests. Worker count, mailbox drain order and barrier timing are all
+//! invisible to the model.
+
+use crate::engine::Scheduler;
+use crate::pool;
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// A cross-shard message in flight: destination shard, fire time, and the
+/// sequence key allocated by the *sender* at send time.
+struct CrossMsg<E> {
+    dst: usize,
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+/// Handler context for one shard: its private scheduler plus the
+/// cross-shard send port.
+pub struct ShardCtx<'a, E> {
+    /// The shard's private future-event list — schedule local follow-ups
+    /// here exactly as in a single-wheel simulation.
+    pub sched: &'a mut Scheduler<E>,
+    outbox: &'a mut Vec<CrossMsg<E>>,
+    shard: usize,
+    shards: usize,
+    lookahead: SimDuration,
+}
+
+impl<E> ShardCtx<'_, E> {
+    /// This shard's index.
+    #[must_use]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Total number of shards in the simulation.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The conservative lookahead: the minimum simulated delay every
+    /// cross-shard send must respect.
+    #[must_use]
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Send `ev` to shard `dst`, firing at absolute time `at`.
+    ///
+    /// A send to the local shard is an ordinary schedule. A cross-shard
+    /// send consumes one of this shard's sequence keys so the destination
+    /// pops it at a position independent of delivery timing.
+    ///
+    /// # Panics
+    /// If `dst` is out of range, or a cross-shard `at` violates the
+    /// lookahead bound (`at < now + lookahead`) — that would let an event
+    /// land inside the currently executing window and break determinism.
+    pub fn send(&mut self, dst: usize, at: SimTime, ev: E) {
+        if dst == self.shard {
+            self.sched.schedule(at, ev);
+            return;
+        }
+        assert!(dst < self.shards, "shard {dst} out of range");
+        assert!(
+            at >= self.sched.now().saturating_add(self.lookahead),
+            "cross-shard send violates the conservative lookahead"
+        );
+        let seq = self.sched.alloc_seq();
+        self.outbox.push(CrossMsg { dst, at, seq, ev });
+    }
+}
+
+/// A world partition that handles its shard's events and may message
+/// other shards through the context.
+pub trait ShardWorld: Send {
+    /// The event type flowing through every shard's wheel.
+    type Ev: Send;
+
+    /// Handle `ev` firing at `at` on this shard. Local follow-ups go on
+    /// `ctx.sched`; cross-shard work goes through [`ShardCtx::send`] and
+    /// must respect the lookahead.
+    fn handle(&mut self, at: SimTime, ev: Self::Ev, ctx: &mut ShardCtx<'_, Self::Ev>);
+}
+
+/// `mail[src][dst]`: cross-sends from shard `src` to shard `dst`,
+/// flushed before the exchange barrier and drained after it.
+type MailGrid<E> = Vec<Vec<Mutex<Vec<CrossMsg<E>>>>>;
+
+/// One shard: its world partition, private scheduler, and bookkeeping.
+struct ShardCell<W: ShardWorld> {
+    world: W,
+    sched: Scheduler<W::Ev>,
+    events: u64,
+    outbox: Vec<CrossMsg<W::Ev>>,
+}
+
+/// What an executor run did: totals for throughput accounting plus the
+/// parallel-only synchronization costs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Events handled across all shards by this call.
+    pub events: u64,
+    /// Worker threads actually used (after the [`pool`] budget clamp);
+    /// 1 for the sequential executor.
+    pub workers: usize,
+    /// Horizon windows executed (0 for the sequential executor).
+    pub windows: u64,
+    /// Wall-clock seconds worker threads spent blocked at horizon
+    /// barriers, summed over workers.
+    pub sync_barrier_s: f64,
+}
+
+/// A set of shards sharing a conservative lookahead, runnable by either
+/// executor.
+pub struct ShardedSim<W: ShardWorld> {
+    cells: Vec<ShardCell<W>>,
+    lookahead: SimDuration,
+}
+
+impl<W: ShardWorld> ShardedSim<W> {
+    /// Build a sharded simulation from primed `(world, scheduler)` pairs.
+    ///
+    /// Shard `i`'s scheduler must already be laned as
+    /// `set_seq_stream(i, n)` **before anything was scheduled on it** —
+    /// the lane is part of every event key, and key uniqueness across
+    /// shards is what both executors' determinism rests on.
+    ///
+    /// # Panics
+    /// If `cells` is empty, `lookahead` is zero, or a scheduler's lane
+    /// does not match its shard index.
+    #[must_use]
+    pub fn new(lookahead: SimDuration, cells: Vec<(W, Scheduler<W::Ev>)>) -> Self {
+        assert!(!cells.is_empty(), "need at least one shard");
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "conservative execution needs a positive lookahead"
+        );
+        let n = cells.len();
+        let cells = cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, (world, sched))| {
+                assert_eq!(
+                    sched.seq_stream(),
+                    (i as u64, n as u64),
+                    "shard {i} scheduler is not laned as ({i}, {n})"
+                );
+                ShardCell {
+                    world,
+                    sched,
+                    events: 0,
+                    outbox: Vec::new(),
+                }
+            })
+            .collect();
+        ShardedSim { cells, lookahead }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The conservative lookahead this simulation was built with.
+    #[must_use]
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Shard `i`'s world, for reading results out after a run.
+    #[must_use]
+    pub fn world(&self, i: usize) -> &W {
+        &self.cells[i].world
+    }
+
+    /// Shard `i`'s current clock (fire time of its last handled event).
+    #[must_use]
+    pub fn shard_now(&self, i: usize) -> SimTime {
+        self.cells[i].sched.now()
+    }
+
+    /// Events handled by shard `i` so far.
+    #[must_use]
+    pub fn shard_events(&self, i: usize) -> u64 {
+        self.cells[i].events
+    }
+
+    /// Consume the simulation, yielding the shard worlds in index order.
+    #[must_use]
+    pub fn into_worlds(self) -> Vec<W> {
+        self.cells.into_iter().map(|c| c.world).collect()
+    }
+
+    /// Reference executor: one thread pops the globally smallest
+    /// `(time, seq)` key across all shards until every queue is empty or
+    /// past `horizon`. Cross-shard sends are delivered immediately —
+    /// safe because the lookahead guarantees no destination has reached
+    /// their fire time yet.
+    pub fn run_sequential(&mut self, horizon: SimTime) -> ExecStats {
+        let n = self.cells.len();
+        let lookahead = self.lookahead;
+        let mut keys: Vec<Option<(SimTime, u64)>> =
+            self.cells.iter_mut().map(|c| c.sched.peek_key()).collect();
+        let mut events = 0u64;
+        loop {
+            let mut best: Option<(usize, (SimTime, u64))> = None;
+            for (i, k) in keys.iter().enumerate() {
+                if let Some(key) = *k {
+                    if key.0 <= horizon && best.is_none_or(|(_, bk)| key < bk) {
+                        best = Some((i, key));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let cell = &mut self.cells[i];
+            let (at, ev) = cell
+                .sched
+                .pop_at_or_before(horizon)
+                .expect("peeked key within horizon");
+            let mut ctx = ShardCtx {
+                sched: &mut cell.sched,
+                outbox: &mut cell.outbox,
+                shard: i,
+                shards: n,
+                lookahead,
+            };
+            cell.world.handle(at, ev, &mut ctx);
+            cell.events += 1;
+            events += 1;
+            if !cell.outbox.is_empty() {
+                let msgs = std::mem::take(&mut cell.outbox);
+                for m in msgs {
+                    self.cells[m.dst].sched.schedule_keyed(m.at, m.seq, m.ev);
+                    keys[m.dst] = self.cells[m.dst].sched.peek_key();
+                }
+            }
+            keys[i] = self.cells[i].sched.peek_key();
+        }
+        ExecStats {
+            events,
+            workers: 1,
+            windows: 0,
+            sync_barrier_s: 0.0,
+        }
+    }
+
+    /// Parallel executor: up to `threads` workers (clamped by the global
+    /// [`pool`] budget and the shard count) own disjoint shard sets and
+    /// execute lookahead-wide windows separated by barriers.
+    ///
+    /// Per window: each worker drains its shards up to the window end,
+    /// buffering cross-sends; a barrier makes all mailboxes visible; each
+    /// worker sorts inbound messages into its shards' wheels (keys were
+    /// stamped at send time, so drain order is irrelevant), publishes the
+    /// minimum pending key time over its shards, and a second barrier
+    /// lets every worker agree on the next non-empty window — empty
+    /// windows are skipped wholesale rather than barriered through.
+    ///
+    /// Digest-exact versus [`ShardedSim::run_sequential`] at any worker
+    /// count.
+    pub fn run_parallel(&mut self, horizon: SimTime, threads: usize) -> ExecStats {
+        let n = self.cells.len();
+        let permit = pool::acquire(threads.max(1).min(n));
+        let workers = permit.workers().min(n);
+        let h_ns = self.lookahead.as_nanos().max(1);
+        let horizon_ns = horizon.as_nanos();
+
+        let mut first = u64::MAX;
+        for c in &mut self.cells {
+            if let Some((t, _)) = c.sched.peek_key() {
+                first = first.min(t.as_nanos());
+            }
+        }
+        if first == u64::MAX || first > horizon_ns {
+            return ExecStats {
+                events: 0,
+                workers,
+                windows: 0,
+                sync_barrier_s: 0.0,
+            };
+        }
+        let first_window = first / h_ns;
+
+        let events_before: u64 = self.cells.iter().map(|c| c.events).sum();
+        let lookahead = self.lookahead;
+        let mail: MailGrid<W::Ev> = (0..n)
+            .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let barrier = Barrier::new(workers);
+        // Per-worker minimum pending key time (ns), u64::MAX when idle.
+        let mins: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let windows = AtomicU64::new(0);
+
+        // Round-robin shard → worker assignment; workers move their cells
+        // into the scope and give them back when it joins.
+        let mut assigned: Vec<Vec<(usize, &mut ShardCell<W>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            assigned[i % workers].push((i, cell));
+        }
+
+        let barrier_nanos: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = assigned
+                .into_iter()
+                .enumerate()
+                .map(|(w, mut cells)| {
+                    let (mail, barrier, mins, windows) = (&mail, &barrier, &mins, &windows);
+                    s.spawn(move || {
+                        let mut waited: u64 = 0;
+                        let mut window = first_window;
+                        loop {
+                            if w == 0 {
+                                windows.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let wh = SimTime::from_nanos(
+                                ((window + 1).saturating_mul(h_ns) - 1).min(horizon_ns),
+                            );
+                            for (idx, cell) in &mut cells {
+                                while let Some((at, ev)) = cell.sched.pop_at_or_before(wh) {
+                                    let mut ctx = ShardCtx {
+                                        sched: &mut cell.sched,
+                                        outbox: &mut cell.outbox,
+                                        shard: *idx,
+                                        shards: n,
+                                        lookahead,
+                                    };
+                                    cell.world.handle(at, ev, &mut ctx);
+                                    cell.events += 1;
+                                }
+                                for m in cell.outbox.drain(..) {
+                                    mail[*idx][m.dst].lock().expect("mailbox lock").push(m);
+                                }
+                            }
+                            let t0 = std::time::Instant::now();
+                            barrier.wait();
+                            waited += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+                            let mut local_min = u64::MAX;
+                            for (idx, cell) in &mut cells {
+                                for src_row in mail.iter() {
+                                    let mut inbox = src_row[*idx].lock().expect("mailbox lock");
+                                    for m in inbox.drain(..) {
+                                        cell.sched.schedule_keyed(m.at, m.seq, m.ev);
+                                    }
+                                }
+                                if let Some((t, _)) = cell.sched.peek_key() {
+                                    local_min = local_min.min(t.as_nanos());
+                                }
+                            }
+                            mins[w].store(local_min, Ordering::SeqCst);
+                            let t0 = std::time::Instant::now();
+                            barrier.wait();
+                            waited += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+                            let global_min = mins
+                                .iter()
+                                .map(|m| m.load(Ordering::SeqCst))
+                                .min()
+                                .unwrap_or(u64::MAX);
+                            if global_min == u64::MAX || global_min > horizon_ns {
+                                break;
+                            }
+                            window = global_min / h_ns;
+                        }
+                        waited
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .sum()
+        });
+
+        let events_after: u64 = self.cells.iter().map(|c| c.events).sum();
+        ExecStats {
+            events: events_after - events_before,
+            workers,
+            windows: windows.load(Ordering::Relaxed),
+            sync_barrier_s: barrier_nanos as f64 / 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SchedulerKind;
+
+    const LOOKAHEAD: SimDuration = SimDuration::from_millis(20);
+
+    /// A deterministic chaos world: every event mixes into a running
+    /// digest, spawns a local follow-up, and sometimes fires a
+    /// lookahead-respecting message at another shard.
+    struct Mixer {
+        id: usize,
+        n: usize,
+        digest: u64,
+        state: u64,
+        budget: u32,
+    }
+
+    fn xorshift(mut x: u64) -> u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+
+    impl ShardWorld for Mixer {
+        type Ev = u64;
+        fn handle(&mut self, at: SimTime, v: u64, ctx: &mut ShardCtx<'_, u64>) {
+            self.digest =
+                (self.digest ^ at.as_nanos().wrapping_add(v)).wrapping_mul(0x0100_0000_01b3);
+            self.state = xorshift(self.state ^ v);
+            let r = self.state;
+            if self.budget > 0 {
+                self.budget -= 1;
+                ctx.sched
+                    .schedule(at + SimDuration::from_nanos(1 + r % 7_000_000), r);
+                if r % 3 == 0 && self.n > 1 {
+                    let dst = (self.id + 1 + (r as usize % (self.n - 1))) % self.n;
+                    let delay = LOOKAHEAD + SimDuration::from_nanos(r % 50_000_000);
+                    ctx.send(dst, at + delay, r ^ 0x00ff_00ff);
+                }
+            }
+        }
+    }
+
+    fn build(shards: usize, kind: SchedulerKind) -> ShardedSim<Mixer> {
+        let cells = (0..shards)
+            .map(|i| {
+                let world = Mixer {
+                    id: i,
+                    n: shards,
+                    digest: 0xcbf2_9ce4_8422_2325,
+                    state: 0x9E37_79B9 + i as u64,
+                    budget: 1500,
+                };
+                let mut sched = Scheduler::with_kind(kind);
+                sched.set_seq_stream(i as u64, shards as u64);
+                for k in 0..5u64 {
+                    sched.schedule(SimTime::from_nanos(1_000 + 31 * k + i as u64), 0x5eed + k);
+                }
+                (world, sched)
+            })
+            .collect();
+        ShardedSim::new(LOOKAHEAD, cells)
+    }
+
+    fn fingerprint(sim: &ShardedSim<Mixer>) -> Vec<(u64, u64, u64)> {
+        (0..sim.shard_count())
+            .map(|i| {
+                (
+                    sim.world(i).digest,
+                    sim.shard_events(i),
+                    sim.shard_now(i).as_nanos(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_at_every_width() {
+        let _guard = pool::test_guard();
+        pool::configure(8);
+        for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+            let mut reference = build(5, kind);
+            let ref_stats = reference.run_sequential(SimTime::MAX);
+            assert!(ref_stats.events > 5_000, "cascade actually ran ({kind:?})");
+            let expect = fingerprint(&reference);
+            for threads in [1usize, 2, 3, 8] {
+                let mut sim = build(5, kind);
+                let stats = sim.run_parallel(SimTime::MAX, threads);
+                assert_eq!(stats.events, ref_stats.events, "{kind:?} t={threads}");
+                assert!(stats.windows > 0);
+                assert_eq!(
+                    fingerprint(&sim),
+                    expect,
+                    "digest diverged ({kind:?}, threads={threads})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_stops_both_executors_identically() {
+        let _guard = pool::test_guard();
+        pool::configure(4);
+        let horizon = SimTime::from_millis(200);
+        let mut a = build(3, SchedulerKind::Wheel);
+        let sa = a.run_sequential(horizon);
+        let mut b = build(3, SchedulerKind::Wheel);
+        let sb = b.run_parallel(horizon, 2);
+        assert_eq!(sa.events, sb.events);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // Resuming past the horizon stays exact.
+        let sa2 = a.run_sequential(SimTime::MAX);
+        let sb2 = b.run_parallel(SimTime::MAX, 3);
+        assert_eq!(sa2.events, sb2.events);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn single_shard_runs_without_cross_traffic() {
+        let _guard = pool::test_guard();
+        pool::configure(2);
+        let mut a = build(1, SchedulerKind::Heap);
+        let sa = a.run_sequential(SimTime::MAX);
+        let mut b = build(1, SchedulerKind::Heap);
+        let sb = b.run_parallel(SimTime::MAX, 4);
+        assert_eq!(sb.workers, 1, "worker count clamps to shard count");
+        assert_eq!(sa.events, sb.events);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn lookahead_violation_is_caught() {
+        struct Rude;
+        impl ShardWorld for Rude {
+            type Ev = ();
+            fn handle(&mut self, at: SimTime, (): (), ctx: &mut ShardCtx<'_, ()>) {
+                ctx.send(1, at + SimDuration::from_nanos(1), ());
+            }
+        }
+        let cells = (0..2)
+            .map(|i| {
+                let mut sched = Scheduler::<()>::new();
+                sched.set_seq_stream(i as u64, 2);
+                if i == 0 {
+                    sched.schedule(SimTime::from_secs(1), ());
+                }
+                (Rude, sched)
+            })
+            .collect();
+        let mut sim = ShardedSim::new(LOOKAHEAD, cells);
+        sim.run_sequential(SimTime::MAX);
+    }
+}

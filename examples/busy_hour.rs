@@ -42,6 +42,7 @@ fn main() {
         overload: None,
         overload_law: None,
         retry: None,
+        threads: None,
         seed: 60 * 60,
     };
     let r = EmpiricalRunner::run(cfg);

@@ -46,6 +46,7 @@ fn main() {
         overload: None,
         overload_law: None,
         retry: None,
+        threads: None,
         seed: 2015,
     };
     let result = EmpiricalRunner::run(cfg);

@@ -24,6 +24,7 @@ fn cfg(seed: u64, media: MediaMode) -> EmpiricalConfig {
         overload: None,
         overload_law: None,
         retry: None,
+        threads: None,
         seed,
     }
 }

@@ -24,6 +24,7 @@ fn sweep_config(erlangs: f64, holding: HoldingDist, channels: u32, seed: u64) ->
         overload: None,
         overload_law: None,
         retry: None,
+        threads: None,
         seed,
     }
 }

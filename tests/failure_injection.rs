@@ -37,6 +37,7 @@ fn zero_channel_pbx_blocks_every_call() {
         overload: None,
         overload_law: None,
         retry: None,
+        threads: None,
         seed: 5,
     };
     let r = EmpiricalRunner::run(cfg);
@@ -67,6 +68,7 @@ fn heavy_wire_loss_degrades_mos_but_not_blocking() {
         overload: None,
         overload_law: None,
         retry: None,
+        threads: None,
         seed: 21,
     };
     let clean = EmpiricalRunner::run(base.clone());

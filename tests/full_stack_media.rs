@@ -24,6 +24,7 @@ fn media_cfg(seed: u64) -> EmpiricalConfig {
         overload: None,
         overload_law: None,
         retry: None,
+        threads: None,
         seed,
     }
 }

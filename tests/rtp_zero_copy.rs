@@ -104,6 +104,7 @@ fn relay_path_performs_zero_payload_copies() {
         overload: None,
         overload_law: None,
         retry: None,
+        threads: None,
         seed: 7,
     };
     let sched =

@@ -29,6 +29,7 @@ fn one_call_is_thirteen_messages() {
         overload: None,
         overload_law: None,
         retry: None,
+        threads: None,
         seed: 11,
     };
     // Try seeds until a window contains exactly one call (Poisson luck).
