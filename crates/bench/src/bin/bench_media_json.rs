@@ -89,8 +89,15 @@ fn baseline_events_per_sec(json: &str) -> Option<f64> {
 fn phases_json(p: &des::PhaseBreakdown) -> String {
     format!(
         "{{\"scheduler_s\": {:.6}, \"signalling_s\": {:.6}, \"media_encode_s\": {:.6}, \
-         \"relay_s\": {:.6}, \"scoring_s\": {:.6}, \"sip_wire_s\": {:.6}}}",
-        p.scheduler_s, p.signalling_s, p.media_encode_s, p.relay_s, p.scoring_s, p.sip_wire_s
+         \"relay_s\": {:.6}, \"scoring_s\": {:.6}, \"sip_wire_s\": {:.6}, \
+         \"sdp_wire_s\": {:.6}}}",
+        p.scheduler_s,
+        p.signalling_s,
+        p.media_encode_s,
+        p.relay_s,
+        p.scoring_s,
+        p.sip_wire_s,
+        p.sdp_wire_s
     )
 }
 

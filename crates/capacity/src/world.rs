@@ -97,6 +97,24 @@ pub fn pbx_node(k: u32) -> NodeId {
     NodeId(3 + k as u16)
 }
 
+/// Reference-path eager SDP materialisation: parse the delivered body into
+/// an owned [`sipcore::sdp::SessionDescription`] and serialize it straight
+/// back. The rebuilt bytes are byte-identical (the builder/parser
+/// round-trip invariant), so the run digest cannot move — but the parse,
+/// the owned strings and the fresh body vector are real per-hop work, and
+/// they land in the [`Phase::SdpWire`] bucket.
+fn reparse_sdp_body(mut msg: SipMessage) -> SipMessage {
+    let body = msg.body_mut();
+    if let Some(bytes) = body.as_bytes() {
+        if !bytes.is_empty() {
+            if let Some(sdp) = sipcore::sdp::SessionDescription::parse(bytes) {
+                *body = sipcore::Body::Bytes(sdp.to_body());
+            }
+        }
+    }
+    msg
+}
+
 /// What travels inside a network frame.
 #[derive(Debug, Clone)]
 pub enum Payload {
@@ -1329,6 +1347,14 @@ impl World {
                     sipcore::parse_message(&bytes)
                         .expect("reference-path bytes come from to_wire and always re-parse")
                 });
+                // The reference path also materialises every SDP body
+                // eagerly: parse to an owned description, serialize back.
+                // Byte-identical by the builder/parser round-trip
+                // invariant, so physics are unchanged — but the work (and
+                // its allocations) is real and lands in its own bucket.
+                // The interned path never does this; endpoints read
+                // structured bodies or lazy views instead.
+                let msg = timer.measure(Phase::SdpWire, || reparse_sdp_body(msg));
                 timer.measure(Phase::Signalling, || {
                     self.handle_sip_delivery(now, sched, frame.src, frame.dst, msg);
                 });

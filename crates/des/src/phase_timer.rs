@@ -39,9 +39,13 @@ pub enum Phase {
     /// Waiting at a sharded-executor horizon barrier (workers that reach
     /// the window end early idle here until the slowest shard arrives).
     SyncBarrier = 5,
+    /// Eager SDP body decode/rebuild on SDP-bearing hops (the reference
+    /// signalling path's owned parse + serialize per INVITE/200; zero on
+    /// the interned path, which cuts through with a structured body).
+    SdpWire = 6,
 }
 
-const PHASES: usize = 6;
+const PHASES: usize = 7;
 
 /// Seconds of wall clock attributed to each bucket of a run.
 ///
@@ -72,6 +76,10 @@ pub struct PhaseBreakdown {
     /// (zero for sequential execution). Summed across workers, so on an
     /// `N`-thread run it can exceed the run's wall clock.
     pub sync_barrier_s: f64,
+    /// Time eagerly parsing/rebuilding SDP bodies on SDP-bearing hops
+    /// (reference signalling path only; the interned path carries a
+    /// structured session description, so this bucket stays zero there).
+    pub sdp_wire_s: f64,
 }
 
 impl PhaseBreakdown {
@@ -79,7 +87,12 @@ impl PhaseBreakdown {
     /// remainder and barrier wait).
     #[must_use]
     pub fn handler_total_s(&self) -> f64 {
-        self.signalling_s + self.media_encode_s + self.relay_s + self.scoring_s + self.sip_wire_s
+        self.signalling_s
+            + self.media_encode_s
+            + self.relay_s
+            + self.scoring_s
+            + self.sip_wire_s
+            + self.sdp_wire_s
     }
 
     /// Fold another breakdown into this one, bucket by bucket. Sharded
@@ -96,6 +109,7 @@ impl PhaseBreakdown {
         self.scoring_s += other.scoring_s;
         self.sip_wire_s += other.sip_wire_s;
         self.sync_barrier_s += other.sync_barrier_s;
+        self.sdp_wire_s += other.sdp_wire_s;
     }
 }
 
@@ -156,6 +170,7 @@ impl PhaseTimer {
                 scoring_s: s(Phase::Scoring),
                 sip_wire_s: s(Phase::SipWire),
                 sync_barrier_s: s(Phase::SyncBarrier),
+                sdp_wire_s: s(Phase::SdpWire),
             };
             b.scheduler_s = (total_wall_s - b.handler_total_s() - b.sync_barrier_s).max(0.0);
             b
@@ -208,13 +223,17 @@ mod tests {
             scoring_s: 5.0,
             sip_wire_s: 6.0,
             sync_barrier_s: 7.0,
+            sdp_wire_s: 8.0,
         };
         let mut total = PhaseBreakdown::default();
         total.absorb(&a);
         total.absorb(&a);
         assert!(total.enabled);
         assert_eq!(total.sync_barrier_s, 14.0);
-        assert_eq!(total.handler_total_s(), 2.0 * (2.0 + 3.0 + 4.0 + 5.0 + 6.0));
+        assert_eq!(
+            total.handler_total_s(),
+            2.0 * (2.0 + 3.0 + 4.0 + 5.0 + 6.0 + 8.0)
+        );
         assert_eq!(total.scheduler_s, 2.0);
     }
 

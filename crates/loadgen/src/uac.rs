@@ -17,9 +17,11 @@ use netsim::NodeId;
 use overload::Feedback;
 use sipcore::headers::HeaderName;
 use sipcore::message::{format_via, Request, SipMessage};
-use sipcore::sdp::{SdpCodec, SessionDescription};
-use sipcore::{Method, SipUri, StatusCode};
+use sipcore::sdp::wire::SdpBody;
+use sipcore::sdp::SdpCodec;
+use sipcore::{AtomTable, Method, SipUri, StatusCode};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// How a UAC reacts to `503 Service Unavailable` + `Retry-After`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,6 +292,11 @@ pub struct Uac {
     pub registrations_confirmed: u64,
     next_serial: u64,
     next_port: u16,
+    /// Interner for SDP origin users: the caller pool is finite, so after
+    /// warmup every offer body's `o=` string is a refcount bump.
+    sdp_origins: AtomTable,
+    /// Shared `c=` connection string for offer bodies.
+    sdp_host: Arc<str>,
 }
 
 impl Uac {
@@ -318,6 +325,8 @@ impl Uac {
             // Stagger port ranges per instance so several engines sharing
             // one host never collide on local media ports.
             next_port: 20_000 + ((tag as u16) % 16) * 2048,
+            sdp_origins: AtomTable::new(),
+            sdp_host: Arc::from("sipp-client"),
         }
     }
 
@@ -552,8 +561,16 @@ impl Uac {
         let call_id = format!("uac-{}-{serial}", self.tag);
         let local_rtp_port = self.next_port;
         self.next_port = self.next_port.wrapping_add(2).max(20_000);
-        let sdp =
-            SessionDescription::new(caller_uid, "sipp-client", local_rtp_port, SdpCodec::Pcmu);
+        // Structured offer: the origin string is interned (the caller pool
+        // is finite), the connection string shared — no SDP text is built
+        // unless the signalling path materializes the wire.
+        let origin = self.sdp_origins.intern(caller_uid);
+        let sdp = SdpBody::new(
+            self.sdp_origins.resolve_shared(origin),
+            Arc::clone(&self.sdp_host),
+            local_rtp_port,
+            SdpCodec::Pcmu,
+        );
         let invite = Request::new(Method::Invite, SipUri::new(callee_ext, &self.pbx_host))
             .header(
                 HeaderName::Via,
@@ -571,7 +588,7 @@ impl Uac {
             .header(HeaderName::CSeq, "1 INVITE")
             .header(HeaderName::MaxForwards, "70")
             .header(HeaderName::UserAgent, "loadgen-uac (SIPp-compatible)")
-            .with_body("application/sdp", sdp.to_body());
+            .with_sdp(sdp);
         self.calls.insert(
             call_id.clone(),
             UacCall {
@@ -655,9 +672,9 @@ impl Uac {
                 }
                 if resp.status.is_success() && call.state == UacState::Inviting {
                     call.state = UacState::Answered;
-                    let remote_rtp_port = SessionDescription::parse(&resp.body)
-                        .map(|s| s.audio_port)
-                        .unwrap_or(0);
+                    // Lazy answer read: port straight off the body bytes
+                    // (or a field read when the answer stayed structured).
+                    let remote_rtp_port = resp.body.sdp_audio_port().unwrap_or(0);
                     let local_rtp_port = call.local_rtp_port;
                     let hold = call.hold;
                     let ack = self.build_ack(&call_id);
@@ -818,6 +835,7 @@ impl Uac {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sipcore::sdp::SessionDescription;
     use sipcore::Response;
 
     const UAC_NODE: NodeId = NodeId(1);
@@ -853,7 +871,12 @@ mod tests {
         let invite = sip_of(&evs[0]).as_request().unwrap().clone();
         assert_eq!(invite.method, Method::Invite);
         assert_eq!(invite.call_id(), Some(cid.as_str()));
-        assert!(SessionDescription::parse(&invite.body).is_some());
+        assert!(SessionDescription::parse(&invite.body.to_vec()).is_some());
+        assert_eq!(
+            invite.body.sdp_origin_user(),
+            Some("1001"),
+            "offer origin is the caller uid"
+        );
         assert_eq!(u.open_calls(), 1);
 
         // 100 and 180 produce nothing.

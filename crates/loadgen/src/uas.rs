@@ -9,8 +9,10 @@ use des::{FastMap, SimDuration, SimTime};
 use netsim::NodeId;
 use sipcore::headers::{with_tag, HeaderName};
 use sipcore::message::{Request, SipMessage};
-use sipcore::sdp::{SdpCodec, SessionDescription};
+use sipcore::sdp::wire::SdpBody;
+use sipcore::sdp::SdpCodec;
 use sipcore::{Method, StatusCode};
+use std::sync::Arc;
 
 /// Something the UAS asks the world to do or reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +64,8 @@ struct UasCall {
     peer: NodeId,
     local_rtp_port: u16,
     remote_rtp_port: u16,
+    /// Codec offered in the INVITE's SDP, echoed back in the answer.
+    codec: SdpCodec,
     to_tag: String,
 }
 
@@ -76,6 +80,9 @@ pub struct Uas {
     calls: FastMap<String, UasCall>,
     next_port: u16,
     next_tag: u64,
+    /// Shared `o=`/`c=` endpoint string for answer bodies — built once,
+    /// refcount-bumped per answer.
+    sdp_host: Arc<str>,
 }
 
 impl Uas {
@@ -89,6 +96,7 @@ impl Uas {
             calls: FastMap::default(),
             next_port: 30_000,
             next_tag: 0,
+            sdp_host: Arc::from("sipp-server"),
         }
     }
 
@@ -120,9 +128,10 @@ impl Uas {
         if self.calls.contains_key(&call_id) {
             return vec![]; // retransmission: absorb
         }
-        let remote_rtp_port = SessionDescription::parse(&req.body)
-            .map(|s| s.audio_port)
-            .unwrap_or(0);
+        // Lazy view over the offer: port and codec straight off the wire,
+        // no owned parse (and direct field reads on a structured body).
+        let remote_rtp_port = req.body.sdp_audio_port().unwrap_or(0);
+        let codec = req.body.sdp_codec().unwrap_or(SdpCodec::Pcmu);
         let local_rtp_port = self.next_port;
         self.next_port = self.next_port.wrapping_add(2).max(30_000);
         let tag = format!("uas{}", self.next_tag);
@@ -144,6 +153,7 @@ impl Uas {
                 peer: from,
                 local_rtp_port,
                 remote_rtp_port,
+                codec,
                 to_tag: tag,
             },
         );
@@ -170,11 +180,13 @@ impl Uas {
             return vec![];
         }
         call.state = UasState::AnswerSent;
-        let sdp = SessionDescription::new(
-            "sipp-server",
-            "sipp-server",
+        // Echo the offered codec in the answer; the body stays structured
+        // (two refcount bumps), serialized only if the path needs wire.
+        let sdp = SdpBody::new(
+            Arc::clone(&self.sdp_host),
+            Arc::clone(&self.sdp_host),
             call.local_rtp_port,
-            SdpCodec::Pcmu,
+            call.codec,
         );
         let mut ok = call.invite.make_response(StatusCode::OK);
         let to = ok
@@ -183,7 +195,7 @@ impl Uas {
             .unwrap_or("<sip:uas>")
             .to_owned();
         ok.headers.set(HeaderName::To, with_tag(&to, &call.to_tag));
-        let ok = ok.with_body("application/sdp", sdp.to_body());
+        let ok = ok.with_sdp(sdp);
         let peer = call.peer;
         vec![self.send(peer, ok.into())]
     }
@@ -243,6 +255,7 @@ impl Uas {
 mod tests {
     use super::*;
     use sipcore::message::format_via;
+    use sipcore::sdp::SessionDescription;
     use sipcore::SipUri;
 
     const UAS_NODE: NodeId = NodeId(2);
@@ -279,9 +292,37 @@ mod tests {
         );
         let ok = sip_of(&evs[1]).as_response().unwrap();
         assert_eq!(ok.status, StatusCode::OK);
-        let sdp = SessionDescription::parse(&ok.body).unwrap();
-        assert_eq!(sdp.audio_port, 30_000);
+        assert_eq!(ok.body.sdp_audio_port(), Some(30_000));
+        // The structured answer serializes exactly as the eager builder
+        // would — the Content-Length header already reflects it.
+        let eager =
+            SessionDescription::new("sipp-server", "sipp-server", 30_000, SdpCodec::Pcmu).to_body();
+        assert_eq!(ok.body.to_vec(), eager);
+        assert_eq!(
+            ok.headers.get(&HeaderName::ContentLength),
+            Some(eager.len().to_string().as_str())
+        );
         assert_eq!(u.open_calls(), 1);
+    }
+
+    #[test]
+    fn answer_echoes_offered_codec() {
+        let mut u = Uas::new(UAS_NODE, SimDuration::ZERO);
+        let sdp = SessionDescription::new("asterisk", "pbx", 10_002, SdpCodec::Pcma);
+        let inv = Request::new(Method::Invite, SipUri::new("2001", "pbx.unb.br"))
+            .header(HeaderName::Via, format_via("pbx", 5060, "z9hG4bKa"))
+            .header(HeaderName::From, "<sip:1001@pbx.unb.br>;tag=pbx")
+            .header(HeaderName::To, "<sip:2001@pbx.unb.br>")
+            .header(HeaderName::CallId, "alaw-1")
+            .header(HeaderName::CSeq, "1 INVITE")
+            .with_body("application/sdp", sdp.to_body());
+        let evs = u.on_sip(SimTime::ZERO, PBX_NODE, inv.into());
+        let ok = sip_of(&evs[1]).as_response().unwrap();
+        assert_eq!(
+            ok.body.sdp_codec(),
+            Some(SdpCodec::Pcma),
+            "answer carries the offered codec, not a hardcoded PCMU"
+        );
     }
 
     #[test]
@@ -383,12 +424,18 @@ mod tests {
         let mut u = Uas::new(UAS_NODE, SimDuration::ZERO);
         let e1 = u.on_sip(SimTime::ZERO, PBX_NODE, invite("p1").into());
         let e2 = u.on_sip(SimTime::ZERO, PBX_NODE, invite("p2").into());
-        let p1 = SessionDescription::parse(&sip_of(&e1[1]).as_response().unwrap().body)
+        let p1 = sip_of(&e1[1])
+            .as_response()
             .unwrap()
-            .audio_port;
-        let p2 = SessionDescription::parse(&sip_of(&e2[1]).as_response().unwrap().body)
+            .body
+            .sdp_audio_port()
+            .unwrap();
+        let p2 = sip_of(&e2[1])
+            .as_response()
             .unwrap()
-            .audio_port;
+            .body
+            .sdp_audio_port()
+            .unwrap();
         assert_ne!(p1, p2);
     }
 }

@@ -23,8 +23,10 @@ use netsim::NodeId;
 use overload::{ControlLaw, Feedback, LoadSignals};
 use sipcore::headers::{tag_of, with_tag, HeaderName};
 use sipcore::message::{write_via_args, Request, Response, SipMessage};
-use sipcore::sdp::SessionDescription;
-use sipcore::{Method, StatusCode};
+use sipcore::sdp::wire::{SdpBody, SdpSummary};
+use sipcore::sdp::SdpCodec;
+use sipcore::{AtomTable, Method, StatusCode};
+use std::sync::Arc;
 
 /// Overload-control watermarks (SIP server shedding à la RFC 7339).
 ///
@@ -193,6 +195,14 @@ struct Call {
     record: CallRecord,
     /// To-tag the PBX uses on caller-facing responses.
     pbx_tag: String,
+    /// Compact summary of the caller's SDP offer (four machine words;
+    /// endpoint strings interned in the PBX's atom table). `None` when
+    /// the INVITE carried no usable offer.
+    caller_sdp: Option<SdpSummary>,
+    /// The call's negotiated codec: the caller's offer at admission,
+    /// replaced by the callee's answer when it arrives — what the
+    /// caller-facing 200 advertises (no hardcoded PCMU).
+    codec: SdpCodec,
 }
 
 /// The PBX.
@@ -229,6 +239,13 @@ pub struct Pbx {
     /// server rotates nonces; a deterministic constant suffices here and
     /// keeps the MD5 off the REGISTER hot path).
     nonce: String,
+    /// Interner for SDP endpoint strings seen in offers/answers — after
+    /// warmup every summary is allocation-free.
+    sdp_atoms: AtomTable,
+    /// Shared `o=` origin string for PBX-built SDP bodies ("asterisk").
+    sdp_origin: Arc<str>,
+    /// Shared `c=` connection string for PBX-built SDP bodies (hostname).
+    sdp_host: Arc<str>,
 }
 
 const FIRST_MEDIA_PORT: u16 = 10_000;
@@ -244,6 +261,7 @@ impl Pbx {
             sipcore::auth::md5_hex(config.hostname.as_bytes())
         );
         let law = config.overload_law.map(ControlLaw::build);
+        let sdp_host: Arc<str> = Arc::from(config.hostname.as_str());
         Pbx {
             config,
             pool,
@@ -263,6 +281,9 @@ impl Pbx {
             law,
             link_quality: (0.0, 0.0, 0.0),
             nonce,
+            sdp_atoms: AtomTable::new(),
+            sdp_origin: Arc::from("asterisk"),
+            sdp_host,
         }
     }
 
@@ -519,10 +540,12 @@ impl Pbx {
         let Some(call_id) = req.call_id().map(str::to_owned) else {
             return vec![self.error_reply(from, &req, StatusCode::BAD_REQUEST)];
         };
-        // Retransmitted INVITE for a live call: absorb (the 100/180 path
-        // will have been retransmitted by the network layer if needed).
-        if self.by_caller_call_id.contains_key(&call_id) {
-            return vec![];
+        // A second INVITE on a known caller Call-ID is either a
+        // retransmission (absorb; the 100/180 path will have been
+        // retransmitted by the network layer if needed) or a mid-dialog
+        // re-INVITE renegotiating media — dispatch on CSeq and state.
+        if let Some(&idx) = self.by_caller_call_id.get(&call_id) {
+            return self.on_reinvite(from, idx, &req);
         }
         // Overload control: shed *new* work before spending any routing or
         // channel effort on it (that is the point of shedding). The legacy
@@ -663,13 +686,12 @@ impl Pbx {
             return vec![self.error_reply(from, &req, StatusCode::BUSY_HERE)];
         };
 
-        // Caller's media coordinates and codec from its SDP offer (one
-        // parse serves both).
-        let caller_offer = SessionDescription::parse(&req.body);
-        let caller_rtp_port = caller_offer.as_ref().map(|s| s.audio_port).unwrap_or(0);
-        let offer_codec = caller_offer
-            .map(|s| s.codec)
-            .unwrap_or(sipcore::sdp::SdpCodec::Pcmu);
+        // Caller's media coordinates and codec from its SDP offer. A
+        // structured `Body::Sdp` answers from its fields; a wire body gets
+        // one lazy scan. Either way the summary is four machine words.
+        let caller_sdp = SdpSummary::of_body(&req.body, &mut self.sdp_atoms);
+        let caller_rtp_port = caller_sdp.map(|s| s.audio_port).unwrap_or(0);
+        let offer_codec = caller_sdp.map(|s| s.codec).unwrap_or(SdpCodec::Pcmu);
 
         let serial = self.next_call_serial;
         self.next_call_serial += 1;
@@ -678,10 +700,12 @@ impl Pbx {
         let callee_call_id = format!("b2b-{serial}@{}", self.config.hostname);
 
         // Build the PBX-originated INVITE towards the callee, offering the
-        // PBX's own media port (the relay behaviour of Asterisk).
-        let sdp = SessionDescription::new(
-            "asterisk",
-            &self.config.hostname,
+        // PBX's own media port (the relay behaviour of Asterisk). The body
+        // stays structured — serialization happens only if this message
+        // crosses a byte-materializing boundary.
+        let sdp = SdpBody::new(
+            Arc::clone(&self.sdp_origin),
+            Arc::clone(&self.sdp_host),
             pbx_port_for_callee,
             offer_codec,
         );
@@ -712,7 +736,7 @@ impl Pbx {
         .header(HeaderName::CSeq, "1 INVITE")
         .header(HeaderName::MaxForwards, "69")
         .header(HeaderName::UserAgent, "pbx-sim (Asterisk-compatible B2BUA)")
-        .with_body("application/sdp", sdp.to_body());
+        .with_sdp(sdp);
 
         *self
             .active_per_user
@@ -746,6 +770,8 @@ impl Pbx {
             bye_from_caller: true,
             record,
             pbx_tag,
+            caller_sdp,
+            codec: offer_codec,
         }));
         self.by_caller_call_id.insert(call_id, idx);
         self.by_callee_call_id.insert(callee_call_id, idx);
@@ -757,6 +783,42 @@ impl Pbx {
             self.reply(from, trying),
             self.send(callee_node, out_invite.into()),
         ]
+    }
+
+    /// Second INVITE on a live caller Call-ID. A genuine retransmission
+    /// (CSeq not newer, or the call not yet answered) is absorbed. A
+    /// re-INVITE on an answered call renegotiates media (RFC 3261 §14):
+    /// the PBX relearns the caller's RTP port/codec from the fresh offer —
+    /// the endpoint may have moved its media socket — and answers 200 with
+    /// its own caller-facing SDP; the callee leg is untouched because the
+    /// PBX relays media either way.
+    fn on_reinvite(&mut self, from: NodeId, idx: usize, req: &Request) -> Vec<PbxAction> {
+        let Some(call) = self.calls[idx].as_mut() else {
+            return vec![];
+        };
+        let old_cseq = call.caller_invite.cseq_number().unwrap_or(1);
+        let new_cseq = req.cseq_number().unwrap_or(0);
+        if call.state != CallState::Answered || new_cseq <= old_cseq {
+            return vec![];
+        }
+        if let Some(summary) = SdpSummary::of_body(&req.body, &mut self.sdp_atoms) {
+            call.caller.rtp_port = summary.audio_port;
+            call.caller_sdp = Some(summary);
+            call.codec = summary.codec;
+        }
+        // Later responses (and the BYE 200) must echo the current CSeq.
+        call.caller_invite = req.clone();
+        let pbx_port = call.caller.pbx_port;
+        let codec = call.codec;
+        let ok = self
+            .caller_response(idx, StatusCode::OK)
+            .with_sdp(SdpBody::new(
+                Arc::clone(&self.sdp_origin),
+                Arc::clone(&self.sdp_host),
+                pbx_port,
+                codec,
+            ));
+        vec![self.reply(from, ok)]
     }
 
     fn on_ack(&mut self, _now: SimTime, req: &Request) -> Vec<PbxAction> {
@@ -922,23 +984,30 @@ impl Pbx {
                     let fwd = self.caller_response(idx, StatusCode::RINGING);
                     vec![self.reply(caller_node, fwd)]
                 } else if resp.status.is_success() {
-                    // Callee answered: learn its media port, bridge, relay
-                    // a 200 with the PBX's caller-facing SDP.
-                    if let Some(sdp) = SessionDescription::parse(&resp.body) {
-                        call.callee.rtp_port = sdp.audio_port;
+                    // Callee answered: learn its media port and the codec
+                    // it accepted, bridge, relay a 200 whose caller-facing
+                    // SDP advertises the *negotiated* codec (not a
+                    // hardcoded PCMU — an A-law call stays A-law end to
+                    // end).
+                    if let Some(port) = resp.body.sdp_audio_port() {
+                        call.callee.rtp_port = port;
+                    }
+                    if let Some(codec) = resp.body.sdp_codec() {
+                        call.codec = codec;
                     }
                     call.state = CallState::Answered;
                     call.record.answered = Some(now);
                     let caller_node = call.caller.node;
                     let pbx_port = call.caller.pbx_port;
-                    let mut fwd = self.caller_response(idx, StatusCode::OK);
-                    let sdp = SessionDescription::new(
-                        "asterisk",
-                        &self.config.hostname,
-                        pbx_port,
-                        sipcore::sdp::SdpCodec::Pcmu,
-                    );
-                    fwd = fwd.with_body("application/sdp", sdp.to_body());
+                    let codec = call.codec;
+                    let fwd = self
+                        .caller_response(idx, StatusCode::OK)
+                        .with_sdp(SdpBody::new(
+                            Arc::clone(&self.sdp_origin),
+                            Arc::clone(&self.sdp_host),
+                            pbx_port,
+                            codec,
+                        ));
                     vec![self.reply(caller_node, fwd)]
                 } else if resp.status.is_error() {
                     // Callee refused: ACK the error (non-2xx), relay it,
@@ -1093,6 +1162,7 @@ fn extract_user(value: &str) -> Option<String> {
 mod tests {
     use super::*;
     use sipcore::message::format_via;
+    use sipcore::sdp::SessionDescription;
 
     const CALLER_NODE: NodeId = NodeId(1);
     const CALLEE_NODE: NodeId = NodeId(2);
@@ -1124,8 +1194,17 @@ mod tests {
     }
 
     fn invite(call_id: &str, from_uid: &str, to_ext: &str, rtp_port: u16) -> Request {
-        let sdp =
-            SessionDescription::new(from_uid, "10.0.0.1", rtp_port, sipcore::sdp::SdpCodec::Pcmu);
+        invite_offering(call_id, from_uid, to_ext, rtp_port, SdpCodec::Pcmu)
+    }
+
+    fn invite_offering(
+        call_id: &str,
+        from_uid: &str,
+        to_ext: &str,
+        rtp_port: u16,
+        codec: SdpCodec,
+    ) -> Request {
+        let sdp = SessionDescription::new(from_uid, "10.0.0.1", rtp_port, codec);
         Request::new(Method::Invite, sipcore::SipUri::new(to_ext, "pbx.unb.br"))
             .header(
                 HeaderName::Via,
@@ -1161,7 +1240,7 @@ mod tests {
         assert_eq!(trying.status, StatusCode::TRYING);
         let fwd_invite = sip_of(&acts[1]).as_request().unwrap().clone();
         assert_eq!(fwd_invite.method, Method::Invite);
-        let out_sdp = SessionDescription::parse(&fwd_invite.body).unwrap();
+        let out_sdp = SessionDescription::parse(&fwd_invite.body.to_vec()).unwrap();
         assert!(
             out_sdp.audio_port >= FIRST_MEDIA_PORT,
             "PBX offers its own media port"
@@ -1184,7 +1263,7 @@ mod tests {
         assert_eq!(acts.len(), 1);
         let fwd_ok = sip_of(&acts[0]).as_response().unwrap();
         assert_eq!(fwd_ok.status, StatusCode::OK);
-        let caller_facing = SessionDescription::parse(&fwd_ok.body).unwrap();
+        let caller_facing = SessionDescription::parse(&fwd_ok.body.to_vec()).unwrap();
 
         // Caller ACKs; PBX forwards it to the callee.
         let ack = Request::new(Method::Ack, sipcore::SipUri::new("1002", "pbx.unb.br"))
@@ -1195,6 +1274,71 @@ mod tests {
         assert_eq!(sip_of(&acts[0]).as_request().unwrap().method, Method::Ack);
 
         (caller_facing.audio_port, out_sdp.audio_port)
+    }
+
+    /// Satellite of the SDP fast path: an A-law call stays A-law on both
+    /// legs — the caller-facing 200 advertises the codec the callee
+    /// accepted, not a hardcoded PCMU.
+    #[test]
+    fn negotiated_codec_survives_to_caller_facing_answer() {
+        let mut pbx = pbx_with_users();
+        let inv = invite_offering("alaw", "1001", "1002", 6000, SdpCodec::Pcma);
+        let acts = pbx.handle_sip(SimTime::from_secs(1), CALLER_NODE, inv.into());
+        let fwd_invite = sip_of(&acts[1]).as_request().unwrap().clone();
+        assert_eq!(
+            fwd_invite.body.sdp_codec(),
+            Some(SdpCodec::Pcma),
+            "offer codec relayed to the callee leg"
+        );
+
+        let ok = fwd_invite
+            .make_response(StatusCode::OK)
+            .with_sdp(SdpBody::new("1002", "10.0.0.2", 7000, SdpCodec::Pcma));
+        let acts = pbx.handle_sip(SimTime::from_secs(2), CALLEE_NODE, ok.into());
+        let fwd_ok = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(fwd_ok.status, StatusCode::OK);
+        assert_eq!(
+            fwd_ok.body.sdp_codec(),
+            Some(SdpCodec::Pcma),
+            "caller-facing answer carries the negotiated codec"
+        );
+    }
+
+    /// A mid-dialog re-INVITE (same Call-ID, higher CSeq) relearns the
+    /// caller's media port; a plain retransmission is still absorbed.
+    #[test]
+    fn reinvite_relearns_caller_media_port() {
+        let mut pbx = pbx_with_users();
+        let (_, callee_facing_port) = establish_call(&mut pbx, "re1");
+        assert_eq!(
+            pbx.relay_rtp(SimTime::from_secs(4), callee_facing_port),
+            Some((CALLER_NODE, 6000)),
+            "media relays to the original caller port"
+        );
+
+        // Retransmitted INVITE (same CSeq): absorbed, nothing sent.
+        let retrans = invite("re1", "1001", "1002", 6000);
+        assert!(pbx
+            .handle_sip(SimTime::from_secs(4), CALLER_NODE, retrans.into())
+            .is_empty());
+
+        // Re-INVITE with a higher CSeq moving media to port 6400.
+        let mut re = invite("re1", "1001", "1002", 6400);
+        re.headers.set(HeaderName::CSeq, "2 INVITE");
+        let acts = pbx.handle_sip(SimTime::from_secs(5), CALLER_NODE, re.into());
+        assert_eq!(acts.len(), 1, "200 OK straight back, no callee traffic");
+        let ok = sip_of(&acts[0]).as_response().unwrap();
+        assert_eq!(ok.status, StatusCode::OK);
+        assert_eq!(ok.cseq_number(), Some(2));
+        assert!(
+            ok.body.sdp_audio_port().is_some(),
+            "200 re-offers the PBX's caller-facing media port"
+        );
+        assert_eq!(
+            pbx.relay_rtp(SimTime::from_secs(6), callee_facing_port),
+            Some((CALLER_NODE, 6400)),
+            "media now relays to the relearned port"
+        );
     }
 
     #[test]
@@ -1671,7 +1815,7 @@ mod tests {
         let mut law = build(true);
         // Admit three calls (reaching the high watermark), shed the
         // fourth, tear down to below the low watermark, admit again.
-        let mut step = |legacy: &mut Pbx, law: &mut Pbx, t: u64, node: NodeId, msg: SipMessage| {
+        let step = |legacy: &mut Pbx, law: &mut Pbx, t: u64, node: NodeId, msg: SipMessage| {
             let a = legacy.handle_sip(SimTime::from_secs(t), node, msg.clone());
             let b = law.handle_sip(SimTime::from_secs(t), node, msg);
             assert_eq!(a, b, "action divergence at t={t}");

@@ -19,6 +19,7 @@
 //! the media-plane work.
 
 use des::FastMap;
+use std::sync::Arc;
 
 /// A handle for an interned string: `Copy`, integer-cheap to compare and
 /// hash, and stable for the lifetime of its [`AtomTable`].
@@ -36,8 +37,8 @@ impl Atom {
 /// An append-only interner: strings in, dense [`Atom`] handles out.
 #[derive(Debug, Default)]
 pub struct AtomTable {
-    map: FastMap<Box<str>, Atom>,
-    strings: Vec<Box<str>>,
+    map: FastMap<Arc<str>, Atom>,
+    strings: Vec<Arc<str>>,
 }
 
 impl AtomTable {
@@ -55,9 +56,9 @@ impl AtomTable {
             return a;
         }
         let a = Atom(u32::try_from(self.strings.len()).expect("atom table overflow"));
-        let boxed: Box<str> = s.into();
-        self.strings.push(boxed.clone());
-        self.map.insert(boxed, a);
+        let shared: Arc<str> = s.into();
+        self.strings.push(shared.clone());
+        self.map.insert(shared, a);
         a
     }
 
@@ -74,6 +75,18 @@ impl AtomTable {
     #[must_use]
     pub fn resolve(&self, a: Atom) -> &str {
         &self.strings[a.0 as usize]
+    }
+
+    /// A shared handle to the string behind an atom — a refcount bump,
+    /// never a copy. Lets consumers embed interned strings in
+    /// self-contained values (e.g. a structured SDP body) without
+    /// re-allocating them per message.
+    ///
+    /// # Panics
+    /// If `a` did not come from this table.
+    #[must_use]
+    pub fn resolve_shared(&self, a: Atom) -> Arc<str> {
+        Arc::clone(&self.strings[a.0 as usize])
     }
 
     /// Number of distinct strings interned.
@@ -139,5 +152,15 @@ mod tests {
         assert_eq!(h1, h2);
         let mut t3 = AtomTable::new();
         assert_eq!(t3.intern("c").index(), 0);
+    }
+
+    #[test]
+    fn resolve_shared_is_a_refcount_bump() {
+        let mut t = AtomTable::new();
+        let a = t.intern("pbx.unb.br");
+        let s1 = t.resolve_shared(a);
+        let s2 = t.resolve_shared(a);
+        assert_eq!(&*s1, "pbx.unb.br");
+        assert!(Arc::ptr_eq(&s1, &s2), "same backing allocation");
     }
 }

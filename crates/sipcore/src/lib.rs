@@ -17,8 +17,10 @@
 //! * a minimal SDP body builder/parser ([`sdp`]) sufficient to negotiate a
 //!   G.711 μ-law audio stream;
 //! * zero-allocation hot-path support: a deterministic string interner
-//!   ([`atoms`]), a lazy borrowed view over raw wire bytes ([`wire`]) and a
-//!   free-list of reusable serialization buffers ([`pool`]).
+//!   ([`atoms`]), lazy borrowed views over raw wire bytes ([`wire`] for
+//!   messages, [`sdp::wire`] for session descriptions, plus structured
+//!   [`message::Body::Sdp`] bodies serialized on demand) and a free-list
+//!   of reusable serialization buffers ([`pool`]).
 //!
 //! The implementation favours explicitness over completeness: every header
 //! needed by the evaluation is first-class, everything else rides in the
@@ -45,10 +47,11 @@ pub mod wire;
 pub use atoms::{Atom, AtomTable};
 pub use dialog::{Dialog, DialogId, DialogKey, DialogState};
 pub use headers::{HeaderMap, HeaderName};
-pub use message::{Request, Response, SipMessage};
+pub use message::{Body, Request, Response, SipMessage};
 pub use method::Method;
 pub use parse::{parse_message, ParseError};
 pub use pool::BufferPool;
+pub use sdp::wire::{SdpBody, SdpSummary, SdpView};
 pub use status::StatusCode;
 pub use uri::SipUri;
 pub use wire::WireMessage;

@@ -2,12 +2,182 @@
 
 use crate::headers::{HeaderMap, HeaderName};
 use crate::method::Method;
+use crate::sdp::wire::{SdpBody, SdpView};
+use crate::sdp::SdpCodec;
 use crate::status::StatusCode;
 use crate::uri::SipUri;
 use serde::{Deserialize, Serialize};
 
 /// The SIP protocol version token used on every start line.
 pub const SIP_VERSION: &str = "SIP/2.0";
+
+/// A SIP message body.
+///
+/// The interned signalling path carries SDP-bearing messages with the
+/// structured [`Body::Sdp`] form — analytic length, shared endpoint
+/// strings, serialized only if a consumer materializes the wire. The
+/// reference path (and anything parsed off the wire) carries raw
+/// [`Body::Bytes`]. The SDP accessors answer over both forms — direct
+/// field reads on `Sdp`, a lazy zero-allocation [`SdpView`] scan on
+/// `Bytes` — so endpoints never see which path delivered the message.
+///
+/// Cross-form equality compares serialized bytes, so a structured body
+/// and the bytes it would produce are the same body.
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Raw body bytes (possibly empty).
+    Bytes(Vec<u8>),
+    /// A structured session description, serialized on demand.
+    Sdp(SdpBody),
+}
+
+impl Body {
+    /// The empty body.
+    #[must_use]
+    pub fn empty() -> Body {
+        Body::Bytes(Vec::new())
+    }
+
+    /// Serialized length, computed without serializing.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Body::Bytes(b) => b.len(),
+            Body::Sdp(s) => s.len(),
+        }
+    }
+
+    /// Whether the serialized body would be empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Body::Bytes(b) => b.is_empty(),
+            Body::Sdp(_) => false,
+        }
+    }
+
+    /// The raw bytes, when this body already is bytes. Structured bodies
+    /// return `None` — use the SDP accessors or [`Body::to_vec`].
+    #[must_use]
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Body::Bytes(b) => Some(b),
+            Body::Sdp(_) => None,
+        }
+    }
+
+    /// The structured session description, when this body carries one.
+    #[must_use]
+    pub fn as_sdp(&self) -> Option<&SdpBody> {
+        match self {
+            Body::Bytes(_) => None,
+            Body::Sdp(s) => Some(s),
+        }
+    }
+
+    /// Serialize into a caller-supplied buffer (appending).
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Body::Bytes(b) => out.extend_from_slice(b),
+            Body::Sdp(s) => s.write_into(out),
+        }
+    }
+
+    /// Materialize the serialized bytes (allocates; cold paths only).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        match self {
+            Body::Bytes(b) => b.clone(),
+            Body::Sdp(s) => {
+                let mut out = Vec::with_capacity(s.len());
+                s.write_into(&mut out);
+                out
+            }
+        }
+    }
+
+    /// SDP audio media port, over either form, without allocating.
+    #[must_use]
+    pub fn sdp_audio_port(&self) -> Option<u16> {
+        match self {
+            Body::Bytes(b) => SdpView::parse(b)?.audio_port(),
+            Body::Sdp(s) => Some(s.audio_port),
+        }
+    }
+
+    /// SDP negotiable codec (first recognized payload type), over either
+    /// form, without allocating.
+    #[must_use]
+    pub fn sdp_codec(&self) -> Option<SdpCodec> {
+        match self {
+            Body::Bytes(b) => SdpView::parse(b)?.codec(),
+            Body::Sdp(s) => Some(s.codec),
+        }
+    }
+
+    /// SDP origin username, over either form, without allocating.
+    #[must_use]
+    pub fn sdp_origin_user(&self) -> Option<&str> {
+        match self {
+            Body::Bytes(b) => SdpView::parse(b)?.origin_user(),
+            Body::Sdp(s) => Some(&s.origin_user),
+        }
+    }
+
+    /// SDP connection address, over either form, without allocating.
+    #[must_use]
+    pub fn sdp_connection(&self) -> Option<&str> {
+        match self {
+            Body::Bytes(b) => SdpView::parse(b)?.connection(),
+            Body::Sdp(s) => Some(&s.connection),
+        }
+    }
+}
+
+impl Default for Body {
+    fn default() -> Self {
+        Body::empty()
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(b: Vec<u8>) -> Self {
+        Body::Bytes(b)
+    }
+}
+
+impl From<SdpBody> for Body {
+    fn from(s: SdpBody) -> Self {
+        Body::Sdp(s)
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Body::Bytes(a), Body::Bytes(b)) => a == b,
+            (Body::Sdp(a), Body::Sdp(b)) => a == b,
+            // Cross-form: a structured body equals the bytes it writes.
+            (a, b) => a.to_vec() == b.to_vec(),
+        }
+    }
+}
+
+impl Eq for Body {}
+
+impl Serialize for Body {
+    fn to_value(&self) -> serde::Value {
+        // Serialize as the materialized byte array, matching the old
+        // `Vec<u8>` field encoding exactly (pcap/debug dumps are cold).
+        self.to_vec().to_value()
+    }
+}
+
+impl Deserialize for Body {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Body::Bytes(Vec::<u8>::from_value(v)?))
+    }
+}
 
 /// A SIP request.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -19,7 +189,7 @@ pub struct Request {
     /// Header fields.
     pub headers: HeaderMap,
     /// Message body (SDP for INVITE/200, empty otherwise).
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 /// A SIP response.
@@ -30,7 +200,7 @@ pub struct Response {
     /// Header fields.
     pub headers: HeaderMap,
     /// Message body.
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 /// Either kind of SIP message.
@@ -50,7 +220,7 @@ impl Request {
             method,
             uri,
             headers: HeaderMap::new(),
-            body: Vec::new(),
+            body: Body::empty(),
         }
     }
 
@@ -67,7 +237,19 @@ impl Request {
         self.headers.set(HeaderName::ContentType, content_type);
         self.headers
             .set(HeaderName::ContentLength, body.len().to_string());
-        self.body = body;
+        self.body = Body::Bytes(body);
+        self
+    }
+
+    /// Builder: attach a structured SDP body without serializing it. The
+    /// Content-Length comes from the analytic [`SdpBody::len`]; the text
+    /// form exists only if the message is later written to the wire.
+    #[must_use]
+    pub fn with_sdp(mut self, sdp: SdpBody) -> Self {
+        self.headers.set(HeaderName::ContentType, "application/sdp");
+        self.headers
+            .set(HeaderName::ContentLength, sdp.len().to_string());
+        self.body = Body::Sdp(sdp);
         self
     }
 
@@ -160,7 +342,7 @@ impl Response {
         Response {
             status,
             headers: HeaderMap::new(),
-            body: Vec::new(),
+            body: Body::empty(),
         }
     }
 
@@ -177,7 +359,19 @@ impl Response {
         self.headers.set(HeaderName::ContentType, content_type);
         self.headers
             .set(HeaderName::ContentLength, body.len().to_string());
-        self.body = body;
+        self.body = Body::Bytes(body);
+        self
+    }
+
+    /// Builder: attach a structured SDP body without serializing it. The
+    /// Content-Length comes from the analytic [`SdpBody::len`]; the text
+    /// form exists only if the message is later written to the wire.
+    #[must_use]
+    pub fn with_sdp(mut self, sdp: SdpBody) -> Self {
+        self.headers.set(HeaderName::ContentType, "application/sdp");
+        self.headers
+            .set(HeaderName::ContentLength, sdp.len().to_string());
+        self.body = Body::Sdp(sdp);
         self
     }
 
@@ -290,6 +484,23 @@ impl SipMessage {
         }
     }
 
+    /// Shared body access.
+    #[must_use]
+    pub fn body(&self) -> &Body {
+        match self {
+            SipMessage::Request(r) => &r.body,
+            SipMessage::Response(r) => &r.body,
+        }
+    }
+
+    /// Mutable body access.
+    pub fn body_mut(&mut self) -> &mut Body {
+        match self {
+            SipMessage::Request(r) => &mut r.body,
+            SipMessage::Response(r) => &mut r.body,
+        }
+    }
+
     /// Call-ID of either kind.
     #[must_use]
     pub fn call_id(&self) -> Option<&str> {
@@ -395,7 +606,7 @@ pub(crate) fn decimal_len(n: u32) -> usize {
 }
 
 /// Serialized length of the header block, blank line and body.
-fn headers_and_body_wire_len(headers: &HeaderMap, body: &[u8]) -> usize {
+fn headers_and_body_wire_len(headers: &HeaderMap, body: &Body) -> usize {
     let head: usize = headers
         .iter()
         .map(|(name, value)| name.as_str().len() + 2 + value.len() + 2)
@@ -403,7 +614,7 @@ fn headers_and_body_wire_len(headers: &HeaderMap, body: &[u8]) -> usize {
     head + 2 + body.len()
 }
 
-fn write_headers_and_body(out: &mut Vec<u8>, headers: &HeaderMap, body: &[u8]) {
+fn write_headers_and_body(out: &mut Vec<u8>, headers: &HeaderMap, body: &Body) {
     for (name, value) in headers.iter() {
         out.extend_from_slice(name.as_str().as_bytes());
         out.extend_from_slice(b": ");
@@ -411,7 +622,7 @@ fn write_headers_and_body(out: &mut Vec<u8>, headers: &HeaderMap, body: &[u8]) {
         out.extend_from_slice(b"\r\n");
     }
     out.extend_from_slice(b"\r\n");
-    out.extend_from_slice(body);
+    body.write_into(out);
 }
 
 #[cfg(test)]

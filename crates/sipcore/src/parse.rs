@@ -6,7 +6,7 @@
 //! whitespace around the header colon, and compact header names.
 
 use crate::headers::{HeaderMap, HeaderName};
-use crate::message::{Request, Response, SipMessage, SIP_VERSION};
+use crate::message::{Body, Request, Response, SipMessage, SIP_VERSION};
 use crate::method::Method;
 use crate::status::StatusCode;
 use crate::uri::SipUri;
@@ -117,7 +117,7 @@ pub fn parse_message(buf: &[u8]) -> Result<SipMessage, ParseError> {
         Ok(SipMessage::Response(Response {
             status: StatusCode(code),
             headers,
-            body: body.to_vec(),
+            body: Body::Bytes(body.to_vec()),
         }))
     } else {
         // Request: "INVITE sip:x SIP/2.0"
@@ -135,7 +135,7 @@ pub fn parse_message(buf: &[u8]) -> Result<SipMessage, ParseError> {
             method,
             uri,
             headers,
-            body: body.to_vec(),
+            body: Body::Bytes(body.to_vec()),
         }))
     }
 }
@@ -187,7 +187,10 @@ mod tests {
         assert_eq!(req.method, Method::Invite);
         assert_eq!(req.uri.to_string(), "sip:bob@pbx:5060");
         assert_eq!(req.call_id(), Some("cid@host"));
-        assert_eq!(req.body, b"v=0\r\no=- 0 0 IN IP4 10.0.0.2\r\n");
+        assert_eq!(
+            req.body.as_bytes(),
+            Some(b"v=0\r\no=- 0 0 IN IP4 10.0.0.2\r\n".as_slice())
+        );
         // Serialize again: byte-identical.
         assert_eq!(req.to_wire(), wire);
     }
@@ -459,7 +462,7 @@ mod proptests {
                 view.to_tag(),
                 parsed.headers.get(&HeaderName::To).and_then(crate::headers::tag_of)
             );
-            prop_assert_eq!(view.body(), parsed.body.as_slice());
+            prop_assert_eq!(Some(view.body()), parsed.body.as_bytes());
             // Every pooled name: first-value agreement (including absent).
             for name in header_pool() {
                 prop_assert_eq!(view.header(&name), parsed.headers.get(&name));

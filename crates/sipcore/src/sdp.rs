@@ -4,8 +4,17 @@
 //! one audio stream, G.711 μ-law (payload type 0, `PCMU/8000`), with the
 //! RTP address and port of each endpoint. A-law (PT 8) is also representable
 //! for the codec ablation.
+//!
+//! [`SessionDescription`] is the eager owned form — cold paths and tests.
+//! The hot signalling path uses [`wire`]: lazy borrowed views, interned
+//! `Copy` summaries, and pooled zero-allocation serialization. Both forms
+//! share one parser ([`wire::SdpView`]) and one serializer
+//! ([`wire::write_sdp`]), so they agree byte-for-byte by construction.
 
+use crate::pool::BufferPool;
 use serde::{Deserialize, Serialize};
+
+pub mod wire;
 
 /// The audio codec offered in an SDP body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,59 +80,59 @@ impl SessionDescription {
         }
     }
 
-    /// Serialize to SDP text (CRLF line endings).
+    /// Serialize to SDP text (CRLF line endings). Allocates exactly once
+    /// (the returned buffer, sized by [`wire::body_len`]).
     #[must_use]
     pub fn to_body(&self) -> Vec<u8> {
-        let pt = self.codec.payload_type();
-        format!(
-            "v=0\r\n\
-             o={user} 0 0 IN IP4 {conn}\r\n\
-             s=call\r\n\
-             c=IN IP4 {conn}\r\n\
-             t=0 0\r\n\
-             m=audio {port} RTP/AVP {pt}\r\n\
-             a=rtpmap:{pt} {enc}/8000\r\n\
-             a=ptime:20\r\n",
-            user = self.origin_user,
-            conn = self.connection,
-            port = self.audio_port,
-            pt = pt,
-            enc = self.codec.encoding_name(),
-        )
-        .into_bytes()
+        let mut out = Vec::with_capacity(wire::body_len(
+            &self.origin_user,
+            &self.connection,
+            self.audio_port,
+            self.codec,
+        ));
+        wire::write_sdp(
+            &mut out,
+            &self.origin_user,
+            &self.connection,
+            self.audio_port,
+            self.codec,
+        );
+        out
+    }
+
+    /// Serialize into a pooled buffer — byte-identical to
+    /// [`Self::to_body`] but allocation-free once the pool is warm.
+    /// Release the buffer back with [`BufferPool::release`] after use.
+    #[must_use]
+    pub fn to_body_into(&self, pool: &mut BufferPool) -> Vec<u8> {
+        let mut out = pool.acquire();
+        out.reserve(wire::body_len(
+            &self.origin_user,
+            &self.connection,
+            self.audio_port,
+            self.codec,
+        ));
+        wire::write_sdp(
+            &mut out,
+            &self.origin_user,
+            &self.connection,
+            self.audio_port,
+            self.codec,
+        );
+        out
     }
 
     /// Parse an SDP body produced by [`Self::to_body`] (or similar simple
     /// descriptions). Returns `None` if no usable audio stream is found.
+    ///
+    /// Tolerant, byte-line-wise: a malformed or non-UTF-8 line never
+    /// poisons the rest of the body; for each field the first line that
+    /// yields a usable value wins. Delegates to [`wire::SdpView`], so
+    /// the owned parse and the zero-allocation view agree by
+    /// construction (a property test in [`wire`] pins this).
     #[must_use]
     pub fn parse(body: &[u8]) -> Option<SessionDescription> {
-        let text = std::str::from_utf8(body).ok()?;
-        let mut origin_user = String::new();
-        let mut connection = String::new();
-        let mut audio_port = None;
-        let mut codec = None;
-        for line in text.lines() {
-            let line = line.trim_end();
-            if let Some(rest) = line.strip_prefix("o=") {
-                origin_user = rest.split_whitespace().next()?.to_owned();
-            } else if let Some(rest) = line.strip_prefix("c=") {
-                // c=IN IP4 addr
-                connection = rest.split_whitespace().nth(2)?.to_owned();
-            } else if let Some(rest) = line.strip_prefix("m=audio ") {
-                let mut parts = rest.split_whitespace();
-                audio_port = parts.next()?.parse::<u16>().ok();
-                let _proto = parts.next()?;
-                // First listed payload type wins.
-                let pt: u8 = parts.next()?.parse().ok()?;
-                codec = SdpCodec::from_payload_type(pt);
-            }
-        }
-        Some(SessionDescription {
-            origin_user,
-            connection,
-            audio_port: audio_port?,
-            codec: codec?,
-        })
+        wire::SdpView::parse(body)?.to_session()
     }
 }
 
@@ -160,6 +169,38 @@ mod tests {
             SessionDescription::parse(b"c=IN IP4 1.2.3.4\r\nm=audio 5000 RTP/AVP 96\r\n").is_none()
         );
         assert!(SessionDescription::parse(&[0xFF, 0xFE]).is_none());
+    }
+
+    #[test]
+    fn parse_tolerates_garbage_bytes() {
+        // Non-UTF-8 garbage alone: no usable stream, clean None — never a
+        // panic. Garbage mixed into an otherwise valid body: the valid
+        // lines still parse.
+        let garbage: Vec<u8> = (0u8..=255).rev().collect();
+        assert!(SessionDescription::parse(&garbage).is_none());
+
+        let mut body = garbage.clone();
+        body.push(b'\n');
+        body.extend_from_slice(b"o=alice 0 0 IN IP4 h\r\nc=IN IP4 10.0.0.7\r\n");
+        body.extend_from_slice(&[0x80, 0x81, b'\n']);
+        body.extend_from_slice(b"m=audio 6000 RTP/AVP 0\r\n");
+        let s = SessionDescription::parse(&body).expect("valid lines survive garbage");
+        assert_eq!(s.origin_user, "alice");
+        assert_eq!(s.connection, "10.0.0.7");
+        assert_eq!(s.audio_port, 6000);
+        assert_eq!(s.codec, SdpCodec::Pcmu);
+    }
+
+    #[test]
+    fn pooled_body_build_matches_eager() {
+        let sdp = SessionDescription::new("sipp", "10.0.0.2", 6000, SdpCodec::Pcmu);
+        let mut pool = BufferPool::default();
+        let warm = sdp.to_body_into(&mut pool);
+        pool.release(warm);
+        let pooled = sdp.to_body_into(&mut pool);
+        assert_eq!(pooled, sdp.to_body());
+        let (acquired, reused) = pool.stats();
+        assert_eq!((acquired, reused), (2, 1), "second build reused the buffer");
     }
 
     #[test]

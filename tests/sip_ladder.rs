@@ -96,8 +96,8 @@ fn emitted_messages_round_trip_the_wire_format() {
 
 fn parsed_body(msg: &SipMessage) -> Vec<u8> {
     match msg {
-        SipMessage::Request(r) => r.body.clone(),
-        SipMessage::Response(r) => r.body.clone(),
+        SipMessage::Request(r) => r.body.to_vec(),
+        SipMessage::Response(r) => r.body.to_vec(),
     }
 }
 

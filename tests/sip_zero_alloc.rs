@@ -18,8 +18,10 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use sipcore::message::{format_via, write_via_args};
+use sipcore::sdp::SdpCodec;
 use sipcore::{
-    AtomTable, BufferPool, HeaderName, Method, Request, SipMessage, SipUri, WireMessage,
+    AtomTable, Body, BufferPool, HeaderName, Method, Request, SdpBody, SdpSummary, SdpView,
+    SipMessage, SipUri, WireMessage,
 };
 
 static TOTAL: AtomicU64 = AtomicU64::new(0);
@@ -174,5 +176,59 @@ fn established_call_signalling_hop_allocates_nothing() {
     assert!(
         eager_total > 0,
         "the counting harness failed to observe eager-path allocations"
+    );
+
+    // ---- SDP-bearing call setup (INVITE / 200 / ACK) -------------------
+    // The same zero claim for the media-negotiation hops: offers are
+    // structured bodies over shared endpoint strings (refcount bumps),
+    // answers are read through a borrowed `SdpView` over wire bytes,
+    // dialog state is a four-word `SdpSummary` through a warm interner,
+    // and caller-facing bodies serialize into pooled buffers. Fresh pool
+    // and interner: the pool-stats assertions above must stay untouched.
+    let origin: Arc<str> = Arc::from("1001");
+    let host: Arc<str> = Arc::from("10.0.0.1");
+    let mut sdp_atoms = AtomTable::new();
+    let mut sdp_pool = BufferPool::default();
+    // The 200's answer body as the wire delivers it on the interned path
+    // after a reference-form hop: raw bytes.
+    let answer_bytes = Body::Bytes(
+        SdpBody::new("1501", "10.0.0.2", 30_000, SdpCodec::Pcmu)
+            .to_session()
+            .to_body(),
+    );
+    for _ in 0..3 {
+        let offer = SdpBody::new(Arc::clone(&origin), Arc::clone(&host), 6000, SdpCodec::Pcmu);
+        std::hint::black_box(offer.len());
+        let s = SdpSummary::of_body(&answer_bytes, &mut sdp_atoms).expect("valid answer");
+        let buf = s.to_body_into(&sdp_atoms, &mut sdp_pool);
+        sdp_pool.release(buf);
+    }
+
+    start_counting();
+    for _ in 0..1000u32 {
+        // INVITE leg: build the offer — structured body, shared strings.
+        let offer = SdpBody::new(Arc::clone(&origin), Arc::clone(&host), 6000, SdpCodec::Pcmu);
+        std::hint::black_box(offer.len());
+
+        // 200 leg: read the answer through the borrowed view — no decode.
+        let view = SdpView::parse(answer_bytes.as_bytes().unwrap()).expect("non-empty");
+        assert_eq!(view.audio_port(), Some(30_000));
+        assert_eq!(view.codec(), Some(SdpCodec::Pcmu));
+
+        // Dialog bookkeeping: summarize through the warm interner.
+        let s = SdpSummary::of_body(&answer_bytes, &mut sdp_atoms).expect("valid answer");
+        assert_eq!(s.audio_port, 30_000);
+
+        // Relayed answer: serialize into the pooled buffer and release
+        // once the bytes are "on the wire".
+        let buf = s.to_body_into(&sdp_atoms, &mut sdp_pool);
+        std::hint::black_box(&buf);
+        sdp_pool.release(buf);
+    }
+    let sdp_total = stop_counting();
+    assert_eq!(
+        sdp_total, 0,
+        "steady-state SDP negotiation hop allocated {sdp_total} times \
+         in 1000 hops — an allocation crept into the SDP fast path"
     );
 }
