@@ -1,0 +1,298 @@
+//! Emit `BENCH_scale.json` — the population-scale workload cell: an A/B
+//! of the aggregated finite-source arrival engine against the per-user
+//! -timer reference at small N (bit-identical digests required), the
+//! headline million-subscriber busy-hour cell, and an events/sec
+//! regression gate against the committed SDP-cell baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_scale_json              # smoke
+//! BENCH_SCALE=full cargo run --release -p bench --bin bench_scale_json
+//! ```
+//!
+//! Three measurements:
+//!
+//! 1. **Engine A/B** — the same small-N population cell run twice, once
+//!    with the aggregated Engset sampler (one pending arrival event,
+//!    O(active) state) and once with the O(N)-per-arrival per-user-timer
+//!    reference. The coupling construction makes them draw-for-draw
+//!    identical, so the run digests must match bit-for-bit; the emitter
+//!    exits non-zero if they disagree. N stays small here because the
+//!    reference realizes every idle clock on every arrival.
+//! 2. **Scale cell** — the aggregated engine at population scale
+//!    (N = 10^6 at `full`, 2×10^4 at `smoke`) under the compressed
+//!    diurnal profile with expiry-wheel registration churn. Recorded as
+//!    the headline `scale_cell` block: events/sec, SIP load, observed
+//!    vs Engset blocking.
+//! 3. **Regression gate** — re-runs the SDP bench's own scenario on the
+//!    default path and compares events/sec against the `interned` entry
+//!    of `BENCH_SDP_BASELINE` (default `BENCH_sdp.json`): the population
+//!    plumbing threaded through the world must not slow the classic
+//!    signalling cut-through. At `full` scale the bar is the usual >10%
+//!    regression; `smoke` runs are jitter-dominated so only a
+//!    catastrophic (>2x) regression trips there — point the env var at a
+//!    same-machine, same-scale baseline (`./ci` uses the smoke file it
+//!    just generated).
+
+use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode, SimOptions};
+use loadgen::HoldingDist;
+use std::fmt::Write as _;
+
+struct EngineResult {
+    name: &'static str,
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    digest: u64,
+}
+
+/// Small-N population cell where the O(N)-per-arrival reference engine
+/// is still affordable. Both engines consume the identical shared-RNG
+/// draw sequence, so everything downstream must match exactly.
+fn ab_cfg(scale: &str) -> (EmpiricalConfig, &'static str) {
+    let (subs, window, scenario) = match scale {
+        "full" => (2_000_u64, 60.0, "pop_2000N_4E_60s_ab"),
+        _ => (500_u64, 20.0, "pop_500N_4E_20s_ab"),
+    };
+    let mut cfg = EmpiricalConfig::smoke(2015);
+    cfg.media = MediaMode::Off;
+    cfg.placement_window_s = window;
+    let mut pop =
+        loadgen::PopulationConfig::for_offered_load(subs, cfg.erlangs, cfg.holding.mean());
+    pop.reg_expiry_s = 30.0;
+    pop.churn_buckets = 8;
+    cfg.population = Some(pop);
+    (cfg, scenario)
+}
+
+/// The headline population-scale cell — same shapes `capacity-cli scale`
+/// runs: the full cell is the 10^6-subscriber busy-hour diurnal ramp,
+/// the smoke cell compresses to 2×10^4 subscribers over 30 s.
+fn scale_cfg(scale: &str) -> (EmpiricalConfig, u64, f64) {
+    match scale {
+        "full" => {
+            let (subs, erlangs) = (1_000_000_u64, 150.0);
+            (
+                EmpiricalConfig::population_scale(subs, erlangs, 2015),
+                subs,
+                erlangs,
+            )
+        }
+        _ => {
+            let (subs, erlangs) = (20_000_u64, 20.0);
+            let mut cfg = EmpiricalConfig::population_scale(subs, erlangs, 2015);
+            cfg.holding = HoldingDist::Fixed(10.0);
+            cfg.placement_window_s = 30.0;
+            cfg.channels = 24;
+            let pop = cfg.population.as_mut().expect("population cell");
+            *pop = loadgen::PopulationConfig::for_offered_load(subs, erlangs, 10.0);
+            pop.profile = loadgen::DiurnalProfile::campus_day_compressed(30.0);
+            pop.reg_expiry_s = 60.0;
+            pop.churn_buckets = 16;
+            (cfg, subs, erlangs)
+        }
+    }
+}
+
+/// Mirror the SDP bench's own A/B scenario (the cell its `interned` row
+/// measures) so events/sec is comparable against that baseline at the
+/// same scale: this is the before/after of the population-engine rework
+/// on the identical classic workload.
+fn gate_cfg(scale: &str) -> EmpiricalConfig {
+    match scale {
+        "full" => EmpiricalConfig::table1(150.0, 2015),
+        _ => {
+            let mut c = EmpiricalConfig::table1(150.0, 2015);
+            c.placement_window_s = 5.0;
+            c.holding = HoldingDist::Fixed(4.0);
+            c
+        }
+    }
+}
+
+/// Pull `"events_per_sec": <num>` out of the baseline's `"interned"`
+/// path line. Hand-rolled string scan — the bench crate deliberately has
+/// no JSON parser dependency, and the emitters write one entry per line.
+fn baseline_events_per_sec(json: &str) -> Option<f64> {
+    let line = json
+        .lines()
+        .find(|l| l.contains("\"name\": \"interned\""))?;
+    let tail = line.split("\"events_per_sec\":").nth(1)?;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let scale = std::env::var("BENCH_SCALE").unwrap_or_else(|_| "smoke".to_owned());
+    let (ab, ab_scenario) = ab_cfg(&scale);
+
+    // One untimed warmup absorbs cold-start costs (lazy statics, page
+    // faults, allocator pools) that would otherwise tax whichever engine
+    // happens to run first.
+    let _ = EmpiricalRunner::run_with(ab.clone(), SimOptions::default());
+
+    let mut results = Vec::new();
+    for name in ["aggregated", "reference"] {
+        let mut cfg = ab.clone();
+        cfg.population.as_mut().expect("population cell").reference = name == "reference";
+        // Best-of-3: the smoke cells finish in milliseconds, where
+        // single-run jitter can dwarf the engine delta.
+        let r = (0..3)
+            .map(|_| EmpiricalRunner::run_with(cfg.clone(), SimOptions::default()))
+            .reduce(|best, r| {
+                if r.wall_clock_s < best.wall_clock_s {
+                    r
+                } else {
+                    best
+                }
+            })
+            .expect("three runs");
+        eprintln!(
+            "{name:<12} {:>8.3} s  {:>12.0} ev/s  ({} events)",
+            r.wall_clock_s, r.events_per_sec, r.events_processed
+        );
+        results.push(EngineResult {
+            name,
+            wall_s: r.wall_clock_s,
+            events: r.events_processed,
+            events_per_sec: r.events_per_sec,
+            digest: r.digest(),
+        });
+    }
+
+    // The coupling construction hands both engines the same thinned gap
+    // and winner-ordinal draws; any divergence means the aggregated fast
+    // path changed the physics.
+    if results[0].digest != results[1].digest {
+        eprintln!(
+            "FATAL: aggregated and per-user-timer population engines disagree \
+             on the run digest — the O(active) fast path leaked into the physics"
+        );
+        std::process::exit(1);
+    }
+    let speedup = results[0].events_per_sec / results[1].events_per_sec.max(1e-9);
+    eprintln!("engine speedup (aggregated / reference, events/sec): {speedup:.2}x");
+
+    // Headline cell: the aggregated engine at population scale.
+    let (cell_cfg, subs, erlangs) = scale_cfg(&scale);
+    let cell = (0..3)
+        .map(|_| EmpiricalRunner::run(cell_cfg.clone()))
+        .reduce(|best, r| {
+            if r.wall_clock_s < best.wall_clock_s {
+                r
+            } else {
+                best
+            }
+        })
+        .expect("three runs");
+    let engset_pb = teletraffic::engset::engset_blocking_for_load_large(
+        subs,
+        cell_cfg.channels,
+        teletraffic::Erlangs(erlangs),
+    )
+    .unwrap_or(f64::NAN);
+    let churn_rate = subs as f64
+        / cell_cfg
+            .population
+            .as_ref()
+            .map_or(f64::INFINITY, |p| p.reg_expiry_s);
+    eprintln!(
+        "scale cell   {:>8.3} s  {:>12.0} ev/s  (N = {subs}, {} events, {} SIP msgs, \
+         Pb {:.4} vs Engset {:.4})",
+        cell.wall_clock_s,
+        cell.events_per_sec,
+        cell.events_processed,
+        cell.monitor.sip_total,
+        cell.observed_pb,
+        engset_pb
+    );
+
+    // Regression gate: the classic SDP cell (no population) must stay
+    // within 10% of the committed baseline's `interned` events/sec at
+    // the same scale. Best-of-3 damps warmup and allocator noise.
+    let baseline_path =
+        std::env::var("BENCH_SDP_BASELINE").unwrap_or_else(|_| "BENCH_sdp.json".to_owned());
+    let gate = gate_cfg(&scale);
+    let gate_eps = (0..3)
+        .map(|_| EmpiricalRunner::run_with(gate.clone(), SimOptions::default()).events_per_sec)
+        .fold(0.0_f64, f64::max);
+    let mut gate_status = "no_baseline".to_owned();
+    let mut baseline_eps = 0.0;
+    match std::fs::read_to_string(&baseline_path)
+        .ok()
+        .as_deref()
+        .and_then(baseline_events_per_sec)
+    {
+        // An instrumented build pays two clock reads per event; comparing
+        // it against an uninstrumented baseline would always trip the gate.
+        Some(_) if cfg!(feature = "phase-timing") => {
+            gate_status = "skipped_phase_timing".to_owned();
+            eprintln!("throughput gate skipped: phase-timing instrumentation is enabled");
+        }
+        Some(base) => {
+            baseline_eps = base;
+            let ratio = gate_eps / base.max(1e-9);
+            // Smoke runs are noise-dominated (see module docs): only a
+            // catastrophic regression is meaningful there.
+            let floor = if scale == "full" { 0.9 } else { 0.5 };
+            eprintln!(
+                "throughput gate: {gate_eps:.0} ev/s vs baseline {base:.0} ev/s \
+                 ({ratio:.2}x, floor {floor}, {baseline_path})"
+            );
+            if ratio < floor {
+                eprintln!("FATAL: events/sec regressed below {floor}x of {baseline_path}");
+                std::process::exit(1);
+            }
+            gate_status = format!("ok_{ratio:.3}x");
+        }
+        None => {
+            eprintln!("throughput gate skipped: no parsable baseline at {baseline_path}");
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scenario\": \"{ab_scenario}\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"engines\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"events\": {}, \
+             \"events_per_sec\": {:.1}, \"digest\": \"{:#018x}\"}}{comma}",
+            r.name, r.wall_s, r.events, r.events_per_sec, r.digest
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_aggregated_vs_reference\": {speedup:.3},");
+    let _ = writeln!(json, "  \"scale_cell\": {{");
+    let _ = writeln!(json, "    \"subscribers\": {subs},");
+    let _ = writeln!(json, "    \"peak_erlangs\": {erlangs:.1},");
+    let _ = writeln!(json, "    \"wall_s\": {:.6},", cell.wall_clock_s);
+    let _ = writeln!(json, "    \"events\": {},", cell.events_processed);
+    let _ = writeln!(json, "    \"events_per_sec\": {:.1},", cell.events_per_sec);
+    let _ = writeln!(json, "    \"sip_messages\": {},", cell.monitor.sip_total);
+    let _ = writeln!(json, "    \"attempted\": {},", cell.attempted);
+    let _ = writeln!(json, "    \"completed\": {},", cell.completed);
+    let _ = writeln!(json, "    \"blocked\": {},", cell.blocked);
+    let _ = writeln!(json, "    \"observed_pb\": {:.6},", cell.observed_pb);
+    let _ = writeln!(json, "    \"engset_pb\": {engset_pb:.6},");
+    let _ = writeln!(json, "    \"churn_reregisters_per_sec\": {churn_rate:.1},");
+    let _ = writeln!(json, "    \"digest\": \"{:#018x}\"", cell.digest());
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"gate_scenario_events_per_sec\": {gate_eps:.1},");
+    let _ = writeln!(
+        json,
+        "  \"gate_baseline_events_per_sec\": {baseline_eps:.1},"
+    );
+    let _ = writeln!(json, "  \"gate_status\": \"{gate_status}\"");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_scale.json".to_owned());
+    std::fs::write(&out, &json).expect("write BENCH_scale.json");
+    println!("wrote {out} (aggregated-engine speedup {speedup:.2}x at small N)");
+}

@@ -118,6 +118,58 @@ fn main() {
                 print!("{}", farm::render_farm(erlangs, &rows));
             }
         }
+        Some("scale") => {
+            // Population-scale cell: finite-source arrivals over N
+            // subscribers with registration churn, closed against the
+            // log-space Engset analytics.
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let subs = flag("--subs", if smoke { 20_000.0 } else { 1_000_000.0 }) as u64;
+            let erlangs = flag("--erlangs", if smoke { 20.0 } else { 150.0 });
+            let mut cfg = EmpiricalConfig::population_scale(subs, erlangs, seed);
+            if smoke {
+                // Compressed cell: short holds and window, a wheel that
+                // visibly turns, a pool sized to show some blocking.
+                cfg.holding = loadgen::HoldingDist::Fixed(10.0);
+                cfg.placement_window_s = 30.0;
+                cfg.channels = 24;
+                let pop = cfg.population.as_mut().expect("population cell");
+                *pop = loadgen::PopulationConfig::for_offered_load(subs, erlangs, 10.0);
+                pop.profile = loadgen::DiurnalProfile::campus_day_compressed(30.0);
+                pop.reg_expiry_s = 60.0;
+                pop.churn_buckets = 16;
+            }
+            cfg.channels = flag("--channels", f64::from(cfg.channels)) as u32;
+            let result = EmpiricalRunner::run(cfg.clone());
+            if json {
+                println!("{}", report::to_json(&result));
+            } else {
+                let engset = teletraffic::engset::engset_blocking_for_load_large(
+                    subs,
+                    cfg.channels,
+                    teletraffic::Erlangs(erlangs),
+                )
+                .unwrap_or(f64::NAN);
+                let pop = cfg.population.as_ref().expect("population cell");
+                let wheel_rate = subs as f64 / pop.reg_expiry_s;
+                println!("population-scale cell: N = {subs}, peak offered = {erlangs:.1} E");
+                println!(
+                    "  calls: attempted {}  completed {}  blocked {}  (Pb {:.4})",
+                    result.attempted, result.completed, result.blocked, result.observed_pb
+                );
+                println!(
+                    "  steady-state Pb {:.4} | Engset(N={subs}) {:.4} | Erlang-B {:.4}",
+                    result.steady_pb, engset, result.analytic_pb
+                );
+                println!(
+                    "  churn: {wheel_rate:.1} re-REGISTER/s steady | SIP messages {}",
+                    result.monitor.sip_total
+                );
+                println!(
+                    "  engine: {} events, {:.0} events/s, {:.2} s wall",
+                    result.events_processed, result.events_per_sec, result.wall_clock_s
+                );
+            }
+        }
         Some("run") => {
             let erlangs = flag("--erlangs", 40.0);
             let mut cfg = EmpiricalConfig::table1(erlangs, seed);
@@ -230,7 +282,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: capacity-cli <fig3|table1|fig6|fig7|policy|farm|campaign|run> [--json] [--seed S]"
+                "usage: capacity-cli <fig3|table1|fig6|fig7|policy|farm|campaign|scale|run> [--json] [--seed S]"
             );
             eprintln!("  table1 [--scale X]        scale<1 runs a shortened experiment");
             eprintln!("  fig6   [--reps R]         replications per sweep point");
@@ -238,6 +290,9 @@ fn main() {
             eprintln!("  policy [--erlangs A] [--users U]   per-user call-limit study");
             eprintln!("  farm   [--erlangs A] [--channels N] [--reps R]  pooled vs split servers");
             eprintln!("  campaign [--smoke] [--channels N --window S]  overload-control law sweep");
+            eprintln!(
+                "  scale  [--smoke] [--subs N --erlangs A --channels C]  population-scale cell"
+            );
             eprintln!("  run    [--erlangs A]      one empirical run, JSON details");
             eprintln!(
                 "         [--channels N --holding S --window S]  pool / call / window overrides"

@@ -133,6 +133,15 @@ pub struct EmpiricalConfig {
     /// the partitioned runner ([`crate::shard::run_partitioned`]); the
     /// classic single-wheel path ignores it.
     pub threads: Option<u32>,
+    /// Finite-source population workload (`None` = the classic fixed
+    /// `user_pool` open-loop arrivals). When set, call arrivals come from
+    /// the aggregated Engset engine over `subscribers` users (callers
+    /// `1_000_000 + u`), registration churn runs as a steady state on the
+    /// expiry wheel, and per-call monitor state is retired after hangup —
+    /// the million-subscriber mode. The classic pool still primes (it
+    /// provides the callee extensions), and flash-crowd faults plus
+    /// pacer-arming overload laws are unsupported in this mode.
+    pub population: Option<loadgen::PopulationConfig>,
     /// Master RNG seed: a run is a pure function of this value.
     pub seed: u64,
 }
@@ -163,6 +172,7 @@ impl EmpiricalConfig {
             overload_law: None,
             retry: None,
             threads: None,
+            population: None,
             seed,
         }
     }
@@ -217,8 +227,24 @@ impl EmpiricalConfig {
             overload_law: None,
             retry: None,
             threads: None,
+            population: None,
             seed,
         }
+    }
+
+    /// A population-scale cell: `subscribers` finite sources offering
+    /// `erlangs` at the diurnal peak, signalling-only, with registration
+    /// churn on. `per_user_rate` is sized so the *busy hour* offers
+    /// `erlangs`; a compressed campus day sweeps the whole profile inside
+    /// the placement window so the run crosses the peak.
+    #[must_use]
+    pub fn population_scale(subscribers: u64, erlangs: f64, seed: u64) -> Self {
+        let mut cfg = EmpiricalConfig::signalling_only(erlangs, seed);
+        let mut pop =
+            loadgen::PopulationConfig::for_offered_load(subscribers, erlangs, cfg.holding.mean());
+        pop.profile = loadgen::DiurnalProfile::campus_day_compressed(cfg.placement_window_s);
+        cfg.population = Some(pop);
+        cfg
     }
 }
 
@@ -627,6 +653,77 @@ mod tests {
         assert!(r.monitor.rtp_packets > 0, "media flowed");
         assert!(r.monitor.mos_mean > 4.0, "clean LAN scores high MOS");
         assert!(r.cpu_mean > 0.0 && r.cpu_mean < 1.0);
+    }
+
+    /// A small finite-source population cell: 200 subscribers offering
+    /// the smoke load, signalling-only, with the expiry wheel turning
+    /// fast enough to churn inside the 20 s window.
+    fn pop_smoke(seed: u64) -> EmpiricalConfig {
+        let mut cfg = EmpiricalConfig::smoke(seed);
+        cfg.media = MediaMode::Off;
+        let mut pop =
+            loadgen::PopulationConfig::for_offered_load(200, cfg.erlangs, cfg.holding.mean());
+        pop.reg_expiry_s = 30.0;
+        pop.churn_buckets = 8;
+        cfg.population = Some(pop);
+        cfg
+    }
+
+    #[test]
+    fn population_smoke_places_and_completes_calls() {
+        let r = EmpiricalRunner::run(pop_smoke(42));
+        assert!(r.attempted > 0, "population arrivals placed calls");
+        assert!(r.completed > 0, "population calls completed: {r:?}");
+        assert_eq!(
+            r.attempted,
+            r.completed + r.blocked + r.failed + r.abandoned,
+            "outcome conservation"
+        );
+        assert!(r.failed == 0, "no failures expected: {r:?}");
+    }
+
+    #[test]
+    fn population_reference_engine_is_digest_identical() {
+        // The per-user-timer reference consumes the same shared draws as
+        // the aggregated sampler (and asserts the superposition argument
+        // internally on every arrival), so flipping it on cannot move the
+        // physics digest — on either scheduler backend.
+        let agg = EmpiricalRunner::run(pop_smoke(7));
+        let mut ref_cfg = pop_smoke(7);
+        ref_cfg.population.as_mut().unwrap().reference = true;
+        let refe = EmpiricalRunner::run(ref_cfg.clone());
+        assert!(agg.attempted > 0);
+        assert_eq!(agg.digest(), refe.digest(), "reference vs aggregated");
+        let heap = EmpiricalRunner::run_with(
+            ref_cfg,
+            SimOptions {
+                scheduler: SchedulerKind::Heap,
+                ..SimOptions::default()
+            },
+        );
+        assert_eq!(agg.digest(), heap.digest(), "backend-independent");
+    }
+
+    #[test]
+    fn population_churn_registers_through_the_wheel() {
+        // Same cell, one with a wheel that turns during the run, one with
+        // an expiry far past the horizon: the churn must show up as extra
+        // SIP traffic (REGISTER → 401 challenge → REGISTER+digest → 200),
+        // and must not change how many calls the cell carries.
+        let churning = EmpiricalRunner::run(pop_smoke(9));
+        let mut quiet_cfg = pop_smoke(9);
+        quiet_cfg.population.as_mut().unwrap().reg_expiry_s = 1.0e6;
+        let quiet = EmpiricalRunner::run(quiet_cfg);
+        assert!(
+            churning.monitor.sip_total > quiet.monitor.sip_total,
+            "churn traffic visible: {} vs {}",
+            churning.monitor.sip_total,
+            quiet.monitor.sip_total
+        );
+        assert_eq!(
+            churning.completed, quiet.completed,
+            "churn is load, not physics"
+        );
     }
 
     #[test]

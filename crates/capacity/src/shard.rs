@@ -35,7 +35,7 @@ use des::{
     PhaseBreakdown, Scheduler, ShardCtx, ShardWorld, ShardedSim, SimDuration, SimTime, StreamRng,
 };
 use faults::{FaultKind, FaultSchedule};
-use loadgen::{ArrivalProcess, CallOutcome, HoldingDist};
+use loadgen::{ArrivalProcess, CallOutcome, HoldingDist, PopulationArrivals, PopulationConfig};
 use netsim::NodeId;
 use teletraffic::Erlangs;
 use vmon::MonitorReport;
@@ -83,6 +83,24 @@ struct Driver {
     rng_dispatch: StreamRng,
     placement_end: SimTime,
     dispatch: SimDuration,
+    population: Option<DriverPop>,
+}
+
+/// Population mode on the partitioned model: the driver owns the
+/// whole-population aggregated Engset engine and dispatches each claimed
+/// arrival to the shard whose contiguous block homes the caller
+/// ([`PopulationConfig::shard_of`]); the sampled holding time rides the
+/// order. Call-end bookkeeping is **open loop**: the driver estimates the
+/// end as `dispatch + pickup + hold` rather than observing the shard's
+/// terminal outcome (a cross-shard feedback edge would shrink the
+/// lookahead to zero). Blocked calls therefore idle slightly later here
+/// than in the classic runner — one more way the partitioned model is a
+/// *different* model, digest-compared only against its own executors.
+struct DriverPop {
+    engine: PopulationArrivals,
+    rng_holding: StreamRng,
+    cfg: PopulationConfig,
+    pickup: SimDuration,
 }
 
 /// One partition: a private single-server [`World`], plus the driver on
@@ -138,6 +156,71 @@ impl ShardWorld for CapacityShard {
                 ctx.send(dst, at + dispatch, Ev::PlaceOrder);
                 if rearm {
                     ctx.sched.schedule(next, Ev::ArrivalTick);
+                }
+            }
+            // Population mode: the driver's aggregated arrival clock. The
+            // stamp decides liveness — a claim that fails is a superseded
+            // draw, discarded like a cancelled timer.
+            Ev::PopArrival { tag } if self.driver.is_some() => {
+                let d = self.driver.as_mut().expect("checked");
+                if at > d.placement_end {
+                    return;
+                }
+                let Driver {
+                    population,
+                    rng_arrivals,
+                    dispatch,
+                    placement_end,
+                    ..
+                } = d;
+                let p = population
+                    .as_mut()
+                    .expect("population driver owns PopArrival");
+                let Some(rank) = p.engine.claim(tag) else {
+                    return;
+                };
+                let hold = self.world.config.holding.sample(&mut p.rng_holding);
+                let dst = p.cfg.shard_of(rank, ctx.shards());
+                ctx.send(
+                    dst,
+                    at + *dispatch,
+                    Ev::PlaceOrderFor {
+                        user: rank,
+                        hold_ns: hold.as_nanos(),
+                    },
+                );
+                // Open-loop end estimate (see `DriverPop`): the user
+                // rejoins the idle set when the call would end if answered.
+                ctx.sched.schedule(
+                    at + *dispatch + p.pickup + hold,
+                    Ev::PopCallEnded { user: rank },
+                );
+                if let Some(a) = p.engine.next_arrival(at, rng_arrivals) {
+                    if a.at <= *placement_end {
+                        ctx.sched.schedule(a.at, Ev::PopArrival { tag: a.tag });
+                    }
+                }
+            }
+            Ev::PopCallEnded { user } => {
+                let d = self.driver.as_mut().expect("driver owns PopCallEnded");
+                let Driver {
+                    population,
+                    rng_arrivals,
+                    placement_end,
+                    ..
+                } = d;
+                let p = population
+                    .as_mut()
+                    .expect("population driver owns PopCallEnded");
+                p.engine.call_ended(user);
+                // The idle-count change staled any outstanding draw;
+                // re-arm while calls can still be admitted.
+                if at <= *placement_end {
+                    if let Some(a) = p.engine.next_arrival(at, rng_arrivals) {
+                        if a.at <= *placement_end {
+                            ctx.sched.schedule(a.at, Ev::PopArrival { tag: a.tag });
+                        }
+                    }
                 }
             }
             // Flash crowds act on the arrival process, which the driver
@@ -236,6 +319,14 @@ fn shard_config(config: &EmpiricalConfig, shard: u32, shards: u32) -> EmpiricalC
     sub.erlangs = config.erlangs / f64::from(shards);
     sub.seed = des::stream_seed(config.seed, u64::from(shard));
     sub.faults = remap_faults(&config.faults, shard);
+    // Population mode: the shard owns its contiguous block of subscribers
+    // — its slice of the registrar bindings, the synthetic directory
+    // range and the churn wheel — while the driver owns the (whole-
+    // population) arrival engine.
+    sub.population = config
+        .population
+        .as_ref()
+        .map(|p| p.slice(shard as usize, shards as usize));
     sub
 }
 
@@ -303,11 +394,34 @@ pub fn run_partitioned(config: EmpiricalConfig, opts: SimOptions, mode: ExecMode
         placement_end: SimTime::from_secs(1)
             + SimDuration::from_secs_f64(config.placement_window_s),
         dispatch: lookahead,
+        population: config.population.as_ref().map(|pop| DriverPop {
+            // The decoy index sits past every shard seed (0..shards) and
+            // the driver's own (shards); it feeds only the reference
+            // engine's private loser-clock stream.
+            engine: PopulationArrivals::new(
+                pop,
+                des::stream_seed(config.seed, u64::from(shards) + 1),
+            ),
+            rng_holding: streams.stream("holding"),
+            cfg: pop.clone(),
+            pickup: config.pickup_delay,
+        }),
     };
-    let first = driver
-        .arrivals
-        .next_after(SimTime::from_secs(1), &mut driver.rng_arrivals);
-    cells[0].1.schedule(first, Ev::ArrivalTick);
+    if let Some(p) = &mut driver.population {
+        if let Some(a) = p
+            .engine
+            .next_arrival(SimTime::from_secs(1), &mut driver.rng_arrivals)
+        {
+            if a.at <= driver.placement_end {
+                cells[0].1.schedule(a.at, Ev::PopArrival { tag: a.tag });
+            }
+        }
+    } else {
+        let first = driver
+            .arrivals
+            .next_after(SimTime::from_secs(1), &mut driver.rng_arrivals);
+        cells[0].1.schedule(first, Ev::ArrivalTick);
+    }
     cells[0].0.driver = Some(driver);
 
     let mut sim = ShardedSim::new(lookahead, cells);
@@ -545,6 +659,56 @@ mod tests {
             "{:?}",
             s2.events()
         );
+    }
+
+    /// A finite-source population spread across a small farm: each shard
+    /// homes a contiguous block, the driver owns the aggregated engine.
+    fn pop_farm_smoke(servers: u32, seed: u64) -> EmpiricalConfig {
+        let mut cfg = farm_smoke(servers, seed);
+        cfg.media = crate::experiment::MediaMode::Off;
+        let mut pop = PopulationConfig::for_offered_load(240, cfg.erlangs, cfg.holding.mean());
+        pop.reg_expiry_s = 30.0;
+        pop.churn_buckets = 8;
+        cfg.population = Some(pop);
+        cfg
+    }
+
+    #[test]
+    fn partitioned_population_run_places_and_completes_calls() {
+        let r = run_partitioned(
+            pop_farm_smoke(3, 11),
+            SimOptions::default(),
+            ExecMode::Sequential,
+        );
+        assert!(r.attempted > 0, "population orders reached the shards");
+        assert!(r.completed > 0, "population calls completed: {r:?}");
+        assert_eq!(
+            r.attempted,
+            r.completed + r.blocked + r.failed + r.abandoned,
+            "outcome conservation"
+        );
+    }
+
+    #[test]
+    fn sequential_and_sharded_agree_on_population_farm() {
+        let base = run_partitioned(
+            pop_farm_smoke(4, 23),
+            SimOptions::default(),
+            ExecMode::Sequential,
+        );
+        assert!(base.attempted > 0);
+        for threads in [1u32, 2, 4] {
+            let r = run_partitioned(
+                pop_farm_smoke(4, 23),
+                SimOptions::default(),
+                ExecMode::Sharded { threads },
+            );
+            assert_eq!(
+                r.digest(),
+                base.digest(),
+                "population threads={threads} diverged from sequential"
+            );
+        }
     }
 
     #[test]

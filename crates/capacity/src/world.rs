@@ -7,9 +7,11 @@
 //! against the pooled single server (see `capacity::farm`).
 
 use crate::experiment::{EmpiricalConfig, MediaMode};
-use des::{EventHandler, Phase, PhaseTimer, Scheduler, SimDuration, SimTime, StreamRng};
+use des::{EventHandler, GenTag, Phase, PhaseTimer, Scheduler, SimDuration, SimTime, StreamRng};
 use faults::FaultKind;
-use loadgen::{ArrivalProcess, Pacer, Uac, UacEvent, Uas, UasEvent};
+use loadgen::{
+    ArrivalProcess, ChurnWheel, Pacer, PopulationArrivals, Uac, UacEvent, Uas, UasEvent,
+};
 use netsim::topology::{nodes, StarTopology};
 use netsim::{LinkParams, NodeId, SendOutcome};
 use overload::ControlLaw;
@@ -36,6 +38,23 @@ const SUB_SLOTS: usize = 64;
 
 /// Width of one phase sub-slot (312.5 µs).
 const SUB_NS: u64 = FRAME_NS / SUB_SLOTS as u64;
+
+/// First uid of the finite-source population: caller of global rank `u`
+/// is `POP_UID_BASE + u`, safely above the classic 1000/1500 pools.
+pub const POP_UID_BASE: u64 = 1_000_000;
+
+/// How long after a population call ends before its per-call monitor
+/// state is folded and freed — long enough for every tail packet of the
+/// call to land and be scored first.
+const RETIRE_DELAY: SimDuration = SimDuration::from_secs(1);
+
+/// Seed-derivation replica index for the reference engine's private
+/// decoy stream (any fixed label distinct from the shard indices works).
+const POP_DECOY_REP: u64 = 0xD0_1C;
+
+/// Users re-REGISTERed per churn slice event: bounds the wheel's live
+/// frame state to O(slice) no matter how large the population bucket.
+const CHURN_SLICE: u64 = 64;
 
 /// How per-session media cadence is driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -226,6 +245,53 @@ pub enum Ev {
     /// [`overload::ControlLaw::MosCac`], so every other configuration keeps
     /// a byte-identical event stream (and digest).
     QualityTick,
+    /// A finite-source population arrival surfaced. The stamp decides
+    /// liveness: state changes since the draw leave it stale, and a stale
+    /// arrival is a logically cancelled timer — discarded on claim. In
+    /// sharded runs this is the partition driver's arrival clock instead,
+    /// intercepted in `crate::shard` and never seen by `World`.
+    PopArrival {
+        /// Generation stamp from [`loadgen::PopulationArrivals`].
+        tag: GenTag,
+    },
+    /// (Sharded runs) a dispatched population call order: place one call
+    /// for this specific user with the hold the driver sampled.
+    PlaceOrderFor {
+        /// Global population rank of the caller.
+        user: u64,
+        /// Sampled holding time, nanoseconds.
+        hold_ns: u64,
+    },
+    /// (Sharded runs) the driver's open-loop estimate of a population
+    /// call's end: the user rejoins the idle set. Handled by the shard
+    /// wrapper, never by `World` itself.
+    PopCallEnded {
+        /// Global population rank of the caller.
+        user: u64,
+    },
+    /// One expiry-wheel tick: the bucket's contiguous rank range of the
+    /// population re-REGISTERs (digest handshake), paced within the tick.
+    ChurnTick {
+        /// Monotone tick counter from t = 0.
+        tick: u64,
+    },
+    /// One bounded chunk of a churn tick's due range: at most
+    /// [`CHURN_SLICE`] users re-REGISTER per slice event, so live frame
+    /// state stays O(slice) instead of O(population / buckets).
+    ChurnSlice {
+        /// The tick whose due range is being walked.
+        tick: u64,
+        /// First not-yet-registered rank of that range.
+        start: u64,
+        /// Per-user pacing gap, fixed at tick start.
+        spacing_ns: u64,
+    },
+    /// Fold and free a finished population call's monitor state — the
+    /// O(active calls) memory discipline for scoring at 10⁶ subscribers.
+    RetireCall {
+        /// UAC-side call id.
+        call_id: String,
+    },
 }
 
 enum AudioSource {
@@ -249,6 +315,23 @@ struct MediaSession {
     active: bool,
     /// Next grid-aligned emission time (coalesced path only).
     next_due: SimTime,
+}
+
+/// Live state of the finite-source population workload: the aggregated
+/// arrival engine, the churn wheel, and the call-id → rank map that turns
+/// a hangup back into an idle user. Everything here is O(active calls)
+/// (plus the engine's optional reference table at small N).
+struct PopState {
+    engine: PopulationArrivals,
+    churn: ChurnWheel,
+    /// In-flight population calls: UAC Call-ID → local engine rank.
+    call_user: HashMap<String, u64>,
+    /// Global rank of this world's local rank 0 (shard slicing).
+    first_user: u64,
+    /// Whether this world owns its arrival chain. Sequential worlds do;
+    /// shard worlds receive [`Ev::PlaceOrderFor`] from the driver and
+    /// must leave their local engine silent.
+    arrivals_armed: bool,
 }
 
 /// The complete experiment world.
@@ -308,6 +391,8 @@ pub struct World {
     /// Answered-call count per simulated second — the recovery signal
     /// time-to-recover analysis reads.
     answers_per_sec: Vec<u64>,
+    /// Finite-source population workload (None = classic open loop).
+    population: Option<PopState>,
 }
 
 impl World {
@@ -372,6 +457,30 @@ impl World {
         }
 
         let uas = Uas::new(nodes::SIPP_SERVER, config.pickup_delay);
+        let population = config.population.as_ref().map(|pop| {
+            // The population authenticates against the synthetic directory
+            // rule — O(1) memory — while the classic pools keep their
+            // materialized entries (entries win on overlap, and the ranges
+            // are disjoint anyway).
+            for pbx in &mut pbxes {
+                pbx.directory
+                    .set_synthetic_range(POP_UID_BASE + pop.first_user, pop.subscribers);
+            }
+            PopState {
+                engine: PopulationArrivals::new(
+                    pop,
+                    des::rng::stream_seed(config.seed, POP_DECOY_REP),
+                ),
+                churn: ChurnWheel::new(
+                    pop.subscribers,
+                    SimDuration::from_secs_f64(pop.reg_expiry_s),
+                    pop.churn_buckets,
+                ),
+                call_user: HashMap::new(),
+                first_user: pop.first_user,
+                arrivals_armed: false,
+            }
+        });
         let rate = config.erlangs / config.holding.mean();
         World {
             topo,
@@ -404,6 +513,7 @@ impl World {
             baseline_link: link,
             pbx_down: vec![false; servers as usize],
             answers_per_sec: Vec::new(),
+            population,
             config,
         }
     }
@@ -491,8 +601,35 @@ impl World {
                 Ev::SendFrame(frame),
             );
         }
-        // First arrival.
-        if with_arrivals {
+        // Population mode: install the subscriber bindings in bulk (the
+        // steady state is the expiry wheel's churn, not a prime storm),
+        // start the wheel, and seed the finite-source arrival chain. The
+        // classic pools above still prime — they provide the callee
+        // extensions population callers dial.
+        if let Some(pop_cfg) = self.config.population.clone() {
+            for pbx in &mut self.pbxes {
+                pbx.registrar.bulk_install(
+                    SimTime::ZERO,
+                    POP_UID_BASE + pop_cfg.first_user,
+                    pop_cfg.subscribers,
+                    nodes::SIPP_CLIENT,
+                );
+            }
+            let pop = self
+                .population
+                .as_mut()
+                .expect("built from the same config");
+            // Tick 0 would re-REGISTER rank 0 at t = 0, racing the bulk
+            // install it refreshes; start the wheel at tick 1.
+            sched.schedule(
+                SimTime::ZERO + pop.churn.tick_period(),
+                Ev::ChurnTick { tick: 1 },
+            );
+            if with_arrivals {
+                pop.arrivals_armed = true;
+                self.pop_draw_next(self.placement_start, sched);
+            }
+        } else if with_arrivals {
             let first = self
                 .arrivals
                 .next_after(self.placement_start, &mut self.rng_arrivals);
@@ -747,9 +884,12 @@ impl World {
                 }
                 UacEvent::Ended { call_id, .. } => {
                     self.stop_media(&MediaKey {
-                        call: call_id,
+                        call: call_id.clone(),
                         caller_side: true,
                     });
+                    // Population mode: the caller idles again and the
+                    // call's monitor state is queued for retirement.
+                    self.pop_call_over(now, sched, call_id);
                 }
                 UacEvent::RetryAfter { call_id, delay } => {
                     // Honour the backoff plus up to 10% jitter so a shed
@@ -1452,6 +1592,164 @@ impl World {
         self.calls_placed += 1;
         self.process_uac_events(now, sched, k, events);
     }
+
+    // -- finite-source population workload ----------------------------------
+
+    /// Draw the next finite-source arrival and arm it. No-op when this
+    /// world does not own its arrival chain (shard worlds), when the
+    /// placement window is over, or when every subscriber is mid-call
+    /// (the next hangup re-draws).
+    fn pop_draw_next(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if now > self.placement_end {
+            return;
+        }
+        let Some(pop) = self.population.as_mut() else {
+            return;
+        };
+        if !pop.arrivals_armed {
+            return;
+        }
+        if let Some(a) = pop.engine.next_arrival(now, &mut self.rng_arrivals) {
+            if a.at <= self.placement_end {
+                sched.schedule(a.at, Ev::PopArrival { tag: a.tag });
+            }
+        }
+    }
+
+    /// A population arrival surfaced: claim it (stale stamps are
+    /// logically cancelled timers — discard), place the call, re-draw.
+    fn pop_arrival(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, tag: GenTag) {
+        if now > self.placement_end {
+            return;
+        }
+        let Some(pop) = self.population.as_mut() else {
+            return;
+        };
+        let Some(rank) = pop.engine.claim(tag) else {
+            return;
+        };
+        let global = pop.first_user + rank;
+        self.pop_place(now, sched, global, None);
+        self.pop_draw_next(now, sched);
+    }
+
+    /// Place one population call for the user of global rank `global`.
+    /// `hold` is `Some` when the sharded driver already sampled it (it
+    /// rides the placement order), `None` to sample locally.
+    fn pop_place(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        global: u64,
+        hold: Option<SimDuration>,
+    ) {
+        let caller = format!("{}", POP_UID_BASE + global);
+        let callee = format!("{}", 1500 + global % u64::from(self.config.user_pool));
+        let hold = hold.unwrap_or_else(|| self.config.holding.sample(&mut self.rng_holding));
+        let k = if self.uacs.len() == 1 {
+            0
+        } else {
+            use des::rng::Distributions;
+            self.rng_dispatch.below(self.uacs.len() as u64) as usize
+        };
+        let (call_id, events) = self.uacs[k].start_call(now, &caller, &callee, hold);
+        // A pacer that defers the INVITE returns no Call-ID, which would
+        // orphan the busy bookkeeping — population mode does not support
+        // pacer-arming overload laws.
+        debug_assert!(
+            !call_id.is_empty(),
+            "population mode is incompatible with caller-side pacing"
+        );
+        if let Some(pop) = self.population.as_mut() {
+            if !call_id.is_empty() {
+                pop.call_user.insert(call_id, global - pop.first_user);
+            }
+        }
+        self.calls_placed += 1;
+        self.process_uac_events(now, sched, k, events);
+    }
+
+    /// A population call reached a terminal outcome: the caller rejoins
+    /// the idle set (which stales any outstanding arrival draw — re-draw),
+    /// and the call's monitor state is retired after the media tail.
+    fn pop_call_over(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, call_id: String) {
+        let Some(pop) = self.population.as_mut() else {
+            return;
+        };
+        let Some(rank) = pop.call_user.remove(&call_id) else {
+            return;
+        };
+        pop.engine.call_ended(rank);
+        sched.schedule(now + RETIRE_DELAY, Ev::RetireCall { call_id });
+        self.pop_draw_next(now, sched);
+    }
+
+    /// One expiry-wheel tick: the due bucket's contiguous rank range
+    /// re-REGISTERs through the digest handshake, paced across the first
+    /// half of the tick so it cannot melt the access link. The range is
+    /// walked in [`CHURN_SLICE`]-sized chunks so a million-user wheel
+    /// never holds more than a slice of REGISTER frames live at once.
+    fn pop_churn(&mut self, now: SimTime, sched: &mut Scheduler<Ev>, tick: u64) {
+        let Some(pop) = self.population.as_ref() else {
+            return;
+        };
+        let period = pop.churn.tick_period();
+        // Churn is the steady state for the whole placement window; after
+        // that the wheel stops so the run can drain and terminate.
+        let next = now + period;
+        if next <= self.placement_end {
+            sched.schedule(next, Ev::ChurnTick { tick: tick + 1 });
+        }
+        let due = pop.churn.due_range(tick);
+        if due.start == due.end {
+            return;
+        }
+        let spacing_ns = (period.as_nanos() / 2 / (due.end - due.start)).clamp(1, 1_000_000);
+        self.pop_churn_slice(now, sched, tick, due.start, spacing_ns);
+    }
+
+    /// Re-REGISTER up to [`CHURN_SLICE`] users of `tick`'s due range
+    /// starting at `start`, each at its pacing offset, then hand off to
+    /// the next slice event timed at the following user's send instant.
+    fn pop_churn_slice(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        tick: u64,
+        start: u64,
+        spacing_ns: u64,
+    ) {
+        let Some(pop) = self.population.as_ref() else {
+            return;
+        };
+        let due = pop.churn.due_range(tick);
+        let first_user = pop.first_user;
+        let servers = self.uacs.len() as u64;
+        let end = (start + CHURN_SLICE).min(due.end);
+        for rank in start..end {
+            let uid = format!("{}", POP_UID_BASE + first_user + rank);
+            // Round-robin the auth load across the farm's client engines.
+            let k = (rank % servers) as usize;
+            let at = now + SimDuration::from_nanos(spacing_ns * (rank - start));
+            let events = self.uacs[k].register_digest(&uid);
+            for ev in events {
+                if let UacEvent::SendSip { to, msg } = ev {
+                    let frame = self.sip_frame(nodes::SIPP_CLIENT, to, msg);
+                    sched.schedule(at, Ev::SendFrame(frame));
+                }
+            }
+        }
+        if end < due.end {
+            sched.schedule(
+                now + SimDuration::from_nanos(spacing_ns * (end - start)),
+                Ev::ChurnSlice {
+                    tick,
+                    start: end,
+                    spacing_ns,
+                },
+            );
+        }
+    }
 }
 
 impl EventHandler<Ev> for World {
@@ -1514,6 +1812,30 @@ impl EventHandler<Ev> for World {
             Ev::PacerWake { uac } => timer.measure(Phase::Signalling, || {
                 let events = self.uacs[uac].pacer_wake(at);
                 self.process_uac_events(at, sched, uac, events);
+            }),
+            Ev::PopArrival { tag } => {
+                timer.measure(Phase::Signalling, || self.pop_arrival(at, sched, tag));
+            }
+            Ev::PlaceOrderFor { user, hold_ns } => timer.measure(Phase::Signalling, || {
+                self.pop_place(at, sched, user, Some(SimDuration::from_nanos(hold_ns)));
+            }),
+            Ev::PopCallEnded { .. } => {
+                unreachable!("PopCallEnded is intercepted by the shard driver")
+            }
+            Ev::ChurnTick { tick } => {
+                timer.measure(Phase::Signalling, || self.pop_churn(at, sched, tick));
+            }
+            Ev::ChurnSlice {
+                tick,
+                start,
+                spacing_ns,
+            } => {
+                timer.measure(Phase::Signalling, || {
+                    self.pop_churn_slice(at, sched, tick, start, spacing_ns);
+                });
+            }
+            Ev::RetireCall { call_id } => timer.measure(Phase::Scoring, || {
+                self.monitor.retire_call(&call_id);
             }),
             Ev::QualityTick => timer.measure(Phase::Scoring, || {
                 let (loss, jitter_ms, delay_ms) = self.monitor.link_quality();

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod engine;
 pub mod fastmap;
 pub mod phase_timer;
@@ -46,6 +47,7 @@ pub mod stats;
 pub mod time;
 pub mod timeseries;
 
+pub use cancel::{GenTag, Generation};
 pub use engine::{EventHandler, Scheduler, SchedulerKind, Simulation, StepOutcome};
 pub use fastmap::FastMap;
 pub use phase_timer::{Phase, PhaseBreakdown, PhaseTimer};

@@ -1,0 +1,740 @@
+//! Finite-source population workload engine — a million subscribers
+//! without a million timers.
+//!
+//! The paper dimensions an 8 000-user campus; scaling that planning
+//! story to 10⁶⁺ subscribers breaks any generator that prices its state
+//! per *user* (one exponential timer, one map entry, one string each).
+//! This module prices the workload per *active call* instead, in three
+//! pieces:
+//!
+//! 1. **Aggregated Engset arrivals.** With `I` idle users each calling
+//!    at rate `λ`, the superposition of their `I` independent
+//!    exponential clocks is a single exponential clock of rate `I·λ`,
+//!    and the identity of the next caller is uniform over the idle set.
+//!    So instead of `I` timers the engine keeps the idle *count* and
+//!    schedules ONE next-arrival event drawn as `Exp(I·λ)` — O(1) per
+//!    arrival and exact in distribution. Every call start/end changes
+//!    `I`, which invalidates the pending draw via a
+//!    [`des::Generation`] counter; because the exponential is
+//!    memoryless, re-sampling from "now" after an invalidation is also
+//!    exact, not an approximation.
+//!
+//! 2. **Diurnal shaping.** A piecewise-constant [`DiurnalProfile`]
+//!    multiplies `λ` through the day. Non-homogeneous arrivals are
+//!    drawn by Lewis–Shedler thinning: candidates at the profile's peak
+//!    rate, each accepted with probability `φ(t)/φ_max`. Thinning only
+//!    reads the candidate time and one uniform per candidate, so the
+//!    draw sequence — and therefore every digest — is identical across
+//!    scheduler backends and shard thread counts.
+//!
+//! 3. **A per-user reference engine** ([`PopulationConfig::reference`])
+//!    that *does* materialize every idle user's clock, for the repo's
+//!    reference-vs-fast-path discipline. It consumes the same shared
+//!    draws as the aggregated engine — gap and winner — and then
+//!    realizes the remaining users' clocks from the conditional law
+//!    given that minimum (losers at `t + Exp`, drawn from a private
+//!    decoy stream), re-derives the arrival as the argmin over all
+//!    idle clocks, and asserts it equals the aggregated draw. The
+//!    shared-stream consumption is identical in both modes, so the two
+//!    engines are bit-identical by construction *and* the assertion
+//!    machine-checks the superposition argument on every arrival — at
+//!    O(population) memory and work per event, which is exactly the
+//!    cost the aggregated engine exists to avoid. Keep it to small
+//!    populations.
+//!
+//! Registration churn rides the same O(active) philosophy: the
+//! [`ChurnWheel`] maps wheel ticks to *contiguous rank ranges* of the
+//! population (user of rank `r` re-REGISTERs at phase `r·expiry/count`),
+//! so "who is due now" is two integer divisions, not a heap of 10⁶
+//! timers.
+
+use des::rng::Distributions;
+use des::{GenTag, Generation, SimDuration, SimTime, StreamRng};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant daily (or any-period) arrival-rate profile.
+///
+/// Segment `k` of `n` covers `[k·P/n, (k+1)·P/n)` of each period `P` and
+/// scales the per-user call rate by `multipliers[k]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    multipliers: Vec<f64>,
+    period_s: f64,
+}
+
+impl DiurnalProfile {
+    /// A profile over `period_s` seconds with the given per-segment
+    /// multipliers.
+    ///
+    /// # Panics
+    /// If the period is not positive, no segment is given, any
+    /// multiplier is negative/non-finite, or all multipliers are zero
+    /// (thinning would never accept).
+    #[must_use]
+    pub fn new(period_s: f64, multipliers: Vec<f64>) -> Self {
+        assert!(period_s > 0.0 && period_s.is_finite(), "positive period");
+        assert!(!multipliers.is_empty(), "at least one segment");
+        assert!(
+            multipliers.iter().all(|m| m.is_finite() && *m >= 0.0),
+            "multipliers must be finite and non-negative"
+        );
+        assert!(
+            multipliers.iter().any(|m| *m > 0.0),
+            "at least one segment must have positive rate"
+        );
+        DiurnalProfile {
+            multipliers,
+            period_s,
+        }
+    }
+
+    /// The flat profile: multiplier 1.0 at all times (pure Engset).
+    #[must_use]
+    pub fn flat() -> Self {
+        DiurnalProfile::new(86_400.0, vec![1.0])
+    }
+
+    /// A stylized campus day in 24 hourly segments: quiet overnight, a
+    /// morning busy hour peaking at 10:00 with the classic secondary
+    /// afternoon hump — the double-peak shape of institutional telephone
+    /// traffic. Peak multiplier is 1.0 so `per_user_rate` reads directly
+    /// as the busy-hour rate.
+    #[must_use]
+    pub fn campus_day() -> Self {
+        DiurnalProfile::new(
+            86_400.0,
+            vec![
+                0.02, 0.01, 0.01, 0.01, 0.02, 0.05, // 00-06
+                0.15, 0.40, 0.75, 0.95, 1.00, 0.90, // 06-12
+                0.70, 0.80, 0.90, 0.85, 0.70, 0.50, // 12-18
+                0.35, 0.25, 0.18, 0.12, 0.08, 0.04, // 18-24
+            ],
+        )
+    }
+
+    /// Like [`DiurnalProfile::campus_day`] but compressed into
+    /// `period_s` seconds — a whole synthetic "day" inside a short
+    /// simulation window, so smoke runs and benches still exercise the
+    /// thinning sampler across rate changes.
+    #[must_use]
+    pub fn campus_day_compressed(period_s: f64) -> Self {
+        DiurnalProfile::new(period_s, DiurnalProfile::campus_day().multipliers)
+    }
+
+    /// The rate multiplier in force at simulation time `t`.
+    #[must_use]
+    pub fn multiplier_at(&self, t: SimTime) -> f64 {
+        let phase = (t.as_secs_f64() / self.period_s).fract();
+        // `fract` of a non-negative finite value is in [0, 1); the index
+        // is clamped anyway against the = 1.0 rounding corner.
+        let idx =
+            ((phase * self.multipliers.len() as f64) as usize).min(self.multipliers.len() - 1);
+        self.multipliers[idx]
+    }
+
+    /// The largest multiplier — the thinning envelope `φ_max`.
+    #[must_use]
+    pub fn max_multiplier(&self) -> f64 {
+        self.multipliers.iter().fold(0.0_f64, |a, &b| a.max(b))
+    }
+
+    /// The profile period in seconds.
+    #[must_use]
+    pub fn period_s(&self) -> f64 {
+        self.period_s
+    }
+}
+
+/// Configuration of a finite-source population workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Total subscriber population `N`.
+    pub subscribers: u64,
+    /// Per-idle-user call rate `λ` (calls/second) at profile
+    /// multiplier 1.0.
+    pub per_user_rate: f64,
+    /// Diurnal rate shaping.
+    pub profile: DiurnalProfile,
+    /// Run the O(population) per-user-timer reference engine instead of
+    /// the aggregated sampler. Bit-identical digests by construction;
+    /// only sane at small `N`.
+    pub reference: bool,
+    /// Registration expiry — every subscriber re-REGISTERs once per this
+    /// interval, phase-staggered across the population.
+    pub reg_expiry_s: f64,
+    /// Expiry-wheel buckets per expiry period: one churn event per
+    /// bucket re-registers the bucket's contiguous rank range.
+    pub churn_buckets: u32,
+    /// First global user ordinal this engine drives: the engine's local
+    /// ranks `0..subscribers` name global users `first_user ..
+    /// first_user+subscribers`. Zero for a whole-population engine;
+    /// partitioned runners hand each shard a contiguous slice.
+    pub first_user: u64,
+}
+
+impl PopulationConfig {
+    /// A flat-profile population of `subscribers` users calling at
+    /// `per_user_rate` calls/s each while idle.
+    #[must_use]
+    pub fn new(subscribers: u64, per_user_rate: f64) -> Self {
+        PopulationConfig {
+            subscribers,
+            per_user_rate,
+            profile: DiurnalProfile::flat(),
+            reference: false,
+            reg_expiry_s: 3600.0,
+            churn_buckets: 256,
+            first_user: 0,
+        }
+    }
+
+    /// The contiguous slice of this population owned by shard `k` of
+    /// `shards`: block `k` covers global ranks `[k·N/s, (k+1)·N/s)`.
+    /// Together with [`PopulationConfig::shard_of`] this is the homing
+    /// rule partitioned runners use to split registration churn and
+    /// call placement without per-user routing tables.
+    #[must_use]
+    pub fn slice(&self, k: usize, shards: usize) -> Self {
+        let (k, shards) = (k as u64, shards.max(1) as u64);
+        // Ceiling division, so block k is exactly the preimage of
+        // `shard_of`'s ⌊r·s/N⌋ — they stay inverse even when N < s.
+        let lo = (k * self.subscribers).div_ceil(shards);
+        let hi = ((k + 1) * self.subscribers).div_ceil(shards);
+        let mut sub = self.clone();
+        sub.first_user = self.first_user + lo;
+        sub.subscribers = hi - lo;
+        sub
+    }
+
+    /// Which of `shards` contiguous blocks owns local rank `r` — the
+    /// inverse of [`PopulationConfig::slice`].
+    #[must_use]
+    pub fn shard_of(&self, rank: u64, shards: usize) -> usize {
+        debug_assert!(rank < self.subscribers);
+        ((rank as u128 * shards.max(1) as u128) / u128::from(self.subscribers)) as usize
+    }
+
+    /// A population sized to offer `erlangs` of busy-hour traffic given
+    /// a mean holding time: `λ = A / (N·h)` (the infinite-source
+    /// approximation of the Engset intensity, which is what "offered
+    /// load" means in the paper's Table I cells).
+    #[must_use]
+    pub fn for_offered_load(subscribers: u64, erlangs: f64, holding_mean_s: f64) -> Self {
+        let rate = erlangs / (subscribers as f64 * holding_mean_s);
+        PopulationConfig::new(subscribers, rate)
+    }
+}
+
+/// One drawn arrival: when, who, and the generation stamp that decides
+/// whether the scheduled event is still live when it surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival instant.
+    pub at: SimTime,
+    /// The calling user (ordinal in `0..subscribers`).
+    pub user: u64,
+    /// Stamp for [`PopulationArrivals::claim`] / staleness checks.
+    pub tag: GenTag,
+}
+
+/// The finite-source arrival engine (aggregated fast path, optional
+/// per-user reference).
+///
+/// Protocol: the owner schedules the [`Arrival`] returned by
+/// [`PopulationArrivals::next_arrival`] as an event carrying its `tag`.
+/// When the event surfaces, [`PopulationArrivals::claim`] either
+/// confirms it (marking the user busy and returning who calls) or
+/// reports it stale — a logically cancelled timer to discard. Any state
+/// change ([`PopulationArrivals::call_ended`], or claiming itself)
+/// invalidates outstanding tags, after which the owner draws and
+/// schedules a fresh arrival.
+#[derive(Debug)]
+pub struct PopulationArrivals {
+    n: u64,
+    rate: f64,
+    profile: DiurnalProfile,
+    /// Busy users, sorted ascending — the O(active calls) state the
+    /// whole engine runs on.
+    busy: Vec<u64>,
+    generation: Generation,
+    pending: Option<(SimTime, u64)>,
+    reference: Option<ReferenceEngine>,
+}
+
+/// The per-user-timer reference: every idle user's next-call clock,
+/// materialized. See the module docs for the conditional-coupling
+/// construction that keeps it bit-identical to the aggregated engine.
+#[derive(Debug)]
+struct ReferenceEngine {
+    /// Private stream for the loser clocks — never touches the shared
+    /// stream, so consuming it cannot skew the coupled draws.
+    decoy: StreamRng,
+    /// Clock table, `clocks[user]` = that user's next-call instant
+    /// (stale for busy users). O(population) — the point of the
+    /// reference.
+    clocks: Vec<f64>,
+}
+
+impl PopulationArrivals {
+    /// An engine over `cfg` with every user idle. `decoy_seed` feeds the
+    /// reference engine's private stream (ignored in aggregated mode —
+    /// pass anything).
+    #[must_use]
+    pub fn new(cfg: &PopulationConfig, decoy_seed: u64) -> Self {
+        assert!(cfg.subscribers > 0, "population must be non-empty");
+        assert!(
+            cfg.per_user_rate.is_finite() && cfg.per_user_rate > 0.0,
+            "per-user rate must be positive"
+        );
+        let reference = cfg.reference.then(|| ReferenceEngine {
+            decoy: StreamRng::seed_from_u64(decoy_seed),
+            clocks: vec![0.0; usize::try_from(cfg.subscribers).expect("usize population")],
+        });
+        PopulationArrivals {
+            n: cfg.subscribers,
+            rate: cfg.per_user_rate,
+            profile: cfg.profile.clone(),
+            busy: Vec::new(),
+            generation: Generation::new(),
+            pending: None,
+            reference,
+        }
+    }
+
+    /// Total population.
+    #[must_use]
+    pub fn subscribers(&self) -> u64 {
+        self.n
+    }
+
+    /// Users currently idle (candidates to call).
+    #[must_use]
+    pub fn idle(&self) -> u64 {
+        self.n - self.busy.len() as u64
+    }
+
+    /// Users currently in a call.
+    #[must_use]
+    pub fn active(&self) -> u64 {
+        self.busy.len() as u64
+    }
+
+    /// Is this stamp still the live schedule?
+    #[must_use]
+    pub fn is_live(&self, tag: GenTag) -> bool {
+        self.generation.is_current(tag)
+    }
+
+    /// Draw the next arrival after `now` and arm it. Supersedes any
+    /// outstanding arrival (their tags go stale). Returns `None` when
+    /// every user is busy — the next [`PopulationArrivals::call_ended`]
+    /// is the moment to draw again.
+    pub fn next_arrival(&mut self, now: SimTime, rng: &mut StreamRng) -> Option<Arrival> {
+        let idle = self.idle();
+        if idle == 0 {
+            self.pending = None;
+            // Outstanding events (if any) must not fire against the new
+            // empty idle set.
+            self.generation.invalidate();
+            return None;
+        }
+        // Lewis–Shedler thinning at the envelope rate `idle·λ·φ_max`:
+        // candidate gaps are exponential at the peak rate; each candidate
+        // is kept with probability φ(t)/φ_max. Exact for the
+        // piecewise-constant profile, and consumes only (gap, uniform)
+        // pairs from the shared stream — identical in both engine modes.
+        let phi_max = self.profile.max_multiplier();
+        let envelope = idle as f64 * self.rate * phi_max;
+        let mut at = now;
+        loop {
+            at += SimDuration::from_secs_f64(rng.exp_mean(1.0 / envelope));
+            if rng.unit_f64() * phi_max <= self.profile.multiplier_at(at) {
+                break;
+            }
+        }
+        // The caller's identity: uniform over the idle set, addressed as
+        // "the k-th smallest idle ordinal" so both engines (and every
+        // backend) agree on who it is without materializing the set.
+        let k = rng.below(idle);
+        let user = self.kth_idle(k);
+        let tag = self.generation.invalidate();
+        self.pending = Some((at, user));
+        if let Some(reference) = &mut self.reference {
+            reference.realize_and_check(&self.busy, self.n, self.rate, &self.profile, at, user);
+        }
+        Some(Arrival { at, user, tag })
+    }
+
+    /// Confirm a surfacing arrival event: if `tag` is live, mark its
+    /// user busy and return who calls; a stale tag returns `None` (the
+    /// event was logically cancelled — discard it without effect).
+    pub fn claim(&mut self, tag: GenTag) -> Option<u64> {
+        if !self.generation.is_current(tag) {
+            return None;
+        }
+        let (_, user) = self
+            .pending
+            .take()
+            .expect("live tag implies a pending arrival");
+        self.mark_busy(user);
+        self.generation.invalidate();
+        Some(user)
+    }
+
+    /// A call ended (completed, abandoned, or blocked-and-gave-up): the
+    /// user rejoins the idle set and outstanding arrival draws go stale
+    /// — re-draw via [`PopulationArrivals::next_arrival`]. Memorylessness
+    /// makes the re-draw exact. No-op if the user was not busy.
+    pub fn call_ended(&mut self, user: u64) {
+        if let Ok(pos) = self.busy.binary_search(&user) {
+            self.busy.remove(pos);
+            self.pending = None;
+            self.generation.invalidate();
+        }
+    }
+
+    fn mark_busy(&mut self, user: u64) {
+        if let Err(pos) = self.busy.binary_search(&user) {
+            self.busy.insert(pos, user);
+        }
+    }
+
+    /// The `k`-th smallest idle ordinal (0-based), in O(active calls):
+    /// walk the sorted busy list, shifting the candidate up past every
+    /// busy ordinal at or below it.
+    fn kth_idle(&self, k: u64) -> u64 {
+        debug_assert!(k < self.idle());
+        let mut user = k;
+        for &b in &self.busy {
+            if b <= user {
+                user += 1;
+            } else {
+                break;
+            }
+        }
+        user
+    }
+}
+
+impl ReferenceEngine {
+    /// Realize a full per-user clock table consistent with the coupled
+    /// draw `(at, winner)` — the winner's clock at the drawn instant,
+    /// every idle loser's clock beyond it per the conditional law given
+    /// the minimum — then re-derive the arrival from the table's minimum
+    /// and check it. This is the O(population) work and memory the
+    /// aggregated engine replaces; the assertion is the superposition
+    /// theorem, machine-checked per arrival.
+    fn realize_and_check(
+        &mut self,
+        busy: &[u64],
+        n: u64,
+        rate: f64,
+        profile: &DiurnalProfile,
+        at: SimTime,
+        winner: u64,
+    ) {
+        let at_s = at.as_secs_f64();
+        // Conditional residual rate for losers at the arrival instant.
+        let loser_rate = rate * profile.multiplier_at(at).max(f64::MIN_POSITIVE);
+        let mut bi = 0usize;
+        for user in 0..n {
+            // Skip busy users (their clocks are meaningless until they
+            // hang up); `busy` is sorted so this merge walk is O(n).
+            if bi < busy.len() && busy[bi] == user {
+                self.clocks[user as usize] = f64::INFINITY;
+                bi += 1;
+                continue;
+            }
+            self.clocks[user as usize] = if user == winner {
+                at_s
+            } else {
+                at_s + self.decoy.exp_mean(1.0 / loser_rate)
+            };
+        }
+        // Re-derive the arrival from per-user state: the minimum clock.
+        let mut min_clock = f64::INFINITY;
+        for &c in &self.clocks {
+            min_clock = min_clock.min(c);
+        }
+        assert_eq!(
+            min_clock.to_bits(),
+            at_s.to_bits(),
+            "reference per-user heap minimum diverged from the aggregated draw"
+        );
+        assert_eq!(
+            self.clocks[winner as usize].to_bits(),
+            at_s.to_bits(),
+            "winner's clock must be the minimum"
+        );
+    }
+}
+
+/// Deterministic-phase registration expiry wheel.
+///
+/// Subscriber of rank `r` (within the homed set of `count` users)
+/// re-REGISTERs at phases `r·expiry/count (mod expiry)` — a uniform
+/// stagger, which is both what deployed fleets converge to and the
+/// reason the wheel needs no per-user state: tick `t` of the wheel owes
+/// exactly the contiguous rank range [`ChurnWheel::due_range`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnWheel {
+    count: u64,
+    buckets: u32,
+    tick_ns: u64,
+}
+
+impl ChurnWheel {
+    /// A wheel over `count` homed subscribers with `buckets` ticks per
+    /// `expiry` period. Zero-subscriber wheels are legal (never due).
+    #[must_use]
+    pub fn new(count: u64, expiry: SimDuration, buckets: u32) -> Self {
+        let buckets = buckets.max(1);
+        ChurnWheel {
+            count,
+            buckets,
+            tick_ns: (expiry.as_nanos() / u64::from(buckets)).max(1),
+        }
+    }
+
+    /// The wheel's tick period.
+    #[must_use]
+    pub fn tick_period(&self) -> SimDuration {
+        SimDuration::from_nanos(self.tick_ns)
+    }
+
+    /// Ranks due for re-REGISTER at tick `tick` (ticks count from 0 at
+    /// t = 0; the range is empty only when the bucket owns no ranks).
+    #[must_use]
+    pub fn due_range(&self, tick: u64) -> std::ops::Range<u64> {
+        let b = tick % u64::from(self.buckets);
+        let lo = b * self.count / u64::from(self.buckets);
+        let hi = (b + 1) * self.count / u64::from(self.buckets);
+        lo..hi
+    }
+
+    /// Expected re-REGISTERs per second across the whole homed set.
+    #[must_use]
+    pub fn steady_rate(&self) -> f64 {
+        self.count as f64 / (self.tick_ns as f64 * f64::from(self.buckets) / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> StreamRng {
+        StreamRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn profile_segments_and_envelope() {
+        let p = DiurnalProfile::new(100.0, vec![0.5, 1.0, 2.0, 1.0]);
+        assert_eq!(p.multiplier_at(SimTime::from_secs(10)), 0.5);
+        assert_eq!(p.multiplier_at(SimTime::from_secs(30)), 1.0);
+        assert_eq!(p.multiplier_at(SimTime::from_secs(60)), 2.0);
+        assert_eq!(p.multiplier_at(SimTime::from_secs(99)), 1.0);
+        // Periodicity.
+        assert_eq!(p.multiplier_at(SimTime::from_secs(110)), 0.5);
+        assert_eq!(p.max_multiplier(), 2.0);
+        assert_eq!(DiurnalProfile::campus_day().multipliers.len(), 24);
+        assert_eq!(DiurnalProfile::campus_day().max_multiplier(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn all_zero_profile_rejected() {
+        let _ = DiurnalProfile::new(10.0, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn kth_idle_skips_busy_ordinals() {
+        let cfg = PopulationConfig::new(10, 0.01);
+        let mut eng = PopulationArrivals::new(&cfg, 1);
+        eng.mark_busy(0);
+        eng.mark_busy(3);
+        eng.mark_busy(4);
+        // Idle set: 1,2,5,6,7,8,9.
+        assert_eq!(eng.kth_idle(0), 1);
+        assert_eq!(eng.kth_idle(1), 2);
+        assert_eq!(eng.kth_idle(2), 5);
+        assert_eq!(eng.kth_idle(6), 9);
+        assert_eq!(eng.idle(), 7);
+        assert_eq!(eng.active(), 3);
+    }
+
+    #[test]
+    fn claim_and_staleness_protocol() {
+        let cfg = PopulationConfig::new(5, 0.1);
+        let mut eng = PopulationArrivals::new(&cfg, 1);
+        let mut r = rng(42);
+        let a1 = eng.next_arrival(SimTime::ZERO, &mut r).unwrap();
+        // Re-drawing supersedes: the first tag goes stale.
+        let a2 = eng.next_arrival(SimTime::ZERO, &mut r).unwrap();
+        assert!(!eng.is_live(a1.tag));
+        assert!(eng.is_live(a2.tag));
+        assert_eq!(eng.claim(a1.tag), None, "stale tag claims nothing");
+        let user = eng.claim(a2.tag).expect("live tag claims the caller");
+        assert_eq!(user, a2.user);
+        assert_eq!(eng.active(), 1);
+        assert!(!eng.is_live(a2.tag), "claiming invalidates the stamp");
+        // Hanging up returns the user and invalidates again.
+        let a3 = eng.next_arrival(SimTime::from_secs(1), &mut r).unwrap();
+        eng.call_ended(user);
+        assert!(!eng.is_live(a3.tag));
+        assert_eq!(eng.active(), 0);
+        // Ending an idle user is a no-op that does NOT invalidate.
+        let a4 = eng.next_arrival(SimTime::from_secs(2), &mut r).unwrap();
+        eng.call_ended(user);
+        assert!(eng.is_live(a4.tag));
+    }
+
+    #[test]
+    fn exhausted_population_pauses_arrivals() {
+        let cfg = PopulationConfig::new(2, 1.0);
+        let mut eng = PopulationArrivals::new(&cfg, 1);
+        let mut r = rng(7);
+        for _ in 0..2 {
+            let a = eng.next_arrival(SimTime::ZERO, &mut r).unwrap();
+            eng.claim(a.tag).unwrap();
+        }
+        assert_eq!(eng.idle(), 0);
+        assert!(eng.next_arrival(SimTime::ZERO, &mut r).is_none());
+        eng.call_ended(0);
+        assert!(eng.next_arrival(SimTime::ZERO, &mut r).is_some());
+    }
+
+    /// The tentpole invariant: the reference engine consumes the same
+    /// shared draws, so the (time, user) event sequence is bit-identical
+    /// to the aggregated engine's — while its internal per-user clock
+    /// table asserts the superposition argument on every arrival.
+    #[test]
+    fn aggregated_and_reference_draw_identical_sequences() {
+        for seed in [1u64, 2, 3, 99] {
+            let mut cfg = PopulationConfig::new(32, 0.05);
+            cfg.profile = DiurnalProfile::new(40.0, vec![0.3, 1.0, 0.6, 0.1]);
+            let mut agg = PopulationArrivals::new(&cfg, 1234);
+            cfg.reference = true;
+            let mut refe = PopulationArrivals::new(&cfg, 1234);
+            let mut ra = rng(seed);
+            let mut rr = rng(seed);
+            let mut now = SimTime::ZERO;
+            let mut busy: Vec<u64> = Vec::new();
+            for step in 0..200 {
+                let a = agg.next_arrival(now, &mut ra);
+                let b = refe.next_arrival(now, &mut rr);
+                assert_eq!(
+                    a.map(|x| (x.at, x.user)),
+                    b.map(|x| (x.at, x.user)),
+                    "step {step}"
+                );
+                let Some(a) = a else {
+                    // Population exhausted: free someone and continue.
+                    let u = busy.remove(0);
+                    agg.call_ended(u);
+                    refe.call_ended(u);
+                    continue;
+                };
+                let b = b.unwrap();
+                now = a.at;
+                assert_eq!(agg.claim(a.tag), refe.claim(b.tag));
+                busy.push(a.user);
+                // Periodically hang someone up (deterministically).
+                if step % 3 == 0 && !busy.is_empty() {
+                    let u = busy.remove(0);
+                    agg.call_ended(u);
+                    refe.call_ended(u);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thinning_respects_the_profile_shape() {
+        // Two equal segments at rates 1 : 4 must collect arrivals in
+        // roughly that ratio over many periods.
+        let mut cfg = PopulationConfig::new(1000, 0.001);
+        cfg.profile = DiurnalProfile::new(100.0, vec![0.25, 1.0]);
+        let mut eng = PopulationArrivals::new(&cfg, 1);
+        let mut r = rng(2015);
+        let mut now = SimTime::ZERO;
+        let (mut low, mut high) = (0u64, 0u64);
+        for _ in 0..4000 {
+            let a = eng.next_arrival(now, &mut r).unwrap();
+            now = a.at;
+            // Count only (never claim): the idle set stays put, isolating
+            // the thinning behaviour.
+            if (now.as_secs_f64() / 100.0).fract() < 0.5 {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+        let ratio = high as f64 / low.max(1) as f64;
+        assert!(
+            (2.5..6.0).contains(&ratio),
+            "expected ≈4:1 high:low arrivals, got {high}:{low} ({ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn mean_interarrival_tracks_idle_count() {
+        // Flat profile, λ = 0.01/s: 100 idle users → mean gap 1 s;
+        // 10 idle users → mean gap 10 s.
+        for (n, expect) in [(100u64, 1.0f64), (10, 10.0)] {
+            let cfg = PopulationConfig::new(n, 0.01);
+            let mut eng = PopulationArrivals::new(&cfg, 1);
+            let mut r = rng(5);
+            let mut now = SimTime::ZERO;
+            let mut sum = 0.0;
+            let reps = 3000;
+            for _ in 0..reps {
+                let a = eng.next_arrival(now, &mut r).unwrap();
+                sum += a.at.since(now).as_secs_f64();
+                now = a.at;
+            }
+            let mean = sum / f64::from(reps);
+            assert!(
+                (mean - expect).abs() < expect * 0.1,
+                "N={n}: mean gap {mean} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_wheel_partitions_the_population_exactly() {
+        for (count, buckets) in [(1_000_000u64, 256u32), (10, 4), (3, 8), (0, 16), (97, 13)] {
+            let w = ChurnWheel::new(count, SimDuration::from_secs(3600), buckets);
+            let mut covered = 0u64;
+            let mut prev_hi = 0u64;
+            for t in 0..u64::from(buckets) {
+                let r = w.due_range(t);
+                assert_eq!(r.start, prev_hi, "contiguous buckets");
+                prev_hi = r.end;
+                covered += r.end - r.start;
+            }
+            assert_eq!(covered, count, "every rank due exactly once per period");
+            // Next period wraps to the same partition.
+            assert_eq!(w.due_range(u64::from(buckets)), w.due_range(0));
+        }
+        let w = ChurnWheel::new(1_000_000, SimDuration::from_secs(3600), 256);
+        assert!((w.steady_rate() - 277.8).abs() < 1.0, "{}", w.steady_rate());
+    }
+
+    #[test]
+    fn slices_partition_the_population_and_shard_of_inverts() {
+        for (n, shards) in [(1_000_000u64, 8usize), (97, 13), (5, 8), (64, 1)] {
+            let cfg = PopulationConfig::new(n, 0.01);
+            let mut covered = 0u64;
+            for k in 0..shards {
+                let s = cfg.slice(k, shards);
+                assert_eq!(s.first_user, covered, "contiguous slices");
+                covered += s.subscribers;
+                for r in s.first_user..s.first_user + s.subscribers {
+                    assert_eq!(cfg.shard_of(r, shards), k, "rank {r}");
+                }
+            }
+            assert_eq!(covered, n, "slices cover every rank exactly once");
+        }
+    }
+}

@@ -474,10 +474,9 @@ impl Pbx {
         // Digest credentials are accepted in either mode; when
         // `require_digest` is on they are the only way in.
         if let Some(creds) = auth.and_then(sipcore::auth::DigestCredentials::parse) {
-            let password = self
-                .directory
-                .find_by_uid(&creds.username)
-                .and_then(|e| e.attrs.get("userPassword").cloned());
+            // `password_of` covers both materialized entries and the
+            // synthetic population range (derived secrets, no stored rows).
+            let password = self.directory.password_of(&creds.username);
             let ok = password.as_deref().is_some_and(|pw| {
                 creds.realm == self.config.hostname
                     && creds.verify(pw, "REGISTER", self.digest_nonce())
@@ -517,7 +516,19 @@ impl Pbx {
         let (uid, password) = match auth.map(parse_simple_auth) {
             Some(Some(pair)) => pair,
             _ => {
-                return vec![self.error_reply(from, req, StatusCode::UNAUTHORIZED)];
+                // No usable credentials: the 401 carries a digest
+                // challenge even when digest is not *required*, so a
+                // digest-capable client (the population churn path) can
+                // complete REGISTER → 401 → REGISTER+digest in either
+                // mode.
+                let challenge = sipcore::auth::DigestChallenge {
+                    realm: self.config.hostname.clone(),
+                    nonce: self.nonce.clone(),
+                };
+                let mut resp = req.make_response(StatusCode::UNAUTHORIZED);
+                resp.headers
+                    .push(HeaderName::WwwAuthenticate, challenge.to_header_value());
+                return vec![self.reply(from, resp)];
             }
         };
         match self

@@ -34,6 +34,11 @@ pub struct Directory {
     entries: HashMap<String, DirEntry>,
     /// Index: uid attribute -> DN, for fast subscriber lookup.
     uid_index: HashMap<String, String>,
+    /// Population-scale subscriber range `(base, count)` whose entries are
+    /// derived on demand (`uid ∈ base..base+count`, password `pw-<uid>`)
+    /// instead of materialized — O(1) memory for 10⁶ subscribers. Explicit
+    /// entries always take precedence.
+    synthetic: Option<(u64, u64)>,
     binds_attempted: u64,
     binds_failed: u64,
 }
@@ -66,6 +71,79 @@ impl Directory {
         dir
     }
 
+    /// A directory whose subscribers are the *rule* `uid ∈
+    /// base..base+count → password pw-<uid>` rather than stored rows. The
+    /// schema matches [`Directory::with_subscribers`] exactly, but holds no
+    /// per-user state — the population-scale counterpart for
+    /// million-subscriber workloads, where materializing entries would cost
+    /// hundreds of megabytes before the first call is placed.
+    #[must_use]
+    pub fn with_synthetic_range(base: u64, count: u64) -> Self {
+        let mut dir = Directory::new();
+        dir.synthetic = Some((base, count));
+        dir
+    }
+
+    /// Attach (or replace) the synthetic subscriber range on an existing
+    /// directory — explicit entries keep taking precedence, so a classic
+    /// campus pool and a synthetic million-user population can coexist.
+    pub fn set_synthetic_range(&mut self, base: u64, count: u64) {
+        self.synthetic = Some((base, count));
+    }
+
+    /// Does the synthetic range (if any) cover `uid`?
+    fn synthetic_covers(&self, uid: &str) -> bool {
+        let Some((base, count)) = self.synthetic else {
+            return false;
+        };
+        // Reject non-canonical spellings ("+5", "007"): synthetic uids are
+        // plain decimal with no leading zeros, like every uid this repo
+        // generates.
+        if uid.is_empty() || !uid.bytes().all(|b| b.is_ascii_digit()) {
+            return false;
+        }
+        if uid.len() > 1 && uid.starts_with('0') {
+            return false;
+        }
+        uid.parse::<u64>()
+            .is_ok_and(|u| u >= base && u - base < count)
+    }
+
+    /// The password for `uid` — explicit entry first, then the synthetic
+    /// rule. The digest-auth verification path, which needs the cleartext
+    /// secret to check the response hash.
+    #[must_use]
+    pub fn password_of(&self, uid: &str) -> Option<String> {
+        if let Some(e) = self.find_by_uid(uid) {
+            return e.attrs.get("userPassword").cloned();
+        }
+        self.synthetic_covers(uid).then(|| format!("pw-{uid}"))
+    }
+
+    /// Bind by uid instead of DN: `None` when no such user exists (no bind
+    /// attempted — mirrors the registrar's historical lookup-then-bind
+    /// sequence), otherwise the counted [`BindResult`]. Synthetic-range
+    /// users authenticate against the derived password without touching
+    /// the entry store.
+    pub fn bind_uid(&mut self, uid: &str, password: &str) -> Option<BindResult> {
+        if let Some(dn) = self.uid_index.get(uid) {
+            let dn = dn.clone();
+            return Some(self.bind(&dn, password));
+        }
+        if !self.synthetic_covers(uid) {
+            return None;
+        }
+        self.binds_attempted += 1;
+        // Compare without allocating the expected password: "pw-" + uid.
+        let ok = password.strip_prefix("pw-").is_some_and(|rest| rest == uid);
+        if ok {
+            Some(BindResult::Success)
+        } else {
+            self.binds_failed += 1;
+            Some(BindResult::InvalidCredentials)
+        }
+    }
+
     /// Insert or replace an entry.
     pub fn add(&mut self, entry: DirEntry) {
         if let Some(uid) = entry.attrs.get("uid") {
@@ -74,16 +152,17 @@ impl Directory {
         self.entries.insert(entry.dn.clone(), entry);
     }
 
-    /// Number of entries.
+    /// Number of subscribers (explicit entries plus the synthetic range).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        let synth = self.synthetic.map_or(0, |(_, count)| count) as usize;
+        self.entries.len() + synth
     }
 
-    /// True when the directory holds no entries.
+    /// True when the directory holds no subscribers.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Simple bind: check `password` against the entry's `userPassword`.
@@ -168,6 +247,53 @@ mod tests {
         let e = dir.find_by_uid("1000").unwrap().clone();
         dir.add(e);
         assert_eq!(dir.len(), 3);
+    }
+
+    #[test]
+    fn synthetic_range_behaves_like_materialized_subscribers() {
+        let mut dir = Directory::with_synthetic_range(1_000_000, 1_000_000);
+        assert_eq!(dir.len(), 1_000_000);
+        assert!(!dir.is_empty());
+        // Same observable auth behaviour as with_subscribers, no rows.
+        assert_eq!(dir.password_of("1500000"), Some("pw-1500000".to_owned()));
+        assert_eq!(
+            dir.bind_uid("1500000", "pw-1500000"),
+            Some(BindResult::Success)
+        );
+        assert_eq!(
+            dir.bind_uid("1500000", "wrong"),
+            Some(BindResult::InvalidCredentials)
+        );
+        // Outside the range / malformed spellings: no such user, and no
+        // bind attempt is charged (the historical lookup-then-bind shape).
+        assert_eq!(dir.bind_uid("999999", "pw-999999"), None);
+        assert_eq!(dir.bind_uid("2000000", "pw-2000000"), None);
+        assert_eq!(dir.bind_uid("+1500000", "pw-+1500000"), None);
+        assert_eq!(dir.bind_uid("01500000", "pw-01500000"), None);
+        assert_eq!(dir.password_of("2000000"), None);
+        assert_eq!(dir.bind_stats(), (2, 1));
+        assert!(dir.find_by_uid("1500000").is_none(), "no materialized row");
+    }
+
+    #[test]
+    fn bind_uid_matches_the_lookup_then_bind_sequence_for_entries() {
+        let mut dir = Directory::with_subscribers(1000, 5);
+        assert_eq!(dir.bind_uid("1002", "pw-1002"), Some(BindResult::Success));
+        assert_eq!(
+            dir.bind_uid("1002", "nope"),
+            Some(BindResult::InvalidCredentials)
+        );
+        assert_eq!(dir.bind_uid("9999", "pw-9999"), None, "unknown: no bind");
+        assert_eq!(dir.bind_stats(), (2, 1));
+        // Explicit entries win over an overlapping synthetic range.
+        let mut both = Directory::with_subscribers(1000, 5);
+        both.set_synthetic_range(0, 10_000);
+        let mut e = both.find_by_uid("1002").unwrap().clone();
+        e.attrs
+            .insert("userPassword".to_owned(), "custom".to_owned());
+        both.add(e);
+        assert_eq!(both.password_of("1002"), Some("custom".to_owned()));
+        assert_eq!(both.bind_uid("1002", "custom"), Some(BindResult::Success));
     }
 
     #[test]

@@ -31,10 +31,49 @@ pub enum RegisterOutcome {
     AuthFailed,
 }
 
+/// Compact bindings for a contiguous population of subscribers homed on
+/// one node: a structure-of-arrays table indexed by `uid − base`, one
+/// `SimTime` per user.
+///
+/// A million-subscriber registrar is legitimately O(population) — each
+/// user *has* a binding — but the classic map prices that at an owned
+/// `String` key plus hash-map overhead per user (~100 B each, and a
+/// million-REGISTER prime storm to fill it). This table prices it at
+/// 8 bytes flat, installs in one call, and its hot paths (refresh,
+/// lookup) never hash or allocate.
+#[derive(Debug, Clone)]
+pub struct PopulationBindings {
+    base: u64,
+    /// `expires_at[uid - base]`; `SimTime::ZERO` means never/expired.
+    expires_at: Vec<SimTime>,
+    /// All population users are homed on one UA node (the load
+    /// generator's), like the classic pool's users.
+    node: NodeId,
+}
+
+impl PopulationBindings {
+    /// Does this table own `uid`? Canonical decimal spellings only.
+    fn index_of(&self, uid: &str) -> Option<usize> {
+        if uid.is_empty() || !uid.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        if uid.len() > 1 && uid.starts_with('0') {
+            return None;
+        }
+        let u = uid.parse::<u64>().ok()?;
+        let idx = u.checked_sub(self.base)?;
+        (idx < self.expires_at.len() as u64).then_some(idx as usize)
+    }
+}
+
 /// The registrar.
 #[derive(Debug, Clone)]
 pub struct Registrar {
     bindings: FastMap<String, Binding>,
+    /// Population-scale contiguous range, if installed; checked before
+    /// the classic map (the ranges are disjoint by construction — classic
+    /// pools live in 1000..2500, populations at 10⁶+).
+    population: Option<PopulationBindings>,
     default_expiry: SimDuration,
     registrations: u64,
     auth_failures: u64,
@@ -46,10 +85,30 @@ impl Registrar {
     pub fn new(default_expiry: SimDuration) -> Self {
         Registrar {
             bindings: FastMap::default(),
+            population: None,
             default_expiry,
             registrations: 0,
             auth_failures: 0,
         }
+    }
+
+    /// Install bindings for a whole contiguous population at once:
+    /// `base..base+count` homed on `node`, each expiring `default_expiry`
+    /// from `now`.
+    ///
+    /// This models the steady state a long-lived deployment is always in —
+    /// everyone registered, expiries staggered forward by churn — and
+    /// replaces the O(population) REGISTER prime *storm* with an
+    /// O(population) memset-shaped install. Bulk installs do not count as
+    /// REGISTER transactions in [`Registrar::stats`]; only the ongoing
+    /// churn does, because only the churn sends messages.
+    pub fn bulk_install(&mut self, now: SimTime, base: u64, count: u64, node: NodeId) {
+        let n = usize::try_from(count).expect("population fits usize");
+        self.population = Some(PopulationBindings {
+            base,
+            expires_at: vec![now + self.default_expiry; n],
+            node,
+        });
     }
 
     /// Process a REGISTER for `uid` with `password`, binding it to `node`.
@@ -61,20 +120,17 @@ impl Registrar {
         password: &str,
         node: NodeId,
     ) -> RegisterOutcome {
-        let Some(entry) = dir.find_by_uid(uid) else {
-            self.auth_failures += 1;
-            return RegisterOutcome::AuthFailed;
-        };
-        let dn = entry.dn.clone();
-        match dir.bind(&dn, password) {
-            BindResult::Success => {
-                self.bindings.insert(
-                    uid.to_owned(),
-                    Binding {
-                        node,
-                        expires_at: now + self.default_expiry,
-                    },
-                );
+        match dir.bind_uid(uid, password) {
+            Some(BindResult::Success) => {
+                let expires_at = now + self.default_expiry;
+                // Population fast path: an 8-byte store, no key
+                // allocation, no hashing.
+                if let Some(idx) = self.population.as_ref().and_then(|p| p.index_of(uid)) {
+                    self.population.as_mut().expect("just matched").expires_at[idx] = expires_at;
+                } else {
+                    self.bindings
+                        .insert(uid.to_owned(), Binding { node, expires_at });
+                }
                 self.registrations += 1;
                 RegisterOutcome::Ok
             }
@@ -85,9 +141,19 @@ impl Registrar {
         }
     }
 
-    /// Look up a *live* binding at time `now` (expired bindings are
-    /// invisible and pruned lazily).
+    /// Look up a *live* binding at time `now` (expired map bindings are
+    /// invisible and pruned lazily; expired population slots just read as
+    /// absent — their storage is fixed either way).
     pub fn lookup(&mut self, now: SimTime, uid: &str) -> Option<Binding> {
+        if let Some(p) = &self.population {
+            if let Some(idx) = p.index_of(uid) {
+                let expires_at = p.expires_at[idx];
+                return (expires_at > now).then_some(Binding {
+                    node: p.node,
+                    expires_at,
+                });
+            }
+        }
         match self.bindings.get(uid) {
             Some(b) if b.expires_at > now => Some(*b),
             Some(_) => {
@@ -98,16 +164,18 @@ impl Registrar {
         }
     }
 
-    /// Number of (possibly stale) stored bindings.
+    /// Number of (possibly stale) stored bindings, counting every
+    /// population slot.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.bindings.len()
+        let pop = self.population.as_ref().map_or(0, |p| p.expires_at.len());
+        self.bindings.len() + pop
     }
 
     /// True when no bindings are stored.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.bindings.is_empty()
+        self.len() == 0
     }
 
     /// (successful registrations, auth failures).
@@ -121,8 +189,16 @@ impl Registrar {
     /// re-REGISTER before they are reachable again. Returns how many
     /// bindings were lost.
     pub fn clear(&mut self) -> usize {
-        let lost = self.bindings.len();
+        let mut lost = self.bindings.len();
         self.bindings.clear();
+        if let Some(p) = &mut self.population {
+            // Crash semantics for the population table: slots survive (the
+            // allocation is the table, not the registrations) but every
+            // expiry is zeroed, so users read as unregistered until churn
+            // re-registers them.
+            lost += p.expires_at.iter().filter(|&&t| t > SimTime::ZERO).count();
+            p.expires_at.fill(SimTime::ZERO);
+        }
         lost
     }
 }
@@ -193,6 +269,78 @@ mod tests {
             NodeId(2),
         );
         assert!(reg.lookup(SimTime::from_secs(3), "1001").is_some());
+    }
+
+    #[test]
+    fn bulk_install_registers_a_population_without_a_storm() {
+        let mut reg = Registrar::new(SimDuration::from_secs(3600));
+        let mut dir = Directory::with_synthetic_range(1_000_000, 1_000_000);
+        reg.bulk_install(SimTime::ZERO, 1_000_000, 1_000_000, NodeId(3));
+        assert_eq!(reg.len(), 1_000_000);
+        let b = reg.lookup(SimTime::from_secs(10), "1234567").unwrap();
+        assert_eq!(b.node, NodeId(3));
+        assert_eq!(reg.stats(), (0, 0), "installs are not REGISTER traffic");
+        // Expiry: a slot that churn never refreshes goes dark.
+        assert!(reg.lookup(SimTime::from_secs(3600), "1234567").is_none());
+        // Churn refresh rides the numeric fast path (same map-free slot).
+        let out = reg.register(
+            &mut dir,
+            SimTime::from_secs(3000),
+            "1234567",
+            "pw-1234567",
+            NodeId(3),
+        );
+        assert_eq!(out, RegisterOutcome::Ok);
+        assert!(reg.lookup(SimTime::from_secs(3600), "1234567").is_some());
+        assert_eq!(reg.stats(), (1, 0));
+        assert_eq!(reg.len(), 1_000_000, "no map entry was created");
+        // Out-of-range uids still use the classic path untouched.
+        assert!(reg.lookup(SimTime::from_secs(1), "999").is_none());
+    }
+
+    #[test]
+    fn population_crash_clears_expiries_but_keeps_the_table() {
+        let mut reg = Registrar::new(SimDuration::from_secs(3600));
+        let mut dir = Directory::with_synthetic_range(1_000_000, 100);
+        reg.bulk_install(SimTime::ZERO, 1_000_000, 100, NodeId(3));
+        assert_eq!(reg.clear(), 100);
+        assert!(reg.lookup(SimTime::from_secs(1), "1000050").is_none());
+        assert_eq!(reg.len(), 100, "slots survive; registrations do not");
+        // Churn re-registers the user after the crash.
+        reg.register(
+            &mut dir,
+            SimTime::from_secs(5),
+            "1000050",
+            "pw-1000050",
+            NodeId(3),
+        );
+        assert!(reg.lookup(SimTime::from_secs(6), "1000050").is_some());
+    }
+
+    #[test]
+    fn classic_and_population_paths_coexist() {
+        let mut reg = Registrar::new(SimDuration::from_secs(3600));
+        let mut dir = Directory::with_subscribers(1000, 10);
+        dir.add(crate::directory::DirEntry {
+            dn: "uid=1003,ou=people,dc=unb,dc=br".to_owned(),
+            attrs: [
+                ("uid".to_owned(), "1003".to_owned()),
+                ("userPassword".to_owned(), "pw-1003".to_owned()),
+            ]
+            .into_iter()
+            .collect(),
+        });
+        reg.bulk_install(SimTime::ZERO, 1_000_000, 10, NodeId(9));
+        reg.register(&mut dir, SimTime::ZERO, "1003", "pw-1003", NodeId(5));
+        assert_eq!(reg.len(), 11);
+        assert_eq!(
+            reg.lookup(SimTime::from_secs(1), "1003").unwrap().node,
+            NodeId(5)
+        );
+        assert_eq!(
+            reg.lookup(SimTime::from_secs(1), "1000003").unwrap().node,
+            NodeId(9)
+        );
     }
 
     #[test]

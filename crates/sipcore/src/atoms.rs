@@ -34,11 +34,23 @@ impl Atom {
     }
 }
 
-/// An append-only interner: strings in, dense [`Atom`] handles out.
+/// An interner: strings in, dense [`Atom`] handles out.
+///
+/// Mostly append-only — but long-running churn workloads (a million
+/// subscribers re-REGISTERing forever, each call a fresh Call-ID) would
+/// grow an append-only table without bound. [`AtomTable::release`]
+/// returns a handle's slot to a free-list so the *live* table stays
+/// O(distinct live strings) rather than O(strings ever seen); releasing
+/// is strictly opt-in, so every existing user keeps the append-only
+/// behaviour (and its first-seen-order handle determinism) untouched.
 #[derive(Debug, Default)]
 pub struct AtomTable {
     map: FastMap<Arc<str>, Atom>,
     strings: Vec<Arc<str>>,
+    /// Released slots awaiting reuse (LIFO: the most recently freed slot
+    /// is recycled first, which keeps the live handle range dense under
+    /// steady churn).
+    free: Vec<u32>,
 }
 
 impl AtomTable {
@@ -55,11 +67,47 @@ impl AtomTable {
         if let Some(&a) = self.map.get(s) {
             return a;
         }
-        let a = Atom(u32::try_from(self.strings.len()).expect("atom table overflow"));
         let shared: Arc<str> = s.into();
-        self.strings.push(shared.clone());
+        let a = if let Some(slot) = self.free.pop() {
+            self.strings[slot as usize] = shared.clone();
+            Atom(slot)
+        } else {
+            let slot = u32::try_from(self.strings.len()).expect("atom table overflow");
+            self.strings.push(shared.clone());
+            Atom(slot)
+        };
         self.map.insert(shared, a);
         a
+    }
+
+    /// Return `a`'s slot to the free-list for reuse by a future intern.
+    ///
+    /// The caller asserts the handle is dead: no copy of `a` may be used
+    /// to resolve, compare, or release after this — once the slot is
+    /// recycled a stale copy aliases the new tenant (a `u32` handle has
+    /// no generation bits). Releasing an already-released-but-not-yet-
+    /// reused or never-interned handle is a no-op returning `false`;
+    /// `true` means the slot was freed now.
+    pub fn release(&mut self, a: Atom) -> bool {
+        let Some(s) = self.strings.get(a.0 as usize) else {
+            return false;
+        };
+        // Only live handles (still mapped to this exact slot) can be
+        // freed — a stale duplicate release must not free the slot's new
+        // tenant.
+        if self.map.get(&**s) != Some(&a) {
+            return false;
+        }
+        let key = Arc::clone(s);
+        self.map.remove(&*key);
+        self.free.push(a.0);
+        true
+    }
+
+    /// Number of released slots currently awaiting reuse.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
     }
 
     /// The atom for `s` if it was interned before; never allocates.
@@ -89,16 +137,17 @@ impl AtomTable {
         Arc::clone(&self.strings[a.0 as usize])
     }
 
-    /// Number of distinct strings interned.
+    /// Number of distinct *live* strings interned (released slots do not
+    /// count).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.strings.len() - self.free.len()
     }
 
-    /// True when nothing has been interned yet.
+    /// True when no live string is interned.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
+        self.len() == 0
     }
 }
 
@@ -152,6 +201,45 @@ mod tests {
         assert_eq!(h1, h2);
         let mut t3 = AtomTable::new();
         assert_eq!(t3.intern("c").index(), 0);
+    }
+
+    #[test]
+    fn release_recycles_slots_and_bounds_the_table() {
+        let mut t = AtomTable::new();
+        let a = t.intern("call-1");
+        let b = t.intern("call-2");
+        assert!(t.release(a), "live handle frees its slot");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.free_slots(), 1);
+        assert_eq!(t.lookup("call-1"), None, "released string forgotten");
+        // Double-release before the slot is reused is a rejected no-op.
+        assert!(!t.release(a), "already-freed handle is a no-op");
+        assert_eq!(t.free_slots(), 1, "slot not freed twice");
+        // The next intern reuses the freed slot — the backing Vec did not
+        // grow.
+        let c = t.intern("call-3");
+        assert_eq!(c.index(), a.index(), "slot recycled LIFO");
+        assert_eq!(t.resolve(c), "call-3");
+        assert_eq!(t.free_slots(), 0);
+        assert_eq!(t.lookup("call-3"), Some(c));
+        assert_eq!(t.lookup("call-2"), Some(b));
+        // Churn loop: N cycles of intern+release keep the table at one
+        // live slot — the unbounded-growth regression this API fixes.
+        for i in 0..1000 {
+            let s = format!("churn-{i}");
+            let a = t.intern(&s);
+            assert!(a.index() < 3, "live slots stay dense under churn");
+            t.release(a);
+        }
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn release_of_unknown_handle_is_rejected() {
+        let mut t = AtomTable::new();
+        t.intern("x");
+        assert!(!t.release(Atom(7)), "never-issued handle");
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -48,6 +48,52 @@ pub fn engset_blocking(sources: u64, channels: u32, alpha: f64) -> Result<f64, T
     Ok(e)
 }
 
+/// Engset blocking (same call-congestion quantity as
+/// [`engset_blocking`]) computed in log space, safe for
+/// population-scale source counts (N ≥ 10⁶ and far beyond).
+///
+/// The direct recurrence is a ratio form and rarely overflows, but its
+/// intermediate product `α·(S − n)·E(n−1)` mixes magnitudes of order
+/// `α·S` with order-1 terms; at `S ~ 10⁶⁺` and small `α` that costs
+/// relative precision exactly where the planning sweeps read the curve.
+/// Here the unnormalized state weights
+///
+/// ```text
+/// P(0) = 1,   P(k) = P(k−1) · α·(S − k) / k
+/// ```
+///
+/// are carried as logarithms, with a streaming log-sum-exp for the
+/// normalizer, so blocking is `exp(l_n − logΣexp(l_0..l_n))` — every
+/// intermediate is O(log S) in magnitude regardless of population size.
+/// For small populations it agrees with [`engset_blocking`] to floating
+/// point (pinned by a property test).
+pub fn engset_blocking_large(sources: u64, channels: u32, alpha: f64) -> Result<f64, TrafficError> {
+    if !(alpha.is_finite() && alpha >= 0.0) {
+        return Err(TrafficError::InvalidParameter("alpha"));
+    }
+    if u64::from(channels) >= sources {
+        return Ok(0.0);
+    }
+    if alpha == 0.0 {
+        return Ok(if channels == 0 { 1.0 } else { 0.0 });
+    }
+    if channels == 0 {
+        return Ok(1.0);
+    }
+    let s = sources as f64;
+    let ln_alpha = alpha.ln();
+    // l = ln P(k); lse = ln Σ_{j≤k} P(j), folded streaming so no term is
+    // ever materialized outside log space.
+    let mut l = 0.0_f64;
+    let mut lse = 0.0_f64;
+    for k in 1..=u64::from(channels) {
+        l += ln_alpha + (s - k as f64).ln() - (k as f64).ln();
+        let m = lse.max(l);
+        lse = m + ((lse - m).exp() + (l - m).exp()).ln();
+    }
+    Ok((l - lse).exp())
+}
+
 /// Engset blocking for a population that would offer `a` Erlangs in the
 /// infinite-source limit (i.e. `alpha` chosen so `S·α/(1+α) = A`).
 ///
@@ -71,6 +117,28 @@ pub fn engset_blocking_for_load(
     // S·α/(1+α) = A  =>  α = A / (S − A).
     let alpha = av / (s - av);
     engset_blocking(sources, channels, alpha)
+}
+
+/// [`engset_blocking_for_load`] on the log-space population-scale path —
+/// the form the `capacity-cli scale` sweep uses to close the
+/// empirical-vs-analytic comparison at 10⁶⁺ subscribers.
+pub fn engset_blocking_for_load_large(
+    sources: u64,
+    channels: u32,
+    a: Erlangs,
+) -> Result<f64, TrafficError> {
+    if !a.is_valid() {
+        return Err(TrafficError::InvalidLoad);
+    }
+    let av = a.value();
+    let s = sources as f64;
+    if av >= s {
+        return Err(TrafficError::InvalidParameter(
+            "offered load must be below the source count",
+        ));
+    }
+    let alpha = av / (s - av);
+    engset_blocking_large(sources, channels, alpha)
 }
 
 #[cfg(test)]
@@ -158,6 +226,49 @@ mod tests {
         assert!(engset_blocking_for_load(100, 50, Erlangs(150.0)).is_err());
         assert!(engset_blocking_for_load(100, 50, Erlangs(-1.0)).is_err());
     }
+
+    #[test]
+    fn large_path_edge_cases_match_small_path() {
+        assert_eq!(engset_blocking_large(10, 10, 0.5).unwrap(), 0.0);
+        assert_eq!(engset_blocking_large(10, 0, 0.5).unwrap(), 1.0);
+        assert_eq!(engset_blocking_large(10, 2, 0.0).unwrap(), 0.0);
+        assert!(engset_blocking_large(10, 2, f64::NAN).is_err());
+        assert!(engset_blocking_large(10, 2, -0.1).is_err());
+        assert!(engset_blocking_for_load_large(100, 50, Erlangs(100.0)).is_err());
+    }
+
+    #[test]
+    fn large_path_is_finite_and_monotone_in_population_at_a_million() {
+        // At fixed per-source intensity α, adding sources adds offered
+        // traffic, so blocking must rise with S — checked where the naive
+        // formulation would have long since lost precision or overflowed a
+        // factorial form.
+        let alpha = 165.0 / 1.0e6; // ~165 E offered at S = 10⁶
+        let mut prev = 0.0;
+        for &s in &[1_000_000u64, 2_000_000, 4_000_000, 8_000_000] {
+            let e = engset_blocking_large(s, 165, alpha).unwrap();
+            assert!(e.is_finite() && (0.0..=1.0).contains(&e), "S={s}: {e}");
+            assert!(e >= prev - 1e-12, "S={s}: blocking fell from {prev} to {e}");
+            prev = e;
+        }
+        assert!(prev > 0.0, "8·10⁶ sources at α·S ≈ 1320 E must block");
+    }
+
+    #[test]
+    fn large_path_converges_to_erlang_b_at_population_scale() {
+        // The million-subscriber dimensioning story: at fixed offered load
+        // the finite-source correction vanishes as S grows through 10⁶.
+        let a = Erlangs(150.0);
+        let eb = blocking_probability(a, 165);
+        let mut prev_gap = f64::INFINITY;
+        for &s in &[1_000_000u64, 4_000_000, 16_000_000, 64_000_000] {
+            let en = engset_blocking_for_load_large(s, 165, a).unwrap();
+            let gap = (en - eb).abs();
+            assert!(gap <= prev_gap + 1e-12, "S={s}: gap {gap} grew");
+            prev_gap = gap;
+        }
+        assert!(prev_gap < 1e-5, "residual gap {prev_gap} at S=64·10⁶");
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +288,19 @@ mod proptests {
             let e0 = engset_blocking(s, n, alpha).unwrap();
             let e1 = engset_blocking(s, n + 1, alpha).unwrap();
             prop_assert!(e1 <= e0 + 1e-12);
+        }
+
+        /// The log-space large-population path is pinned to the existing
+        /// small-N recurrence wherever the latter is trusted (N ≤ 10³):
+        /// same call-congestion quantity, different arithmetic.
+        #[test]
+        fn large_path_pins_to_small_path(s in 1u64..1000, n in 0u32..300, alpha in 0.0f64..10.0) {
+            let small = engset_blocking(s, n, alpha).unwrap();
+            let large = engset_blocking_large(s, n, alpha).unwrap();
+            prop_assert!(
+                (small - large).abs() <= 1e-9 * small.max(1.0),
+                "S={} n={} α={}: small {} vs large {}", s, n, alpha, small, large
+            );
         }
     }
 }

@@ -35,7 +35,7 @@ pub mod extended;
 pub mod overflow;
 pub mod units;
 
-pub use engset::engset_blocking;
+pub use engset::{engset_blocking, engset_blocking_large};
 pub use erlang_b::{blocking_probability, channels_for, load_for, BlockingCurve};
 pub use erlang_c::wait_probability;
 pub use error::TrafficError;

@@ -234,9 +234,43 @@ pub struct Monitor {
     flow_call: FastMap<FlowId, u32>,
     /// Per-call flow lists, sorted by flow id.
     call_flows: Vec<Vec<FlowId>>,
+    /// Retired call-handle slots awaiting reuse (see
+    /// [`Monitor::retire_call`]).
+    free_calls: Vec<u32>,
+    /// Streaming accumulator for calls scored-and-freed by
+    /// [`Monitor::retire_call`]; empty (and digest-invisible) unless
+    /// retirement is used.
+    retired: RetiredCalls,
     sip_requests: BTreeMap<String, u64>,
     sip_responses: BTreeMap<u16, u64>,
     rtp_packets: u64,
+}
+
+/// Accumulated statistics of calls already retired: their contribution
+/// to the report without their per-call/per-flow state.
+#[derive(Debug, Clone, Copy)]
+struct RetiredCalls {
+    /// MOS fold over retired calls, in retirement order.
+    mos: Welford,
+    /// Σ loss fraction over retired flows (for the report's flow mean).
+    loss_sum: f64,
+    /// Σ jitter (ms) over retired flows.
+    jitter_sum: f64,
+    /// Number of retired flows behind the two sums.
+    flows: u64,
+}
+
+impl Default for RetiredCalls {
+    fn default() -> Self {
+        RetiredCalls {
+            // NOT `Welford::default()`, whose derived zeros would poison
+            // min/max; `new()` seeds them at ±∞.
+            mos: Welford::new(),
+            loss_sum: 0.0,
+            jitter_sum: 0.0,
+            flows: 0,
+        }
+    }
 }
 
 impl Monitor {
@@ -253,9 +287,18 @@ impl Monitor {
         let handle = match self.call_handles.get(call_id) {
             Some(&h) => h,
             None => {
-                let h = u32::try_from(self.call_names.len()).expect("fewer than 2^32 calls");
-                self.call_names.push(call_id.to_owned());
-                self.call_flows.push(Vec::new());
+                // Recycle a retired call's slot before growing the table:
+                // under steady churn with retirement the live table stays
+                // O(active calls) rather than O(calls ever observed).
+                let h = if let Some(slot) = self.free_calls.pop() {
+                    call_id.clone_into(&mut self.call_names[slot as usize]);
+                    slot
+                } else {
+                    let h = u32::try_from(self.call_names.len()).expect("fewer than 2^32 calls");
+                    self.call_names.push(call_id.to_owned());
+                    self.call_flows.push(Vec::new());
+                    h
+                };
                 self.call_handles.insert(call_id.to_owned(), h);
                 h
             }
@@ -429,14 +472,51 @@ impl Monitor {
         out
     }
 
+    /// Score a finished call now and free all of its per-call and
+    /// per-flow state, keeping only its contribution to the aggregate
+    /// report. Returns `true` if the call was known.
+    ///
+    /// This is the monitor's population-scale memory valve: a legacy run
+    /// keeps every call until [`Monitor::report`] (bit-identical digests,
+    /// nothing changes), while a long churn run retires each call once
+    /// its media has drained, so live monitor state is O(active calls)
+    /// instead of O(calls ever observed). The call's MOS is folded into a
+    /// streaming [`Welford`] *in retirement order* — retirement order is
+    /// event order, which is deterministic, so reports stay
+    /// bit-reproducible. Retired calls no longer appear in
+    /// [`Monitor::per_call_csv`] or [`Monitor::link_quality`] (both are
+    /// live-state views).
+    pub fn retire_call(&mut self, call_id: &str) -> bool {
+        let Some(handle) = self.call_handles.remove(call_id) else {
+            return false;
+        };
+        if let Some(m) = self.call_mos_by_handle(handle) {
+            self.retired.mos.record(m);
+        }
+        let flows = std::mem::take(&mut self.call_flows[handle as usize]);
+        for flow in flows {
+            self.flow_call.remove(&flow);
+            if let Some(s) = self.streams.remove(&flow) {
+                self.retired.loss_sum += s.loss();
+                self.retired.jitter_sum += s.jitter_ms();
+                self.retired.flows += 1;
+            }
+        }
+        self.call_names[handle as usize].clear();
+        self.free_calls.push(handle);
+        true
+    }
+
     /// Build the aggregate report.
     #[must_use]
     pub fn report(&self) -> MonitorReport {
         // Calls enter the MOS aggregate ordered by their smallest flow id
         // (first occurrence in flow-id order) — the same insertion order
         // the original ordered flow→call map produced, so the Welford
-        // float folds are bit-identical.
-        let mut mos = Welford::new();
+        // float folds are bit-identical. Retired calls were folded at
+        // retirement time; their accumulator seeds the fold (empty — and
+        // bit-invisible — unless `retire_call` was used).
+        let mut mos = self.retired.mos;
         let mut flow_handles: Vec<(FlowId, u32)> =
             self.flow_call.iter().map(|(&f, &h)| (f, h)).collect();
         flow_handles.sort_unstable_by_key(|&(f, _)| f);
@@ -449,12 +529,18 @@ impl Monitor {
             }
         }
         // Hash-map iteration order is arbitrary: sort before folding
-        // floats so the sums are bit-reproducible.
+        // floats so the sums are bit-reproducible. Retired flows
+        // contribute their accumulated sums (exactly 0.0 when retirement
+        // is unused, leaving the legacy arithmetic bit-identical).
         let mut flows: Vec<(&FlowId, &StreamStats)> = self.streams.iter().collect();
         flows.sort_unstable_by_key(|(id, _)| **id);
-        let nflows = flows.len().max(1) as f64;
-        let mean_loss = flows.iter().map(|(_, s)| s.loss()).sum::<f64>() / nflows;
-        let mean_jitter = flows.iter().map(|(_, s)| s.jitter_ms()).sum::<f64>() / nflows;
+        let total_flows = self.retired.flows + flows.len() as u64;
+        let nflows = total_flows.max(1) as f64;
+        let mean_loss =
+            (self.retired.loss_sum + flows.iter().map(|(_, s)| s.loss()).sum::<f64>()) / nflows;
+        let mean_jitter = (self.retired.jitter_sum
+            + flows.iter().map(|(_, s)| s.jitter_ms()).sum::<f64>())
+            / nflows;
         MonitorReport {
             rtp_packets: self.rtp_packets,
             sip_total: self.sip_requests.values().sum::<u64>()
@@ -466,7 +552,7 @@ impl Monitor {
             calls_scored: mos.count(),
             mean_loss,
             mean_jitter_ms: mean_jitter,
-            flows: flows.len() as u64,
+            flows: total_flows,
         }
     }
 }
@@ -683,6 +769,74 @@ mod tests {
         let mos: f64 = row.rsplit(',').next().unwrap().parse().unwrap();
         assert!(mos > 4.3, "{row}");
         assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn retire_call_preserves_the_report_and_frees_state() {
+        // Oracle: keep everything until report time.
+        let mut keep = Monitor::new();
+        // Churn path: retire each call right after its media drains.
+        let mut churn = Monitor::new();
+        for k in 0..4u16 {
+            let flow = FlowId::from_node_port(1, 20_000 + k);
+            let call = format!("call-{k}");
+            keep.register_flow(flow, &call);
+            feed_clean_stream(&mut keep, flow, 200);
+            churn.register_flow(flow, &call);
+            feed_clean_stream(&mut churn, flow, 200);
+            assert!(churn.retire_call(&call));
+        }
+        assert!(!churn.retire_call("call-0"), "already retired");
+        // Live state is gone...
+        assert!(churn.call_mos("call-2").is_none());
+        assert_eq!(churn.per_call_csv().lines().count(), 1, "header only");
+        // ...but the aggregate report is intact. Calls were fed (and
+        // retired) in flow-id order, so even the streaming MOS fold
+        // matches the oracle bit-for-bit here.
+        let (r_keep, r_churn) = (keep.report(), churn.report());
+        assert_eq!(r_churn.calls_scored, r_keep.calls_scored);
+        assert_eq!(r_churn.flows, r_keep.flows);
+        assert_eq!(r_churn.rtp_packets, r_keep.rtp_packets);
+        assert_eq!(r_churn.mos_mean.to_bits(), r_keep.mos_mean.to_bits());
+        assert_eq!(r_churn.mos_min.to_bits(), r_keep.mos_min.to_bits());
+        assert_eq!(r_churn.mean_loss.to_bits(), r_keep.mean_loss.to_bits());
+        assert_eq!(
+            r_churn.mean_jitter_ms.to_bits(),
+            r_keep.mean_jitter_ms.to_bits()
+        );
+    }
+
+    #[test]
+    fn retired_call_slots_are_recycled() {
+        let mut mon = Monitor::new();
+        // 100 sequential calls on the same port (port reuse after each
+        // retirement): the handle table must not grow past the first.
+        for i in 0..100u32 {
+            let flow = FlowId::from_node_port(1, 20_000);
+            let call = format!("c-{i}");
+            mon.register_flow(flow, &call);
+            feed_clean_stream(&mut mon, flow, 50);
+            assert!(mon.retire_call(&call));
+        }
+        assert_eq!(mon.call_names.len(), 1, "one slot, recycled 100 times");
+        assert_eq!(mon.free_calls.len(), 1);
+        assert!(mon.streams.is_empty(), "per-flow stats freed");
+        assert!(mon.flow_call.is_empty());
+        let r = mon.report();
+        assert_eq!(r.calls_scored, 100);
+        assert_eq!(r.flows, 100);
+        assert!(r.mos_mean > 4.3);
+    }
+
+    #[test]
+    fn retiring_an_unknown_call_is_a_no_op() {
+        let mut mon = Monitor::new();
+        assert!(!mon.retire_call("ghost"));
+        mon.register_flow(FlowId(9), "real");
+        assert!(mon.retire_call("real"), "no media yet: frees, scores none");
+        let r = mon.report();
+        assert_eq!(r.calls_scored, 0);
+        assert_eq!(r.flows, 0, "flow never carried media");
     }
 
     #[test]

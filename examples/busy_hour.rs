@@ -43,6 +43,7 @@ fn main() {
         overload_law: None,
         retry: None,
         threads: None,
+        population: None,
         seed: 60 * 60,
     };
     let r = EmpiricalRunner::run(cfg);

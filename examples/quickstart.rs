@@ -47,6 +47,7 @@ fn main() {
         overload_law: None,
         retry: None,
         threads: None,
+        population: None,
         seed: 2015,
     };
     let result = EmpiricalRunner::run(cfg);

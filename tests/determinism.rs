@@ -25,6 +25,7 @@ fn cfg(seed: u64, media: MediaMode) -> EmpiricalConfig {
         overload_law: None,
         retry: None,
         threads: None,
+        population: None,
         seed,
     }
 }

@@ -25,6 +25,7 @@ fn sweep_config(erlangs: f64, holding: HoldingDist, channels: u32, seed: u64) ->
         overload_law: None,
         retry: None,
         threads: None,
+        population: None,
         seed,
     }
 }

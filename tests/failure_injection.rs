@@ -38,6 +38,7 @@ fn zero_channel_pbx_blocks_every_call() {
         overload_law: None,
         retry: None,
         threads: None,
+        population: None,
         seed: 5,
     };
     let r = EmpiricalRunner::run(cfg);
@@ -69,6 +70,7 @@ fn heavy_wire_loss_degrades_mos_but_not_blocking() {
         overload_law: None,
         retry: None,
         threads: None,
+        population: None,
         seed: 21,
     };
     let clean = EmpiricalRunner::run(base.clone());

@@ -25,6 +25,7 @@ fn media_cfg(seed: u64) -> EmpiricalConfig {
         overload_law: None,
         retry: None,
         threads: None,
+        population: None,
         seed,
     }
 }

@@ -105,6 +105,7 @@ fn relay_path_performs_zero_payload_copies() {
         overload_law: None,
         retry: None,
         threads: None,
+        population: None,
         seed: 7,
     };
     let sched =

@@ -30,6 +30,7 @@ fn one_call_is_thirteen_messages() {
         overload_law: None,
         retry: None,
         threads: None,
+        population: None,
         seed: 11,
     };
     // Try seeds until a window contains exactly one call (Poisson luck).
