@@ -3,16 +3,16 @@
 //! * `queue`    — binary-heap vs sorted-vec future-event list;
 //! * `media`    — per-frame G.711 encoding vs cached-payload fast path vs
 //!   signalling-only (counts/blocking identical, cost not);
-//! * `parallel` — sequential vs rayon Fig. 6 replications;
+//! * `parallel` — sequential vs sweep-executor Fig. 6 replications;
 //! * `codec`    — μ-law vs A-law companding throughput;
 //! * `parser`   — SIP parse/serialize round-trip throughput;
 //! * `holding`  — Erlang-B insensitivity: fixed vs exponential holding.
 
 use bench::SortedVecQueue;
 use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode};
+use capacity::sweep::{run_sweep, SweepTask};
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use des::{Scheduler, SimTime};
-use rayon::prelude::*;
 
 fn queue_events() -> Vec<(SimTime, u32)> {
     let mut x: u64 = 0x12345678;
@@ -115,16 +115,15 @@ fn bench_parallel(c: &mut Criterion) {
             acc
         })
     });
-    g.bench_function("rayon_4x4_runs", |b| {
+    g.bench_function("sweep_executor_4x4_runs", |b| {
+        let tasks: Vec<SweepTask> = loads
+            .iter()
+            .enumerate()
+            .flat_map(|(cell, _)| (0..4u64).map(move |rep| SweepTask { cell, rep, cost: 1 }))
+            .collect();
         b.iter(|| {
-            loads
-                .par_iter()
-                .map(|&a| {
-                    (0..4u64)
-                        .into_par_iter()
-                        .map(|rep| run_one(a, rep))
-                        .sum::<f64>()
-                })
+            run_sweep(&tasks, |t| run_one(loads[t.cell], t.rep))
+                .iter()
                 .sum::<f64>()
         })
     });

@@ -1,0 +1,319 @@
+//! Emit `BENCH_sweep.json` — the campaign-scale sweep executor cell:
+//! cold-vs-shared precompute setup cost, sweep throughput at 1/2/4/8
+//! budgeted workers against the sequential reference (bit-identical
+//! per-run digests AND per-cell aggregates required), and an events/sec
+//! regression gate against the committed population-scale baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_sweep_json              # smoke
+//! BENCH_SCALE=full cargo run --release -p bench --bin bench_sweep_json
+//! ```
+//!
+//! Three measurements:
+//!
+//! 1. **Setup cost** — building the per-run immutable inputs cold
+//!    (Erlang-B [`BlockingCurve`], the 1000-subscriber directory) versus
+//!    cloning them out of the process-wide shared memos
+//!    ([`shared_curve`], [`Directory::shared_subscribers`]). The sweep
+//!    executor leans on the shared path for every `(cell, replication)`
+//!    task, so the shared cost must be measurably below cold — the
+//!    emitter exits non-zero if it is not.
+//! 2. **Sweep rows** — a Fig. 6-shaped (cell × replication) grid run
+//!    through the sequential reference and through the work-stealing
+//!    executor at 1/2/4/8 pool workers. Every row must reproduce the
+//!    reference bit for bit: per-run digests and per-cell mean/CI
+//!    aggregates are compared exactly and any divergence is fatal.
+//!    Speedups are recorded but never gated — the curve is only
+//!    meaningful on a multi-core host (`host_cores` is recorded so a
+//!    single-core CI run reads as oversubscription, not a regression).
+//! 3. **Regression gate** — re-runs the scale bench's gate scenario and
+//!    compares events/sec against the `gate_scenario_events_per_sec`
+//!    entry of `BENCH_SCALE_BASELINE` (default `BENCH_scale.json`): the
+//!    executor plumbing must not slow the single-run fast path. Full
+//!    runs gate at >10% regression; smoke runs are jitter-dominated so
+//!    only a catastrophic (>2x) regression trips there.
+
+use capacity::experiment::{EmpiricalConfig, EmpiricalRunner, SimOptions};
+use capacity::sweep::{mean_ci, run_sweep, run_sweep_reference, SweepTask};
+use loadgen::HoldingDist;
+use pbx_sim::Directory;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+use teletraffic::erlang_b::{shared_curve, BlockingCurve};
+use teletraffic::Erlangs;
+
+struct SweepRow {
+    name: String,
+    workers: usize,
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+/// One Fig. 6-shaped sweep cell: signalling-only Table-I load, window
+/// shrunk so smoke rows finish in milliseconds.
+fn cell_cfg(a: f64, seed: u64, scale: &str) -> EmpiricalConfig {
+    let mut cfg = EmpiricalConfig::signalling_only(a, seed);
+    cfg.placement_window_s = if scale == "full" { 60.0 } else { 6.0 };
+    cfg
+}
+
+fn grid(scale: &str) -> (Vec<f64>, u64, &'static str) {
+    match scale {
+        "full" => (
+            (0..7).map(|i| 140.0 + 20.0 * f64::from(i)).collect(),
+            4,
+            "fig6_7x4_signalling_60s",
+        ),
+        _ => (vec![140.0, 200.0, 260.0], 2, "fig6_3x2_signalling_6s"),
+    }
+}
+
+/// Mirror `bench_scale_json`'s gate scenario exactly so events/sec is
+/// comparable against its `gate_scenario_events_per_sec` at the same
+/// scale.
+fn gate_cfg(scale: &str) -> EmpiricalConfig {
+    match scale {
+        "full" => EmpiricalConfig::table1(150.0, 2015),
+        _ => {
+            let mut c = EmpiricalConfig::table1(150.0, 2015);
+            c.placement_window_s = 5.0;
+            c.holding = HoldingDist::Fixed(4.0);
+            c
+        }
+    }
+}
+
+/// Pull `"gate_scenario_events_per_sec": <num>` out of the baseline
+/// (same hand-rolled scan as the other emitters — the bench crate has no
+/// JSON parser dependency).
+fn baseline_events_per_sec(json: &str) -> Option<f64> {
+    let line = json.lines().find(|l| {
+        l.trim_start()
+            .starts_with("\"gate_scenario_events_per_sec\"")
+    })?;
+    let tail = line.split(':').nth(1)?;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let scale = std::env::var("BENCH_SCALE").unwrap_or_else(|_| "smoke".to_owned());
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let setup_iters: u32 = if scale == "full" { 200 } else { 50 };
+
+    // --- 1. Cold vs shared precompute setup cost -----------------------
+    // Warm the memos first so the shared loop measures steady-state cost
+    // (the sweep pays the cold fill exactly once per process).
+    let _ = shared_curve(Erlangs(150.0), 170);
+    let _ = Directory::shared_subscribers(1000, 1000);
+    let g711_checksum = rtpcore::g711::warm();
+
+    let t = Instant::now();
+    for _ in 0..setup_iters {
+        let _ = black_box(BlockingCurve::new(Erlangs(150.0), 170));
+        black_box(Directory::with_subscribers(1000, 1000));
+    }
+    let cold_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    for _ in 0..setup_iters {
+        black_box(shared_curve(Erlangs(150.0), 170));
+        black_box(Directory::shared_subscribers(1000, 1000));
+    }
+    let shared_s = t.elapsed().as_secs_f64();
+    let setup_ratio = cold_s / shared_s.max(1e-12);
+    eprintln!(
+        "setup x{setup_iters}: cold {cold_s:.6} s vs shared {shared_s:.6} s \
+         ({setup_ratio:.1}x cheaper; g711 checksum {g711_checksum:#x})"
+    );
+    if shared_s >= cold_s {
+        eprintln!(
+            "FATAL: shared precompute ({shared_s:.6} s) is not cheaper than \
+             cold construction ({cold_s:.6} s) — the memo path regressed"
+        );
+        std::process::exit(1);
+    }
+
+    // --- 2. Sweep rows: reference vs executor at 1/2/4/8 workers -------
+    let (loads, reps, scenario) = grid(&scale);
+    let tasks: Vec<SweepTask> = (0..loads.len())
+        .flat_map(|cell| (0..reps).map(move |rep| SweepTask { cell, rep, cost: 1 }))
+        .collect();
+    let work = |t: SweepTask| {
+        let cfg = cell_cfg(loads[t.cell], des::stream_seed(2015, t.rep), &scale);
+        let r = EmpiricalRunner::run(cfg);
+        (r.digest(), r.observed_pb, r.events_processed)
+    };
+    let aggregate = |runs: &[(u64, f64, u64)]| -> Vec<(u64, u64)> {
+        runs.chunks(reps as usize)
+            .map(|chunk| {
+                let samples: Vec<f64> = chunk.iter().map(|&(_, pb, _)| pb).collect();
+                let (mean, hw) = mean_ci(&samples);
+                (mean.to_bits(), hw.to_bits())
+            })
+            .collect()
+    };
+
+    // Untimed warmup absorbs cold-start costs (lazy statics, page
+    // faults, allocator pools) before the reference row is clocked.
+    let _ = run_sweep_reference(&tasks, work);
+
+    let t = Instant::now();
+    let reference = run_sweep_reference(&tasks, work);
+    let ref_wall = t.elapsed().as_secs_f64();
+    let ref_events: u64 = reference.iter().map(|&(_, _, ev)| ev).sum();
+    let ref_agg = aggregate(&reference);
+    let mut rows = vec![SweepRow {
+        name: "reference".to_owned(),
+        workers: 0,
+        wall_s: ref_wall,
+        events: ref_events,
+        events_per_sec: ref_events as f64 / ref_wall.max(1e-9),
+    }];
+    eprintln!(
+        "{:<12} {:>8.3} s  {:>12.0} ev/s  ({} runs, {} events)",
+        "reference",
+        ref_wall,
+        rows[0].events_per_sec,
+        reference.len(),
+        ref_events
+    );
+
+    for workers in [1usize, 2, 4, 8] {
+        des::pool::configure(workers);
+        // Best-of-2 on wall clock: results are deterministic, so only
+        // the clock varies between repeats.
+        let mut best_wall = f64::INFINITY;
+        let mut results = Vec::new();
+        for _ in 0..2 {
+            let t = Instant::now();
+            let r = run_sweep(&tasks, work);
+            best_wall = best_wall.min(t.elapsed().as_secs_f64());
+            results = r;
+        }
+        if results != reference {
+            eprintln!(
+                "FATAL: sweep at {workers} workers diverged from the sequential \
+                 reference — the executor leaked into the physics"
+            );
+            std::process::exit(1);
+        }
+        if aggregate(&results) != ref_agg {
+            eprintln!(
+                "FATAL: per-cell mean/CI aggregates at {workers} workers differ \
+                 from the sequential reference"
+            );
+            std::process::exit(1);
+        }
+        let eps = ref_events as f64 / best_wall.max(1e-9);
+        eprintln!(
+            "{:<12} {:>8.3} s  {:>12.0} ev/s",
+            format!("sweep_{workers}w"),
+            best_wall,
+            eps
+        );
+        rows.push(SweepRow {
+            name: format!("sweep_{workers}w"),
+            workers,
+            wall_s: best_wall,
+            events: ref_events,
+            events_per_sec: eps,
+        });
+    }
+    let one_w = rows[1].wall_s.max(1e-9);
+    let speedup_4w = one_w / rows[3].wall_s.max(1e-9);
+    let speedup_8w = one_w / rows[4].wall_s.max(1e-9);
+    eprintln!(
+        "sweep scaling vs 1 worker: 4w {speedup_4w:.2}x, 8w {speedup_8w:.2}x \
+         ({host_cores} host cores; informational only)"
+    );
+
+    // --- 3. Regression gate vs the population-scale baseline -----------
+    let baseline_path =
+        std::env::var("BENCH_SCALE_BASELINE").unwrap_or_else(|_| "BENCH_scale.json".to_owned());
+    let gate = gate_cfg(&scale);
+    let gate_eps = (0..3)
+        .map(|_| EmpiricalRunner::run_with(gate.clone(), SimOptions::default()).events_per_sec)
+        .fold(0.0_f64, f64::max);
+    let mut gate_status = "no_baseline".to_owned();
+    let mut baseline_eps = 0.0;
+    match std::fs::read_to_string(&baseline_path)
+        .ok()
+        .as_deref()
+        .and_then(baseline_events_per_sec)
+    {
+        // An instrumented build pays two clock reads per event; comparing
+        // it against an uninstrumented baseline would always trip the gate.
+        Some(_) if cfg!(feature = "phase-timing") => {
+            gate_status = "skipped_phase_timing".to_owned();
+            eprintln!("throughput gate skipped: phase-timing instrumentation is enabled");
+        }
+        Some(base) => {
+            baseline_eps = base;
+            let ratio = gate_eps / base.max(1e-9);
+            // Smoke runs are noise-dominated (see module docs): only a
+            // catastrophic regression is meaningful there.
+            let floor = if scale == "full" { 0.9 } else { 0.5 };
+            eprintln!(
+                "throughput gate: {gate_eps:.0} ev/s vs baseline {base:.0} ev/s \
+                 ({ratio:.2}x, floor {floor}, {baseline_path})"
+            );
+            if ratio < floor {
+                eprintln!("FATAL: events/sec regressed below {floor}x of {baseline_path}");
+                std::process::exit(1);
+            }
+            gate_status = format!("ok_{ratio:.3}x");
+        }
+        None => {
+            eprintln!("throughput gate skipped: no parsable baseline at {baseline_path}");
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scenario\": \"{scenario}\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"setup\": {{");
+    let _ = writeln!(json, "    \"iters\": {setup_iters},");
+    let _ = writeln!(json, "    \"cold_s\": {cold_s:.6},");
+    let _ = writeln!(json, "    \"shared_s\": {shared_s:.6},");
+    let _ = writeln!(json, "    \"cold_over_shared\": {setup_ratio:.1},");
+    let _ = writeln!(json, "    \"g711_warm_checksum\": \"{g711_checksum:#x}\"");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"workers\": {}, \"wall_s\": {:.6}, \
+             \"events\": {}, \"events_per_sec\": {:.1}}}{comma}",
+            r.name, r.workers, r.wall_s, r.events, r.events_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"digests_identical\": true,");
+    let _ = writeln!(json, "  \"aggregates_identical\": true,");
+    let _ = writeln!(json, "  \"speedup_4w_vs_1w\": {speedup_4w:.3},");
+    let _ = writeln!(json, "  \"speedup_8w_vs_1w\": {speedup_8w:.3},");
+    let _ = writeln!(json, "  \"gate_scenario_events_per_sec\": {gate_eps:.1},");
+    let _ = writeln!(
+        json,
+        "  \"gate_baseline_events_per_sec\": {baseline_eps:.1},"
+    );
+    let _ = writeln!(json, "  \"gate_status\": \"{gate_status}\"");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_owned());
+    std::fs::write(&out, &json).expect("write BENCH_sweep.json");
+    println!(
+        "wrote {out} (shared setup {setup_ratio:.1}x cheaper than cold, \
+         digests and aggregates identical at 1/2/4/8 workers)"
+    );
+}

@@ -5,6 +5,7 @@
 //! capacity-cli fig3                 # Erlang-B curves (Fig. 3)
 //! capacity-cli table1 [--scale X]   # empirical Table I (slow at scale 1)
 //! capacity-cli fig6 [--reps R]      # empirical vs analytic sweep (Fig. 6)
+//! capacity-cli fig6 --ci-target 0.5 # adaptive replications per point
 //! capacity-cli fig7                 # population dimensioning (Fig. 7)
 //! capacity-cli run --erlangs A      # one empirical run, full details
 //! ```
@@ -12,6 +13,7 @@
 //! Append `--json` to any subcommand for machine-readable output.
 
 use capacity::experiment::{EmpiricalConfig, EmpiricalRunner};
+use capacity::sweep::{AdaptivePolicy, ProgressMeter};
 use capacity::world::pbx_node;
 use capacity::{farm, figures, policy, report, table1};
 use des::SimDuration;
@@ -23,6 +25,7 @@ use pbx_sim::OverloadControl;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let has = |name: &str| args.iter().any(|a| a == name);
     let flag = |name: &str, default: f64| -> f64 {
         args.iter()
             .position(|a| a == name)
@@ -31,6 +34,15 @@ fn main() {
             .unwrap_or(default)
     };
     let seed = flag("--seed", 2015.0) as u64;
+    // Sweep subcommands: --threads N caps the process-wide worker budget
+    // the sweep executor (and any nested sharded run) draws from; the
+    // numbers are identical at any value. --progress prints per-cell
+    // lines to stderr, off by default so JSON pipelines stay clean.
+    let sweep_threads = flag("--threads", 0.0) as usize;
+    if sweep_threads > 0 {
+        des::pool::configure(sweep_threads);
+    }
+    let progress = has("--progress");
 
     match args.first().map(String::as_str) {
         Some("fig3") => {
@@ -55,8 +67,33 @@ fn main() {
             }
         }
         Some("fig6") => {
-            let reps = flag("--reps", 5.0) as u64;
-            let points = figures::fig6(&figures::fig6_default_loads(), reps, seed);
+            // --smoke shrinks the sweep to a CI-scale grid; --ci-target
+            // switches to adaptive replication (reps becomes the minimum,
+            // --max-reps the per-point budget).
+            let smoke = has("--smoke");
+            let loads = if smoke {
+                vec![140.0, 200.0, 260.0]
+            } else {
+                figures::fig6_default_loads()
+            };
+            let reps = flag("--reps", if smoke { 2.0 } else { 5.0 }) as u64;
+            let ci_target = flag("--ci-target", 0.0);
+            let points = if ci_target > 0.0 {
+                let policy = AdaptivePolicy {
+                    ci_target,
+                    min_reps: reps.max(2),
+                    max_reps: flag("--max-reps", (reps.max(2) * 16) as f64) as u64,
+                };
+                let meter = ProgressMeter::for_adaptive(
+                    loads.len(),
+                    loads.len() as u64 * policy.max_reps,
+                    progress,
+                );
+                figures::fig6_adaptive(&loads, policy, seed, Some(&meter))
+            } else {
+                let meter = ProgressMeter::new(loads.len(), loads.len() as u64 * reps, progress);
+                figures::fig6_with(&loads, reps, seed, Some(&meter))
+            };
             if json {
                 println!("{}", report::to_json(&points));
             } else {
@@ -88,7 +125,9 @@ fn main() {
             if window > 0.0 {
                 cc.placement_window_s = window;
             }
-            let result = capacity::campaign::run_campaign(&cc);
+            let cells = cc.algorithms(1.0).len() * cc.multipliers.len();
+            let meter = ProgressMeter::new(cells, cells as u64, progress);
+            let result = capacity::campaign::run_campaign_with(&cc, Some(&meter));
             if json {
                 println!("{}", report::to_json(&result));
             } else {
@@ -100,7 +139,9 @@ fn main() {
             let users = flag("--users", 60.0) as u32;
             let reps = flag("--reps", 3.0) as u64;
             let limits = [None, Some(4), Some(3), Some(2), Some(1)];
-            let rows = policy::policy_study(erlangs, users, &limits, reps, seed);
+            let meter =
+                ProgressMeter::new(limits.len(), limits.len() as u64 * reps.max(1), progress);
+            let rows = policy::policy_study_with(erlangs, users, &limits, reps, seed, Some(&meter));
             if json {
                 println!("{}", report::to_json(&rows));
             } else {
@@ -111,7 +152,10 @@ fn main() {
             let erlangs = flag("--erlangs", 150.0);
             let total = flag("--channels", 164.0) as u32;
             let reps = flag("--reps", 5.0) as u64;
-            let rows = farm::farm_study(erlangs, total, &[1, 2, 4], reps, seed);
+            let layouts = [1, 2, 4];
+            let meter =
+                ProgressMeter::new(layouts.len(), layouts.len() as u64 * reps.max(1), progress);
+            let rows = farm::farm_study_with(erlangs, total, &layouts, reps, seed, Some(&meter));
             if json {
                 println!("{}", report::to_json(&rows));
             } else {
@@ -286,6 +330,15 @@ fn main() {
             );
             eprintln!("  table1 [--scale X]        scale<1 runs a shortened experiment");
             eprintln!("  fig6   [--reps R]         replications per sweep point");
+            eprintln!("         [--smoke]          CI-scale grid (3 loads, 2 reps)");
+            eprintln!(
+                "         [--ci-target P]    adaptive reps until the 95% CI half-width <= P pp"
+            );
+            eprintln!("         [--max-reps R]     per-point budget for --ci-target");
+            eprintln!(
+                "  sweeps (fig6/campaign/policy/farm) also take [--threads N] (worker budget)"
+            );
+            eprintln!("         and [--progress]   per-cell progress lines on stderr");
             eprintln!("  fig7   [--population P] [--channels N]");
             eprintln!("  policy [--erlangs A] [--users U]   per-user call-limit study");
             eprintln!("  farm   [--erlangs A] [--channels N] [--reps R]  pooled vs split servers");

@@ -18,11 +18,11 @@
 //! anchor makes curves comparable across pool sizes.
 
 use crate::experiment::{EmpiricalConfig, EmpiricalRunner, MediaMode};
+use crate::sweep::{self, ProgressMeter, SweepTask};
 use des::SimDuration;
 use faults::{FaultKind, FaultSchedule};
 use loadgen::{HoldingDist, RetryPolicy};
 use overload::ControlLaw;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Campaign-wide knobs; the per-cell physics comes from
@@ -181,48 +181,76 @@ fn cell_config(cc: &CampaignConfig, erlangs: f64, law: Option<ControlLaw>) -> Em
     cfg
 }
 
-/// Run the campaign: every algorithm × every multiplier, cells in
-/// parallel, each cell a pure function of `(seed, algorithm, multiplier)`.
+/// Run the campaign: every algorithm × every multiplier, the whole grid
+/// fanned out through the budgeted work-stealing executor
+/// ([`crate::sweep`]), each cell a pure function of `(seed, algorithm,
+/// multiplier)` collected back into curve order.
 #[must_use]
 pub fn run_campaign(cc: &CampaignConfig) -> CampaignResult {
-    let engineered = teletraffic::erlang_b::load_for(cc.channels, 0.01)
+    run_campaign_with(cc, None)
+}
+
+/// [`run_campaign`] with optional progress reporting (the CLI's
+/// `--progress`).
+#[must_use]
+pub fn run_campaign_with(cc: &CampaignConfig, progress: Option<&ProgressMeter>) -> CampaignResult {
+    // Engineered capacity is the same Newton solve for every cell of
+    // every campaign at this pool size — memoized process-wide.
+    let engineered = teletraffic::erlang_b::shared_load_for(cc.channels, 0.01)
         .map(|e| e.value())
         .unwrap_or(f64::from(cc.channels));
     let algorithms = cc.algorithms(engineered);
-    let curves: Vec<AlgorithmCurve> = algorithms
-        .par_iter()
+    let n_mult = cc.multipliers.len();
+    // One task per grid cell, flat index ai·n_mult + mi; heavier
+    // multipliers cost proportionally more events, which the cost model
+    // picks up from the cell's own config.
+    let tasks: Vec<SweepTask> = algorithms
+        .iter()
         .enumerate()
-        .map(|(ai, (name, law))| {
-            let points: Vec<CampaignPoint> = cc
-                .multipliers
-                .par_iter()
-                .enumerate()
-                .map(|(mi, &m)| {
-                    let erlangs = engineered * m;
-                    let mut cfg = cell_config(cc, erlangs, *law);
-                    // Decorrelate cells without losing reproducibility:
-                    // the cell seed is a pure function of the campaign
-                    // seed and the cell's grid position.
-                    cfg.seed = des::stream_seed(cc.seed, (ai * 1000 + mi) as u64);
-                    let r = EmpiricalRunner::run(cfg);
-                    CampaignPoint {
-                        multiplier: m,
-                        offered_erlangs: erlangs,
-                        offered_cps: erlangs / cc.holding_s,
-                        goodput_cps: r.goodput as f64 / cc.placement_window_s,
-                        attempted: r.attempted,
-                        goodput: r.goodput,
-                        shed: r.shed,
-                        blocked: r.blocked,
-                        shed_then_ok: r.shed_then_ok,
-                        digest: r.digest(),
-                    }
-                })
-                .collect();
-            AlgorithmCurve {
-                algorithm: name.clone(),
-                points,
+        .flat_map(|(ai, (_, law))| {
+            cc.multipliers.iter().enumerate().map(move |(mi, &m)| {
+                let cost = sweep::run_cost(&cell_config(cc, engineered * m, *law));
+                SweepTask {
+                    cell: ai * n_mult + mi,
+                    rep: 0,
+                    cost,
+                }
+            })
+        })
+        .collect();
+    let points = sweep::run_sweep_with(
+        &tasks,
+        |t| {
+            let (ai, mi) = (t.cell / n_mult, t.cell % n_mult);
+            let m = cc.multipliers[mi];
+            let erlangs = engineered * m;
+            let mut cfg = cell_config(cc, erlangs, algorithms[ai].1);
+            // Decorrelate cells without losing reproducibility: the cell
+            // seed is a pure function of the campaign seed and the
+            // cell's grid position.
+            cfg.seed = des::stream_seed(cc.seed, (ai * 1000 + mi) as u64);
+            let r = EmpiricalRunner::run(cfg);
+            CampaignPoint {
+                multiplier: m,
+                offered_erlangs: erlangs,
+                offered_cps: erlangs / cc.holding_s,
+                goodput_cps: r.goodput as f64 / cc.placement_window_s,
+                attempted: r.attempted,
+                goodput: r.goodput,
+                shed: r.shed,
+                blocked: r.blocked,
+                shed_then_ok: r.shed_then_ok,
+                digest: r.digest(),
             }
+        },
+        progress,
+    );
+    let mut points = points.into_iter();
+    let curves = algorithms
+        .iter()
+        .map(|(name, _)| AlgorithmCurve {
+            algorithm: name.clone(),
+            points: points.by_ref().take(n_mult).collect(),
         })
         .collect();
     CampaignResult {

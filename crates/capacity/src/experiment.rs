@@ -567,7 +567,11 @@ impl EmpiricalRunner {
             observed_pb,
             steady_pb,
             steady_attempts,
-            analytic_pb: teletraffic::blocking_probability(Erlangs(erlangs), channels),
+            // Shared-curve lookup, bit-identical to the direct recurrence
+            // (the curve memoizes the same pass), so sweeps stop paying
+            // an O(channels) solve per replication.
+            analytic_pb: teletraffic::erlang_b::shared_curve(Erlangs(erlangs), channels)
+                .at(channels),
             peak_channels: world.pbxes.iter().map(|p| p.pool.peak()).max().unwrap_or(0),
             per_server_peaks: world.pbxes.iter().map(|p| p.pool.peak()).collect(),
             carried_erlangs: world

@@ -9,7 +9,7 @@
 //! against "add more boxes + policy".
 
 use crate::experiment::{EmpiricalConfig, EmpiricalRunner};
-use rayon::prelude::*;
+use crate::sweep::{self, ProgressMeter, SweepTask};
 use serde::{Deserialize, Serialize};
 use teletraffic::{blocking_probability, Erlangs};
 
@@ -33,9 +33,20 @@ pub struct FarmRow {
     pub busiest_peak: u32,
 }
 
+/// The configuration one farm replication runs.
+fn farm_cfg(erlangs: f64, servers: u32, channels_each: u32, seed: u64) -> EmpiricalConfig {
+    let mut cfg = EmpiricalConfig::signalling_only(erlangs, seed);
+    cfg.servers = servers;
+    cfg.channels = channels_each;
+    cfg.placement_window_s = 600.0;
+    cfg
+}
+
 /// Compare farm layouts carrying the same offered load with the same
 /// total channel count: 1×N, 2×N/2, … — the trunking-efficiency study.
-/// Blocking is averaged over `reps` independent replications per layout.
+/// Blocking is averaged over `reps` independent replications per layout;
+/// the `(layout, rep)` grid fans out through the budgeted work-stealing
+/// executor ([`crate::sweep`]).
 #[must_use]
 pub fn farm_study(
     erlangs: f64,
@@ -44,21 +55,50 @@ pub fn farm_study(
     reps: u64,
     seed: u64,
 ) -> Vec<FarmRow> {
+    farm_study_with(erlangs, total_channels, layouts, reps, seed, None)
+}
+
+/// [`farm_study`] with optional progress reporting (the CLI's
+/// `--progress`).
+#[must_use]
+pub fn farm_study_with(
+    erlangs: f64,
+    total_channels: u32,
+    layouts: &[u32],
+    reps: u64,
+    seed: u64,
+    progress: Option<&ProgressMeter>,
+) -> Vec<FarmRow> {
+    let reps = reps.max(1);
+    // Cell-major task order: runs for layout `c` are the contiguous
+    // slice [c·reps, (c+1)·reps), already in replication order.
+    let tasks: Vec<SweepTask> = layouts
+        .iter()
+        .enumerate()
+        .flat_map(|(cell, &servers)| {
+            let cost = sweep::run_cost(&farm_cfg(erlangs, servers, total_channels / servers, 0));
+            (0..reps).map(move |rep| SweepTask { cell, rep, cost })
+        })
+        .collect();
+    let all_runs = sweep::run_sweep_with(
+        &tasks,
+        |t| {
+            let servers = layouts[t.cell];
+            EmpiricalRunner::run(farm_cfg(
+                erlangs,
+                servers,
+                total_channels / servers,
+                des::stream_seed(seed, t.rep),
+            ))
+        },
+        progress,
+    );
     layouts
-        .par_iter()
-        .map(|&servers| {
+        .iter()
+        .enumerate()
+        .map(|(cell, &servers)| {
             let channels_each = total_channels / servers;
-            let runs: Vec<crate::experiment::RunResult> = (0..reps.max(1))
-                .into_par_iter()
-                .map(|rep| {
-                    let mut cfg =
-                        EmpiricalConfig::signalling_only(erlangs, des::stream_seed(seed, rep));
-                    cfg.servers = servers;
-                    cfg.channels = channels_each;
-                    cfg.placement_window_s = 600.0;
-                    EmpiricalRunner::run(cfg)
-                })
-                .collect();
+            let runs = &all_runs[cell * reps as usize..(cell + 1) * reps as usize];
             let mean_pb = runs.iter().map(|r| r.steady_pb).sum::<f64>() / runs.len() as f64;
             let busiest_peak = runs.iter().map(|r| r.peak_channels).max().unwrap_or(0);
             // Random dispatch splits the Poisson stream into k thinned

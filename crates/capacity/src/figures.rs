@@ -2,10 +2,10 @@
 //! fault-recovery timeline used by the robustness experiments.
 
 use crate::experiment::{run_world, EmpiricalConfig, EmpiricalRunner};
+use crate::sweep::{self, AdaptivePolicy, ProgressMeter, SweepTask};
 use des::SimTime;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use teletraffic::{blocking_probability, BlockingCurve, Erlangs};
+use teletraffic::{blocking_probability, Erlangs};
 
 /// One analytical curve of Fig. 3: `Pb%` as a function of `N` for a fixed
 /// workload.
@@ -54,50 +54,117 @@ pub struct Fig6Point {
     pub analytic_170: f64,
 }
 
+/// The configuration one Fig. 6 replication runs: `signalling_only` at
+/// load `a`, with the placement window extended from the paper's 180 s
+/// to 600 s so the steady-state (warmup-truncated) blocking estimator is
+/// apples-to-apples against the stationary Erlang-B rails. The raw
+/// transient-laden measure appears in Table I exactly as the paper
+/// records it.
+fn fig6_cfg(a: f64, seed: u64) -> EmpiricalConfig {
+    let mut cfg = EmpiricalConfig::signalling_only(a, seed);
+    cfg.placement_window_s = 600.0;
+    cfg
+}
+
+/// One Fig. 6 point from its replication samples (already in rep order)
+/// plus the shared analytic rails.
+fn fig6_point(a: f64, pbs: &[f64]) -> Fig6Point {
+    let (mean, ci) = sweep::mean_ci(pbs);
+    // One memoized recurrence pass serves all three analytic rails for
+    // every replication of every sweep that asks.
+    let rails = teletraffic::erlang_b::shared_curve(Erlangs(a), 170);
+    Fig6Point {
+        erlangs: a,
+        empirical_pb_pct: mean,
+        ci_half_width_pct: ci,
+        analytic_160: rails.at(160) * 100.0,
+        analytic_165: rails.at(165) * 100.0,
+        analytic_170: rails.at(170) * 100.0,
+    }
+}
+
 /// Fig. 6 — empirical blocking vs the Erlang-B curves for N = 160/165/170.
 ///
-/// Sweeps `loads` with `replications` independent seeded runs per point;
-/// replications run in parallel (rayon) and, thanks to per-run RNG
-/// streams, produce the same numbers at any thread count.
-///
-/// Each run extends the paper's 180 s placement window to 600 s and uses
-/// the steady-state (warmup-truncated) blocking estimator, so the
-/// comparison against the stationary Erlang-B curves is apples-to-apples;
-/// the raw transient-laden measure appears in Table I exactly as the
-/// paper records it.
+/// Sweeps `loads` with `replications` independent seeded runs per point.
+/// The `(load, rep)` grid fans out through the budgeted work-stealing
+/// executor ([`crate::sweep`]) — workers come from the same [`des::pool`]
+/// budget the within-run sharded engine draws on, so `--threads N` bounds
+/// the whole process — and, thanks to per-run RNG streams plus
+/// index-keyed collection, produces identical numbers at any thread
+/// count.
 #[must_use]
 pub fn fig6(loads: &[f64], replications: u64, base_seed: u64) -> Vec<Fig6Point> {
-    loads
-        .par_iter()
-        .map(|&a| {
-            let pbs: Vec<f64> = (0..replications)
-                .into_par_iter()
-                .map(|rep| {
-                    let mut cfg =
-                        EmpiricalConfig::signalling_only(a, des::stream_seed(base_seed, rep));
-                    cfg.placement_window_s = 600.0;
-                    EmpiricalRunner::run(cfg).steady_pb * 100.0
-                })
-                .collect();
-            let mean = pbs.iter().sum::<f64>() / pbs.len() as f64;
-            let ci = if pbs.len() > 1 {
-                let var =
-                    pbs.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (pbs.len() - 1) as f64;
-                1.96 * (var / pbs.len() as f64).sqrt()
-            } else {
-                f64::NAN
-            };
-            // One recurrence pass serves all three analytic rails.
-            let rails = BlockingCurve::new(Erlangs(a), 170);
-            Fig6Point {
-                erlangs: a,
-                empirical_pb_pct: mean,
-                ci_half_width_pct: ci,
-                analytic_160: rails.at(160) * 100.0,
-                analytic_165: rails.at(165) * 100.0,
-                analytic_170: rails.at(170) * 100.0,
-            }
+    fig6_with(loads, replications, base_seed, None)
+}
+
+/// [`fig6`] with optional progress reporting (the CLI's `--progress`).
+#[must_use]
+pub fn fig6_with(
+    loads: &[f64],
+    replications: u64,
+    base_seed: u64,
+    progress: Option<&ProgressMeter>,
+) -> Vec<Fig6Point> {
+    // Cell-major task order: samples for load `c` are the contiguous
+    // slice [c·R, (c+1)·R), already in replication order.
+    let tasks: Vec<SweepTask> = loads
+        .iter()
+        .enumerate()
+        .flat_map(|(cell, &a)| {
+            let cost = sweep::run_cost(&fig6_cfg(a, 0));
+            (0..replications).map(move |rep| SweepTask { cell, rep, cost })
         })
+        .collect();
+    let pbs = sweep::run_sweep_with(
+        &tasks,
+        |t| {
+            let cfg = fig6_cfg(loads[t.cell], des::stream_seed(base_seed, t.rep));
+            EmpiricalRunner::run(cfg).steady_pb * 100.0
+        },
+        progress,
+    );
+    loads
+        .iter()
+        .enumerate()
+        .map(|(cell, &a)| {
+            let r = replications as usize;
+            fig6_point(a, &pbs[cell * r..(cell + 1) * r])
+        })
+        .collect()
+}
+
+/// Adaptive-replication Fig. 6: every load point starts at
+/// `policy.min_reps` replications and keeps spending — through the same
+/// budgeted executor — until its 95% CI half-width (in percentage
+/// points) reaches `policy.ci_target` or the point exhausts
+/// `policy.max_reps`. Replication `r` of a load always runs seed
+/// `stream_seed(base_seed, r)`, so the sample sets (and hence every
+/// reported number) are a pure function of `(loads, policy, base_seed)`
+/// at any worker count.
+#[must_use]
+pub fn fig6_adaptive(
+    loads: &[f64],
+    policy: AdaptivePolicy,
+    base_seed: u64,
+    progress: Option<&ProgressMeter>,
+) -> Vec<Fig6Point> {
+    let costs: Vec<u64> = loads
+        .iter()
+        .map(|&a| sweep::run_cost(&fig6_cfg(a, 0)))
+        .collect();
+    let estimates = sweep::adaptive_sweep(
+        &costs,
+        policy,
+        |cell, rep| {
+            let cfg = fig6_cfg(loads[cell], des::stream_seed(base_seed, rep));
+            EmpiricalRunner::run(cfg).steady_pb * 100.0
+        },
+        progress,
+    );
+    loads
+        .iter()
+        .zip(&estimates)
+        .map(|(&a, est)| fig6_point(a, &est.samples))
         .collect()
 }
 
@@ -228,6 +295,26 @@ mod tests {
         for p in &pts {
             assert!(p.analytic_160 >= p.analytic_165);
             assert!(p.analytic_165 >= p.analytic_170);
+        }
+    }
+
+    #[test]
+    fn fig6_adaptive_with_loose_target_equals_fixed_min_reps() {
+        // A target every cell meets immediately makes the adaptive sweep
+        // spend exactly min_reps per point with the same indexed seeds —
+        // so it must reproduce the fixed-replication sweep bit for bit.
+        let policy = AdaptivePolicy {
+            ci_target: 1.0e6,
+            min_reps: 2,
+            max_reps: 4,
+        };
+        let fixed = fig6(&[140.0, 240.0], 2, 99);
+        let adaptive = fig6_adaptive(&[140.0, 240.0], policy, 99, None);
+        assert_eq!(fixed.len(), adaptive.len());
+        for (f, a) in fixed.iter().zip(&adaptive) {
+            assert_eq!(f.empirical_pb_pct.to_bits(), a.empirical_pb_pct.to_bits());
+            assert_eq!(f.ci_half_width_pct.to_bits(), a.ci_half_width_pct.to_bits());
+            assert_eq!(f.analytic_165.to_bits(), a.analytic_165.to_bits());
         }
     }
 

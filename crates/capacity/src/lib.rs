@@ -12,6 +12,8 @@
 //!   swept 0.5×–4× past engineered capacity under a flash crowd;
 //! * [`mod@table1`] — the six-workload sweep reproducing the paper's Table I;
 //! * [`figures`] — series builders for Figures 3, 6 and 7;
+//! * [`sweep`] — the budgeted work-stealing executor every sweep
+//!   (figures, campaign, farm, policy) fans out through;
 //! * [`report`] — text/JSON renderers for all of the above.
 
 #![forbid(unsafe_code)]
@@ -24,6 +26,7 @@ pub mod figures;
 pub mod policy;
 pub mod report;
 pub mod shard;
+pub mod sweep;
 pub mod table1;
 pub mod world;
 

@@ -8,7 +8,7 @@
 //! trade off.
 
 use crate::experiment::{EmpiricalConfig, EmpiricalRunner};
-use rayon::prelude::*;
+use crate::sweep::{self, ProgressMeter, SweepTask};
 use serde::{Deserialize, Serialize};
 
 /// Result of one policy setting.
@@ -42,20 +42,58 @@ pub fn policy_study(
     reps: u64,
     seed: u64,
 ) -> Vec<PolicyRow> {
+    policy_study_with(erlangs, user_pool, limits, reps, seed, None)
+}
+
+/// The configuration one policy replication runs.
+fn policy_cfg(erlangs: f64, user_pool: u32, limit: Option<u32>, seed: u64) -> EmpiricalConfig {
+    let mut cfg = EmpiricalConfig::signalling_only(erlangs, seed);
+    cfg.user_pool = user_pool;
+    cfg.max_calls_per_user = limit;
+    cfg.placement_window_s = 600.0;
+    cfg
+}
+
+/// [`policy_study`] with optional progress reporting (the CLI's
+/// `--progress`); the `(ceiling, rep)` grid fans out through the
+/// budgeted work-stealing executor ([`crate::sweep`]).
+#[must_use]
+pub fn policy_study_with(
+    erlangs: f64,
+    user_pool: u32,
+    limits: &[Option<u32>],
+    reps: u64,
+    seed: u64,
+    progress: Option<&ProgressMeter>,
+) -> Vec<PolicyRow> {
+    let reps = reps.max(1);
+    // Cell-major task order: runs for ceiling `c` are the contiguous
+    // slice [c·reps, (c+1)·reps), already in replication order.
+    let tasks: Vec<SweepTask> = limits
+        .iter()
+        .enumerate()
+        .flat_map(|(cell, &limit)| {
+            let cost = sweep::run_cost(&policy_cfg(erlangs, user_pool, limit, 0));
+            (0..reps).map(move |rep| SweepTask { cell, rep, cost })
+        })
+        .collect();
+    let all_runs = sweep::run_sweep_with(
+        &tasks,
+        |t| {
+            EmpiricalRunner::run(policy_cfg(
+                erlangs,
+                user_pool,
+                limits[t.cell],
+                des::stream_seed(seed, t.rep),
+            ))
+        },
+        progress,
+    );
     limits
-        .par_iter()
-        .map(|&limit| {
-            let runs: Vec<crate::experiment::RunResult> = (0..reps.max(1))
-                .into_par_iter()
-                .map(|rep| {
-                    let mut cfg =
-                        EmpiricalConfig::signalling_only(erlangs, des::stream_seed(seed, rep));
-                    cfg.user_pool = user_pool;
-                    cfg.max_calls_per_user = limit;
-                    cfg.placement_window_s = 600.0;
-                    EmpiricalRunner::run(cfg)
-                })
-                .collect();
+        .iter()
+        .enumerate()
+        .map(|(cell, &limit)| {
+            let runs = &all_runs[cell * reps as usize..(cell + 1) * reps as usize];
             let n = runs.len() as f64;
             let mean = |f: &dyn Fn(&crate::experiment::RunResult) -> f64| -> f64 {
                 runs.iter().map(f).sum::<f64>() / n

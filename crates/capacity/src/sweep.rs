@@ -1,0 +1,557 @@
+//! The sweep plane: a budgeted work-stealing executor for campaign-scale
+//! studies.
+//!
+//! The paper's headline artifacts are *sweeps* — Fig. 6 blocking-vs-load
+//! over replications, the §V capacity-planning grids — and a sweep is a
+//! bag of independent `(cell, replication)` tasks, each a pure function
+//! of its indexed seed. This module schedules that bag onto worker
+//! threads borrowed from the process-wide [`des::pool`] budget:
+//!
+//! * **Work stealing** — tasks are dealt longest-expected-first onto
+//!   per-worker deques; a worker pops its own queue from the front and,
+//!   when empty, steals from the back of a victim's queue. Long cells
+//!   start first, short cells backfill, and no worker idles while work
+//!   remains.
+//! * **Budgeted** — workers come from [`des::pool::acquire`], the same
+//!   budget the within-run sharded executor ([`crate::shard`]) draws
+//!   from. A sweep cell that itself runs sharded nests cooperatively:
+//!   its inner `acquire` sees only what the sweep left free and degrades
+//!   toward inline execution rather than oversubscribing the host.
+//! * **Deterministic** — every result lands in a slot keyed by its task
+//!   index, and aggregation happens in index order after the join, so
+//!   means, CI half-widths and report text are byte-identical to the
+//!   sequential reference at any worker count and any completion order.
+//!
+//! The executor pairs with the shared immutable precompute hosted around
+//! the workspace ([`teletraffic::erlang_b::shared_curve`], the
+//! [`pbx_sim::Directory::shared_subscribers`] prototype, pre-seeded SDP
+//! origin atoms, [`rtpcore::g711::warm`]): per-replication setup cost is
+//! paid once per process and amortized across the whole sweep. The
+//! adaptive mode ([`adaptive_sweep`]) adds a sequential stopping rule on
+//! indexed seeds so sweeps stop spending replications where the estimate
+//! has already converged.
+
+use crate::experiment::EmpiricalConfig;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One schedulable unit of a sweep: replication `rep` of sweep cell
+/// `cell`, with an expected-work estimate used for longest-first
+/// ordering. Cost only influences scheduling order, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepTask {
+    /// Sweep-cell index (a load point, an algorithm × multiplier pair, a
+    /// farm layout…) — whatever the caller is sweeping.
+    pub cell: usize,
+    /// Replication index within the cell; combined with the sweep seed
+    /// via [`des::stream_seed`] by the caller, so `(cell, rep)` names the
+    /// run regardless of which worker executes it.
+    pub rep: u64,
+    /// Expected work (arbitrary units, larger = scheduled earlier).
+    pub cost: u64,
+}
+
+/// Expected-work estimate for one replication of `cfg`, in
+/// pending-events × simulated-seconds units: the same
+/// [`EmpiricalConfig::expected_pending_events`] model that pre-sizes the
+/// scheduler, scaled by the placement window. Heavier loads and longer
+/// windows sort first so they cannot become the straggler tail of the
+/// sweep.
+#[must_use]
+pub fn run_cost(cfg: &EmpiricalConfig) -> u64 {
+    let window = cfg.placement_window_s.max(1.0) as u64;
+    cfg.expected_pending_events() as u64 * window
+}
+
+/// Progress accounting for a long sweep, printed to **stderr** (stdout
+/// stays clean for `--json` pipelines) and only when enabled — the
+/// `--progress` CLI flag. All counters are atomic: workers update them
+/// concurrently, lines are whole `eprintln!` calls.
+#[derive(Debug)]
+pub struct ProgressMeter {
+    enabled: bool,
+    /// When true, [`run_sweep_with`] announces a cell as done the moment
+    /// its tasks drain from the current batch (the fixed-replication
+    /// case). Adaptive sweeps set this false and announce convergence
+    /// themselves — a drained batch is not a converged cell there.
+    announce_batch_cells: bool,
+    cells_total: usize,
+    cells_done: AtomicUsize,
+    reps_spent: AtomicU64,
+    reps_budget: u64,
+}
+
+impl ProgressMeter {
+    /// A meter over `cells_total` cells with a total replication budget
+    /// of `reps_budget`; `enabled: false` makes every method a no-op
+    /// print-wise (counters still track).
+    #[must_use]
+    pub fn new(cells_total: usize, reps_budget: u64, enabled: bool) -> Self {
+        ProgressMeter {
+            enabled,
+            announce_batch_cells: true,
+            cells_total,
+            cells_done: AtomicUsize::new(0),
+            reps_spent: AtomicU64::new(0),
+            reps_budget,
+        }
+    }
+
+    /// Like [`ProgressMeter::new`] but cells are announced by the
+    /// adaptive driver on convergence, not by batch drain.
+    #[must_use]
+    pub fn for_adaptive(cells_total: usize, reps_budget: u64, enabled: bool) -> Self {
+        ProgressMeter {
+            announce_batch_cells: false,
+            ..ProgressMeter::new(cells_total, reps_budget, enabled)
+        }
+    }
+
+    /// Record one finished replication.
+    pub fn note_rep(&self) {
+        self.reps_spent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record (and, when enabled, print) one finished cell.
+    pub fn cell_done(&self, cell: usize) {
+        let done = self.cells_done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.enabled {
+            eprintln!(
+                "sweep: cell {cell} done — {done}/{} cells, {}/{} reps",
+                self.cells_total,
+                self.reps_spent.load(Ordering::Relaxed),
+                self.reps_budget
+            );
+        }
+    }
+
+    /// Replications spent so far.
+    #[must_use]
+    pub fn reps_spent(&self) -> u64 {
+        self.reps_spent.load(Ordering::Relaxed)
+    }
+
+    /// Cells recorded done so far.
+    #[must_use]
+    pub fn cells_done(&self) -> usize {
+        self.cells_done.load(Ordering::Relaxed)
+    }
+}
+
+/// The sequential reference executor: run every task on the calling
+/// thread, in task order. [`run_sweep`] must be indistinguishable from
+/// this at any worker count — the property `bench_sweep_json` asserts
+/// fatally and `tests/sweep_determinism.rs` propchecks.
+pub fn run_sweep_reference<T, F>(tasks: &[SweepTask], f: F) -> Vec<T>
+where
+    F: Fn(SweepTask) -> T,
+{
+    tasks.iter().map(|&t| f(t)).collect()
+}
+
+/// Run every task, borrowing up to `tasks.len()` workers from the
+/// [`des::pool`] budget, and return results **in task order**.
+///
+/// Scheduling is dynamic (longest-expected-first deal, work stealing),
+/// but each result is written to the slot keyed by its task index, so
+/// the returned vector — and anything folded from it in order — is
+/// byte-identical to [`run_sweep_reference`] regardless of thread count
+/// or completion order.
+pub fn run_sweep<T, F>(tasks: &[SweepTask], f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(SweepTask) -> T + Sync,
+{
+    run_sweep_with(tasks, f, None)
+}
+
+/// [`run_sweep`] with optional progress accounting.
+pub fn run_sweep_with<T, F>(tasks: &[SweepTask], f: F, progress: Option<&ProgressMeter>) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(SweepTask) -> T + Sync,
+{
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Per-cell outstanding-task counts for the batch, so the meter can
+    // announce a cell the moment its last replication lands.
+    let cells = tasks.iter().map(|t| t.cell).max().unwrap_or(0) + 1;
+    let mut left = vec![0usize; cells];
+    for t in tasks {
+        left[t.cell] += 1;
+    }
+    let outstanding: Vec<AtomicUsize> = left.into_iter().map(AtomicUsize::new).collect();
+    let finish = |t: SweepTask| {
+        if let Some(m) = progress {
+            m.note_rep();
+            if outstanding[t.cell].fetch_sub(1, Ordering::Relaxed) == 1 && m.announce_batch_cells {
+                m.cell_done(t.cell);
+            }
+        }
+    };
+
+    let permit = des::pool::acquire(n.min(des::pool::total()));
+    let workers = permit.workers().min(n);
+    if workers <= 1 {
+        // Budget exhausted (or a one-task sweep): run inline. This is
+        // exactly the sequential reference plus progress accounting.
+        return tasks
+            .iter()
+            .map(|&t| {
+                let r = f(t);
+                finish(t);
+                r
+            })
+            .collect();
+    }
+
+    // Longest-expected-first order, index-tiebroken so the deal is a
+    // pure function of the task list.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(tasks[i].cost), i));
+    // Deal round-robin onto per-worker deques: worker w starts with the
+    // w-th, (w+workers)-th, … longest tasks, so initial loads balance
+    // even if no steal ever happens.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(
+                order
+                    .iter()
+                    .skip(w)
+                    .step_by(workers)
+                    .copied()
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+    let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+
+    let worker = |w: usize| {
+        loop {
+            // Own queue first (front: the longest still-undone task this
+            // worker was dealt)…
+            let mut task = queues[w].lock().expect("sweep queue").pop_front();
+            if task.is_none() {
+                // …then steal from the back of the first non-empty
+                // victim, scanning in a fixed ring order from w+1.
+                for v in 1..workers {
+                    let victim = (w + v) % workers;
+                    if let Some(i) = queues[victim].lock().expect("sweep queue").pop_back() {
+                        task = Some(i);
+                        break;
+                    }
+                }
+            }
+            let Some(i) = task else { break };
+            let t = tasks[i];
+            let r = f(t);
+            slots[i]
+                .set(r)
+                .map_err(|_| "sweep slot")
+                .expect("one owner");
+            finish(t);
+        }
+    };
+
+    std::thread::scope(|s| {
+        for w in 1..workers {
+            s.spawn(move || worker(w));
+        }
+        // The calling thread is worker 0 — the budget's "caller runs
+        // inline" degradation, generalized.
+        worker(0);
+    });
+    drop(permit);
+
+    slots
+        .into_iter()
+        .map(|c| c.into_inner().expect("every task ran"))
+        .collect()
+}
+
+/// Mean and 95% CI half-width over `samples` (index order, so the fold
+/// is bitwise-deterministic). The half-width is `NaN` below two samples
+/// — the same convention Fig. 6 has always used.
+#[must_use]
+pub fn mean_ci(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, f64::NAN);
+    }
+    let var = samples.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+/// The sequential stopping rule for adaptive replication: spend
+/// replications on a cell until its 95% CI half-width reaches
+/// `ci_target` (same units as the sampled statistic), bounded by
+/// `min_reps`/`max_reps`.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptivePolicy {
+    /// Stop once the CI half-width is at or below this (absolute, in the
+    /// statistic's units — percentage points for Fig. 6 blocking).
+    pub ci_target: f64,
+    /// Replications every cell gets before the rule is consulted (≥ 2,
+    /// so a half-width exists).
+    pub min_reps: u64,
+    /// Hard per-cell budget: a cell that has not converged by here is
+    /// reported as-is, `converged: false`.
+    pub max_reps: u64,
+}
+
+impl AdaptivePolicy {
+    /// A policy targeting `ci_target`, with the Fig. 6 defaults for the
+    /// replication bounds (5 minimum — the classic fixed count — and a
+    /// 16× budget cap).
+    #[must_use]
+    pub fn targeting(ci_target: f64) -> Self {
+        AdaptivePolicy {
+            ci_target,
+            min_reps: 5,
+            max_reps: 80,
+        }
+    }
+
+    fn clamped(self) -> Self {
+        let min_reps = self.min_reps.max(2);
+        AdaptivePolicy {
+            ci_target: self.ci_target.max(0.0),
+            min_reps,
+            max_reps: self.max_reps.max(min_reps),
+        }
+    }
+}
+
+/// One cell's adaptive estimate.
+#[derive(Debug, Clone)]
+pub struct CellEstimate {
+    /// Every sampled statistic, in replication order (replication `r`
+    /// always used seed index `r`, so this vector is a pure function of
+    /// the cell — not of scheduling).
+    pub samples: Vec<f64>,
+    /// Mean over [`CellEstimate::samples`].
+    pub mean: f64,
+    /// 95% CI half-width over the samples.
+    pub ci_half_width: f64,
+    /// Whether the stopping rule was satisfied (false = the cell hit
+    /// `max_reps` still wide).
+    pub converged: bool,
+}
+
+/// Run an adaptive sweep: every cell starts with `policy.min_reps`
+/// replications; after each round the stopping rule retires converged
+/// cells and doubles-down on the rest, until all cells converge or
+/// exhaust `policy.max_reps`. Rounds are barriers: the decision which
+/// `(cell, rep)` tasks exist next depends only on completed samples, and
+/// samples are keyed by replication index — so the whole procedure,
+/// including every intermediate batch, is a pure function of
+/// `(cells, policy, sample)` at any worker count.
+///
+/// `sample(cell, rep)` must be a pure function of its arguments (derive
+/// the run seed with [`des::stream_seed`] from the sweep seed and a
+/// cell-indexed stream).
+pub fn adaptive_sweep<F>(
+    cell_costs: &[u64],
+    policy: AdaptivePolicy,
+    sample: F,
+    progress: Option<&ProgressMeter>,
+) -> Vec<CellEstimate>
+where
+    F: Fn(usize, u64) -> f64 + Sync,
+{
+    let policy = policy.clamped();
+    let n_cells = cell_costs.len();
+    let mut cells: Vec<CellEstimate> = (0..n_cells)
+        .map(|_| CellEstimate {
+            samples: Vec::new(),
+            mean: f64::NAN,
+            ci_half_width: f64::NAN,
+            converged: false,
+        })
+        .collect();
+    // (cell, batch size) still in play this round.
+    let mut active: Vec<(usize, u64)> = (0..n_cells).map(|c| (c, policy.min_reps)).collect();
+    while !active.is_empty() {
+        let mut tasks = Vec::new();
+        for &(cell, batch) in &active {
+            let done = cells[cell].samples.len() as u64;
+            for rep in done..done + batch {
+                tasks.push(SweepTask {
+                    cell,
+                    rep,
+                    cost: cell_costs[cell],
+                });
+            }
+        }
+        let results = run_sweep_with(&tasks, |t| sample(t.cell, t.rep), progress);
+        // Tasks were built cell-ascending, rep-ascending; appending in
+        // task order keeps every samples vector in replication order.
+        for (t, s) in tasks.iter().zip(results) {
+            cells[t.cell].samples.push(s);
+        }
+        let mut next = Vec::new();
+        for (cell, _) in active {
+            let est = &mut cells[cell];
+            let (mean, hw) = mean_ci(&est.samples);
+            est.mean = mean;
+            est.ci_half_width = hw;
+            let spent = est.samples.len() as u64;
+            if hw.is_finite() && hw <= policy.ci_target {
+                est.converged = true;
+                if let Some(m) = progress {
+                    m.cell_done(cell);
+                }
+            } else if spent >= policy.max_reps {
+                if let Some(m) = progress {
+                    m.cell_done(cell);
+                }
+            } else {
+                // Double down, but never past the budget: half the spent
+                // count again (CI shrinks like 1/√n, so halving the
+                // half-width needs ~4× the samples — growing in ~1.5×
+                // steps converges in a handful of rounds without big
+                // overshoot).
+                let grow = (spent / 2).max(2).min(policy.max_reps - spent);
+                next.push((cell, grow));
+            }
+        }
+        active = next;
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks(n: usize, reps: u64) -> Vec<SweepTask> {
+        (0..n)
+            .flat_map(|cell| {
+                (0..reps).map(move |rep| SweepTask {
+                    cell,
+                    rep,
+                    cost: (n - cell) as u64,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn executor_matches_reference_at_every_width() {
+        let _guard = des::pool::test_guard();
+        let ts = tasks(5, 4);
+        let f = |t: SweepTask| t.cell as u64 * 1000 + t.rep * 7 + t.cost;
+        let want = run_sweep_reference(&ts, f);
+        for w in [1usize, 2, 4, 8] {
+            des::pool::configure(w);
+            assert_eq!(run_sweep(&ts, f), want, "width {w}");
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let got: Vec<u64> = run_sweep(&[], |_| unreachable!());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn progress_counts_reps_and_cells() {
+        let _guard = des::pool::test_guard();
+        des::pool::configure(2);
+        let ts = tasks(3, 2);
+        let meter = ProgressMeter::new(3, 6, false);
+        let _ = run_sweep_with(&ts, |t| t.rep, Some(&meter));
+        assert_eq!(meter.reps_spent(), 6);
+        assert_eq!(meter.cells_done(), 3);
+    }
+
+    #[test]
+    fn mean_ci_matches_fig6_formula() {
+        let (m, hw) = mean_ci(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-12);
+        // var = 5/3, hw = 1.96 * sqrt(var/4).
+        let want = 1.96 * (5.0 / 3.0 / 4.0_f64).sqrt();
+        assert!((hw - want).abs() < 1e-12);
+        let (m1, hw1) = mean_ci(&[7.0]);
+        assert!((m1 - 7.0).abs() < 1e-12 && hw1.is_nan());
+        let (m0, hw0) = mean_ci(&[]);
+        assert!(m0.is_nan() && hw0.is_nan());
+    }
+
+    #[test]
+    fn adaptive_stops_early_on_tight_cells_and_caps_wide_ones() {
+        let _guard = des::pool::test_guard();
+        des::pool::configure(4);
+        let policy = AdaptivePolicy {
+            ci_target: 0.5,
+            min_reps: 3,
+            max_reps: 12,
+        };
+        // Cell 0: constant statistic — converges at min_reps with hw 0.
+        // Cell 1: alternating ±10 — can never reach hw ≤ 0.5 by rep 12.
+        let est = adaptive_sweep(
+            &[10, 10],
+            policy,
+            |cell, rep| {
+                if cell == 0 {
+                    42.0
+                } else if rep % 2 == 0 {
+                    10.0
+                } else {
+                    -10.0
+                }
+            },
+            None,
+        );
+        assert_eq!(est[0].samples.len(), 3);
+        assert!(est[0].converged && est[0].ci_half_width <= 0.5);
+        assert!((est[0].mean - 42.0).abs() < 1e-12);
+        assert_eq!(est[1].samples.len(), 12, "capped at max_reps");
+        assert!(!est[1].converged);
+    }
+
+    #[test]
+    fn adaptive_is_width_invariant() {
+        let _guard = des::pool::test_guard();
+        let policy = AdaptivePolicy {
+            ci_target: 1.0,
+            min_reps: 2,
+            max_reps: 20,
+        };
+        // A deterministic pseudo-noisy statistic: variance shrinks as
+        // reps accumulate, so cells converge at different rep counts.
+        let sample = |cell: usize, rep: u64| {
+            let x = des::stream_seed(cell as u64 + 1, rep) % 1000;
+            x as f64 / 100.0
+        };
+        des::pool::configure(1);
+        let seq = adaptive_sweep(&[3, 2, 1], policy, sample, None);
+        for w in [2usize, 4, 8] {
+            des::pool::configure(w);
+            let par = adaptive_sweep(&[3, 2, 1], policy, sample, None);
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.samples, b.samples, "width {w}");
+                assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+                assert_eq!(a.ci_half_width.to_bits(), b.ci_half_width.to_bits());
+                assert_eq!(a.converged, b.converged);
+            }
+        }
+    }
+
+    #[test]
+    fn run_cost_scales_with_load_and_window() {
+        let small = EmpiricalConfig::signalling_only(120.0, 1);
+        let big = EmpiricalConfig::signalling_only(260.0, 1);
+        assert!(run_cost(&big) > run_cost(&small));
+        let mut long = EmpiricalConfig::signalling_only(120.0, 1);
+        long.placement_window_s *= 4.0;
+        assert!(run_cost(&long) > run_cost(&small));
+    }
+}

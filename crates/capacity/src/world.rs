@@ -19,7 +19,7 @@ use pbx_sim::{Directory, Pbx, PbxAction, PbxConfig};
 use rtpcore::packet::RtpDatagram;
 use rtpcore::packetizer::{FastVoiceSource, Law, Packetizer, VoiceSource, SAMPLES_PER_FRAME};
 use rtpcore::vad::{FrameSlot, TalkspurtSource};
-use sipcore::SipMessage;
+use sipcore::{AtomTable, SipMessage};
 use std::collections::HashMap;
 use std::sync::Arc;
 use vmon::{FlowId, Monitor};
@@ -55,6 +55,32 @@ const POP_DECOY_REP: u64 = 0xD0_1C;
 /// Users re-REGISTERed per churn slice event: bounds the wheel's live
 /// frame state to O(slice) no matter how large the population bucket.
 const CHURN_SLICE: u64 = 64;
+
+/// Process-wide memo of pre-seeded SDP origin interners, keyed by the
+/// caller-pool size: uids `1000 .. 1000 + user_pool`, the exact strings
+/// the classic placement path interns on first call from each caller.
+/// Every replication clones the base table (the strings are shared
+/// `Arc<str>`s) instead of re-interning the pool from scratch. Interning
+/// is idempotent and only resolved strings reach the wire, so a warm
+/// table is digest-invisible; population-mode callers (uids ≥
+/// [`POP_UID_BASE`]) simply intern cold on top, as before.
+fn shared_origin_atoms(user_pool: u32) -> AtomTable {
+    use std::sync::{Mutex, OnceLock};
+    static MEMO: OnceLock<Mutex<HashMap<u32, AtomTable>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = memo
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    map.entry(user_pool)
+        .or_insert_with(|| {
+            let mut table = AtomTable::new();
+            for i in 0..u64::from(user_pool) {
+                table.intern(&format!("{}", 1000 + i));
+            }
+            table
+        })
+        .clone()
+}
 
 /// How per-session media cadence is driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -442,9 +468,14 @@ impl World {
             pbx_cfg.overload = config.overload;
             pbx_cfg.overload_law = config.overload_law;
             pbx_cfg.hostname.clone_from(&hostname);
-            let directory = Directory::with_subscribers(1000, 1000);
+            // Shared sweep-plane precompute: the subscriber table is a
+            // COW clone of the process-wide prototype and the SDP origin
+            // pool arrives pre-interned — both observationally identical
+            // to cold construction, so digests cannot move.
+            let directory = Directory::shared_subscribers(1000, 1000);
             pbxes.push(Pbx::new(pbx_cfg, directory));
             let mut uac = Uac::with_tag(nodes::SIPP_CLIENT, pbx_node(k), &hostname, k);
+            uac.preseed_sdp_origins(shared_origin_atoms(config.user_pool));
             uac.retry_policy = config.retry;
             // Feedback-driven laws pace the caller side: the pacer starts
             // wide open and tightens as X-Overload-Control values arrive.

@@ -7,8 +7,8 @@
 //! * **Determinism** — integer nanosecond timestamps, a stable FIFO
 //!   tie-break for simultaneous events, and splittable counter-based RNG
 //!   streams mean a run is a pure function of its seed. Parallel parameter
-//!   sweeps (rayon, in the `capacity` crate) therefore reproduce bit-identical
-//!   journals regardless of thread scheduling.
+//!   sweeps (the work-stealing executor in the `capacity` crate) therefore
+//!   reproduce bit-identical journals regardless of thread scheduling.
 //! * **Throughput** — a future-event list with two interchangeable
 //!   backends (a reference `BinaryHeap` and a hierarchical timing wheel
 //!   with far-future overflow, selected via [`SchedulerKind`]), no

@@ -100,16 +100,17 @@ pub fn acquire(want: usize) -> Permit {
 }
 
 /// Serializes tests that reconfigure the process-global budget so they
-/// cannot interleave with each other.
-#[cfg(test)]
-pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
-    static LOCK: Mutex<()> = Mutex::new(());
+/// cannot interleave with each other. Public because the budget is
+/// process-global: any downstream crate whose tests call [`configure`]
+/// (the sweep executor's width-invariance checks, the determinism
+/// proptests) must hold this guard for the same reason tests in this
+/// crate do. Not for production code — holding it does not serialize
+/// [`acquire`].
+pub fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
     LOCK.lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
-
-#[cfg(test)]
-use std::sync::Mutex;
 
 #[cfg(test)]
 mod tests {
@@ -138,5 +139,72 @@ mod tests {
         drop(e);
         let f = acquire(2);
         assert_eq!(f.workers(), 1, "reconfigure shrinks the budget");
+    }
+
+    #[test]
+    fn first_use_latches_one_default_under_racing_callers() {
+        let _guard = test_guard();
+        // Un-latch the budget so this test exercises the first-use path,
+        // then race a handful of threads through `total()`: every caller
+        // must observe the same latched value, and it must be the
+        // machine default.
+        BUDGET.store(usize::MAX, Ordering::SeqCst);
+        let seen: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(total)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let latched = default_budget();
+        assert!(
+            seen.iter().all(|&b| b == latched),
+            "racing first calls agree: {seen:?}"
+        );
+        assert_eq!(total(), latched, "later calls see the latched value");
+        // Leave the budget configured so later tests (under their own
+        // guard) start from a known state.
+        configure(latched);
+    }
+
+    #[test]
+    fn exhausted_budget_never_grants_zero_workers() {
+        let _guard = test_guard();
+        configure(2);
+        let hog = acquire(2);
+        assert_eq!(hog.workers(), 2);
+        // With every slot taken, concurrent acquirers still each get a
+        // worker (their own thread) — the inline-degradation guarantee.
+        let widths: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| acquire(3).workers())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            widths.iter().all(|&w| w == 1),
+            "exhausted acquires: {widths:?}"
+        );
+        drop(hog);
+        // The zero-slot permits held no budget, so nothing leaked: the
+        // full budget is borrowable again.
+        assert_eq!(acquire(2).workers(), 2);
+    }
+
+    #[test]
+    fn permit_returns_workers_on_drop_in_any_order() {
+        let _guard = test_guard();
+        configure(4);
+        let a = acquire(2);
+        let b = acquire(2);
+        assert_eq!((a.workers(), b.workers()), (2, 2));
+        // Return out of acquisition order; each drop frees exactly its
+        // own slots.
+        drop(a);
+        assert_eq!(acquire(4).workers(), 2, "a's two slots came back");
+        drop(b);
+        assert_eq!(acquire(4).workers(), 4, "all four slots back");
+        // A permit granted zero slots must not "return" phantom workers.
+        let hog = acquire(4);
+        let empty = acquire(1);
+        assert_eq!(empty.workers(), 1);
+        drop(empty);
+        assert_eq!(acquire(4).workers(), 1, "zero-slot drop freed nothing");
+        drop(hog);
     }
 }

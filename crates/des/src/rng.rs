@@ -5,8 +5,8 @@
 //! from the master seed. That way adding a new consumer of randomness never
 //! perturbs the draws seen by existing components — the classic "common
 //! random numbers" discipline for comparable experiments — and parallel
-//! replications (rayon) are trivially reproducible because streams carry no
-//! shared state.
+//! replications (fanned out by the `capacity` sweep executor) are trivially
+//! reproducible because streams carry no shared state.
 //!
 //! The generator is xoshiro256++ (public domain, Blackman & Vigna), seeded
 //! through SplitMix64 as its authors recommend. Both are implemented here in

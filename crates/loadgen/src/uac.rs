@@ -336,6 +336,16 @@ impl Uac {
         self.calls.len()
     }
 
+    /// Replace the SDP origin interner with a pre-seeded table (typically
+    /// a clone of a process-wide base table holding the finite caller
+    /// pool). Digest-safe at any point: interning is idempotent and only
+    /// the *resolved strings* ever reach the wire, so a warm table
+    /// changes setup cost, never message bytes. A caller outside the
+    /// seeded pool simply interns cold, as before.
+    pub fn preseed_sdp_origins(&mut self, table: AtomTable) {
+        self.sdp_origins = table;
+    }
+
     /// Build and send a REGISTER for `uid` (password per the directory's
     /// `pw-<uid>` convention).
     pub fn register(&mut self, uid: &str) -> Vec<UacEvent> {

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One directory entry: a distinguished name plus attributes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,11 +30,19 @@ pub enum BindResult {
 }
 
 /// The in-memory directory.
+///
+/// The entry store and uid index live behind `Arc`s with copy-on-write
+/// semantics: cloning a directory is two refcount bumps, and the deep
+/// copy happens only if the clone later mutates its rows ([`Directory::add`]).
+/// Read paths and bind accounting never trigger the copy, so a sweep
+/// can stamp out one subscriber table per replication from a shared
+/// prototype ([`Directory::shared_subscribers`]) at O(1) cost instead of
+/// re-materializing `count` entries × four attributes every run.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: HashMap<String, DirEntry>,
+    entries: Arc<HashMap<String, DirEntry>>,
     /// Index: uid attribute -> DN, for fast subscriber lookup.
-    uid_index: HashMap<String, String>,
+    uid_index: Arc<HashMap<String, String>>,
     /// Population-scale subscriber range `(base, count)` whose entries are
     /// derived on demand (`uid ∈ base..base+count`, password `pw-<uid>`)
     /// instead of materialized — O(1) memory for 10⁶ subscribers. Explicit
@@ -144,12 +153,36 @@ impl Directory {
         }
     }
 
-    /// Insert or replace an entry.
+    /// Insert or replace an entry. The first mutation after a cheap
+    /// clone pays the copy-on-write (both maps are deep-copied once);
+    /// further mutations are ordinary map inserts.
     pub fn add(&mut self, entry: DirEntry) {
         if let Some(uid) = entry.attrs.get("uid") {
-            self.uid_index.insert(uid.clone(), entry.dn.clone());
+            Arc::make_mut(&mut self.uid_index).insert(uid.clone(), entry.dn.clone());
         }
-        self.entries.insert(entry.dn.clone(), entry);
+        Arc::make_mut(&mut self.entries).insert(entry.dn.clone(), entry);
+    }
+
+    /// A clone of the process-wide shared prototype for
+    /// `with_subscribers(base, count)` — built cold exactly once per
+    /// distinct `(base, count)`, then handed out as two `Arc` bumps per
+    /// call. Observationally identical to [`Directory::with_subscribers`]
+    /// (fresh bind counters, no synthetic range, same rows); only the
+    /// setup cost differs. This is the sweep plane's answer to the
+    /// dominant per-replication setup item: every PBX in every
+    /// replication of a campaign wants the same 1000-subscriber campus
+    /// table.
+    #[must_use]
+    pub fn shared_subscribers(base: u32, count: u32) -> Self {
+        use std::sync::{Mutex, OnceLock};
+        static MEMO: OnceLock<Mutex<HashMap<(u32, u32), Directory>>> = OnceLock::new();
+        let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.entry((base, count))
+            .or_insert_with(|| Directory::with_subscribers(base, count))
+            .clone()
     }
 
     /// Number of subscribers (explicit entries plus the synthetic range).
@@ -294,6 +327,39 @@ mod tests {
         both.add(e);
         assert_eq!(both.password_of("1002"), Some("custom".to_owned()));
         assert_eq!(both.bind_uid("1002", "custom"), Some(BindResult::Success));
+    }
+
+    #[test]
+    fn shared_subscribers_matches_cold_build_and_cow_isolates_clones() {
+        let shared = Directory::shared_subscribers(1000, 50);
+        let cold = Directory::with_subscribers(1000, 50);
+        assert_eq!(shared.len(), cold.len());
+        for uid in [1000u32, 1025, 1049] {
+            let s = shared.find_by_uid(&uid.to_string()).unwrap();
+            let c = cold.find_by_uid(&uid.to_string()).unwrap();
+            assert_eq!(s, c, "uid {uid}");
+        }
+        assert_eq!(shared.bind_stats(), (0, 0), "fresh counters");
+        // Two shared clones alias the same rows…
+        let other = Directory::shared_subscribers(1000, 50);
+        assert!(Arc::ptr_eq(&shared.entries, &other.entries));
+        // …until one mutates: COW deep-copies the mutator, the prototype
+        // and its siblings are untouched.
+        let mut mutated = Directory::shared_subscribers(1000, 50);
+        let mut e = mutated.find_by_uid("1000").unwrap().clone();
+        e.attrs
+            .insert("userPassword".to_owned(), "changed".to_owned());
+        mutated.add(e);
+        assert_eq!(mutated.password_of("1000"), Some("changed".to_owned()));
+        assert_eq!(
+            Directory::shared_subscribers(1000, 50).password_of("1000"),
+            Some("pw-1000".to_owned()),
+            "prototype unaffected by a clone's mutation"
+        );
+        // Bind accounting never touches the shared rows.
+        let mut binder = Directory::shared_subscribers(1000, 50);
+        binder.bind_uid("1001", "pw-1001");
+        assert!(Arc::ptr_eq(&binder.entries, &other.entries));
     }
 
     #[test]

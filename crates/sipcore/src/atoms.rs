@@ -43,7 +43,13 @@ impl Atom {
 /// O(distinct live strings) rather than O(strings ever seen); releasing
 /// is strictly opt-in, so every existing user keeps the append-only
 /// behaviour (and its first-seen-order handle determinism) untouched.
-#[derive(Debug, Default)]
+/// Cloning is cheap-ish (the strings are `Arc<str>`, so a clone shares
+/// every backing allocation and copies only the map/vec structure) and
+/// exact: the clone answers every `intern`/`lookup`/`resolve` the
+/// original would, in the same handle order. This is what lets a sweep
+/// pre-seed a base table once and stamp it out per replication instead
+/// of re-interning the same strings every run.
+#[derive(Debug, Default, Clone)]
 pub struct AtomTable {
     map: FastMap<Arc<str>, Atom>,
     strings: Vec<Arc<str>>,

@@ -258,6 +258,54 @@ impl BlockingCurve {
     }
 }
 
+/// Process-wide memo of [`BlockingCurve`]s, keyed by `(A bits, N)`.
+///
+/// A sweep evaluates the same analytic rails for every replication of
+/// every cell — Fig. 6 alone asks for the 170-channel curve at 15 loads
+/// × every rep. The curves are immutable once built, so the sweep plane
+/// hosts them behind a process-wide `Arc` and every run after the first
+/// gets a refcount bump instead of an O(N) recurrence pass. Keying by
+/// the load's *bit pattern* keeps the memo exact: two loads that differ
+/// in the last ulp get distinct curves, so memoized results are
+/// bit-identical to cold ones by construction.
+pub fn shared_curve(a: Erlangs, max_channels: u32) -> std::sync::Arc<BlockingCurve> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    type CurveMemo = Mutex<HashMap<(u64, u32), Arc<BlockingCurve>>>;
+    static MEMO: OnceLock<CurveMemo> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (a.value().to_bits(), max_channels);
+    let mut map = memo
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    Arc::clone(
+        map.entry(key)
+            .or_insert_with(|| Arc::new(BlockingCurve::new(a, max_channels))),
+    )
+}
+
+/// Process-wide memo of [`load_for`] answers, keyed by `(N, target bits)`.
+///
+/// The campaign derives its engineered capacity (`load_for(channels,
+/// 0.01)`) once per *cell*; under the sweep executor that Newton solve
+/// would otherwise repeat per cell × replication. Same exactness
+/// argument as [`shared_curve`]: the memo stores the identical `Result`
+/// the cold path computes.
+pub fn shared_load_for(channels: u32, target_pb: f64) -> Result<Erlangs, TrafficError> {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type LoadMemo = Mutex<HashMap<(u32, u64), Result<Erlangs, TrafficError>>>;
+    static MEMO: OnceLock<LoadMemo> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (channels, target_pb.to_bits());
+    let mut map = memo
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    map.entry(key)
+        .or_insert_with(|| load_for(channels, target_pb))
+        .clone()
+}
+
 /// Carried traffic `A · (1 − B(A, N))` in Erlangs — the load that actually
 /// occupies channels after blocking.
 #[must_use]
@@ -461,6 +509,33 @@ mod tests {
         assert_eq!(
             BlockingCurve::new(Erlangs(500.0), 100).channels_for(0.01),
             None
+        );
+    }
+
+    #[test]
+    fn shared_curve_is_the_cold_curve_behind_one_arc() {
+        let a = shared_curve(Erlangs(150.0), 170);
+        let b = shared_curve(Erlangs(150.0), 170);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "second call is a memo hit");
+        let cold = BlockingCurve::new(Erlangs(150.0), 170);
+        for n in 0..=170 {
+            assert_eq!(a.at(n).to_bits(), cold.at(n).to_bits(), "n={n}");
+        }
+        // A last-ulp-different load is a different key, not a collision.
+        let close = shared_curve(Erlangs(150.0 + f64::EPSILON * 256.0), 170);
+        assert!(!std::sync::Arc::ptr_eq(&a, &close));
+    }
+
+    #[test]
+    fn shared_load_for_matches_cold_solve() {
+        let memo = shared_load_for(165, 0.01).unwrap();
+        let cold = load_for(165, 0.01).unwrap();
+        assert_eq!(memo.value().to_bits(), cold.value().to_bits());
+        assert_eq!(shared_load_for(165, 0.01).unwrap().value(), memo.value());
+        assert_eq!(
+            shared_load_for(0, 0.05),
+            Err(TrafficError::Unreachable),
+            "errors memoize too"
         );
     }
 
